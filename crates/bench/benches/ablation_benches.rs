@@ -1,0 +1,106 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: the
+//! fairshare decay factor, the starvation entry delay, the runtime-limit
+//! value, and the machine size. Each variant runs the baseline engine end
+//! to end, so the measurements double as a scaling study of the simulator
+//! under different contention regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsched_bench::bench_trace;
+use fairsched_sim::{
+    simulate, FairshareConfig, NullObserver, RuntimeLimit, SimConfig, StarvationConfig,
+};
+use fairsched_workload::time::HOUR;
+use fairsched_workload::CplantModel;
+use std::hint::black_box;
+
+fn decay_factor(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("ablation/fairshare_decay");
+    g.sample_size(10);
+    for factor in [0.25f64, 0.5, 0.9, 1.0] {
+        let cfg = SimConfig {
+            fairshare: FairshareConfig { decay_factor: factor, ..Default::default() },
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(factor), &cfg, |b, cfg| {
+            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+        });
+    }
+    g.finish();
+}
+
+fn starvation_delay(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("ablation/starvation_delay");
+    g.sample_size(10);
+    for hours in [12u64, 24, 48, 72] {
+        let cfg = SimConfig {
+            starvation: Some(StarvationConfig {
+                entry_delay: hours * HOUR,
+                heavy_rule: None,
+            }),
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(hours), &cfg, |b, cfg| {
+            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+        });
+    }
+    g.finish();
+}
+
+fn runtime_limit(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("ablation/runtime_limit");
+    g.sample_size(10);
+    for hours in [24u64, 48, 72, 168] {
+        let cfg = SimConfig {
+            runtime_limit: Some(RuntimeLimit { limit: hours * HOUR }),
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(hours), &cfg, |b, cfg| {
+            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+        });
+    }
+    g.finish();
+}
+
+fn reservation_depth(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("ablation/reservation_depth");
+    g.sample_size(10);
+    for depth in [0u32, 1, 8, 64, 1024] {
+        let cfg = SimConfig {
+            engine: fairsched_sim::EngineKind::ReservationDepth(depth),
+            starvation: None,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &cfg, |b, cfg| {
+            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+        });
+    }
+    g.finish();
+}
+
+fn machine_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/machine_size");
+    g.sample_size(10);
+    for nodes in [512u32, 1024, 2048] {
+        // The trace must respect the machine width, so regenerate per size.
+        let trace = CplantModel::new(42).with_nodes(nodes).with_scale(0.1).generate();
+        let cfg = SimConfig { nodes, ..Default::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &cfg, |b, cfg| {
+            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    decay_factor,
+    starvation_delay,
+    runtime_limit,
+    reservation_depth,
+    machine_size
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks behind Figures 14–19: the conservative backfilling engines
+//! and the full nine-policy evaluation sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsched_bench::{bench_trace, BENCH_NODES};
+use fairsched_core::policy::PolicySpec;
+use fairsched_core::runner::run_policy;
+use fairsched_core::sweep::run_policies;
+use std::hint::black_box;
+
+fn conservative_policies(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("figures_14_to_19/policy");
+    g.sample_size(10);
+    for id in ["cons.nomax", "cons.72max", "consdyn.nomax", "consdyn.72max", "easy.nomax"] {
+        let policy = PolicySpec::by_id(id).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(id), &policy, |b, p| {
+            b.iter(|| run_policy(black_box(&trace), p, BENCH_NODES))
+        });
+    }
+    g.finish();
+}
+
+fn full_evaluation(c: &mut Criterion) {
+    let trace = bench_trace();
+    let policies = PolicySpec::paper_policies();
+    let mut g = c.benchmark_group("figures_14_to_19/sweep");
+    g.sample_size(10);
+    // Everything Figures 14, 15, 17 and 19 need, in one parallel sweep.
+    g.bench_function("all_nine_parallel", |b| {
+        b.iter(|| run_policies(black_box(&trace), &policies, BENCH_NODES))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, conservative_policies, full_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks behind Figures 8–13: the five "minor change" policies, each
+//! simulated with the hybrid fairness observer attached — exactly the
+//! computation one bar of those figures costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsched_bench::{bench_trace, BENCH_NODES};
+use fairsched_core::policy::PolicySpec;
+use fairsched_core::runner::run_policy;
+use fairsched_core::sweep::run_policies;
+use std::hint::black_box;
+
+fn minor_policies(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("figures_8_to_13/policy");
+    g.sample_size(10);
+    for policy in PolicySpec::minor_policies() {
+        g.bench_with_input(BenchmarkId::from_parameter(policy.id), &policy, |b, p| {
+            b.iter(|| run_policy(black_box(&trace), p, BENCH_NODES))
+        });
+    }
+    g.finish();
+}
+
+fn minor_sweep(c: &mut Criterion) {
+    let trace = bench_trace();
+    let policies = PolicySpec::minor_policies();
+    let mut g = c.benchmark_group("figures_8_to_13/sweep");
+    g.sample_size(10);
+    // The whole minor-changes figure set in one parallel sweep.
+    g.bench_function("all_five_parallel", |b| {
+        b.iter(|| run_policies(black_box(&trace), &policies, BENCH_NODES))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, minor_policies, minor_sweep);
+criterion_main!(benches);

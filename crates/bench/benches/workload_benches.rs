@@ -1,0 +1,63 @@
+//! Benchmarks for the workload substrate behind Tables 1–2 and Figures 3–7:
+//! synthetic generation, SWF round-trips, and characterization recomputation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fairsched_bench::{bench_trace, BENCH_NODES};
+use fairsched_workload::stats::weekly_offered_load;
+use fairsched_workload::swf::{read_swf_str, write_swf_string};
+use fairsched_workload::tables::{job_counts, proc_hours};
+use fairsched_workload::CplantModel;
+use std::hint::black_box;
+
+fn generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload/generation");
+    g.bench_function("cplant_scale_0.1", |b| {
+        b.iter(|| CplantModel::new(black_box(42)).with_scale(0.1).generate())
+    });
+    g.bench_function("cplant_full_scale", |b| {
+        b.iter(|| CplantModel::new(black_box(42)).generate())
+    });
+    g.finish();
+}
+
+fn tables(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("workload/tables");
+    // Table 1 regeneration.
+    g.bench_function("table1_job_counts", |b| b.iter(|| job_counts(black_box(&trace))));
+    // Table 2 regeneration.
+    g.bench_function("table2_proc_hours", |b| b.iter(|| proc_hours(black_box(&trace))));
+    // Figure 3's offered-load series.
+    g.bench_function("fig3_weekly_offered_load", |b| {
+        b.iter(|| weekly_offered_load(black_box(&trace), BENCH_NODES, 33))
+    });
+    g.finish();
+}
+
+fn swf_roundtrip(c: &mut Criterion) {
+    let trace = bench_trace();
+    let text = write_swf_string(&trace, BENCH_NODES, "bench");
+    let mut g = c.benchmark_group("workload/swf");
+    g.bench_function("write", |b| {
+        b.iter(|| write_swf_string(black_box(&trace), BENCH_NODES, "bench"))
+    });
+    g.bench_function("read", |b| b.iter(|| read_swf_str(black_box(&text)).unwrap()));
+    g.bench_function("round_trip", |b| {
+        b.iter_batched(
+            || text.clone(),
+            |t| {
+                let parsed = read_swf_str(&t).unwrap();
+                write_swf_string(&parsed.jobs, BENCH_NODES, "again")
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = generation, tables, swf_roundtrip
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! # fairsched-bench
+//!
+//! Shared fixtures for the Criterion benchmark suite. Each bench target
+//! covers one group of the paper's artifacts:
+//!
+//! | bench target | paper artifacts | what is measured |
+//! |---|---|---|
+//! | `workload_benches` | Tables 1–2, Figures 3–7 | trace generation, SWF round-trip, category/characterization recomputation |
+//! | `policy_benches` | Figures 8–13 | the five "minor change" policy simulations with fairness scoring |
+//! | `conservative_benches` | Figures 14–19 | the conservative/dynamic engines and the full nine-policy sweep |
+//! | `metric_benches` | §4 metrics | hybrid FST observation, CONS_P, resource equality, list-scheduler and profile kernels |
+//! | `ablation_benches` | DESIGN.md ablations | fairshare decay factor, starvation entry delay, runtime-limit value, machine size |
+//!
+//! Benchmarks run on a **scaled** trace (default 10% of Table 1's counts) so
+//! `cargo bench` finishes in minutes; the experiment binaries regenerate the
+//! figures at full scale.
+
+use fairsched_workload::job::Job;
+use fairsched_workload::CplantModel;
+
+/// Machine size used across the benches (the reproduction default).
+pub const BENCH_NODES: u32 = fairsched_workload::synthetic::DEFAULT_NODES;
+
+/// The standard bench trace: 10% of the CPlant job mix, fixed seed.
+pub fn bench_trace() -> Vec<Job> {
+    CplantModel::new(42).with_scale(0.1).generate()
+}
+
+/// A smaller trace for the quadratic-ish metric benches.
+pub fn small_trace() -> Vec<Job> {
+    CplantModel::new(42).with_scale(0.02).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_nonempty_and_deterministic() {
+        let a = bench_trace();
+        let b = bench_trace();
+        assert_eq!(a, b);
+        assert!(a.len() > 1000);
+        assert!(small_trace().len() < a.len());
+    }
+}

@@ -1,0 +1,405 @@
+//! # fairsched-cli
+//!
+//! The command-line face of the workspace. Four subcommands:
+//!
+//! ```text
+//! fairsched generate --seed 42 --scale 0.1 --nodes 1024 --out trace.swf
+//! fairsched simulate --trace trace.swf --policy cplant24.nomax.all
+//! fairsched compare  --trace trace.swf [--policy A --policy B …]
+//! fairsched audit    --trace trace.swf --policy cons.72max
+//! ```
+//!
+//! All logic lives in this library (parsing, dispatch, rendering) so it is
+//! unit-testable; `main.rs` is a two-liner. Argument parsing is hand-rolled:
+//! four flags per command do not justify a dependency.
+
+use fairsched_core::policy::PolicySpec;
+use fairsched_core::runner::run_policy;
+use fairsched_core::sweep::run_policies;
+use fairsched_metrics::fairness::peruser::{heavy_vs_light_miss, per_user};
+use fairsched_workload::swf::{read_swf_file, write_swf_file};
+use fairsched_workload::synthetic::DEFAULT_NODES;
+use fairsched_workload::time::format_duration;
+use fairsched_workload::CplantModel;
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic trace and write it as SWF.
+    Generate {
+        /// Generator seed.
+        seed: u64,
+        /// Fraction of the Table-1 mix.
+        scale: f64,
+        /// Machine size.
+        nodes: u32,
+        /// Output path.
+        out: String,
+    },
+    /// Simulate one policy over a trace and print its metrics.
+    Simulate {
+        /// SWF trace path.
+        trace: String,
+        /// Policy id (see `PolicySpec::by_id`).
+        policy: String,
+        /// Machine size.
+        nodes: u32,
+    },
+    /// Run several policies (default: the paper's nine) side by side.
+    Compare {
+        /// SWF trace path.
+        trace: String,
+        /// Policy ids; empty = the paper's nine.
+        policies: Vec<String>,
+        /// Machine size.
+        nodes: u32,
+    },
+    /// Per-user fairness audit of one policy.
+    Audit {
+        /// SWF trace path.
+        trace: String,
+        /// Policy id.
+        policy: String,
+        /// Machine size.
+        nodes: u32,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+fairsched — parallel job scheduling fairness toolkit
+
+USAGE:
+  fairsched generate [--seed N] [--scale F] [--nodes N] --out FILE.swf
+  fairsched simulate --trace FILE.swf --policy ID [--nodes N]
+  fairsched compare  --trace FILE.swf [--policy ID]... [--nodes N]
+  fairsched audit    --trace FILE.swf --policy ID [--nodes N]
+  fairsched help
+
+POLICY IDS:
+  cplant24.nomax.all   cplant72.nomax.all   cplant24.nomax.fair
+  cplant24.72max.all   cplant72.72max.fair  cons.nomax  cons.72max
+  consdyn.nomax        consdyn.72max        easy.nomax  fcfs.nobackfill
+";
+
+/// Parses argv (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    let rest: Vec<&String> = it.collect();
+
+    let flag = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let flags_all = |name: &str| -> Vec<String> {
+        rest.iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_str() == name)
+            .filter_map(|(i, _)| rest.get(i + 1))
+            .map(|s| s.to_string())
+            .collect()
+    };
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, UsageError> {
+        match flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| UsageError(format!("{name} needs an integer, got {v:?}"))),
+        }
+    };
+    let parse_u32 = |name: &str, default: u32| -> Result<u32, UsageError> {
+        match flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| UsageError(format!("{name} needs an integer, got {v:?}"))),
+        }
+    };
+    let parse_f64 = |name: &str, default: f64| -> Result<f64, UsageError> {
+        match flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| UsageError(format!("{name} needs a number, got {v:?}"))),
+        }
+    };
+    let required = |name: &str| -> Result<String, UsageError> {
+        flag(name).map(str::to_string).ok_or_else(|| UsageError(format!("missing required {name}")))
+    };
+
+    match sub {
+        "generate" => Ok(Command::Generate {
+            seed: parse_u64("--seed", 42)?,
+            scale: {
+                let s = parse_f64("--scale", 1.0)?;
+                if !(s > 0.0 && s <= 1.0) {
+                    return Err(UsageError(format!("--scale must be in (0, 1], got {s}")));
+                }
+                s
+            },
+            nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+            out: required("--out")?,
+        }),
+        "simulate" => Ok(Command::Simulate {
+            trace: required("--trace")?,
+            policy: required("--policy")?,
+            nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+        }),
+        "compare" => Ok(Command::Compare {
+            trace: required("--trace")?,
+            policies: flags_all("--policy"),
+            nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+        }),
+        "audit" => Ok(Command::Audit {
+            trace: required("--trace")?,
+            policy: required("--policy")?,
+            nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(UsageError(format!("unknown subcommand {other:?}; try `fairsched help`"))),
+    }
+}
+
+/// Executes a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate { seed, scale, nodes, out } => {
+            let trace = CplantModel::new(seed).with_nodes(nodes).with_scale(scale).generate();
+            write_swf_file(
+                &out,
+                &trace,
+                nodes,
+                &format!("fairsched generate --seed {seed} --scale {scale} --nodes {nodes}"),
+            )?;
+            Ok(format!("wrote {} jobs to {out}\n", trace.len()))
+        }
+        Command::Simulate { trace, policy, nodes } => {
+            let jobs = load_trace(&trace, nodes)?;
+            let spec = lookup(&policy)?;
+            let outcome = run_policy(&jobs, &spec, nodes);
+            let m = outcome.metrics();
+            let mut out = String::new();
+            writeln!(out, "policy:            {}", outcome.policy)?;
+            writeln!(out, "jobs:              {}", jobs.len())?;
+            writeln!(out, "utilization:       {:.1}%", 100.0 * m.utilization)?;
+            writeln!(out, "loss of capacity:  {:.1}%", 100.0 * m.loss_of_capacity)?;
+            writeln!(out, "avg turnaround:    {}", format_duration(m.average_turnaround as u64))?;
+            writeln!(out, "unfair jobs:       {:.2}%", 100.0 * m.percent_unfair)?;
+            writeln!(out, "avg FST miss:      {}", format_duration(m.average_miss_time as u64))?;
+            Ok(out)
+        }
+        Command::Compare { trace, policies, nodes } => {
+            let jobs = load_trace(&trace, nodes)?;
+            let specs: Vec<PolicySpec> = if policies.is_empty() {
+                PolicySpec::paper_policies()
+            } else {
+                policies.iter().map(|id| lookup(id)).collect::<Result<_, _>>()?
+            };
+            let outcomes = run_policies(&jobs, &specs, nodes);
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{:<22} {:>9} {:>12} {:>14} {:>8}",
+                "policy", "unfair%", "avg miss(s)", "turnaround(s)", "LOC%"
+            )?;
+            for o in &outcomes {
+                let m = o.metrics();
+                writeln!(
+                    out,
+                    "{:<22} {:>8.2}% {:>12.0} {:>14.0} {:>7.2}%",
+                    o.policy,
+                    100.0 * m.percent_unfair,
+                    m.average_miss_time,
+                    m.average_turnaround,
+                    100.0 * m.loss_of_capacity,
+                )?;
+            }
+            Ok(out)
+        }
+        Command::Audit { trace, policy, nodes } => {
+            let jobs = load_trace(&trace, nodes)?;
+            let spec = lookup(&policy)?;
+            let outcome = run_policy(&jobs, &spec, nodes);
+            let users = per_user(&outcome.schedule, &outcome.fairness);
+            let mut out = String::new();
+            writeln!(out, "per-user fairness under {} ({} users):", outcome.policy, users.len())?;
+            writeln!(
+                out,
+                "{:<8} {:>6} {:>14} {:>9} {:>13}",
+                "user", "jobs", "proc-hours", "unfair%", "mean miss(s)"
+            )?;
+            for u in users.iter().take(15) {
+                writeln!(
+                    out,
+                    "{:<8} {:>6} {:>14.0} {:>8.1}% {:>13.0}",
+                    u.user.to_string(),
+                    u.jobs,
+                    u.proc_seconds / 3600.0,
+                    100.0 * u.percent_unfair(),
+                    u.mean_miss(),
+                )?;
+            }
+            let (heavy, light) = heavy_vs_light_miss(&users, 0.1);
+            writeln!(out, "top-10% users mean miss {heavy:.0}s; others {light:.0}s")?;
+            Ok(out)
+        }
+    }
+}
+
+fn lookup(id: &str) -> Result<PolicySpec, UsageError> {
+    PolicySpec::by_id(id)
+        .ok_or_else(|| UsageError(format!("unknown policy {id:?}; try `fairsched help`")))
+}
+
+fn load_trace(
+    path: &str,
+    nodes: u32,
+) -> Result<Vec<fairsched_workload::job::Job>, Box<dyn std::error::Error>> {
+    let parsed = read_swf_file(path)?;
+    if parsed.jobs.is_empty() {
+        return Err(Box::new(UsageError(format!("{path} holds no usable jobs"))));
+    }
+    if let Some(too_wide) = parsed.jobs.iter().find(|j| j.nodes > nodes) {
+        return Err(Box::new(UsageError(format!(
+            "{} requests {} nodes but the machine has {nodes}; pass a larger --nodes",
+            too_wide.id, too_wide.nodes
+        ))));
+    }
+    Ok(parsed.jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_generate_with_defaults_and_overrides() {
+        let cmd = parse(&args("generate --out /tmp/x.swf")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate { seed: 42, scale: 1.0, nodes: DEFAULT_NODES, out: "/tmp/x.swf".into() }
+        );
+        let cmd = parse(&args("generate --seed 7 --scale 0.1 --nodes 256 --out t.swf")).unwrap();
+        assert_eq!(cmd, Command::Generate { seed: 7, scale: 0.1, nodes: 256, out: "t.swf".into() });
+    }
+
+    #[test]
+    fn rejects_bad_flags_with_messages() {
+        assert!(parse(&args("generate")).unwrap_err().0.contains("--out"));
+        assert!(parse(&args("generate --scale 2.0 --out x")).unwrap_err().0.contains("--scale"));
+        assert!(parse(&args("generate --seed abc --out x")).unwrap_err().0.contains("--seed"));
+        assert!(parse(&args("frobnicate")).unwrap_err().0.contains("unknown subcommand"));
+        assert!(parse(&args("simulate --trace t.swf")).unwrap_err().0.contains("--policy"));
+    }
+
+    #[test]
+    fn compare_collects_repeated_policy_flags() {
+        let cmd = parse(&args("compare --trace t.swf --policy cons.nomax --policy easy.nomax"))
+            .unwrap();
+        match cmd {
+            Command::Compare { policies, .. } => {
+                assert_eq!(policies, vec!["cons.nomax", "easy.nomax"]);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+        let text = execute(Command::Help).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("cons.72max"));
+    }
+
+    #[test]
+    fn end_to_end_generate_simulate_compare_audit() {
+        let dir = std::env::temp_dir().join("fairsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.swf");
+        let out = execute(Command::Generate {
+            seed: 3,
+            scale: 0.02,
+            nodes: 1024,
+            out: path.to_str().unwrap().into(),
+        })
+        .unwrap();
+        assert!(out.contains("wrote"));
+
+        let sim = execute(Command::Simulate {
+            trace: path.to_str().unwrap().into(),
+            policy: "cplant24.nomax.all".into(),
+            nodes: 1024,
+        })
+        .unwrap();
+        assert!(sim.contains("utilization"));
+        assert!(sim.contains("avg FST miss"));
+
+        let cmp = execute(Command::Compare {
+            trace: path.to_str().unwrap().into(),
+            policies: vec!["cons.nomax".into(), "easy.nomax".into()],
+            nodes: 1024,
+        })
+        .unwrap();
+        assert!(cmp.contains("cons.nomax"));
+        assert!(cmp.contains("easy.nomax"));
+
+        let audit = execute(Command::Audit {
+            trace: path.to_str().unwrap().into(),
+            policy: "cons.72max".into(),
+            nodes: 1024,
+        })
+        .unwrap();
+        assert!(audit.contains("per-user fairness"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_policy_and_missing_file_error_cleanly() {
+        let err = execute(Command::Simulate {
+            trace: "/nonexistent.swf".into(),
+            policy: "cplant24.nomax.all".into(),
+            nodes: 1024,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("nonexistent") || err.to_string().contains("No such file"));
+
+        assert!(lookup("not-a-policy").is_err());
+    }
+
+    #[test]
+    fn too_wide_trace_is_a_usage_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("fairsched-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wide.swf");
+        let jobs = vec![fairsched_workload::job::Job::new(1, 1, 1, 0, 512, 100, 100)];
+        fairsched_workload::swf::write_swf_file(&path, &jobs, 512, "wide").unwrap();
+        let err = execute(Command::Simulate {
+            trace: path.to_str().unwrap().into(),
+            policy: "cons.nomax".into(),
+            nodes: 64,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("--nodes"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

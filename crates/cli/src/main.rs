@@ -1,0 +1,19 @@
+//! `fairsched` binary entry point: parse, execute, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match fairsched_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", fairsched_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match fairsched_cli::execute(command) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

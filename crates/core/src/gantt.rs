@@ -1,0 +1,188 @@
+//! ASCII schedule visualization: the paper's Figures 1–2 as renderable
+//! output for any simulated schedule.
+//!
+//! Two views:
+//! * [`gantt`] — one row per job, a bar from start to end (readable for up
+//!   to a few dozen jobs; larger schedules are truncated with a note);
+//! * [`utilization_strip`] — one character column per time slice showing
+//!   machine occupancy 0–9 plus `#` for full, for schedules of any size.
+
+use fairsched_sim::{JobRecord, Schedule};
+use fairsched_workload::time::{format_duration, Time};
+use std::fmt::Write as _;
+
+/// Maximum rows [`gantt`] prints before truncating.
+pub const MAX_GANTT_ROWS: usize = 48;
+
+/// Renders a per-job Gantt chart, `cols` characters wide, jobs sorted by
+/// start time. `.` marks queued wait (submit → start), `█` marks execution.
+pub fn gantt(schedule: &Schedule, cols: usize) -> String {
+    assert!(cols >= 10, "need at least 10 columns");
+    let records = &schedule.records;
+    if records.is_empty() {
+        return "(empty schedule)\n".to_string();
+    }
+    let t0 = records.iter().map(|r| r.submit).min().expect("non-empty");
+    let t1 = records.iter().map(|r| r.end).max().expect("non-empty");
+    let span = (t1 - t0).max(1);
+    let scale = |t: Time| -> usize { ((t - t0) as u128 * cols as u128 / span as u128) as usize };
+
+    let mut rows: Vec<&JobRecord> = records.iter().collect();
+    rows.sort_by_key(|r| (r.start, r.id));
+    let truncated = rows.len() > MAX_GANTT_ROWS;
+    rows.truncate(MAX_GANTT_ROWS);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "time 0 = {t0}s, full width = {} ({} jobs)",
+        format_duration(span),
+        records.len()
+    )
+    .expect("write to String");
+    for r in rows {
+        let submit_col = scale(r.submit).min(cols - 1);
+        let start_col = scale(r.start).min(cols - 1);
+        let end_col = scale(r.end).clamp(start_col + 1, cols);
+        let mut bar = vec![b' '; cols];
+        for c in bar.iter_mut().take(start_col).skip(submit_col) {
+            *c = b'.';
+        }
+        for c in bar.iter_mut().take(end_col).skip(start_col) {
+            *c = b'#';
+        }
+        writeln!(
+            out,
+            "{:>6} {:>4}n |{}|{}",
+            r.id.to_string(),
+            r.nodes,
+            String::from_utf8(bar).expect("ASCII"),
+            if r.killed { " (killed)" } else { "" },
+        )
+        .expect("write to String");
+    }
+    if truncated {
+        writeln!(out, "… {} more jobs not shown", records.len() - MAX_GANTT_ROWS)
+            .expect("write to String");
+    }
+    out
+}
+
+/// Renders machine occupancy over time as one line: digits are deciles of
+/// utilization (`0` = idle … `9` = ≥90%), `#` = completely full.
+pub fn utilization_strip(schedule: &Schedule, cols: usize) -> String {
+    assert!(cols >= 10);
+    let records = &schedule.records;
+    if records.is_empty() {
+        return "(empty schedule)\n".to_string();
+    }
+    let t0 = records.iter().map(|r| r.start).min().expect("non-empty");
+    let t1 = records.iter().map(|r| r.end).max().expect("non-empty");
+    let span = (t1 - t0).max(1);
+
+    // Busy node-seconds per column via exact interval intersection.
+    let col_span = span as f64 / cols as f64;
+    let mut busy = vec![0.0f64; cols];
+    for r in records {
+        let s = (r.start - t0) as f64;
+        let e = (r.end - t0) as f64;
+        let first = (s / col_span).floor() as usize;
+        let last = ((e / col_span).ceil() as usize).min(cols);
+        for (c, b) in busy.iter_mut().enumerate().take(last).skip(first) {
+            let cs = c as f64 * col_span;
+            let ce = cs + col_span;
+            let overlap = (e.min(ce) - s.max(cs)).max(0.0);
+            *b += overlap * r.nodes as f64;
+        }
+    }
+    let cap = schedule.nodes as f64 * col_span;
+    let mut strip = String::with_capacity(cols + 16);
+    strip.push('|');
+    for b in busy {
+        let frac = (b / cap).clamp(0.0, 1.0);
+        strip.push(if frac >= 0.999 {
+            '#'
+        } else {
+            char::from_digit((frac * 10.0) as u32, 10).expect("single digit")
+        });
+    }
+    strip.push('|');
+    strip.push('\n');
+    strip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_sim::{simulate, EngineKind, NullObserver, SimConfig};
+    use fairsched_workload::job::Job;
+
+    fn schedule(trace: &[Job], nodes: u32, engine: EngineKind) -> Schedule {
+        let cfg = SimConfig { nodes, engine, ..Default::default() };
+        simulate(trace, &cfg, &mut NullObserver)
+    }
+
+    #[test]
+    fn gantt_shows_wait_and_run_phases() {
+        // Job 2 waits 100s behind job 1.
+        let trace = [
+            Job::new(1, 1, 1, 0, 10, 100, 100),
+            Job::new(2, 2, 1, 0, 10, 100, 100),
+        ];
+        let s = schedule(&trace, 10, EngineKind::NoGuarantee);
+        let g = gantt(&s, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 jobs
+        // Job 1 runs from the left edge.
+        assert!(lines[1].contains("j1"));
+        assert!(lines[1].contains("|##"));
+        // Job 2 shows dots (wait) before its bar.
+        assert!(lines[2].contains("j2"));
+        assert!(lines[2].contains(".#") || lines[2].contains(". #"));
+    }
+
+    #[test]
+    fn gantt_marks_killed_jobs() {
+        let trace = [Job::new(1, 1, 1, 0, 10, 1000, 100), Job::new(2, 2, 1, 50, 10, 50, 50)];
+        let s = schedule(&trace, 10, EngineKind::NoGuarantee);
+        let g = gantt(&s, 40);
+        assert!(g.contains("(killed)"));
+    }
+
+    #[test]
+    fn gantt_truncates_large_schedules() {
+        let trace = fairsched_workload::synthetic::random_trace(3, 200, 10, 1000);
+        let s = schedule(&trace, 10, EngineKind::NoGuarantee);
+        let g = gantt(&s, 60);
+        assert!(g.contains("more jobs not shown"));
+        assert!(g.lines().count() <= MAX_GANTT_ROWS + 2);
+    }
+
+    #[test]
+    fn utilization_strip_reflects_occupancy() {
+        // Half the machine busy the whole time → all '5' columns.
+        let trace = [Job::new(1, 1, 1, 0, 5, 1000, 1000)];
+        let s = schedule(&trace, 10, EngineKind::NoGuarantee);
+        let strip = utilization_strip(&s, 20);
+        let inner: String =
+            strip.trim_end().trim_matches('|').chars().collect();
+        assert_eq!(inner.len(), 20);
+        assert!(inner.chars().all(|c| c == '5'), "{strip}");
+    }
+
+    #[test]
+    fn utilization_strip_shows_full_machine_as_hash() {
+        let trace = [Job::new(1, 1, 1, 0, 10, 1000, 1000)];
+        let s = schedule(&trace, 10, EngineKind::NoGuarantee);
+        let strip = utilization_strip(&s, 15);
+        assert!(strip.contains('#'));
+        assert!(!strip.contains('5'));
+    }
+
+    #[test]
+    fn empty_schedules_render_gracefully() {
+        let s = schedule(&[], 10, EngineKind::NoGuarantee);
+        assert_eq!(gantt(&s, 40), "(empty schedule)\n");
+        assert_eq!(utilization_strip(&s, 40), "(empty schedule)\n");
+    }
+}

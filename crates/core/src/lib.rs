@@ -1,0 +1,46 @@
+//! # fairsched-core
+//!
+//! The paper's contribution as a library: the fairness-directed scheduling
+//! policies of §5 and the experiment machinery that evaluates them with the
+//! hybrid fairshare fairness metric of §4.1.
+//!
+//! * [`policy`] — the nine named policies of §5.5 (plus an EASY comparison
+//!   point) as declarative [`policy::PolicySpec`]s;
+//! * [`runner`] — run one (trace, policy) pair and collect every metric the
+//!   paper reports ([`runner::PolicyOutcome`]);
+//! * [`sweep`] — fan a policy set out across threads (each policy's
+//!   simulation is independent; `std::thread::scope` keeps it data-race
+//!   free by construction);
+//! * [`report`] — fixed-width text rendering of the figure/table rows the
+//!   experiment binaries print;
+//! * [`gantt`] — ASCII schedule visualization (per-job Gantt bars and a
+//!   machine-occupancy strip), the paper's Figures 1–2 for any schedule.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fairsched_core::policy::PolicySpec;
+//! use fairsched_core::runner::run_policy;
+//! use fairsched_workload::CplantModel;
+//!
+//! // A thin slice of the CPlant-like workload on a small machine.
+//! let trace = CplantModel::new(42).with_scale(0.02).generate();
+//! let baseline = PolicySpec::by_id("cplant24.nomax.all").unwrap();
+//! let outcome = run_policy(&trace, &baseline, 1024);
+//! println!(
+//!     "{}: {:.1}% unfair, mean miss {:.0}s",
+//!     outcome.policy,
+//!     100.0 * outcome.fairness.percent_unfair(),
+//!     outcome.fairness.average_miss_time(),
+//! );
+//! ```
+
+pub mod gantt;
+pub mod policy;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use policy::PolicySpec;
+pub use runner::{run_policy, OutcomeMetrics, PolicyOutcome};
+pub use sweep::run_policies;

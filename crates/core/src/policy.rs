@@ -1,0 +1,216 @@
+//! The scheduling policies under study (§5.5), as data.
+//!
+//! A [`PolicySpec`] is the declarative description of one row of the
+//! paper's figures: which backfilling engine, what starvation-queue rules,
+//! and whether a maximum-runtime limit applies. [`PolicySpec::sim_config`]
+//! lowers it onto the simulator.
+
+use fairsched_sim::{
+    EngineKind, HeavyUserRule, RuntimeLimit, SimConfig, StarvationConfig,
+};
+use fairsched_workload::time::HOUR;
+
+/// The 72-hour maximum runtime §5.1 proposes.
+pub const RUNTIME_LIMIT_72H: RuntimeLimit = RuntimeLimit { limit: 72 * HOUR };
+
+/// A named scheduling policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySpec {
+    /// The paper's identifier, e.g. `"cplant24.nomax.all"`.
+    pub id: &'static str,
+    /// Backfilling engine.
+    pub engine: EngineKind,
+    /// Starvation queue (no-guarantee policies only).
+    pub starvation: Option<StarvationConfig>,
+    /// Maximum-runtime chunking, if any.
+    pub runtime_limit: Option<RuntimeLimit>,
+}
+
+impl PolicySpec {
+    const fn cplant(
+        id: &'static str,
+        entry_hours: u64,
+        heavy_barred: bool,
+        limited: bool,
+    ) -> PolicySpec {
+        PolicySpec {
+            id,
+            engine: EngineKind::NoGuarantee,
+            starvation: Some(StarvationConfig {
+                entry_delay: entry_hours * HOUR,
+                heavy_rule: if heavy_barred {
+                    Some(HeavyUserRule { mean_multiple: 2.0 })
+                } else {
+                    None
+                },
+            }),
+            runtime_limit: if limited { Some(RUNTIME_LIMIT_72H) } else { None },
+        }
+    }
+
+    const fn conservative(id: &'static str, dynamic: bool, limited: bool) -> PolicySpec {
+        PolicySpec {
+            id,
+            engine: if dynamic {
+                EngineKind::ConservativeDynamic
+            } else {
+                EngineKind::Conservative
+            },
+            starvation: None,
+            runtime_limit: if limited { Some(RUNTIME_LIMIT_72H) } else { None },
+        }
+    }
+
+    /// The original CPlant scheduler: no-guarantee backfilling, fairshare
+    /// order, 24 h starvation entry, open to all users, no runtime limit.
+    pub const fn baseline() -> PolicySpec {
+        PolicySpec::cplant("cplant24.nomax.all", 24, false, false)
+    }
+
+    /// All nine policies of §5.5, in the paper's order.
+    pub fn paper_policies() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::baseline(),
+            PolicySpec::cplant("cplant72.nomax.all", 72, false, false),
+            PolicySpec::cplant("cplant24.nomax.fair", 24, true, false),
+            PolicySpec::cplant("cplant24.72max.all", 24, false, true),
+            PolicySpec::cplant("cplant72.72max.fair", 72, true, true),
+            PolicySpec::conservative("cons.nomax", false, false),
+            PolicySpec::conservative("cons.72max", false, true),
+            PolicySpec::conservative("consdyn.nomax", true, false),
+            PolicySpec::conservative("consdyn.72max", true, true),
+        ]
+    }
+
+    /// The "minor changes" subset (§6.1, Figures 8–13): the baseline plus
+    /// the four small modifications.
+    pub fn minor_policies() -> Vec<PolicySpec> {
+        PolicySpec::paper_policies().into_iter().take(5).collect()
+    }
+
+    /// The conservative comparison set (§6.2, Figures 16 and 18): the
+    /// baseline plus the four conservative variants.
+    pub fn conservative_set() -> Vec<PolicySpec> {
+        let all = PolicySpec::paper_policies();
+        let mut out = vec![all[0].clone()];
+        out.extend(all.into_iter().skip(5));
+        out
+    }
+
+    /// Aggressive (EASY) backfilling with the fairshare order — not one of
+    /// the paper's nine, but described in its introduction; used by the
+    /// extension benches.
+    pub const fn easy() -> PolicySpec {
+        PolicySpec {
+            id: "easy.nomax",
+            engine: EngineKind::Easy,
+            starvation: None,
+            runtime_limit: None,
+        }
+    }
+
+    /// Strict FCFS without backfilling — the §1 strawman (Figure 1): fair
+    /// in arrival order but with poor utilization. Reference point for the
+    /// claims the paper builds on.
+    pub const fn fcfs_no_backfill() -> PolicySpec {
+        PolicySpec {
+            id: "fcfs.nobackfill",
+            engine: EngineKind::FcfsNoBackfill,
+            starvation: None,
+            runtime_limit: None,
+        }
+    }
+
+    /// Looks a policy up by its paper identifier (the nine of §5.5 plus the
+    /// `"easy.nomax"` and `"fcfs.nobackfill"` reference points).
+    pub fn by_id(id: &str) -> Option<PolicySpec> {
+        match id {
+            "easy.nomax" => Some(PolicySpec::easy()),
+            "fcfs.nobackfill" => Some(PolicySpec::fcfs_no_backfill()),
+            _ => PolicySpec::paper_policies().into_iter().find(|p| p.id == id),
+        }
+    }
+
+    /// Lowers this policy onto a simulator configuration for a
+    /// `nodes`-wide machine. Everything not policy-specific (fairshare
+    /// decay, queue order, kill rule) keeps the CPlant defaults.
+    pub fn sim_config(&self, nodes: u32) -> SimConfig {
+        SimConfig {
+            nodes,
+            engine: self.engine,
+            starvation: self.starvation,
+            runtime_limit: self.runtime_limit,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_sim::QueueOrder;
+
+    #[test]
+    fn there_are_exactly_nine_paper_policies_with_the_published_names() {
+        let names: Vec<&str> = PolicySpec::paper_policies().iter().map(|p| p.id).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cplant24.nomax.all",
+                "cplant72.nomax.all",
+                "cplant24.nomax.fair",
+                "cplant24.72max.all",
+                "cplant72.72max.fair",
+                "cons.nomax",
+                "cons.72max",
+                "consdyn.nomax",
+                "consdyn.72max",
+            ]
+        );
+    }
+
+    #[test]
+    fn policy_knobs_match_their_names() {
+        let p = PolicySpec::by_id("cplant72.72max.fair").unwrap();
+        let s = p.starvation.unwrap();
+        assert_eq!(s.entry_delay, 72 * HOUR);
+        assert!(s.heavy_rule.is_some());
+        assert_eq!(p.runtime_limit, Some(RUNTIME_LIMIT_72H));
+        assert_eq!(p.engine, EngineKind::NoGuarantee);
+
+        let c = PolicySpec::by_id("consdyn.nomax").unwrap();
+        assert_eq!(c.engine, EngineKind::ConservativeDynamic);
+        assert!(c.starvation.is_none());
+        assert!(c.runtime_limit.is_none());
+
+        let c72 = PolicySpec::by_id("cons.72max").unwrap();
+        assert_eq!(c72.engine, EngineKind::Conservative);
+        assert_eq!(c72.runtime_limit, Some(RUNTIME_LIMIT_72H));
+    }
+
+    #[test]
+    fn subsets_match_the_figures() {
+        let minor: Vec<&str> = PolicySpec::minor_policies().iter().map(|p| p.id).collect();
+        assert_eq!(minor.len(), 5);
+        assert!(minor.iter().all(|n| n.starts_with("cplant")));
+
+        let cons: Vec<&str> = PolicySpec::conservative_set().iter().map(|p| p.id).collect();
+        assert_eq!(
+            cons,
+            vec!["cplant24.nomax.all", "cons.nomax", "cons.72max", "consdyn.nomax", "consdyn.72max"]
+        );
+    }
+
+    #[test]
+    fn sim_config_keeps_cplant_defaults() {
+        let cfg = PolicySpec::baseline().sim_config(512);
+        assert_eq!(cfg.nodes, 512);
+        assert_eq!(cfg.order, QueueOrder::Fairshare);
+        assert_eq!(cfg.engine, EngineKind::NoGuarantee);
+    }
+
+    #[test]
+    fn unknown_ids_return_none() {
+        assert!(PolicySpec::by_id("cplant48.nomax.all").is_none());
+    }
+}

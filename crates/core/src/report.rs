@@ -1,0 +1,130 @@
+//! Text rendering of the paper's figure/table rows.
+//!
+//! The experiment binaries print fixed-width tables: one row per policy for
+//! the aggregate figures, and a policy × width-bucket matrix for the
+//! by-width figures. Values render with the same units the paper plots
+//! (percent for unfairness/LOC, seconds for times).
+
+use fairsched_workload::categories::{WIDTH_BUCKETS, WIDTH_LABELS};
+
+/// One `policy → value` table (Figures 8, 9, 11, 13, 14, 15, 17, 19).
+pub fn policy_table(title: &str, unit: &str, rows: &[(String, f64)]) -> String {
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(6).max(6);
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{:<name_w$}  {unit:>14}\n", "policy"));
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<name_w$}  {:>14}\n", format_value(*value, unit)));
+    }
+    out
+}
+
+/// A policy × width-bucket matrix (Figures 10, 12, 16, 18).
+pub fn width_matrix(
+    title: &str,
+    unit: &str,
+    rows: &[(String, [f64; WIDTH_BUCKETS])],
+) -> String {
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(6).max(6);
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ({unit}) ==\n"));
+    out.push_str(&format!("{:<name_w$}", "policy"));
+    for label in WIDTH_LABELS {
+        out.push_str(&format!(" {label:>9}"));
+    }
+    out.push('\n');
+    for (name, values) in rows {
+        out.push_str(&format!("{name:<name_w$}"));
+        for v in values {
+            out.push_str(&format!(" {:>9.0}", v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a value with its unit: percentages as `12.34%`, seconds rounded
+/// to whole seconds, anything else with two decimals.
+pub fn format_value(value: f64, unit: &str) -> String {
+    match unit {
+        "%" => format!("{:.2}%", value * 100.0),
+        "seconds" | "s" => format!("{value:.0}"),
+        _ => format!("{value:.2}"),
+    }
+}
+
+/// CSV rendering of a policy table, for downstream plotting.
+pub fn policy_table_csv(metric: &str, rows: &[(String, f64)]) -> String {
+    let mut out = format!("policy,{metric}\n");
+    for (name, value) in rows {
+        out.push_str(&format!("{name},{value}\n"));
+    }
+    out
+}
+
+/// CSV rendering of a width matrix.
+pub fn width_matrix_csv(metric: &str, rows: &[(String, [f64; WIDTH_BUCKETS])]) -> String {
+    let mut out = String::from("policy");
+    for label in WIDTH_LABELS {
+        out.push_str(&format!(",{label}"));
+    }
+    out.push('\n');
+    for (name, values) in rows {
+        out.push_str(name);
+        for v in values {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    let _ = metric;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_table_renders_percentages() {
+        let rows = vec![
+            ("cplant24.nomax.all".to_string(), 0.0832),
+            ("cons.72max".to_string(), 0.0211),
+        ];
+        let t = policy_table("Percent Unfair Jobs", "%", &rows);
+        assert!(t.contains("8.32%"));
+        assert!(t.contains("2.11%"));
+        assert!(t.contains("cplant24.nomax.all"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn policy_table_renders_seconds_rounded() {
+        let rows = vec![("cons.nomax".to_string(), 67_881.4)];
+        let t = policy_table("Average Miss Time", "seconds", &rows);
+        assert!(t.contains("67881"));
+        assert!(!t.contains("67881.4"));
+    }
+
+    #[test]
+    fn width_matrix_has_all_eleven_columns() {
+        let rows = vec![("x".to_string(), [1.0; WIDTH_BUCKETS])];
+        let t = width_matrix("Miss by Width", "seconds", &rows);
+        let header = t.lines().nth(1).unwrap();
+        for label in WIDTH_LABELS {
+            assert!(header.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn csv_outputs_are_machine_readable() {
+        let rows = vec![("a".to_string(), 0.5), ("b".to_string(), 1.25)];
+        let csv = policy_table_csv("loc", &rows);
+        assert_eq!(csv, "policy,loc\na,0.5\nb,1.25\n");
+
+        let wrows = vec![("a".to_string(), [2.0; WIDTH_BUCKETS])];
+        let wcsv = width_matrix_csv("miss", &wrows);
+        assert!(wcsv.starts_with("policy,1,2,3-4"));
+        assert_eq!(wcsv.lines().count(), 2);
+        assert_eq!(wcsv.lines().nth(1).unwrap().split(',').count(), 12);
+    }
+}

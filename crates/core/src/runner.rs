@@ -1,0 +1,130 @@
+//! Run one (trace, policy) pair and collect everything the paper reports.
+
+use crate::policy::PolicySpec;
+use fairsched_metrics::fairness::fst::FstReport;
+use fairsched_metrics::fairness::hybrid::HybridFstObserver;
+use fairsched_metrics::user;
+use fairsched_sim::{simulate, OriginalOutcome, Schedule};
+use fairsched_workload::categories::WIDTH_BUCKETS;
+use fairsched_workload::job::Job;
+
+/// The full result of evaluating one policy on one trace.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The policy's paper identifier.
+    pub policy: String,
+    /// The raw schedule (per-submission records and exact integrals).
+    pub schedule: Schedule,
+    /// The hybrid fairshare fairness report (§4.1), scored per submission.
+    pub fairness: FstReport,
+}
+
+/// The scalar summary of one policy run — one bar in each of the paper's
+/// aggregate figures, plus the two by-width series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeMetrics {
+    /// Fraction of submissions that missed their fair start (Figures 8/14).
+    pub percent_unfair: f64,
+    /// Average miss time in seconds per Equation 5 (Figures 9/15).
+    pub average_miss_time: f64,
+    /// Average turnaround of original jobs in seconds (Figures 11/17).
+    pub average_turnaround: f64,
+    /// Loss of capacity per Equation 4 (Figures 13/19).
+    pub loss_of_capacity: f64,
+    /// Utilization per Equation 2.
+    pub utilization: f64,
+    /// Average miss time per width bucket (Figures 10/16).
+    pub miss_by_width: [f64; WIDTH_BUCKETS],
+    /// Average turnaround per width bucket (Figures 12/18).
+    pub turnaround_by_width: [f64; WIDTH_BUCKETS],
+}
+
+impl PolicyOutcome {
+    /// Original-job outcomes (chunk chains collapsed).
+    pub fn originals(&self) -> Vec<OriginalOutcome> {
+        self.schedule.originals()
+    }
+
+    /// Computes the scalar summary.
+    pub fn metrics(&self) -> OutcomeMetrics {
+        let originals = self.originals();
+        OutcomeMetrics {
+            percent_unfair: self.fairness.percent_unfair(),
+            average_miss_time: self.fairness.average_miss_time(),
+            average_turnaround: user::average_turnaround(&originals),
+            loss_of_capacity: self.schedule.loss_of_capacity(),
+            utilization: self.schedule.utilization(),
+            miss_by_width: self.fairness.miss_by_width(),
+            turnaround_by_width: user::turnaround_by_width(&originals),
+        }
+    }
+}
+
+/// Evaluates one policy on a trace with the hybrid fairness observer
+/// attached. Deterministic: equal inputs give equal outcomes.
+pub fn run_policy(trace: &[Job], policy: &PolicySpec, nodes: u32) -> PolicyOutcome {
+    let cfg = policy.sim_config(nodes);
+    let mut observer = HybridFstObserver::new();
+    let schedule = simulate(trace, &cfg, &mut observer);
+    PolicyOutcome {
+        policy: policy.id.to_string(),
+        schedule,
+        fairness: observer.into_report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_workload::CplantModel;
+
+    fn small_trace() -> Vec<Job> {
+        CplantModel::new(17).with_scale(0.02).generate()
+    }
+
+    #[test]
+    fn outcome_scores_every_submission() {
+        let trace = small_trace();
+        let out = run_policy(&trace, &PolicySpec::baseline(), 1024);
+        assert_eq!(out.policy, "cplant24.nomax.all");
+        // No runtime limit: records = submissions = trace jobs.
+        assert_eq!(out.schedule.records.len(), trace.len());
+        assert_eq!(out.fairness.entries.len(), trace.len());
+        assert_eq!(out.originals().len(), trace.len());
+    }
+
+    #[test]
+    fn chunked_policy_scores_chunks_but_aggregates_originals() {
+        let trace = small_trace();
+        let p = PolicySpec::by_id("cplant24.72max.all").unwrap();
+        let out = run_policy(&trace, &p, 1024);
+        // Chunking multiplies submissions but the originals stay fixed.
+        assert!(out.schedule.records.len() >= trace.len());
+        assert_eq!(out.originals().len(), trace.len());
+        assert_eq!(out.fairness.entries.len(), out.schedule.records.len());
+    }
+
+    #[test]
+    fn metrics_are_finite_and_in_range() {
+        let trace = small_trace();
+        let out = run_policy(&trace, &PolicySpec::by_id("cons.nomax").unwrap(), 1024);
+        let m = out.metrics();
+        assert!((0.0..=1.0).contains(&m.percent_unfair));
+        assert!((0.0..=1.0).contains(&m.loss_of_capacity));
+        assert!((0.0..=1.0).contains(&m.utilization));
+        assert!(m.average_miss_time >= 0.0 && m.average_miss_time.is_finite());
+        assert!(m.average_turnaround > 0.0 && m.average_turnaround.is_finite());
+        assert!(m.miss_by_width.iter().all(|v| v.is_finite()));
+        assert!(m.turnaround_by_width.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = small_trace();
+        let p = PolicySpec::by_id("consdyn.nomax").unwrap();
+        let a = run_policy(&trace, &p, 1024);
+        let b = run_policy(&trace, &p, 1024);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.fairness, b.fairness);
+    }
+}

@@ -1,0 +1,197 @@
+//! The allocator abstraction and the counting (capacity-only) allocator.
+//!
+//! Schedulers ask two questions: *can a `k`-node job be placed right now?*
+//! and *place it / release it*. The [`Allocator`] trait answers both; which
+//! concrete nodes are chosen is the CPA's business, not the scheduler's.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An opaque token identifying a placed job inside an allocator.
+pub type AllocId = u64;
+
+/// The node set handed to a job. For the counting allocator the vector is
+/// empty (only the count is tracked); linear allocators list concrete node
+/// indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Allocator-internal identity, needed to release.
+    pub id: AllocId,
+    /// Number of nodes granted (always the number requested).
+    pub count: u32,
+    /// Concrete node indices, sorted ascending; empty when the allocator
+    /// does not track placement.
+    pub nodes: Vec<u32>,
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Fewer than `requested` nodes are free anywhere in the machine.
+    InsufficientCapacity {
+        /// Nodes asked for.
+        requested: u32,
+        /// Nodes currently free.
+        free: u32,
+    },
+    /// A zero-node request (always a caller bug).
+    ZeroNodes,
+    /// The token was not live (double release or forged id).
+    UnknownAllocation(AllocId),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::InsufficientCapacity { requested, free } => {
+                write!(f, "requested {requested} nodes, only {free} free")
+            }
+            AllocError::ZeroNodes => write!(f, "zero-node allocation request"),
+            AllocError::UnknownAllocation(id) => write!(f, "unknown allocation {id}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A node allocator for a fixed-size machine.
+///
+/// Invariants every implementation upholds (checked by the shared
+/// property-test suite in this crate):
+/// * `free() + in_use() == size()` at all times;
+/// * `allocate(k)` succeeds **iff** `k <= free()` — CPlant's CPA never
+///   refuses a job that fits by count (it scatters when it must), so
+///   fragmentation shows up in placement quality, not placement failure;
+/// * released nodes become reusable immediately.
+pub trait Allocator {
+    /// Total machine size in nodes.
+    fn size(&self) -> u32;
+
+    /// Nodes currently free.
+    fn free(&self) -> u32;
+
+    /// Nodes currently allocated.
+    fn in_use(&self) -> u32 {
+        self.size() - self.free()
+    }
+
+    /// Places a `count`-node job, returning the granted allocation.
+    fn allocate(&mut self, count: u32) -> Result<Allocation, AllocError>;
+
+    /// Releases a previously granted allocation.
+    fn release(&mut self, id: AllocId) -> Result<(), AllocError>;
+}
+
+/// The capacity-only allocator: tracks *how many* nodes each job holds and
+/// nothing about *which*. This is what the paper's event-driven simulator
+/// models (it reports loss of capacity, not fragmentation).
+#[derive(Debug, Clone, Default)]
+pub struct CountingAllocator {
+    size: u32,
+    free: u32,
+    live: HashMap<AllocId, u32>,
+    next_id: AllocId,
+}
+
+impl CountingAllocator {
+    /// An empty machine of `size` nodes.
+    pub fn new(size: u32) -> Self {
+        CountingAllocator { size, free: size, live: HashMap::new(), next_id: 0 }
+    }
+}
+
+impl Allocator for CountingAllocator {
+    fn size(&self) -> u32 {
+        self.size
+    }
+
+    fn free(&self) -> u32 {
+        self.free
+    }
+
+    fn allocate(&mut self, count: u32) -> Result<Allocation, AllocError> {
+        if count == 0 {
+            return Err(AllocError::ZeroNodes);
+        }
+        if count > self.free {
+            return Err(AllocError::InsufficientCapacity { requested: count, free: self.free });
+        }
+        self.free -= count;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, count);
+        Ok(Allocation { id, count, nodes: Vec::new() })
+    }
+
+    fn release(&mut self, id: AllocId) -> Result<(), AllocError> {
+        let count = self.live.remove(&id).ok_or(AllocError::UnknownAllocation(id))?;
+        self.free += count;
+        debug_assert!(self.free <= self.size);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_allocator_tracks_capacity() {
+        let mut a = CountingAllocator::new(100);
+        assert_eq!(a.size(), 100);
+        assert_eq!(a.free(), 100);
+        assert_eq!(a.in_use(), 0);
+
+        let x = a.allocate(60).unwrap();
+        assert_eq!(x.count, 60);
+        assert!(x.nodes.is_empty());
+        assert_eq!(a.free(), 40);
+
+        let y = a.allocate(40).unwrap();
+        assert_eq!(a.free(), 0);
+
+        a.release(x.id).unwrap();
+        assert_eq!(a.free(), 60);
+        a.release(y.id).unwrap();
+        assert_eq!(a.free(), 100);
+    }
+
+    #[test]
+    fn allocate_fails_exactly_when_over_capacity() {
+        let mut a = CountingAllocator::new(10);
+        assert_eq!(
+            a.allocate(11),
+            Err(AllocError::InsufficientCapacity { requested: 11, free: 10 })
+        );
+        let x = a.allocate(10).unwrap();
+        assert_eq!(
+            a.allocate(1),
+            Err(AllocError::InsufficientCapacity { requested: 1, free: 0 })
+        );
+        a.release(x.id).unwrap();
+        assert!(a.allocate(10).is_ok());
+    }
+
+    #[test]
+    fn zero_node_requests_are_rejected() {
+        let mut a = CountingAllocator::new(10);
+        assert_eq!(a.allocate(0), Err(AllocError::ZeroNodes));
+    }
+
+    #[test]
+    fn double_release_is_an_error() {
+        let mut a = CountingAllocator::new(10);
+        let x = a.allocate(5).unwrap();
+        a.release(x.id).unwrap();
+        assert_eq!(a.release(x.id), Err(AllocError::UnknownAllocation(x.id)));
+        assert_eq!(a.free(), 10);
+    }
+
+    #[test]
+    fn allocation_ids_are_unique() {
+        let mut a = CountingAllocator::new(10);
+        let x = a.allocate(1).unwrap();
+        let y = a.allocate(1).unwrap();
+        assert_ne!(x.id, y.id);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fragmentation and placement-quality metrics.
+//!
+//! The CPA exists to keep allocations compact; these metrics quantify how
+//! well it is doing. Machine-level metrics read the free map; per-allocation
+//! metrics score a granted node set.
+
+/// Physical span of an allocation: distance between its lowest and highest
+/// node (0 for a single node). Sorted or unsorted input accepted.
+pub fn span(nodes: &[u32]) -> u32 {
+    match (nodes.iter().min(), nodes.iter().max()) {
+        (Some(&lo), Some(&hi)) => hi - lo,
+        _ => 0,
+    }
+}
+
+/// Sum of pairwise distances between allocated nodes — the objective the
+/// CPlant allocation papers optimize (proxy for total communication cost).
+pub fn pairwise_distance_sum(nodes: &[u32]) -> u64 {
+    // For sorted values x_1..x_n, Σ_{i<j} (x_j - x_i) =
+    // Σ_i x_i * (2i - n + 1), computable in one pass after sorting.
+    let mut sorted: Vec<u32> = nodes.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as i64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| x as i64 * (2 * i as i64 - n + 1))
+        .sum::<i64>()
+        .max(0) as u64
+}
+
+/// Number of maximal contiguous free runs.
+pub fn fragment_count(runs: &[(u32, u32)]) -> usize {
+    runs.len()
+}
+
+/// Size of the largest contiguous free run (0 when the machine is full).
+pub fn largest_free_block(runs: &[(u32, u32)]) -> u32 {
+    runs.iter().map(|&(_, len)| len).max().unwrap_or(0)
+}
+
+/// External fragmentation in `[0, 1]`: `1 − largest_free_block / total_free`.
+/// 0 when all free space is one block (or nothing is free); approaches 1 as
+/// free space shatters.
+pub fn external_fragmentation(runs: &[(u32, u32)]) -> f64 {
+    let total: u32 = runs.iter().map(|&(_, len)| len).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - largest_free_block(runs) as f64 / total as f64
+}
+
+/// A compactness score for an allocation in `[0, 1]`: 1 for perfectly
+/// contiguous, falling toward 0 as the span grows relative to the minimum
+/// possible (`count − 1`).
+pub fn compactness(nodes: &[u32]) -> f64 {
+    if nodes.len() <= 1 {
+        return 1.0;
+    }
+    let min_span = (nodes.len() - 1) as f64;
+    min_span / span(nodes).max(nodes.len() as u32 - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_of_contiguous_and_scattered() {
+        assert_eq!(span(&[3, 4, 5]), 2);
+        assert_eq!(span(&[10, 0, 5]), 10);
+        assert_eq!(span(&[7]), 0);
+        assert_eq!(span(&[]), 0);
+    }
+
+    #[test]
+    fn pairwise_distance_matches_brute_force() {
+        let cases: [&[u32]; 5] =
+            [&[0, 1, 2], &[0, 10], &[5], &[], &[3, 9, 1, 14, 7]];
+        for nodes in cases {
+            let brute: u64 = nodes
+                .iter()
+                .flat_map(|&a| nodes.iter().map(move |&b| (a as i64 - b as i64).unsigned_abs()))
+                .sum::<u64>()
+                / 2;
+            assert_eq!(pairwise_distance_sum(nodes), brute, "{nodes:?}");
+        }
+    }
+
+    #[test]
+    fn external_fragmentation_extremes() {
+        // One big block: no external fragmentation.
+        assert_eq!(external_fragmentation(&[(0, 16)]), 0.0);
+        // Fully occupied machine: defined as 0.
+        assert_eq!(external_fragmentation(&[]), 0.0);
+        // Four singletons out of 4 free: 1 - 1/4.
+        let runs = [(0, 1), (2, 1), (4, 1), (6, 1)];
+        assert!((external_fragmentation(&runs) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn largest_block_and_count() {
+        let runs = [(0u32, 3u32), (8, 5), (20, 1)];
+        assert_eq!(fragment_count(&runs), 3);
+        assert_eq!(largest_free_block(&runs), 5);
+        assert_eq!(largest_free_block(&[]), 0);
+    }
+
+    #[test]
+    fn compactness_is_one_for_contiguous() {
+        assert_eq!(compactness(&[4, 5, 6, 7]), 1.0);
+        assert_eq!(compactness(&[9]), 1.0);
+        assert_eq!(compactness(&[]), 1.0);
+        // {0, 9} for k=2: min span 1, actual 9.
+        assert!((compactness(&[0, 9]) - 1.0 / 9.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # fairsched-cpa
+//!
+//! The Compute Process Allocator (CPA) substrate.
+//!
+//! The paper's introduction notes that alongside the scheduler, Sandia ran a
+//! separate CPA whose job was to keep allocations "not too fragmented in
+//! order to maximize throughput"; the CPlant allocation work it references
+//! (Leung et al., *Processor allocation on CPlant*) treats the machine as a
+//! **1-D line of nodes** and picks node sets that minimize spatial spread.
+//!
+//! This crate implements that substrate:
+//!
+//! * [`alloc`] — the [`alloc::Allocator`] trait and the
+//!   [`alloc::CountingAllocator`], the pure-capacity
+//!   allocator the paper's simulator (and ours, by default) uses;
+//! * [`linear`] — 1-D placement strategies: contiguous first-fit /
+//!   best-fit and the span-minimizing scatter strategy CPlant actually used;
+//! * [`frag`] — fragmentation metrics (free-fragment count, largest free
+//!   block, external fragmentation, allocation span and pairwise distance).
+//!
+//! The scheduler crates only need "do `k` nodes fit?", so the counting
+//! allocator is the default; the linear allocators exist to study how much
+//! fragmentation pressure the scheduling policies induce (the CPA ablation
+//! bench).
+
+pub mod alloc;
+pub mod frag;
+pub mod linear;
+
+pub use alloc::{AllocError, Allocation, Allocator, CountingAllocator};
+pub use linear::{LinearAllocator, PlacementStrategy};

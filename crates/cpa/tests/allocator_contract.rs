@@ -1,0 +1,154 @@
+//! Property-based contract tests every [`Allocator`] implementation must
+//! satisfy, run against the counting allocator and all three linear
+//! strategies with randomized allocate/release workloads.
+
+use fairsched_cpa::alloc::AllocId;
+use fairsched_cpa::{Allocator, CountingAllocator, LinearAllocator, PlacementStrategy};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const SIZE: u32 = 64;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `count` nodes.
+    Alloc(u32),
+    /// Release the `i`-th oldest live allocation (no-op when none).
+    Release(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..=SIZE).prop_map(Op::Alloc),
+            (0usize..8).prop_map(Op::Release),
+        ],
+        1..200,
+    )
+}
+
+/// Drives an allocator through an op sequence, checking the contract at
+/// every step. Returns the number of successful allocations.
+fn drive(alloc: &mut dyn Allocator, ops: &[Op]) -> Result<usize, TestCaseError> {
+    let mut live: Vec<(AllocId, u32, Vec<u32>)> = Vec::new();
+    let mut successes = 0usize;
+    for op in ops {
+        match *op {
+            Op::Alloc(count) => {
+                let free_before = alloc.free();
+                match alloc.allocate(count) {
+                    Ok(a) => {
+                        successes += 1;
+                        // Success iff it fit by count.
+                        prop_assert!(count <= free_before);
+                        prop_assert_eq!(a.count, count);
+                        prop_assert_eq!(alloc.free(), free_before - count);
+                        if !a.nodes.is_empty() {
+                            // Linear allocators return exactly `count`
+                            // distinct, in-range, previously-free nodes.
+                            prop_assert_eq!(a.nodes.len(), count as usize);
+                            let set: HashSet<u32> = a.nodes.iter().copied().collect();
+                            prop_assert_eq!(set.len(), a.nodes.len());
+                            prop_assert!(a.nodes.iter().all(|&n| n < SIZE));
+                            for (_, _, held) in &live {
+                                for n in &a.nodes {
+                                    prop_assert!(!held.contains(n), "node {n} double-booked");
+                                }
+                            }
+                        }
+                        live.push((a.id, count, a.nodes));
+                    }
+                    Err(_) => {
+                        // Failure iff it did NOT fit by count.
+                        prop_assert!(count > free_before);
+                        prop_assert_eq!(alloc.free(), free_before);
+                    }
+                }
+            }
+            Op::Release(i) => {
+                if !live.is_empty() {
+                    let (id, count, _) = live.remove(i % live.len());
+                    let free_before = alloc.free();
+                    alloc.release(id).expect("live allocation releases");
+                    prop_assert_eq!(alloc.free(), free_before + count);
+                }
+            }
+        }
+        // Conservation at every step.
+        let held: u32 = live.iter().map(|(_, c, _)| c).sum();
+        prop_assert_eq!(alloc.free() + held, SIZE);
+    }
+    Ok(successes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counting_allocator_honours_the_contract(ops in arb_ops()) {
+        let mut a = CountingAllocator::new(SIZE);
+        drive(&mut a, &ops)?;
+    }
+
+    #[test]
+    fn first_fit_honours_the_contract(ops in arb_ops()) {
+        let mut a = LinearAllocator::new(SIZE, PlacementStrategy::FirstFit);
+        drive(&mut a, &ops)?;
+    }
+
+    #[test]
+    fn best_fit_honours_the_contract(ops in arb_ops()) {
+        let mut a = LinearAllocator::new(SIZE, PlacementStrategy::BestFit);
+        drive(&mut a, &ops)?;
+    }
+
+    #[test]
+    fn min_span_honours_the_contract(ops in arb_ops()) {
+        let mut a = LinearAllocator::new(SIZE, PlacementStrategy::MinSpan);
+        drive(&mut a, &ops)?;
+    }
+
+    #[test]
+    fn all_strategies_admit_exactly_the_same_requests(ops in arb_ops()) {
+        // Placement differs; admission must not (the CPA contract: success
+        // depends only on counts). Drive all four through the same ops and
+        // compare success tallies step by step via the returned count.
+        let mut counting = CountingAllocator::new(SIZE);
+        let n0 = drive(&mut counting, &ops)?;
+        for strategy in [
+            PlacementStrategy::FirstFit,
+            PlacementStrategy::BestFit,
+            PlacementStrategy::MinSpan,
+        ] {
+            let mut a = LinearAllocator::new(SIZE, strategy);
+            let n = drive(&mut a, &ops)?;
+            prop_assert_eq!(n, n0, "{:?} admitted differently", strategy);
+        }
+    }
+
+    #[test]
+    fn min_span_is_never_wider_than_greedy_scatter(count in 1u32..=SIZE, holes in prop::collection::vec(0u32..SIZE, 0..32)) {
+        // Free exactly the nodes in `holes` (dedup) on an otherwise-full
+        // machine, then allocate `count` if possible; MinSpan's span must be
+        // minimal over any window — in particular ≤ the greedy lowest-k
+        // choice FirstFit falls back to.
+        let free: std::collections::BTreeSet<u32> = holes.into_iter().collect();
+        if (free.len() as u32) < count {
+            return Ok(());
+        }
+        let occupy = |strategy| {
+            let mut a = LinearAllocator::new(SIZE, strategy);
+            let singles: Vec<_> = (0..SIZE).map(|_| a.allocate(1).unwrap()).collect();
+            for (i, s) in singles.iter().enumerate() {
+                if free.contains(&(i as u32)) {
+                    a.release(s.id).unwrap();
+                }
+            }
+            a.allocate(count).unwrap().nodes
+        };
+        let span = |nodes: &[u32]| nodes.iter().max().unwrap() - nodes.iter().min().unwrap();
+        let minspan_nodes = occupy(PlacementStrategy::MinSpan);
+        let greedy_nodes = occupy(PlacementStrategy::FirstFit);
+        prop_assert!(span(&minspan_nodes) <= span(&greedy_nodes));
+    }
+}

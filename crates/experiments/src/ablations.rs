@@ -1,0 +1,268 @@
+//! Sensitivity ablations for the design choices DESIGN.md calls out.
+//!
+//! The paper fixes several knobs the text does not justify numerically: the
+//! fairshare decay factor, the starvation entry delay, the 72-hour limit
+//! itself, the heavy-user threshold, and (in our reproduction) the machine
+//! size. Each sweep here varies one knob on the baseline-or-relevant policy
+//! and reports the four headline metrics, so the conclusions can be checked
+//! for robustness rather than taken at a point.
+
+use fairsched_core::runner::PolicyOutcome;
+use fairsched_metrics::fairness::hybrid::HybridFstObserver;
+use fairsched_sim::{
+    simulate, EngineKind, FairshareConfig, HeavyUserRule, RuntimeLimit, SimConfig,
+    StarvationConfig,
+};
+use fairsched_workload::job::Job;
+use fairsched_workload::time::HOUR;
+use fairsched_workload::CplantModel;
+use std::fmt::Write as _;
+
+/// One ablation row: a knob setting and the headline metrics under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Human-readable knob setting, e.g. `"decay=0.5"`.
+    pub setting: String,
+    /// Fraction of submissions missing their fair start.
+    pub percent_unfair: f64,
+    /// Mean miss per Equation 5, seconds.
+    pub average_miss: f64,
+    /// Mean original-job turnaround, seconds.
+    pub average_turnaround: f64,
+    /// Loss of capacity.
+    pub loss_of_capacity: f64,
+}
+
+fn run_with(trace: &[Job], setting: String, cfg: &SimConfig) -> AblationRow {
+    let mut obs = HybridFstObserver::new();
+    let schedule = simulate(trace, cfg, &mut obs);
+    let outcome = PolicyOutcome {
+        policy: setting.clone(),
+        schedule,
+        fairness: obs.into_report(),
+    };
+    let m = outcome.metrics();
+    AblationRow {
+        setting,
+        percent_unfair: m.percent_unfair,
+        average_miss: m.average_miss_time,
+        average_turnaround: m.average_turnaround,
+        loss_of_capacity: m.loss_of_capacity,
+    }
+}
+
+/// Sweeps the fairshare decay factor on the baseline policy.
+/// `1.0` disables decay entirely (pure lifetime usage).
+pub fn decay_factor_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
+    [0.1f64, 0.25, 0.5, 0.75, 0.9, 1.0]
+        .iter()
+        .map(|&factor| {
+            let cfg = SimConfig {
+                nodes,
+                fairshare: FairshareConfig { decay_factor: factor, ..Default::default() },
+                ..Default::default()
+            };
+            run_with(trace, format!("decay={factor}"), &cfg)
+        })
+        .collect()
+}
+
+/// Sweeps the starvation-queue entry delay on the baseline policy
+/// (§5.5 policy 1 generalized beyond 24 h / 72 h).
+pub fn starvation_delay_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
+    [6u64, 12, 24, 48, 72, 168]
+        .iter()
+        .map(|&hours| {
+            let cfg = SimConfig {
+                nodes,
+                starvation: Some(StarvationConfig {
+                    entry_delay: hours * HOUR,
+                    heavy_rule: None,
+                }),
+                ..Default::default()
+            };
+            run_with(trace, format!("delay={hours}h"), &cfg)
+        })
+        .collect()
+}
+
+/// Sweeps the maximum-runtime limit on the baseline engine (§5.1
+/// generalized beyond 72 h).
+pub fn runtime_limit_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
+    let mut rows = vec![run_with(
+        trace,
+        "limit=none".to_string(),
+        &SimConfig { nodes, ..Default::default() },
+    )];
+    for hours in [24u64, 48, 72, 120, 168] {
+        let cfg = SimConfig {
+            nodes,
+            runtime_limit: Some(RuntimeLimit { limit: hours * HOUR }),
+            ..Default::default()
+        };
+        rows.push(run_with(trace, format!("limit={hours}h"), &cfg));
+    }
+    rows
+}
+
+/// Sweeps the heavy-user threshold for the §5.2 starvation-queue bar.
+pub fn heavy_threshold_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
+    [1.0f64, 1.5, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|&mult| {
+            let cfg = SimConfig {
+                nodes,
+                starvation: Some(StarvationConfig {
+                    entry_delay: 24 * HOUR,
+                    heavy_rule: Some(HeavyUserRule { mean_multiple: mult }),
+                }),
+                ..Default::default()
+            };
+            run_with(trace, format!("heavy>{mult}x mean"), &cfg)
+        })
+        .collect()
+}
+
+/// Sweeps the reservation depth between aggressive and conservative
+/// (the §1 "first n jobs get reservations" family).
+pub fn reservation_depth_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
+    [0u32, 1, 2, 4, 8, 16, 64, 1024]
+        .iter()
+        .map(|&depth| {
+            let cfg = SimConfig {
+                nodes,
+                engine: EngineKind::ReservationDepth(depth),
+                starvation: None,
+                ..Default::default()
+            };
+            run_with(trace, format!("depth={depth}"), &cfg)
+        })
+        .collect()
+}
+
+/// Sweeps the closed-loop user-concurrency cap on the baseline policy.
+/// `None` is the open-loop replay the paper uses; finite caps model §2.2's
+/// user back-off ("users submitting fewer jobs due to the extremely high
+/// queue lengths").
+pub fn user_concurrency_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
+    let mut rows = vec![run_with(
+        trace,
+        "open-loop".to_string(),
+        &SimConfig { nodes, ..Default::default() },
+    )];
+    for cap in [1u32, 2, 4, 8, 16] {
+        let cfg = SimConfig { nodes, user_concurrency: Some(cap), ..Default::default() };
+        rows.push(run_with(trace, format!("cap={cap}"), &cfg));
+    }
+    rows
+}
+
+/// Sweeps the generator's per-user width affinity (regenerating the trace
+/// per value): how much does conditioning users onto width niches change
+/// the fairness picture? Affinity reshapes who competes with whom under
+/// fairshare, so this doubles as a robustness check of the headline results
+/// against workload-model assumptions.
+pub fn width_affinity_sweep(seed: u64, scale: f64, nodes: u32) -> Vec<AblationRow> {
+    [1.0f64, 2.0, 4.0, 8.0, 16.0]
+        .iter()
+        .map(|&boost| {
+            let mut model = CplantModel::new(seed).with_nodes(nodes).with_scale(scale);
+            model.width_affinity = boost;
+            let trace = model.generate();
+            let cfg = SimConfig { nodes, ..Default::default() };
+            run_with(&trace, format!("affinity={boost}"), &cfg)
+        })
+        .collect()
+}
+
+/// Sweeps the machine size (the one free parameter of the substitution —
+/// the paper never states Ross's node count). Regenerates the trace per
+/// size so widths stay feasible.
+pub fn machine_size_sweep(seed: u64, scale: f64) -> Vec<AblationRow> {
+    [512u32, 768, 1024, 1536, 2048]
+        .iter()
+        .map(|&nodes| {
+            let trace = CplantModel::new(seed).with_nodes(nodes).with_scale(scale).generate();
+            let cfg = SimConfig { nodes, ..Default::default() };
+            run_with(&trace, format!("nodes={nodes}"), &cfg)
+        })
+        .collect()
+}
+
+/// Renders ablation rows as a fixed-width table.
+pub fn render(title: &str, rows: &[AblationRow]) -> String {
+    let mut out = format!("== Ablation: {title} ==\n");
+    writeln!(
+        out,
+        "{:<18} {:>9} {:>12} {:>14} {:>8}",
+        "setting", "unfair%", "avg miss(s)", "turnaround(s)", "LOC%"
+    )
+    .expect("write to String");
+    for r in rows {
+        writeln!(
+            out,
+            "{:<18} {:>8.2}% {:>12.0} {:>14.0} {:>7.2}%",
+            r.setting,
+            100.0 * r.percent_unfair,
+            r.average_miss,
+            r.average_turnaround,
+            100.0 * r.loss_of_capacity,
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<Job> {
+        CplantModel::new(3).with_scale(0.02).generate()
+    }
+
+    #[test]
+    fn every_sweep_produces_finite_rows() {
+        let t = trace();
+        for rows in [
+            decay_factor_sweep(&t, 1024),
+            starvation_delay_sweep(&t, 1024),
+            runtime_limit_sweep(&t, 1024),
+            heavy_threshold_sweep(&t, 1024),
+            reservation_depth_sweep(&t, 1024),
+            user_concurrency_sweep(&t, 1024),
+        ] {
+            assert!(rows.len() >= 5);
+            for r in &rows {
+                assert!((0.0..=1.0).contains(&r.percent_unfair), "{:?}", r);
+                assert!(r.average_miss.is_finite() && r.average_miss >= 0.0);
+                assert!(r.average_turnaround.is_finite());
+                assert!((0.0..=1.0).contains(&r.loss_of_capacity));
+            }
+        }
+    }
+
+    #[test]
+    fn width_affinity_sweep_regenerates_per_boost() {
+        let rows = width_affinity_sweep(3, 0.02, 1024);
+        assert_eq!(rows.len(), 5);
+        assert!(rows[0].setting.contains("affinity=1"));
+        assert!(rows.iter().all(|r| r.average_turnaround.is_finite()));
+    }
+
+    #[test]
+    fn machine_size_sweep_regenerates_per_size() {
+        let rows = machine_size_sweep(3, 0.02);
+        assert_eq!(rows.len(), 5);
+        assert!(rows[0].setting.contains("512"));
+    }
+
+    #[test]
+    fn render_produces_one_line_per_row() {
+        let t = trace();
+        let rows = decay_factor_sweep(&t, 1024);
+        let text = render("fairshare decay", &rows);
+        assert_eq!(text.lines().count(), rows.len() + 2);
+        assert!(text.contains("decay=0.5"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3: weekly offered load vs actual utilization.
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let e = fairsched_experiments::evaluate(cfg);
+    print!("{}", fairsched_experiments::characterization::fig03_report(&e));
+}

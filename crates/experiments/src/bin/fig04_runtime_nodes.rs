@@ -1,0 +1,6 @@
+//! Regenerates Figure 4: runtime vs node usage scatter (decade grid).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let trace = cfg.trace();
+    print!("{}", fairsched_experiments::characterization::fig04_report(&trace));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: user estimates vs runtime (decade grid).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let trace = cfg.trace();
+    print!("{}", fairsched_experiments::characterization::fig05_report(&trace));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: over-estimation factor vs runtime (decade grid).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let trace = cfg.trace();
+    print!("{}", fairsched_experiments::characterization::fig06_report(&trace));
+}

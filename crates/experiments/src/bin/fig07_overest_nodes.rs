@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: over-estimation factor vs nodes (decade grid).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let trace = cfg.trace();
+    print!("{}", fairsched_experiments::characterization::fig07_report(&trace));
+}

@@ -1,0 +1,6 @@
+//! Regenerates miss_by_width_minor (paper Figure 10).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let e = fairsched_experiments::evaluate(cfg);
+    print!("{}", fairsched_experiments::figures::fig10(&e));
+}

@@ -1,0 +1,6 @@
+//! Regenerates turnaround_by_width_minor (paper Figure 12).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let e = fairsched_experiments::evaluate(cfg);
+    print!("{}", fairsched_experiments::figures::fig12(&e));
+}

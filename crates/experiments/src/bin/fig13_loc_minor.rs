@@ -1,0 +1,6 @@
+//! Regenerates loc_minor (paper Figure 13).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let e = fairsched_experiments::evaluate(cfg);
+    print!("{}", fairsched_experiments::figures::fig13(&e));
+}

@@ -1,0 +1,6 @@
+//! Regenerates percent_unfair_all (paper Figure 14).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let e = fairsched_experiments::evaluate(cfg);
+    print!("{}", fairsched_experiments::figures::fig14(&e));
+}

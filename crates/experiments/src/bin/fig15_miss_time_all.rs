@@ -1,0 +1,6 @@
+//! Regenerates miss_time_all (paper Figure 15).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let e = fairsched_experiments::evaluate(cfg);
+    print!("{}", fairsched_experiments::figures::fig15(&e));
+}

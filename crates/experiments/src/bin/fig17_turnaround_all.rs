@@ -1,0 +1,6 @@
+//! Regenerates turnaround_all (paper Figure 17).
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let e = fairsched_experiments::evaluate(cfg);
+    print!("{}", fairsched_experiments::figures::fig17(&e));
+}

@@ -1,0 +1,33 @@
+//! Per-user fairness audit (§5.2's subject): who actually bears the misses
+//! under the baseline policy vs the paper's recommended fix, and whether
+//! heavy users fare better than light ones.
+use fairsched_core::policy::PolicySpec;
+use fairsched_core::runner::run_policy;
+use fairsched_experiments::ExperimentConfig;
+use fairsched_metrics::fairness::peruser::{heavy_vs_light_miss, per_user};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let trace = cfg.trace();
+    for id in ["cplant24.nomax.all", "cplant24.nomax.fair", "cons.72max"] {
+        let p = PolicySpec::by_id(id).unwrap();
+        let out = run_policy(&trace, &p, cfg.nodes);
+        let users = per_user(&out.schedule, &out.fairness);
+        println!("== {id}: top users by consumption ==");
+        println!(
+            "{:<8} {:>6} {:>14} {:>9} {:>12} {:>10}",
+            "user", "jobs", "proc-hours", "unfair%", "mean miss(s)", "wait(s)"
+        );
+        for u in users.iter().take(10) {
+            println!(
+                "{:<8} {:>6} {:>14.0} {:>8.1}% {:>12.0} {:>10.0}",
+                u.user.to_string(), u.jobs, u.proc_seconds / 3600.0,
+                100.0 * u.percent_unfair(), u.mean_miss(), u.mean_wait,
+            );
+        }
+        let (heavy, light) = heavy_vs_light_miss(&users, 0.1);
+        println!(
+            "top-10% users mean miss {heavy:.0}s vs everyone else {light:.0}s\n"
+        );
+    }
+}

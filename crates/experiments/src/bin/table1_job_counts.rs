@@ -1,0 +1,6 @@
+//! Regenerates Table 1: job counts per width × length category.
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let trace = cfg.trace();
+    print!("{}", fairsched_experiments::characterization::table1_report(&trace));
+}

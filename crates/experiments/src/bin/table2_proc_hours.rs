@@ -1,0 +1,6 @@
+//! Regenerates Table 2: processor-hours per width × length category.
+fn main() {
+    let cfg = fairsched_experiments::ExperimentConfig::from_env();
+    let trace = cfg.trace();
+    print!("{}", fairsched_experiments::characterization::table2_report(&trace));
+}

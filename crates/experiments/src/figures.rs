@@ -1,0 +1,160 @@
+//! The evaluation figures (8–19): thin adapters from an [`Evaluation`] to
+//! the exact rows each paper figure plots.
+
+use crate::Evaluation;
+
+/// Figure 8: percent of unfair jobs, minor-change policies.
+pub fn fig08(e: &Evaluation) -> String {
+    e.scalar_figure(
+        "Figure 8: Percent of jobs that missed the fair start time (minor changes)",
+        "%",
+        &Evaluation::minor_indices(),
+        |m| m.percent_unfair,
+    )
+}
+
+/// Figure 9: average miss time, minor-change policies.
+pub fn fig09(e: &Evaluation) -> String {
+    e.scalar_figure(
+        "Figure 9: Average fair start miss time (minor changes)",
+        "seconds",
+        &Evaluation::minor_indices(),
+        |m| m.average_miss_time,
+    )
+}
+
+/// Figure 10: average miss time by width, minor-change policies.
+pub fn fig10(e: &Evaluation) -> String {
+    e.width_figure(
+        "Figure 10: Average fair start miss time by width (minor changes)",
+        "seconds",
+        &Evaluation::minor_indices(),
+        |m| m.miss_by_width,
+    )
+}
+
+/// Figure 11: average turnaround time, minor-change policies.
+pub fn fig11(e: &Evaluation) -> String {
+    e.scalar_figure(
+        "Figure 11: Average turnaround time (minor changes)",
+        "seconds",
+        &Evaluation::minor_indices(),
+        |m| m.average_turnaround,
+    )
+}
+
+/// Figure 12: average turnaround time by width, minor-change policies.
+pub fn fig12(e: &Evaluation) -> String {
+    e.width_figure(
+        "Figure 12: Average turnaround time by width (minor changes)",
+        "seconds",
+        &Evaluation::minor_indices(),
+        |m| m.turnaround_by_width,
+    )
+}
+
+/// Figure 13: loss of capacity, minor-change policies.
+pub fn fig13(e: &Evaluation) -> String {
+    e.scalar_figure(
+        "Figure 13: Loss of capacity (minor changes)",
+        "%",
+        &Evaluation::minor_indices(),
+        |m| m.loss_of_capacity,
+    )
+}
+
+/// Figure 14: percent of unfair jobs, all nine policies.
+pub fn fig14(e: &Evaluation) -> String {
+    e.scalar_figure(
+        "Figure 14: Percent of jobs that missed the fair start time (all policies)",
+        "%",
+        &Evaluation::all_indices(),
+        |m| m.percent_unfair,
+    )
+}
+
+/// Figure 15: average miss time, all nine policies.
+pub fn fig15(e: &Evaluation) -> String {
+    e.scalar_figure(
+        "Figure 15: Average fair start miss time (all policies)",
+        "seconds",
+        &Evaluation::all_indices(),
+        |m| m.average_miss_time,
+    )
+}
+
+/// Figure 16: average miss time by width, conservative comparison set.
+pub fn fig16(e: &Evaluation) -> String {
+    e.width_figure(
+        "Figure 16: Average miss time by width (conservative backfilling)",
+        "seconds",
+        &Evaluation::conservative_indices(),
+        |m| m.miss_by_width,
+    )
+}
+
+/// Figure 17: average turnaround time, all nine policies.
+pub fn fig17(e: &Evaluation) -> String {
+    e.scalar_figure(
+        "Figure 17: Average turnaround time (all policies)",
+        "seconds",
+        &Evaluation::all_indices(),
+        |m| m.average_turnaround,
+    )
+}
+
+/// Figure 18: average turnaround time by width, conservative comparison set.
+pub fn fig18(e: &Evaluation) -> String {
+    e.width_figure(
+        "Figure 18: Average turnaround time by width (conservative backfilling)",
+        "seconds",
+        &Evaluation::conservative_indices(),
+        |m| m.turnaround_by_width,
+    )
+}
+
+/// Figure 19: loss of capacity, all nine policies.
+pub fn fig19(e: &Evaluation) -> String {
+    e.scalar_figure(
+        "Figure 19: Loss of capacity (all policies)",
+        "%",
+        &Evaluation::all_indices(),
+        |m| m.loss_of_capacity,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, ExperimentConfig};
+
+    #[test]
+    fn every_figure_renders_with_the_right_policy_count() {
+        let e = evaluate(ExperimentConfig { seed: 5, scale: 0.015, nodes: 1024 });
+        // Scalar figures: header + unit line + one row per policy.
+        for (fig, n) in [
+            (fig08(&e), 5),
+            (fig09(&e), 5),
+            (fig11(&e), 5),
+            (fig13(&e), 5),
+            (fig14(&e), 9),
+            (fig15(&e), 9),
+            (fig17(&e), 9),
+            (fig19(&e), 9),
+        ] {
+            assert_eq!(fig.lines().count(), n + 2, "{fig}");
+        }
+        // Width figures: header + column line + one row per policy.
+        for (fig, n) in [(fig10(&e), 5), (fig12(&e), 5), (fig16(&e), 5), (fig18(&e), 5)] {
+            assert_eq!(fig.lines().count(), n + 2, "{fig}");
+        }
+    }
+
+    #[test]
+    fn figure_titles_match_the_paper() {
+        let e = evaluate(ExperimentConfig { seed: 5, scale: 0.01, nodes: 1024 });
+        assert!(fig08(&e).contains("Figure 8"));
+        assert!(fig16(&e).contains("conservative backfilling"));
+        assert!(fig19(&e).contains("Loss of capacity"));
+    }
+}

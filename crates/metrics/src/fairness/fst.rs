@@ -1,0 +1,182 @@
+//! Fair-start-time reports and the aggregates the paper plots.
+//!
+//! Every FST-family metric produces a per-job `(fair start, actual start)`
+//! pair; a job is *unfair* when it started after its fair start. The paper
+//! reports the percentage of unfair jobs (Figures 8, 14) and the average
+//! miss time per Equation 5 — the miss summed over **all** jobs and divided
+//! by the total job count, so a few badly-treated jobs show up even when
+//! most jobs are fine.
+
+use fairsched_workload::categories::{WidthCategory, WIDTH_BUCKETS};
+use fairsched_workload::job::JobId;
+use fairsched_workload::time::Time;
+
+/// One job's fairness outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FstEntry {
+    /// The submission this entry scores.
+    pub id: JobId,
+    /// Width in nodes (for by-width breakdowns).
+    pub nodes: u32,
+    /// The fair start time assigned by the metric.
+    pub fst: Time,
+    /// The start the scheduler under test actually delivered.
+    pub start: Time,
+}
+
+impl FstEntry {
+    /// Seconds by which the job missed its fair start (0 if it started at
+    /// or before it).
+    pub fn miss(&self) -> Time {
+        self.start.saturating_sub(self.fst)
+    }
+
+    /// Whether the job was treated unfairly (strictly missed its FST).
+    pub fn unfair(&self) -> bool {
+        self.start > self.fst
+    }
+}
+
+/// A complete per-job fairness report for one schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FstReport {
+    /// One entry per scored submission.
+    pub entries: Vec<FstEntry>,
+}
+
+impl FstReport {
+    /// Builds a report, sorting entries by id for determinism.
+    pub fn new(mut entries: Vec<FstEntry>) -> Self {
+        entries.sort_by_key(|e| e.id);
+        FstReport { entries }
+    }
+
+    /// Fraction of jobs that missed their fair start (Figures 8, 14).
+    pub fn percent_unfair(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().filter(|e| e.unfair()).count() as f64 / self.entries.len() as f64
+    }
+
+    /// Average miss time per Equation 5: `Σ max(0, start − FST) / N` over
+    /// all jobs (Figures 9, 15), seconds.
+    pub fn average_miss_time(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.miss() as f64).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// Average miss time among only the unfair jobs (how badly the missed
+    /// jobs are hurt — the effect Figure 10 highlights).
+    pub fn average_miss_of_unfair(&self) -> f64 {
+        let misses: Vec<f64> =
+            self.entries.iter().filter(|e| e.unfair()).map(|e| e.miss() as f64).collect();
+        if misses.is_empty() {
+            return 0.0;
+        }
+        misses.iter().sum::<f64>() / misses.len() as f64
+    }
+
+    /// Average miss time per width category (Figures 10, 16). Buckets with
+    /// no jobs report 0.
+    pub fn miss_by_width(&self) -> [f64; WIDTH_BUCKETS] {
+        let mut sums = [0.0; WIDTH_BUCKETS];
+        let mut counts = [0usize; WIDTH_BUCKETS];
+        for e in &self.entries {
+            let w = WidthCategory::of(e.nodes).0;
+            sums[w] += e.miss() as f64;
+            counts[w] += 1;
+        }
+        let mut out = [0.0; WIDTH_BUCKETS];
+        for i in 0..WIDTH_BUCKETS {
+            if counts[i] > 0 {
+                out[i] = sums[i] / counts[i] as f64;
+            }
+        }
+        out
+    }
+
+    /// Total missed seconds (the "total unfairness" aggregate of §4).
+    pub fn total_miss(&self) -> u64 {
+        self.entries.iter().map(|e| e.miss()).sum()
+    }
+
+    /// A sub-report over the entries matching `keep` (order preserved).
+    ///
+    /// Used for alternative aggregations — e.g. restricting a chunked
+    /// schedule's report to first-chunk submissions to score fairness per
+    /// *original* job (the analysis behind EXPERIMENTS.md's divergence
+    /// note), or slicing by width for custom breakdowns.
+    pub fn filtered(&self, mut keep: impl FnMut(&FstEntry) -> bool) -> FstReport {
+        FstReport { entries: self.entries.iter().copied().filter(|e| keep(e)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, nodes: u32, fst: Time, start: Time) -> FstEntry {
+        FstEntry { id: JobId(id), nodes, fst, start }
+    }
+
+    #[test]
+    fn miss_is_one_sided() {
+        assert_eq!(entry(1, 1, 100, 150).miss(), 50);
+        assert_eq!(entry(1, 1, 100, 100).miss(), 0);
+        // Starting EARLY is not a miss (benign backfilling).
+        assert_eq!(entry(1, 1, 100, 20).miss(), 0);
+        assert!(!entry(1, 1, 100, 20).unfair());
+    }
+
+    #[test]
+    fn aggregates_on_a_known_report() {
+        let r = FstReport::new(vec![
+            entry(1, 1, 100, 150), // miss 50
+            entry(2, 1, 100, 100), // fair
+            entry(3, 16, 0, 250),  // miss 250
+            entry(4, 16, 500, 100), // early, fair
+        ]);
+        assert!((r.percent_unfair() - 0.5).abs() < 1e-12);
+        assert!((r.average_miss_time() - 75.0).abs() < 1e-12);
+        assert!((r.average_miss_of_unfair() - 150.0).abs() < 1e-12);
+        assert_eq!(r.total_miss(), 300);
+        let byw = r.miss_by_width();
+        assert!((byw[0] - 25.0).abs() < 1e-12); // jobs 1,2
+        assert!((byw[4] - 125.0).abs() < 1e-12); // jobs 3,4 (9-16 bucket)
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = FstReport::default();
+        assert_eq!(r.percent_unfair(), 0.0);
+        assert_eq!(r.average_miss_time(), 0.0);
+        assert_eq!(r.average_miss_of_unfair(), 0.0);
+    }
+
+    #[test]
+    fn filtered_sub_reports_aggregate_independently() {
+        let r = FstReport::new(vec![
+            entry(1, 1, 100, 150),  // narrow, miss 50
+            entry(2, 64, 100, 600), // wide, miss 500
+            entry(3, 64, 100, 100), // wide, fair
+        ]);
+        let wide = r.filtered(|e| e.nodes > 32);
+        assert_eq!(wide.entries.len(), 2);
+        assert!((wide.percent_unfair() - 0.5).abs() < 1e-12);
+        assert!((wide.average_miss_time() - 250.0).abs() < 1e-12);
+        // The original report is untouched.
+        assert_eq!(r.entries.len(), 3);
+        // An empty filter gives the zero report.
+        assert_eq!(r.filtered(|_| false).percent_unfair(), 0.0);
+    }
+
+    #[test]
+    fn entries_are_sorted_by_id() {
+        let r = FstReport::new(vec![entry(5, 1, 0, 0), entry(2, 1, 0, 0)]);
+        let ids: Vec<u32> = r.entries.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Jain's fairness index and turnaround standard deviation — the
+//! conventional fairness measures §4 argues are wrong for bursty parallel
+//! workloads (a job arriving at 3 a.m. *should* get a much better turnaround
+//! than one arriving mid-morning; penalizing that variance is not fairness).
+//!
+//! Included as baselines so the experiment harness can show what they say
+//! about the same schedules the FST metrics score.
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. 1 when all equal; `1/n` when one job gets
+/// everything. Empty or all-zero inputs report 1 (vacuously fair).
+pub fn jain_index(values: &[f64]) -> f64 {
+    debug_assert!(values.iter().all(|&v| v >= 0.0), "Jain index needs non-negative values");
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
+/// Population standard deviation (the §4 strawman applied to turnaround).
+pub fn stddev(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean: f64 = values.iter().sum::<f64>() / n as f64;
+    (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_is_one_for_equal_allocations() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_is_one_over_n_for_total_monopoly() {
+        let v = [10.0, 0.0, 0.0, 0.0];
+        assert!((jain_index(&v) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_of_known_mixed_allocation() {
+        // Classic example: {1, 2, 3} → 36 / (3 × 14) = 6/7.
+        assert!((jain_index(&[1.0, 2.0, 3.0]) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate_inputs_are_vacuously_fair() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn stddev_of_known_sample() {
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn jain_punishes_desirable_burst_variance() {
+        // The §4 critique in miniature: a night job with turnaround 10 and a
+        // rush-hour job with turnaround 1000 may both be perfectly fair, yet
+        // Jain's index over turnarounds tanks.
+        let idx = jain_index(&[10.0, 1000.0]);
+        assert!(idx < 0.6, "Jain index {idx} fails to flag the variance");
+    }
+}

@@ -1,0 +1,23 @@
+//! Fairness metrics for parallel job scheduling (§4).
+//!
+//! The paper surveys three families and contributes a fourth:
+//!
+//! | metric | module | character |
+//! |---|---|---|
+//! | turnaround stddev / Jain index | [`jain`] | strawmen: punish the *desirable* variance of bursty workloads |
+//! | CONS_P fair start times | [`consp`] | one global FST set, but high-utilization schedules can cheat it |
+//! | scheduler-dependent FST | [`sabin`] | measures later-arrival impact exactly, but FSTs differ per schedule |
+//! | resource equality (1/N share) | [`equality`] | schedule-independent, no FST at all |
+//! | **hybrid fairshare FST** | [`hybrid`] | §4.1: list-scheduler FST from the arrival-instant state, fairshare order |
+//!
+//! [`fst`] holds the shared report type and the aggregates the paper plots:
+//! percent of unfair jobs (Figures 8, 14) and average miss time, overall and
+//! by width (Figures 9–10, 15–16).
+
+pub mod consp;
+pub mod equality;
+pub mod fst;
+pub mod hybrid;
+pub mod jain;
+pub mod peruser;
+pub mod sabin;

@@ -1,0 +1,189 @@
+//! User metrics (§3.2.1): wait time, turnaround time, bounded slowdown —
+//! overall and broken down by the paper's width categories.
+//!
+//! All user metrics are computed over *original jobs* ([`OriginalOutcome`]):
+//! when runtime limits chop a job into chunks, the user experiences one job
+//! submitted once and finished when its last chunk completes, so turnaround
+//! spans the whole chain.
+
+use fairsched_sim::OriginalOutcome;
+use fairsched_workload::categories::{WidthCategory, WIDTH_BUCKETS};
+use fairsched_workload::time::Time;
+
+/// Average wait time (first start − submit), seconds.
+pub fn average_wait(jobs: &[OriginalOutcome]) -> f64 {
+    mean(jobs.iter().map(|o| (o.first_start - o.submit) as f64))
+}
+
+/// Average turnaround time per Equation 1 (completion − submit), seconds.
+pub fn average_turnaround(jobs: &[OriginalOutcome]) -> f64 {
+    mean(jobs.iter().map(|o| o.turnaround() as f64))
+}
+
+/// Average bounded slowdown: `max(1, turnaround / max(runtime, bound))`.
+/// The bound (conventionally 10 s) stops sub-second jobs from dominating.
+pub fn average_bounded_slowdown(jobs: &[OriginalOutcome], bound: Time) -> f64 {
+    mean(jobs.iter().map(|o| {
+        let service = o.executed.max(bound) as f64;
+        (o.turnaround() as f64 / service).max(1.0)
+    }))
+}
+
+/// Average turnaround per width category (Figures 12 and 18). Buckets with
+/// no jobs report 0.
+pub fn turnaround_by_width(jobs: &[OriginalOutcome]) -> [f64; WIDTH_BUCKETS] {
+    by_width(jobs, |o| o.turnaround() as f64)
+}
+
+/// Average wait per width category.
+pub fn wait_by_width(jobs: &[OriginalOutcome]) -> [f64; WIDTH_BUCKETS] {
+    by_width(jobs, |o| (o.first_start - o.submit) as f64)
+}
+
+/// Averages an arbitrary per-job value per width category.
+pub fn by_width(
+    jobs: &[OriginalOutcome],
+    mut value: impl FnMut(&OriginalOutcome) -> f64,
+) -> [f64; WIDTH_BUCKETS] {
+    let mut sums = [0.0; WIDTH_BUCKETS];
+    let mut counts = [0usize; WIDTH_BUCKETS];
+    for o in jobs {
+        let w = WidthCategory::of(o.nodes).0;
+        sums[w] += value(o);
+        counts[w] += 1;
+    }
+    let mut out = [0.0; WIDTH_BUCKETS];
+    for i in 0..WIDTH_BUCKETS {
+        if counts[i] > 0 {
+            out[i] = sums[i] / counts[i] as f64;
+        }
+    }
+    out
+}
+
+/// Restricts jobs to a measurement window by submit time: `[from, to)`.
+///
+/// Simulation studies conventionally trim a warm-up prefix (the machine
+/// starts empty, which no real week does) and a cool-down suffix (the last
+/// arrivals drain into an artificially emptying machine). All aggregate
+/// functions in this module compose with this filter.
+pub fn in_window(jobs: &[OriginalOutcome], from: Time, to: Time) -> Vec<OriginalOutcome> {
+    jobs.iter().filter(|o| o.submit >= from && o.submit < to).copied().collect()
+}
+
+/// Per-job turnaround values (seconds) — the raw series behind the
+/// distribution statistics (stddev, Jain index, percentiles).
+pub fn turnarounds(jobs: &[OriginalOutcome]) -> Vec<f64> {
+    jobs.iter().map(|o| o.turnaround() as f64).collect()
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_workload::job::{JobId, UserId};
+
+    fn outcome(origin: u32, nodes: u32, submit: Time, start: Time, end: Time) -> OriginalOutcome {
+        OriginalOutcome {
+            origin: JobId(origin),
+            user: UserId(1),
+            nodes,
+            submit,
+            first_start: start,
+            completion: end,
+            executed: end - start,
+            chunks: 1,
+            killed: false,
+        }
+    }
+
+    #[test]
+    fn averages_of_known_jobs() {
+        let jobs = vec![
+            outcome(1, 1, 0, 10, 110),  // wait 10, turnaround 110
+            outcome(2, 1, 50, 90, 140), // wait 40, turnaround 90
+        ];
+        assert!((average_wait(&jobs) - 25.0).abs() < 1e-12);
+        assert!((average_turnaround(&jobs) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_yields_zero_not_nan() {
+        assert_eq!(average_wait(&[]), 0.0);
+        assert_eq!(average_turnaround(&[]), 0.0);
+        assert_eq!(average_bounded_slowdown(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_service_time_and_ratio() {
+        // Tiny job: executed 1 s, turnaround 100 s → bounded by 10 s
+        // service: slowdown 10, not 100.
+        let jobs = vec![outcome(1, 1, 0, 99, 100)];
+        assert!((average_bounded_slowdown(&jobs, 10) - 10.0).abs() < 1e-12);
+        // A 1-second job that waited 999 s: service floored at 10 s, so
+        // slowdown is 1000/10 = 100 rather than 1000.
+        let mut tiny = outcome(2, 1, 0, 999, 1000);
+        tiny.executed = 1;
+        assert!((average_bounded_slowdown(&[tiny], 10) - 100.0).abs() < 1e-9);
+        // A job faster than its own turnaround floor still reports ≥ 1.
+        let over = vec![outcome(3, 1, 0, 0, 5)];
+        assert!((average_bounded_slowdown(&over, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_width_buckets_independently() {
+        let jobs = vec![
+            outcome(1, 1, 0, 0, 100),    // width bucket 0
+            outcome(2, 1, 0, 0, 300),    // width bucket 0
+            outcome(3, 16, 0, 0, 1000),  // width bucket 4 (9-16)
+        ];
+        let t = turnaround_by_width(&jobs);
+        assert!((t[0] - 200.0).abs() < 1e-12);
+        assert!((t[4] - 1000.0).abs() < 1e-12);
+        assert_eq!(t[10], 0.0); // empty bucket
+    }
+
+    #[test]
+    fn in_window_filters_by_submit_half_open() {
+        let jobs = vec![
+            outcome(1, 1, 0, 5, 10),
+            outcome(2, 1, 100, 105, 110),
+            outcome(3, 1, 200, 205, 210),
+        ];
+        let w = in_window(&jobs, 100, 200);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].origin.0, 2);
+        // Full-range window keeps everything; empty window nothing.
+        assert_eq!(in_window(&jobs, 0, 1000).len(), 3);
+        assert!(in_window(&jobs, 300, 400).is_empty());
+        // Windowed aggregates compose with the ordinary ones.
+        assert!((average_turnaround(&w) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn turnarounds_extracts_the_raw_series() {
+        let jobs = vec![outcome(1, 1, 0, 5, 10), outcome(2, 1, 0, 10, 30)];
+        assert_eq!(turnarounds(&jobs), vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn chain_turnaround_spans_submit_to_last_completion() {
+        let mut o = outcome(1, 4, 100, 200, 5000);
+        o.chunks = 3;
+        assert_eq!(o.turnaround(), 4900);
+        assert!((average_turnaround(&[o]) - 4900.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,764 @@
+//! Scheduling engines: who starts, and when.
+//!
+//! An [`Engine`] owns the reservation strategy. The simulator calls it at
+//! every scheduling event (arrival or completion, §3.1) with a read-only
+//! context and applies the returned starts. Three engines cover the paper:
+//!
+//! * [`NoGuaranteeEngine`] — the original CPlant policy (§2.1): walk the
+//!   queue in priority order, start whatever fits, no reservations — except
+//!   that the head of the *starvation queue* holds an aggressive
+//!   (EASY-style) reservation that backfilled jobs must respect.
+//! * [`EasyEngine`] — textbook aggressive backfilling (§1): the head of the
+//!   *priority* queue holds the only reservation.
+//! * [`ConservativeEngine`] — conservative backfilling (§5.3): every job is
+//!   reserved on arrival and only ever improves; with
+//!   `dynamic = true` (§5.4) all reservations are rebuilt from scratch in
+//!   priority order at every event instead.
+
+use crate::config::{EngineKind, QueueOrder, StarvationConfig};
+use crate::fairshare::FairshareTracker;
+use crate::profile::Profile;
+use crate::starvation::starving_jobs;
+use crate::state::{priority_order, QueuedJob, RunningJob};
+use fairsched_workload::job::JobId;
+use fairsched_workload::time::Time;
+use std::collections::HashMap;
+
+/// Read-only view the simulator hands an engine at each scheduling event.
+pub struct EngineCtx<'a> {
+    /// Current simulated time.
+    pub now: Time,
+    /// Nodes currently idle.
+    pub free_nodes: u32,
+    /// Machine size.
+    pub total_nodes: u32,
+    /// Running jobs.
+    pub running: &'a [RunningJob],
+    /// Queued jobs in arrival order.
+    pub queue: &'a [QueuedJob],
+    /// Fairshare usage (drives priority order and heavy-user rules).
+    pub fairshare: &'a FairshareTracker,
+    /// Queue priority order in force.
+    pub order: QueueOrder,
+    /// Starvation-queue configuration, if the policy has one.
+    pub starvation: Option<&'a StarvationConfig>,
+}
+
+impl EngineCtx<'_> {
+    /// Queue indices in priority order.
+    pub fn priority(&self) -> Vec<usize> {
+        priority_order(self.queue, self.order, self.fairshare)
+    }
+}
+
+/// A scheduling engine. All callbacks default to no-ops so stateless engines
+/// implement only [`Engine::select_starts`].
+pub trait Engine {
+    /// A job entered the queue (already present in `ctx.queue`).
+    fn on_arrival(&mut self, _job: &QueuedJob, _ctx: &EngineCtx<'_>) {}
+    /// A previously queued job started (already removed from the queue).
+    fn on_start(&mut self, _id: JobId) {}
+    /// A running job completed or was killed.
+    fn on_complete(&mut self, _id: JobId) {}
+    /// Chooses jobs to start *now*. Every returned job must currently fit
+    /// (the simulator asserts this) and be returned at most once.
+    fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId>;
+}
+
+/// Builds the engine for a policy.
+pub fn make_engine(kind: EngineKind) -> Box<dyn Engine> {
+    match kind {
+        EngineKind::NoGuarantee => Box::new(NoGuaranteeEngine),
+        EngineKind::Easy => Box::new(EasyEngine),
+        EngineKind::Conservative => Box::new(ConservativeEngine::new(false)),
+        EngineKind::ConservativeDynamic => Box::new(ConservativeEngine::new(true)),
+        EngineKind::ReservationDepth(depth) => Box::new(DepthEngine::new(depth)),
+        EngineKind::FcfsNoBackfill => Box::new(NoBackfillEngine),
+    }
+}
+
+/// Strict no-backfill scheduling (the paper's Figure 1): jobs start only
+/// from the head of the priority queue. A job that is not at the head waits
+/// even if the machine could run it right now.
+#[derive(Debug, Default)]
+pub struct NoBackfillEngine;
+
+impl Engine for NoBackfillEngine {
+    fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId> {
+        let mut free = ctx.free_nodes;
+        let mut starts = Vec::new();
+        // Start strictly from the head: stop at the first job that does not
+        // fit (everything behind it must wait regardless of fit).
+        for &i in &ctx.priority() {
+            let job = &ctx.queue[i];
+            if job.nodes <= free {
+                starts.push(job.id);
+                free -= job.nodes;
+            } else {
+                break;
+            }
+        }
+        starts
+    }
+}
+
+/// An aggressive reservation: the guarded job starts at `shadow` when
+/// `avail_then` nodes free up; backfilled work must either finish by
+/// `shadow` or fit in the `extra` nodes the guarded job leaves unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Reservation {
+    shadow: Time,
+    extra: u32,
+}
+
+/// Computes the aggressive reservation for a `nodes`-wide job given current
+/// free nodes and the estimated ends of running work.
+fn aggressive_reservation(
+    nodes: u32,
+    free: u32,
+    now: Time,
+    ends: &mut [(Time, u32)], // (estimated end, nodes); sorted in place
+) -> Reservation {
+    debug_assert!(nodes > free, "job that fits needs no reservation");
+    ends.sort_unstable();
+    let mut avail = free;
+    for &(end, n) in ends.iter() {
+        avail += n;
+        if avail >= nodes {
+            return Reservation { shadow: end.max(now), extra: avail - nodes };
+        }
+    }
+    // Wider than the machine is rejected upstream; this is unreachable for
+    // valid traces, but degrade gracefully.
+    Reservation { shadow: Time::MAX / 4, extra: 0 }
+}
+
+/// Whether a candidate backfill respects an aggressive reservation.
+fn respects(job: &QueuedJob, now: Time, res: Option<&mut Reservation>) -> bool {
+    match res {
+        None => true,
+        Some(res) => {
+            if now + job.estimate <= res.shadow {
+                true
+            } else if job.nodes <= res.extra {
+                res.extra -= job.nodes;
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+/// Greedy backfilling pass shared by the no-guarantee and EASY engines:
+/// walk `order` (indices into `ctx.queue`), starting everything that fits
+/// and respects the reservation guarding `guard_idx` (if any).
+fn greedy_pass(
+    ctx: &EngineCtx<'_>,
+    order: &[usize],
+    guard_idx: Option<usize>,
+) -> Vec<JobId> {
+    let mut free = ctx.free_nodes;
+    let mut starts = Vec::new();
+
+    // Estimated ends of running work, for the reservation computation.
+    let mut ends: Vec<(Time, u32)> =
+        ctx.running.iter().map(|r| (r.estimated_end(ctx.now), r.nodes)).collect();
+
+    let mut reservation = None;
+    let mut guarded_job = None;
+    if let Some(g) = guard_idx {
+        let head = &ctx.queue[g];
+        if head.nodes <= free {
+            // The guarded job fits: start it first, unconditionally.
+            starts.push(head.id);
+            free -= head.nodes;
+            ends.push((ctx.now + head.estimate, head.nodes));
+        } else {
+            reservation = Some(aggressive_reservation(head.nodes, free, ctx.now, &mut ends));
+            guarded_job = Some(head.id);
+        }
+    }
+
+    for &i in order {
+        let job = &ctx.queue[i];
+        if Some(job.id) == guarded_job || starts.contains(&job.id) {
+            continue;
+        }
+        if job.nodes <= free && respects(job, ctx.now, reservation.as_mut()) {
+            starts.push(job.id);
+            free -= job.nodes;
+        }
+    }
+    starts
+}
+
+/// The original CPlant engine: no reservations, priority-order greedy
+/// starts, with the starvation-queue head (if any) aggressively guarded.
+#[derive(Debug, Default)]
+pub struct NoGuaranteeEngine;
+
+impl Engine for NoGuaranteeEngine {
+    fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId> {
+        let guard = ctx.starvation.and_then(|cfg| {
+            starving_jobs(ctx.queue, ctx.now, cfg, ctx.fairshare, ctx.running)
+                .first()
+                .copied()
+        });
+        greedy_pass(ctx, &ctx.priority(), guard)
+    }
+}
+
+/// Textbook aggressive (EASY) backfilling: the priority-queue head holds the
+/// reservation; everything else backfills around it.
+#[derive(Debug, Default)]
+pub struct EasyEngine;
+
+impl Engine for EasyEngine {
+    fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId> {
+        let order = ctx.priority();
+        let guard = order.first().copied();
+        greedy_pass(ctx, &order, guard)
+    }
+}
+
+/// Conservative backfilling, optionally with dynamic reservations.
+#[derive(Debug)]
+pub struct ConservativeEngine {
+    dynamic: bool,
+    /// Reserved start per queued job.
+    reservations: HashMap<JobId, Time>,
+}
+
+impl ConservativeEngine {
+    /// `dynamic = false` for §5.3 (keep-unless-better), `true` for §5.4
+    /// (rebuild every event).
+    pub fn new(dynamic: bool) -> Self {
+        ConservativeEngine { dynamic, reservations: HashMap::new() }
+    }
+
+    /// Whether dynamic reservations are on.
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// Reserved start of a queued job (testing/inspection).
+    pub fn reservation(&self, id: JobId) -> Option<Time> {
+        self.reservations.get(&id).copied()
+    }
+
+    /// Profile of running work only (estimate-based).
+    fn running_profile(&self, ctx: &EngineCtx<'_>) -> Profile {
+        let mut p = Profile::new(ctx.total_nodes);
+        for r in ctx.running {
+            p.add(ctx.now, r.estimated_end(ctx.now) - ctx.now, r.nodes);
+        }
+        p
+    }
+
+    /// §5.4: discard everything, rebuild reservations in priority order.
+    fn rebuild(&mut self, ctx: &EngineCtx<'_>) {
+        self.reservations.clear();
+        let mut profile = self.running_profile(ctx);
+        for &i in &ctx.priority() {
+            let job = &ctx.queue[i];
+            let start = profile.earliest_start(ctx.now, job.nodes, job.estimate);
+            profile.add(start, job.estimate, job.nodes);
+            self.reservations.insert(job.id, start);
+        }
+    }
+
+    /// §5.3: each job, in priority order, tries to improve its reservation
+    /// within the current profile; it never relinquishes a reservation for a
+    /// worse one.
+    fn improve(&mut self, ctx: &EngineCtx<'_>) {
+        let mut profile = self.running_profile(ctx);
+        // Seed with every queued job's current reservation. A job without
+        // one (possible only when callers drive the engine by hand) is
+        // treated as reserved at the far future, so it simply gets a fresh
+        // earliest fit below.
+        let far = Time::MAX / 4;
+        for job in ctx.queue {
+            let start = self.reservations.get(&job.id).copied().unwrap_or(far).max(ctx.now);
+            profile.add(start, job.estimate, job.nodes);
+        }
+        for &i in &ctx.priority() {
+            let job = &ctx.queue[i];
+            let old = self.reservations.get(&job.id).copied().unwrap_or(far).max(ctx.now);
+            profile.remove(old, job.estimate, job.nodes);
+            let fresh = profile.earliest_start(ctx.now, job.nodes, job.estimate);
+            let chosen = fresh.min(old);
+            profile.add(chosen, job.estimate, job.nodes);
+            self.reservations.insert(job.id, chosen);
+        }
+    }
+}
+
+impl Engine for ConservativeEngine {
+    fn on_arrival(&mut self, job: &QueuedJob, ctx: &EngineCtx<'_>) {
+        if self.dynamic {
+            // Reservations are rebuilt wholesale in `select_starts`.
+            self.reservations.insert(job.id, Time::MAX / 4);
+            return;
+        }
+        // Earliest hole in the profile of running work plus every existing
+        // reservation (the arriving job is already in ctx.queue; skip it).
+        let mut profile = self.running_profile(ctx);
+        for q in ctx.queue {
+            // Skip the arriving job itself, and any sibling that has not
+            // been reserved yet (simultaneous arrivals are delivered one at
+            // a time; the unreserved sibling's own on_arrival follows).
+            let Some(&start) = self.reservations.get(&q.id) else { continue };
+            if q.id == job.id {
+                continue;
+            }
+            profile.add(start.max(ctx.now), q.estimate, q.nodes);
+        }
+        let start = profile.earliest_start(ctx.now, job.nodes, job.estimate);
+        self.reservations.insert(job.id, start);
+    }
+
+    fn on_start(&mut self, id: JobId) {
+        self.reservations.remove(&id);
+    }
+
+    fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId> {
+        if ctx.queue.is_empty() {
+            self.reservations.clear();
+            return Vec::new();
+        }
+        if self.dynamic {
+            self.rebuild(ctx);
+        } else {
+            self.improve(ctx);
+        }
+        let mut free = ctx.free_nodes;
+        let mut starts = Vec::new();
+        for &i in &ctx.priority() {
+            let job = &ctx.queue[i];
+            if self.reservations[&job.id] <= ctx.now && job.nodes <= free {
+                starts.push(job.id);
+                free -= job.nodes;
+            }
+        }
+        starts
+    }
+}
+
+/// Reservation-depth backfilling: the first `depth` jobs in priority order
+/// hold reservations, rebuilt from scratch at every scheduling event (like
+/// dynamic conservative, but only to depth `n`); deeper jobs backfill
+/// greedily as long as they fit the profile *right now* — which is exactly
+/// the condition for not delaying any reserved job.
+#[derive(Debug)]
+pub struct DepthEngine {
+    depth: u32,
+}
+
+impl DepthEngine {
+    /// An engine reserving the first `depth` priority-ordered jobs.
+    pub fn new(depth: u32) -> Self {
+        DepthEngine { depth }
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+impl Engine for DepthEngine {
+    fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId> {
+        let mut profile = Profile::new(ctx.total_nodes);
+        for r in ctx.running {
+            profile.add(ctx.now, r.estimated_end(ctx.now) - ctx.now, r.nodes);
+        }
+        let mut free = ctx.free_nodes;
+        let mut starts = Vec::new();
+        for (rank, &i) in ctx.priority().iter().enumerate() {
+            let job = &ctx.queue[i];
+            let reserved = (rank as u32) < self.depth;
+            let start = profile.earliest_start(ctx.now, job.nodes, job.estimate);
+            if start == ctx.now && job.nodes <= free {
+                starts.push(job.id);
+                free -= job.nodes;
+                profile.add(ctx.now, job.estimate, job.nodes);
+            } else if reserved {
+                // Hold the slot: deeper jobs must schedule around it.
+                profile.add(start, job.estimate, job.nodes);
+            }
+            // Unreserved jobs that don't fit now simply wait; they claim
+            // nothing in the profile.
+        }
+        starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FairshareConfig;
+    use fairsched_workload::job::UserId;
+    use fairsched_workload::time::HOUR;
+
+    fn queued(id: u32, user: u32, nodes: u32, estimate: Time, arrival: Time) -> QueuedJob {
+        QueuedJob { id: JobId(id), user: UserId(user), nodes, estimate, arrival }
+    }
+
+    fn running(id: u32, nodes: u32, start: Time, estimate: Time) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            user: UserId(99),
+            nodes,
+            start,
+            estimate,
+            scheduled_end: start + estimate,
+        }
+    }
+
+    fn ctx<'a>(
+        now: Time,
+        total: u32,
+        running: &'a [RunningJob],
+        queue: &'a [QueuedJob],
+        fairshare: &'a FairshareTracker,
+        starvation: Option<&'a StarvationConfig>,
+    ) -> EngineCtx<'a> {
+        let used: u32 = running.iter().map(|r| r.nodes).sum();
+        EngineCtx {
+            now,
+            free_nodes: total - used,
+            total_nodes: total,
+            running,
+            queue,
+            fairshare,
+            order: QueueOrder::Fairshare,
+            starvation,
+        }
+    }
+
+    fn fs() -> FairshareTracker {
+        FairshareTracker::new(FairshareConfig::default())
+    }
+
+    #[test]
+    fn no_guarantee_starts_everything_that_fits_in_priority_order() {
+        let fs = fs();
+        let queue = vec![
+            queued(1, 1, 6, 100, 0),
+            queued(2, 2, 3, 100, 1),
+            queued(3, 3, 4, 100, 2),
+        ];
+        let mut engine = NoGuaranteeEngine;
+        let c = ctx(10, 10, &[], &queue, &fs, None);
+        // 10 free: job1 (6) + job2 (3) fit; job3 (4) does not after them.
+        assert_eq!(engine.select_starts(&c), vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn no_guarantee_lets_narrow_jobs_leapfrog_wide_ones() {
+        // The unfairness the paper describes: a wide high-priority job waits
+        // while narrow lower-priority jobs start.
+        let fs = fs();
+        let running = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0), // wide, needs 8, only 4 free
+            queued(2, 2, 2, 100, 1), // narrow
+        ];
+        let mut engine = NoGuaranteeEngine;
+        let c = ctx(10, 10, &running, &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn starvation_head_reservation_blocks_delaying_backfills() {
+        let fs = fs();
+        // 6 of 10 nodes busy until t = 1000 (estimate).
+        let runners = vec![running(90, 6, 0, 1000)];
+        // Wide job has starved (arrived at 0, now 24h later).
+        let now = 24 * HOUR;
+        let cfg = StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None };
+        let long_estimate = 2000 * HOUR; // would delay the shadow
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),             // starving, wide
+            queued(2, 2, 4, long_estimate, now), // fits free nodes but delays head
+            queued(3, 3, 2, long_estimate, now), // fits in extra (10-8=2)
+        ];
+        let mut engine = NoGuaranteeEngine;
+        let c = ctx(now, 10, &runners, &queue, &fs, Some(&cfg));
+        // Shadow = runner's estimated end; extra = (4 free + 6 freed) - 8 = 2.
+        // Job2 (4 nodes, long) violates; job3 (2 nodes) fits in extra.
+        assert_eq!(engine.select_starts(&c), vec![JobId(3)]);
+    }
+
+    #[test]
+    fn without_starvation_queue_the_same_backfill_is_allowed() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        let now = 24 * HOUR;
+        let queue = vec![queued(1, 1, 8, 100, 0), queued(2, 2, 4, 2000 * HOUR, now)];
+        let mut engine = NoGuaranteeEngine;
+        let c = ctx(now, 10, &runners, &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn short_backfills_under_the_shadow_are_allowed() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        let now = 24 * HOUR;
+        let cfg = StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None };
+        // Runner end estimate: started at 0 with estimate 1000 → overdue,
+        // estimated end = now + 1. Use a fresh runner instead.
+        let runners2 = vec![running(90, 6, now, 1000)];
+        drop(runners);
+        let queue = vec![
+            queued(1, 1, 8, 100, 0), // starving head
+            queued(2, 2, 4, 500, now), // ends before shadow (now+1000)
+        ];
+        let mut engine = NoGuaranteeEngine;
+        let c = ctx(now, 10, &runners2, &queue, &fs, Some(&cfg));
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn starving_head_starts_when_it_fits() {
+        let fs = fs();
+        let now = 24 * HOUR;
+        let cfg = StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None };
+        let queue = vec![queued(1, 1, 8, 100, 0), queued(2, 2, 2, 100, now)];
+        let mut engine = NoGuaranteeEngine;
+        let c = ctx(now, 10, &[], &queue, &fs, Some(&cfg));
+        assert_eq!(engine.select_starts(&c), vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn easy_guards_the_priority_head() {
+        let mut fs = fs();
+        // User 1 heavy → its wide job is LOW priority; user 2's job heads
+        // the queue.
+        fs.charge(UserId(1), 1e9);
+        let runners = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 2, 50, 0),   // low priority, fits
+            queued(2, 2, 8, 100, 5),  // priority head, needs 8 (4 free)
+        ];
+        let mut engine = EasyEngine;
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // Head (job2) can't start; job1 (2 nodes ≤ extra = 10-8=2) backfills.
+        assert_eq!(engine.select_starts(&c), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn conservative_reserves_on_arrival_and_starts_when_due() {
+        let fs = fs();
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 4, 100, 10)];
+        let mut engine = ConservativeEngine::new(false);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        // Machine full until 1000: reserved at 1000.
+        assert_eq!(engine.reservation(JobId(1)), Some(1000));
+        assert!(engine.select_starts(&c).is_empty());
+    }
+
+    #[test]
+    fn conservative_backfills_into_profile_holes() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        // Wide job reserved at 1000 leaves 4 nodes free until then.
+        let queue1 = vec![queued(1, 1, 8, 500, 10)];
+        let mut engine = ConservativeEngine::new(false);
+        let c1 = ctx(10, 10, &runners, &queue1, &fs, None);
+        engine.on_arrival(&queue1[0], &c1);
+        assert_eq!(engine.reservation(JobId(1)), Some(1000));
+
+        // A 4-node job ending before 1000 slots in front.
+        let queue2 = vec![queued(1, 1, 8, 500, 10), queued(2, 2, 4, 500, 20)];
+        let c2 = ctx(20, 10, &runners, &queue2, &fs, None);
+        engine.on_arrival(&queue2[1], &c2);
+        assert_eq!(engine.reservation(JobId(2)), Some(20));
+        // And a 4-node job too LONG to finish by 1000 cannot jump the wide
+        // job: 4 free now, but at 1000 the wide job needs 8 of 10.
+        let queue3 = vec![
+            queued(1, 1, 8, 500, 10),
+            queued(2, 2, 4, 500, 20),
+            queued(3, 3, 4, 5000, 30),
+        ];
+        let c3 = ctx(30, 10, &runners, &queue3, &fs, None);
+        engine.on_arrival(&queue3[2], &c3);
+        // Job3 must wait until the wide job's reserved block ends (1500).
+        assert_eq!(engine.reservation(JobId(3)), Some(1500));
+    }
+
+    #[test]
+    fn conservative_select_starts_due_reservations() {
+        let fs = fs();
+        let queue = vec![queued(1, 1, 4, 100, 0)];
+        let mut engine = ConservativeEngine::new(false);
+        let c = ctx(0, 10, &[], &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        assert_eq!(engine.reservation(JobId(1)), Some(0));
+        assert_eq!(engine.select_starts(&c), vec![JobId(1)]);
+        engine.on_start(JobId(1));
+        assert_eq!(engine.reservation(JobId(1)), None);
+    }
+
+    #[test]
+    fn conservative_compression_improves_after_completion() {
+        let fs = fs();
+        // Runner holds 10 nodes with estimate to 1000.
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 4, 100, 10)];
+        let mut engine = ConservativeEngine::new(false);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        assert_eq!(engine.reservation(JobId(1)), Some(1000));
+        // The runner finishes early at t=200: improvement finds t=200.
+        let c2 = ctx(200, 10, &[], &queue, &fs, None);
+        let starts = engine.select_starts(&c2);
+        assert_eq!(starts, vec![JobId(1)]);
+        assert_eq!(engine.reservation(JobId(1)), Some(200));
+    }
+
+    #[test]
+    fn dynamic_rebuild_reorders_by_current_priority() {
+        let mut fs = fs();
+        // job1's user becomes heavy AFTER its arrival.
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 10, 100, 10), queued(2, 2, 10, 100, 20)];
+        let mut engine = ConservativeEngine::new(true);
+        let c = ctx(20, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        engine.on_arrival(&queue[1], &c);
+        engine.select_starts(&c);
+        // Equal usage: FCFS tie-break → job1 first (1000), job2 second (1100).
+        assert_eq!(engine.reservation(JobId(1)), Some(1000));
+        assert_eq!(engine.reservation(JobId(2)), Some(1100));
+        // Now user 1 becomes heavy: dynamic rebuild flips the order.
+        fs.charge(UserId(1), 1e9);
+        let c2 = ctx(30, 10, &runners, &queue, &fs, None);
+        engine.select_starts(&c2);
+        assert_eq!(engine.reservation(JobId(2)), Some(1000));
+        assert_eq!(engine.reservation(JobId(1)), Some(1100));
+    }
+
+    #[test]
+    fn non_dynamic_keeps_reservations_against_priority_flips() {
+        let mut fs = fs();
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 10, 100, 10), queued(2, 2, 10, 100, 20)];
+        let mut engine = ConservativeEngine::new(false);
+        let c = ctx(20, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        engine.on_arrival(&queue[1], &c);
+        // job1 reserved at 1000, job2 at 1100.
+        fs.charge(UserId(1), 1e9);
+        let c2 = ctx(30, 10, &runners, &queue, &fs, None);
+        engine.select_starts(&c2);
+        // §5.3: job1 keeps its (better) reservation despite its user's
+        // priority collapse; job2 cannot improve past it.
+        assert_eq!(engine.reservation(JobId(1)), Some(1000));
+        assert_eq!(engine.reservation(JobId(2)), Some(1100));
+    }
+
+    #[test]
+    fn no_backfill_blocks_everything_behind_a_stuck_head() {
+        // Figure 1's exact scenario: jobB fits beside the running work but
+        // must wait because jobA heads the queue.
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0), // jobA: needs 8, only 4 free
+            queued(2, 2, 4, 30, 1),  // jobB: fits, but is not the head
+        ];
+        let mut engine = NoBackfillEngine;
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), Vec::<JobId>::new());
+    }
+
+    #[test]
+    fn no_backfill_starts_consecutive_fitting_heads() {
+        let fs = fs();
+        let queue = vec![
+            queued(1, 1, 4, 100, 0),
+            queued(2, 2, 4, 100, 1),
+            queued(3, 3, 8, 100, 2), // does not fit after 1 and 2
+            queued(4, 4, 1, 100, 3), // fits but is behind the stuck job 3
+        ];
+        let mut engine = NoBackfillEngine;
+        let c = ctx(0, 10, &[], &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn depth_zero_is_pure_greedy_backfilling() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),          // priority head, doesn't fit
+            queued(2, 2, 4, 2000 * HOUR, 10), // would delay the head's slot
+        ];
+        let mut engine = DepthEngine::new(0);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // No reservations: the long narrow job starts anyway.
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn depth_one_protects_the_priority_head_like_easy() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 10, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),          // reserved at the runner's end
+            queued(2, 2, 4, 2000 * HOUR, 10), // would overlap the reservation
+            queued(3, 3, 4, 500, 10),         // fits before the reservation
+        ];
+        let mut engine = DepthEngine::new(1);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // Job 1 reserved at 1010 (8 of 10 nodes). Job 2 (4 nodes ending far
+        // past 1010) collides with it; job 3 ends at 510 < 1010 and fits.
+        assert_eq!(engine.select_starts(&c), vec![JobId(3)]);
+    }
+
+    #[test]
+    fn deep_reservations_protect_multiple_jobs() {
+        let fs = fs();
+        let runners = vec![running(90, 10, 10, 990)]; // machine full till 1000
+        let queue = vec![
+            queued(1, 1, 10, 100, 0), // reserved [1000, 1100)
+            queued(2, 2, 10, 100, 1), // reserved [1100, 1200) at depth 2
+            queued(3, 3, 1, 2000, 2), // would delay job 2 but not job 1
+        ];
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // Depth 2: job 3 (ends at 2010, overlapping both reservations on a
+        // full profile) cannot start.
+        let mut deep = DepthEngine::new(2);
+        assert_eq!(deep.select_starts(&c), Vec::<JobId>::new());
+        // Depth 1: only job 1 is protected; job 3 still cannot start — the
+        // profile during [1000,1100) is full with job 1's 10 nodes.
+        let mut shallow = DepthEngine::new(1);
+        assert_eq!(shallow.select_starts(&c), Vec::<JobId>::new());
+        // Depth 0: nothing is protected; job 3 starts immediately? No — the
+        // machine is FULL now (free = 0), so nothing starts either way.
+        let mut none = DepthEngine::new(0);
+        assert_eq!(none.select_starts(&c), Vec::<JobId>::new());
+    }
+
+    #[test]
+    fn depth_engine_starts_everything_on_an_empty_machine() {
+        let fs = fs();
+        let queue = vec![queued(1, 1, 4, 100, 0), queued(2, 2, 6, 100, 1)];
+        let mut engine = DepthEngine::new(3);
+        let c = ctx(0, 10, &[], &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn reservation_math_for_aggressive_guard() {
+        let mut ends = vec![(500, 3), (200, 3)];
+        let r = aggressive_reservation(8, 4, 0, &mut ends);
+        // free 4 + 3 at 200 = 7 < 8; + 3 at 500 = 10 ≥ 8 → shadow 500, extra 2.
+        assert_eq!(r, Reservation { shadow: 500, extra: 2 });
+    }
+}

@@ -1,0 +1,156 @@
+//! The discrete-event core: events and a deterministic priority queue.
+//!
+//! Ties are broken by a fixed kind order and then by job id, so a simulation
+//! is a pure function of (trace, config) — the property-test suite and the
+//! figure regeneration both depend on that.
+
+use fairsched_workload::job::JobId;
+use fairsched_workload::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event.
+///
+/// The discriminant order is the processing order at equal times:
+/// completions free capacity before kills are considered, kills before new
+/// arrivals see the machine, and arrivals last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A running job's (possibly revised) completion instant.
+    Completion,
+    /// A running job reaches its wall-clock limit.
+    WclExpiry,
+    /// A job enters the queue.
+    Arrival,
+}
+
+impl EventKind {
+    fn rank(self) -> u8 {
+        match self {
+            EventKind::Completion => 0,
+            EventKind::WclExpiry => 1,
+            EventKind::Arrival => 2,
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When it fires.
+    pub time: Time,
+    /// What fires.
+    pub kind: EventKind,
+    /// The job it concerns.
+    pub job: JobId,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.kind.rank(), self.job.0).cmp(&(
+            other.time,
+            other.kind.rank(),
+            other.job.0,
+        ))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of events with deterministic tie-breaking.
+///
+/// Completion and WCL events are *lazily invalidated*: the simulator checks
+/// on pop whether the event still matches the job's current state (a job
+/// killed at its WCL leaves a stale completion event behind). The queue
+/// itself only orders.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<std::cmp::Reverse<Event>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, time: Time, kind: EventKind, job: JobId) {
+        self.heap.push(std::cmp::Reverse(Event { time, kind, job }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    /// The earliest event without removing it.
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek().map(|r| &r.0)
+    }
+
+    /// Number of pending events (including stale ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: Time, kind: EventKind, job: u32) -> Event {
+        Event { time, kind, job: JobId(job) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::Arrival, JobId(1));
+        q.push(10, EventKind::Arrival, JobId(2));
+        q.push(20, EventKind::Arrival, JobId(3));
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn completions_precede_arrivals_at_equal_times() {
+        let mut q = EventQueue::new();
+        q.push(10, EventKind::Arrival, JobId(1));
+        q.push(10, EventKind::Completion, JobId(2));
+        q.push(10, EventKind::WclExpiry, JobId(3));
+        assert_eq!(q.pop(), Some(ev(10, EventKind::Completion, 2)));
+        assert_eq!(q.pop(), Some(ev(10, EventKind::WclExpiry, 3)));
+        assert_eq!(q.pop(), Some(ev(10, EventKind::Arrival, 1)));
+    }
+
+    #[test]
+    fn equal_time_and_kind_break_ties_by_job_id() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::Arrival, JobId(9));
+        q.push(5, EventKind::Arrival, JobId(3));
+        assert_eq!(q.pop().unwrap().job, JobId(3));
+        assert_eq!(q.pop().unwrap().job, JobId(9));
+    }
+
+    #[test]
+    fn len_and_peek_agree_with_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, EventKind::Arrival, JobId(1));
+        q.push(2, EventKind::Arrival, JobId(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek().unwrap().time, 1);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

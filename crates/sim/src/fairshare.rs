@@ -1,0 +1,198 @@
+//! The Sandia fairshare priority: per-user decayed processor-seconds.
+//!
+//! §2.1: "The 'fairshare' queuing order was determined by a historical sum
+//! of processor-seconds used that decayed every 24 hours. This provided
+//! priority to users who had not recently used the machine."
+//!
+//! [`FairshareTracker`] integrates each user's node-seconds as jobs run and
+//! multiplies every accumulator by the decay factor at each interval
+//! boundary of simulated time. Lower usage ⇒ higher queue priority.
+
+use crate::config::FairshareConfig;
+use fairsched_workload::job::UserId;
+use fairsched_workload::time::Time;
+use std::collections::HashMap;
+
+/// Per-user decayed processor-second accumulator.
+#[derive(Debug, Clone)]
+pub struct FairshareTracker {
+    config: FairshareConfig,
+    usage: HashMap<UserId, f64>,
+    last: Time,
+}
+
+impl FairshareTracker {
+    /// A tracker starting at time 0 with all usage zero.
+    pub fn new(config: FairshareConfig) -> Self {
+        FairshareTracker { config, usage: HashMap::new(), last: 0 }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FairshareConfig {
+        &self.config
+    }
+
+    /// The time the tracker has been advanced to.
+    pub fn now(&self) -> Time {
+        self.last
+    }
+
+    /// Advances simulated time to `to`, accruing `nodes` processor-seconds
+    /// per second for each `(user, nodes)` pair in `running`, and applying
+    /// the decay at every interval boundary crossed.
+    ///
+    /// Must be called with monotonically non-decreasing `to`; the running
+    /// set is assumed constant over `[now, to)` (the simulator calls this
+    /// between consecutive events, where that holds by construction).
+    pub fn advance(&mut self, to: Time, running: &[(UserId, u32)]) {
+        assert!(to >= self.last, "fairshare time moved backwards");
+        let interval = self.config.decay_interval;
+        let mut t = self.last;
+        while t < to {
+            let boundary = (t / interval + 1) * interval;
+            let seg_end = boundary.min(to);
+            let dt = (seg_end - t) as f64;
+            if dt > 0.0 {
+                for &(user, nodes) in running {
+                    *self.usage.entry(user).or_insert(0.0) += nodes as f64 * dt;
+                }
+            }
+            if seg_end == boundary {
+                for v in self.usage.values_mut() {
+                    *v *= self.config.decay_factor;
+                }
+            }
+            t = seg_end;
+        }
+        self.last = to;
+    }
+
+    /// Current decayed usage of a user (0 if never seen).
+    pub fn usage(&self, user: UserId) -> f64 {
+        self.usage.get(&user).copied().unwrap_or(0.0)
+    }
+
+    /// Adds a one-shot usage charge (used by tests and by warm-start
+    /// scenarios; the simulator itself accrues via [`advance`]).
+    ///
+    /// [`advance`]: FairshareTracker::advance
+    pub fn charge(&mut self, user: UserId, proc_seconds: f64) {
+        *self.usage.entry(user).or_insert(0.0) += proc_seconds;
+    }
+
+    /// Mean usage across a set of users (0 for an empty set). Used by the
+    /// heavy-user rule, which compares each user to the active-user mean.
+    pub fn mean_usage<'a>(&self, users: impl IntoIterator<Item = &'a UserId>) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for u in users {
+            sum += self.usage(*u);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_workload::time::{DAY, HOUR};
+
+    fn tracker(factor: f64) -> FairshareTracker {
+        FairshareTracker::new(FairshareConfig { decay_interval: DAY, decay_factor: factor })
+    }
+
+    #[test]
+    fn accrues_node_seconds_linearly() {
+        let mut fs = tracker(1.0);
+        let u = UserId(1);
+        fs.advance(100, &[(u, 4)]);
+        assert_eq!(fs.usage(u), 400.0);
+        fs.advance(150, &[(u, 4)]);
+        assert_eq!(fs.usage(u), 600.0);
+        // A user not running accrues nothing.
+        assert_eq!(fs.usage(UserId(2)), 0.0);
+    }
+
+    #[test]
+    fn decays_at_each_interval_boundary() {
+        let mut fs = tracker(0.5);
+        let u = UserId(1);
+        fs.charge(u, 1000.0);
+        // Cross exactly two boundaries with nothing running.
+        fs.advance(2 * DAY, &[]);
+        assert!((fs.usage(u) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accrual_within_a_segment_is_decayed_by_later_boundaries() {
+        let mut fs = tracker(0.5);
+        let u = UserId(1);
+        // Run 1 node for the whole first day, then idle for a day.
+        fs.advance(DAY, &[(u, 1)]);
+        // Day-1 accrual (86400) is decayed exactly once at the day-1 boundary.
+        assert!((fs.usage(u) - DAY as f64 * 0.5).abs() < 1e-6);
+        fs.advance(2 * DAY, &[]);
+        assert!((fs.usage(u) - DAY as f64 * 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_segments_accrue_partially() {
+        let mut fs = tracker(0.5);
+        let u = UserId(7);
+        fs.advance(DAY - HOUR, &[]);
+        fs.advance(DAY + HOUR, &[(u, 2)]);
+        // 1 hour before the boundary (decayed once) + 1 hour after (not).
+        let expect = 2.0 * HOUR as f64 * 0.5 + 2.0 * HOUR as f64;
+        assert!((fs.usage(u) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiple_users_accrue_independently() {
+        let mut fs = tracker(1.0);
+        fs.advance(10, &[(UserId(1), 3), (UserId(2), 5)]);
+        assert_eq!(fs.usage(UserId(1)), 30.0);
+        assert_eq!(fs.usage(UserId(2)), 50.0);
+    }
+
+    #[test]
+    fn factor_one_disables_decay() {
+        let mut fs = tracker(1.0);
+        fs.charge(UserId(1), 42.0);
+        fs.advance(10 * DAY, &[]);
+        assert_eq!(fs.usage(UserId(1)), 42.0);
+    }
+
+    #[test]
+    fn mean_usage_over_selected_users() {
+        let mut fs = tracker(1.0);
+        fs.charge(UserId(1), 100.0);
+        fs.charge(UserId(2), 300.0);
+        let users = [UserId(1), UserId(2), UserId(3)];
+        assert!((fs.mean_usage(users.iter()) - 400.0 / 3.0).abs() < 1e-9);
+        assert_eq!(fs.mean_usage([].iter()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn time_cannot_move_backwards() {
+        let mut fs = tracker(1.0);
+        fs.advance(100, &[]);
+        fs.advance(50, &[]);
+    }
+
+    #[test]
+    fn advance_to_exact_boundary_decays_once() {
+        let mut fs = tracker(0.5);
+        fs.charge(UserId(1), 100.0);
+        fs.advance(DAY, &[]);
+        assert!((fs.usage(UserId(1)) - 50.0).abs() < 1e-9);
+        // Advancing zero time does nothing more.
+        fs.advance(DAY, &[]);
+        assert!((fs.usage(UserId(1)) - 50.0).abs() < 1e-9);
+    }
+}

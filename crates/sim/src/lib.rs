@@ -1,0 +1,50 @@
+//! # fairsched-sim
+//!
+//! A deterministic event-driven parallel job scheduling simulator — the
+//! substrate the fairness case study runs on, rebuilt from §3.1 of Leung,
+//! Sabin & Sadayappan (SAND2008-1310 / ICPP 2010).
+//!
+//! The simulator replays a workload trace (see `fairsched-workload`) under a
+//! configurable policy and emits a [`simulator::Schedule`] that the
+//! metrics crate scores. The moving parts:
+//!
+//! * [`config`] — machine size, queue order, fairshare decay, kill policy,
+//!   starvation queue, runtime limits, and engine selection;
+//! * [`event`] — the deterministic event queue (completions before expiries
+//!   before arrivals, ties by job id);
+//! * [`fairshare`] — the decaying per-user processor-second accumulator that
+//!   drives Sandia's queue priority;
+//! * [`engine`] — the scheduling engines: the original CPlant no-guarantee
+//!   backfiller with its starvation queue, textbook EASY, and conservative
+//!   backfilling with or without dynamic reservations;
+//! * [`profile`] — the future-capacity step function conservative
+//!   backfilling plans against;
+//! * [`listsched`] — the list scheduler the hybrid fair-start-time metric is
+//!   defined by (§4.1);
+//! * [`starvation`] — starvation-queue eligibility and the heavy-user bar;
+//! * [`state`] — queue/running views and the [`state::Observer`]
+//!   hook metrics attach to;
+//! * [`simulator`] — the driver: [`simulator::simulate`].
+//!
+//! Determinism is a contract: equal (trace, config) inputs produce equal
+//! schedules, event ties are totally ordered, and nothing in this crate
+//! consults a clock or RNG.
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod fairshare;
+pub mod listsched;
+pub mod profile;
+pub mod simulator;
+pub mod starvation;
+pub mod state;
+
+pub use config::{
+    AllocationModel, EngineKind, FairshareConfig, HeavyUserRule, KillPolicy, QueueOrder,
+    RuntimeLimit, SimConfig, StarvationConfig,
+};
+pub use fairshare::FairshareTracker;
+pub use listsched::NodeTimeline;
+pub use simulator::{simulate, JobRecord, OriginalOutcome, PlacementStats, QueueStats, Schedule};
+pub use state::{ArrivalView, NullObserver, Observer, QueuedJob, RunningJob};

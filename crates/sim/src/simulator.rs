@@ -1,0 +1,1266 @@
+//! The event-driven simulator: the paper's "locally developed event based
+//! simulator" (§3.1), rebuilt.
+//!
+//! [`simulate`] replays a trace under a [`SimConfig`] and produces a
+//! [`Schedule`]: one record per submission (chunk, when runtime limits are
+//! on), plus the exact loss-of-capacity and utilization integrals.
+//!
+//! Semantics, in event order at each instant: completions free capacity,
+//! wall-clock-limit expiries are considered, arrivals queue, then the
+//! scheduling engine runs (interleaved with the when-needed kill rule) until
+//! a fixpoint.
+
+use crate::config::{AllocationModel, KillPolicy, SimConfig};
+use crate::engine::{make_engine, Engine, EngineCtx};
+use crate::event::{EventKind, EventQueue};
+use crate::fairshare::FairshareTracker;
+use crate::state::{ArrivalView, Observer, QueuedJob, RunningJob};
+use fairsched_cpa::alloc::AllocId;
+use fairsched_cpa::{frag, Allocator, CountingAllocator, LinearAllocator};
+use fairsched_workload::job::{GroupId, Job, JobId, UserId};
+use fairsched_workload::time::{Time, WEEK};
+use std::collections::HashMap;
+
+/// One submission's fate. With runtime limits active, a long job appears as
+/// several records chained by [`JobRecord::origin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// This submission's id (fresh ids for chunks ≥ 2).
+    pub id: JobId,
+    /// The original trace job this record belongs to (== `id` for
+    /// standalone jobs and first chunks).
+    pub origin: JobId,
+    /// 0 for standalone submissions; 1-based chunk number within a chain.
+    pub chunk_index: u32,
+    /// Submitting user.
+    pub user: UserId,
+    /// Submitting group.
+    pub group: GroupId,
+    /// Width in nodes.
+    pub nodes: u32,
+    /// When this submission entered the queue.
+    pub submit: Time,
+    /// When the *original* job entered the system (chains: first chunk's
+    /// submit).
+    pub origin_submit: Time,
+    /// Start time.
+    pub start: Time,
+    /// End time (completion or kill).
+    pub end: Time,
+    /// Wall-clock limit of this submission.
+    pub estimate: Time,
+    /// Whether the scheduler killed it at/after its wall-clock limit.
+    pub killed: bool,
+}
+
+impl JobRecord {
+    /// Seconds actually executed.
+    pub fn executed(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Queue wait of this submission.
+    pub fn wait(&self) -> Time {
+        self.start - self.submit
+    }
+
+    /// Turnaround of this submission (not the chain).
+    pub fn turnaround(&self) -> Time {
+        self.end - self.submit
+    }
+}
+
+/// A whole original job, chains collapsed (the unit user metrics are
+/// reported over).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OriginalOutcome {
+    /// Original trace job id.
+    pub origin: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Width in nodes.
+    pub nodes: u32,
+    /// Original submit time.
+    pub submit: Time,
+    /// First chunk's start.
+    pub first_start: Time,
+    /// Last chunk's end.
+    pub completion: Time,
+    /// Total seconds executed across chunks.
+    pub executed: Time,
+    /// Number of submissions (1 for standalone).
+    pub chunks: u32,
+    /// Whether any chunk was killed.
+    pub killed: bool,
+}
+
+impl OriginalOutcome {
+    /// Turnaround of the original job: submit → last completion.
+    pub fn turnaround(&self) -> Time {
+        self.completion - self.submit
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Machine size.
+    pub nodes: u32,
+    /// Per-submission records, sorted by id.
+    pub records: Vec<JobRecord>,
+    /// ∫ min(queued demand, idle nodes) dt — the loss-of-capacity numerator
+    /// (Equation 4), in node-seconds.
+    pub waste_nodeseconds: f64,
+    /// ∫ busy nodes dt, in node-seconds.
+    pub busy_nodeseconds: f64,
+    /// Busy node-seconds binned by simulated week (for Figure 3's actual
+    /// utilization).
+    pub weekly_busy: Vec<f64>,
+    /// Earliest job start (Equation 3's `MinStartTime`).
+    pub min_start: Time,
+    /// Latest completion (`MaxCompletionTime`).
+    pub max_completion: Time,
+    /// Placement-quality statistics, present when the simulation ran with a
+    /// linear (CPA) allocation model.
+    pub placement: Option<PlacementStats>,
+    /// Queue-pressure statistics over the whole run.
+    pub queue_stats: QueueStats,
+}
+
+/// Time-weighted queue-pressure statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueueStats {
+    /// Largest number of jobs simultaneously queued.
+    pub max_queued_jobs: usize,
+    /// Largest queued node demand observed.
+    pub max_queued_demand: u64,
+    /// Time-weighted mean number of queued jobs.
+    pub mean_queued_jobs: f64,
+    /// Time-weighted mean queued node demand.
+    pub mean_queued_demand: f64,
+}
+
+/// Aggregate placement quality under a linear (CPA) allocation model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlacementStats {
+    /// Number of allocations placed.
+    pub allocations: usize,
+    /// Mean compactness (1 = contiguous) across allocations.
+    pub mean_compactness: f64,
+    /// Mean physical span across allocations, in nodes.
+    pub mean_span: f64,
+    /// Allocations that had to scatter (span exceeds the contiguous
+    /// minimum).
+    pub scattered: usize,
+    /// Mean external fragmentation of the free space, sampled just before
+    /// each allocation.
+    pub mean_external_frag: f64,
+}
+
+impl Schedule {
+    /// Makespan per Equation 3.
+    pub fn makespan(&self) -> Time {
+        self.max_completion.saturating_sub(self.min_start)
+    }
+
+    /// Utilization per Equation 2.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.makespan() as f64 * self.nodes as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.busy_nodeseconds / denom
+    }
+
+    /// Loss of capacity per Equation 4.
+    pub fn loss_of_capacity(&self) -> f64 {
+        let denom = self.makespan() as f64 * self.nodes as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.waste_nodeseconds / denom
+    }
+
+    /// Weekly actual utilization (Figure 3's second series).
+    pub fn weekly_utilization(&self) -> Vec<f64> {
+        let cap = self.nodes as f64 * WEEK as f64;
+        self.weekly_busy.iter().map(|b| b / cap).collect()
+    }
+
+    /// Collapses chains into per-original outcomes, sorted by origin id.
+    pub fn originals(&self) -> Vec<OriginalOutcome> {
+        let mut map: HashMap<JobId, OriginalOutcome> = HashMap::new();
+        for r in &self.records {
+            map.entry(r.origin)
+                .and_modify(|o| {
+                    o.first_start = o.first_start.min(r.start);
+                    o.completion = o.completion.max(r.end);
+                    o.executed += r.executed();
+                    o.chunks += 1;
+                    o.killed |= r.killed;
+                })
+                .or_insert(OriginalOutcome {
+                    origin: r.origin,
+                    user: r.user,
+                    nodes: r.nodes,
+                    submit: r.origin_submit,
+                    first_start: r.start,
+                    completion: r.end,
+                    executed: r.executed(),
+                    chunks: 1,
+                    killed: r.killed,
+                });
+        }
+        let mut out: Vec<OriginalOutcome> = map.into_values().collect();
+        out.sort_by_key(|o| o.origin);
+        out
+    }
+}
+
+/// A submission known to the simulator but not yet arrived.
+#[derive(Debug, Clone, Copy)]
+struct PendingSubmission {
+    origin: JobId,
+    chunk_index: u32,
+    user: UserId,
+    group: GroupId,
+    nodes: u32,
+    runtime: Time,
+    estimate: Time,
+    origin_submit: Time,
+}
+
+/// Progress of a runtime-limited chain.
+#[derive(Debug, Clone, Copy)]
+struct ChainState {
+    origin: JobId,
+    user: UserId,
+    group: GroupId,
+    nodes: u32,
+    origin_submit: Time,
+    remaining_actual: Time,
+    remaining_estimate: Time,
+    next_chunk: u32,
+}
+
+/// A record under construction.
+#[derive(Debug, Clone, Copy)]
+struct OpenRecord {
+    pending: PendingSubmission,
+    submit: Time,
+    start: Option<Time>,
+}
+
+/// The node-assignment backend: either pure counting or a real CPA line.
+/// Both honour the same contract (allocate on start, release on end); only
+/// the linear variant tracks concrete nodes and placement quality.
+struct NodeBackend {
+    kind: BackendKind,
+    ids: HashMap<JobId, AllocId>,
+    // PlacementStats accumulators (linear only).
+    allocations: usize,
+    compactness_sum: f64,
+    span_sum: f64,
+    scattered: usize,
+    frag_sum: f64,
+}
+
+enum BackendKind {
+    Counting(CountingAllocator),
+    Linear(LinearAllocator),
+}
+
+impl NodeBackend {
+    fn new(cfg: &SimConfig) -> Self {
+        let kind = match cfg.allocation {
+            AllocationModel::Counting => BackendKind::Counting(CountingAllocator::new(cfg.nodes)),
+            AllocationModel::Linear(strategy) => {
+                BackendKind::Linear(LinearAllocator::new(cfg.nodes, strategy))
+            }
+        };
+        NodeBackend {
+            kind,
+            ids: HashMap::new(),
+            allocations: 0,
+            compactness_sum: 0.0,
+            span_sum: 0.0,
+            scattered: 0,
+            frag_sum: 0.0,
+        }
+    }
+
+    fn place(&mut self, job: JobId, nodes: u32) {
+        let allocation = match &mut self.kind {
+            BackendKind::Counting(a) => {
+                a.allocate(nodes).expect("scheduler start gate guarantees fit")
+            }
+            BackendKind::Linear(a) => {
+                // Sample fragmentation of the free space this job faced.
+                self.frag_sum += frag::external_fragmentation(&a.free_runs());
+                let allocation =
+                    a.allocate(nodes).expect("scheduler start gate guarantees fit");
+                self.allocations += 1;
+                self.compactness_sum += frag::compactness(&allocation.nodes);
+                let span = frag::span(&allocation.nodes);
+                self.span_sum += span as f64;
+                if span > nodes.saturating_sub(1) {
+                    self.scattered += 1;
+                }
+                allocation
+            }
+        };
+        self.ids.insert(job, allocation.id);
+    }
+
+    fn release(&mut self, job: JobId) {
+        let id = self.ids.remove(&job).expect("running job holds an allocation");
+        match &mut self.kind {
+            BackendKind::Counting(a) => a.release(id).expect("allocation is live"),
+            BackendKind::Linear(a) => a.release(id).expect("allocation is live"),
+        }
+    }
+
+    fn stats(&self) -> Option<PlacementStats> {
+        match self.kind {
+            BackendKind::Counting(_) => None,
+            BackendKind::Linear(_) => {
+                let n = self.allocations.max(1) as f64;
+                Some(PlacementStats {
+                    allocations: self.allocations,
+                    mean_compactness: self.compactness_sum / n,
+                    mean_span: self.span_sum / n,
+                    scattered: self.scattered,
+                    mean_external_frag: self.frag_sum / n,
+                })
+            }
+        }
+    }
+}
+
+struct Sim<'a> {
+    cfg: &'a SimConfig,
+    events: EventQueue,
+    now: Time,
+    free: u32,
+    backend: NodeBackend,
+    queue: Vec<QueuedJob>,
+    runtimes: HashMap<JobId, Time>,
+    running: Vec<RunningJob>,
+    overdue: Vec<JobId>,
+    fairshare: FairshareTracker,
+    pending: HashMap<JobId, PendingSubmission>,
+    chains: HashMap<JobId, usize>, // chunk id → chain index
+    chain_states: Vec<ChainState>,
+    open: HashMap<JobId, OpenRecord>,
+    records: Vec<JobRecord>,
+    // Closed-loop user feedback (user_concurrency): live job counts and
+    // per-user FIFOs of deferred submissions.
+    in_system: HashMap<UserId, u32>,
+    parked: HashMap<UserId, std::collections::VecDeque<JobId>>,
+    next_id: u32,
+    // Accounting integrals.
+    waste: f64,
+    busy: f64,
+    weekly_busy: Vec<f64>,
+    min_start: Time,
+    max_completion: Time,
+    // Queue-pressure accumulators (time-weighted sums plus peaks).
+    queued_jobs_integral: f64,
+    queued_demand_integral: f64,
+    observed_span: f64,
+    max_queued_jobs: usize,
+    max_queued_demand: u64,
+}
+
+/// Runs the simulation. Panics if any job is wider than the machine (traces
+/// must be generated for, or filtered to, the configured size).
+///
+/// ```
+/// use fairsched_sim::{simulate, NullObserver, SimConfig};
+/// use fairsched_workload::job::Job;
+///
+/// // Two jobs on a 10-node machine: the second must queue behind the first.
+/// let trace = [
+///     Job::new(1, 1, 1, 0, 10, 100, 100),
+///     Job::new(2, 2, 1, 5, 10, 50, 50),
+/// ];
+/// let cfg = SimConfig { nodes: 10, ..Default::default() };
+/// let schedule = simulate(&trace, &cfg, &mut NullObserver);
+/// assert_eq!(schedule.records[0].start, 0);
+/// assert_eq!(schedule.records[1].start, 100);
+/// assert_eq!(schedule.makespan(), 150);
+/// ```
+pub fn simulate(trace: &[Job], cfg: &SimConfig, observer: &mut dyn Observer) -> Schedule {
+    for job in trace {
+        assert!(
+            job.nodes <= cfg.nodes,
+            "{} requests {} nodes on a {}-node machine",
+            job.id,
+            job.nodes,
+            cfg.nodes
+        );
+        job.validate().expect("trace must be valid");
+    }
+
+    if let Some(cap) = cfg.user_concurrency {
+        assert!(cap >= 1, "user_concurrency must be at least 1");
+    }
+    let mut engine = make_engine_for(cfg);
+    let mut sim = Sim::new(cfg, trace);
+    sim.run(engine.as_mut(), observer);
+    sim.finish()
+}
+
+fn make_engine_for(cfg: &SimConfig) -> Box<dyn Engine> {
+    make_engine(cfg.engine)
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a SimConfig, trace: &[Job]) -> Self {
+        let mut sim = Sim {
+            cfg,
+            events: EventQueue::new(),
+            now: 0,
+            free: cfg.nodes,
+            backend: NodeBackend::new(cfg),
+            queue: Vec::new(),
+            runtimes: HashMap::new(),
+            running: Vec::new(),
+            overdue: Vec::new(),
+            fairshare: FairshareTracker::new(cfg.fairshare),
+            pending: HashMap::new(),
+            chains: HashMap::new(),
+            chain_states: Vec::new(),
+            open: HashMap::new(),
+            records: Vec::new(),
+            in_system: HashMap::new(),
+            parked: HashMap::new(),
+            next_id: trace.iter().map(|j| j.id.0).max().unwrap_or(0) + 1,
+            waste: 0.0,
+            busy: 0.0,
+            weekly_busy: Vec::new(),
+            min_start: Time::MAX,
+            max_completion: 0,
+            queued_jobs_integral: 0.0,
+            queued_demand_integral: 0.0,
+            observed_span: 0.0,
+            max_queued_jobs: 0,
+            max_queued_demand: 0,
+        };
+        for job in trace {
+            sim.admit(job);
+        }
+        sim
+    }
+
+    /// Registers an original trace job: either a standalone submission or
+    /// the head of a runtime-limited chain.
+    fn admit(&mut self, job: &Job) {
+        let chained = self
+            .cfg
+            .runtime_limit
+            .map(|rl| job.estimate > rl.limit)
+            .unwrap_or(false);
+        if chained {
+            let chain = ChainState {
+                origin: job.id,
+                user: job.user,
+                group: job.group,
+                nodes: job.nodes,
+                origin_submit: job.submit,
+                remaining_actual: job.runtime,
+                remaining_estimate: job.estimate,
+                next_chunk: 1,
+            };
+            self.chain_states.push(chain);
+            let chain_idx = self.chain_states.len() - 1;
+            self.submit_next_chunk(chain_idx, job.submit, Some(job.id));
+        } else {
+            self.pending.insert(
+                job.id,
+                PendingSubmission {
+                    origin: job.id,
+                    chunk_index: 0,
+                    user: job.user,
+                    group: job.group,
+                    nodes: job.nodes,
+                    runtime: job.runtime,
+                    estimate: job.estimate,
+                    origin_submit: job.submit,
+                },
+            );
+            self.events.push(job.submit, EventKind::Arrival, job.id);
+        }
+    }
+
+    /// Creates and schedules the next chunk of a chain. The first chunk may
+    /// reuse the original job id; later chunks get fresh ids.
+    fn submit_next_chunk(&mut self, chain_idx: usize, at: Time, reuse_id: Option<JobId>) {
+        let limit = self.cfg.runtime_limit.expect("chains only exist with a limit").limit;
+        let chain = &mut self.chain_states[chain_idx];
+        debug_assert!(chain.remaining_actual > 0);
+        // The user requests what they believe remains (capped at the limit);
+        // once the original estimate is exhausted they request a full slice.
+        let estimate = if chain.remaining_estimate > 0 {
+            limit.min(chain.remaining_estimate)
+        } else {
+            limit
+        };
+        let runtime = chain.remaining_actual.min(estimate);
+        let chunk_index = chain.next_chunk;
+        chain.next_chunk += 1;
+        let id = reuse_id.unwrap_or_else(|| {
+            let id = JobId(self.next_id);
+            self.next_id += 1;
+            id
+        });
+        let chain = self.chain_states[chain_idx];
+        self.chains.insert(id, chain_idx);
+        self.pending.insert(
+            id,
+            PendingSubmission {
+                origin: chain.origin,
+                chunk_index,
+                user: chain.user,
+                group: chain.group,
+                nodes: chain.nodes,
+                runtime,
+                estimate,
+                origin_submit: chain.origin_submit,
+            },
+        );
+        self.events.push(at, EventKind::Arrival, id);
+    }
+
+    fn run(&mut self, engine: &mut dyn Engine, observer: &mut dyn Observer) {
+        while let Some(first) = self.events.pop() {
+            self.advance_to(first.time);
+            self.process(first, engine, observer);
+            while self.events.peek().is_some_and(|e| e.time == self.now) {
+                let ev = self.events.pop().expect("peeked");
+                self.process(ev, engine, observer);
+            }
+            self.schedule_pass(engine, observer);
+        }
+        debug_assert!(self.queue.is_empty(), "jobs left queued after the last event");
+        debug_assert!(self.running.is_empty(), "jobs left running after the last event");
+    }
+
+    /// Advances accounting (fairshare accrual, LOC/busy integrals) to `to`.
+    fn advance_to(&mut self, to: Time) {
+        debug_assert!(to >= self.now);
+        let dt = (to - self.now) as f64;
+        if dt > 0.0 {
+            let queued_demand: u64 = self.queue.iter().map(|q| q.nodes as u64).sum();
+            let wasted = queued_demand.min(self.free as u64) as f64;
+            self.waste += wasted * dt;
+            self.queued_jobs_integral += self.queue.len() as f64 * dt;
+            self.queued_demand_integral += queued_demand as f64 * dt;
+            self.observed_span += dt;
+            self.max_queued_jobs = self.max_queued_jobs.max(self.queue.len());
+            self.max_queued_demand = self.max_queued_demand.max(queued_demand);
+            let busy_rate = (self.cfg.nodes - self.free) as f64;
+            self.busy += busy_rate * dt;
+            self.accumulate_weekly(self.now, to, busy_rate);
+            let pairs: Vec<(UserId, u32)> =
+                self.running.iter().map(|r| (r.user, r.nodes)).collect();
+            self.fairshare.advance(to, &pairs);
+        } else {
+            self.fairshare.advance(to, &[]);
+        }
+        self.now = to;
+    }
+
+    fn accumulate_weekly(&mut self, from: Time, to: Time, rate: f64) {
+        if rate == 0.0 {
+            return;
+        }
+        let mut t = from;
+        while t < to {
+            let week = (t / WEEK) as usize;
+            if week >= self.weekly_busy.len() {
+                self.weekly_busy.resize(week + 1, 0.0);
+            }
+            let boundary = ((t / WEEK) + 1) * WEEK;
+            let seg_end = boundary.min(to);
+            self.weekly_busy[week] += rate * (seg_end - t) as f64;
+            t = seg_end;
+        }
+    }
+
+    fn process(
+        &mut self,
+        ev: crate::event::Event,
+        engine: &mut dyn Engine,
+        observer: &mut dyn Observer,
+    ) {
+        match ev.kind {
+            EventKind::Arrival => self.handle_arrival(ev.job, engine, observer),
+            EventKind::Completion => {
+                // Stale if the job is no longer running at this exact end.
+                let valid = self
+                    .running
+                    .iter()
+                    .any(|r| r.id == ev.job && r.scheduled_end == ev.time);
+                if valid {
+                    self.complete(ev.job, false, engine, observer);
+                }
+            }
+            EventKind::WclExpiry => {
+                let running = self.running.iter().any(|r| r.id == ev.job);
+                if running {
+                    match self.cfg.kill {
+                        KillPolicy::AtWcl => self.complete(ev.job, true, engine, observer),
+                        KillPolicy::WhenNeeded => {
+                            if self.queue.is_empty() {
+                                self.overdue.push(ev.job);
+                            } else {
+                                self.complete(ev.job, true, engine, observer);
+                            }
+                        }
+                        KillPolicy::Never => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_arrival(
+        &mut self,
+        id: JobId,
+        engine: &mut dyn Engine,
+        observer: &mut dyn Observer,
+    ) {
+        // Closed-loop feedback: a user at their concurrency cap defers this
+        // submission until one of their jobs finishes.
+        if let Some(cap) = self.cfg.user_concurrency {
+            let user = self.pending[&id].user;
+            let live = self.in_system.get(&user).copied().unwrap_or(0);
+            if live >= cap {
+                self.parked.entry(user).or_default().push_back(id);
+                return;
+            }
+            *self.in_system.entry(user).or_insert(0) += 1;
+        }
+        let pending = self.pending.remove(&id).expect("arrival for unknown submission");
+        let queued = QueuedJob {
+            id,
+            user: pending.user,
+            nodes: pending.nodes,
+            estimate: pending.estimate,
+            arrival: self.now,
+        };
+        self.queue.push(queued);
+        self.runtimes.insert(id, pending.runtime);
+        self.open.insert(id, OpenRecord { pending, submit: self.now, start: None });
+
+        let view = ArrivalView {
+            now: self.now,
+            job: self.queue.last().expect("just pushed"),
+            total_nodes: self.cfg.nodes,
+            free_nodes: self.free,
+            running: &self.running,
+            queue: &self.queue,
+            runtimes: &self.runtimes,
+            fairshare: &self.fairshare,
+            order: self.cfg.order,
+        };
+        observer.on_arrival(&view);
+        let ctx = engine_ctx(self);
+        engine.on_arrival(&queued, &ctx);
+    }
+
+    fn complete(
+        &mut self,
+        id: JobId,
+        killed: bool,
+        engine: &mut dyn Engine,
+        observer: &mut dyn Observer,
+    ) {
+        let pos = self
+            .running
+            .iter()
+            .position(|r| r.id == id)
+            .expect("completion for job not running");
+        let job = self.running.swap_remove(pos);
+        self.free += job.nodes;
+        self.backend.release(id);
+        self.overdue.retain(|&o| o != id);
+        self.max_completion = self.max_completion.max(self.now);
+
+        let open = self.open.remove(&id).expect("record open for running job");
+        self.records.push(JobRecord {
+            id,
+            origin: open.pending.origin,
+            chunk_index: open.pending.chunk_index,
+            user: open.pending.user,
+            group: open.pending.group,
+            nodes: open.pending.nodes,
+            submit: open.submit,
+            origin_submit: open.pending.origin_submit,
+            start: open.start.expect("completed job has started"),
+            end: self.now,
+            estimate: open.pending.estimate,
+            killed,
+        });
+
+        // Chains: bank the executed work and submit the next chunk.
+        if let Some(&chain_idx) = self.chains.get(&id) {
+            let executed = self.now - open.start.expect("started");
+            let estimate_used = open.pending.estimate;
+            let chain = &mut self.chain_states[chain_idx];
+            chain.remaining_actual = chain.remaining_actual.saturating_sub(executed);
+            chain.remaining_estimate = chain.remaining_estimate.saturating_sub(estimate_used);
+            if chain.remaining_actual > 0 {
+                self.submit_next_chunk(chain_idx, self.now, None);
+            }
+        }
+
+        // Closed-loop feedback: the finished job frees one of its user's
+        // slots; release the user's oldest deferred submission, if any.
+        if self.cfg.user_concurrency.is_some() {
+            let live = self.in_system.entry(job.user).or_insert(1);
+            *live = live.saturating_sub(1);
+            if let Some(queue) = self.parked.get_mut(&job.user) {
+                if let Some(next) = queue.pop_front() {
+                    self.events.push(self.now, EventKind::Arrival, next);
+                }
+            }
+        }
+
+        observer.on_complete(id, self.now, killed);
+        engine.on_complete(id);
+    }
+
+    fn start_job(&mut self, id: JobId, engine: &mut dyn Engine, observer: &mut dyn Observer) {
+        let pos = self
+            .queue
+            .iter()
+            .position(|q| q.id == id)
+            .expect("engine started a job that is not queued");
+        let queued = self.queue.swap_remove(pos);
+        assert!(queued.nodes <= self.free, "engine started a job that does not fit");
+        self.free -= queued.nodes;
+        self.backend.place(id, queued.nodes);
+        let runtime = self.runtimes.remove(&id).expect("queued job has a runtime");
+        let end = self.now + runtime;
+        self.running.push(RunningJob {
+            id,
+            user: queued.user,
+            nodes: queued.nodes,
+            start: self.now,
+            estimate: queued.estimate,
+            scheduled_end: end,
+        });
+        self.events.push(end, EventKind::Completion, id);
+        if self.cfg.kill != KillPolicy::Never && queued.estimate < runtime {
+            self.events.push(self.now + queued.estimate, EventKind::WclExpiry, id);
+        }
+        self.open.get_mut(&id).expect("record open").start = Some(self.now);
+        self.min_start = self.min_start.min(self.now);
+        observer.on_start(id, self.now);
+        engine.on_start(id);
+    }
+
+    /// Runs the engine (and the when-needed kill rule) to a fixpoint.
+    fn schedule_pass(&mut self, engine: &mut dyn Engine, observer: &mut dyn Observer) {
+        loop {
+            let starts = {
+                let ctx = engine_ctx(self);
+                engine.select_starts(&ctx)
+            };
+            if !starts.is_empty() {
+                for id in starts {
+                    self.start_job(id, engine, observer);
+                }
+                continue;
+            }
+            // No starts possible. If queued demand exists and over-limit
+            // jobs are still running, CPlant's kill rule reclaims them.
+            if self.cfg.kill == KillPolicy::WhenNeeded
+                && !self.queue.is_empty()
+                && !self.overdue.is_empty()
+            {
+                let victims = std::mem::take(&mut self.overdue);
+                for id in victims {
+                    if self.running.iter().any(|r| r.id == id) {
+                        self.complete(id, true, engine, observer);
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn finish(mut self) -> Schedule {
+        self.records.sort_by_key(|r| r.id);
+        let min_start = if self.min_start == Time::MAX { 0 } else { self.min_start };
+        Schedule {
+            nodes: self.cfg.nodes,
+            records: self.records,
+            waste_nodeseconds: self.waste,
+            busy_nodeseconds: self.busy,
+            weekly_busy: self.weekly_busy,
+            min_start,
+            max_completion: self.max_completion,
+            placement: self.backend.stats(),
+            queue_stats: QueueStats {
+                max_queued_jobs: self.max_queued_jobs,
+                max_queued_demand: self.max_queued_demand,
+                mean_queued_jobs: if self.observed_span > 0.0 {
+                    self.queued_jobs_integral / self.observed_span
+                } else {
+                    0.0
+                },
+                mean_queued_demand: if self.observed_span > 0.0 {
+                    self.queued_demand_integral / self.observed_span
+                } else {
+                    0.0
+                },
+            },
+        }
+    }
+}
+
+fn engine_ctx<'s>(sim: &'s Sim<'_>) -> EngineCtx<'s> {
+    EngineCtx {
+        now: sim.now,
+        free_nodes: sim.free,
+        total_nodes: sim.cfg.nodes,
+        running: &sim.running,
+        queue: &sim.queue,
+        fairshare: &sim.fairshare,
+        order: sim.cfg.order,
+        starvation: sim.cfg.starvation.as_ref(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineKind, QueueOrder, RuntimeLimit, StarvationConfig};
+    use crate::state::NullObserver;
+    use fairsched_workload::time::{DAY, HOUR};
+
+    fn cfg(nodes: u32, engine: EngineKind) -> SimConfig {
+        SimConfig { nodes, engine, ..Default::default() }
+    }
+
+    fn job(id: u32, user: u32, submit: Time, nodes: u32, runtime: Time, estimate: Time) -> Job {
+        Job::new(id, user, 1, submit, nodes, runtime, estimate)
+    }
+
+    fn run(trace: &[Job], cfg: &SimConfig) -> Schedule {
+        simulate(trace, cfg, &mut NullObserver)
+    }
+
+    fn record(s: &Schedule, id: u32) -> JobRecord {
+        s.records.iter().copied().find(|r| r.id == JobId(id)).expect("record exists")
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let trace = [job(1, 1, 10, 4, 100, 200)];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        let r = record(&s, 1);
+        assert_eq!(r.start, 10);
+        assert_eq!(r.end, 110);
+        assert!(!r.killed);
+        assert_eq!(s.makespan(), 100);
+        assert!((s.utilization() - 0.4).abs() < 1e-9);
+        assert_eq!(s.loss_of_capacity(), 0.0);
+    }
+
+    #[test]
+    fn jobs_queue_when_the_machine_is_full() {
+        let trace = [
+            job(1, 1, 0, 10, 100, 100),
+            job(2, 2, 5, 10, 50, 50),
+        ];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        assert_eq!(record(&s, 1).start, 0);
+        assert_eq!(record(&s, 2).start, 100);
+        assert_eq!(record(&s, 2).end, 150);
+        // Job 2 queued 95 s wanting 10 nodes with 0 free: no loss of
+        // capacity is chargeable (min(10 demand, 0 free) = 0).
+        assert_eq!(s.loss_of_capacity(), 0.0);
+    }
+
+    #[test]
+    fn no_guarantee_backfills_a_fitting_job() {
+        // Figure 2's scenario: jobB fits beside jobA and starts immediately.
+        let trace = [
+            job(1, 1, 0, 6, 100, 100),  // jobA
+            job(2, 2, 1, 8, 100, 100),  // too wide for the 4 free nodes
+            job(3, 3, 2, 4, 30, 30),    // jobB: fits the hole
+        ];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        assert_eq!(record(&s, 3).start, 2);
+        assert_eq!(record(&s, 2).start, 100);
+    }
+
+    #[test]
+    fn loss_of_capacity_counts_unusable_idle_time() {
+        // 10-node machine. One 6-node job runs [0,100). A 6-node job arrives
+        // at 0 too: cannot start (4 free), waits to 100. LOC over [0,100):
+        // min(6 queued, 4 free) = 4 nodes wasted × 100 s = 400 node-s.
+        // Makespan = 200 (start 0 → end 200).
+        let trace = [job(1, 1, 0, 6, 100, 100), job(2, 2, 0, 6, 100, 100)];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        assert_eq!(record(&s, 2).start, 100);
+        assert!((s.waste_nodeseconds - 400.0).abs() < 1e-9);
+        assert!((s.loss_of_capacity() - 400.0 / 2000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairshare_order_prefers_the_idle_user() {
+        // User 1 burns the machine for a day; then both users submit
+        // simultaneously onto a full machine. User 2's job must start first.
+        let trace = [
+            job(1, 1, 0, 10, DAY, DAY),
+            job(2, 1, 10, 10, 100, 100),
+            job(3, 2, 10, 10, 100, 100),
+        ];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        assert!(record(&s, 3).start < record(&s, 2).start);
+    }
+
+    #[test]
+    fn fcfs_order_ignores_usage() {
+        let trace = [
+            job(1, 1, 0, 10, DAY, DAY),
+            job(2, 1, 10, 10, 100, 100),
+            job(3, 2, 11, 10, 100, 100),
+        ];
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.order = QueueOrder::Fcfs;
+        let s = run(&trace, &c);
+        assert!(record(&s, 2).start < record(&s, 3).start);
+    }
+
+    #[test]
+    fn when_needed_kill_fires_only_under_demand() {
+        // Job 1 underestimates (runtime 1000, estimate 100) on an idle
+        // machine: no demand at its WCL, so it runs on. Job 2 arrives at
+        // t=500 needing the whole machine: job 1 is killed then.
+        let trace = [job(1, 1, 0, 10, 1000, 100), job(2, 2, 500, 10, 50, 50)];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        let r1 = record(&s, 1);
+        assert!(r1.killed);
+        assert_eq!(r1.end, 500);
+        assert_eq!(record(&s, 2).start, 500);
+    }
+
+    #[test]
+    fn when_needed_kill_fires_at_wcl_if_demand_already_waits() {
+        let trace = [job(1, 1, 0, 10, 1000, 100), job(2, 2, 50, 10, 50, 50)];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        let r1 = record(&s, 1);
+        assert!(r1.killed);
+        assert_eq!(r1.end, 100);
+        assert_eq!(record(&s, 2).start, 100);
+    }
+
+    #[test]
+    fn at_wcl_kill_is_unconditional() {
+        let trace = [job(1, 1, 0, 10, 1000, 100)];
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.kill = KillPolicy::AtWcl;
+        let s = run(&trace, &c);
+        let r1 = record(&s, 1);
+        assert!(r1.killed);
+        assert_eq!(r1.end, 100);
+    }
+
+    #[test]
+    fn never_kill_lets_jobs_overrun() {
+        let trace = [job(1, 1, 0, 10, 1000, 100), job(2, 2, 50, 10, 50, 50)];
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.kill = KillPolicy::Never;
+        let s = run(&trace, &c);
+        let r1 = record(&s, 1);
+        assert!(!r1.killed);
+        assert_eq!(r1.end, 1000);
+        assert_eq!(record(&s, 2).start, 1000);
+    }
+
+    #[test]
+    fn starvation_queue_guarantees_wide_job_progress() {
+        // A stream of narrow jobs would starve the wide job forever under
+        // pure no-guarantee backfilling; the starvation queue must eventually
+        // guard it. Narrow 2-node jobs from a rotating set of users keep the
+        // machine nearly full; an 10-node job arrives early.
+        let mut trace = vec![job(1, 1, 0, 10, 10 * HOUR, 10 * HOUR)];
+        let mut id = 2;
+        // 9 narrow lanes × long series: submitted well in advance.
+        for t in 0..60u64 {
+            for lane in 0..5 {
+                trace.push(job(id, 2 + lane, 1 + t, 2, 2 * HOUR, 2 * HOUR));
+                id += 1;
+            }
+        }
+        trace.sort_by_key(|j| (j.submit, j.id));
+        let wide_id = id;
+        trace.push(job(wide_id, 99, 2 * HOUR, 10, HOUR, HOUR));
+
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.starvation = Some(StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None });
+        let s = run(&trace, &c);
+        let wide = record(&s, wide_id);
+        // Without the guard the wide job would wait for every narrow job
+        // (~24h+ of queued narrow work); with it, it starts within ~the
+        // entry delay plus one drain of running work.
+        assert!(
+            wide.wait() <= 30 * HOUR,
+            "wide job waited {} hours",
+            wide.wait() / HOUR
+        );
+    }
+
+    #[test]
+    fn conservative_never_delays_by_later_arrivals_with_perfect_estimates() {
+        // With perfect estimates, conservative backfilling is "fair" in the
+        // social-justice sense (§4): job 2's start is unaffected by job 3.
+        let base = [
+            job(1, 1, 0, 10, 100, 100),
+            job(2, 2, 5, 6, 100, 100),
+        ];
+        let with_later = [
+            job(1, 1, 0, 10, 100, 100),
+            job(2, 2, 5, 6, 100, 100),
+            job(3, 3, 6, 4, 1000, 1000),
+        ];
+        let c = cfg(10, EngineKind::Conservative);
+        let s1 = run(&base, &c);
+        let s2 = run(&with_later, &c);
+        assert_eq!(record(&s1, 2).start, record(&s2, 2).start);
+    }
+
+    #[test]
+    fn conservative_compresses_on_early_completion() {
+        // Job 1 estimates 1000 but runs 100: job 2's reservation (at 1000)
+        // compresses to 100 when job 1 completes.
+        let trace = [job(1, 1, 0, 10, 100, 1000), job(2, 2, 5, 10, 50, 50)];
+        let s = run(&trace, &cfg(10, EngineKind::Conservative));
+        assert_eq!(record(&s, 2).start, 100);
+    }
+
+    #[test]
+    fn runtime_limit_splits_long_jobs_into_chunks() {
+        let limit = 72 * HOUR;
+        // 180h job → chunks of 72h, 72h, 36h.
+        let trace = [job(1, 1, 0, 4, 180 * HOUR, 200 * HOUR)];
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.runtime_limit = Some(RuntimeLimit { limit });
+        let s = run(&trace, &c);
+        assert_eq!(s.records.len(), 3);
+        let chunks: Vec<&JobRecord> =
+            s.records.iter().filter(|r| r.origin == JobId(1)).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].chunk_index, 1);
+        assert_eq!(chunks[0].executed(), 72 * HOUR);
+        assert_eq!(chunks[1].executed(), 72 * HOUR);
+        assert_eq!(chunks[2].executed(), 36 * HOUR);
+        // Chunks chain back-to-back on an idle machine.
+        assert_eq!(chunks[1].submit, chunks[0].end);
+
+        let originals = s.originals();
+        assert_eq!(originals.len(), 1);
+        let o = originals[0];
+        assert_eq!(o.chunks, 3);
+        assert_eq!(o.executed, 180 * HOUR);
+        assert_eq!(o.turnaround(), 180 * HOUR);
+    }
+
+    #[test]
+    fn runtime_limit_lets_other_jobs_preempt_between_chunks() {
+        // The point of §5.1: another job slips in when a chunk ends.
+        let limit = 10 * HOUR;
+        let trace = [
+            job(1, 1, 0, 10, 30 * HOUR, 40 * HOUR), // chain of 3 chunks
+            job(2, 2, HOUR, 10, HOUR, HOUR),        // arrives during chunk 1
+        ];
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.runtime_limit = Some(RuntimeLimit { limit });
+        let s = run(&trace, &c);
+        let j2 = record(&s, 2);
+        // Job 2 starts when chunk 1 ends — NOT after the whole 30 h job.
+        assert_eq!(j2.start, 10 * HOUR);
+        let o = s.originals();
+        let chain = o.iter().find(|o| o.origin == JobId(1)).unwrap();
+        assert_eq!(chain.chunks, 3);
+        assert_eq!(chain.executed, 30 * HOUR);
+        // The chain finished after job 2's interruption.
+        assert_eq!(chain.completion, 31 * HOUR);
+    }
+
+    #[test]
+    fn short_jobs_are_untouched_by_the_limit() {
+        let trace = [job(1, 1, 0, 4, HOUR, 2 * HOUR)];
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.runtime_limit = Some(RuntimeLimit { limit: 72 * HOUR });
+        let s = run(&trace, &c);
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(record(&s, 1).chunk_index, 0);
+    }
+
+    #[test]
+    fn weekly_busy_bins_cover_the_horizon() {
+        let trace = [job(1, 1, 0, 10, WEEK + DAY, WEEK + DAY)];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        assert_eq!(s.weekly_busy.len(), 2);
+        assert!((s.weekly_busy[0] - 10.0 * WEEK as f64).abs() < 1e-6);
+        assert!((s.weekly_busy[1] - 10.0 * DAY as f64).abs() < 1e-6);
+        let u = s.weekly_utilization();
+        assert!((u[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_same_trace_same_schedule() {
+        let trace = fairsched_workload::synthetic::random_trace(5, 200, 10, 5000);
+        let c = cfg(10, EngineKind::Conservative);
+        let s1 = run(&trace, &c);
+        let s2 = run(&trace, &c);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes on a")]
+    fn too_wide_jobs_are_rejected() {
+        let trace = [job(1, 1, 0, 20, 100, 100)];
+        run(&trace, &cfg(10, EngineKind::NoGuarantee));
+    }
+
+    #[test]
+    fn user_concurrency_defers_submissions() {
+        // User 1 fires three 1-node jobs at once with a cap of 1: they must
+        // serialize even though the machine could run them all in parallel.
+        let trace = [
+            job(1, 1, 0, 1, 100, 100),
+            job(2, 1, 0, 1, 100, 100),
+            job(3, 1, 0, 1, 100, 100),
+            job(4, 2, 0, 1, 100, 100), // another user: unaffected
+        ];
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.user_concurrency = Some(1);
+        let s = run(&trace, &c);
+        assert_eq!(record(&s, 1).start, 0);
+        assert_eq!(record(&s, 2).submit, 100); // deferred to job 1's end
+        assert_eq!(record(&s, 2).start, 100);
+        assert_eq!(record(&s, 3).submit, 200);
+        assert_eq!(record(&s, 4).start, 0);
+        // The original intent time is preserved separately.
+        assert_eq!(record(&s, 3).origin_submit, 0);
+    }
+
+    #[test]
+    fn user_concurrency_of_two_allows_two_live_jobs() {
+        let trace = [
+            job(1, 1, 0, 1, 100, 100),
+            job(2, 1, 0, 1, 100, 100),
+            job(3, 1, 0, 1, 100, 100),
+        ];
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.user_concurrency = Some(2);
+        let s = run(&trace, &c);
+        assert_eq!(record(&s, 1).start, 0);
+        assert_eq!(record(&s, 2).start, 0);
+        assert_eq!(record(&s, 3).submit, 100);
+    }
+
+    #[test]
+    fn unbounded_concurrency_matches_open_loop_exactly() {
+        let trace = fairsched_workload::synthetic::random_trace(31, 150, 10, 5000);
+        let open = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.user_concurrency = Some(u32::MAX);
+        let closed = run(&trace, &c);
+        assert_eq!(open, closed);
+    }
+
+    #[test]
+    fn user_concurrency_composes_with_chunking() {
+        use crate::config::RuntimeLimit;
+        let trace = [
+            job(1, 1, 0, 2, 30 * HOUR, 40 * HOUR), // 3 chunks at 10h limit
+            job(2, 1, 0, 2, HOUR, HOUR),           // deferred behind the chain? No:
+        ];
+        // Cap 1: job 2 waits for the whole chain (each chunk counts as the
+        // user's one live job; chunk k+1 re-enters immediately).
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.user_concurrency = Some(1);
+        c.runtime_limit = Some(RuntimeLimit { limit: 10 * HOUR });
+        let s = run(&trace, &c);
+        let chain = s
+            .originals()
+            .into_iter()
+            .find(|o| o.origin == JobId(1))
+            .unwrap();
+        assert_eq!(chain.chunks, 3);
+        let j2 = record(&s, 2);
+        // Job 2 slots in at one of the chunk boundaries or the chain end —
+        // never before the first chunk completes.
+        assert!(j2.submit >= 10 * HOUR, "job 2 submitted at {}", j2.submit);
+    }
+
+    #[test]
+    fn counting_allocation_reports_no_placement_stats() {
+        let trace = [job(1, 1, 0, 4, 100, 100)];
+        let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
+        assert_eq!(s.placement, None);
+    }
+
+    #[test]
+    fn linear_allocation_tracks_placement_quality() {
+        use crate::config::AllocationModel;
+        use fairsched_cpa::PlacementStrategy;
+        let trace = fairsched_workload::synthetic::random_trace(8, 150, 10, 5000);
+        let mut c = cfg(10, EngineKind::NoGuarantee);
+        c.allocation = AllocationModel::Linear(PlacementStrategy::MinSpan);
+        let s = run(&trace, &c);
+        let stats = s.placement.expect("linear model reports stats");
+        assert_eq!(stats.allocations, trace.len());
+        assert!((0.0..=1.0).contains(&stats.mean_compactness));
+        assert!(stats.mean_compactness > 0.0);
+        assert!((0.0..=1.0).contains(&stats.mean_external_frag));
+        assert!(stats.mean_span >= 0.0);
+        assert!(stats.scattered <= stats.allocations);
+    }
+
+    #[test]
+    fn allocation_model_does_not_change_scheduling_decisions() {
+        // The CPA never refuses a by-count fit, so the schedule itself is
+        // identical under both models — only the stats differ.
+        use crate::config::AllocationModel;
+        use fairsched_cpa::PlacementStrategy;
+        let trace = fairsched_workload::synthetic::random_trace(21, 200, 10, 5000);
+        let base = cfg(10, EngineKind::Conservative);
+        let mut linear = base.clone();
+        linear.allocation = AllocationModel::Linear(PlacementStrategy::FirstFit);
+        let s1 = run(&trace, &base);
+        let s2 = run(&trace, &linear);
+        assert_eq!(s1.records, s2.records);
+        assert_eq!(s1.waste_nodeseconds, s2.waste_nodeseconds);
+    }
+
+    #[test]
+    fn min_span_places_more_compactly_than_first_fit_scatter() {
+        use crate::config::AllocationModel;
+        use fairsched_cpa::PlacementStrategy;
+        let trace = fairsched_workload::synthetic::random_trace(13, 400, 32, 3000);
+        let stats_for = |strategy| {
+            let mut c = cfg(32, EngineKind::NoGuarantee);
+            c.allocation = AllocationModel::Linear(strategy);
+            run(&trace, &c).placement.expect("linear stats")
+        };
+        let minspan = stats_for(PlacementStrategy::MinSpan);
+        let firstfit = stats_for(PlacementStrategy::FirstFit);
+        assert!(
+            minspan.mean_span <= firstfit.mean_span + 1e-9,
+            "MinSpan span {} vs FirstFit {}",
+            minspan.mean_span,
+            firstfit.mean_span
+        );
+    }
+}

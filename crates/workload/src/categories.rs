@@ -1,0 +1,326 @@
+//! The paper's job categories: 11 width buckets × 8 length buckets.
+//!
+//! Tables 1 and 2 and the by-width breakdowns of Figures 10, 12, 16, and 18
+//! all use the same bucketing. Width buckets follow the node counts users
+//! actually request (powers of two and squares); length buckets range from
+//! quarter-hour jobs to multi-day runs.
+
+use crate::time::{Time, DAY, HOUR, MINUTE};
+use serde::{Deserialize, Serialize};
+
+/// The 11 width (node-count) buckets of Tables 1–2: 1, 2, 3–4, 5–8, 9–16,
+/// 17–32, 33–64, 65–128, 129–256, 257–512, 513+.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WidthCategory(pub usize);
+
+/// The 8 length (runtime) buckets of Tables 1–2: 0–15 min, 15–60 min, 1–4 h,
+/// 4–8 h, 8–16 h, 16–24 h, 1–2 days, 2+ days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LengthCategory(pub usize);
+
+/// Number of width buckets.
+pub const WIDTH_BUCKETS: usize = 11;
+/// Number of length buckets.
+pub const LENGTH_BUCKETS: usize = 8;
+
+/// Inclusive node-count bounds of each width bucket. The final bucket is
+/// open-ended; its upper bound here is a generous cap used by the synthetic
+/// generator (no CPlant job exceeded the machine).
+pub const WIDTH_BOUNDS: [(u32, u32); WIDTH_BUCKETS] = [
+    (1, 1),
+    (2, 2),
+    (3, 4),
+    (5, 8),
+    (9, 16),
+    (17, 32),
+    (33, 64),
+    (65, 128),
+    (129, 256),
+    (257, 512),
+    (513, 1024),
+];
+
+/// Half-open runtime bounds `[lo, hi)` of each length bucket, in seconds.
+/// The final bucket is open-ended; 30 days is the generator's cap.
+pub const LENGTH_BOUNDS: [(Time, Time); LENGTH_BUCKETS] = [
+    (1, 15 * MINUTE),
+    (15 * MINUTE, 60 * MINUTE),
+    (HOUR, 4 * HOUR),
+    (4 * HOUR, 8 * HOUR),
+    (8 * HOUR, 16 * HOUR),
+    (16 * HOUR, 24 * HOUR),
+    (DAY, 2 * DAY),
+    (2 * DAY, 30 * DAY),
+];
+
+/// Row labels as printed in the paper's tables and by-width figures.
+pub const WIDTH_LABELS: [&str; WIDTH_BUCKETS] = [
+    "1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128", "129-256", "257-512", "513+",
+];
+
+/// Column labels as printed in the paper's tables.
+pub const LENGTH_LABELS: [&str; LENGTH_BUCKETS] = [
+    "0-15 mins",
+    "15-60 mins",
+    "1-4 hrs",
+    "4-8 hrs",
+    "8-16 hrs",
+    "16-24 hrs",
+    "1-2 days",
+    "2+ days",
+];
+
+impl WidthCategory {
+    /// The bucket containing a node count.
+    pub fn of(nodes: u32) -> Self {
+        debug_assert!(nodes >= 1, "jobs have at least one node");
+        let idx = WIDTH_BOUNDS
+            .iter()
+            .position(|&(lo, hi)| nodes >= lo && nodes <= hi)
+            .unwrap_or(WIDTH_BUCKETS - 1);
+        WidthCategory(idx)
+    }
+
+    /// Inclusive node bounds of this bucket.
+    pub fn bounds(self) -> (u32, u32) {
+        WIDTH_BOUNDS[self.0]
+    }
+
+    /// The label the paper prints for this bucket.
+    pub fn label(self) -> &'static str {
+        WIDTH_LABELS[self.0]
+    }
+
+    /// All buckets, narrowest first.
+    pub fn all() -> impl Iterator<Item = WidthCategory> {
+        (0..WIDTH_BUCKETS).map(WidthCategory)
+    }
+}
+
+impl LengthCategory {
+    /// The bucket containing a runtime in seconds.
+    pub fn of(runtime: Time) -> Self {
+        debug_assert!(runtime >= 1, "jobs have positive runtime");
+        let idx = LENGTH_BOUNDS
+            .iter()
+            .position(|&(lo, hi)| runtime >= lo && runtime < hi)
+            .unwrap_or(LENGTH_BUCKETS - 1);
+        LengthCategory(idx)
+    }
+
+    /// Half-open runtime bounds `[lo, hi)` of this bucket, in seconds.
+    pub fn bounds(self) -> (Time, Time) {
+        LENGTH_BOUNDS[self.0]
+    }
+
+    /// The label the paper prints for this bucket.
+    pub fn label(self) -> &'static str {
+        LENGTH_LABELS[self.0]
+    }
+
+    /// All buckets, shortest first.
+    pub fn all() -> impl Iterator<Item = LengthCategory> {
+        (0..LENGTH_BUCKETS).map(LengthCategory)
+    }
+}
+
+/// A dense 11 × 8 grid indexed by (width bucket, length bucket) — the shape
+/// of Tables 1 and 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryMatrix<T> {
+    cells: Vec<T>,
+}
+
+impl<T: Clone + Default> CategoryMatrix<T> {
+    /// An all-default matrix.
+    pub fn new() -> Self {
+        CategoryMatrix { cells: vec![T::default(); WIDTH_BUCKETS * LENGTH_BUCKETS] }
+    }
+}
+
+impl<T: Clone + Default> Default for CategoryMatrix<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CategoryMatrix<T> {
+    /// Builds a matrix from a row-major `[[T; 8]; 11]` literal (the layout
+    /// the paper's tables are transcribed in).
+    pub fn from_rows(rows: [[T; LENGTH_BUCKETS]; WIDTH_BUCKETS]) -> Self {
+        CategoryMatrix { cells: rows.into_iter().flatten().collect() }
+    }
+
+    /// Immutable cell access.
+    pub fn get(&self, w: WidthCategory, l: LengthCategory) -> &T {
+        &self.cells[w.0 * LENGTH_BUCKETS + l.0]
+    }
+
+    /// Mutable cell access.
+    pub fn get_mut(&mut self, w: WidthCategory, l: LengthCategory) -> &mut T {
+        &mut self.cells[w.0 * LENGTH_BUCKETS + l.0]
+    }
+
+    /// Iterates cells with their coordinates, row-major (width outer).
+    pub fn iter(&self) -> impl Iterator<Item = (WidthCategory, LengthCategory, &T)> {
+        self.cells.iter().enumerate().map(|(i, v)| {
+            (WidthCategory(i / LENGTH_BUCKETS), LengthCategory(i % LENGTH_BUCKETS), v)
+        })
+    }
+
+    /// Maps every cell, preserving coordinates.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> CategoryMatrix<U> {
+        CategoryMatrix { cells: self.cells.iter().map(&mut f).collect() }
+    }
+}
+
+impl CategoryMatrix<u64> {
+    /// Sum of all cells.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Per-width-bucket row sums (the marginals behind by-width figures).
+    pub fn row_totals(&self) -> [u64; WIDTH_BUCKETS] {
+        let mut out = [0u64; WIDTH_BUCKETS];
+        for (w, _, v) in self.iter() {
+            out[w.0] += *v;
+        }
+        out
+    }
+
+    /// Per-length-bucket column sums.
+    pub fn col_totals(&self) -> [u64; LENGTH_BUCKETS] {
+        let mut out = [0u64; LENGTH_BUCKETS];
+        for (_, l, v) in self.iter() {
+            out[l.0] += *v;
+        }
+        out
+    }
+}
+
+impl CategoryMatrix<f64> {
+    /// Sum of all cells.
+    pub fn total(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// Per-width-bucket row sums.
+    pub fn row_totals(&self) -> [f64; WIDTH_BUCKETS] {
+        let mut out = [0.0; WIDTH_BUCKETS];
+        for (w, _, v) in self.iter() {
+            out[w.0] += *v;
+        }
+        out
+    }
+
+    /// Per-length-bucket column sums.
+    pub fn col_totals(&self) -> [f64; LENGTH_BUCKETS] {
+        let mut out = [0.0; LENGTH_BUCKETS];
+        for (_, l, v) in self.iter() {
+            out[l.0] += *v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_buckets_partition_the_node_range() {
+        // Every node count from 1 to the cap lands in exactly one bucket,
+        // and buckets are contiguous and ordered.
+        let mut prev = None;
+        for n in 1..=1024u32 {
+            let w = WidthCategory::of(n);
+            let (lo, hi) = w.bounds();
+            assert!(n >= lo && n <= hi, "{n} outside bucket {:?}", w);
+            if let Some(p) = prev {
+                assert!(w.0 == p || w.0 == p + 1 || w == WidthCategory(p));
+            }
+            prev = Some(w.0);
+        }
+        assert_eq!(WidthCategory::of(1), WidthCategory(0));
+        assert_eq!(WidthCategory::of(2), WidthCategory(1));
+        assert_eq!(WidthCategory::of(4), WidthCategory(2));
+        assert_eq!(WidthCategory::of(5), WidthCategory(3));
+        assert_eq!(WidthCategory::of(512), WidthCategory(9));
+        assert_eq!(WidthCategory::of(513), WidthCategory(10));
+        // Beyond the generator cap still maps to the open-ended bucket.
+        assert_eq!(WidthCategory::of(4096), WidthCategory(10));
+    }
+
+    #[test]
+    fn length_buckets_partition_the_runtime_range() {
+        for s in [1, 899, 900, 3599, 3600, 14_399, 14_400, 86_399, 86_400, 172_799, 172_800] {
+            let l = LengthCategory::of(s);
+            let (lo, hi) = l.bounds();
+            assert!(s >= lo && s < hi, "{s} outside bucket {:?}", l);
+        }
+        assert_eq!(LengthCategory::of(1), LengthCategory(0));
+        assert_eq!(LengthCategory::of(900), LengthCategory(1));
+        assert_eq!(LengthCategory::of(3600), LengthCategory(2));
+        assert_eq!(LengthCategory::of(86_400), LengthCategory(6));
+        assert_eq!(LengthCategory::of(172_800), LengthCategory(7));
+        // Past the cap still maps to the final bucket.
+        assert_eq!(LengthCategory::of(90 * DAY), LengthCategory(7));
+    }
+
+    #[test]
+    fn buckets_are_mutually_exclusive_and_exhaustive() {
+        // Adjacent bounds meet exactly.
+        for pair in WIDTH_BOUNDS.windows(2) {
+            assert_eq!(pair[0].1 + 1, pair[1].0);
+        }
+        for pair in LENGTH_BOUNDS.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0);
+        }
+    }
+
+    #[test]
+    fn matrix_from_rows_round_trips_coordinates() {
+        let mut rows = [[0u64; LENGTH_BUCKETS]; WIDTH_BUCKETS];
+        for (w, row) in rows.iter_mut().enumerate() {
+            for (l, cell) in row.iter_mut().enumerate() {
+                *cell = (w * 100 + l) as u64;
+            }
+        }
+        let m = CategoryMatrix::from_rows(rows);
+        for (w, l, v) in m.iter() {
+            assert_eq!(*v, (w.0 * 100 + l.0) as u64);
+        }
+        assert_eq!(*m.get(WidthCategory(3), LengthCategory(5)), 305);
+    }
+
+    #[test]
+    fn matrix_marginals_sum_to_total() {
+        let mut m: CategoryMatrix<u64> = CategoryMatrix::new();
+        *m.get_mut(WidthCategory(0), LengthCategory(0)) = 3;
+        *m.get_mut(WidthCategory(10), LengthCategory(7)) = 4;
+        *m.get_mut(WidthCategory(5), LengthCategory(2)) = 5;
+        assert_eq!(m.total(), 12);
+        assert_eq!(m.row_totals().iter().sum::<u64>(), 12);
+        assert_eq!(m.col_totals().iter().sum::<u64>(), 12);
+        assert_eq!(m.row_totals()[5], 5);
+        assert_eq!(m.col_totals()[7], 4);
+    }
+
+    #[test]
+    fn labels_match_bucket_counts() {
+        assert_eq!(WIDTH_LABELS.len(), WIDTH_BUCKETS);
+        assert_eq!(LENGTH_LABELS.len(), LENGTH_BUCKETS);
+        assert_eq!(WidthCategory(2).label(), "3-4");
+        assert_eq!(LengthCategory(6).label(), "1-2 days");
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let mut m: CategoryMatrix<u64> = CategoryMatrix::new();
+        *m.get_mut(WidthCategory(1), LengthCategory(1)) = 7;
+        let doubled = m.map(|v| *v as f64 * 2.0);
+        assert_eq!(*doubled.get(WidthCategory(1), LengthCategory(1)), 14.0);
+        assert_eq!(doubled.total(), 14.0);
+    }
+}

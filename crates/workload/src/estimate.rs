@@ -1,0 +1,209 @@
+//! User wall-clock-estimate models.
+//!
+//! Figures 5–7 of the paper characterize how CPlant users estimated runtimes:
+//! estimates are overwhelmingly *over*-estimates (users pad against the kill
+//! policy and unknown network contention), the over-estimation factor shrinks
+//! for longer jobs (Figure 6) and is unrelated to width (Figure 7), and a few
+//! jobs *outlive* their estimate because the custom PBS scheduler only killed
+//! a job at its wall-clock limit when another job needed the processors.
+//!
+//! [`EstimateModel`] reproduces those three properties; it is sampled per-job
+//! by the synthetic generator and is independently testable here.
+
+use crate::time::{Time, DAY, HOUR, MINUTE};
+use rand::Rng;
+
+/// "Standard" wall-clock request values users round up to (queue-limit style
+/// values seen across Parallel Workloads Archive traces).
+pub const STANDARD_WCLS: [Time; 14] = [
+    5 * MINUTE,
+    15 * MINUTE,
+    30 * MINUTE,
+    HOUR,
+    2 * HOUR,
+    4 * HOUR,
+    8 * HOUR,
+    12 * HOUR,
+    24 * HOUR,
+    48 * HOUR,
+    72 * HOUR,
+    7 * DAY,
+    14 * DAY,
+    30 * DAY,
+];
+
+/// Parameters of the estimate model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateModel {
+    /// Fraction of jobs whose actual runtime exceeds the estimate
+    /// (the below-diagonal points of Figure 5). CPlant's lazy kill policy
+    /// made these visible in the trace.
+    pub underestimate_fraction: f64,
+    /// Fraction of jobs that round their estimate up to a standard value
+    /// from [`STANDARD_WCLS`] rather than requesting an exact figure.
+    pub round_fraction: f64,
+    /// Upper bound on the log10 of the over-estimation factor for a
+    /// one-second job. Figure 6 tops out near 1e6 for the shortest jobs.
+    pub max_log10_factor: f64,
+    /// How quickly the achievable over-estimation factor decays with runtime
+    /// (slope in log10-log10 space). Figure 6's upper envelope falls roughly
+    /// linearly in log-log: long jobs cannot be over-estimated 10^6× because
+    /// queues cap requests.
+    pub decay_per_log10_runtime: f64,
+}
+
+impl Default for EstimateModel {
+    fn default() -> Self {
+        EstimateModel {
+            underestimate_fraction: 0.04,
+            round_fraction: 0.75,
+            max_log10_factor: 6.0,
+            decay_per_log10_runtime: 0.95,
+        }
+    }
+}
+
+impl EstimateModel {
+    /// Draws a wall-clock estimate for a job of the given actual runtime.
+    ///
+    /// Guarantees `estimate >= 1`. Most draws over-estimate; a small
+    /// configured fraction under-estimate (runtime will exceed the returned
+    /// limit, exercising the simulator's kill policy).
+    pub fn sample(&self, runtime: Time, rng: &mut impl Rng) -> Time {
+        debug_assert!(runtime >= 1);
+        if rng.gen::<f64>() < self.underestimate_fraction {
+            // Under-estimate: the job will outlive its limit. Users were
+            // usually close (they expected checkpoint scripts to resubmit),
+            // so draw the estimate uniformly in [40%, 100%) of the runtime.
+            let frac = rng.gen_range(0.4..1.0);
+            return ((runtime as f64 * frac) as Time).max(1);
+        }
+
+        // Over-estimate by a log-uniform factor whose ceiling shrinks with
+        // runtime (Figure 6's wedge shape). Width plays no role (Figure 7).
+        let ceiling = self.max_log10_ceiling(runtime);
+        let log_factor = rng.gen_range(0.0..ceiling.max(f64::MIN_POSITIVE));
+        let raw = runtime as f64 * 10f64.powf(log_factor);
+
+        if rng.gen::<f64>() < self.round_fraction {
+            round_to_standard(raw as Time)
+        } else {
+            (raw as Time).max(runtime).max(1)
+        }
+    }
+
+    /// The largest log10 over-estimation factor available to a job of this
+    /// runtime (the upper envelope of Figure 6).
+    pub fn max_log10_ceiling(&self, runtime: Time) -> f64 {
+        let log_rt = (runtime as f64).log10();
+        (self.max_log10_factor - self.decay_per_log10_runtime * log_rt).clamp(0.15, self.max_log10_factor)
+    }
+}
+
+/// Rounds a requested wall-clock limit up to the nearest standard value
+/// (saturating at the largest standard value).
+pub fn round_to_standard(wcl: Time) -> Time {
+    for &std in STANDARD_WCLS.iter() {
+        if wcl <= std {
+            return std;
+        }
+    }
+    *STANDARD_WCLS.last().expect("table is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_wcls_are_sorted_and_distinct() {
+        for pair in STANDARD_WCLS.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn round_to_standard_rounds_up() {
+        assert_eq!(round_to_standard(1), 5 * MINUTE);
+        assert_eq!(round_to_standard(5 * MINUTE), 5 * MINUTE);
+        assert_eq!(round_to_standard(5 * MINUTE + 1), 15 * MINUTE);
+        assert_eq!(round_to_standard(25 * HOUR), 48 * HOUR);
+        // Saturates at the largest standard value.
+        assert_eq!(round_to_standard(90 * DAY), 30 * DAY);
+    }
+
+    #[test]
+    fn estimates_are_always_positive() {
+        let model = EstimateModel::default();
+        let mut rng = rng();
+        for runtime in [1u64, 10, 900, 3600, 86_400, 400_000] {
+            for _ in 0..200 {
+                assert!(model.sample(runtime, &mut rng) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn most_jobs_overestimate_and_a_few_underestimate() {
+        let model = EstimateModel::default();
+        let mut rng = rng();
+        let runtime = 2 * HOUR;
+        let n = 5000;
+        let under = (0..n)
+            .filter(|_| model.sample(runtime, &mut rng) < runtime)
+            .count();
+        let frac = under as f64 / n as f64;
+        // Configured 4%; allow sampling noise.
+        assert!(
+            (0.02..0.07).contains(&frac),
+            "under-estimate fraction {frac} outside expected band"
+        );
+    }
+
+    #[test]
+    fn overestimation_ceiling_shrinks_with_runtime() {
+        // Figure 6: short jobs can be over-estimated by up to ~1e6, long jobs
+        // far less.
+        let model = EstimateModel::default();
+        assert!(model.max_log10_ceiling(1) > 5.5);
+        assert!(model.max_log10_ceiling(HOUR) < model.max_log10_ceiling(MINUTE));
+        assert!(model.max_log10_ceiling(10 * DAY) < 1.0);
+        // Never collapses to zero: even very long jobs keep some slack.
+        assert!(model.max_log10_ceiling(30 * DAY) >= 0.15);
+    }
+
+    #[test]
+    fn sampled_factors_respect_the_ceiling_envelope() {
+        let model = EstimateModel { underestimate_fraction: 0.0, round_fraction: 0.0, ..Default::default() };
+        let mut rng = rng();
+        for runtime in [60u64, 3600, 86_400] {
+            let ceiling = model.max_log10_ceiling(runtime);
+            for _ in 0..500 {
+                let est = model.sample(runtime, &mut rng);
+                let factor = est as f64 / runtime as f64;
+                assert!(factor >= 1.0 - 1e-9);
+                // Integer truncation can only lower the factor.
+                assert!(
+                    factor.log10() <= ceiling + 1e-9,
+                    "factor {factor} exceeds ceiling for runtime {runtime}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounded_estimates_come_from_the_standard_table() {
+        let model = EstimateModel { underestimate_fraction: 0.0, round_fraction: 1.0, ..Default::default() };
+        let mut rng = rng();
+        for _ in 0..500 {
+            let est = model.sample(HOUR, &mut rng);
+            assert!(STANDARD_WCLS.contains(&est), "{est} not a standard WCL");
+        }
+    }
+}

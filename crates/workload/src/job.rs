@@ -1,0 +1,318 @@
+//! The job record: the unit of work every scheduler in this workspace packs.
+//!
+//! A job is the classic 2-D rectangle of the parallel-scheduling literature:
+//! its width is the number of nodes requested and its length is its runtime.
+//! Two lengths matter: the *actual* runtime (known only in hindsight, used by
+//! the simulator to generate completion events) and the user's wall-clock
+//! *estimate* (the only length a non-clairvoyant scheduler may look at).
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a job within a trace. Ids are dense and assigned in submit
+/// order by the generator, but schedulers must not rely on that: runtime
+/// limits (§5.1 of the paper) split jobs into chunks with fresh ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+/// Identifies a user. The fairshare queuing priority accumulates decayed
+/// processor-seconds per user, so user identity is load-bearing for
+/// scheduling, not just bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Identifies a group (carried through from SWF; not used by any policy in
+/// the paper, but preserved so traces round-trip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Completion status, following SWF conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Ran to its natural end.
+    Completed,
+    /// Failed/aborted on its own.
+    Failed,
+    /// Killed by the scheduler at its wall-clock limit.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The SWF `status` field value.
+    pub fn swf_code(self) -> i64 {
+        match self {
+            JobStatus::Completed => 1,
+            JobStatus::Failed => 0,
+            JobStatus::Cancelled => 5,
+        }
+    }
+
+    /// Parses an SWF `status` field. Unknown codes map to `Completed`, the
+    /// archive's recommended lenient reading.
+    pub fn from_swf_code(code: i64) -> Self {
+        match code {
+            0 => JobStatus::Failed,
+            5 => JobStatus::Cancelled,
+            _ => JobStatus::Completed,
+        }
+    }
+}
+
+/// A job as submitted: the immutable description the scheduler sees.
+///
+/// Invariants (enforced by [`Job::validate`], checked by property tests):
+/// * `nodes >= 1`
+/// * `runtime >= 1` (zero-length jobs are dropped during trace cleaning,
+///   matching the paper's preprocessing of the PBS/yod logs)
+/// * `estimate >= 1`
+///
+/// Note that `runtime > estimate` is *allowed*: the CPlant PBS scheduler
+/// killed jobs at their wall-clock limit only when another job needed the
+/// processors, so the trace (Figure 5) contains jobs that outlived their
+/// estimates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Trace-unique identity.
+    pub id: JobId,
+    /// Submitting user (drives the fairshare priority).
+    pub user: UserId,
+    /// Submitting group.
+    pub group: GroupId,
+    /// Submission (queue-entry) time, seconds from trace start.
+    pub submit: Time,
+    /// Number of nodes requested; CPlant allocated whole nodes.
+    pub nodes: u32,
+    /// Actual runtime in seconds, known only in hindsight.
+    pub runtime: Time,
+    /// User wall-clock limit (estimate) in seconds.
+    pub estimate: Time,
+    /// How the job ended in the source trace.
+    pub status: JobStatus,
+}
+
+impl Job {
+    /// Creates a job with `Completed` status; the common constructor for
+    /// tests and generators.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        user: u32,
+        group: u32,
+        submit: Time,
+        nodes: u32,
+        runtime: Time,
+        estimate: Time,
+    ) -> Self {
+        Job {
+            id: JobId(id),
+            user: UserId(user),
+            group: GroupId(group),
+            submit,
+            nodes,
+            runtime,
+            estimate,
+            status: JobStatus::Completed,
+        }
+    }
+
+    /// Processor-seconds this job consumes (`nodes × runtime`).
+    pub fn proc_seconds(&self) -> u64 {
+        self.nodes as u64 * self.runtime
+    }
+
+    /// Processor-hours (the unit of the paper's Table 2).
+    pub fn proc_hours(&self) -> f64 {
+        self.proc_seconds() as f64 / 3600.0
+    }
+
+    /// Over-estimation factor `estimate / runtime` (Figures 6–7). Greater
+    /// than 1 for over-estimated jobs, below 1 for jobs that outlived their
+    /// wall-clock limit.
+    pub fn overestimation_factor(&self) -> f64 {
+        self.estimate as f64 / self.runtime as f64
+    }
+
+    /// Checks the structural invariants; returns the first violation.
+    pub fn validate(&self) -> Result<(), JobInvariantViolation> {
+        if self.nodes == 0 {
+            return Err(JobInvariantViolation::ZeroNodes(self.id));
+        }
+        if self.runtime == 0 {
+            return Err(JobInvariantViolation::ZeroRuntime(self.id));
+        }
+        if self.estimate == 0 {
+            return Err(JobInvariantViolation::ZeroEstimate(self.id));
+        }
+        Ok(())
+    }
+}
+
+/// A violated [`Job`] invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobInvariantViolation {
+    /// `nodes == 0`.
+    ZeroNodes(JobId),
+    /// `runtime == 0`.
+    ZeroRuntime(JobId),
+    /// `estimate == 0`.
+    ZeroEstimate(JobId),
+}
+
+impl fmt::Display for JobInvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobInvariantViolation::ZeroNodes(id) => write!(f, "{id}: zero nodes"),
+            JobInvariantViolation::ZeroRuntime(id) => write!(f, "{id}: zero runtime"),
+            JobInvariantViolation::ZeroEstimate(id) => write!(f, "{id}: zero estimate"),
+        }
+    }
+}
+
+impl std::error::Error for JobInvariantViolation {}
+
+/// Validates a whole trace and checks it is sorted by submit time (ties by
+/// id), the order every consumer in the workspace assumes.
+pub fn validate_trace(jobs: &[Job]) -> Result<(), TraceError> {
+    for job in jobs {
+        job.validate().map_err(TraceError::Job)?;
+    }
+    for pair in jobs.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if (b.submit, b.id) < (a.submit, a.id) {
+            return Err(TraceError::OutOfOrder { before: a.id, after: b.id });
+        }
+        if a.id == b.id {
+            return Err(TraceError::DuplicateId(a.id));
+        }
+    }
+    Ok(())
+}
+
+/// A trace-level validation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// A job violates a per-job invariant.
+    Job(JobInvariantViolation),
+    /// Jobs are not sorted by (submit, id).
+    OutOfOrder {
+        /// The job that appears first in the trace.
+        before: JobId,
+        /// The job that appears after it despite sorting earlier.
+        after: JobId,
+    },
+    /// Two adjacent jobs share an id.
+    DuplicateId(JobId),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Job(v) => write!(f, "invalid job: {v}"),
+            TraceError::OutOfOrder { before, after } => {
+                write!(f, "trace out of order: {after} sorts before {before}")
+            }
+            TraceError::DuplicateId(id) => write!(f, "duplicate job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, submit: Time) -> Job {
+        Job::new(id, 1, 1, submit, 4, 100, 200)
+    }
+
+    #[test]
+    fn proc_seconds_and_hours() {
+        let j = Job::new(1, 1, 1, 0, 16, 7200, 7200);
+        assert_eq!(j.proc_seconds(), 16 * 7200);
+        assert!((j.proc_hours() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overestimation_factor_both_sides_of_one() {
+        let over = Job::new(1, 1, 1, 0, 1, 100, 1000);
+        assert!((over.overestimation_factor() - 10.0).abs() < 1e-12);
+        let under = Job::new(2, 1, 1, 0, 1, 1000, 100);
+        assert!((under.overestimation_factor() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_jobs() {
+        let mut j = job(1, 0);
+        j.nodes = 0;
+        assert_eq!(j.validate(), Err(JobInvariantViolation::ZeroNodes(JobId(1))));
+        let mut j = job(2, 0);
+        j.runtime = 0;
+        assert_eq!(j.validate(), Err(JobInvariantViolation::ZeroRuntime(JobId(2))));
+        let mut j = job(3, 0);
+        j.estimate = 0;
+        assert_eq!(j.validate(), Err(JobInvariantViolation::ZeroEstimate(JobId(3))));
+        assert!(job(4, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn runtime_longer_than_estimate_is_legal() {
+        // The CPlant kill policy lets jobs outlive their WCL when no one
+        // needs the nodes; such jobs must validate.
+        let j = Job::new(1, 1, 1, 0, 8, 5000, 3600);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_trace_accepts_sorted_and_rejects_unsorted() {
+        let sorted = vec![job(1, 0), job(2, 10), job(3, 10)];
+        assert!(validate_trace(&sorted).is_ok());
+
+        let unsorted = vec![job(1, 10), job(2, 0)];
+        assert_eq!(
+            validate_trace(&unsorted),
+            Err(TraceError::OutOfOrder { before: JobId(1), after: JobId(2) })
+        );
+    }
+
+    #[test]
+    fn validate_trace_rejects_duplicate_adjacent_ids() {
+        let dup = vec![job(7, 5), job(7, 5)];
+        assert_eq!(validate_trace(&dup), Err(TraceError::DuplicateId(JobId(7))));
+    }
+
+    #[test]
+    fn status_swf_codes_round_trip() {
+        for s in [JobStatus::Completed, JobStatus::Failed, JobStatus::Cancelled] {
+            assert_eq!(JobStatus::from_swf_code(s.swf_code()), s);
+        }
+        // Unknown codes read as Completed.
+        assert_eq!(JobStatus::from_swf_code(-1), JobStatus::Completed);
+    }
+
+    #[test]
+    fn display_impls_are_compact() {
+        assert_eq!(JobId(3).to_string(), "j3");
+        assert_eq!(UserId(4).to_string(), "u4");
+        assert_eq!(GroupId(5).to_string(), "g5");
+    }
+}

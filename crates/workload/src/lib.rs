@@ -1,0 +1,48 @@
+//! # fairsched-workload
+//!
+//! Job model, trace I/O, and workload synthesis for the CPlant/Ross fairness
+//! case study (Leung, Sabin & Sadayappan, SAND2008-1310 / ICPP 2010).
+//!
+//! This crate is the bottom-most substrate of the `fairsched` workspace. It
+//! provides:
+//!
+//! * [`job`] — the [`job::Job`] record (submit time, width, actual
+//!   runtime, user wall-clock estimate, user/group ids) that every other
+//!   crate consumes;
+//! * [`swf`] — a reader/writer for the Standard Workload Format v2 used by
+//!   the Parallel Workloads Archive (the format the paper converted the raw
+//!   PBS + `yod` logs into);
+//! * [`categories`] — the paper's 11 width × 8 length job categories
+//!   (Tables 1 and 2);
+//! * [`tables`] — the published Table 1 (job counts) and Table 2
+//!   (processor-hours) as data, plus functions that recompute the same
+//!   matrices from any trace;
+//! * [`synthetic`] — a seeded generator producing a CPlant/Ross-like trace
+//!   whose category marginals match Tables 1–2 and whose arrival process and
+//!   estimate inaccuracy match Figures 3 and 5–7 (the real trace was never
+//!   fully released, so the reproduction runs on this synthetic equivalent);
+//! * [`stats`] — workload characterization: weekly offered load,
+//!   over-estimation factors, and the scatter series behind Figures 4–7;
+//! * [`estimate`] — user wall-clock-estimate models (rounding to "standard"
+//!   request values, over-estimation factor sampling);
+//! * [`models`] — an independent Lublin–Feitelson-style generator used to
+//!   cross-validate conclusions drawn on the CPlant-calibrated workload.
+//!
+//! All times are in whole seconds ([`Time`]) measured from the start of the
+//! trace; widths are node counts.
+
+pub mod categories;
+pub mod estimate;
+pub mod job;
+pub mod models;
+pub mod stats;
+pub mod swf;
+pub mod synthetic;
+pub mod tables;
+pub mod time;
+
+pub use categories::{CategoryMatrix, LengthCategory, WidthCategory};
+pub use job::{GroupId, Job, JobId, UserId};
+pub use models::LublinModel;
+pub use synthetic::CplantModel;
+pub use time::{Time, DAY, HOUR, MINUTE, WEEK};

@@ -1,0 +1,227 @@
+//! A second, independent workload model for cross-validation.
+//!
+//! The CPlant generator ([`crate::synthetic::CplantModel`]) is calibrated to
+//! one site's published tables; conclusions drawn on it alone could in
+//! principle be artifacts of that calibration. [`LublinModel`] is a
+//! simplified implementation of the classic Lublin–Feitelson workload model
+//! family — daily-cycle arrivals, a serial/parallel width split with
+//! power-of-two bias, hyper-exponential runtimes — sharing *nothing* with
+//! the CPlant tables. The cross-workload integration test re-checks the
+//! paper's headline conclusions on it.
+
+use crate::estimate::EstimateModel;
+use crate::job::{GroupId, Job, JobId, JobStatus, UserId};
+use crate::time::{Time, HOUR};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Simplified Lublin–Feitelson-style generator.
+#[derive(Debug, Clone)]
+pub struct LublinModel {
+    /// PRNG seed; equal seeds give byte-identical traces.
+    pub seed: u64,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Machine size (caps widths).
+    pub nodes: u32,
+    /// Mean inter-arrival time at the daily peak, seconds.
+    pub peak_interarrival: Time,
+    /// Probability a job is serial (1 node).
+    pub serial_fraction: f64,
+    /// Means of the two runtime branches (short, long), seconds.
+    pub runtime_means: (f64, f64),
+    /// Probability of the short runtime branch.
+    pub short_fraction: f64,
+    /// User population size (Zipf-1.0 activity).
+    pub users: u32,
+    /// Wall-clock-estimate model.
+    pub estimate: EstimateModel,
+}
+
+impl LublinModel {
+    /// A model sized to produce moderate contention on `nodes`.
+    pub fn new(seed: u64, jobs: usize, nodes: u32) -> Self {
+        LublinModel {
+            seed,
+            jobs,
+            nodes,
+            peak_interarrival: 15 * 60,
+            serial_fraction: 0.25,
+            runtime_means: (900.0, 30_000.0),
+            short_fraction: 0.6,
+            users: 50,
+            estimate: EstimateModel::default(),
+        }
+    }
+
+    /// Generates the trace, sorted by submit time with sequential ids.
+    pub fn generate(&self) -> Vec<Job> {
+        assert!(self.jobs > 0 && self.nodes >= 1 && self.users >= 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x4c75_626c_696e);
+        let mut t: Time = 0;
+        let mut jobs = Vec::with_capacity(self.jobs);
+        for i in 0..self.jobs {
+            t += self.sample_gap(t, &mut rng);
+            let nodes = self.sample_width(&mut rng);
+            let runtime = self.sample_runtime(&mut rng);
+            let user = sample_zipf(self.users, &mut rng);
+            jobs.push(Job {
+                id: JobId(i as u32 + 1),
+                user: UserId(user),
+                group: GroupId(user % 8),
+                submit: t,
+                nodes,
+                runtime,
+                estimate: self.estimate.sample(runtime, &mut rng),
+                status: JobStatus::Completed,
+            });
+        }
+        jobs
+    }
+
+    /// Exponential inter-arrival gap stretched by the daily cycle: nights
+    /// are ~4× quieter than the mid-day peak.
+    fn sample_gap(&self, now: Time, rng: &mut ChaCha8Rng) -> Time {
+        let hour = (now / HOUR) % 24;
+        let slowdown = match hour {
+            8..=17 => 1.0,
+            6..=7 | 18..=21 => 2.0,
+            _ => 4.0,
+        };
+        let mean = self.peak_interarrival as f64 * slowdown;
+        (exponential(mean, rng) as Time).max(1)
+    }
+
+    /// Serial with probability `serial_fraction`; otherwise a log-uniform
+    /// width in `[2, nodes]`, snapped to the floor power of two 75% of the
+    /// time (the classic power-of-two bias).
+    fn sample_width(&self, rng: &mut ChaCha8Rng) -> u32 {
+        if self.nodes == 1 || rng.gen::<f64>() < self.serial_fraction {
+            return 1;
+        }
+        let lo = 2f64.ln();
+        let hi = (self.nodes as f64).ln();
+        let raw = rng.gen_range(lo..=hi).exp();
+        let width = if rng.gen::<f64>() < 0.75 {
+            let pow = 2f64.powf(raw.log2().floor());
+            pow as u32
+        } else {
+            raw as u32
+        };
+        width.clamp(2, self.nodes)
+    }
+
+    /// Two-branch hyper-exponential runtime, floored at 1 s.
+    fn sample_runtime(&self, rng: &mut ChaCha8Rng) -> Time {
+        let mean = if rng.gen::<f64>() < self.short_fraction {
+            self.runtime_means.0
+        } else {
+            self.runtime_means.1
+        };
+        (exponential(mean, rng) as Time).max(1)
+    }
+}
+
+/// Exponential sample with the given mean, via inverse CDF.
+fn exponential(mean: f64, rng: &mut ChaCha8Rng) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Zipf(1.0) over `1..=n` by direct inverse of the harmonic CDF (small `n`).
+fn sample_zipf(n: u32, rng: &mut ChaCha8Rng) -> u32 {
+    let harmonic: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+    let mut pick = rng.gen_range(0.0..harmonic);
+    for k in 1..=n {
+        let w = 1.0 / k as f64;
+        if pick < w {
+            return k;
+        }
+        pick -= w;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::validate_trace;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let a = LublinModel::new(5, 500, 64).generate();
+        let b = LublinModel::new(5, 500, 64).generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        validate_trace(&a).unwrap();
+        assert_ne!(a, LublinModel::new(6, 500, 64).generate());
+    }
+
+    #[test]
+    fn widths_respect_the_machine_and_show_the_serial_split() {
+        let jobs = LublinModel::new(7, 4000, 128).generate();
+        assert!(jobs.iter().all(|j| j.nodes >= 1 && j.nodes <= 128));
+        let serial = jobs.iter().filter(|j| j.nodes == 1).count() as f64 / jobs.len() as f64;
+        assert!((0.20..0.32).contains(&serial), "serial fraction {serial}");
+        // Power-of-two bias: among parallel jobs, powers of two dominate.
+        let parallel: Vec<&Job> = jobs.iter().filter(|j| j.nodes > 1).collect();
+        let pow2 = parallel.iter().filter(|j| j.nodes.is_power_of_two()).count() as f64
+            / parallel.len() as f64;
+        assert!(pow2 > 0.6, "power-of-two fraction {pow2}");
+    }
+
+    #[test]
+    fn runtimes_are_hyper_exponential_ish() {
+        let m = LublinModel::new(9, 6000, 64);
+        let jobs = m.generate();
+        let mean: f64 =
+            jobs.iter().map(|j| j.runtime as f64).sum::<f64>() / jobs.len() as f64;
+        let expected = m.short_fraction * m.runtime_means.0
+            + (1.0 - m.short_fraction) * m.runtime_means.1;
+        assert!(
+            (mean / expected - 1.0).abs() < 0.15,
+            "mean runtime {mean} vs expected {expected}"
+        );
+        // Heavy tail: some jobs far above the mean.
+        assert!(jobs.iter().any(|j| j.runtime as f64 > 4.0 * expected));
+    }
+
+    #[test]
+    fn arrivals_follow_a_daily_cycle() {
+        let jobs = LublinModel::new(11, 8000, 64).generate();
+        let mut day = 0usize;
+        let mut night = 0usize;
+        for j in &jobs {
+            match (j.submit / HOUR) % 24 {
+                8..=17 => day += 1,
+                22..=23 | 0..=5 => night += 1,
+                _ => {}
+            }
+        }
+        // 10 day hours vs 8 night hours, but day rate is 4× night rate.
+        assert!(
+            day as f64 > 2.0 * night as f64,
+            "day {day} vs night {night} arrivals"
+        );
+    }
+
+    #[test]
+    fn exponential_sampler_has_the_right_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(100.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn zipf_sampler_ranks_decrease() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0u32; 11];
+        for _ in 0..20_000 {
+            counts[sample_zipf(10, &mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[5]);
+        assert!(counts[5] > counts[10]);
+    }
+}

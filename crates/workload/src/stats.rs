@@ -1,0 +1,199 @@
+//! Workload characterization: the statistics behind Figures 3–7.
+//!
+//! * [`weekly_offered_load`] — the "Offered Load" series of Figure 3 (the
+//!   "Actual Utilization" series needs a schedule and lives in
+//!   `fairsched-metrics`).
+//! * [`runtime_nodes_points`] — the Figure 4 scatter (runtime vs nodes).
+//! * [`estimate_points`] — the Figure 5 scatter (runtime vs WCL).
+//! * [`overestimation_vs_runtime`] / [`overestimation_vs_nodes`] — Figures
+//!   6–7.
+//! * [`Summary`] — reusable univariate summary (mean / median / percentiles)
+//!   used throughout the experiment harness.
+
+use crate::job::Job;
+use crate::time::{Time, WEEK};
+
+/// Offered load per week: processor-hours *submitted* during each week,
+/// divided by the machine's weekly capacity. Values above 1.0 are the
+/// overload bursts of Figure 3.
+pub fn weekly_offered_load(jobs: &[Job], system_nodes: u32, weeks: usize) -> Vec<f64> {
+    let capacity_ph = system_nodes as f64 * WEEK as f64 / 3600.0;
+    let mut load = vec![0.0; weeks];
+    for job in jobs {
+        let w = (job.submit / WEEK) as usize;
+        if w < weeks {
+            load[w] += job.proc_hours() / capacity_ph;
+        }
+    }
+    load
+}
+
+/// The Figure 4 scatter: (runtime seconds, nodes) per job.
+pub fn runtime_nodes_points(jobs: &[Job]) -> Vec<(Time, u32)> {
+    jobs.iter().map(|j| (j.runtime, j.nodes)).collect()
+}
+
+/// The Figure 5 scatter: (runtime seconds, wall-clock limit seconds) per job.
+pub fn estimate_points(jobs: &[Job]) -> Vec<(Time, Time)> {
+    jobs.iter().map(|j| (j.runtime, j.estimate)).collect()
+}
+
+/// The Figure 6 scatter: (over-estimation factor, runtime seconds).
+pub fn overestimation_vs_runtime(jobs: &[Job]) -> Vec<(f64, Time)> {
+    jobs.iter().map(|j| (j.overestimation_factor(), j.runtime)).collect()
+}
+
+/// The Figure 7 scatter: (over-estimation factor, nodes).
+pub fn overestimation_vs_nodes(jobs: &[Job]) -> Vec<(f64, u32)> {
+    jobs.iter().map(|j| (j.overestimation_factor(), j.nodes)).collect()
+}
+
+/// Log-binned histogram: counts of `values` in decade bins
+/// `[10^k, 10^(k+1))`. Used to print ASCII renderings of the log-log scatter
+/// figures.
+pub fn decade_histogram(values: impl IntoIterator<Item = f64>, decades: std::ops::Range<i32>) -> Vec<u64> {
+    let mut bins = vec![0u64; decades.len()];
+    for v in values {
+        if v <= 0.0 {
+            continue;
+        }
+        let d = v.log10().floor() as i32;
+        if d >= decades.start && d < decades.end {
+            bins[(d - decades.start) as usize] += 1;
+        }
+    }
+    bins
+}
+
+/// Univariate summary statistics over `f64` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+    /// Median (0 for an empty sample).
+    pub median: f64,
+    /// 90th percentile (0 for an empty sample).
+    pub p90: f64,
+    /// Population standard deviation (0 for an empty sample).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes a summary; tolerates the empty sample (all-zero summary).
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, median: 0.0, p90: 0.0, stddev: 0.0 };
+        }
+        v.sort_by(f64::total_cmp);
+        let count = v.len();
+        let sum: f64 = v.iter().sum();
+        let mean = sum / count as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            min: v[0],
+            max: v[count - 1],
+            median: percentile_sorted(&v, 0.5),
+            p90: percentile_sorted(&v, 0.9),
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Percentile of an already-sorted slice via linear interpolation.
+/// `q` in `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::time::HOUR;
+
+    fn job_at(id: u32, submit: Time, nodes: u32, runtime: Time) -> Job {
+        Job::new(id, 1, 1, submit, nodes, runtime, runtime * 2)
+    }
+
+    #[test]
+    fn weekly_offered_load_places_proc_hours_in_submit_weeks() {
+        // One 100-node 1-week job submitted in week 0 on a 100-node machine
+        // = exactly 1.0 offered load in week 0.
+        let jobs = vec![job_at(1, 0, 100, WEEK)];
+        let load = weekly_offered_load(&jobs, 100, 3);
+        assert!((load[0] - 1.0).abs() < 1e-9);
+        assert_eq!(load[1], 0.0);
+        assert_eq!(load[2], 0.0);
+    }
+
+    #[test]
+    fn weekly_offered_load_ignores_jobs_past_horizon() {
+        let jobs = vec![job_at(1, 10 * WEEK, 10, HOUR)];
+        let load = weekly_offered_load(&jobs, 100, 3);
+        assert!(load.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn scatter_extractors_are_one_to_one() {
+        let jobs = vec![job_at(1, 0, 4, 100), job_at(2, 5, 8, 200)];
+        assert_eq!(runtime_nodes_points(&jobs), vec![(100, 4), (200, 8)]);
+        assert_eq!(estimate_points(&jobs), vec![(100, 200), (200, 400)]);
+        let over = overestimation_vs_runtime(&jobs);
+        assert!((over[0].0 - 2.0).abs() < 1e-12);
+        assert_eq!(over[0].1, 100);
+        let overn = overestimation_vs_nodes(&jobs);
+        assert_eq!(overn[1].1, 8);
+    }
+
+    #[test]
+    fn decade_histogram_bins_by_power_of_ten() {
+        let values = vec![1.0, 5.0, 10.0, 99.0, 100.0, 0.5, 0.0, -1.0];
+        // decades -1..3 → bins for [0.1,1), [1,10), [10,100), [100,1000)
+        let bins = decade_histogram(values, -1..3);
+        assert_eq!(bins, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_handles_empty_sample() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 40.0);
+        assert!((percentile_sorted(&v, 0.5) - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's published Table 1 (job counts) and Table 2 (processor-hours)
+//! as data, plus the functions that recompute both matrices from any trace.
+//!
+//! These constants are the calibration target of the synthetic generator and
+//! the ground truth the `table1_job_counts` / `table2_proc_hours` experiment
+//! binaries compare against.
+
+use crate::categories::{CategoryMatrix, LengthCategory, WidthCategory};
+use crate::job::Job;
+
+/// Table 1 of the paper: number of jobs in each width × length category of
+/// the CPlant/Ross trace (Dec 01 2002 – Jul 14 2003).
+///
+/// Rows are width buckets (1 node … 513+), columns are length buckets
+/// (0–15 min … 2+ days). The cells sum to 13 236; the paper's prose counts
+/// 13 614 jobs in the raw trace — the difference is jobs dropped during the
+/// authors' trace cleaning (e.g. zero-length records), which the table
+/// excludes.
+pub fn table1_job_counts() -> CategoryMatrix<u64> {
+    CategoryMatrix::from_rows([
+        [681, 141, 44, 7, 7, 3, 6, 16],
+        [458, 80, 8, 0, 2, 0, 1, 0],
+        [672, 440, 273, 55, 26, 3, 5, 5],
+        [832, 238, 700, 155, 142, 90, 76, 91],
+        [1032, 131, 347, 206, 260, 141, 205, 160],
+        [917, 608, 113, 72, 67, 53, 116, 160],
+        [879, 130, 134, 70, 79, 48, 130, 178],
+        [494, 72, 78, 31, 49, 24, 53, 76],
+        [447, 127, 9, 5, 12, 1, 3, 10],
+        [147, 24, 6, 3, 1, 0, 0, 1],
+        [51, 18, 1, 0, 0, 0, 0, 0],
+    ])
+}
+
+/// Total number of jobs in Table 1.
+pub const TABLE1_TOTAL_JOBS: u64 = 13_236;
+
+/// Number of jobs the paper's prose reports in the raw trace before cleaning.
+pub const RAW_TRACE_JOBS: u64 = 13_614;
+
+/// Table 2 of the paper: processor-hours in each width × length category.
+///
+/// Two cells are mutually inconsistent with Table 1 in the published report
+/// (the 513+ row has 1 job in 1–4 h but 0 proc-hours, and 0 jobs in 4–8 h but
+/// 3 183 proc-hours — almost certainly a column slip in the original). The
+/// generator treats any cell with a zero on either side as "no calibration
+/// target" and falls back to mid-bucket runtimes.
+pub fn table2_proc_hours() -> CategoryMatrix<f64> {
+    CategoryMatrix::from_rows([
+        [14., 61., 76., 42., 70., 62., 259., 2883.],
+        [32., 70., 21., 0., 53., 0., 68., 0.],
+        [103., 1197., 2210., 1272., 1030., 213., 614., 1310.],
+        [281., 1101., 10263., 6582., 12107., 14118., 18287., 92549.],
+        [522., 1102., 12522., 18175., 45859., 42072., 105884., 207496.],
+        [968., 6870., 6630., 11008., 22031., 28232., 109166., 363944.],
+        [1775., 2895., 15252., 20429., 48457., 48493., 251748., 986649.],
+        [1876., 4149., 19125., 17333., 53098., 48296., 179321., 796517.],
+        [3273., 12395., 4219., 4322., 27041., 5451., 19030., 183949.],
+        [3719., 4723., 5027., 6850., 3888., 0., 0., 30761.],
+        [2692., 9503., 0., 3183., 0., 0., 0., 0.],
+    ])
+}
+
+/// Recomputes Table 1 from a trace: jobs per width × length category.
+pub fn job_counts(jobs: &[Job]) -> CategoryMatrix<u64> {
+    let mut m = CategoryMatrix::new();
+    for job in jobs {
+        *m.get_mut(WidthCategory::of(job.nodes), LengthCategory::of(job.runtime)) += 1;
+    }
+    m
+}
+
+/// Recomputes Table 2 from a trace: processor-hours per category.
+pub fn proc_hours(jobs: &[Job]) -> CategoryMatrix<f64> {
+    let mut m = CategoryMatrix::new();
+    for job in jobs {
+        *m.get_mut(WidthCategory::of(job.nodes), LengthCategory::of(job.runtime)) +=
+            job.proc_hours();
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    #[test]
+    fn table1_sums_to_published_total() {
+        assert_eq!(table1_job_counts().total(), TABLE1_TOTAL_JOBS);
+    }
+
+    #[test]
+    fn table1_spot_checks_against_the_paper() {
+        let t = table1_job_counts();
+        // "681" single-node 0-15 min jobs.
+        assert_eq!(*t.get(WidthCategory(0), LengthCategory(0)), 681);
+        // "1032" 9-16 node 0-15 min jobs.
+        assert_eq!(*t.get(WidthCategory(4), LengthCategory(0)), 1032);
+        // "178" 33-64 node 2+ day jobs.
+        assert_eq!(*t.get(WidthCategory(6), LengthCategory(7)), 178);
+        // 513+ row has no jobs past 1-4 hrs.
+        for l in 3..8 {
+            assert_eq!(*t.get(WidthCategory(10), LengthCategory(l)), 0);
+        }
+    }
+
+    #[test]
+    fn table2_spot_checks_against_the_paper() {
+        let t = table2_proc_hours();
+        assert_eq!(*t.get(WidthCategory(0), LengthCategory(0)), 14.0);
+        assert_eq!(*t.get(WidthCategory(6), LengthCategory(7)), 986_649.0);
+        assert_eq!(*t.get(WidthCategory(9), LengthCategory(7)), 30_761.0);
+    }
+
+    #[test]
+    fn table2_total_is_about_four_million_proc_hours() {
+        // Sanity bound used when sizing the simulated machine: the whole
+        // 231-day workload is ~3.9M processor-hours.
+        let total = table2_proc_hours().total();
+        assert!(
+            (3.5e6..4.5e6).contains(&total),
+            "unexpected Table 2 total: {total}"
+        );
+    }
+
+    #[test]
+    fn long_wide_jobs_dominate_proc_hours_but_not_counts() {
+        // The paper's observation motivating the fairness study: wide and
+        // long jobs are few in number but most of the consumed cycles.
+        let counts = table1_job_counts();
+        let hours = table2_proc_hours();
+        let long_jobs: u64 = (0..11)
+            .map(|w| *counts.get(WidthCategory(w), LengthCategory(7)))
+            .sum();
+        let long_hours: f64 =
+            (0..11).map(|w| *hours.get(WidthCategory(w), LengthCategory(7))).sum();
+        assert!((long_jobs as f64) < 0.06 * TABLE1_TOTAL_JOBS as f64);
+        assert!(long_hours > 0.6 * hours.total());
+    }
+
+    #[test]
+    fn recomputed_counts_and_hours_agree_with_hand_built_trace() {
+        let jobs = vec![
+            Job::new(1, 1, 1, 0, 1, 600, 900),      // 1 node, 0-15 min
+            Job::new(2, 1, 1, 10, 16, 7200, 7200),  // 9-16 nodes, 1-4 hrs
+            Job::new(3, 2, 1, 20, 16, 7200, 14400), // same cell
+            Job::new(4, 2, 1, 30, 600, 200_000, 250_000), // 513+, 2+ days
+        ];
+        let c = job_counts(&jobs);
+        assert_eq!(*c.get(WidthCategory(0), LengthCategory(0)), 1);
+        assert_eq!(*c.get(WidthCategory(4), LengthCategory(2)), 2);
+        assert_eq!(*c.get(WidthCategory(10), LengthCategory(7)), 1);
+        assert_eq!(c.total(), 4);
+
+        let h = proc_hours(&jobs);
+        assert!((h.get(WidthCategory(0), LengthCategory(0)) - 600.0 / 3600.0).abs() < 1e-9);
+        assert!((h.get(WidthCategory(4), LengthCategory(2)) - 2.0 * 16.0 * 2.0).abs() < 1e-9);
+        let expect = 600.0 * 200_000.0 / 3600.0;
+        assert!((h.get(WidthCategory(10), LengthCategory(7)) - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation time: whole seconds from the start of the trace.
+//!
+//! The paper's trace spans 231 days (December 1st 2002 to July 14th 2003);
+//! everything in this workspace measures time as seconds since the first
+//! instant of that window. `u64` seconds comfortably covers the horizon and
+//! avoids floating-point drift in the event-driven simulator.
+
+/// A point in time or a duration, in whole seconds.
+pub type Time = u64;
+
+/// One minute, in seconds.
+pub const MINUTE: Time = 60;
+/// One hour, in seconds.
+pub const HOUR: Time = 60 * MINUTE;
+/// One day, in seconds.
+pub const DAY: Time = 24 * HOUR;
+/// One week, in seconds.
+pub const WEEK: Time = 7 * DAY;
+
+/// Length of the CPlant/Ross study window: 231 days (Dec 01 2002 – Jul 14 2003).
+pub const TRACE_DAYS: Time = 231;
+/// The study window in seconds.
+pub const TRACE_SPAN: Time = TRACE_DAYS * DAY;
+/// Number of whole weeks in the study window (Figure 3 plots 33 weeks).
+pub const TRACE_WEEKS: usize = 33;
+
+/// Formats a duration as a compact human-readable string (`"3d 4h"`,
+/// `"15m"`, `"42s"`), used by report tables.
+pub fn format_duration(seconds: Time) -> String {
+    if seconds >= DAY {
+        let d = seconds / DAY;
+        let h = (seconds % DAY) / HOUR;
+        if h == 0 {
+            format!("{d}d")
+        } else {
+            format!("{d}d {h}h")
+        }
+    } else if seconds >= HOUR {
+        let h = seconds / HOUR;
+        let m = (seconds % HOUR) / MINUTE;
+        if m == 0 {
+            format!("{h}h")
+        } else {
+            format!("{h}h {m}m")
+        }
+    } else if seconds >= MINUTE {
+        let m = seconds / MINUTE;
+        let s = seconds % MINUTE;
+        if s == 0 {
+            format!("{m}m")
+        } else {
+            format!("{m}m {s}s")
+        }
+    } else {
+        format!("{seconds}s")
+    }
+}
+
+/// Converts seconds to fractional hours (the unit of the paper's Table 2).
+pub fn seconds_to_hours(seconds: Time) -> f64 {
+    seconds as f64 / HOUR as f64
+}
+
+/// Converts fractional hours to whole seconds, rounding to nearest.
+pub fn hours_to_seconds(hours: f64) -> Time {
+    (hours * HOUR as f64).round() as Time
+}
+
+/// The zero-based week index containing time `t`.
+pub fn week_of(t: Time) -> usize {
+    (t / WEEK) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(HOUR, 3600);
+        assert_eq!(DAY, 86_400);
+        assert_eq!(WEEK, 604_800);
+        assert_eq!(TRACE_SPAN, 231 * 86_400);
+    }
+
+    #[test]
+    fn trace_weeks_covers_the_horizon() {
+        // 231 days = 33 weeks exactly.
+        assert_eq!(TRACE_DAYS, 33 * 7);
+        assert_eq!(TRACE_WEEKS as u64 * WEEK, TRACE_SPAN);
+    }
+
+    #[test]
+    fn format_duration_covers_all_ranges() {
+        assert_eq!(format_duration(42), "42s");
+        assert_eq!(format_duration(60), "1m");
+        assert_eq!(format_duration(95), "1m 35s");
+        assert_eq!(format_duration(3600), "1h");
+        assert_eq!(format_duration(3 * HOUR + 30 * MINUTE), "3h 30m");
+        assert_eq!(format_duration(2 * DAY), "2d");
+        assert_eq!(format_duration(2 * DAY + 5 * HOUR), "2d 5h");
+    }
+
+    #[test]
+    fn hour_conversions_round_trip() {
+        assert_eq!(seconds_to_hours(7200), 2.0);
+        assert_eq!(hours_to_seconds(2.0), 7200);
+        assert_eq!(hours_to_seconds(0.5), 1800);
+        // Round-trips to the nearest second.
+        for s in [1u64, 59, 3599, 3601, 86_399] {
+            assert_eq!(hours_to_seconds(seconds_to_hours(s)), s);
+        }
+    }
+
+    #[test]
+    fn week_of_boundaries() {
+        assert_eq!(week_of(0), 0);
+        assert_eq!(week_of(WEEK - 1), 0);
+        assert_eq!(week_of(WEEK), 1);
+        assert_eq!(week_of(TRACE_SPAN - 1), TRACE_WEEKS - 1);
+    }
+}

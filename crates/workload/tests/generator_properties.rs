@@ -1,0 +1,99 @@
+//! Property tests for the workload substrate: the synthetic generator must
+//! emit valid, machine-respecting, horizon-bounded traces for *any*
+//! (seed, scale, nodes) choice, the category buckets must partition, and
+//! the SWF reader must never panic on arbitrary input.
+
+use fairsched_workload::categories::{LengthCategory, WidthCategory};
+use fairsched_workload::job::validate_trace;
+use fairsched_workload::swf::{read_swf_str, write_swf_string};
+use fairsched_workload::synthetic::random_trace;
+use fairsched_workload::CplantModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generator_output_is_always_valid(
+        seed in 0u64..10_000,
+        scale in 0.005f64..0.05,
+        nodes in prop::sample::select(vec![64u32, 256, 1024, 2048]),
+    ) {
+        let model = CplantModel::new(seed).with_nodes(nodes).with_scale(scale);
+        let horizon = model.horizon();
+        let trace = model.generate();
+        validate_trace(&trace).expect("valid trace");
+        for job in &trace {
+            prop_assert!(job.nodes <= nodes);
+            prop_assert!(job.submit < horizon);
+            prop_assert!(job.runtime >= 1 && job.estimate >= 1);
+        }
+    }
+
+    #[test]
+    fn width_buckets_partition(nodes in 1u32..5000) {
+        let w = WidthCategory::of(nodes);
+        let (lo, hi) = w.bounds();
+        if nodes <= 1024 {
+            prop_assert!(nodes >= lo && nodes <= hi);
+        } else {
+            // Everything beyond the table cap maps to the open-ended bucket.
+            prop_assert_eq!(w, WidthCategory(10));
+        }
+    }
+
+    #[test]
+    fn length_buckets_partition(runtime in 1u64..5_000_000) {
+        let l = LengthCategory::of(runtime);
+        let (lo, hi) = l.bounds();
+        if runtime < 2_592_000 {
+            prop_assert!(runtime >= lo && runtime < hi);
+        } else {
+            prop_assert_eq!(l, LengthCategory(7));
+        }
+    }
+
+    #[test]
+    fn swf_reader_never_panics_on_garbage(text in "\\PC{0,400}") {
+        // Arbitrary printable garbage: must parse to SOMETHING, not panic.
+        let _ = read_swf_str(&text);
+    }
+
+    #[test]
+    fn swf_reader_is_total_on_numeric_soup(
+        rows in prop::collection::vec(
+            prop::collection::vec(-5i64..1_000_000, 0..25), 0..20)
+    ) {
+        let text: String = rows
+            .iter()
+            .map(|row| {
+                row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = read_swf_str(&text).expect("string reads never fail on I/O");
+        // Whatever survived cleaning must be a valid, sorted trace.
+        validate_trace(&parsed.jobs).expect("cleaned rows are valid");
+    }
+
+    #[test]
+    fn random_traces_round_trip_swf(seed in 0u64..10_000, n in 1usize..80) {
+        let trace = random_trace(seed, n, 32, 5_000);
+        let text = write_swf_string(&trace, 32, "prop");
+        let parsed = read_swf_str(&text).expect("parses");
+        prop_assert_eq!(parsed.jobs, trace);
+    }
+}
+
+#[test]
+fn scales_interpolate_job_counts_monotonically_in_expectation() {
+    // Bigger scale ⇒ more jobs, across several seeds.
+    for seed in [1u64, 7, 99] {
+        let small = CplantModel::new(seed).with_scale(0.02).generate().len();
+        let large = CplantModel::new(seed).with_scale(0.2).generate().len();
+        assert!(
+            large > 5 * small,
+            "scale 0.2 gave {large} jobs vs {small} at 0.02 (seed {seed})"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Policy comparison: §6 of the paper in miniature. Runs all nine named
+//! policies (plus EASY backfilling as an extra reference point) on the same
+//! workload, in parallel, and prints the four headline metrics side by side.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison            # 10% scale
+//! FAIRSCHED_SCALE=1.0 cargo run --release --example policy_comparison
+//! ```
+
+use fairsched::core::policy::PolicySpec;
+use fairsched::core::sweep::run_policies;
+use fairsched::workload::CplantModel;
+
+fn main() {
+    let scale: f64 = std::env::var("FAIRSCHED_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let nodes = 1024;
+    let trace = CplantModel::new(42).with_nodes(nodes).with_scale(scale).generate();
+    println!("workload: {} jobs at scale {scale} on {nodes} nodes\n", trace.len());
+
+    let mut policies = PolicySpec::paper_policies();
+    policies.push(PolicySpec::easy());
+
+    let outcomes = run_policies(&trace, &policies, nodes);
+
+    println!(
+        "{:<22} {:>9} {:>12} {:>14} {:>8} {:>7}",
+        "policy", "unfair%", "avg miss(s)", "turnaround(s)", "LOC%", "util%"
+    );
+    for outcome in &outcomes {
+        let m = outcome.metrics();
+        println!(
+            "{:<22} {:>8.2}% {:>12.0} {:>14.0} {:>7.2}% {:>6.1}%",
+            outcome.policy,
+            100.0 * m.percent_unfair,
+            m.average_miss_time,
+            m.average_turnaround,
+            100.0 * m.loss_of_capacity,
+            100.0 * m.utilization,
+        );
+    }
+
+    // The paper's conclusion, checked live: which policy improves both
+    // fairness dimensions at once?
+    let baseline = outcomes[0].metrics();
+    println!("\nvs baseline ({}):", outcomes[0].policy);
+    for outcome in &outcomes[1..] {
+        let m = outcome.metrics();
+        let miss = m.average_miss_time - baseline.average_miss_time;
+        let turn = m.average_turnaround - baseline.average_turnaround;
+        println!(
+            "  {:<22} miss {:+9.0}s  turnaround {:+9.0}s",
+            outcome.policy, miss, turn
+        );
+    }
+}

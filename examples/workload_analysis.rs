@@ -1,0 +1,56 @@
+//! Workload analysis: §2.2 of the paper as a pipeline. Generates the
+//! synthetic CPlant/Ross trace, round-trips it through the Standard Workload
+//! Format, and prints the characterization the paper reads off Tables 1–2
+//! and Figures 3–7.
+//!
+//! ```sh
+//! cargo run --release --example workload_analysis
+//! ```
+
+use fairsched::experiments::characterization;
+use fairsched::workload::stats::{weekly_offered_load, Summary};
+use fairsched::workload::swf::{read_swf_str, write_swf_string};
+use fairsched::workload::tables::{job_counts, proc_hours};
+use fairsched::workload::time::TRACE_WEEKS;
+use fairsched::workload::CplantModel;
+
+fn main() {
+    let nodes = 1024;
+    let model = CplantModel::new(42).with_nodes(nodes);
+    let trace = model.generate();
+    println!("generated {} jobs ({:.0} total proc-hours)\n", trace.len(), proc_hours(&trace).total());
+
+    // Round-trip through SWF v2 — the format the paper converted the raw
+    // PBS/yod logs into.
+    let swf = write_swf_string(&trace, nodes, "synthetic CPlant/Ross reproduction");
+    let parsed = read_swf_str(&swf).expect("swf reads back");
+    assert_eq!(parsed.jobs, trace, "SWF round-trip must be lossless");
+    println!(
+        "SWF round-trip: {} bytes, {} jobs back, {} header lines\n",
+        swf.len(),
+        parsed.jobs.len(),
+        parsed.header.len()
+    );
+
+    // Tables 1 and 2 recomputed from the trace vs the published values.
+    print!("{}", characterization::table1_report(&trace));
+    println!();
+    assert_eq!(job_counts(&trace).total(), 13_236);
+
+    // Offered load (the Figure 3 input that needs no simulation).
+    let offered = weekly_offered_load(&trace, nodes, TRACE_WEEKS);
+    let s = Summary::of(offered.iter().copied());
+    println!(
+        "weekly offered load: mean {:.0}%, max {:.0}%, min {:.0}% ({} weeks over 100%)",
+        100.0 * s.mean,
+        100.0 * s.max,
+        100.0 * s.min,
+        offered.iter().filter(|&&l| l > 1.0).count(),
+    );
+    println!();
+
+    // The estimate-quality figures.
+    print!("{}", characterization::fig05_report(&trace));
+    println!();
+    print!("{}", characterization::fig06_report(&trace));
+}

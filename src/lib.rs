@@ -1,0 +1,41 @@
+//! # fairsched
+//!
+//! Umbrella crate: re-exports the whole `fairsched` workspace behind one
+//! dependency, and hosts the workspace-level examples and integration tests.
+//!
+//! See [`core`] (policies + experiment runner), [`workload`] (trace model and
+//! synthesis), [`sim`] (the event-driven simulator), [`metrics`] (user,
+//! system, and fairness metrics), [`cpa`] (the compute process allocator),
+//! and [`experiments`] (per-figure regeneration harness).
+//!
+//! Most applications only need the [`prelude`]:
+//!
+//! ```
+//! use fairsched::prelude::*;
+//!
+//! let trace = CplantModel::new(1).with_scale(0.02).generate();
+//! let outcome = run_policy(&trace, &PolicySpec::baseline(), 1024);
+//! assert!(outcome.metrics().utilization > 0.0);
+//! ```
+
+pub use fairsched_core as core;
+pub use fairsched_cpa as cpa;
+pub use fairsched_experiments as experiments;
+pub use fairsched_metrics as metrics;
+pub use fairsched_sim as sim;
+pub use fairsched_workload as workload;
+
+/// The types most users need, in one import.
+pub mod prelude {
+    pub use fairsched_core::policy::PolicySpec;
+    pub use fairsched_core::runner::{run_policy, OutcomeMetrics, PolicyOutcome};
+    pub use fairsched_core::sweep::run_policies;
+    pub use fairsched_metrics::fairness::fst::FstReport;
+    pub use fairsched_metrics::fairness::hybrid::HybridFstObserver;
+    pub use fairsched_sim::{
+        simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, Schedule, SimConfig,
+    };
+    pub use fairsched_workload::job::{Job, JobId, UserId};
+    pub use fairsched_workload::time::{Time, DAY, HOUR, MINUTE, WEEK};
+    pub use fairsched_workload::CplantModel;
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration: generate the CPlant-like workload, evaluate the
+//! paper's policies across crates, and check the qualitative *shape* of the
+//! results the paper reports (who wins, in which direction) at a reduced
+//! scale that keeps CI fast.
+
+use fairsched::core::policy::PolicySpec;
+use fairsched::core::runner::{run_policy, PolicyOutcome};
+use fairsched::core::sweep::run_policies;
+use fairsched::workload::job::validate_trace;
+use fairsched::workload::CplantModel;
+
+const NODES: u32 = 1024;
+
+fn evaluate_all() -> Vec<PolicyOutcome> {
+    let trace = CplantModel::new(42).with_nodes(NODES).with_scale(0.1).generate();
+    validate_trace(&trace).expect("generator produces valid traces");
+    run_policies(&trace, &PolicySpec::paper_policies(), NODES)
+}
+
+fn metric_of<'a>(outcomes: &'a [PolicyOutcome], id: &str) -> &'a PolicyOutcome {
+    outcomes.iter().find(|o| o.policy == id).expect("policy present")
+}
+
+#[test]
+fn full_pipeline_shapes_match_the_paper() {
+    let outcomes = evaluate_all();
+    assert_eq!(outcomes.len(), 9);
+
+    let m = |id: &str| metric_of(&outcomes, id).metrics();
+    let baseline = m("cplant24.nomax.all");
+
+    // Every metric is sane on every policy.
+    for o in &outcomes {
+        let x = o.metrics();
+        assert!((0.0..=1.0).contains(&x.percent_unfair), "{}", o.policy);
+        assert!((0.0..=1.0).contains(&x.loss_of_capacity), "{}", o.policy);
+        assert!((0.0..0.95).contains(&x.utilization), "{}", o.policy);
+        assert!(x.average_miss_time >= 0.0, "{}", o.policy);
+        assert!(x.average_turnaround > 0.0, "{}", o.policy);
+    }
+
+    // §6.1: raising the starvation delay or barring heavy users reduces the
+    // number of unfairly treated jobs.
+    assert!(m("cplant72.nomax.all").percent_unfair < baseline.percent_unfair);
+    assert!(m("cplant24.nomax.fair").percent_unfair < baseline.percent_unfair);
+
+    // §6.1/§6.2: the 72 h runtime limit is the big lever on average miss
+    // time — both on the CPlant engine and the conservative one.
+    assert!(m("cplant24.72max.all").average_miss_time < baseline.average_miss_time);
+    assert!(m("cons.72max").average_miss_time < m("cons.nomax").average_miss_time);
+    assert!(m("consdyn.72max").average_miss_time < m("consdyn.nomax").average_miss_time);
+
+    // §6.2: cons.72max is the all-round winner — it improves average miss
+    // time AND average turnaround over the baseline simultaneously.
+    assert!(m("cons.72max").average_miss_time < baseline.average_miss_time);
+    assert!(m("cons.72max").average_turnaround < baseline.average_turnaround);
+}
+
+#[test]
+fn conservative_helps_wide_jobs() {
+    // §6.2 / Figure 16: conservative backfilling reduces the unfairness of
+    // wide jobs relative to the reservation-less baseline. Compare the
+    // aggregate miss over the four widest populated buckets.
+    let outcomes = evaluate_all();
+    let wide_miss = |id: &str| -> f64 {
+        metric_of(&outcomes, id).metrics().miss_by_width[7..].iter().sum()
+    };
+    let base = wide_miss("cplant24.nomax.all");
+    let cons = wide_miss("cons.nomax");
+    assert!(
+        cons < base,
+        "conservative wide-job miss {cons:.0}s not below baseline {base:.0}s"
+    );
+}
+
+#[test]
+fn chunked_policies_conserve_work() {
+    // Runtime limits must never lose work: with kills disabled on the final
+    // chunk path, total executed node-seconds per original job equals the
+    // trace's demand. (Kills of *unchunked* under-estimated jobs do lose
+    // work, identically across policies — so compare chunked vs unchunked
+    // totals only over jobs that were never killed.)
+    let trace = CplantModel::new(9).with_nodes(NODES).with_scale(0.05).generate();
+    let plain = run_policy(&trace, &PolicySpec::baseline(), NODES);
+    let chunked = run_policy(
+        &trace,
+        &PolicySpec::by_id("cplant24.72max.all").unwrap(),
+        NODES,
+    );
+
+    let executed_unkilled = |o: &PolicyOutcome| -> u64 {
+        o.originals()
+            .iter()
+            .filter(|j| !j.killed)
+            .map(|j| j.nodes as u64 * j.executed)
+            .sum()
+    };
+    let plain_work = executed_unkilled(&plain);
+    let chunked_work = executed_unkilled(&chunked);
+    // Chunking changes *which* jobs get killed, so allow a small delta, but
+    // the bulk of the work must be identical.
+    let ratio = chunked_work as f64 / plain_work as f64;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "chunked work {chunked_work} vs plain {plain_work}"
+    );
+
+    // And every never-killed original in the chunked run executed exactly
+    // its trace runtime.
+    let by_id: std::collections::HashMap<_, _> =
+        trace.iter().map(|j| (j.id, j.runtime)).collect();
+    for o in chunked.originals() {
+        if !o.killed {
+            assert_eq!(o.executed, by_id[&o.origin], "origin {:?}", o.origin);
+        }
+    }
+}
+
+#[test]
+fn fairness_report_covers_all_submissions_for_every_policy() {
+    let outcomes = evaluate_all();
+    for o in &outcomes {
+        assert_eq!(
+            o.fairness.entries.len(),
+            o.schedule.records.len(),
+            "{} fairness entries != records",
+            o.policy
+        );
+    }
+}
+
+#[test]
+fn easy_engine_runs_the_same_pipeline() {
+    let trace = CplantModel::new(3).with_nodes(NODES).with_scale(0.05).generate();
+    let outcome = run_policy(&trace, &PolicySpec::easy(), NODES);
+    assert_eq!(outcome.schedule.records.len(), trace.len());
+    let m = outcome.metrics();
+    assert!((0.0..=1.0).contains(&m.percent_unfair));
+}

@@ -1,0 +1,181 @@
+//! Property-based simulator invariants: for arbitrary valid traces and
+//! policies, schedules must respect physics (no oversubscription, no time
+//! travel), accounting identities, and determinism.
+
+use fairsched::sim::{
+    simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, RuntimeLimit, Schedule,
+    SimConfig, StarvationConfig,
+};
+use fairsched::workload::job::Job;
+use fairsched::workload::time::HOUR;
+use proptest::prelude::*;
+
+const NODES: u32 = 64;
+
+/// An arbitrary valid job stream: arrival gaps, widths, runtimes, and
+/// estimate accuracy all fuzzed.
+fn arb_trace(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (
+            1u64..5000,      // arrival gap
+            1u32..=NODES,    // width
+            1u64..50_000,    // runtime
+            0.3f64..8.0,     // estimate factor (some under-estimates)
+            1u32..=6,        // user
+        ),
+        1..max_jobs,
+    )
+    .prop_map(|rows| {
+        let mut t = 0u64;
+        rows.iter()
+            .enumerate()
+            .map(|(i, &(gap, nodes, runtime, factor, user))| {
+                t += gap;
+                let estimate = ((runtime as f64 * factor) as u64).max(1);
+                Job::new(i as u32 + 1, user, 1, t, nodes, runtime, estimate)
+            })
+            .collect()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        prop::sample::select(vec![
+            EngineKind::NoGuarantee,
+            EngineKind::Easy,
+            EngineKind::Conservative,
+            EngineKind::ConservativeDynamic,
+            EngineKind::ReservationDepth(0),
+            EngineKind::ReservationDepth(3),
+            EngineKind::ReservationDepth(64),
+            EngineKind::FcfsNoBackfill,
+        ]),
+        prop::sample::select(vec![QueueOrder::Fcfs, QueueOrder::Fairshare]),
+        prop::sample::select(vec![KillPolicy::AtWcl, KillPolicy::WhenNeeded, KillPolicy::Never]),
+        prop::option::of(1u64..100),  // starvation entry delay (hours)
+        prop::option::of(2u64..40),   // runtime limit (hours)
+    )
+        .prop_map(|(engine, order, kill, starve_h, limit_h)| SimConfig {
+            nodes: NODES,
+            engine,
+            order,
+            kill,
+            starvation: starve_h.map(|h| StarvationConfig {
+                entry_delay: h * HOUR,
+                heavy_rule: None,
+            }),
+            runtime_limit: limit_h.map(|h| RuntimeLimit { limit: h * HOUR }),
+            ..Default::default()
+        })
+}
+
+/// Reconstructs peak concurrent node usage from the records.
+fn peak_usage(schedule: &Schedule) -> i64 {
+    let mut events: Vec<(u64, i64)> = Vec::new();
+    for r in &schedule.records {
+        events.push((r.start, r.nodes as i64));
+        events.push((r.end, -(r.nodes as i64)));
+    }
+    events.sort_unstable();
+    let mut level = 0i64;
+    let mut peak = 0i64;
+    // Releases at time t happen before acquisitions at t (sort puts the
+    // negative delta first at equal times).
+    for (_, d) in events {
+        level += d;
+        peak = peak.max(level);
+    }
+    peak
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn machine_is_never_oversubscribed(trace in arb_trace(60), cfg in arb_config()) {
+        let s = simulate(&trace, &cfg, &mut NullObserver);
+        prop_assert!(peak_usage(&s) <= NODES as i64);
+    }
+
+    #[test]
+    fn no_time_travel_and_full_coverage(trace in arb_trace(60), cfg in arb_config()) {
+        let s = simulate(&trace, &cfg, &mut NullObserver);
+        // Every submission starts at or after its submit and ends after it
+        // starts.
+        for r in &s.records {
+            prop_assert!(r.start >= r.submit, "{:?}", r);
+            prop_assert!(r.end > r.start, "{:?}", r);
+            prop_assert!(r.origin_submit <= r.submit);
+        }
+        // Without runtime limits, records correspond 1:1 to trace jobs.
+        if cfg.runtime_limit.is_none() {
+            prop_assert_eq!(s.records.len(), trace.len());
+        }
+        // With limits, every original job appears exactly once.
+        let originals = s.originals();
+        prop_assert_eq!(originals.len(), trace.len());
+    }
+
+    #[test]
+    fn executed_work_matches_busy_integral(trace in arb_trace(60), cfg in arb_config()) {
+        let s = simulate(&trace, &cfg, &mut NullObserver);
+        let from_records: f64 = s
+            .records
+            .iter()
+            .map(|r| r.nodes as f64 * (r.end - r.start) as f64)
+            .sum();
+        prop_assert!((from_records - s.busy_nodeseconds).abs() < 1.0,
+            "records {} vs integral {}", from_records, s.busy_nodeseconds);
+    }
+
+    #[test]
+    fn never_killed_jobs_run_their_full_runtime(trace in arb_trace(60), mut cfg in arb_config()) {
+        cfg.kill = KillPolicy::Never;
+        cfg.runtime_limit = None;
+        let s = simulate(&trace, &cfg, &mut NullObserver);
+        let by_id: std::collections::HashMap<_, _> =
+            trace.iter().map(|j| (j.id, j.runtime)).collect();
+        for r in &s.records {
+            prop_assert!(!r.killed);
+            prop_assert_eq!(r.end - r.start, by_id[&r.id]);
+        }
+    }
+
+    #[test]
+    fn killed_jobs_never_run_past_their_estimate_under_atwcl(
+        trace in arb_trace(60), mut cfg in arb_config()
+    ) {
+        cfg.kill = KillPolicy::AtWcl;
+        cfg.runtime_limit = None;
+        let s = simulate(&trace, &cfg, &mut NullObserver);
+        for r in &s.records {
+            prop_assert!(r.end - r.start <= r.estimate, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(trace in arb_trace(40), cfg in arb_config()) {
+        let a = simulate(&trace, &cfg, &mut NullObserver);
+        let b = simulate(&trace, &cfg, &mut NullObserver);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_runs_conserve_unkilled_work(trace in arb_trace(40), mut cfg in arb_config()) {
+        cfg.kill = KillPolicy::Never;
+        cfg.runtime_limit = Some(RuntimeLimit { limit: 10 * HOUR });
+        let s = simulate(&trace, &cfg, &mut NullObserver);
+        let by_id: std::collections::HashMap<_, _> =
+            trace.iter().map(|j| (j.id, j.runtime)).collect();
+        for o in s.originals() {
+            prop_assert_eq!(o.executed, by_id[&o.origin], "origin {:?}", o.origin);
+        }
+    }
+
+    #[test]
+    fn loc_and_utilization_stay_in_unit_range(trace in arb_trace(60), cfg in arb_config()) {
+        let s = simulate(&trace, &cfg, &mut NullObserver);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.utilization()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.loss_of_capacity()));
+    }
+}

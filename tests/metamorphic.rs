@@ -1,0 +1,166 @@
+//! Metamorphic simulator properties: transformations of the input with
+//! predictable effects on the output. These catch whole classes of bugs
+//! (absolute-time leaks, capacity bookkeeping errors) that example-based
+//! tests miss.
+
+use fairsched::sim::{
+    simulate, EngineKind, KillPolicy, NullObserver, SimConfig, StarvationConfig,
+};
+use fairsched::workload::job::Job;
+use fairsched::workload::time::DAY;
+use proptest::prelude::*;
+
+const NODES: u32 = 32;
+
+fn arb_trace() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (1u64..3000, 1u32..=NODES, 1u64..20_000, 1.0f64..4.0, 1u32..=5),
+        1..50,
+    )
+    .prop_map(|rows| {
+        let mut t = 0u64;
+        rows.iter()
+            .enumerate()
+            .map(|(i, &(gap, nodes, runtime, factor, user))| {
+                t += gap;
+                Job::new(
+                    i as u32 + 1,
+                    user,
+                    1,
+                    t,
+                    nodes,
+                    runtime,
+                    ((runtime as f64 * factor) as u64).max(1),
+                )
+            })
+            .collect()
+    })
+}
+
+fn engines() -> impl Strategy<Value = EngineKind> {
+    prop::sample::select(vec![
+        EngineKind::NoGuarantee,
+        EngineKind::Easy,
+        EngineKind::Conservative,
+        EngineKind::ConservativeDynamic,
+        EngineKind::ReservationDepth(2),
+        EngineKind::FcfsNoBackfill,
+    ])
+}
+
+fn cfg(engine: EngineKind) -> SimConfig {
+    SimConfig {
+        nodes: NODES,
+        engine,
+        starvation: Some(StarvationConfig::default()),
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Shifting every submit by a whole number of fairshare-decay intervals
+    /// shifts every start and end by exactly that amount. (A non-multiple
+    /// shift may legitimately change fairshare decay phase; a whole-day
+    /// shift must not change anything.)
+    #[test]
+    fn day_shift_invariance(trace in arb_trace(), engine in engines(), days in 1u64..4) {
+        let delta = days * DAY;
+        let shifted: Vec<Job> = trace
+            .iter()
+            .map(|j| Job { submit: j.submit + delta, ..j.clone() })
+            .collect();
+        let c = cfg(engine);
+        let base = simulate(&trace, &c, &mut NullObserver);
+        let moved = simulate(&shifted, &c, &mut NullObserver);
+        prop_assert_eq!(base.records.len(), moved.records.len());
+        for (a, b) in base.records.iter().zip(&moved.records) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.start + delta, b.start, "job {:?}", a.id);
+            prop_assert_eq!(a.end + delta, b.end);
+            prop_assert_eq!(a.killed, b.killed);
+        }
+        // The shift also leaves the shape metrics untouched.
+        prop_assert_eq!(base.makespan(), moved.makespan());
+        prop_assert!((base.waste_nodeseconds - moved.waste_nodeseconds).abs() < 1.0);
+    }
+
+    /// Doubling the machine and every width leaves the schedule unchanged in
+    /// time: the problem is scale-free in the width dimension.
+    #[test]
+    fn width_scaling_invariance(trace in arb_trace(), engine in engines()) {
+        let doubled: Vec<Job> = trace
+            .iter()
+            .map(|j| Job { nodes: j.nodes * 2, ..j.clone() })
+            .collect();
+        let c1 = cfg(engine);
+        let mut c2 = cfg(engine);
+        c2.nodes = NODES * 2;
+        let base = simulate(&trace, &c1, &mut NullObserver);
+        let scaled = simulate(&doubled, &c2, &mut NullObserver);
+        for (a, b) in base.records.iter().zip(&scaled.records) {
+            prop_assert_eq!(a.start, b.start, "job {:?}", a.id);
+            prop_assert_eq!(a.end, b.end);
+        }
+        // Utilization and LOC are ratios: identical.
+        prop_assert!((base.utilization() - scaled.utilization()).abs() < 1e-9);
+        prop_assert!((base.loss_of_capacity() - scaled.loss_of_capacity()).abs() < 1e-9);
+    }
+
+    /// Adding a job that arrives after everything else has *finished* cannot
+    /// change any earlier outcome.
+    #[test]
+    fn late_straggler_cannot_rewrite_history(trace in arb_trace(), engine in engines()) {
+        let c = cfg(engine);
+        let base = simulate(&trace, &c, &mut NullObserver);
+        let after = base.max_completion + DAY;
+        let mut extended = trace.clone();
+        extended.push(Job::new(9999, 1, 1, after, 1, 100, 100));
+        let with_straggler = simulate(&extended, &c, &mut NullObserver);
+        for a in &base.records {
+            let b = with_straggler
+                .records
+                .iter()
+                .find(|r| r.id == a.id)
+                .expect("original job still scheduled");
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.end, b.end);
+        }
+    }
+
+    /// Removing the last-arriving job can only help or leave unchanged every
+    /// other job under conservative backfilling with perfect estimates (the
+    /// §4 social-justice property, stated as a metamorphic relation).
+    #[test]
+    fn conservative_perfect_estimates_no_later_harm(trace in arb_trace()) {
+        let mut perfect: Vec<Job> = trace
+            .iter()
+            .map(|j| Job { estimate: j.runtime, ..j.clone() })
+            .collect();
+        let c = SimConfig {
+            nodes: NODES,
+            engine: EngineKind::Conservative,
+            order: fairsched::sim::QueueOrder::Fcfs,
+            kill: KillPolicy::Never,
+            starvation: None,
+            ..Default::default()
+        };
+        let full = simulate(&perfect, &c, &mut NullObserver);
+        let last = perfect
+            .iter()
+            .max_by_key(|j| (j.submit, j.id))
+            .expect("non-empty")
+            .id;
+        perfect.retain(|j| j.id != last);
+        let without = simulate(&perfect, &c, &mut NullObserver);
+        for b in &without.records {
+            let a = full.records.iter().find(|r| r.id == b.id).expect("same job");
+            prop_assert!(
+                a.start >= b.start,
+                "removing a later arrival must not delay {:?}: {} vs {}",
+                b.id, a.start, b.start
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! SWF interchange: traces must survive serialization and produce identical
+//! schedules when replayed from the parsed form — the property that makes
+//! the generated workload archivable.
+
+use fairsched::sim::{simulate, NullObserver, SimConfig};
+use fairsched::workload::swf::{read_swf_str, write_swf_string};
+use fairsched::workload::synthetic::random_trace;
+use fairsched::workload::CplantModel;
+use proptest::prelude::*;
+
+#[test]
+fn cplant_trace_round_trips_losslessly() {
+    let trace = CplantModel::new(42).with_scale(0.05).generate();
+    let text = write_swf_string(&trace, 1024, "integration test");
+    let parsed = read_swf_str(&text).expect("parses");
+    assert_eq!(parsed.jobs, trace);
+    assert_eq!(parsed.skipped_degenerate, 0);
+    assert_eq!(parsed.skipped_malformed, 0);
+}
+
+#[test]
+fn replaying_a_parsed_trace_gives_the_identical_schedule() {
+    let trace = CplantModel::new(11).with_scale(0.03).generate();
+    let text = write_swf_string(&trace, 1024, "replay test");
+    let parsed = read_swf_str(&text).expect("parses").jobs;
+
+    let cfg = SimConfig { nodes: 1024, ..Default::default() };
+    let original = simulate(&trace, &cfg, &mut NullObserver);
+    let replayed = simulate(&parsed, &cfg, &mut NullObserver);
+    assert_eq!(original, replayed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_traces_round_trip(seed in 0u64..10_000, n in 1usize..120) {
+        let trace = random_trace(seed, n, 64, 10_000);
+        let text = write_swf_string(&trace, 64, "prop");
+        let parsed = read_swf_str(&text).unwrap();
+        prop_assert_eq!(parsed.jobs, trace);
+    }
+
+    #[test]
+    fn swf_is_line_per_job_plus_header(seed in 0u64..10_000, n in 1usize..100) {
+        let trace = random_trace(seed, n, 64, 10_000);
+        let text = write_swf_string(&trace, 64, "prop");
+        let data_lines = text.lines().filter(|l| !l.starts_with(';')).count();
+        prop_assert_eq!(data_lines, n);
+    }
+}
