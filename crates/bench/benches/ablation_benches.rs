@@ -19,7 +19,10 @@ fn decay_factor(c: &mut Criterion) {
     g.sample_size(10);
     for factor in [0.25f64, 0.5, 0.9, 1.0] {
         let cfg = SimConfig {
-            fairshare: FairshareConfig { decay_factor: factor, ..Default::default() },
+            fairshare: FairshareConfig {
+                decay_factor: factor,
+                ..Default::default()
+            },
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(factor), &cfg, |b, cfg| {
@@ -54,7 +57,9 @@ fn runtime_limit(c: &mut Criterion) {
     g.sample_size(10);
     for hours in [24u64, 48, 72, 168] {
         let cfg = SimConfig {
-            runtime_limit: Some(RuntimeLimit { limit: hours * HOUR }),
+            runtime_limit: Some(RuntimeLimit {
+                limit: hours * HOUR,
+            }),
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(hours), &cfg, |b, cfg| {
@@ -86,8 +91,14 @@ fn machine_size(c: &mut Criterion) {
     g.sample_size(10);
     for nodes in [512u32, 1024, 2048] {
         // The trace must respect the machine width, so regenerate per size.
-        let trace = CplantModel::new(42).with_nodes(nodes).with_scale(0.1).generate();
-        let cfg = SimConfig { nodes, ..Default::default() };
+        let trace = CplantModel::new(42)
+            .with_nodes(nodes)
+            .with_scale(0.1)
+            .generate();
+        let cfg = SimConfig {
+            nodes,
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &cfg, |b, cfg| {
             b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
         });

@@ -12,7 +12,13 @@ fn conservative_policies(c: &mut Criterion) {
     let trace = bench_trace();
     let mut g = c.benchmark_group("figures_14_to_19/policy");
     g.sample_size(10);
-    for id in ["cons.nomax", "cons.72max", "consdyn.nomax", "consdyn.72max", "easy.nomax"] {
+    for id in [
+        "cons.nomax",
+        "cons.72max",
+        "consdyn.nomax",
+        "consdyn.72max",
+        "easy.nomax",
+    ] {
         let policy = PolicySpec::by_id(id).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(id), &policy, |b, p| {
             b.iter(|| run_policy(black_box(&trace), p, BENCH_NODES))

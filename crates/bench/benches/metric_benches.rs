@@ -15,7 +15,10 @@ use std::hint::black_box;
 
 fn hybrid_observer(c: &mut Criterion) {
     let trace = small_trace();
-    let cfg = SimConfig { nodes: BENCH_NODES, ..Default::default() };
+    let cfg = SimConfig {
+        nodes: BENCH_NODES,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("metrics/hybrid_fst");
     g.sample_size(10);
     g.bench_function("simulate_without_observer", |b| {
@@ -33,19 +36,31 @@ fn hybrid_observer(c: &mut Criterion) {
 
 fn baselines(c: &mut Criterion) {
     let trace = small_trace();
-    let cfg = SimConfig { nodes: BENCH_NODES, ..Default::default() };
+    let cfg = SimConfig {
+        nodes: BENCH_NODES,
+        ..Default::default()
+    };
     let schedule = simulate(&trace, &cfg, &mut NullObserver);
     let fsts = consp_fsts(&trace, BENCH_NODES);
     let mut g = c.benchmark_group("metrics/baselines");
     g.sample_size(10);
-    g.bench_function("consp_fsts", |b| b.iter(|| consp_fsts(black_box(&trace), BENCH_NODES)));
+    g.bench_function("consp_fsts", |b| {
+        b.iter(|| consp_fsts(black_box(&trace), BENCH_NODES))
+    });
     g.bench_function("consp_report", |b| {
         b.iter(|| consp_report(black_box(&schedule), black_box(&fsts)))
     });
-    g.bench_function("equality_report", |b| b.iter(|| equality_report(black_box(&schedule))));
-    let turnarounds: Vec<f64> =
-        schedule.records.iter().map(|r| r.turnaround() as f64).collect();
-    g.bench_function("jain_index", |b| b.iter(|| jain_index(black_box(&turnarounds))));
+    g.bench_function("equality_report", |b| {
+        b.iter(|| equality_report(black_box(&schedule)))
+    });
+    let turnarounds: Vec<f64> = schedule
+        .records
+        .iter()
+        .map(|r| r.turnaround() as f64)
+        .collect();
+    g.bench_function("jain_index", |b| {
+        b.iter(|| jain_index(black_box(&turnarounds)))
+    });
     g.finish();
 }
 

@@ -24,9 +24,13 @@ fn tables(c: &mut Criterion) {
     let trace = bench_trace();
     let mut g = c.benchmark_group("workload/tables");
     // Table 1 regeneration.
-    g.bench_function("table1_job_counts", |b| b.iter(|| job_counts(black_box(&trace))));
+    g.bench_function("table1_job_counts", |b| {
+        b.iter(|| job_counts(black_box(&trace)))
+    });
     // Table 2 regeneration.
-    g.bench_function("table2_proc_hours", |b| b.iter(|| proc_hours(black_box(&trace))));
+    g.bench_function("table2_proc_hours", |b| {
+        b.iter(|| proc_hours(black_box(&trace)))
+    });
     // Figure 3's offered-load series.
     g.bench_function("fig3_weekly_offered_load", |b| {
         b.iter(|| weekly_offered_load(black_box(&trace), BENCH_NODES, 33))
@@ -41,7 +45,9 @@ fn swf_roundtrip(c: &mut Criterion) {
     g.bench_function("write", |b| {
         b.iter(|| write_swf_string(black_box(&trace), BENCH_NODES, "bench"))
     });
-    g.bench_function("read", |b| b.iter(|| read_swf_str(black_box(&text)).unwrap()));
+    g.bench_function("read", |b| {
+        b.iter(|| read_swf_str(black_box(&text)).unwrap())
+    });
     g.bench_function("round_trip", |b| {
         b.iter_batched(
             || text.clone(),

@@ -15,8 +15,9 @@
 
 use fairsched_core::policy::PolicySpec;
 use fairsched_core::runner::run_policy;
-use fairsched_core::sweep::run_policies;
+use fairsched_core::sweep::try_run_policies;
 use fairsched_metrics::fairness::peruser::{heavy_vs_light_miss, per_user};
+use fairsched_sim::{FaultConfig, ResiliencePolicy};
 use fairsched_workload::swf::{read_swf_file, write_swf_file};
 use fairsched_workload::synthetic::DEFAULT_NODES;
 use fairsched_workload::time::format_duration;
@@ -45,6 +46,8 @@ pub enum Command {
         policy: String,
         /// Machine size.
         nodes: u32,
+        /// Fault injection (disabled unless --mtbf/--crash-rate given).
+        faults: FaultConfig,
     },
     /// Run several policies (default: the paper's nine) side by side.
     Compare {
@@ -54,6 +57,8 @@ pub enum Command {
         policies: Vec<String>,
         /// Machine size.
         nodes: u32,
+        /// Fault injection (disabled unless --mtbf/--crash-rate given).
+        faults: FaultConfig,
     },
     /// Per-user fairness audit of one policy.
     Audit {
@@ -86,10 +91,16 @@ fairsched — parallel job scheduling fairness toolkit
 
 USAGE:
   fairsched generate [--seed N] [--scale F] [--nodes N] --out FILE.swf
-  fairsched simulate --trace FILE.swf --policy ID [--nodes N]
-  fairsched compare  --trace FILE.swf [--policy ID]... [--nodes N]
+  fairsched simulate --trace FILE.swf --policy ID [--nodes N] [FAULTS]
+  fairsched compare  --trace FILE.swf [--policy ID]... [--nodes N] [FAULTS]
   fairsched audit    --trace FILE.swf --policy ID [--nodes N]
   fairsched help
+
+FAULTS (deterministic fault injection; off by default):
+  --mtbf SECONDS          per-node mean time between failures
+  --crash-rate F          probability in [0, 1) that a submission crashes
+  --resilience POLICY     requeue (rerun from scratch) or resume (keep work)
+  --fault-seed N          seed for the fault timeline (default 0)
 
 POLICY IDS:
   cplant24.nomax.all   cplant72.nomax.all   cplant24.nomax.fair
@@ -103,40 +114,85 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let sub = it.next().map(String::as_str).unwrap_or("help");
     let rest: Vec<&String> = it.collect();
 
-    let flag = |name: &str| -> Option<&str> {
-        rest.iter()
-            .position(|a| a.as_str() == name)
-            .and_then(|i| rest.get(i + 1))
-            .map(|s| s.as_str())
+    // A flag that appears without a following value (e.g. `--mtbf` as the
+    // last argument) is an error, not an absent flag — silently ignoring it
+    // would run a different simulation than the user asked for.
+    let flag = |name: &str| -> Result<Option<&str>, UsageError> {
+        match rest.iter().position(|a| a.as_str() == name) {
+            None => Ok(None),
+            Some(i) => match rest.get(i + 1) {
+                Some(v) => Ok(Some(v.as_str())),
+                None => Err(UsageError(format!("{name} needs a value"))),
+            },
+        }
     };
-    let flags_all = |name: &str| -> Vec<String> {
-        rest.iter()
-            .enumerate()
-            .filter(|(_, a)| a.as_str() == name)
-            .filter_map(|(i, _)| rest.get(i + 1))
-            .map(|s| s.to_string())
-            .collect()
+    let flags_all = |name: &str| -> Result<Vec<String>, UsageError> {
+        let mut out = Vec::new();
+        for (i, a) in rest.iter().enumerate() {
+            if a.as_str() == name {
+                match rest.get(i + 1) {
+                    Some(v) => out.push(v.to_string()),
+                    None => return Err(UsageError(format!("{name} needs a value"))),
+                }
+            }
+        }
+        Ok(out)
     };
     let parse_u64 = |name: &str, default: u64| -> Result<u64, UsageError> {
-        match flag(name) {
+        match flag(name)? {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| UsageError(format!("{name} needs an integer, got {v:?}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| UsageError(format!("{name} needs an integer, got {v:?}"))),
         }
     };
     let parse_u32 = |name: &str, default: u32| -> Result<u32, UsageError> {
-        match flag(name) {
+        match flag(name)? {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| UsageError(format!("{name} needs an integer, got {v:?}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| UsageError(format!("{name} needs an integer, got {v:?}"))),
         }
     };
     let parse_f64 = |name: &str, default: f64| -> Result<f64, UsageError> {
-        match flag(name) {
+        match flag(name)? {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| UsageError(format!("{name} needs a number, got {v:?}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| UsageError(format!("{name} needs a number, got {v:?}"))),
         }
     };
     let required = |name: &str| -> Result<String, UsageError> {
-        flag(name).map(str::to_string).ok_or_else(|| UsageError(format!("missing required {name}")))
+        flag(name)?
+            .map(str::to_string)
+            .ok_or_else(|| UsageError(format!("missing required {name}")))
+    };
+    let parse_faults = || -> Result<FaultConfig, UsageError> {
+        let node_mtbf = match flag("--mtbf")? {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| UsageError(format!("--mtbf needs an integer, got {v:?}")))?,
+            ),
+        };
+        let resilience = match flag("--resilience")? {
+            None | Some("requeue") => ResiliencePolicy::RequeueFromScratch,
+            Some("resume") => ResiliencePolicy::ChunkResume,
+            Some(other) => {
+                return Err(UsageError(format!(
+                    "--resilience must be `requeue` or `resume`, got {other:?}"
+                )))
+            }
+        };
+        let cfg = FaultConfig {
+            node_mtbf,
+            job_crash_rate: parse_f64("--crash-rate", 0.0)?,
+            resilience,
+            seed: parse_u64("--fault-seed", 0)?,
+            ..FaultConfig::default()
+        };
+        cfg.validate().map_err(UsageError)?;
+        Ok(cfg)
     };
 
     match sub {
@@ -156,11 +212,13 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             trace: required("--trace")?,
             policy: required("--policy")?,
             nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+            faults: parse_faults()?,
         }),
         "compare" => Ok(Command::Compare {
             trace: required("--trace")?,
-            policies: flags_all("--policy"),
+            policies: flags_all("--policy")?,
             nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+            faults: parse_faults()?,
         }),
         "audit" => Ok(Command::Audit {
             trace: required("--trace")?,
@@ -168,7 +226,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             nodes: parse_u32("--nodes", DEFAULT_NODES)?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(UsageError(format!("unknown subcommand {other:?}; try `fairsched help`"))),
+        other => Err(UsageError(format!(
+            "unknown subcommand {other:?}; try `fairsched help`"
+        ))),
     }
 }
 
@@ -176,8 +236,16 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
 pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Generate { seed, scale, nodes, out } => {
-            let trace = CplantModel::new(seed).with_nodes(nodes).with_scale(scale).generate();
+        Command::Generate {
+            seed,
+            scale,
+            nodes,
+            out,
+        } => {
+            let trace = CplantModel::new(seed)
+                .with_nodes(nodes)
+                .with_scale(scale)
+                .generate();
             write_swf_file(
                 &out,
                 &trace,
@@ -186,56 +254,121 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
             )?;
             Ok(format!("wrote {} jobs to {out}\n", trace.len()))
         }
-        Command::Simulate { trace, policy, nodes } => {
-            let jobs = load_trace(&trace, nodes)?;
+        Command::Simulate {
+            trace,
+            policy,
+            nodes,
+            faults,
+        } => {
+            let (jobs, mut out) = load_trace(&trace, nodes)?;
             let spec = lookup(&policy)?;
-            let outcome = run_policy(&jobs, &spec, nodes);
+            // The panic fence turns simulator aborts (e.g. a diverging
+            // fault configuration) into a clean error line, not a backtrace.
+            let outcome = try_run_policies(&jobs, std::slice::from_ref(&spec), nodes, &faults)
+                .pop()
+                .expect("one spec in, one result out")
+                .map_err(Box::new)?;
             let m = outcome.metrics();
-            let mut out = String::new();
             writeln!(out, "policy:            {}", outcome.policy)?;
             writeln!(out, "jobs:              {}", jobs.len())?;
             writeln!(out, "utilization:       {:.1}%", 100.0 * m.utilization)?;
             writeln!(out, "loss of capacity:  {:.1}%", 100.0 * m.loss_of_capacity)?;
-            writeln!(out, "avg turnaround:    {}", format_duration(m.average_turnaround as u64))?;
+            writeln!(
+                out,
+                "avg turnaround:    {}",
+                format_duration(m.average_turnaround as u64)
+            )?;
             writeln!(out, "unfair jobs:       {:.2}%", 100.0 * m.percent_unfair)?;
-            writeln!(out, "avg FST miss:      {}", format_duration(m.average_miss_time as u64))?;
+            writeln!(
+                out,
+                "avg FST miss:      {}",
+                format_duration(m.average_miss_time as u64)
+            )?;
+            if faults.enabled() {
+                let split = outcome.resilience();
+                writeln!(out, "goodput:           {:.1}%", 100.0 * split.goodput)?;
+                writeln!(
+                    out,
+                    "interrupted:       {} of {} submissions",
+                    split.interrupted_count(),
+                    outcome.fairness.entries.len(),
+                )?;
+                writeln!(
+                    out,
+                    "down capacity:     {:.0} node-hours",
+                    outcome.schedule.down_nodeseconds / 3600.0
+                )?;
+                writeln!(
+                    out,
+                    "miss (interrupted): {}   (clean): {}",
+                    format_duration(split.interrupted.average_miss_time() as u64),
+                    format_duration(split.clean.average_miss_time() as u64),
+                )?;
+            }
             Ok(out)
         }
-        Command::Compare { trace, policies, nodes } => {
-            let jobs = load_trace(&trace, nodes)?;
+        Command::Compare {
+            trace,
+            policies,
+            nodes,
+            faults,
+        } => {
+            let (jobs, mut out) = load_trace(&trace, nodes)?;
             let specs: Vec<PolicySpec> = if policies.is_empty() {
                 PolicySpec::paper_policies()
             } else {
-                policies.iter().map(|id| lookup(id)).collect::<Result<_, _>>()?
+                policies
+                    .iter()
+                    .map(|id| lookup(id))
+                    .collect::<Result<_, _>>()?
             };
-            let outcomes = run_policies(&jobs, &specs, nodes);
-            let mut out = String::new();
+            let results = try_run_policies(&jobs, &specs, nodes, &faults);
             writeln!(
                 out,
                 "{:<22} {:>9} {:>12} {:>14} {:>8}",
                 "policy", "unfair%", "avg miss(s)", "turnaround(s)", "LOC%"
             )?;
-            for o in &outcomes {
-                let m = o.metrics();
-                writeln!(
-                    out,
-                    "{:<22} {:>8.2}% {:>12.0} {:>14.0} {:>7.2}%",
-                    o.policy,
-                    100.0 * m.percent_unfair,
-                    m.average_miss_time,
-                    m.average_turnaround,
-                    100.0 * m.loss_of_capacity,
-                )?;
+            let mut failures = Vec::new();
+            for result in &results {
+                match result {
+                    Ok(o) => {
+                        let m = o.metrics();
+                        writeln!(
+                            out,
+                            "{:<22} {:>8.2}% {:>12.0} {:>14.0} {:>7.2}%",
+                            o.policy,
+                            100.0 * m.percent_unfair,
+                            m.average_miss_time,
+                            m.average_turnaround,
+                            100.0 * m.loss_of_capacity,
+                        )?;
+                    }
+                    Err(e) => {
+                        writeln!(out, "{:<22} FAILED", e.policy)?;
+                        failures.push(e);
+                    }
+                }
+            }
+            for e in failures {
+                writeln!(out, "warning: {e}")?;
             }
             Ok(out)
         }
-        Command::Audit { trace, policy, nodes } => {
-            let jobs = load_trace(&trace, nodes)?;
+        Command::Audit {
+            trace,
+            policy,
+            nodes,
+        } => {
+            let (jobs, mut out) = load_trace(&trace, nodes)?;
             let spec = lookup(&policy)?;
             let outcome = run_policy(&jobs, &spec, nodes);
             let users = per_user(&outcome.schedule, &outcome.fairness);
-            let mut out = String::new();
-            writeln!(out, "per-user fairness under {} ({} users):", outcome.policy, users.len())?;
+            writeln!(
+                out,
+                "per-user fairness under {} ({} users):",
+                outcome.policy,
+                users.len()
+            )?;
             writeln!(
                 out,
                 "{:<8} {:>6} {:>14} {:>9} {:>13}",
@@ -253,7 +386,10 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                 )?;
             }
             let (heavy, light) = heavy_vs_light_miss(&users, 0.1);
-            writeln!(out, "top-10% users mean miss {heavy:.0}s; others {light:.0}s")?;
+            writeln!(
+                out,
+                "top-10% users mean miss {heavy:.0}s; others {light:.0}s"
+            )?;
             Ok(out)
         }
     }
@@ -264,10 +400,13 @@ fn lookup(id: &str) -> Result<PolicySpec, UsageError> {
         .ok_or_else(|| UsageError(format!("unknown policy {id:?}; try `fairsched help`")))
 }
 
+/// Loads a trace and returns it with the start of the command's output: a
+/// one-line warning when the lenient SWF reader dropped records, so silent
+/// cleaning never looks like a complete trace.
 fn load_trace(
     path: &str,
     nodes: u32,
-) -> Result<Vec<fairsched_workload::job::Job>, Box<dyn std::error::Error>> {
+) -> Result<(Vec<fairsched_workload::job::Job>, String), Box<dyn std::error::Error>> {
     let parsed = read_swf_file(path)?;
     if parsed.jobs.is_empty() {
         return Err(Box::new(UsageError(format!("{path} holds no usable jobs"))));
@@ -278,7 +417,15 @@ fn load_trace(
             too_wide.id, too_wide.nodes
         ))));
     }
-    Ok(parsed.jobs)
+    let mut out = String::new();
+    if parsed.skipped_malformed + parsed.skipped_degenerate > 0 {
+        writeln!(
+            out,
+            "warning: {path} skipped {} malformed and {} degenerate record(s)",
+            parsed.skipped_malformed, parsed.skipped_degenerate
+        )?;
+    }
+    Ok((parsed.jobs, out))
 }
 
 #[cfg(test)]
@@ -294,30 +441,124 @@ mod tests {
         let cmd = parse(&args("generate --out /tmp/x.swf")).unwrap();
         assert_eq!(
             cmd,
-            Command::Generate { seed: 42, scale: 1.0, nodes: DEFAULT_NODES, out: "/tmp/x.swf".into() }
+            Command::Generate {
+                seed: 42,
+                scale: 1.0,
+                nodes: DEFAULT_NODES,
+                out: "/tmp/x.swf".into()
+            }
         );
-        let cmd = parse(&args("generate --seed 7 --scale 0.1 --nodes 256 --out t.swf")).unwrap();
-        assert_eq!(cmd, Command::Generate { seed: 7, scale: 0.1, nodes: 256, out: "t.swf".into() });
+        let cmd = parse(&args(
+            "generate --seed 7 --scale 0.1 --nodes 256 --out t.swf",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                seed: 7,
+                scale: 0.1,
+                nodes: 256,
+                out: "t.swf".into()
+            }
+        );
     }
 
     #[test]
     fn rejects_bad_flags_with_messages() {
         assert!(parse(&args("generate")).unwrap_err().0.contains("--out"));
-        assert!(parse(&args("generate --scale 2.0 --out x")).unwrap_err().0.contains("--scale"));
-        assert!(parse(&args("generate --seed abc --out x")).unwrap_err().0.contains("--seed"));
-        assert!(parse(&args("frobnicate")).unwrap_err().0.contains("unknown subcommand"));
-        assert!(parse(&args("simulate --trace t.swf")).unwrap_err().0.contains("--policy"));
+        assert!(parse(&args("generate --scale 2.0 --out x"))
+            .unwrap_err()
+            .0
+            .contains("--scale"));
+        assert!(parse(&args("generate --seed abc --out x"))
+            .unwrap_err()
+            .0
+            .contains("--seed"));
+        assert!(parse(&args("frobnicate"))
+            .unwrap_err()
+            .0
+            .contains("unknown subcommand"));
+        assert!(parse(&args("simulate --trace t.swf"))
+            .unwrap_err()
+            .0
+            .contains("--policy"));
     }
 
     #[test]
     fn compare_collects_repeated_policy_flags() {
-        let cmd = parse(&args("compare --trace t.swf --policy cons.nomax --policy easy.nomax"))
-            .unwrap();
+        let cmd = parse(&args(
+            "compare --trace t.swf --policy cons.nomax --policy easy.nomax",
+        ))
+        .unwrap();
         match cmd {
             Command::Compare { policies, .. } => {
                 assert_eq!(policies, vec!["cons.nomax", "easy.nomax"]);
             }
             other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_flags_parse_into_a_fault_config() {
+        let cmd = parse(&args(
+            "simulate --trace t.swf --policy cons.nomax --mtbf 86400 \
+             --crash-rate 0.05 --resilience resume --fault-seed 9",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate { faults, .. } => {
+                assert_eq!(faults.node_mtbf, Some(86_400));
+                assert!((faults.job_crash_rate - 0.05).abs() < 1e-12);
+                assert_eq!(faults.resilience, ResiliencePolicy::ChunkResume);
+                assert_eq!(faults.seed, 9);
+                assert!(faults.enabled());
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Without the flags faults stay disabled.
+        match parse(&args("simulate --trace t.swf --policy cons.nomax")).unwrap() {
+            Command::Simulate { faults, .. } => {
+                assert_eq!(faults, FaultConfig::default());
+                assert!(!faults.enabled());
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_fault_flags_are_usage_errors() {
+        let base = "compare --trace t.swf";
+        assert!(parse(&args(&format!("{base} --resilience retry")))
+            .unwrap_err()
+            .0
+            .contains("--resilience"));
+        assert!(parse(&args(&format!("{base} --mtbf soon")))
+            .unwrap_err()
+            .0
+            .contains("--mtbf"));
+        // Validation runs at parse time: rate 1.0 would never terminate.
+        assert!(parse(&args(&format!("{base} --crash-rate 1.0")))
+            .unwrap_err()
+            .0
+            .contains("crash"));
+        assert!(parse(&args(&format!("{base} --mtbf 0")))
+            .unwrap_err()
+            .0
+            .contains("mtbf"));
+    }
+
+    #[test]
+    fn a_flag_without_a_value_is_an_error_not_ignored() {
+        // A trailing valueless flag must not silently fall back to the
+        // default — `--mtbf` alone would otherwise run fault-free.
+        for cmd in [
+            "simulate --trace t.swf --policy cons.72max --mtbf",
+            "simulate --trace t.swf --policy cons.72max --crash-rate",
+            "compare --trace t.swf --policy",
+            "generate --out f.swf --seed",
+        ] {
+            let err = parse(&args(cmd)).unwrap_err();
+            assert!(err.0.contains("needs a value"), "{cmd}: {}", err.0);
         }
     }
 
@@ -349,19 +590,39 @@ mod tests {
             trace: path.to_str().unwrap().into(),
             policy: "cplant24.nomax.all".into(),
             nodes: 1024,
+            faults: FaultConfig::default(),
         })
         .unwrap();
         assert!(sim.contains("utilization"));
         assert!(sim.contains("avg FST miss"));
+        assert!(
+            !sim.contains("goodput"),
+            "fault lines only appear with faults on"
+        );
 
         let cmp = execute(Command::Compare {
             trace: path.to_str().unwrap().into(),
             policies: vec!["cons.nomax".into(), "easy.nomax".into()],
             nodes: 1024,
+            faults: FaultConfig::default(),
         })
         .unwrap();
         assert!(cmp.contains("cons.nomax"));
         assert!(cmp.contains("easy.nomax"));
+
+        let faulted = execute(Command::Simulate {
+            trace: path.to_str().unwrap().into(),
+            policy: "cplant24.nomax.all".into(),
+            nodes: 1024,
+            faults: FaultConfig {
+                job_crash_rate: 0.2,
+                seed: 3,
+                ..FaultConfig::default()
+            },
+        })
+        .unwrap();
+        assert!(faulted.contains("goodput"));
+        assert!(faulted.contains("interrupted"));
 
         let audit = execute(Command::Audit {
             trace: path.to_str().unwrap().into(),
@@ -379,9 +640,12 @@ mod tests {
             trace: "/nonexistent.swf".into(),
             policy: "cplant24.nomax.all".into(),
             nodes: 1024,
+            faults: FaultConfig::default(),
         })
         .unwrap_err();
-        assert!(err.to_string().contains("nonexistent") || err.to_string().contains("No such file"));
+        assert!(
+            err.to_string().contains("nonexistent") || err.to_string().contains("No such file")
+        );
 
         assert!(lookup("not-a-policy").is_err());
     }
@@ -397,9 +661,35 @@ mod tests {
             trace: path.to_str().unwrap().into(),
             policy: "cons.nomax".into(),
             nodes: 64,
+            faults: FaultConfig::default(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("--nodes"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn skipped_swf_records_produce_a_warning_line() {
+        let dir = std::env::temp_dir().join("fairsched-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.swf");
+        std::fs::write(
+            &path,
+            "; Version: 2\n\
+             1 0 -1 100 4 -1 -1 4 900 -1 1 3 7 -1 -1 -1 -1 -1\n\
+             2 5 -1 0 4 -1 -1 4 900 -1 1 3 7 -1 -1 -1 -1 -1\n\
+             garbage line\n",
+        )
+        .unwrap();
+        let out = execute(Command::Simulate {
+            trace: path.to_str().unwrap().into(),
+            policy: "cons.nomax".into(),
+            nodes: 64,
+            faults: FaultConfig::default(),
+        })
+        .unwrap();
+        assert!(out.contains("warning:"));
+        assert!(out.contains("1 malformed and 1 degenerate"));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -62,8 +62,12 @@ pub fn gantt(schedule: &Schedule, cols: usize) -> String {
         .expect("write to String");
     }
     if truncated {
-        writeln!(out, "… {} more jobs not shown", records.len() - MAX_GANTT_ROWS)
-            .expect("write to String");
+        writeln!(
+            out,
+            "… {} more jobs not shown",
+            records.len() - MAX_GANTT_ROWS
+        )
+        .expect("write to String");
     }
     out
 }
@@ -118,7 +122,11 @@ mod tests {
     use fairsched_workload::job::Job;
 
     fn schedule(trace: &[Job], nodes: u32, engine: EngineKind) -> Schedule {
-        let cfg = SimConfig { nodes, engine, ..Default::default() };
+        let cfg = SimConfig {
+            nodes,
+            engine,
+            ..Default::default()
+        };
         simulate(trace, &cfg, &mut NullObserver)
     }
 
@@ -133,7 +141,7 @@ mod tests {
         let g = gantt(&s, 40);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 3); // header + 2 jobs
-        // Job 1 runs from the left edge.
+                                    // Job 1 runs from the left edge.
         assert!(lines[1].contains("j1"));
         assert!(lines[1].contains("|##"));
         // Job 2 shows dots (wait) before its bar.
@@ -143,7 +151,10 @@ mod tests {
 
     #[test]
     fn gantt_marks_killed_jobs() {
-        let trace = [Job::new(1, 1, 1, 0, 10, 1000, 100), Job::new(2, 2, 1, 50, 10, 50, 50)];
+        let trace = [
+            Job::new(1, 1, 1, 0, 10, 1000, 100),
+            Job::new(2, 2, 1, 50, 10, 50, 50),
+        ];
         let s = schedule(&trace, 10, EngineKind::NoGuarantee);
         let g = gantt(&s, 40);
         assert!(g.contains("(killed)"));
@@ -164,8 +175,7 @@ mod tests {
         let trace = [Job::new(1, 1, 1, 0, 5, 1000, 1000)];
         let s = schedule(&trace, 10, EngineKind::NoGuarantee);
         let strip = utilization_strip(&s, 20);
-        let inner: String =
-            strip.trim_end().trim_matches('|').chars().collect();
+        let inner: String = strip.trim_end().trim_matches('|').chars().collect();
         assert_eq!(inner.len(), 20);
         assert!(inner.chars().all(|c| c == '5'), "{strip}");
     }

@@ -10,7 +10,8 @@
 //!   paper reports ([`runner::PolicyOutcome`]);
 //! * [`sweep`] — fan a policy set out across threads (each policy's
 //!   simulation is independent; `std::thread::scope` keeps it data-race
-//!   free by construction);
+//!   free by construction), with per-policy panic fencing so one broken
+//!   configuration cannot sink a whole comparison;
 //! * [`report`] — fixed-width text rendering of the figure/table rows the
 //!   experiment binaries print;
 //! * [`gantt`] — ASCII schedule visualization (per-job Gantt bars and a
@@ -42,5 +43,5 @@ pub mod runner;
 pub mod sweep;
 
 pub use policy::PolicySpec;
-pub use runner::{run_policy, OutcomeMetrics, PolicyOutcome};
-pub use sweep::run_policies;
+pub use runner::{run_policy, run_policy_faulted, OutcomeMetrics, PolicyOutcome};
+pub use sweep::{run_policies, try_run_policies, SweepError};

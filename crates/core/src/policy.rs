@@ -5,9 +5,7 @@
 //! and whether a maximum-runtime limit applies. [`PolicySpec::sim_config`]
 //! lowers it onto the simulator.
 
-use fairsched_sim::{
-    EngineKind, HeavyUserRule, RuntimeLimit, SimConfig, StarvationConfig,
-};
+use fairsched_sim::{EngineKind, HeavyUserRule, RuntimeLimit, SimConfig, StarvationConfig};
 use fairsched_workload::time::HOUR;
 
 /// The 72-hour maximum runtime §5.1 proposes.
@@ -44,7 +42,11 @@ impl PolicySpec {
                     None
                 },
             }),
-            runtime_limit: if limited { Some(RUNTIME_LIMIT_72H) } else { None },
+            runtime_limit: if limited {
+                Some(RUNTIME_LIMIT_72H)
+            } else {
+                None
+            },
         }
     }
 
@@ -57,7 +59,11 @@ impl PolicySpec {
                 EngineKind::Conservative
             },
             starvation: None,
-            runtime_limit: if limited { Some(RUNTIME_LIMIT_72H) } else { None },
+            runtime_limit: if limited {
+                Some(RUNTIME_LIMIT_72H)
+            } else {
+                None
+            },
         }
     }
 
@@ -127,7 +133,9 @@ impl PolicySpec {
         match id {
             "easy.nomax" => Some(PolicySpec::easy()),
             "fcfs.nobackfill" => Some(PolicySpec::fcfs_no_backfill()),
-            _ => PolicySpec::paper_policies().into_iter().find(|p| p.id == id),
+            _ => PolicySpec::paper_policies()
+                .into_iter()
+                .find(|p| p.id == id),
         }
     }
 
@@ -194,10 +202,19 @@ mod tests {
         assert_eq!(minor.len(), 5);
         assert!(minor.iter().all(|n| n.starts_with("cplant")));
 
-        let cons: Vec<&str> = PolicySpec::conservative_set().iter().map(|p| p.id).collect();
+        let cons: Vec<&str> = PolicySpec::conservative_set()
+            .iter()
+            .map(|p| p.id)
+            .collect();
         assert_eq!(
             cons,
-            vec!["cplant24.nomax.all", "cons.nomax", "cons.72max", "consdyn.nomax", "consdyn.72max"]
+            vec![
+                "cplant24.nomax.all",
+                "cons.nomax",
+                "cons.72max",
+                "consdyn.nomax",
+                "consdyn.72max"
+            ]
         );
     }
 

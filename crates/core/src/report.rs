@@ -14,17 +14,16 @@ pub fn policy_table(title: &str, unit: &str, rows: &[(String, f64)]) -> String {
     out.push_str(&format!("== {title} ==\n"));
     out.push_str(&format!("{:<name_w$}  {unit:>14}\n", "policy"));
     for (name, value) in rows {
-        out.push_str(&format!("{name:<name_w$}  {:>14}\n", format_value(*value, unit)));
+        out.push_str(&format!(
+            "{name:<name_w$}  {:>14}\n",
+            format_value(*value, unit)
+        ));
     }
     out
 }
 
 /// A policy × width-bucket matrix (Figures 10, 12, 16, 18).
-pub fn width_matrix(
-    title: &str,
-    unit: &str,
-    rows: &[(String, [f64; WIDTH_BUCKETS])],
-) -> String {
+pub fn width_matrix(title: &str, unit: &str, rows: &[(String, [f64; WIDTH_BUCKETS])]) -> String {
     let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(6).max(6);
     let mut out = String::new();
     out.push_str(&format!("== {title} ({unit}) ==\n"));

@@ -3,8 +3,9 @@
 use crate::policy::PolicySpec;
 use fairsched_metrics::fairness::fst::FstReport;
 use fairsched_metrics::fairness::hybrid::HybridFstObserver;
+use fairsched_metrics::fairness::resilience::ResilienceReport;
 use fairsched_metrics::user;
-use fairsched_sim::{simulate, OriginalOutcome, Schedule};
+use fairsched_sim::{simulate, FaultConfig, OriginalOutcome, Schedule};
 use fairsched_workload::categories::WIDTH_BUCKETS;
 use fairsched_workload::job::Job;
 
@@ -45,6 +46,12 @@ impl PolicyOutcome {
         self.schedule.originals()
     }
 
+    /// Splits the fairness report by crash exposure (all-clean when the
+    /// run had no faults) and pairs it with the schedule's goodput.
+    pub fn resilience(&self) -> ResilienceReport {
+        ResilienceReport::split(&self.fairness, &self.schedule)
+    }
+
     /// Computes the scalar summary.
     pub fn metrics(&self) -> OutcomeMetrics {
         let originals = self.originals();
@@ -63,7 +70,22 @@ impl PolicyOutcome {
 /// Evaluates one policy on a trace with the hybrid fairness observer
 /// attached. Deterministic: equal inputs give equal outcomes.
 pub fn run_policy(trace: &[Job], policy: &PolicySpec, nodes: u32) -> PolicyOutcome {
-    let cfg = policy.sim_config(nodes);
+    run_policy_faulted(trace, policy, nodes, &FaultConfig::default())
+}
+
+/// [`run_policy`] under a fault model: same policy lowering, but the
+/// simulator additionally injects the configured node failures and job
+/// crashes. With `FaultConfig::default()` (all fault sources off) this is
+/// byte-identical to the fault-free path. Still deterministic: the fault
+/// timeline is a pure function of the config's seed.
+pub fn run_policy_faulted(
+    trace: &[Job],
+    policy: &PolicySpec,
+    nodes: u32,
+    faults: &FaultConfig,
+) -> PolicyOutcome {
+    let mut cfg = policy.sim_config(nodes);
+    cfg.faults = faults.clone();
     let mut observer = HybridFstObserver::new();
     let schedule = simulate(trace, &cfg, &mut observer);
     PolicyOutcome {
@@ -116,6 +138,43 @@ mod tests {
         assert!(m.average_turnaround > 0.0 && m.average_turnaround.is_finite());
         assert!(m.miss_by_width.iter().all(|v| v.is_finite()));
         assert!(m.turnaround_by_width.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn default_fault_config_changes_nothing() {
+        let trace = small_trace();
+        let p = PolicySpec::baseline();
+        let clean = run_policy(&trace, &p, 1024);
+        let faulted = run_policy_faulted(&trace, &p, 1024, &FaultConfig::default());
+        assert_eq!(clean.schedule, faulted.schedule);
+        assert_eq!(clean.fairness, faulted.fairness);
+        // And a fault-free run reports an all-clean resilience split.
+        let split = clean.resilience();
+        assert_eq!(split.interrupted_count(), 0);
+        assert_eq!(split.clean_count(), clean.fairness.entries.len());
+    }
+
+    #[test]
+    fn faulted_runs_split_fairness_by_interruption() {
+        let trace = small_trace();
+        let p = PolicySpec::baseline();
+        let faults = FaultConfig {
+            job_crash_rate: 0.4,
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let out = run_policy_faulted(&trace, &p, 1024, &faults);
+        let split = out.resilience();
+        assert!(
+            split.interrupted_count() > 0,
+            "crash rate 0.4 must interrupt someone"
+        );
+        assert!(split.clean_count() > 0);
+        assert_eq!(
+            split.interrupted_count() + split.clean_count(),
+            out.fairness.entries.len()
+        );
+        assert!(split.goodput > 0.0 && split.goodput <= out.schedule.utilization());
     }
 
     #[test]

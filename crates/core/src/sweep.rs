@@ -5,31 +5,117 @@
 //! scoped borrows make the shared trace readable from every worker with no
 //! copies and no unsafe, and the compiler guarantees data-race freedom.
 //! Results come back in input order regardless of completion order.
+//!
+//! Robustness: one policy panicking (a simulator bug, an invariant trip
+//! surfaced as a panic, a pathological configuration) must not take the
+//! other eight columns of a comparison down with it. [`try_run_policies`]
+//! fences each worker with `catch_unwind` and returns per-policy
+//! `Result`s; [`run_policies`] is the historical all-or-nothing wrapper.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::policy::PolicySpec;
-use crate::runner::{run_policy, PolicyOutcome};
+use crate::runner::{run_policy_faulted, PolicyOutcome};
+use fairsched_sim::FaultConfig;
 use fairsched_workload::job::Job;
 
-/// Runs each policy on the trace, in parallel, preserving input order.
-pub fn run_policies(trace: &[Job], policies: &[PolicySpec], nodes: u32) -> Vec<PolicyOutcome> {
-    if policies.len() <= 1 {
-        return policies.iter().map(|p| run_policy(trace, p, nodes)).collect();
+/// Why one policy of a sweep produced no outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// The paper identifier of the policy that failed.
+    pub policy: String,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub reason: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "policy {} failed: {}", self.policy, self.reason)
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = policies
-            .iter()
-            .map(|p| scope.spawn(move || run_policy(trace, p, nodes)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("policy simulation panicked"))
-            .collect()
+}
+
+impl std::error::Error for SweepError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn fenced_run(
+    trace: &[Job],
+    policy: &PolicySpec,
+    nodes: u32,
+    faults: &FaultConfig,
+) -> Result<PolicyOutcome, SweepError> {
+    // The closure only reads shared data and builds a fresh outcome, so a
+    // panic cannot leave broken state visible to the other policies.
+    catch_unwind(AssertUnwindSafe(|| {
+        run_policy_faulted(trace, policy, nodes, faults)
+    }))
+    .map_err(|payload| SweepError {
+        policy: policy.id.to_string(),
+        reason: panic_message(payload),
     })
+}
+
+/// Runs each policy on the trace, in parallel, preserving input order.
+/// A policy whose simulation panics yields an `Err` carrying the panic
+/// message; the remaining policies are unaffected.
+pub fn try_run_policies(
+    trace: &[Job],
+    policies: &[PolicySpec],
+    nodes: u32,
+    faults: &FaultConfig,
+) -> Vec<Result<PolicyOutcome, SweepError>> {
+    // Worker panics are caught and surfaced as `SweepError`s, so the global
+    // hook's backtrace would only be stderr noise; silence it for the
+    // duration. (Concurrent panics elsewhere in the process would also be
+    // silenced for this window — an accepted trade for clean sweep output.)
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let results = if policies.len() <= 1 {
+        policies
+            .iter()
+            .map(|p| fenced_run(trace, p, nodes, faults))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = policies
+                .iter()
+                .map(|p| scope.spawn(move || fenced_run(trace, p, nodes, faults)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker itself never panics"))
+                .collect()
+        })
+    };
+    std::panic::set_hook(prev);
+    results
+}
+
+/// Runs each policy on the trace, in parallel, preserving input order.
+/// Panics if any policy fails; use [`try_run_policies`] to keep the
+/// survivors.
+pub fn run_policies(trace: &[Job], policies: &[PolicySpec], nodes: u32) -> Vec<PolicyOutcome> {
+    try_run_policies(trace, policies, nodes, &FaultConfig::default())
+        .into_iter()
+        .map(|r| match r {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_policy;
     use fairsched_workload::CplantModel;
 
     #[test]
@@ -63,5 +149,49 @@ mod tests {
     fn empty_policy_set_is_fine() {
         let trace = CplantModel::new(1).with_scale(0.01).generate();
         assert!(run_policies(&trace, &[], 1024).is_empty());
+    }
+
+    #[test]
+    fn a_panicking_policy_does_not_take_the_sweep_down() {
+        // A job wider than the machine makes the simulator reject the run;
+        // through the panicking `simulate` wrapper that's a worker panic.
+        // With 8 nodes the CPlant trace contains such jobs; the fenced
+        // sweep must report every policy as failed while the same sweep on
+        // a full-size machine succeeds everywhere.
+        let trace = CplantModel::new(3).with_scale(0.01).generate();
+        let policies = vec![
+            PolicySpec::baseline(),
+            PolicySpec::by_id("cons.nomax").unwrap(),
+        ];
+        let results = try_run_policies(&trace, &policies, 8, &FaultConfig::default());
+        assert_eq!(results.len(), 2);
+        for (policy, result) in policies.iter().zip(&results) {
+            let err = result.as_ref().unwrap_err();
+            assert_eq!(err.policy, policy.id);
+            assert!(
+                err.reason.contains("nodes on a"),
+                "panic message survives: {err}"
+            );
+        }
+
+        let ok = try_run_policies(&trace, &policies, 1024, &FaultConfig::default());
+        assert!(ok.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn faulted_sweep_threads_the_fault_config_through() {
+        let trace = CplantModel::new(29).with_scale(0.01).generate();
+        let policies = vec![PolicySpec::baseline()];
+        let faults = FaultConfig {
+            job_crash_rate: 0.3,
+            seed: 7,
+            ..FaultConfig::default()
+        };
+        let results = try_run_policies(&trace, &policies, 1024, &faults);
+        let outcome = results[0].as_ref().unwrap();
+        // Crashes force resubmissions, so the faulted run has more records.
+        let clean = run_policy(&trace, &policies[0], 1024);
+        assert!(outcome.schedule.records.len() > clean.schedule.records.len());
+        assert!(outcome.schedule.records.iter().any(|r| r.interrupted));
     }
 }

@@ -38,6 +38,11 @@ pub enum AllocError {
     ZeroNodes,
     /// The token was not live (double release or forged id).
     UnknownAllocation(AllocId),
+    /// A node asked to go down was not free (fault injection may only take
+    /// idle nodes down; the scheduler evicts the job first).
+    NodeNotFree(u32),
+    /// A node asked to come back up was not down.
+    NodeNotDown(u32),
 }
 
 impl fmt::Display for AllocError {
@@ -48,6 +53,8 @@ impl fmt::Display for AllocError {
             }
             AllocError::ZeroNodes => write!(f, "zero-node allocation request"),
             AllocError::UnknownAllocation(id) => write!(f, "unknown allocation {id}"),
+            AllocError::NodeNotFree(n) => write!(f, "node {n} is not free"),
+            AllocError::NodeNotDown(n) => write!(f, "node {n} is not down"),
         }
     }
 }
@@ -96,7 +103,12 @@ pub struct CountingAllocator {
 impl CountingAllocator {
     /// An empty machine of `size` nodes.
     pub fn new(size: u32) -> Self {
-        CountingAllocator { size, free: size, live: HashMap::new(), next_id: 0 }
+        CountingAllocator {
+            size,
+            free: size,
+            live: HashMap::new(),
+            next_id: 0,
+        }
     }
 }
 
@@ -114,17 +126,27 @@ impl Allocator for CountingAllocator {
             return Err(AllocError::ZeroNodes);
         }
         if count > self.free {
-            return Err(AllocError::InsufficientCapacity { requested: count, free: self.free });
+            return Err(AllocError::InsufficientCapacity {
+                requested: count,
+                free: self.free,
+            });
         }
         self.free -= count;
         let id = self.next_id;
         self.next_id += 1;
         self.live.insert(id, count);
-        Ok(Allocation { id, count, nodes: Vec::new() })
+        Ok(Allocation {
+            id,
+            count,
+            nodes: Vec::new(),
+        })
     }
 
     fn release(&mut self, id: AllocId) -> Result<(), AllocError> {
-        let count = self.live.remove(&id).ok_or(AllocError::UnknownAllocation(id))?;
+        let count = self
+            .live
+            .remove(&id)
+            .ok_or(AllocError::UnknownAllocation(id))?;
         self.free += count;
         debug_assert!(self.free <= self.size);
         Ok(())
@@ -161,12 +183,18 @@ mod tests {
         let mut a = CountingAllocator::new(10);
         assert_eq!(
             a.allocate(11),
-            Err(AllocError::InsufficientCapacity { requested: 11, free: 10 })
+            Err(AllocError::InsufficientCapacity {
+                requested: 11,
+                free: 10
+            })
         );
         let x = a.allocate(10).unwrap();
         assert_eq!(
             a.allocate(1),
-            Err(AllocError::InsufficientCapacity { requested: 1, free: 0 })
+            Err(AllocError::InsufficientCapacity {
+                requested: 1,
+                free: 0
+            })
         );
         a.release(x.id).unwrap();
         assert!(a.allocate(10).is_ok());

@@ -75,12 +75,15 @@ mod tests {
 
     #[test]
     fn pairwise_distance_matches_brute_force() {
-        let cases: [&[u32]; 5] =
-            [&[0, 1, 2], &[0, 10], &[5], &[], &[3, 9, 1, 14, 7]];
+        let cases: [&[u32]; 5] = [&[0, 1, 2], &[0, 10], &[5], &[], &[3, 9, 1, 14, 7]];
         for nodes in cases {
             let brute: u64 = nodes
                 .iter()
-                .flat_map(|&a| nodes.iter().map(move |&b| (a as i64 - b as i64).unsigned_abs()))
+                .flat_map(|&a| {
+                    nodes
+                        .iter()
+                        .map(move |&b| (a as i64 - b as i64).unsigned_abs())
+                })
                 .sum::<u64>()
                 / 2;
             assert_eq!(pairwise_distance_sum(nodes), brute, "{nodes:?}");

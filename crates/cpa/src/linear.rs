@@ -47,9 +47,13 @@ pub enum PlacementStrategy {
 #[derive(Debug, Clone)]
 pub struct LinearAllocator {
     strategy: PlacementStrategy,
-    /// `true` = free. Indexed by node number.
+    /// `true` = free. Indexed by node number. Down nodes are *not* free.
     free: Vec<bool>,
     free_count: u32,
+    /// `true` = failed and awaiting repair; neither free nor allocated.
+    /// Down nodes leave holes in the line, so fragmentation under failure
+    /// is visible to every placement strategy.
+    down: Vec<bool>,
     live: HashMap<AllocId, Vec<u32>>,
     next_id: AllocId,
 }
@@ -61,6 +65,7 @@ impl LinearAllocator {
             strategy,
             free: vec![true; size as usize],
             free_count: size,
+            down: vec![false; size as usize],
             live: HashMap::new(),
             next_id: 0,
         }
@@ -69,6 +74,58 @@ impl LinearAllocator {
     /// The strategy in use.
     pub fn strategy(&self) -> PlacementStrategy {
         self.strategy
+    }
+
+    /// Takes an idle node out of service. The node must currently be free;
+    /// fault injection evicts any resident job before calling this.
+    pub fn mark_down(&mut self, node: u32) -> Result<(), AllocError> {
+        let i = node as usize;
+        if i >= self.free.len() || !self.free[i] {
+            return Err(AllocError::NodeNotFree(node));
+        }
+        self.free[i] = false;
+        self.down[i] = true;
+        self.free_count -= 1;
+        Ok(())
+    }
+
+    /// Returns a repaired node to service.
+    pub fn mark_up(&mut self, node: u32) -> Result<(), AllocError> {
+        let i = node as usize;
+        if i >= self.down.len() || !self.down[i] {
+            return Err(AllocError::NodeNotDown(node));
+        }
+        self.down[i] = false;
+        self.free[i] = true;
+        self.free_count += 1;
+        Ok(())
+    }
+
+    /// Whether `node` is currently down.
+    pub fn is_down(&self, node: u32) -> bool {
+        self.down.get(node as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of nodes currently down.
+    pub fn down_count(&self) -> u32 {
+        self.down.iter().filter(|&&d| d).count() as u32
+    }
+
+    /// The node set held by a live allocation, ascending.
+    pub fn nodes_of(&self, id: AllocId) -> Option<&[u32]> {
+        self.live.get(&id).map(|v| v.as_slice())
+    }
+
+    /// The `r`-th free node in ascending order (0-based), if any — how
+    /// fault injection maps a uniform victim draw onto a concrete idle
+    /// node.
+    pub fn nth_free(&self, r: u32) -> Option<u32> {
+        self.free
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f)
+            .nth(r as usize)
+            .map(|(i, _)| i as u32)
     }
 
     /// Free contiguous runs as `(start, len)`, ascending.
@@ -162,7 +219,10 @@ impl Allocator for LinearAllocator {
             return Err(AllocError::ZeroNodes);
         }
         if count > self.free_count {
-            return Err(AllocError::InsufficientCapacity { requested: count, free: self.free_count });
+            return Err(AllocError::InsufficientCapacity {
+                requested: count,
+                free: self.free_count,
+            });
         }
         let nodes = self.pick_nodes(count);
         debug_assert_eq!(nodes.len(), count as usize);
@@ -178,7 +238,10 @@ impl Allocator for LinearAllocator {
     }
 
     fn release(&mut self, id: AllocId) -> Result<(), AllocError> {
-        let nodes = self.live.remove(&id).ok_or(AllocError::UnknownAllocation(id))?;
+        let nodes = self
+            .live
+            .remove(&id)
+            .ok_or(AllocError::UnknownAllocation(id))?;
         for n in nodes {
             debug_assert!(!self.free[n as usize]);
             self.free[n as usize] = true;
@@ -194,7 +257,11 @@ mod tests {
     use crate::frag::span;
 
     fn strategies() -> [PlacementStrategy; 3] {
-        [PlacementStrategy::FirstFit, PlacementStrategy::BestFit, PlacementStrategy::MinSpan]
+        [
+            PlacementStrategy::FirstFit,
+            PlacementStrategy::BestFit,
+            PlacementStrategy::MinSpan,
+        ]
     }
 
     #[test]
@@ -326,6 +393,40 @@ mod tests {
     fn free_runs_reports_holes_in_order() {
         let (a, _) = fragmented();
         assert_eq!(a.free_runs(), vec![(2, 2), (8, 4)]);
+    }
+
+    #[test]
+    fn down_nodes_leave_holes_and_come_back() {
+        let mut a = LinearAllocator::new(8, PlacementStrategy::FirstFit);
+        a.mark_down(2).unwrap();
+        assert!(a.is_down(2));
+        assert_eq!(a.free(), 7);
+        assert_eq!(a.down_count(), 1);
+        // A 3-node job must skip the hole at 2.
+        let x = a.allocate(3).unwrap();
+        assert_eq!(x.nodes, vec![3, 4, 5]);
+        // Contiguity broken: the remaining free nodes are {0, 1, 6, 7}.
+        assert_eq!(a.free_runs(), vec![(0, 2), (6, 2)]);
+        a.mark_up(2).unwrap();
+        assert!(!a.is_down(2));
+        assert_eq!(a.free(), 5);
+        assert_eq!(a.nth_free(2), Some(2));
+    }
+
+    #[test]
+    fn node_state_transitions_are_checked() {
+        let mut a = LinearAllocator::new(4, PlacementStrategy::FirstFit);
+        let x = a.allocate(1).unwrap(); // occupies node 0
+        assert_eq!(a.mark_down(0), Err(AllocError::NodeNotFree(0)));
+        assert_eq!(a.mark_down(9), Err(AllocError::NodeNotFree(9)));
+        assert_eq!(a.mark_up(1), Err(AllocError::NodeNotDown(1)));
+        a.mark_down(1).unwrap();
+        assert_eq!(a.mark_down(1), Err(AllocError::NodeNotFree(1)));
+        a.release(x.id).unwrap();
+        // Released node is free again; down node still is not.
+        assert_eq!(a.free(), 3);
+        assert_eq!(a.nth_free(0), Some(0));
+        assert_eq!(a.nth_free(1), Some(2));
     }
 
     #[test]

@@ -10,8 +10,7 @@
 use fairsched_core::runner::PolicyOutcome;
 use fairsched_metrics::fairness::hybrid::HybridFstObserver;
 use fairsched_sim::{
-    simulate, EngineKind, FairshareConfig, HeavyUserRule, RuntimeLimit, SimConfig,
-    StarvationConfig,
+    simulate, EngineKind, FairshareConfig, HeavyUserRule, RuntimeLimit, SimConfig, StarvationConfig,
 };
 use fairsched_workload::job::Job;
 use fairsched_workload::time::HOUR;
@@ -59,7 +58,10 @@ pub fn decay_factor_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
         .map(|&factor| {
             let cfg = SimConfig {
                 nodes,
-                fairshare: FairshareConfig { decay_factor: factor, ..Default::default() },
+                fairshare: FairshareConfig {
+                    decay_factor: factor,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             run_with(trace, format!("decay={factor}"), &cfg)
@@ -92,12 +94,17 @@ pub fn runtime_limit_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
     let mut rows = vec![run_with(
         trace,
         "limit=none".to_string(),
-        &SimConfig { nodes, ..Default::default() },
+        &SimConfig {
+            nodes,
+            ..Default::default()
+        },
     )];
     for hours in [24u64, 48, 72, 120, 168] {
         let cfg = SimConfig {
             nodes,
-            runtime_limit: Some(RuntimeLimit { limit: hours * HOUR }),
+            runtime_limit: Some(RuntimeLimit {
+                limit: hours * HOUR,
+            }),
             ..Default::default()
         };
         rows.push(run_with(trace, format!("limit={hours}h"), &cfg));
@@ -114,7 +121,9 @@ pub fn heavy_threshold_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
                 nodes,
                 starvation: Some(StarvationConfig {
                     entry_delay: 24 * HOUR,
-                    heavy_rule: Some(HeavyUserRule { mean_multiple: mult }),
+                    heavy_rule: Some(HeavyUserRule {
+                        mean_multiple: mult,
+                    }),
                 }),
                 ..Default::default()
             };
@@ -148,10 +157,17 @@ pub fn user_concurrency_sweep(trace: &[Job], nodes: u32) -> Vec<AblationRow> {
     let mut rows = vec![run_with(
         trace,
         "open-loop".to_string(),
-        &SimConfig { nodes, ..Default::default() },
+        &SimConfig {
+            nodes,
+            ..Default::default()
+        },
     )];
     for cap in [1u32, 2, 4, 8, 16] {
-        let cfg = SimConfig { nodes, user_concurrency: Some(cap), ..Default::default() };
+        let cfg = SimConfig {
+            nodes,
+            user_concurrency: Some(cap),
+            ..Default::default()
+        };
         rows.push(run_with(trace, format!("cap={cap}"), &cfg));
     }
     rows
@@ -169,7 +185,10 @@ pub fn width_affinity_sweep(seed: u64, scale: f64, nodes: u32) -> Vec<AblationRo
             let mut model = CplantModel::new(seed).with_nodes(nodes).with_scale(scale);
             model.width_affinity = boost;
             let trace = model.generate();
-            let cfg = SimConfig { nodes, ..Default::default() };
+            let cfg = SimConfig {
+                nodes,
+                ..Default::default()
+            };
             run_with(&trace, format!("affinity={boost}"), &cfg)
         })
         .collect()
@@ -182,8 +201,14 @@ pub fn machine_size_sweep(seed: u64, scale: f64) -> Vec<AblationRow> {
     [512u32, 768, 1024, 1536, 2048]
         .iter()
         .map(|&nodes| {
-            let trace = CplantModel::new(seed).with_nodes(nodes).with_scale(scale).generate();
-            let cfg = SimConfig { nodes, ..Default::default() };
+            let trace = CplantModel::new(seed)
+                .with_nodes(nodes)
+                .with_scale(scale)
+                .generate();
+            let cfg = SimConfig {
+                nodes,
+                ..Default::default()
+            };
             run_with(&trace, format!("nodes={nodes}"), &cfg)
         })
         .collect()

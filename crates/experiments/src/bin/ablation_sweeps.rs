@@ -4,14 +4,62 @@ use fairsched_experiments::{ablations as ab, ExperimentConfig};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    eprintln!("workload: seed={} scale={} nodes={}", cfg.seed, cfg.scale, cfg.nodes);
+    eprintln!(
+        "workload: seed={} scale={} nodes={}",
+        cfg.seed, cfg.scale, cfg.nodes
+    );
     let trace = cfg.trace();
-    println!("{}", ab::render("fairshare decay factor", &ab::decay_factor_sweep(&trace, cfg.nodes)));
-    println!("{}", ab::render("starvation entry delay", &ab::starvation_delay_sweep(&trace, cfg.nodes)));
-    println!("{}", ab::render("maximum runtime limit", &ab::runtime_limit_sweep(&trace, cfg.nodes)));
-    println!("{}", ab::render("heavy-user threshold", &ab::heavy_threshold_sweep(&trace, cfg.nodes)));
-    println!("{}", ab::render("reservation depth", &ab::reservation_depth_sweep(&trace, cfg.nodes)));
-    println!("{}", ab::render("user concurrency (closed loop)", &ab::user_concurrency_sweep(&trace, cfg.nodes)));
-    println!("{}", ab::render("user width affinity", &ab::width_affinity_sweep(cfg.seed, cfg.scale, cfg.nodes)));
-    println!("{}", ab::render("machine size", &ab::machine_size_sweep(cfg.seed, cfg.scale)));
+    println!(
+        "{}",
+        ab::render(
+            "fairshare decay factor",
+            &ab::decay_factor_sweep(&trace, cfg.nodes)
+        )
+    );
+    println!(
+        "{}",
+        ab::render(
+            "starvation entry delay",
+            &ab::starvation_delay_sweep(&trace, cfg.nodes)
+        )
+    );
+    println!(
+        "{}",
+        ab::render(
+            "maximum runtime limit",
+            &ab::runtime_limit_sweep(&trace, cfg.nodes)
+        )
+    );
+    println!(
+        "{}",
+        ab::render(
+            "heavy-user threshold",
+            &ab::heavy_threshold_sweep(&trace, cfg.nodes)
+        )
+    );
+    println!(
+        "{}",
+        ab::render(
+            "reservation depth",
+            &ab::reservation_depth_sweep(&trace, cfg.nodes)
+        )
+    );
+    println!(
+        "{}",
+        ab::render(
+            "user concurrency (closed loop)",
+            &ab::user_concurrency_sweep(&trace, cfg.nodes)
+        )
+    );
+    println!(
+        "{}",
+        ab::render(
+            "user width affinity",
+            &ab::width_affinity_sweep(cfg.seed, cfg.scale, cfg.nodes)
+        )
+    );
+    println!(
+        "{}",
+        ab::render("machine size", &ab::machine_size_sweep(cfg.seed, cfg.scale))
+    );
 }

@@ -4,7 +4,10 @@ use fairsched_experiments::{characterization as ch, figures as f};
 
 fn main() {
     let cfg = fairsched_experiments::ExperimentConfig::from_env();
-    eprintln!("workload: seed={} scale={} nodes={}", cfg.seed, cfg.scale, cfg.nodes);
+    eprintln!(
+        "workload: seed={} scale={} nodes={}",
+        cfg.seed, cfg.scale, cfg.nodes
+    );
     let e = fairsched_experiments::evaluate(cfg);
     println!("{}", ch::table1_report(&e.trace));
     println!("{}", ch::table2_report(&e.trace));
@@ -14,8 +17,18 @@ fn main() {
     println!("{}", ch::fig06_report(&e.trace));
     println!("{}", ch::fig07_report(&e.trace));
     for fig in [
-        f::fig08(&e), f::fig09(&e), f::fig10(&e), f::fig11(&e), f::fig12(&e), f::fig13(&e),
-        f::fig14(&e), f::fig15(&e), f::fig16(&e), f::fig17(&e), f::fig18(&e), f::fig19(&e),
+        f::fig08(&e),
+        f::fig09(&e),
+        f::fig10(&e),
+        f::fig11(&e),
+        f::fig12(&e),
+        f::fig13(&e),
+        f::fig14(&e),
+        f::fig15(&e),
+        f::fig16(&e),
+        f::fig17(&e),
+        f::fig18(&e),
+        f::fig19(&e),
     ] {
         println!("{fig}");
     }

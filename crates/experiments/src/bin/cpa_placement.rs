@@ -2,9 +2,9 @@
 //! allocation strategy, reporting the placement quality the CPA exists to
 //! optimize. Scheduling outcomes are identical by construction; only
 //! compactness differs.
+use fairsched_cpa::PlacementStrategy;
 use fairsched_experiments::ExperimentConfig;
 use fairsched_sim::{simulate, AllocationModel, NullObserver, SimConfig};
-use fairsched_cpa::PlacementStrategy;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();

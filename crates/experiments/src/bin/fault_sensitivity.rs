@@ -1,0 +1,107 @@
+//! Fairness-under-failure sensitivity sweep (beyond the paper).
+//!
+//! Runs all nine §5.5 policies at several node-MTBF levels under both
+//! resilience policies and prints, per (policy, fault level) cell, the
+//! fairness aggregates split by crash exposure plus the goodput. The fault
+//! timeline is a pure function of the fault seed, so every cell is exactly
+//! reproducible.
+//!
+//! Extra environment knobs on top of the usual `FAIRSCHED_*` trio:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `FAIRSCHED_CRASH_RATE` | `0.02` | per-submission crash probability |
+//! | `FAIRSCHED_FAULT_SEED` | `0` | fault timeline seed |
+
+use fairsched_core::policy::PolicySpec;
+use fairsched_core::sweep::try_run_policies;
+use fairsched_experiments::ExperimentConfig;
+use fairsched_sim::{FaultConfig, ResiliencePolicy};
+use fairsched_workload::time::{DAY, WEEK};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let crash_rate = env_f64("FAIRSCHED_CRASH_RATE", 0.02);
+    let fault_seed = env_u64("FAIRSCHED_FAULT_SEED", 0);
+    let trace = cfg.trace();
+    let policies = PolicySpec::paper_policies();
+
+    // Per-node MTBF levels: none (control), then increasingly unreliable
+    // hardware. On a 1024-node machine 4 weeks/node is a machine-level
+    // failure roughly every 40 minutes.
+    let mtbf_levels: [(&str, Option<u64>); 4] = [
+        ("none", None),
+        ("16w", Some(16 * WEEK)),
+        ("4w", Some(4 * WEEK)),
+        ("7d", Some(7 * DAY)),
+    ];
+
+    println!(
+        "fault sensitivity: seed={} scale={} nodes={} crash_rate={} fault_seed={}",
+        cfg.seed, cfg.scale, cfg.nodes, crash_rate, fault_seed
+    );
+    println!(
+        "{:<22} {:>6} {:>8} {:>8} {:>11} {:>11} {:>9} {:>7}",
+        "policy", "mtbf", "resil", "unfair%", "missI(s)", "missC(s)", "goodput%", "intr"
+    );
+
+    for (label, mtbf) in mtbf_levels {
+        for resilience in [
+            ResiliencePolicy::RequeueFromScratch,
+            ResiliencePolicy::ChunkResume,
+        ] {
+            // Without any fault source the resilience policy is inert; run
+            // the control row once.
+            if mtbf.is_none() && crash_rate == 0.0 && resilience == ResiliencePolicy::ChunkResume {
+                continue;
+            }
+            let faults = FaultConfig {
+                node_mtbf: mtbf,
+                job_crash_rate: crash_rate,
+                resilience,
+                seed: fault_seed,
+                ..FaultConfig::default()
+            };
+            let resil = match resilience {
+                ResiliencePolicy::RequeueFromScratch => "requeue",
+                ResiliencePolicy::ChunkResume => "resume",
+            };
+            for result in try_run_policies(&trace, &policies, cfg.nodes, &faults) {
+                match result {
+                    Ok(outcome) => {
+                        let split = outcome.resilience();
+                        println!(
+                            "{:<22} {:>6} {:>8} {:>7.2}% {:>11.0} {:>11.0} {:>8.2}% {:>7}",
+                            outcome.policy,
+                            label,
+                            resil,
+                            100.0 * outcome.fairness.percent_unfair(),
+                            split.interrupted.average_miss_time(),
+                            split.clean.average_miss_time(),
+                            100.0 * split.goodput,
+                            split.interrupted_count(),
+                        );
+                    }
+                    Err(e) => println!(
+                        "{:<22} {:>6} {:>8} FAILED: {}",
+                        e.policy, label, resil, e.reason
+                    ),
+                }
+            }
+        }
+    }
+}

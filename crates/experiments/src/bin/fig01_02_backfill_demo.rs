@@ -10,18 +10,27 @@ fn main() {
     // Figure 1/2 micro-example: 10 nodes; jobA (8 wide) heads the queue
     // behind a 6-wide runner, jobB (4 wide, short) fits beside the runner.
     let trace = vec![
-        Job::new(1, 1, 0, 0, 6, 1000, 1000),  // running work
-        Job::new(2, 2, 0, 1, 8, 500, 500),    // jobA (stuck head)
-        Job::new(3, 3, 0, 2, 4, 100, 100),    // jobB
+        Job::new(1, 1, 0, 0, 6, 1000, 1000), // running work
+        Job::new(2, 2, 0, 1, 8, 500, 500),   // jobA (stuck head)
+        Job::new(3, 3, 0, 2, 4, 100, 100),   // jobB
     ];
     println!("== Figures 1-2: FCFS without vs with backfilling ==");
     for id in ["fcfs.nobackfill", "easy.nomax"] {
         let p = PolicySpec::by_id(id).unwrap();
         let out = run_policy(&trace, &p, 10);
-        let start = |j: u32| out.schedule.records.iter().find(|r| r.id.0 == j).unwrap().start;
+        let start = |j: u32| {
+            out.schedule
+                .records
+                .iter()
+                .find(|r| r.id.0 == j)
+                .unwrap()
+                .start
+        };
         println!(
             "{id:<16} jobA starts at {:>5}s, jobB starts at {:>5}s, utilization {:>5.1}%",
-            start(2), start(3), 100.0 * out.schedule.utilization(),
+            start(2),
+            start(3),
+            100.0 * out.schedule.utilization(),
         );
         print!("{}", fairsched_core::gantt::gantt(&out.schedule, 48));
         println!();
@@ -30,14 +39,19 @@ fn main() {
     // The same contrast at workload scale (§1's "low system utilization").
     println!("\n== FCFS strawman vs the CPlant baseline on a 10% workload ==");
     let nodes = 1024;
-    let trace = CplantModel::new(42).with_nodes(nodes).with_scale(0.1).generate();
+    let trace = CplantModel::new(42)
+        .with_nodes(nodes)
+        .with_scale(0.1)
+        .generate();
     for id in ["fcfs.nobackfill", "cplant24.nomax.all"] {
         let p = PolicySpec::by_id(id).unwrap();
         let out = run_policy(&trace, &p, nodes);
         let m = out.metrics();
         println!(
             "{:<20} turnaround {:>9.0}s  LOC {:>6.2}%  unfair {:>5.2}%",
-            out.policy, m.average_turnaround, 100.0 * m.loss_of_capacity,
+            out.policy,
+            m.average_turnaround,
+            100.0 * m.loss_of_capacity,
             100.0 * m.percent_unfair,
         );
     }

@@ -2,5 +2,8 @@
 fn main() {
     let cfg = fairsched_experiments::ExperimentConfig::from_env();
     let e = fairsched_experiments::evaluate(cfg);
-    print!("{}", fairsched_experiments::characterization::fig03_report(&e));
+    print!(
+        "{}",
+        fairsched_experiments::characterization::fig03_report(&e)
+    );
 }

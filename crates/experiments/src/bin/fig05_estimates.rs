@@ -2,5 +2,8 @@
 fn main() {
     let cfg = fairsched_experiments::ExperimentConfig::from_env();
     let trace = cfg.trace();
-    print!("{}", fairsched_experiments::characterization::fig05_report(&trace));
+    print!(
+        "{}",
+        fairsched_experiments::characterization::fig05_report(&trace)
+    );
 }

@@ -21,13 +21,15 @@ fn main() {
         for u in users.iter().take(10) {
             println!(
                 "{:<8} {:>6} {:>14.0} {:>8.1}% {:>12.0} {:>10.0}",
-                u.user.to_string(), u.jobs, u.proc_seconds / 3600.0,
-                100.0 * u.percent_unfair(), u.mean_miss(), u.mean_wait,
+                u.user.to_string(),
+                u.jobs,
+                u.proc_seconds / 3600.0,
+                100.0 * u.percent_unfair(),
+                u.mean_miss(),
+                u.mean_wait,
             );
         }
         let (heavy, light) = heavy_vs_light_miss(&users, 0.1);
-        println!(
-            "top-10% users mean miss {heavy:.0}s vs everyone else {light:.0}s\n"
-        );
+        println!("top-10% users mean miss {heavy:.0}s vs everyone else {light:.0}s\n");
     }
 }

@@ -33,8 +33,13 @@ pub fn table1_report(trace: &[Job]) -> String {
         }
         out.push('\n');
     }
-    writeln!(out, "total: {} generated / {} published", generated.total(), published.total())
-        .expect("write to String");
+    writeln!(
+        out,
+        "total: {} generated / {} published",
+        generated.total(),
+        published.total()
+    )
+    .expect("write to String");
     out
 }
 
@@ -71,8 +76,8 @@ pub fn table2_report(trace: &[Job]) -> String {
 /// Figure 3: weekly offered load vs actual utilization under the baseline
 /// policy, with an ASCII bar per week.
 pub fn fig03_report(eval: &Evaluation) -> String {
-    let weeks = (eval.trace.last().map(|j| j.submit).unwrap_or(0)
-        / fairsched_workload::time::WEEK) as usize
+    let weeks = (eval.trace.last().map(|j| j.submit).unwrap_or(0) / fairsched_workload::time::WEEK)
+        as usize
         + 1;
     let offered = weekly_offered_load(&eval.trace, eval.cfg.nodes, weeks);
     let baseline = &eval.outcomes[0].schedule;
@@ -85,8 +90,14 @@ pub fn fig03_report(eval: &Evaluation) -> String {
     for (w, (off, util)) in pairs.iter().enumerate() {
         let obar = "#".repeat((off * 10.0).round() as usize);
         let ubar = "o".repeat((util * 10.0).round() as usize);
-        writeln!(out, "{w:>4}  {:>7.1}  {:>6.1}  |{obar}\n{:>21}  |{ubar}", off * 100.0, util * 100.0, "")
-            .expect("write to String");
+        writeln!(
+            out,
+            "{w:>4}  {:>7.1}  {:>6.1}  |{obar}\n{:>21}  |{ubar}",
+            off * 100.0,
+            util * 100.0,
+            ""
+        )
+        .expect("write to String");
     }
     out
 }
@@ -113,7 +124,8 @@ fn loglog_grid(
             grid[((yd - ydecades.start) as usize) * xs + (xd - xdecades.start) as usize] += 1;
         }
     }
-    let mut out = format!("== {title} ==\n(job counts per decade cell; x = {xlabel}, y = {ylabel})\n");
+    let mut out =
+        format!("== {title} ==\n(job counts per decade cell; x = {xlabel}, y = {ylabel})\n");
     for yi in (0..ys).rev() {
         write!(out, "1e{:>2} |", ydecades.start + yi as i32).expect("write to String");
         for xi in 0..xs {
@@ -174,7 +186,9 @@ pub fn fig06_report(trace: &[Job]) -> String {
         "Figure 6: Over-estimation factor vs runtime",
         "over-estimation factor",
         "runtime (s)",
-        trace.iter().map(|j| (j.overestimation_factor(), j.runtime as f64)),
+        trace
+            .iter()
+            .map(|j| (j.overestimation_factor(), j.runtime as f64)),
         -2..7,
         0..8,
     );
@@ -190,8 +204,12 @@ pub fn fig06_report(trace: &[Job]) -> String {
         if sel.is_empty() {
             out.push_str(" 1e_:--");
         } else {
-            write!(out, " 1e{d}:{:.2}", sel.iter().sum::<f64>() / sel.len() as f64)
-                .expect("write to String");
+            write!(
+                out,
+                " 1e{d}:{:.2}",
+                sel.iter().sum::<f64>() / sel.len() as f64
+            )
+            .expect("write to String");
         }
     }
     out.push('\n');
@@ -205,7 +223,9 @@ pub fn fig07_report(trace: &[Job]) -> String {
         "Figure 7: Over-estimation factor vs nodes",
         "over-estimation factor",
         "nodes",
-        trace.iter().map(|j| (j.overestimation_factor(), j.nodes as f64)),
+        trace
+            .iter()
+            .map(|j| (j.overestimation_factor(), j.nodes as f64)),
         -2..7,
         0..4,
     );
@@ -221,8 +241,12 @@ pub fn fig07_report(trace: &[Job]) -> String {
         if sel.is_empty() {
             out.push_str(" 1e_:--");
         } else {
-            write!(out, " 1e{d}:{:.2}", sel.iter().sum::<f64>() / sel.len() as f64)
-                .expect("write to String");
+            write!(
+                out,
+                " 1e{d}:{:.2}",
+                sel.iter().sum::<f64>() / sel.len() as f64
+            )
+            .expect("write to String");
         }
     }
     out.push('\n');

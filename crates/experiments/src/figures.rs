@@ -130,7 +130,11 @@ mod tests {
 
     #[test]
     fn every_figure_renders_with_the_right_policy_count() {
-        let e = evaluate(ExperimentConfig { seed: 5, scale: 0.015, nodes: 1024 });
+        let e = evaluate(ExperimentConfig {
+            seed: 5,
+            scale: 0.015,
+            nodes: 1024,
+        });
         // Scalar figures: header + unit line + one row per policy.
         for (fig, n) in [
             (fig08(&e), 5),
@@ -145,14 +149,23 @@ mod tests {
             assert_eq!(fig.lines().count(), n + 2, "{fig}");
         }
         // Width figures: header + column line + one row per policy.
-        for (fig, n) in [(fig10(&e), 5), (fig12(&e), 5), (fig16(&e), 5), (fig18(&e), 5)] {
+        for (fig, n) in [
+            (fig10(&e), 5),
+            (fig12(&e), 5),
+            (fig16(&e), 5),
+            (fig18(&e), 5),
+        ] {
             assert_eq!(fig.lines().count(), n + 2, "{fig}");
         }
     }
 
     #[test]
     fn figure_titles_match_the_paper() {
-        let e = evaluate(ExperimentConfig { seed: 5, scale: 0.01, nodes: 1024 });
+        let e = evaluate(ExperimentConfig {
+            seed: 5,
+            scale: 0.01,
+            nodes: 1024,
+        });
         assert!(fig08(&e).contains("Figure 8"));
         assert!(fig16(&e).contains("conservative backfilling"));
         assert!(fig19(&e).contains("Loss of capacity"));

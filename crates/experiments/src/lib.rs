@@ -40,7 +40,11 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { seed: 42, scale: 1.0, nodes: DEFAULT_NODES }
+        ExperimentConfig {
+            seed: 42,
+            scale: 1.0,
+            nodes: DEFAULT_NODES,
+        }
     }
 }
 
@@ -98,7 +102,12 @@ pub fn evaluate(cfg: ExperimentConfig) -> Evaluation {
     let policies = PolicySpec::paper_policies();
     let outcomes = run_policies(&trace, &policies, cfg.nodes);
     let metrics = outcomes.iter().map(|o| o.metrics()).collect();
-    Evaluation { cfg, trace, outcomes, metrics }
+    Evaluation {
+        cfg,
+        trace,
+        outcomes,
+        metrics,
+    }
 }
 
 impl Evaluation {
@@ -169,7 +178,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Evaluation {
-        evaluate(ExperimentConfig { seed: 7, scale: 0.015, nodes: 1024 })
+        evaluate(ExperimentConfig {
+            seed: 7,
+            scale: 0.015,
+            nodes: 1024,
+        })
     }
 
     #[test]
@@ -196,11 +209,14 @@ mod tests {
     #[test]
     fn figures_render_nonempty_text() {
         let e = tiny();
-        let fig = e.scalar_figure("Fig 8", "%", &Evaluation::minor_indices(), |m| m.percent_unfair);
+        let fig = e.scalar_figure("Fig 8", "%", &Evaluation::minor_indices(), |m| {
+            m.percent_unfair
+        });
         assert!(fig.contains("Fig 8"));
         assert_eq!(fig.lines().count(), 7);
-        let wfig =
-            e.width_figure("Fig 10", "seconds", &Evaluation::minor_indices(), |m| m.miss_by_width);
+        let wfig = e.width_figure("Fig 10", "seconds", &Evaluation::minor_indices(), |m| {
+            m.miss_by_width
+        });
         assert!(wfig.contains("513+"));
     }
 

@@ -24,7 +24,10 @@ use std::collections::HashMap;
 pub fn consp_fsts(trace: &[Job], nodes: u32) -> HashMap<JobId, Time> {
     let perfect: Vec<Job> = trace
         .iter()
-        .map(|j| Job { estimate: j.runtime, ..j.clone() })
+        .map(|j| Job {
+            estimate: j.runtime,
+            ..j.clone()
+        })
         .collect();
     let cfg = SimConfig {
         nodes,
@@ -69,10 +72,7 @@ mod tests {
 
     #[test]
     fn consp_fst_is_the_fcfs_conservative_start() {
-        let trace = [
-            job(1, 1, 0, 10, 100, 500),
-            job(2, 2, 5, 10, 100, 500),
-        ];
+        let trace = [job(1, 1, 0, 10, 100, 500), job(2, 2, 5, 10, 100, 500)];
         let fsts = consp_fsts(&trace, 10);
         // Perfect estimates: job 1 runs [0,100), job 2 [100,200).
         assert_eq!(fsts[&JobId(1)], 0);
@@ -84,8 +84,13 @@ mod tests {
         let trace = random_trace(21, 150, 16, 5000);
         let fsts = consp_fsts(&trace, 16);
         // Re-run the blessed schedule and score it against itself.
-        let perfect: Vec<Job> =
-            trace.iter().map(|j| Job { estimate: j.runtime, ..j.clone() }).collect();
+        let perfect: Vec<Job> = trace
+            .iter()
+            .map(|j| Job {
+                estimate: j.runtime,
+                ..j.clone()
+            })
+            .collect();
         let cfg = SimConfig {
             nodes: 16,
             engine: EngineKind::Conservative,
@@ -115,15 +120,35 @@ mod tests {
         assert_eq!(fsts[&JobId(2)], 100);
         // Hand-build the reversed schedule's report.
         let report = FstReport::new(vec![
-            FstEntry { id: JobId(1), nodes: 10, fst: fsts[&JobId(1)], start: 50 },
-            FstEntry { id: JobId(2), nodes: 10, fst: fsts[&JobId(2)], start: 0 },
+            FstEntry {
+                id: JobId(1),
+                nodes: 10,
+                fst: fsts[&JobId(1)],
+                start: 50,
+            },
+            FstEntry {
+                id: JobId(2),
+                nodes: 10,
+                fst: fsts[&JobId(2)],
+                start: 0,
+            },
         ]);
         // Job 1 arrived first yet ran second — and CONS_P sees... job 1
         // missing by 50 but job 2 perfectly fair. With slightly earlier
         // starts {10, 0} both would look fair despite the inversion.
         let lax = FstReport::new(vec![
-            FstEntry { id: JobId(1), nodes: 10, fst: 0, start: 0 },
-            FstEntry { id: JobId(2), nodes: 10, fst: 100, start: 0 },
+            FstEntry {
+                id: JobId(1),
+                nodes: 10,
+                fst: 0,
+                start: 0,
+            },
+            FstEntry {
+                id: JobId(2),
+                nodes: 10,
+                fst: 100,
+                start: 0,
+            },
         ]);
         assert_eq!(lax.percent_unfair(), 0.0);
         drop(report);
@@ -135,7 +160,10 @@ mod tests {
         // some jobs will land after their CONS_P fair starts.
         let trace = random_trace(33, 200, 16, 5000);
         let fsts = consp_fsts(&trace, 16);
-        let cfg = SimConfig { nodes: 16, ..Default::default() };
+        let cfg = SimConfig {
+            nodes: 16,
+            ..Default::default()
+        };
         let schedule = simulate(&trace, &cfg, &mut NullObserver);
         let report = consp_report(&schedule, &fsts);
         assert_eq!(report.entries.len(), trace.len());

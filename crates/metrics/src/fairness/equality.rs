@@ -32,7 +32,10 @@ impl EqualityReport {
     /// Total negative discrimination (node-seconds of under-service); the
     /// headline inequality number — 0 means perfectly egalitarian.
     pub fn total_underservice(&self) -> f64 {
-        self.discrimination.iter().map(|&(_, d)| (-d).max(0.0)).sum()
+        self.discrimination
+            .iter()
+            .map(|&(_, d)| (-d).max(0.0))
+            .sum()
     }
 
     /// Population standard deviation of discrimination.

@@ -71,8 +71,12 @@ impl FstReport {
     /// Average miss time among only the unfair jobs (how badly the missed
     /// jobs are hurt — the effect Figure 10 highlights).
     pub fn average_miss_of_unfair(&self) -> f64 {
-        let misses: Vec<f64> =
-            self.entries.iter().filter(|e| e.unfair()).map(|e| e.miss() as f64).collect();
+        let misses: Vec<f64> = self
+            .entries
+            .iter()
+            .filter(|e| e.unfair())
+            .map(|e| e.miss() as f64)
+            .collect();
         if misses.is_empty() {
             return 0.0;
         }
@@ -110,7 +114,9 @@ impl FstReport {
     /// *original* job (the analysis behind EXPERIMENTS.md's divergence
     /// note), or slicing by width for custom breakdowns.
     pub fn filtered(&self, mut keep: impl FnMut(&FstEntry) -> bool) -> FstReport {
-        FstReport { entries: self.entries.iter().copied().filter(|e| keep(e)).collect() }
+        FstReport {
+            entries: self.entries.iter().copied().filter(|e| keep(e)).collect(),
+        }
     }
 }
 
@@ -119,7 +125,12 @@ mod tests {
     use super::*;
 
     fn entry(id: u32, nodes: u32, fst: Time, start: Time) -> FstEntry {
-        FstEntry { id: JobId(id), nodes, fst, start }
+        FstEntry {
+            id: JobId(id),
+            nodes,
+            fst,
+            start,
+        }
     }
 
     #[test]
@@ -134,9 +145,9 @@ mod tests {
     #[test]
     fn aggregates_on_a_known_report() {
         let r = FstReport::new(vec![
-            entry(1, 1, 100, 150), // miss 50
-            entry(2, 1, 100, 100), // fair
-            entry(3, 16, 0, 250),  // miss 250
+            entry(1, 1, 100, 150),  // miss 50
+            entry(2, 1, 100, 100),  // fair
+            entry(3, 16, 0, 250),   // miss 250
             entry(4, 16, 500, 100), // early, fair
         ]);
         assert!((r.percent_unfair() - 0.5).abs() < 1e-12);

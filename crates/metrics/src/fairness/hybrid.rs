@@ -63,7 +63,12 @@ impl HybridFstObserver {
             .fsts
             .into_iter()
             .filter_map(|(id, (fst, nodes))| {
-                self.starts.get(&id).map(|&start| FstEntry { id, nodes, fst, start })
+                self.starts.get(&id).map(|&start| FstEntry {
+                    id,
+                    nodes,
+                    fst,
+                    start,
+                })
             })
             .collect();
         FstReport::new(entries)
@@ -75,8 +80,11 @@ impl Observer for HybridFstObserver {
         // State snapshot: running jobs occupy their nodes until their
         // *actual* scheduled ends (the perfect-estimate convention CONS_P
         // established and the hybrid metric keeps).
-        let running: Vec<(Time, u32)> =
-            view.running.iter().map(|r| (r.scheduled_end, r.nodes)).collect();
+        let running: Vec<(Time, u32)> = view
+            .running
+            .iter()
+            .map(|r| (r.scheduled_end, r.nodes))
+            .collect();
         let mut timeline = NodeTimeline::with_running(view.total_nodes, view.now, &running);
 
         // List-schedule the queue (arriving job included) in the priority

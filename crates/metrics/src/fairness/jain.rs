@@ -10,7 +10,10 @@
 /// `(Σx)² / (n · Σx²)`. 1 when all equal; `1/n` when one job gets
 /// everything. Empty or all-zero inputs report 1 (vacuously fair).
 pub fn jain_index(values: &[f64]) -> f64 {
-    debug_assert!(values.iter().all(|&v| v >= 0.0), "Jain index needs non-negative values");
+    debug_assert!(
+        values.iter().all(|&v| v >= 0.0),
+        "Jain index needs non-negative values"
+    );
     let n = values.len();
     if n == 0 {
         return 1.0;

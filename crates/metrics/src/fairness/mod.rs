@@ -12,7 +12,9 @@
 //!
 //! [`fst`] holds the shared report type and the aggregates the paper plots:
 //! percent of unfair jobs (Figures 8, 14) and average miss time, overall and
-//! by width (Figures 9–10, 15–16).
+//! by width (Figures 9–10, 15–16). [`resilience`] goes beyond the paper:
+//! when the fault layer is enabled it splits any FST report into
+//! interrupted-vs-clean halves to expose failure-induced unfairness.
 
 pub mod consp;
 pub mod equality;
@@ -20,4 +22,5 @@ pub mod fst;
 pub mod hybrid;
 pub mod jain;
 pub mod peruser;
+pub mod resilience;
 pub mod sabin;

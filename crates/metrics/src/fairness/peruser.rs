@@ -51,8 +51,7 @@ impl UserFairness {
 /// Folds a schedule and its FST report into per-user aggregates, sorted by
 /// descending processor-seconds (heaviest consumers first).
 pub fn per_user(schedule: &Schedule, fairness: &FstReport) -> Vec<UserFairness> {
-    let miss_by_id: HashMap<_, _> =
-        fairness.entries.iter().map(|e| (e.id, e.miss())).collect();
+    let miss_by_id: HashMap<_, _> = fairness.entries.iter().map(|e| (e.id, e.miss())).collect();
     let mut acc: HashMap<UserId, UserFairness> = HashMap::new();
     for r in &schedule.records {
         let entry = acc.entry(r.user).or_insert(UserFairness {
@@ -83,7 +82,9 @@ pub fn per_user(schedule: &Schedule, fairness: &FstReport) -> Vec<UserFairness> 
         })
         .collect();
     out.sort_by(|a, b| {
-        b.proc_seconds.total_cmp(&a.proc_seconds).then(a.user.cmp(&b.user))
+        b.proc_seconds
+            .total_cmp(&a.proc_seconds)
+            .then(a.user.cmp(&b.user))
     });
     out
 }
@@ -112,13 +113,13 @@ pub fn heavy_vs_light_miss(users: &[UserFairness], heavy_fraction: f64) -> (f64,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fairness::fst::FstEntry;
     use crate::fairness::hybrid::HybridFstObserver;
     use fairsched_sim::{simulate, SimConfig};
-    use fairsched_workload::CplantModel;
-    use fairsched_workload::job::JobId;
-    use crate::fairness::fst::FstEntry;
     use fairsched_sim::{JobRecord, Schedule};
     use fairsched_workload::job::GroupId;
+    use fairsched_workload::job::JobId;
+    use fairsched_workload::CplantModel;
 
     fn record(id: u32, user: u32, nodes: u32, submit: u64, start: u64, end: u64) -> JobRecord {
         JobRecord {
@@ -134,6 +135,7 @@ mod tests {
             end,
             estimate: end - start,
             killed: false,
+            interrupted: false,
         }
     }
 
@@ -143,6 +145,8 @@ mod tests {
             records,
             waste_nodeseconds: 0.0,
             busy_nodeseconds: 0.0,
+            down_nodeseconds: 0.0,
+            lost_nodeseconds: 0.0,
             weekly_busy: vec![],
             min_start: 0,
             max_completion: 0,
@@ -154,14 +158,29 @@ mod tests {
     #[test]
     fn aggregates_group_by_user() {
         let s = schedule(vec![
-            record(1, 1, 2, 0, 0, 100),   // user 1: 200 proc-s
-            record(2, 1, 2, 0, 50, 150),  // user 1: 200 proc-s, wait 50
-            record(3, 2, 8, 0, 10, 110),  // user 2: 800 proc-s, wait 10
+            record(1, 1, 2, 0, 0, 100),  // user 1: 200 proc-s
+            record(2, 1, 2, 0, 50, 150), // user 1: 200 proc-s, wait 50
+            record(3, 2, 8, 0, 10, 110), // user 2: 800 proc-s, wait 10
         ]);
         let fairness = FstReport::new(vec![
-            FstEntry { id: JobId(1), nodes: 2, fst: 0, start: 0 },    // fair
-            FstEntry { id: JobId(2), nodes: 2, fst: 20, start: 50 },  // miss 30
-            FstEntry { id: JobId(3), nodes: 8, fst: 10, start: 10 },  // fair
+            FstEntry {
+                id: JobId(1),
+                nodes: 2,
+                fst: 0,
+                start: 0,
+            }, // fair
+            FstEntry {
+                id: JobId(2),
+                nodes: 2,
+                fst: 20,
+                start: 50,
+            }, // miss 30
+            FstEntry {
+                id: JobId(3),
+                nodes: 8,
+                fst: 10,
+                start: 10,
+            }, // fair
         ]);
         let users = per_user(&s, &fairness);
         // Sorted by proc-seconds: user 2 first.
@@ -186,10 +205,30 @@ mod tests {
             record(4, 4, 1, 0, 0, 100),   // light
         ]);
         let fairness = FstReport::new(vec![
-            FstEntry { id: JobId(1), nodes: 10, fst: 0, start: 0 },
-            FstEntry { id: JobId(2), nodes: 1, fst: 0, start: 40 },
-            FstEntry { id: JobId(3), nodes: 1, fst: 0, start: 80 },
-            FstEntry { id: JobId(4), nodes: 1, fst: 0, start: 0 },
+            FstEntry {
+                id: JobId(1),
+                nodes: 10,
+                fst: 0,
+                start: 0,
+            },
+            FstEntry {
+                id: JobId(2),
+                nodes: 1,
+                fst: 0,
+                start: 40,
+            },
+            FstEntry {
+                id: JobId(3),
+                nodes: 1,
+                fst: 0,
+                start: 80,
+            },
+            FstEntry {
+                id: JobId(4),
+                nodes: 1,
+                fst: 0,
+                start: 0,
+            },
         ]);
         let users = per_user(&s, &fairness);
         let (heavy, light) = heavy_vs_light_miss(&users, 0.25);

@@ -25,11 +25,7 @@ pub fn sabin_fsts(trace: &[Job], cfg: &SimConfig) -> HashMap<JobId, Time> {
 
 /// Computes scheduler-dependent FSTs for every `stride`-th job (1-in-stride
 /// systematic sample, deterministic).
-pub fn sabin_fsts_sampled(
-    trace: &[Job],
-    cfg: &SimConfig,
-    stride: usize,
-) -> HashMap<JobId, Time> {
+pub fn sabin_fsts_sampled(trace: &[Job], cfg: &SimConfig, stride: usize) -> HashMap<JobId, Time> {
     assert!(stride >= 1);
     sabin_fsts_for(trace, cfg, trace.iter().step_by(stride).map(|j| j.id))
 }
@@ -68,7 +64,12 @@ pub fn sabin_report(schedule: &Schedule, fsts: &HashMap<JobId, Time>) -> FstRepo
         .records
         .iter()
         .filter_map(|r| {
-            fsts.get(&r.id).map(|&fst| FstEntry { id: r.id, nodes: r.nodes, fst, start: r.start })
+            fsts.get(&r.id).map(|&fst| FstEntry {
+                id: r.id,
+                nodes: r.nodes,
+                fst,
+                start: r.start,
+            })
         })
         .collect();
     FstReport::new(entries)
@@ -100,7 +101,12 @@ mod tests {
         let fsts = sabin_fsts(&trace, &cfg());
         let schedule = simulate(&trace, &cfg(), &mut NullObserver);
         let last = trace.iter().max_by_key(|j| (j.submit, j.id)).unwrap();
-        let actual = schedule.records.iter().find(|r| r.id == last.id).unwrap().start;
+        let actual = schedule
+            .records
+            .iter()
+            .find(|r| r.id == last.id)
+            .unwrap()
+            .start;
         assert_eq!(fsts[&last.id], actual);
     }
 

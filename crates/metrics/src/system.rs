@@ -35,10 +35,7 @@ pub fn utilization_from_records(schedule: &Schedule) -> f64 {
 /// Offered load comes from the trace (submission-weighted); utilization from
 /// the schedule's exact weekly busy integral. The shorter series is padded
 /// with zeros.
-pub fn weekly_load_and_utilization(
-    offered: &[f64],
-    schedule: &Schedule,
-) -> Vec<(f64, f64)> {
+pub fn weekly_load_and_utilization(offered: &[f64], schedule: &Schedule) -> Vec<(f64, f64)> {
     let util = schedule.weekly_utilization();
     let weeks = offered.len().max(util.len());
     (0..weeks)
@@ -60,7 +57,11 @@ mod tests {
     use fairsched_workload::synthetic::random_trace;
 
     fn sim(trace: &[Job]) -> Schedule {
-        let cfg = SimConfig { nodes: 32, engine: EngineKind::NoGuarantee, ..Default::default() };
+        let cfg = SimConfig {
+            nodes: 32,
+            engine: EngineKind::NoGuarantee,
+            ..Default::default()
+        };
         simulate(trace, &cfg, &mut NullObserver)
     }
 

@@ -68,7 +68,10 @@ pub fn by_width(
 /// arrivals drain into an artificially emptying machine). All aggregate
 /// functions in this module compose with this filter.
 pub fn in_window(jobs: &[OriginalOutcome], from: Time, to: Time) -> Vec<OriginalOutcome> {
-    jobs.iter().filter(|o| o.submit >= from && o.submit < to).copied().collect()
+    jobs.iter()
+        .filter(|o| o.submit >= from && o.submit < to)
+        .copied()
+        .collect()
 }
 
 /// Per-job turnaround values (seconds) — the raw series behind the
@@ -107,6 +110,7 @@ mod tests {
             executed: end - start,
             chunks: 1,
             killed: false,
+            interrupted: false,
         }
     }
 
@@ -146,9 +150,9 @@ mod tests {
     #[test]
     fn by_width_buckets_independently() {
         let jobs = vec![
-            outcome(1, 1, 0, 0, 100),    // width bucket 0
-            outcome(2, 1, 0, 0, 300),    // width bucket 0
-            outcome(3, 16, 0, 0, 1000),  // width bucket 4 (9-16)
+            outcome(1, 1, 0, 0, 100),   // width bucket 0
+            outcome(2, 1, 0, 0, 300),   // width bucket 0
+            outcome(3, 16, 0, 0, 1000), // width bucket 4 (9-16)
         ];
         let t = turnaround_by_width(&jobs);
         assert!((t[0] - 200.0).abs() < 1e-12);

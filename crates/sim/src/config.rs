@@ -1,6 +1,7 @@
 //! Simulator configuration: machine size, fairshare decay, kill policy,
 //! runtime limits, starvation queue, and engine selection.
 
+use crate::faults::FaultConfig;
 use fairsched_workload::time::{Time, DAY, HOUR};
 
 /// Which backfilling engine drives the schedule.
@@ -62,7 +63,10 @@ pub struct FairshareConfig {
 
 impl Default for FairshareConfig {
     fn default() -> Self {
-        FairshareConfig { decay_interval: DAY, decay_factor: 0.5 }
+        FairshareConfig {
+            decay_interval: DAY,
+            decay_factor: 0.5,
+        }
     }
 }
 
@@ -92,7 +96,10 @@ pub struct StarvationConfig {
 
 impl Default for StarvationConfig {
     fn default() -> Self {
-        StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None }
+        StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        }
     }
 }
 
@@ -165,6 +172,10 @@ pub struct SimConfig {
     /// mechanism behind Figure 3's post-burst lulls. `None` (the default)
     /// replays the trace open-loop, exactly as the paper's simulator does.
     pub user_concurrency: Option<u32>,
+    /// Fault injection: seeded node outages and job crashes, plus the
+    /// resilience policy for crashed work. The default injects nothing and
+    /// is guaranteed byte-identical to a fault-free run.
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -179,6 +190,7 @@ impl Default for SimConfig {
             runtime_limit: None,
             allocation: AllocationModel::Counting,
             user_concurrency: None,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -187,7 +199,10 @@ impl SimConfig {
     /// The original CPlant configuration: fairshare order, no-guarantee
     /// backfilling support structures, 24 h starvation entry, lazy kill.
     pub fn cplant_baseline(nodes: u32) -> Self {
-        SimConfig { nodes, ..Default::default() }
+        SimConfig {
+            nodes,
+            ..Default::default()
+        }
     }
 }
 

@@ -17,6 +17,7 @@
 
 use crate::config::{EngineKind, QueueOrder, StarvationConfig};
 use crate::fairshare::FairshareTracker;
+use crate::faults::Outage;
 use crate::profile::Profile;
 use crate::starvation::starving_jobs;
 use crate::state::{priority_order, QueuedJob, RunningJob};
@@ -42,6 +43,11 @@ pub struct EngineCtx<'a> {
     pub order: QueueOrder,
     /// Starvation-queue configuration, if the policy has one.
     pub starvation: Option<&'a StarvationConfig>,
+    /// Nodes currently down for repair. Already excluded from
+    /// `free_nodes`; engines that plan into the future must additionally
+    /// treat each as a 1-node occupant until its repair time, or their
+    /// reservations would assume capacity that does not exist yet.
+    pub outages: &'a [Outage],
 }
 
 impl EngineCtx<'_> {
@@ -125,12 +131,18 @@ fn aggressive_reservation(
     for &(end, n) in ends.iter() {
         avail += n;
         if avail >= nodes {
-            return Reservation { shadow: end.max(now), extra: avail - nodes };
+            return Reservation {
+                shadow: end.max(now),
+                extra: avail - nodes,
+            };
         }
     }
     // Wider than the machine is rejected upstream; this is unreachable for
     // valid traces, but degrade gracefully.
-    Reservation { shadow: Time::MAX / 4, extra: 0 }
+    Reservation {
+        shadow: Time::MAX / 4,
+        extra: 0,
+    }
 }
 
 /// Whether a candidate backfill respects an aggressive reservation.
@@ -153,17 +165,18 @@ fn respects(job: &QueuedJob, now: Time, res: Option<&mut Reservation>) -> bool {
 /// Greedy backfilling pass shared by the no-guarantee and EASY engines:
 /// walk `order` (indices into `ctx.queue`), starting everything that fits
 /// and respects the reservation guarding `guard_idx` (if any).
-fn greedy_pass(
-    ctx: &EngineCtx<'_>,
-    order: &[usize],
-    guard_idx: Option<usize>,
-) -> Vec<JobId> {
+fn greedy_pass(ctx: &EngineCtx<'_>, order: &[usize], guard_idx: Option<usize>) -> Vec<JobId> {
     let mut free = ctx.free_nodes;
     let mut starts = Vec::new();
 
     // Estimated ends of running work, for the reservation computation.
-    let mut ends: Vec<(Time, u32)> =
-        ctx.running.iter().map(|r| (r.estimated_end(ctx.now), r.nodes)).collect();
+    // Down nodes count as 1-node occupants until their repair completes.
+    let mut ends: Vec<(Time, u32)> = ctx
+        .running
+        .iter()
+        .map(|r| (r.estimated_end(ctx.now), r.nodes))
+        .collect();
+    ends.extend(ctx.outages.iter().map(|o| (o.until.max(ctx.now + 1), 1)));
 
     let mut reservation = None;
     let mut guarded_job = None;
@@ -234,7 +247,10 @@ impl ConservativeEngine {
     /// `dynamic = false` for §5.3 (keep-unless-better), `true` for §5.4
     /// (rebuild every event).
     pub fn new(dynamic: bool) -> Self {
-        ConservativeEngine { dynamic, reservations: HashMap::new() }
+        ConservativeEngine {
+            dynamic,
+            reservations: HashMap::new(),
+        }
     }
 
     /// Whether dynamic reservations are on.
@@ -247,11 +263,16 @@ impl ConservativeEngine {
         self.reservations.get(&id).copied()
     }
 
-    /// Profile of running work only (estimate-based).
+    /// Profile of running work (estimate-based) plus capacity lost to node
+    /// outages: failed nodes step the available capacity down until their
+    /// repair time, so reservations never assume them.
     fn running_profile(&self, ctx: &EngineCtx<'_>) -> Profile {
         let mut p = Profile::new(ctx.total_nodes);
         for r in ctx.running {
             p.add(ctx.now, r.estimated_end(ctx.now) - ctx.now, r.nodes);
+        }
+        for o in ctx.outages {
+            p.block_until(ctx.now, o.until, 1);
         }
         p
     }
@@ -279,12 +300,22 @@ impl ConservativeEngine {
         // earliest fit below.
         let far = Time::MAX / 4;
         for job in ctx.queue {
-            let start = self.reservations.get(&job.id).copied().unwrap_or(far).max(ctx.now);
+            let start = self
+                .reservations
+                .get(&job.id)
+                .copied()
+                .unwrap_or(far)
+                .max(ctx.now);
             profile.add(start, job.estimate, job.nodes);
         }
         for &i in &ctx.priority() {
             let job = &ctx.queue[i];
-            let old = self.reservations.get(&job.id).copied().unwrap_or(far).max(ctx.now);
+            let old = self
+                .reservations
+                .get(&job.id)
+                .copied()
+                .unwrap_or(far)
+                .max(ctx.now);
             profile.remove(old, job.estimate, job.nodes);
             let fresh = profile.earliest_start(ctx.now, job.nodes, job.estimate);
             let chosen = fresh.min(old);
@@ -308,7 +339,9 @@ impl Engine for ConservativeEngine {
             // Skip the arriving job itself, and any sibling that has not
             // been reserved yet (simultaneous arrivals are delivered one at
             // a time; the unreserved sibling's own on_arrival follows).
-            let Some(&start) = self.reservations.get(&q.id) else { continue };
+            let Some(&start) = self.reservations.get(&q.id) else {
+                continue;
+            };
             if q.id == job.id {
                 continue;
             }
@@ -373,6 +406,9 @@ impl Engine for DepthEngine {
         for r in ctx.running {
             profile.add(ctx.now, r.estimated_end(ctx.now) - ctx.now, r.nodes);
         }
+        for o in ctx.outages {
+            profile.block_until(ctx.now, o.until, 1);
+        }
         let mut free = ctx.free_nodes;
         let mut starts = Vec::new();
         for (rank, &i) in ctx.priority().iter().enumerate() {
@@ -402,7 +438,13 @@ mod tests {
     use fairsched_workload::time::HOUR;
 
     fn queued(id: u32, user: u32, nodes: u32, estimate: Time, arrival: Time) -> QueuedJob {
-        QueuedJob { id: JobId(id), user: UserId(user), nodes, estimate, arrival }
+        QueuedJob {
+            id: JobId(id),
+            user: UserId(user),
+            nodes,
+            estimate,
+            arrival,
+        }
     }
 
     fn running(id: u32, nodes: u32, start: Time, estimate: Time) -> RunningJob {
@@ -434,6 +476,7 @@ mod tests {
             fairshare,
             order: QueueOrder::Fairshare,
             starvation,
+            outages: &[],
         }
     }
 
@@ -477,7 +520,10 @@ mod tests {
         let runners = vec![running(90, 6, 0, 1000)];
         // Wide job has starved (arrived at 0, now 24h later).
         let now = 24 * HOUR;
-        let cfg = StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None };
+        let cfg = StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        };
         let long_estimate = 2000 * HOUR; // would delay the shadow
         let queue = vec![
             queued(1, 1, 8, 100, 0),             // starving, wide
@@ -507,13 +553,16 @@ mod tests {
         let fs = fs();
         let runners = vec![running(90, 6, 0, 1000)];
         let now = 24 * HOUR;
-        let cfg = StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None };
+        let cfg = StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        };
         // Runner end estimate: started at 0 with estimate 1000 → overdue,
         // estimated end = now + 1. Use a fresh runner instead.
         let runners2 = vec![running(90, 6, now, 1000)];
         drop(runners);
         let queue = vec![
-            queued(1, 1, 8, 100, 0), // starving head
+            queued(1, 1, 8, 100, 0),   // starving head
             queued(2, 2, 4, 500, now), // ends before shadow (now+1000)
         ];
         let mut engine = NoGuaranteeEngine;
@@ -525,7 +574,10 @@ mod tests {
     fn starving_head_starts_when_it_fits() {
         let fs = fs();
         let now = 24 * HOUR;
-        let cfg = StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None };
+        let cfg = StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        };
         let queue = vec![queued(1, 1, 8, 100, 0), queued(2, 2, 2, 100, now)];
         let mut engine = NoGuaranteeEngine;
         let c = ctx(now, 10, &[], &queue, &fs, Some(&cfg));
@@ -540,8 +592,8 @@ mod tests {
         fs.charge(UserId(1), 1e9);
         let runners = vec![running(90, 6, 0, 1000)];
         let queue = vec![
-            queued(1, 1, 2, 50, 0),   // low priority, fits
-            queued(2, 2, 8, 100, 5),  // priority head, needs 8 (4 free)
+            queued(1, 1, 2, 50, 0),  // low priority, fits
+            queued(2, 2, 8, 100, 5), // priority head, needs 8 (4 free)
         ];
         let mut engine = EasyEngine;
         let c = ctx(10, 10, &runners, &queue, &fs, None);
@@ -755,10 +807,81 @@ mod tests {
     }
 
     #[test]
+    fn conservative_reservations_respect_node_outages() {
+        let fs = fs();
+        // 10-node machine, empty, but 4 nodes are down until t = 1000: an
+        // 8-node job cannot be promised anything before the repairs land.
+        let outages: Vec<Outage> = (0..4).map(|seq| Outage { seq, until: 1000 }).collect();
+        let queue = vec![queued(1, 1, 8, 100, 10)];
+        let c = EngineCtx {
+            now: 10,
+            free_nodes: 6,
+            total_nodes: 10,
+            running: &[],
+            queue: &queue,
+            fairshare: &fs,
+            order: QueueOrder::Fairshare,
+            starvation: None,
+            outages: &outages,
+        };
+        let mut engine = ConservativeEngine::new(false);
+        engine.on_arrival(&queue[0], &c);
+        assert_eq!(engine.reservation(JobId(1)), Some(1000));
+        assert!(engine.select_starts(&c).is_empty());
+    }
+
+    #[test]
+    fn greedy_guard_shadow_accounts_for_outages() {
+        let fs = fs();
+        // Starving 8-node head; 4 nodes down until t well past any backfill
+        // window plus 2 running until 1000. free = 4.
+        let now = 24 * HOUR;
+        let cfg = StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        };
+        let runners = vec![running(90, 2, now, 1000)];
+        let outages: Vec<Outage> = (0..4)
+            .map(|seq| Outage {
+                seq,
+                until: now + 50_000,
+            })
+            .collect();
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),      // starving head: 8 > 4 free
+            queued(2, 2, 4, 40_000, now), // would end before the repairs
+            queued(3, 3, 4, 60_000, now), // would delay the head
+        ];
+        let c = EngineCtx {
+            now,
+            free_nodes: 4,
+            total_nodes: 10,
+            running: &runners,
+            queue: &queue,
+            fairshare: &fs,
+            order: QueueOrder::Fairshare,
+            starvation: Some(&cfg),
+            outages: &outages,
+        };
+        let mut engine = NoGuaranteeEngine;
+        // Head needs 8: free 4 + 2 at now+1000 = 6, + repairs at now+50000
+        // reach 10 → shadow = now+50000, extra = 2. Job 2 (ends now+40000
+        // ≤ shadow) backfills; job 3 (ends past the shadow, 4 > extra)
+        // must not.
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
     fn reservation_math_for_aggressive_guard() {
         let mut ends = vec![(500, 3), (200, 3)];
         let r = aggressive_reservation(8, 4, 0, &mut ends);
         // free 4 + 3 at 200 = 7 < 8; + 3 at 500 = 10 ≥ 8 → shadow 500, extra 2.
-        assert_eq!(r, Reservation { shadow: 500, extra: 2 });
+        assert_eq!(
+            r,
+            Reservation {
+                shadow: 500,
+                extra: 2
+            }
+        );
     }
 }

@@ -12,14 +12,28 @@ use std::collections::BinaryHeap;
 /// What happens at an event.
 ///
 /// The discriminant order is the processing order at equal times:
-/// completions free capacity before kills are considered, kills before new
-/// arrivals see the machine, and arrivals last.
+/// completions free capacity before kills are considered, kills before
+/// fault events touch the machine, and arrivals see the final state last.
+/// The fault kinds sort *between* the pre-existing kinds and `Arrival`, so
+/// a run with fault injection disabled pops the exact same sequence as one
+/// built before the fault kinds existed — the zero-diff guarantee that
+/// `FaultConfig::default()` tests rely on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A running job's (possibly revised) completion instant.
     Completion,
     /// A running job reaches its wall-clock limit.
     WclExpiry,
+    /// A failed node comes back from repair. The event's `job` field holds
+    /// the outage sequence number, not a job id.
+    NodeUp,
+    /// A node fails. The event's `job` field holds the outage sequence
+    /// number, not a job id; the victim node is chosen when the event is
+    /// processed. Repairs sort before failures so a repair and a failure at
+    /// the same instant cannot transiently exceed machine capacity.
+    NodeDown,
+    /// A running job crashes mid-run (software fault, not a node loss).
+    JobCrash,
     /// A job enters the queue.
     Arrival,
 }
@@ -29,7 +43,10 @@ impl EventKind {
         match self {
             EventKind::Completion => 0,
             EventKind::WclExpiry => 1,
-            EventKind::Arrival => 2,
+            EventKind::NodeUp => 2,
+            EventKind::NodeDown => 3,
+            EventKind::JobCrash => 4,
+            EventKind::Arrival => 5,
         }
     }
 }
@@ -47,11 +64,7 @@ pub struct Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        (self.time, self.kind.rank(), self.job.0).cmp(&(
-            other.time,
-            other.kind.rank(),
-            other.job.0,
-        ))
+        (self.time, self.kind.rank(), self.job.0).cmp(&(other.time, other.kind.rank(), other.job.0))
     }
 }
 
@@ -75,7 +88,9 @@ pub struct EventQueue {
 impl EventQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new() }
+        EventQueue {
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// Schedules an event.
@@ -109,7 +124,11 @@ mod tests {
     use super::*;
 
     fn ev(time: Time, kind: EventKind, job: u32) -> Event {
-        Event { time, kind, job: JobId(job) }
+        Event {
+            time,
+            kind,
+            job: JobId(job),
+        }
     }
 
     #[test]
@@ -131,6 +150,29 @@ mod tests {
         assert_eq!(q.pop(), Some(ev(10, EventKind::Completion, 2)));
         assert_eq!(q.pop(), Some(ev(10, EventKind::WclExpiry, 3)));
         assert_eq!(q.pop(), Some(ev(10, EventKind::Arrival, 1)));
+    }
+
+    #[test]
+    fn fault_kinds_sort_between_kills_and_arrivals() {
+        let mut q = EventQueue::new();
+        q.push(10, EventKind::Arrival, JobId(1));
+        q.push(10, EventKind::JobCrash, JobId(2));
+        q.push(10, EventKind::NodeDown, JobId(3));
+        q.push(10, EventKind::NodeUp, JobId(4));
+        q.push(10, EventKind::WclExpiry, JobId(5));
+        q.push(10, EventKind::Completion, JobId(6));
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Completion,
+                EventKind::WclExpiry,
+                EventKind::NodeUp,
+                EventKind::NodeDown,
+                EventKind::JobCrash,
+                EventKind::Arrival,
+            ]
+        );
     }
 
     #[test]

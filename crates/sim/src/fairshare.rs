@@ -24,7 +24,11 @@ pub struct FairshareTracker {
 impl FairshareTracker {
     /// A tracker starting at time 0 with all usage zero.
     pub fn new(config: FairshareConfig) -> Self {
-        FairshareTracker { config, usage: HashMap::new(), last: 0 }
+        FairshareTracker {
+            config,
+            usage: HashMap::new(),
+            last: 0,
+        }
     }
 
     /// The configuration in force.
@@ -103,7 +107,10 @@ mod tests {
     use fairsched_workload::time::{DAY, HOUR};
 
     fn tracker(factor: f64) -> FairshareTracker {
-        FairshareTracker::new(FairshareConfig { decay_interval: DAY, decay_factor: factor })
+        FairshareTracker::new(FairshareConfig {
+            decay_interval: DAY,
+            decay_factor: factor,
+        })
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Deterministic fault injection: node outages and mid-run job crashes.
+//!
+//! The paper's simulations assume a perfectly reliable machine. Real Cplant
+//! installations were not: nodes failed, were repaired, and running jobs
+//! died with them. This module adds a *seeded, reproducible* failure layer
+//! so the fairness policies can be compared under degraded capacity — the
+//! same (trace, config, fault seed) triple always produces the same
+//! schedule, which keeps the determinism property tests meaningful.
+//!
+//! Design constraints:
+//!
+//! * **Zero-diff when disabled.** [`FaultConfig::default()`] injects
+//!   nothing; the simulator pushes no fault events and every schedule is
+//!   byte-identical to the pre-fault code path.
+//! * **Schedule-independent failure times.** Node failures are drawn as a
+//!   machine-wide Poisson process with constant rate `nodes / mtbf` from a
+//!   dedicated RNG stream. The *times* therefore depend only on the seed,
+//!   never on what the scheduler did; only the *victim* (drawn from a
+//!   second stream when the failure fires) is state-dependent. This is an
+//!   approximation — already-down nodes keep "generating" failure pressure
+//!   — but it buys reproducibility across policies: every policy sees the
+//!   same outage timeline.
+//! * **Replayable crash decisions.** Whether a given submission crashes,
+//!   and when, is a pure function of `(seed, origin job, chunk index)`, so
+//!   a job requeued after a node loss re-rolls its crash fate exactly the
+//!   same way on every run.
+
+use fairsched_workload::job::JobId;
+use fairsched_workload::time::{Time, HOUR};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What happens to the work a crashed job had already done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResiliencePolicy {
+    /// The job re-enters the queue and starts over; executed node-seconds
+    /// are lost (and the fairshare usage already charged stays charged —
+    /// users pay for their bad luck, as Cplant's accounting did).
+    RequeueFromScratch,
+    /// The interrupted submission is treated as an implicit checkpoint:
+    /// the remainder re-enters the queue as a continuation chunk via the
+    /// same chain machinery that splits jobs at the 72 h runtime limit
+    /// (§5.1), so pre-failure work is retained.
+    ChunkResume,
+}
+
+/// Uniform repair-time window for a failed node, inclusive of both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairTime {
+    /// Shortest repair, seconds.
+    pub min: Time,
+    /// Longest repair, seconds.
+    pub max: Time,
+}
+
+impl Default for RepairTime {
+    /// One to eight hours, loosely modelled on hands-on node swap times.
+    fn default() -> Self {
+        RepairTime {
+            min: HOUR,
+            max: 8 * HOUR,
+        }
+    }
+}
+
+/// Fault-injection parameters. The default injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Per-node mean time between failures, seconds. `None` disables node
+    /// outages entirely. The machine-wide failure rate is
+    /// `nodes / node_mtbf`.
+    pub node_mtbf: Option<Time>,
+    /// Repair-time distribution for failed nodes.
+    pub repair: RepairTime,
+    /// Probability that any given submission crashes somewhere strictly
+    /// inside its run, independent of node outages. `0.0` disables.
+    pub job_crash_rate: f64,
+    /// How crashed jobs are recovered.
+    pub resilience: ResiliencePolicy,
+    /// Seed for every fault RNG stream. Distinct from the trace seed so
+    /// failure scenarios can be varied while holding the workload fixed.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            node_mtbf: None,
+            repair: RepairTime::default(),
+            job_crash_rate: 0.0,
+            resilience: ResiliencePolicy::RequeueFromScratch,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether any fault source is active.
+    pub fn enabled(&self) -> bool {
+        self.node_mtbf.is_some() || self.job_crash_rate > 0.0
+    }
+
+    /// Rejects self-contradictory parameters: zero MTBF, an inverted repair
+    /// window, or a crash rate outside `[0, 1)` — a rate of exactly 1 would
+    /// crash every resubmission forever and the simulation could not
+    /// terminate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node_mtbf == Some(0) {
+            return Err("node_mtbf must be positive".into());
+        }
+        if self.repair.min == 0 || self.repair.min > self.repair.max {
+            return Err(format!(
+                "repair window [{}, {}] must satisfy 0 < min <= max",
+                self.repair.min, self.repair.max
+            ));
+        }
+        if !(0.0..1.0).contains(&self.job_crash_rate) {
+            return Err(format!(
+                "job_crash_rate {} outside [0, 1)",
+                self.job_crash_rate
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A node currently down, as the scheduling engines see it: one node,
+/// unavailable until `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Monotone outage sequence number; doubles as the event tie-breaker
+    /// (it rides in the event's `job` field).
+    pub seq: u32,
+    /// Absolute repair completion time.
+    pub until: Time,
+}
+
+/// A node failure the simulator has scheduled but not yet processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// When the node goes down.
+    pub time: Time,
+    /// Outage sequence number (event tie-breaker and repair key).
+    pub seq: u32,
+    /// Repair duration, drawn together with the failure time so the outage
+    /// timeline is independent of simulation state.
+    pub repair: Time,
+}
+
+/// The seeded fault generator. One per simulation run.
+///
+/// Three independent ChaCha streams are derived from the seed: one for the
+/// outage timeline (inter-failure gaps + repair durations), one for victim
+/// selection, and a fresh per-submission stream for crash decisions. Keeping
+/// them separate means the outage timeline never shifts when the scheduler
+/// (and hence the victim population) changes.
+#[derive(Debug)]
+pub struct FaultModel {
+    mtbf: Option<Time>,
+    repair: RepairTime,
+    crash_rate: f64,
+    seed: u64,
+    nodes: u32,
+    outage_rng: ChaCha8Rng,
+    victim_rng: ChaCha8Rng,
+    next_seq: u32,
+}
+
+/// Stream-separation constants, arbitrary odd values.
+const OUTAGE_STREAM: u64 = 0x9d5c_f0b1_1f0a_d001;
+const VICTIM_STREAM: u64 = 0x9d5c_f0b1_1f0a_d003;
+const CRASH_STREAM: u64 = 0x9d5c_f0b1_1f0a_d005;
+
+impl FaultModel {
+    /// A model for a `nodes`-node machine. `cfg` must already be validated.
+    pub fn new(cfg: &FaultConfig, nodes: u32) -> Self {
+        FaultModel {
+            mtbf: cfg.node_mtbf,
+            repair: cfg.repair,
+            crash_rate: cfg.job_crash_rate,
+            seed: cfg.seed,
+            nodes,
+            outage_rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ OUTAGE_STREAM),
+            victim_rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ VICTIM_STREAM),
+            next_seq: 0,
+        }
+    }
+
+    /// Draws the next node failure strictly after `after`, or `None` when
+    /// node outages are disabled. Exponential inter-arrival with mean
+    /// `mtbf / nodes`, rounded up to at least one second; the repair
+    /// duration is drawn from the same stream at the same moment.
+    pub fn next_failure(&mut self, after: Time) -> Option<Failure> {
+        let mtbf = self.mtbf?;
+        let mean = mtbf as f64 / self.nodes.max(1) as f64;
+        let u: f64 = self.outage_rng.gen();
+        // u is in [0, 1); 1 - u is in (0, 1], so ln() is finite and <= 0.
+        let gap = (-mean * (1.0 - u).ln()).ceil().max(1.0);
+        let gap = if gap >= Time::MAX as f64 {
+            Time::MAX - after
+        } else {
+            gap as Time
+        };
+        let repair = self.outage_rng.gen_range(self.repair.min..=self.repair.max);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(Failure {
+            time: after.saturating_add(gap),
+            seq,
+            repair,
+        })
+    }
+
+    /// Picks which of the `functional` currently-up nodes a failure hits,
+    /// uniformly. The caller maps the index onto idle nodes first, then
+    /// running jobs in a deterministic order.
+    pub fn pick_victim(&mut self, functional: u32) -> u32 {
+        debug_assert!(functional > 0);
+        self.victim_rng.gen_range(0..functional)
+    }
+
+    /// Whether (and when, as an offset in `1..runtime`) the submission for
+    /// `(origin, chunk_index)` crashes, given it would otherwise run for
+    /// `runtime` seconds. Pure in `(seed, origin, chunk_index)`: requeued
+    /// and resumed chunks get fresh, but replayable, rolls.
+    pub fn crash_point(&self, origin: JobId, chunk_index: usize, runtime: Time) -> Option<Time> {
+        if self.crash_rate <= 0.0 || runtime < 2 {
+            return None;
+        }
+        let key = (origin.0 as u64) << 32 | (chunk_index as u64 & 0xffff_ffff);
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ CRASH_STREAM ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        if !rng.gen_bool(self.crash_rate) {
+            return None;
+        }
+        Some(rng.gen_range(1..runtime))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_cfg() -> FaultConfig {
+        FaultConfig {
+            node_mtbf: Some(30 * 24 * HOUR),
+            job_crash_rate: 0.05,
+            seed: 7,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_is_disabled_and_valid() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.enabled());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let mut cfg = FaultConfig {
+            node_mtbf: Some(0),
+            ..FaultConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.node_mtbf = None;
+        cfg.job_crash_rate = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.job_crash_rate = 1.0;
+        assert!(cfg.validate().is_err(), "certain crash can never terminate");
+        cfg.job_crash_rate = 0.0;
+        cfg.repair = RepairTime { min: 10, max: 5 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn failure_timeline_is_reproducible_and_monotone() {
+        let cfg = enabled_cfg();
+        let mut a = FaultModel::new(&cfg, 128);
+        let mut b = FaultModel::new(&cfg, 128);
+        let mut t = 0;
+        for expect_seq in 0..50 {
+            let fa = a.next_failure(t).unwrap();
+            let fb = b.next_failure(t).unwrap();
+            assert_eq!(fa, fb);
+            assert!(fa.time > t);
+            assert_eq!(fa.seq, expect_seq);
+            assert!((cfg.repair.min..=cfg.repair.max).contains(&fa.repair));
+            t = fa.time;
+        }
+    }
+
+    #[test]
+    fn failure_gaps_track_machine_rate() {
+        let cfg = enabled_cfg();
+        let mtbf = cfg.node_mtbf.unwrap();
+        let nodes = 128;
+        let mut model = FaultModel::new(&cfg, nodes);
+        let n = 2000;
+        let mut t = 0;
+        for _ in 0..n {
+            t = model.next_failure(t).unwrap().time;
+        }
+        let mean_gap = t as f64 / n as f64;
+        let expected = mtbf as f64 / nodes as f64;
+        assert!(
+            (mean_gap / expected - 1.0).abs() < 0.1,
+            "mean gap {mean_gap} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn disabled_mtbf_yields_no_failures() {
+        let cfg = FaultConfig {
+            job_crash_rate: 0.5,
+            seed: 3,
+            ..FaultConfig::default()
+        };
+        let mut model = FaultModel::new(&cfg, 64);
+        assert_eq!(model.next_failure(0), None);
+    }
+
+    #[test]
+    fn victims_cover_the_functional_range() {
+        let cfg = enabled_cfg();
+        let mut model = FaultModel::new(&cfg, 16);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = model.pick_victim(4);
+            assert!(v < 4);
+            seen[v as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "uniform victim draw should hit every node"
+        );
+    }
+
+    #[test]
+    fn crash_point_is_pure_and_inside_the_run() {
+        let cfg = FaultConfig {
+            job_crash_rate: 0.5,
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let model = FaultModel::new(&cfg, 64);
+        let other = FaultModel::new(&cfg, 64);
+        let mut crashed = 0;
+        for id in 0..400u32 {
+            let p = model.crash_point(JobId(id), 0, 1000);
+            assert_eq!(p, other.crash_point(JobId(id), 0, 1000));
+            if let Some(dt) = p {
+                assert!((1..1000).contains(&dt));
+                crashed += 1;
+            }
+        }
+        // ~50% of 400; wide tolerance, just not degenerate.
+        assert!((100..300).contains(&crashed), "crashed {crashed} of 400");
+    }
+
+    #[test]
+    fn crash_rolls_differ_by_chunk_and_are_disabled_at_zero_rate() {
+        let cfg = FaultConfig {
+            job_crash_rate: 0.5,
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let model = FaultModel::new(&cfg, 64);
+        let rolls: Vec<_> = (0..32)
+            .map(|c| model.crash_point(JobId(1), c, 10_000))
+            .collect();
+        assert!(
+            rolls.iter().any(|r| r.is_some()) && rolls.iter().any(|r| r.is_none()),
+            "chunk index should vary the roll"
+        );
+        let off = FaultModel::new(&FaultConfig::default(), 64);
+        assert_eq!(off.crash_point(JobId(1), 0, 10_000), None);
+        // Runtime-1 jobs have no interior instant to crash at.
+        assert_eq!(model.crash_point(JobId(1), 0, 1), None);
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`config`] — machine size, queue order, fairshare decay, kill policy,
 //!   starvation queue, runtime limits, and engine selection;
 //! * [`event`] — the deterministic event queue (completions before expiries
-//!   before arrivals, ties by job id);
+//!   before fault events before arrivals, ties by job id);
+//! * [`faults`] — seeded, reproducible node outages and job crashes, plus
+//!   the resilience policies that decide what crashed work costs;
 //! * [`fairshare`] — the decaying per-user processor-second accumulator that
 //!   drives Sandia's queue priority;
 //! * [`engine`] — the scheduling engines: the original CPlant no-guarantee
@@ -28,12 +30,14 @@
 //!
 //! Determinism is a contract: equal (trace, config) inputs produce equal
 //! schedules, event ties are totally ordered, and nothing in this crate
-//! consults a clock or RNG.
+//! consults a clock. The only randomness is the seeded fault model, which
+//! is itself a pure function of the configured fault seed.
 
 pub mod config;
 pub mod engine;
 pub mod event;
 pub mod fairshare;
+pub mod faults;
 pub mod listsched;
 pub mod profile;
 pub mod simulator;
@@ -45,6 +49,10 @@ pub use config::{
     RuntimeLimit, SimConfig, StarvationConfig,
 };
 pub use fairshare::FairshareTracker;
+pub use faults::{FaultConfig, FaultModel, Outage, RepairTime, ResiliencePolicy};
 pub use listsched::NodeTimeline;
-pub use simulator::{simulate, JobRecord, OriginalOutcome, PlacementStats, QueueStats, Schedule};
+pub use simulator::{
+    simulate, try_simulate, JobRecord, OriginalOutcome, PlacementStats, QueueStats, Schedule,
+    SimError,
+};
 pub use state::{ArrivalView, NullObserver, Observer, QueuedJob, RunningJob};

@@ -73,12 +73,19 @@ impl NodeTimeline {
     /// nodes, no earlier than `floor`. Returns the job's start time and
     /// updates the claimed nodes' free times to `start + runtime`.
     pub fn place(&mut self, floor: Time, nodes: u32, runtime: Time) -> Time {
-        assert!(nodes >= 1 && nodes <= self.total, "width {nodes} invalid for machine {}", self.total);
+        assert!(
+            nodes >= 1 && nodes <= self.total,
+            "width {nodes} invalid for machine {}",
+            self.total
+        );
         let mut remaining = nodes;
         let mut start = floor;
         while remaining > 0 {
-            let (&t, &count) =
-                self.free_at.iter().next().expect("multiset always holds `total` nodes");
+            let (&t, &count) = self
+                .free_at
+                .iter()
+                .next()
+                .expect("multiset always holds `total` nodes");
             if count <= remaining {
                 self.free_at.remove(&t);
                 remaining -= count;
@@ -139,8 +146,8 @@ mod tests {
         let mut tl = NodeTimeline::all_free(10, 0);
         tl.place(0, 4, 100); // 4 nodes busy till 100
         tl.place(0, 6, 30); // 6 nodes busy till 30
-        // 8-node job needs nodes freed at 30 (6 of them) and at 100 (2):
-        // starts at 100.
+                            // 8-node job needs nodes freed at 30 (6 of them) and at 100 (2):
+                            // starts at 100.
         assert_eq!(tl.place(0, 8, 10), 100);
     }
 

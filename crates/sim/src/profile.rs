@@ -38,7 +38,10 @@ pub struct Profile {
 impl Profile {
     /// An empty profile for a `capacity`-node machine.
     pub fn new(capacity: u32) -> Self {
-        Profile { capacity, deltas: Vec::new() }
+        Profile {
+            capacity,
+            deltas: Vec::new(),
+        }
     }
 
     /// Machine capacity.
@@ -53,6 +56,15 @@ impl Profile {
         }
         self.apply(start, nodes as i64);
         self.apply(start + duration, -(nodes as i64));
+    }
+
+    /// Steps capacity down by `nodes` from `now` until `until` — how node
+    /// outages enter a planning profile. An overdue repair (`until <= now`)
+    /// still blocks for one second, mirroring how overdue running jobs are
+    /// treated, so the rectangle is never empty while the outage is live.
+    pub fn block_until(&mut self, now: Time, until: Time, nodes: u32) {
+        let end = until.max(now + 1);
+        self.add(now, end - now, nodes);
     }
 
     /// Removes a previously added rectangle (exact inverse of [`add`]).
@@ -80,7 +92,11 @@ impl Profile {
 
     /// Planned usage at time `t`.
     pub fn used_at(&self, t: Time) -> i64 {
-        self.deltas.iter().take_while(|&&(bt, _)| bt <= t).map(|&(_, d)| d).sum()
+        self.deltas
+            .iter()
+            .take_while(|&&(bt, _)| bt <= t)
+            .map(|&(_, d)| d)
+            .sum()
     }
 
     /// Earliest `start ≥ from` at which a `nodes`-wide, `duration`-long job
@@ -126,7 +142,11 @@ impl Profile {
         if candidate == Time::MAX {
             // Overfull through the last breakpoint — cannot happen when all
             // rectangles are finite, but be safe.
-            self.deltas.last().map(|&(t, _)| t).unwrap_or(from).max(from)
+            self.deltas
+                .last()
+                .map(|&(t, _)| t)
+                .unwrap_or(from)
+                .max(from)
         } else {
             candidate.max(from)
         }
@@ -168,7 +188,7 @@ mod tests {
     fn job_waits_for_capacity() {
         let mut p = Profile::new(10);
         p.add(0, 100, 8); // 2 free until t=100
-        // A 4-node job must wait until 100.
+                          // A 4-node job must wait until 100.
         assert_eq!(p.earliest_start(0, 4, 50), 100);
         // A 2-node job fits immediately.
         assert_eq!(p.earliest_start(0, 2, 50), 0);
@@ -179,7 +199,7 @@ mod tests {
         let mut p = Profile::new(10);
         p.add(0, 100, 8); // hole of 2 until 100
         p.add(200, 100, 8); // hole of 2 again during [200,300), full hole [100,200)
-        // 4-node 50-second job: the gap [100, 200) has 10 free.
+                            // 4-node 50-second job: the gap [100, 200) has 10 free.
         assert_eq!(p.earliest_start(0, 4, 50), 100);
         // 4-node 150-second job cannot finish before the [200,300) squeeze.
         assert_eq!(p.earliest_start(0, 4, 150), 300);
@@ -233,7 +253,7 @@ mod tests {
         let mut p = Profile::new(10);
         p.add(0, 10, 3);
         p.add(10, 10, 3); // continues seamlessly
-        // The +3/-3 at t=10 cancel: one contiguous usage region.
+                          // The +3/-3 at t=10 cancel: one contiguous usage region.
         assert_eq!(p.used_at(10), 3);
         assert_eq!(p.earliest_start(0, 8, 5), 20);
         // Internally the zero-delta breakpoint is dropped.

@@ -4,22 +4,31 @@
 //! [`simulate`] replays a trace under a [`SimConfig`] and produces a
 //! [`Schedule`]: one record per submission (chunk, when runtime limits are
 //! on), plus the exact loss-of-capacity and utilization integrals.
+//! [`try_simulate`] is the fallible entry point: trace/config validation
+//! and invariant violations come back as a typed [`SimError`] instead of a
+//! panic.
 //!
 //! Semantics, in event order at each instant: completions free capacity,
-//! wall-clock-limit expiries are considered, arrivals queue, then the
-//! scheduling engine runs (interleaved with the when-needed kill rule) until
-//! a fixpoint.
+//! wall-clock-limit expiries are considered, fault events (node repairs,
+//! node failures, job crashes) hit the machine, arrivals queue, then the
+//! scheduling engine runs (interleaved with the when-needed kill rule)
+//! until a fixpoint. Two invariants are checked after every event batch,
+//! always (not just in debug builds): no node is double-booked
+//! (`running + free + down == machine`), and at the end of the run the
+//! node-hour integrals conserve (`used + idle + down == capacity × time`).
 
 use crate::config::{AllocationModel, KillPolicy, SimConfig};
 use crate::engine::{make_engine, Engine, EngineCtx};
 use crate::event::{EventKind, EventQueue};
 use crate::fairshare::FairshareTracker;
+use crate::faults::{FaultModel, Outage, ResiliencePolicy};
 use crate::state::{ArrivalView, Observer, QueuedJob, RunningJob};
 use fairsched_cpa::alloc::AllocId;
 use fairsched_cpa::{frag, Allocator, CountingAllocator, LinearAllocator};
 use fairsched_workload::job::{GroupId, Job, JobId, UserId};
 use fairsched_workload::time::{Time, WEEK};
 use std::collections::HashMap;
+use std::fmt;
 
 /// One submission's fate. With runtime limits active, a long job appears as
 /// several records chained by [`JobRecord::origin`].
@@ -30,7 +39,10 @@ pub struct JobRecord {
     /// The original trace job this record belongs to (== `id` for
     /// standalone jobs and first chunks).
     pub origin: JobId,
-    /// 0 for standalone submissions; 1-based chunk number within a chain.
+    /// 0 for a first standalone submission; otherwise a 1-based,
+    /// per-origin monotone chunk number — runtime-limit chunks and
+    /// crash resubmissions share the counter, so `(origin, chunk_index)`
+    /// uniquely identifies a submission attempt.
     pub chunk_index: u32,
     /// Submitting user.
     pub user: UserId,
@@ -51,6 +63,9 @@ pub struct JobRecord {
     pub estimate: Time,
     /// Whether the scheduler killed it at/after its wall-clock limit.
     pub killed: bool,
+    /// Whether a fault (node failure or job crash) ended this submission
+    /// prematurely. Only set when fault injection is enabled.
+    pub interrupted: bool,
 }
 
 impl JobRecord {
@@ -92,6 +107,8 @@ pub struct OriginalOutcome {
     pub chunks: u32,
     /// Whether any chunk was killed.
     pub killed: bool,
+    /// Whether any chunk was ended by a fault.
+    pub interrupted: bool,
 }
 
 impl OriginalOutcome {
@@ -113,6 +130,12 @@ pub struct Schedule {
     pub waste_nodeseconds: f64,
     /// ∫ busy nodes dt, in node-seconds.
     pub busy_nodeseconds: f64,
+    /// ∫ down nodes dt, in node-seconds — capacity lost to node outages.
+    pub down_nodeseconds: f64,
+    /// Node-seconds of executed work discarded by crashes (nonzero only
+    /// under [`ResiliencePolicy::RequeueFromScratch`]; resumed chunks keep
+    /// their pre-failure work).
+    pub lost_nodeseconds: f64,
     /// Busy node-seconds binned by simulated week (for Figure 3's actual
     /// utilization).
     pub weekly_busy: Vec<f64>,
@@ -172,6 +195,17 @@ impl Schedule {
         self.busy_nodeseconds / denom
     }
 
+    /// Goodput: the fraction of capacity over the makespan that did work
+    /// which *counted* — busy node-seconds minus the ones a crash later
+    /// threw away. Equals [`Schedule::utilization`] on a fault-free run.
+    pub fn goodput(&self) -> f64 {
+        let denom = self.makespan() as f64 * self.nodes as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.busy_nodeseconds - self.lost_nodeseconds) / denom
+    }
+
     /// Loss of capacity per Equation 4.
     pub fn loss_of_capacity(&self) -> f64 {
         let denom = self.makespan() as f64 * self.nodes as f64;
@@ -198,6 +232,7 @@ impl Schedule {
                     o.executed += r.executed();
                     o.chunks += 1;
                     o.killed |= r.killed;
+                    o.interrupted |= r.interrupted;
                 })
                 .or_insert(OriginalOutcome {
                     origin: r.origin,
@@ -209,6 +244,7 @@ impl Schedule {
                     executed: r.executed(),
                     chunks: 1,
                     killed: r.killed,
+                    interrupted: r.interrupted,
                 });
         }
         let mut out: Vec<OriginalOutcome> = map.into_values().collect();
@@ -216,6 +252,86 @@ impl Schedule {
         out
     }
 }
+
+/// Why a simulation could not run (or could not be trusted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A trace job requests more nodes than the machine has.
+    TooWide {
+        /// The offending job.
+        job: JobId,
+        /// Its requested width.
+        nodes: u32,
+        /// The machine size.
+        machine: u32,
+    },
+    /// A trace job fails its own invariants (zero nodes/runtime/estimate).
+    InvalidTrace {
+        /// The offending job.
+        job: JobId,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The configuration is self-contradictory.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A runtime invariant broke mid-simulation — a simulator bug, caught
+    /// by the always-on observer rather than silently producing a corrupt
+    /// schedule.
+    InvariantViolation {
+        /// Simulated time of the detection.
+        at: Time,
+        /// What broke.
+        detail: String,
+    },
+    /// The fault configuration makes a job unable to ever finish — it was
+    /// resubmitted more times than any legitimate chunk chain could need
+    /// (e.g. a wide job whose nodes cannot all stay up for a whole chunk
+    /// at the configured MTBF), so the simulation would never terminate.
+    Diverged {
+        /// The origin job that kept being resubmitted.
+        job: JobId,
+        /// Submissions accumulated before the guard tripped.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Keep the legacy panic wording: callers match on "nodes on a".
+            SimError::TooWide {
+                job,
+                nodes,
+                machine,
+            } => {
+                write!(
+                    f,
+                    "{job} requests {nodes} nodes on a {machine}-node machine"
+                )
+            }
+            SimError::InvalidTrace { job, reason } => {
+                write!(f, "invalid trace job {job}: {reason}")
+            }
+            SimError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            SimError::InvariantViolation { at, detail } => {
+                write!(f, "invariant violation at t={at}: {detail}")
+            }
+            SimError::Diverged { job, attempts } => {
+                write!(
+                    f,
+                    "{job} was resubmitted {attempts} times without finishing; \
+                     the fault configuration (MTBF / crash rate) makes it \
+                     unable to complete"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A submission known to the simulator but not yet arrived.
 #[derive(Debug, Clone, Copy)]
@@ -241,6 +357,17 @@ struct ChainState {
     remaining_actual: Time,
     remaining_estimate: Time,
     next_chunk: u32,
+}
+
+/// Why a running job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cause {
+    /// Ran to its natural completion.
+    Finished,
+    /// Killed by the scheduler at/after its wall-clock limit.
+    Killed,
+    /// Ended by a fault (node failure or software crash).
+    Crashed,
 }
 
 /// A record under construction.
@@ -291,14 +418,15 @@ impl NodeBackend {
 
     fn place(&mut self, job: JobId, nodes: u32) {
         let allocation = match &mut self.kind {
-            BackendKind::Counting(a) => {
-                a.allocate(nodes).expect("scheduler start gate guarantees fit")
-            }
+            BackendKind::Counting(a) => a
+                .allocate(nodes)
+                .expect("scheduler start gate guarantees fit"),
             BackendKind::Linear(a) => {
                 // Sample fragmentation of the free space this job faced.
                 self.frag_sum += frag::external_fragmentation(&a.free_runs());
-                let allocation =
-                    a.allocate(nodes).expect("scheduler start gate guarantees fit");
+                let allocation = a
+                    .allocate(nodes)
+                    .expect("scheduler start gate guarantees fit");
                 self.allocations += 1;
                 self.compactness_sum += frag::compactness(&allocation.nodes);
                 let span = frag::span(&allocation.nodes);
@@ -313,7 +441,10 @@ impl NodeBackend {
     }
 
     fn release(&mut self, job: JobId) {
-        let id = self.ids.remove(&job).expect("running job holds an allocation");
+        let id = self
+            .ids
+            .remove(&job)
+            .expect("running job holds an allocation");
         match &mut self.kind {
             BackendKind::Counting(a) => a.release(id).expect("allocation is live"),
             BackendKind::Linear(a) => a.release(id).expect("allocation is live"),
@@ -358,9 +489,20 @@ struct Sim<'a> {
     in_system: HashMap<UserId, u32>,
     parked: HashMap<UserId, std::collections::VecDeque<JobId>>,
     next_id: u32,
+    // Fault injection: the seeded model, the count of nodes down, live
+    // outages (what the engines plan around), per-seq bookkeeping for
+    // scheduled failures and concrete down nodes (linear backend only).
+    faults: Option<FaultModel>,
+    down: u32,
+    outages: Vec<Outage>,
+    repairs: HashMap<u32, Time>,
+    outage_nodes: HashMap<u32, u32>,
     // Accounting integrals.
     waste: f64,
     busy: f64,
+    idle_integral: f64,
+    down_integral: f64,
+    lost: f64,
     weekly_busy: Vec<f64>,
     min_start: Time,
     max_completion: Time,
@@ -370,7 +512,17 @@ struct Sim<'a> {
     observed_span: f64,
     max_queued_jobs: usize,
     max_queued_demand: u64,
+    // Set when a job crosses [`MAX_SUBMISSIONS_PER_ORIGIN`]; surfaced as a
+    // typed error by the next invariant check instead of looping forever.
+    diverged: Option<SimError>,
 }
+
+/// Resubmission cap per original job. Legitimate chunk chains stay far
+/// below this (an 82-year job at the 72 h limit would be the first to
+/// reach it); only a fault configuration under which a job cannot finish
+/// between interruptions can cross it, and such a simulation would
+/// otherwise run — and allocate — forever.
+const MAX_SUBMISSIONS_PER_ORIGIN: u32 = 10_000;
 
 /// Runs the simulation. Panics if any job is wider than the machine (traces
 /// must be generated for, or filtered to, the configured size).
@@ -391,24 +543,48 @@ struct Sim<'a> {
 /// assert_eq!(schedule.makespan(), 150);
 /// ```
 pub fn simulate(trace: &[Job], cfg: &SimConfig, observer: &mut dyn Observer) -> Schedule {
-    for job in trace {
-        assert!(
-            job.nodes <= cfg.nodes,
-            "{} requests {} nodes on a {}-node machine",
-            job.id,
-            job.nodes,
-            cfg.nodes
-        );
-        job.validate().expect("trace must be valid");
+    match try_simulate(trace, cfg, observer) {
+        Ok(schedule) => schedule,
+        Err(e) => panic!("{e}"),
     }
+}
 
-    if let Some(cap) = cfg.user_concurrency {
-        assert!(cap >= 1, "user_concurrency must be at least 1");
+/// Fallible entry point: like [`simulate`], but trace/config problems and
+/// mid-run invariant violations come back as a typed [`SimError`] instead
+/// of a panic. Use this from batch drivers (policy sweeps, CLI) where one
+/// bad input should not abort the whole run.
+pub fn try_simulate(
+    trace: &[Job],
+    cfg: &SimConfig,
+    observer: &mut dyn Observer,
+) -> Result<Schedule, SimError> {
+    for job in trace {
+        if job.nodes > cfg.nodes {
+            return Err(SimError::TooWide {
+                job: job.id,
+                nodes: job.nodes,
+                machine: cfg.nodes,
+            });
+        }
+        job.validate().map_err(|e| SimError::InvalidTrace {
+            job: job.id,
+            reason: e.to_string(),
+        })?;
     }
+    if let Some(cap) = cfg.user_concurrency {
+        if cap < 1 {
+            return Err(SimError::InvalidConfig {
+                reason: "user_concurrency must be at least 1".into(),
+            });
+        }
+    }
+    cfg.faults
+        .validate()
+        .map_err(|reason| SimError::InvalidConfig { reason })?;
     let mut engine = make_engine_for(cfg);
     let mut sim = Sim::new(cfg, trace);
-    sim.run(engine.as_mut(), observer);
-    sim.finish()
+    sim.run(engine.as_mut(), observer)?;
+    Ok(sim.finish())
 }
 
 fn make_engine_for(cfg: &SimConfig) -> Box<dyn Engine> {
@@ -436,8 +612,19 @@ impl<'a> Sim<'a> {
             in_system: HashMap::new(),
             parked: HashMap::new(),
             next_id: trace.iter().map(|j| j.id.0).max().unwrap_or(0) + 1,
+            faults: cfg
+                .faults
+                .enabled()
+                .then(|| FaultModel::new(&cfg.faults, cfg.nodes)),
+            down: 0,
+            outages: Vec::new(),
+            repairs: HashMap::new(),
+            outage_nodes: HashMap::new(),
             waste: 0.0,
             busy: 0.0,
+            idle_integral: 0.0,
+            down_integral: 0.0,
+            lost: 0.0,
             weekly_busy: Vec::new(),
             min_start: Time::MAX,
             max_completion: 0,
@@ -446,11 +633,25 @@ impl<'a> Sim<'a> {
             observed_span: 0.0,
             max_queued_jobs: 0,
             max_queued_demand: 0,
+            diverged: None,
         };
         for job in trace {
             sim.admit(job);
         }
+        sim.schedule_next_failure();
         sim
+    }
+
+    /// Draws the next node failure from the fault model (if node outages
+    /// are on) and schedules it. The failure timeline is a pure function of
+    /// the fault seed, so this never perturbs — and is never perturbed by —
+    /// scheduling decisions.
+    fn schedule_next_failure(&mut self) {
+        let after = self.now;
+        if let Some(f) = self.faults.as_mut().and_then(|fm| fm.next_failure(after)) {
+            self.repairs.insert(f.seq, f.repair);
+            self.events.push(f.time, EventKind::NodeDown, JobId(f.seq));
+        }
     }
 
     /// Registers an original trace job: either a standalone submission or
@@ -495,19 +696,34 @@ impl<'a> Sim<'a> {
 
     /// Creates and schedules the next chunk of a chain. The first chunk may
     /// reuse the original job id; later chunks get fresh ids.
+    ///
+    /// Chains normally exist only under a runtime limit, but
+    /// [`ResiliencePolicy::ChunkResume`] promotes crashed standalone jobs
+    /// into chains too — without a limit the chunk simply asks for all the
+    /// remaining work.
     fn submit_next_chunk(&mut self, chain_idx: usize, at: Time, reuse_id: Option<JobId>) {
-        let limit = self.cfg.runtime_limit.expect("chains only exist with a limit").limit;
+        let limit = self.cfg.runtime_limit.map_or(Time::MAX, |rl| rl.limit);
         let chain = &mut self.chain_states[chain_idx];
         debug_assert!(chain.remaining_actual > 0);
         // The user requests what they believe remains (capped at the limit);
-        // once the original estimate is exhausted they request a full slice.
+        // once the original estimate is exhausted they request a full slice
+        // — or, with no limit to fall back on, exactly what is left.
         let estimate = if chain.remaining_estimate > 0 {
             limit.min(chain.remaining_estimate)
-        } else {
+        } else if limit < Time::MAX {
             limit
+        } else {
+            chain.remaining_actual
         };
         let runtime = chain.remaining_actual.min(estimate);
         let chunk_index = chain.next_chunk;
+        if chunk_index >= MAX_SUBMISSIONS_PER_ORIGIN {
+            self.diverged = Some(SimError::Diverged {
+                job: chain.origin,
+                attempts: chunk_index,
+            });
+            return;
+        }
         chain.next_chunk += 1;
         let id = reuse_id.unwrap_or_else(|| {
             let id = JobId(self.next_id);
@@ -532,7 +748,11 @@ impl<'a> Sim<'a> {
         self.events.push(at, EventKind::Arrival, id);
     }
 
-    fn run(&mut self, engine: &mut dyn Engine, observer: &mut dyn Observer) {
+    fn run(
+        &mut self,
+        engine: &mut dyn Engine,
+        observer: &mut dyn Observer,
+    ) -> Result<(), SimError> {
         while let Some(first) = self.events.pop() {
             self.advance_to(first.time);
             self.process(first, engine, observer);
@@ -541,9 +761,78 @@ impl<'a> Sim<'a> {
                 self.process(ev, engine, observer);
             }
             self.schedule_pass(engine, observer);
+            self.check_invariants()?;
         }
-        debug_assert!(self.queue.is_empty(), "jobs left queued after the last event");
-        debug_assert!(self.running.is_empty(), "jobs left running after the last event");
+        debug_assert!(
+            self.queue.is_empty(),
+            "jobs left queued after the last event"
+        );
+        debug_assert!(
+            self.running.is_empty(),
+            "jobs left running after the last event"
+        );
+        self.check_conservation()
+    }
+
+    /// Always-on invariant observer: no node is ever double-booked, and the
+    /// allocation ledger matches the running set. O(running) per event
+    /// batch — cheap enough to leave on outside debug builds, where a
+    /// violated invariant must surface as a typed error, not a corrupt
+    /// schedule.
+    fn check_invariants(&self) -> Result<(), SimError> {
+        if let Some(e) = &self.diverged {
+            return Err(e.clone());
+        }
+        let running: u64 = self.running.iter().map(|r| r.nodes as u64).sum();
+        let accounted = running + self.free as u64 + self.down as u64;
+        if accounted != self.cfg.nodes as u64 {
+            return Err(SimError::InvariantViolation {
+                at: self.now,
+                detail: format!(
+                    "node double-booking: running {} + free {} + down {} != machine {}",
+                    running, self.free, self.down, self.cfg.nodes
+                ),
+            });
+        }
+        if self.backend.ids.len() != self.running.len() {
+            return Err(SimError::InvariantViolation {
+                at: self.now,
+                detail: format!(
+                    "allocation ledger holds {} entries for {} running jobs",
+                    self.backend.ids.len(),
+                    self.running.len()
+                ),
+            });
+        }
+        if self.down as usize != self.outages.len() {
+            return Err(SimError::InvariantViolation {
+                at: self.now,
+                detail: format!(
+                    "down count {} disagrees with {} live outages",
+                    self.down,
+                    self.outages.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// End-of-run node-hour conservation: every node-second from t=0 to the
+    /// last event was spent busy, idle, or down — nothing created, nothing
+    /// leaked. Tolerance covers float accumulation only.
+    fn check_conservation(&self) -> Result<(), SimError> {
+        let capacity = self.cfg.nodes as f64 * self.now as f64;
+        let integrated = self.busy + self.idle_integral + self.down_integral;
+        if (integrated - capacity).abs() > 1e-6 * capacity.max(1.0) {
+            return Err(SimError::InvariantViolation {
+                at: self.now,
+                detail: format!(
+                    "node-hour conservation: used+idle+down = {integrated} \
+                     but capacity×time = {capacity}"
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Advances accounting (fairshare accrual, LOC/busy integrals) to `to`.
@@ -559,8 +848,10 @@ impl<'a> Sim<'a> {
             self.observed_span += dt;
             self.max_queued_jobs = self.max_queued_jobs.max(self.queue.len());
             self.max_queued_demand = self.max_queued_demand.max(queued_demand);
-            let busy_rate = (self.cfg.nodes - self.free) as f64;
+            let busy_rate = (self.cfg.nodes - self.free - self.down) as f64;
             self.busy += busy_rate * dt;
+            self.idle_integral += self.free as f64 * dt;
+            self.down_integral += self.down as f64 * dt;
             self.accumulate_weekly(self.now, to, busy_rate);
             let pairs: Vec<(UserId, u32)> =
                 self.running.iter().map(|r| (r.user, r.nodes)).collect();
@@ -603,34 +894,141 @@ impl<'a> Sim<'a> {
                     .iter()
                     .any(|r| r.id == ev.job && r.scheduled_end == ev.time);
                 if valid {
-                    self.complete(ev.job, false, engine, observer);
+                    self.complete(ev.job, Cause::Finished, engine, observer);
                 }
             }
             EventKind::WclExpiry => {
                 let running = self.running.iter().any(|r| r.id == ev.job);
                 if running {
                     match self.cfg.kill {
-                        KillPolicy::AtWcl => self.complete(ev.job, true, engine, observer),
+                        KillPolicy::AtWcl => self.complete(ev.job, Cause::Killed, engine, observer),
                         KillPolicy::WhenNeeded => {
                             if self.queue.is_empty() {
                                 self.overdue.push(ev.job);
                             } else {
-                                self.complete(ev.job, true, engine, observer);
+                                self.complete(ev.job, Cause::Killed, engine, observer);
                             }
                         }
                         KillPolicy::Never => {}
                     }
                 }
             }
+            // Fault events carry the outage sequence number in `job`.
+            EventKind::NodeDown => self.handle_node_down(ev.job.0, engine, observer),
+            EventKind::NodeUp => self.handle_node_up(ev.job.0),
+            EventKind::JobCrash => {
+                // Stale if the job already ended (completion, kill, or an
+                // earlier node failure).
+                if self.running.iter().any(|r| r.id == ev.job) {
+                    self.complete(ev.job, Cause::Crashed, engine, observer);
+                }
+            }
         }
     }
 
-    fn handle_arrival(
-        &mut self,
-        id: JobId,
-        engine: &mut dyn Engine,
-        observer: &mut dyn Observer,
-    ) {
+    /// A node fails: pick a victim uniformly among functional nodes. An
+    /// idle victim just goes down; a victim under a running job crashes
+    /// that job (its other nodes come back free, the failed one does not).
+    fn handle_node_down(&mut self, seq: u32, engine: &mut dyn Engine, observer: &mut dyn Observer) {
+        let repair = self
+            .repairs
+            .remove(&seq)
+            .expect("scheduled failure has a repair time");
+        // Once every submission has been played out there is nothing left
+        // for failures to disturb: stop regenerating them so the event
+        // queue can drain and the run can end. (Until then the timeline is
+        // a pure function of the seed: the next failure is drawn before
+        // this one touches anything.)
+        let work_remains =
+            !self.pending.is_empty() || !self.queue.is_empty() || !self.running.is_empty();
+        if !work_remains {
+            return;
+        }
+        self.schedule_next_failure();
+        let functional = self.cfg.nodes - self.down;
+        if functional == 0 {
+            // Whole machine already down; the failure has nothing to hit.
+            return;
+        }
+        let fm = self
+            .faults
+            .as_mut()
+            .expect("node events exist only with a fault model");
+        let r = fm.pick_victim(functional);
+        if r < self.free {
+            // Idle victim: the r-th free node in ascending order.
+            if let BackendKind::Linear(a) = &mut self.backend.kind {
+                let node = a.nth_free(r).expect("r < free_count");
+                a.mark_down(node).expect("free node can go down");
+                self.outage_nodes.insert(seq, node);
+            }
+            self.free -= 1;
+        } else {
+            // Busy victim: map the remainder onto running jobs in id order
+            // by cumulative width.
+            let mut jobs: Vec<(JobId, u32)> =
+                self.running.iter().map(|j| (j.id, j.nodes)).collect();
+            jobs.sort_unstable_by_key(|&(id, _)| id);
+            let mut rest = r - self.free;
+            let victim = jobs
+                .iter()
+                .find(|&&(_, w)| {
+                    if rest < w {
+                        true
+                    } else {
+                        rest -= w;
+                        false
+                    }
+                })
+                .map(|&(id, _)| id)
+                .expect("victim index within cumulative running widths");
+            // Remember a concrete node of the victim before its allocation
+            // is released: that is the one that physically failed.
+            let failed_node = match &self.backend.kind {
+                BackendKind::Linear(a) => {
+                    let alloc = self.backend.ids[&victim];
+                    a.nodes_of(alloc).and_then(|ns| ns.first().copied())
+                }
+                BackendKind::Counting(_) => None,
+            };
+            self.complete(victim, Cause::Crashed, engine, observer);
+            if let BackendKind::Linear(a) = &mut self.backend.kind {
+                let node = failed_node.expect("linear backend tracks victim nodes");
+                a.mark_down(node)
+                    .expect("victim node was freed by the crash");
+                self.outage_nodes.insert(seq, node);
+            }
+            self.free -= 1;
+        }
+        self.down += 1;
+        self.outages.push(Outage {
+            seq,
+            until: self.now + repair,
+        });
+        self.events
+            .push(self.now + repair, EventKind::NodeUp, JobId(seq));
+    }
+
+    /// A repaired node rejoins the free pool.
+    fn handle_node_up(&mut self, seq: u32) {
+        let pos = self
+            .outages
+            .iter()
+            .position(|o| o.seq == seq)
+            .expect("repair for unknown outage");
+        self.outages.remove(pos);
+        self.down -= 1;
+        self.free += 1;
+        if let BackendKind::Linear(a) = &mut self.backend.kind {
+            let node = self
+                .outage_nodes
+                .remove(&seq)
+                .expect("linear outage tracks a node");
+            a.mark_up(node).expect("down node comes back up");
+        }
+    }
+
+    fn handle_arrival(&mut self, id: JobId, engine: &mut dyn Engine, observer: &mut dyn Observer) {
         // Closed-loop feedback: a user at their concurrency cap defers this
         // submission until one of their jobs finishes.
         if let Some(cap) = self.cfg.user_concurrency {
@@ -642,7 +1040,10 @@ impl<'a> Sim<'a> {
             }
             *self.in_system.entry(user).or_insert(0) += 1;
         }
-        let pending = self.pending.remove(&id).expect("arrival for unknown submission");
+        let pending = self
+            .pending
+            .remove(&id)
+            .expect("arrival for unknown submission");
         let queued = QueuedJob {
             id,
             user: pending.user,
@@ -652,7 +1053,14 @@ impl<'a> Sim<'a> {
         };
         self.queue.push(queued);
         self.runtimes.insert(id, pending.runtime);
-        self.open.insert(id, OpenRecord { pending, submit: self.now, start: None });
+        self.open.insert(
+            id,
+            OpenRecord {
+                pending,
+                submit: self.now,
+                start: None,
+            },
+        );
 
         let view = ArrivalView {
             now: self.now,
@@ -673,7 +1081,7 @@ impl<'a> Sim<'a> {
     fn complete(
         &mut self,
         id: JobId,
-        killed: bool,
+        cause: Cause,
         engine: &mut dyn Engine,
         observer: &mut dyn Observer,
     ) {
@@ -701,19 +1109,26 @@ impl<'a> Sim<'a> {
             start: open.start.expect("completed job has started"),
             end: self.now,
             estimate: open.pending.estimate,
-            killed,
+            killed: cause == Cause::Killed,
+            interrupted: cause == Cause::Crashed,
         });
 
-        // Chains: bank the executed work and submit the next chunk.
-        if let Some(&chain_idx) = self.chains.get(&id) {
-            let executed = self.now - open.start.expect("started");
-            let estimate_used = open.pending.estimate;
-            let chain = &mut self.chain_states[chain_idx];
-            chain.remaining_actual = chain.remaining_actual.saturating_sub(executed);
-            chain.remaining_estimate = chain.remaining_estimate.saturating_sub(estimate_used);
-            if chain.remaining_actual > 0 {
-                self.submit_next_chunk(chain_idx, self.now, None);
+        let executed = self.now - open.start.expect("started");
+        match cause {
+            Cause::Finished | Cause::Killed => {
+                // Chains: bank the executed work and submit the next chunk.
+                if let Some(&chain_idx) = self.chains.get(&id) {
+                    let estimate_used = open.pending.estimate;
+                    let chain = &mut self.chain_states[chain_idx];
+                    chain.remaining_actual = chain.remaining_actual.saturating_sub(executed);
+                    chain.remaining_estimate =
+                        chain.remaining_estimate.saturating_sub(estimate_used);
+                    if chain.remaining_actual > 0 {
+                        self.submit_next_chunk(chain_idx, self.now, None);
+                    }
+                }
             }
+            Cause::Crashed => self.recover_crashed(id, &open, executed),
         }
 
         // Closed-loop feedback: the finished job frees one of its user's
@@ -728,8 +1143,73 @@ impl<'a> Sim<'a> {
             }
         }
 
-        observer.on_complete(id, self.now, killed);
+        // Observers see any premature end (kill or crash) as not having run
+        // to completion.
+        observer.on_complete(id, self.now, cause != Cause::Finished);
         engine.on_complete(id);
+    }
+
+    /// Applies the configured resilience policy to a crashed submission.
+    fn recover_crashed(&mut self, id: JobId, open: &OpenRecord, executed: Time) {
+        match self.cfg.faults.resilience {
+            ResiliencePolicy::RequeueFromScratch => {
+                // Executed work is lost; the submission re-enters intact,
+                // as a fresh attempt with the next per-origin chunk index.
+                // Fairshare usage already charged for the lost run stays
+                // charged — users pay for their bad luck, as Cplant did.
+                self.lost += executed as f64 * open.pending.nodes as f64;
+                if let Some(&chain_idx) = self.chains.get(&id) {
+                    // The chain is not advanced: the crashed chunk's work
+                    // does not count, so the same remainder re-enters.
+                    self.submit_next_chunk(chain_idx, self.now, None);
+                } else {
+                    let mut resubmission = open.pending;
+                    resubmission.chunk_index += 1;
+                    if resubmission.chunk_index >= MAX_SUBMISSIONS_PER_ORIGIN {
+                        self.diverged = Some(SimError::Diverged {
+                            job: resubmission.origin,
+                            attempts: resubmission.chunk_index,
+                        });
+                        return;
+                    }
+                    let new_id = JobId(self.next_id);
+                    self.next_id += 1;
+                    self.pending.insert(new_id, resubmission);
+                    self.events.push(self.now, EventKind::Arrival, new_id);
+                }
+            }
+            ResiliencePolicy::ChunkResume => {
+                // The interrupted run is an implicit checkpoint: bank the
+                // executed seconds and continue from there, reusing the
+                // runtime-limit chain machinery. A standalone submission is
+                // promoted into a chain on its first crash.
+                let chain_idx = match self.chains.get(&id).copied() {
+                    Some(ci) => ci,
+                    None => {
+                        let p = open.pending;
+                        self.chain_states.push(ChainState {
+                            origin: p.origin,
+                            user: p.user,
+                            group: p.group,
+                            nodes: p.nodes,
+                            origin_submit: p.origin_submit,
+                            remaining_actual: p.runtime,
+                            remaining_estimate: p.estimate,
+                            next_chunk: p.chunk_index + 1,
+                        });
+                        self.chain_states.len() - 1
+                    }
+                };
+                let chain = &mut self.chain_states[chain_idx];
+                chain.remaining_actual = chain.remaining_actual.saturating_sub(executed);
+                // The estimate budget shrinks only by what actually ran:
+                // the user re-requests the rest for the resumed chunk.
+                chain.remaining_estimate = chain.remaining_estimate.saturating_sub(executed);
+                if chain.remaining_actual > 0 {
+                    self.submit_next_chunk(chain_idx, self.now, None);
+                }
+            }
+        }
     }
 
     fn start_job(&mut self, id: JobId, engine: &mut dyn Engine, observer: &mut dyn Observer) {
@@ -739,7 +1219,10 @@ impl<'a> Sim<'a> {
             .position(|q| q.id == id)
             .expect("engine started a job that is not queued");
         let queued = self.queue.swap_remove(pos);
-        assert!(queued.nodes <= self.free, "engine started a job that does not fit");
+        assert!(
+            queued.nodes <= self.free,
+            "engine started a job that does not fit"
+        );
         self.free -= queued.nodes;
         self.backend.place(id, queued.nodes);
         let runtime = self.runtimes.remove(&id).expect("queued job has a runtime");
@@ -754,7 +1237,17 @@ impl<'a> Sim<'a> {
         });
         self.events.push(end, EventKind::Completion, id);
         if self.cfg.kill != KillPolicy::Never && queued.estimate < runtime {
-            self.events.push(self.now + queued.estimate, EventKind::WclExpiry, id);
+            self.events
+                .push(self.now + queued.estimate, EventKind::WclExpiry, id);
+        }
+        // Fault injection: roll this submission's crash fate. The draw is a
+        // pure function of (fault seed, origin, chunk index), so requeued
+        // attempts re-roll reproducibly.
+        if let Some(fm) = &self.faults {
+            let p = &self.open[&id].pending;
+            if let Some(dt) = fm.crash_point(p.origin, p.chunk_index as usize, runtime) {
+                self.events.push(self.now + dt, EventKind::JobCrash, id);
+            }
         }
         self.open.get_mut(&id).expect("record open").start = Some(self.now);
         self.min_start = self.min_start.min(self.now);
@@ -784,7 +1277,7 @@ impl<'a> Sim<'a> {
                 let victims = std::mem::take(&mut self.overdue);
                 for id in victims {
                     if self.running.iter().any(|r| r.id == id) {
-                        self.complete(id, true, engine, observer);
+                        self.complete(id, Cause::Killed, engine, observer);
                     }
                 }
                 continue;
@@ -795,12 +1288,18 @@ impl<'a> Sim<'a> {
 
     fn finish(mut self) -> Schedule {
         self.records.sort_by_key(|r| r.id);
-        let min_start = if self.min_start == Time::MAX { 0 } else { self.min_start };
+        let min_start = if self.min_start == Time::MAX {
+            0
+        } else {
+            self.min_start
+        };
         Schedule {
             nodes: self.cfg.nodes,
             records: self.records,
             waste_nodeseconds: self.waste,
             busy_nodeseconds: self.busy,
+            down_nodeseconds: self.down_integral,
+            lost_nodeseconds: self.lost,
             weekly_busy: self.weekly_busy,
             min_start,
             max_completion: self.max_completion,
@@ -833,6 +1332,7 @@ fn engine_ctx<'s>(sim: &'s Sim<'_>) -> EngineCtx<'s> {
         fairshare: &sim.fairshare,
         order: sim.cfg.order,
         starvation: sim.cfg.starvation.as_ref(),
+        outages: &sim.outages,
     }
 }
 
@@ -844,7 +1344,11 @@ mod tests {
     use fairsched_workload::time::{DAY, HOUR};
 
     fn cfg(nodes: u32, engine: EngineKind) -> SimConfig {
-        SimConfig { nodes, engine, ..Default::default() }
+        SimConfig {
+            nodes,
+            engine,
+            ..Default::default()
+        }
     }
 
     fn job(id: u32, user: u32, submit: Time, nodes: u32, runtime: Time, estimate: Time) -> Job {
@@ -856,7 +1360,11 @@ mod tests {
     }
 
     fn record(s: &Schedule, id: u32) -> JobRecord {
-        s.records.iter().copied().find(|r| r.id == JobId(id)).expect("record exists")
+        s.records
+            .iter()
+            .copied()
+            .find(|r| r.id == JobId(id))
+            .expect("record exists")
     }
 
     #[test]
@@ -874,10 +1382,7 @@ mod tests {
 
     #[test]
     fn jobs_queue_when_the_machine_is_full() {
-        let trace = [
-            job(1, 1, 0, 10, 100, 100),
-            job(2, 2, 5, 10, 50, 50),
-        ];
+        let trace = [job(1, 1, 0, 10, 100, 100), job(2, 2, 5, 10, 50, 50)];
         let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
         assert_eq!(record(&s, 1).start, 0);
         assert_eq!(record(&s, 2).start, 100);
@@ -891,9 +1396,9 @@ mod tests {
     fn no_guarantee_backfills_a_fitting_job() {
         // Figure 2's scenario: jobB fits beside jobA and starts immediately.
         let trace = [
-            job(1, 1, 0, 6, 100, 100),  // jobA
-            job(2, 2, 1, 8, 100, 100),  // too wide for the 4 free nodes
-            job(3, 3, 2, 4, 30, 30),    // jobB: fits the hole
+            job(1, 1, 0, 6, 100, 100), // jobA
+            job(2, 2, 1, 8, 100, 100), // too wide for the 4 free nodes
+            job(3, 3, 2, 4, 30, 30),   // jobB: fits the hole
         ];
         let s = run(&trace, &cfg(10, EngineKind::NoGuarantee));
         assert_eq!(record(&s, 3).start, 2);
@@ -1005,7 +1510,10 @@ mod tests {
         trace.push(job(wide_id, 99, 2 * HOUR, 10, HOUR, HOUR));
 
         let mut c = cfg(10, EngineKind::NoGuarantee);
-        c.starvation = Some(StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None });
+        c.starvation = Some(StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        });
         let s = run(&trace, &c);
         let wide = record(&s, wide_id);
         // Without the guard the wide job would wait for every narrow job
@@ -1022,10 +1530,7 @@ mod tests {
     fn conservative_never_delays_by_later_arrivals_with_perfect_estimates() {
         // With perfect estimates, conservative backfilling is "fair" in the
         // social-justice sense (§4): job 2's start is unaffected by job 3.
-        let base = [
-            job(1, 1, 0, 10, 100, 100),
-            job(2, 2, 5, 6, 100, 100),
-        ];
+        let base = [job(1, 1, 0, 10, 100, 100), job(2, 2, 5, 6, 100, 100)];
         let with_later = [
             job(1, 1, 0, 10, 100, 100),
             job(2, 2, 5, 6, 100, 100),
@@ -1055,8 +1560,7 @@ mod tests {
         c.runtime_limit = Some(RuntimeLimit { limit });
         let s = run(&trace, &c);
         assert_eq!(s.records.len(), 3);
-        let chunks: Vec<&JobRecord> =
-            s.records.iter().filter(|r| r.origin == JobId(1)).collect();
+        let chunks: Vec<&JobRecord> = s.records.iter().filter(|r| r.origin == JobId(1)).collect();
         assert_eq!(chunks.len(), 3);
         assert_eq!(chunks[0].chunk_index, 1);
         assert_eq!(chunks[0].executed(), 72 * HOUR);
@@ -1130,6 +1634,248 @@ mod tests {
     fn too_wide_jobs_are_rejected() {
         let trace = [job(1, 1, 0, 20, 100, 100)];
         run(&trace, &cfg(10, EngineKind::NoGuarantee));
+    }
+
+    mod faults {
+        use super::*;
+        use crate::faults::{FaultConfig, RepairTime, ResiliencePolicy};
+
+        /// Short repairs keep the machine mostly functional so full-width
+        /// jobs still find start windows; the default hour-scale repairs
+        /// against second-scale MTBFs would starve them for ages.
+        const QUICK_REPAIR: RepairTime = RepairTime { min: 60, max: 600 };
+
+        fn crash_cfg(resilience: ResiliencePolicy, seed: u64) -> SimConfig {
+            SimConfig {
+                nodes: 10,
+                faults: FaultConfig {
+                    job_crash_rate: 0.9,
+                    resilience,
+                    seed,
+                    ..FaultConfig::default()
+                },
+                ..Default::default()
+            }
+        }
+
+        /// First fault seed in 0..200 whose run produces an interrupted
+        /// record — deterministic, but robust to RNG stream details.
+        fn seed_with_crash(trace: &[Job], make: impl Fn(u64) -> SimConfig) -> (u64, Schedule) {
+            for seed in 0..200 {
+                let s = run(trace, &make(seed));
+                if s.records.iter().any(|r| r.interrupted) {
+                    return (seed, s);
+                }
+            }
+            panic!("no fault seed in 0..200 produced a crash");
+        }
+
+        #[test]
+        fn requeue_from_scratch_repeats_and_loses_work() {
+            let trace = [job(1, 1, 0, 4, 1000, 1000)];
+            let (_, s) = seed_with_crash(&trace, |seed| {
+                crash_cfg(ResiliencePolicy::RequeueFromScratch, seed)
+            });
+            let originals = s.originals();
+            assert_eq!(originals.len(), 1);
+            let o = originals[0];
+            assert!(o.interrupted);
+            assert!(o.chunks >= 2, "crash must force a resubmission");
+            // Work lost: total executed exceeds the job's runtime, and the
+            // loss integral matches the interrupted records exactly.
+            assert!(o.executed > 1000);
+            let lost: f64 = s
+                .records
+                .iter()
+                .filter(|r| r.interrupted)
+                .map(|r| r.executed() as f64 * r.nodes as f64)
+                .sum();
+            assert!(lost > 0.0);
+            assert!((s.lost_nodeseconds - lost).abs() < 1e-9);
+            assert!(s.goodput() < s.utilization());
+            // The final attempt ran the full job.
+            let last = s.records.iter().max_by_key(|r| r.end).unwrap();
+            assert!(!last.interrupted);
+            assert_eq!(last.executed(), 1000);
+        }
+
+        #[test]
+        fn chunk_resume_banks_pre_failure_work() {
+            let trace = [job(1, 1, 0, 4, 1000, 1000)];
+            let (_, s) = seed_with_crash(&trace, |seed| {
+                crash_cfg(ResiliencePolicy::ChunkResume, seed)
+            });
+            let originals = s.originals();
+            assert_eq!(originals.len(), 1);
+            let o = originals[0];
+            assert!(o.interrupted);
+            assert!(o.chunks >= 2);
+            // Failures are implicit checkpoints: no second of work repeats.
+            assert_eq!(o.executed, 1000);
+            assert_eq!(s.lost_nodeseconds, 0.0);
+            assert!((s.goodput() - s.utilization()).abs() < 1e-12);
+        }
+
+        #[test]
+        fn crashed_chain_chunk_under_requeue_reruns_the_chunk() {
+            // A runtime-limited chain whose chunk crashes: the chunk's work
+            // is lost, the chain's remaining budget does not advance, and
+            // the chain still finishes all its work.
+            let trace = [job(1, 1, 0, 4, 30 * HOUR, 40 * HOUR)];
+            let make = |seed| {
+                let mut c = crash_cfg(ResiliencePolicy::RequeueFromScratch, seed);
+                c.runtime_limit = Some(RuntimeLimit { limit: 10 * HOUR });
+                c
+            };
+            let (_, s) = seed_with_crash(&trace, make);
+            let o = s.originals();
+            let chain = o.iter().find(|o| o.origin == JobId(1)).unwrap();
+            assert!(chain.interrupted);
+            assert!(chain.executed > 30 * HOUR, "crashed chunk work is repeated");
+            let clean: Time = s
+                .records
+                .iter()
+                .filter(|r| !r.interrupted)
+                .map(|r| r.executed())
+                .sum();
+            assert_eq!(
+                clean,
+                30 * HOUR,
+                "non-interrupted chunks cover exactly the job"
+            );
+        }
+
+        #[test]
+        fn node_failures_take_capacity_and_everything_still_completes() {
+            // Per-node MTBF of 2000 s on 10 nodes → machine failures every
+            // ~200 s; jobs keep colliding with them but must all finish.
+            let trace = fairsched_workload::synthetic::random_trace(3, 60, 10, 3000);
+            let mut c = cfg(10, EngineKind::Conservative);
+            c.faults = FaultConfig {
+                node_mtbf: Some(2000),
+                repair: QUICK_REPAIR,
+                resilience: ResiliencePolicy::ChunkResume,
+                seed: 5,
+                ..FaultConfig::default()
+            };
+            let s = crate::simulator::try_simulate(&trace, &c, &mut NullObserver)
+                .expect("invariants hold under node failures");
+            assert!(s.down_nodeseconds > 0.0, "outages must cost capacity");
+            assert_eq!(s.originals().len(), trace.len(), "every job completes");
+            // Byte-identical on a second run.
+            let s2 = crate::simulator::try_simulate(&trace, &c, &mut NullObserver).unwrap();
+            assert_eq!(s, s2);
+        }
+
+        #[test]
+        fn node_failure_crashes_the_job_occupying_the_whole_machine() {
+            // One job holds all 4 nodes, so the first failure during its run
+            // must hit it. MTBF chosen so failures land well inside the run.
+            let trace = [job(1, 1, 0, 4, 50_000, 50_000)];
+            let make = |seed| SimConfig {
+                nodes: 4,
+                faults: FaultConfig {
+                    node_mtbf: Some(4_000),
+                    repair: QUICK_REPAIR,
+                    resilience: ResiliencePolicy::ChunkResume,
+                    seed,
+                    ..FaultConfig::default()
+                },
+                ..Default::default()
+            };
+            let (_, s) = seed_with_crash(&trace, make);
+            let o = &s.originals()[0];
+            assert!(o.interrupted);
+            assert_eq!(o.executed, 50_000, "resume keeps pre-failure work");
+            // The resumed chunk needed the failed node back: it cannot have
+            // restarted before the repair finished, so capacity was lost.
+            assert!(s.down_nodeseconds > 0.0);
+        }
+
+        #[test]
+        fn linear_allocation_survives_node_failures() {
+            // Narrow jobs (≤5 of 10 nodes) so holes from down nodes never
+            // block the whole queue for long.
+            let trace = fairsched_workload::synthetic::random_trace(9, 80, 5, 3000);
+            let mut c = cfg(10, EngineKind::NoGuarantee);
+            c.allocation = AllocationModel::Linear(fairsched_cpa::PlacementStrategy::MinSpan);
+            c.faults = FaultConfig {
+                node_mtbf: Some(3000),
+                repair: QUICK_REPAIR,
+                job_crash_rate: 0.2,
+                resilience: ResiliencePolicy::RequeueFromScratch,
+                seed: 2,
+            };
+            let s = crate::simulator::try_simulate(&trace, &c, &mut NullObserver)
+                .expect("invariants hold with a linear backend under faults");
+            assert!(s.placement.is_some());
+            assert_eq!(s.originals().len(), trace.len());
+        }
+
+        #[test]
+        fn disabled_faults_are_byte_identical_to_the_default() {
+            let trace = fairsched_workload::synthetic::random_trace(7, 150, 10, 5000);
+            let base = cfg(10, EngineKind::NoGuarantee);
+            let mut seeded = base.clone();
+            // A nonzero seed with no fault source must change nothing.
+            seeded.faults = FaultConfig {
+                seed: 977,
+                ..FaultConfig::default()
+            };
+            assert_eq!(run(&trace, &base), run(&trace, &seeded));
+        }
+
+        #[test]
+        fn try_simulate_reports_typed_errors() {
+            let wide = [job(1, 1, 0, 20, 100, 100)];
+            let err = crate::simulator::try_simulate(
+                &wide,
+                &cfg(10, EngineKind::NoGuarantee),
+                &mut NullObserver,
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::TooWide {
+                    job: JobId(1),
+                    nodes: 20,
+                    machine: 10
+                }
+            );
+            assert!(
+                err.to_string().contains("nodes on a"),
+                "legacy panic wording preserved"
+            );
+
+            let mut bad = cfg(10, EngineKind::NoGuarantee);
+            bad.faults.job_crash_rate = 2.0;
+            let err = crate::simulator::try_simulate(
+                &[job(1, 1, 0, 2, 100, 100)],
+                &bad,
+                &mut NullObserver,
+            )
+            .unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig { .. }));
+        }
+
+        #[test]
+        fn impossible_fault_config_diverges_with_a_typed_error() {
+            // A full-width job on a machine whose MTBF is far below the
+            // job's runtime: under RequeueFromScratch no attempt can ever
+            // finish, so without a guard the simulation would loop (and
+            // allocate records) forever. The resubmission cap turns that
+            // into a typed error instead.
+            let trace = [job(1, 1, 0, 4, 50_000, 50_000)];
+            let mut c = cfg(4, EngineKind::NoGuarantee);
+            c.faults = FaultConfig {
+                node_mtbf: Some(50),
+                repair: RepairTime { min: 1, max: 5 },
+                ..FaultConfig::default()
+            };
+            let err = crate::simulator::try_simulate(&trace, &c, &mut NullObserver).unwrap_err();
+            assert!(matches!(err, SimError::Diverged { job: JobId(1), .. }));
+            assert!(err.to_string().contains("unable to complete"));
+        }
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn heavy_users(
         return HashSet::new();
     }
     let cutoff = rule.mean_multiple * mean;
-    active.into_iter().filter(|u| fairshare.usage(*u) > cutoff).collect()
+    active
+        .into_iter()
+        .filter(|u| fairshare.usage(*u) > cutoff)
+        .collect()
 }
 
 /// Indices of starvation-eligible queued jobs in FCFS order: waited at least
@@ -74,7 +77,13 @@ mod tests {
     use fairsched_workload::time::HOUR;
 
     fn queued(id: u32, user: u32, arrival: Time) -> QueuedJob {
-        QueuedJob { id: JobId(id), user: UserId(user), nodes: 8, estimate: 100, arrival }
+        QueuedJob {
+            id: JobId(id),
+            user: UserId(user),
+            nodes: 8,
+            estimate: 100,
+            arrival,
+        }
     }
 
     fn tracker() -> FairshareTracker {
@@ -82,7 +91,10 @@ mod tests {
     }
 
     fn config(delay: Time, rule: Option<HeavyUserRule>) -> StarvationConfig {
-        StarvationConfig { entry_delay: delay, heavy_rule: rule }
+        StarvationConfig {
+            entry_delay: delay,
+            heavy_rule: rule,
+        }
     }
 
     #[test]

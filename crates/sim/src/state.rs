@@ -73,8 +73,9 @@ pub fn priority_order(
             idx.sort_by(|&a, &b| {
                 let ua = fairshare.usage(queue[a].user);
                 let ub = fairshare.usage(queue[b].user);
-                ua.total_cmp(&ub)
-                    .then_with(|| (queue[a].arrival, queue[a].id).cmp(&(queue[b].arrival, queue[b].id)))
+                ua.total_cmp(&ub).then_with(|| {
+                    (queue[a].arrival, queue[a].id).cmp(&(queue[b].arrival, queue[b].id))
+                })
             });
         }
     }
@@ -128,7 +129,13 @@ mod tests {
     use crate::config::FairshareConfig;
 
     fn queued(id: u32, user: u32, arrival: Time) -> QueuedJob {
-        QueuedJob { id: JobId(id), user: UserId(user), nodes: 1, estimate: 100, arrival }
+        QueuedJob {
+            id: JobId(id),
+            user: UserId(user),
+            nodes: 1,
+            estimate: 100,
+            arrival,
+        }
     }
 
     fn tracker() -> FairshareTracker {

@@ -14,11 +14,19 @@ fn job(id: u32, user: u32, submit: Time, nodes: u32, runtime: Time, estimate: Ti
 }
 
 fn cfg(nodes: u32, engine: EngineKind) -> SimConfig {
-    SimConfig { nodes, engine, ..Default::default() }
+    SimConfig {
+        nodes,
+        engine,
+        ..Default::default()
+    }
 }
 
 fn start_of(s: &fairsched_sim::Schedule, id: u32) -> Time {
-    s.records.iter().find(|r| r.id == JobId(id)).expect("record").start
+    s.records
+        .iter()
+        .find(|r| r.id == JobId(id))
+        .expect("record")
+        .start
 }
 
 #[test]
@@ -40,10 +48,7 @@ fn conservative_survives_overdue_runners() {
 
 #[test]
 fn conservative_dynamic_survives_overdue_runners() {
-    let trace = [
-        job(1, 1, 0, 10, 50_000, 100),
-        job(2, 2, 10, 10, 100, 100),
-    ];
+    let trace = [job(1, 1, 0, 10, 50_000, 100), job(2, 2, 10, 10, 100, 100)];
     let mut c = cfg(10, EngineKind::ConservativeDynamic);
     c.kill = KillPolicy::Never;
     let s = simulate(&trace, &c, &mut NullObserver);
@@ -54,10 +59,7 @@ fn conservative_dynamic_survives_overdue_runners() {
 fn when_needed_kill_reclaims_overdue_nodes_for_conservative_reservations() {
     // Same setup with the CPlant kill rule: job 2's arrival creates demand,
     // so job 1 dies at its WCL and job 2 starts right then.
-    let trace = [
-        job(1, 1, 0, 10, 50_000, 100),
-        job(2, 2, 10, 10, 100, 100),
-    ];
+    let trace = [job(1, 1, 0, 10, 50_000, 100), job(2, 2, 10, 10, 100, 100)];
     let c = cfg(10, EngineKind::Conservative); // default kill: WhenNeeded
     let s = simulate(&trace, &c, &mut NullObserver);
     let r1 = s.records.iter().find(|r| r.id == JobId(1)).unwrap();
@@ -97,7 +99,10 @@ fn starvation_guard_does_not_fire_before_the_delay() {
         trace.push(job(id, 1 + (id % 20), 2 + t, 3, 30 * HOUR, 40 * HOUR));
     }
     let mut c = cfg(10, EngineKind::NoGuarantee);
-    c.starvation = Some(StarvationConfig { entry_delay: 24 * HOUR, heavy_rule: None });
+    c.starvation = Some(StarvationConfig {
+        entry_delay: 24 * HOUR,
+        heavy_rule: None,
+    });
     c.kill = KillPolicy::Never;
     let s = simulate(&trace, &c, &mut NullObserver);
     // The wide job must eventually run, and not absurdly late: once it
@@ -126,7 +131,10 @@ fn heavy_rule_changes_who_starves_first() {
             job(3, 2, 200, 10, HOUR, HOUR),
         ];
         let mut c = cfg(10, EngineKind::NoGuarantee);
-        c.starvation = Some(StarvationConfig { entry_delay: 12 * HOUR, heavy_rule });
+        c.starvation = Some(StarvationConfig {
+            entry_delay: 12 * HOUR,
+            heavy_rule,
+        });
         c.order = QueueOrder::Fcfs; // isolate the starvation-queue effect
         simulate(&trace, &c, &mut NullObserver)
     };
@@ -170,7 +178,10 @@ fn depth_engine_blocks_profile_violations_end_to_end() {
     let s = simulate(&trace, &c, &mut NullObserver);
     assert_eq!(start_of(&s, 2), 1000, "reserved head starts on schedule");
     assert_eq!(start_of(&s, 4), 15, "short narrow job backfills");
-    assert!(start_of(&s, 3) >= 1100, "long narrow job must not delay the head");
+    assert!(
+        start_of(&s, 3) >= 1100,
+        "long narrow job must not delay the head"
+    );
 }
 
 #[test]
@@ -182,7 +193,11 @@ fn fcfs_engine_honours_fairshare_order_too() {
         job(2, 1, 100, 4, 100, 100),
         job(3, 2, 200, 4, 100, 100),
     ];
-    let s = simulate(&trace, &cfg(10, EngineKind::FcfsNoBackfill), &mut NullObserver);
+    let s = simulate(
+        &trace,
+        &cfg(10, EngineKind::FcfsNoBackfill),
+        &mut NullObserver,
+    );
     assert!(start_of(&s, 3) <= start_of(&s, 2));
 }
 

@@ -11,12 +11,7 @@ const CAPACITY: u32 = 16;
 const HORIZON: u64 = 400;
 
 /// Brute-force earliest fit: scan every second.
-fn brute_earliest(
-    rects: &[(u64, u64, u32)],
-    from: u64,
-    nodes: u32,
-    duration: u64,
-) -> u64 {
+fn brute_earliest(rects: &[(u64, u64, u32)], from: u64, nodes: u32, duration: u64) -> u64 {
     let used_at = |t: u64| -> u32 {
         rects
             .iter()
@@ -44,7 +39,9 @@ struct RefTimeline {
 
 impl RefTimeline {
     fn new(total: u32, at: u64) -> Self {
-        RefTimeline { free_at: vec![at; total as usize] }
+        RefTimeline {
+            free_at: vec![at; total as usize],
+        }
     }
 
     fn place(&mut self, floor: u64, nodes: u32, runtime: u64) -> u64 {

@@ -134,7 +134,9 @@ pub struct CategoryMatrix<T> {
 impl<T: Clone + Default> CategoryMatrix<T> {
     /// An all-default matrix.
     pub fn new() -> Self {
-        CategoryMatrix { cells: vec![T::default(); WIDTH_BUCKETS * LENGTH_BUCKETS] }
+        CategoryMatrix {
+            cells: vec![T::default(); WIDTH_BUCKETS * LENGTH_BUCKETS],
+        }
     }
 }
 
@@ -148,7 +150,9 @@ impl<T> CategoryMatrix<T> {
     /// Builds a matrix from a row-major `[[T; 8]; 11]` literal (the layout
     /// the paper's tables are transcribed in).
     pub fn from_rows(rows: [[T; LENGTH_BUCKETS]; WIDTH_BUCKETS]) -> Self {
-        CategoryMatrix { cells: rows.into_iter().flatten().collect() }
+        CategoryMatrix {
+            cells: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// Immutable cell access.
@@ -164,13 +168,19 @@ impl<T> CategoryMatrix<T> {
     /// Iterates cells with their coordinates, row-major (width outer).
     pub fn iter(&self) -> impl Iterator<Item = (WidthCategory, LengthCategory, &T)> {
         self.cells.iter().enumerate().map(|(i, v)| {
-            (WidthCategory(i / LENGTH_BUCKETS), LengthCategory(i % LENGTH_BUCKETS), v)
+            (
+                WidthCategory(i / LENGTH_BUCKETS),
+                LengthCategory(i % LENGTH_BUCKETS),
+                v,
+            )
         })
     }
 
     /// Maps every cell, preserving coordinates.
     pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> CategoryMatrix<U> {
-        CategoryMatrix { cells: self.cells.iter().map(&mut f).collect() }
+        CategoryMatrix {
+            cells: self.cells.iter().map(&mut f).collect(),
+        }
     }
 }
 
@@ -254,7 +264,9 @@ mod tests {
 
     #[test]
     fn length_buckets_partition_the_runtime_range() {
-        for s in [1, 899, 900, 3599, 3600, 14_399, 14_400, 86_399, 86_400, 172_799, 172_800] {
+        for s in [
+            1, 899, 900, 3599, 3600, 14_399, 14_400, 86_399, 86_400, 172_799, 172_800,
+        ] {
             let l = LengthCategory::of(s);
             let (lo, hi) = l.bounds();
             assert!(s >= lo && s < hi, "{s} outside bucket {:?}", l);

@@ -96,7 +96,8 @@ impl EstimateModel {
     /// runtime (the upper envelope of Figure 6).
     pub fn max_log10_ceiling(&self, runtime: Time) -> f64 {
         let log_rt = (runtime as f64).log10();
-        (self.max_log10_factor - self.decay_per_log10_runtime * log_rt).clamp(0.15, self.max_log10_factor)
+        (self.max_log10_factor - self.decay_per_log10_runtime * log_rt)
+            .clamp(0.15, self.max_log10_factor)
     }
 }
 
@@ -180,7 +181,11 @@ mod tests {
 
     #[test]
     fn sampled_factors_respect_the_ceiling_envelope() {
-        let model = EstimateModel { underestimate_fraction: 0.0, round_fraction: 0.0, ..Default::default() };
+        let model = EstimateModel {
+            underestimate_fraction: 0.0,
+            round_fraction: 0.0,
+            ..Default::default()
+        };
         let mut rng = rng();
         for runtime in [60u64, 3600, 86_400] {
             let ceiling = model.max_log10_ceiling(runtime);
@@ -199,7 +204,11 @@ mod tests {
 
     #[test]
     fn rounded_estimates_come_from_the_standard_table() {
-        let model = EstimateModel { underestimate_fraction: 0.0, round_fraction: 1.0, ..Default::default() };
+        let model = EstimateModel {
+            underestimate_fraction: 0.0,
+            round_fraction: 1.0,
+            ..Default::default()
+        };
         let mut rng = rng();
         for _ in 0..500 {
             let est = model.sample(HOUR, &mut rng);

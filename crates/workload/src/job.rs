@@ -198,7 +198,10 @@ pub fn validate_trace(jobs: &[Job]) -> Result<(), TraceError> {
     for pair in jobs.windows(2) {
         let (a, b) = (&pair[0], &pair[1]);
         if (b.submit, b.id) < (a.submit, a.id) {
-            return Err(TraceError::OutOfOrder { before: a.id, after: b.id });
+            return Err(TraceError::OutOfOrder {
+                before: a.id,
+                after: b.id,
+            });
         }
         if a.id == b.id {
             return Err(TraceError::DuplicateId(a.id));
@@ -264,13 +267,22 @@ mod tests {
     fn validate_rejects_degenerate_jobs() {
         let mut j = job(1, 0);
         j.nodes = 0;
-        assert_eq!(j.validate(), Err(JobInvariantViolation::ZeroNodes(JobId(1))));
+        assert_eq!(
+            j.validate(),
+            Err(JobInvariantViolation::ZeroNodes(JobId(1)))
+        );
         let mut j = job(2, 0);
         j.runtime = 0;
-        assert_eq!(j.validate(), Err(JobInvariantViolation::ZeroRuntime(JobId(2))));
+        assert_eq!(
+            j.validate(),
+            Err(JobInvariantViolation::ZeroRuntime(JobId(2)))
+        );
         let mut j = job(3, 0);
         j.estimate = 0;
-        assert_eq!(j.validate(), Err(JobInvariantViolation::ZeroEstimate(JobId(3))));
+        assert_eq!(
+            j.validate(),
+            Err(JobInvariantViolation::ZeroEstimate(JobId(3)))
+        );
         assert!(job(4, 0).validate().is_ok());
     }
 
@@ -290,7 +302,10 @@ mod tests {
         let unsorted = vec![job(1, 10), job(2, 0)];
         assert_eq!(
             validate_trace(&unsorted),
-            Err(TraceError::OutOfOrder { before: JobId(1), after: JobId(2) })
+            Err(TraceError::OutOfOrder {
+                before: JobId(1),
+                after: JobId(2)
+            })
         );
     }
 
@@ -302,7 +317,11 @@ mod tests {
 
     #[test]
     fn status_swf_codes_round_trip() {
-        for s in [JobStatus::Completed, JobStatus::Failed, JobStatus::Cancelled] {
+        for s in [
+            JobStatus::Completed,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+        ] {
             assert_eq!(JobStatus::from_swf_code(s.swf_code()), s);
         }
         // Unknown codes read as Completed.

@@ -166,7 +166,10 @@ mod tests {
         assert!((0.20..0.32).contains(&serial), "serial fraction {serial}");
         // Power-of-two bias: among parallel jobs, powers of two dominate.
         let parallel: Vec<&Job> = jobs.iter().filter(|j| j.nodes > 1).collect();
-        let pow2 = parallel.iter().filter(|j| j.nodes.is_power_of_two()).count() as f64
+        let pow2 = parallel
+            .iter()
+            .filter(|j| j.nodes.is_power_of_two())
+            .count() as f64
             / parallel.len() as f64;
         assert!(pow2 > 0.6, "power-of-two fraction {pow2}");
     }
@@ -175,10 +178,9 @@ mod tests {
     fn runtimes_are_hyper_exponential_ish() {
         let m = LublinModel::new(9, 6000, 64);
         let jobs = m.generate();
-        let mean: f64 =
-            jobs.iter().map(|j| j.runtime as f64).sum::<f64>() / jobs.len() as f64;
-        let expected = m.short_fraction * m.runtime_means.0
-            + (1.0 - m.short_fraction) * m.runtime_means.1;
+        let mean: f64 = jobs.iter().map(|j| j.runtime as f64).sum::<f64>() / jobs.len() as f64;
+        let expected =
+            m.short_fraction * m.runtime_means.0 + (1.0 - m.short_fraction) * m.runtime_means.1;
         assert!(
             (mean / expected - 1.0).abs() < 0.15,
             "mean runtime {mean} vs expected {expected}"

@@ -40,18 +40,25 @@ pub fn estimate_points(jobs: &[Job]) -> Vec<(Time, Time)> {
 
 /// The Figure 6 scatter: (over-estimation factor, runtime seconds).
 pub fn overestimation_vs_runtime(jobs: &[Job]) -> Vec<(f64, Time)> {
-    jobs.iter().map(|j| (j.overestimation_factor(), j.runtime)).collect()
+    jobs.iter()
+        .map(|j| (j.overestimation_factor(), j.runtime))
+        .collect()
 }
 
 /// The Figure 7 scatter: (over-estimation factor, nodes).
 pub fn overestimation_vs_nodes(jobs: &[Job]) -> Vec<(f64, u32)> {
-    jobs.iter().map(|j| (j.overestimation_factor(), j.nodes)).collect()
+    jobs.iter()
+        .map(|j| (j.overestimation_factor(), j.nodes))
+        .collect()
 }
 
 /// Log-binned histogram: counts of `values` in decade bins
 /// `[10^k, 10^(k+1))`. Used to print ASCII renderings of the log-log scatter
 /// figures.
-pub fn decade_histogram(values: impl IntoIterator<Item = f64>, decades: std::ops::Range<i32>) -> Vec<u64> {
+pub fn decade_histogram(
+    values: impl IntoIterator<Item = f64>,
+    decades: std::ops::Range<i32>,
+) -> Vec<u64> {
     let mut bins = vec![0u64; decades.len()];
     for v in values {
         if v <= 0.0 {
@@ -89,7 +96,15 @@ impl Summary {
     pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
         let mut v: Vec<f64> = values.into_iter().collect();
         if v.is_empty() {
-            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, median: 0.0, p90: 0.0, stddev: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p90: 0.0,
+                stddev: 0.0,
+            };
         }
         v.sort_by(f64::total_cmp);
         let count = v.len();

@@ -11,10 +11,14 @@
 //! 9 requested time, 10 requested memory, 11 status, 12 user id, 13 group id,
 //! 14 executable, 15 queue, 16 partition, 17 preceding job, 18 think time.
 //!
-//! The reader is deliberately lenient (the archive's own guidance): rows with
-//! non-positive runtimes or processor counts are *skipped and counted*, not
-//! fatal — real logs contain them (the gap between the paper's 13 614 raw
-//! jobs and Table 1's 13 236 categorized jobs is exactly such cleaning).
+//! The default reader is deliberately lenient (the archive's own guidance):
+//! rows with non-positive runtimes or processor counts are *skipped and
+//! counted*, not fatal — real logs contain them (the gap between the paper's
+//! 13 614 raw jobs and Table 1's 13 236 categorized jobs is exactly such
+//! cleaning). [`read_swf_strict`] inverts that stance for traces this code
+//! wrote itself or curated inputs where any bad row means the file is not
+//! what the caller thinks it is: the first offending row fails the read with
+//! its line number and reason ([`SwfError::Parse`]).
 
 use crate::job::{GroupId, Job, JobId, JobStatus, UserId};
 use std::fmt::Write as _;
@@ -36,17 +40,28 @@ pub struct ParsedTrace {
     pub header: Vec<String>,
 }
 
-/// A fatal SWF reading failure (I/O only; bad rows are skipped, not fatal).
+/// A fatal SWF reading failure. The lenient readers only produce `Io`;
+/// the strict readers also fail on the first unusable record.
 #[derive(Debug)]
 pub enum SwfError {
     /// Underlying reader failed.
     Io(io::Error),
+    /// A record was malformed or degenerate (strict mode only).
+    Parse {
+        /// 1-based line number in the input, counting comments and blanks.
+        line_no: usize,
+        /// What was wrong with the record.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SwfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SwfError::Io(e) => write!(f, "swf i/o error: {e}"),
+            SwfError::Parse { line_no, reason } => {
+                write!(f, "swf parse error at line {line_no}: {reason}")
+            }
         }
     }
 }
@@ -59,14 +74,26 @@ impl From<io::Error> for SwfError {
     }
 }
 
-/// Reads an SWF v2 trace from any buffered reader.
+/// Reads an SWF v2 trace from any buffered reader, skipping (and counting)
+/// malformed and degenerate rows.
 pub fn read_swf(reader: impl BufRead) -> Result<ParsedTrace, SwfError> {
+    read_swf_impl(reader, false)
+}
+
+/// Reads an SWF v2 trace, failing on the first malformed or degenerate
+/// record instead of skipping it. A strict parse that succeeds always has
+/// `skipped_degenerate == skipped_malformed == 0`.
+pub fn read_swf_strict(reader: impl BufRead) -> Result<ParsedTrace, SwfError> {
+    read_swf_impl(reader, true)
+}
+
+fn read_swf_impl(reader: impl BufRead, strict: bool) -> Result<ParsedTrace, SwfError> {
     let mut jobs = Vec::new();
     let mut skipped_degenerate = 0usize;
     let mut skipped_malformed = 0usize;
     let mut header = Vec::new();
 
-    for line in reader.lines() {
+    for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -76,15 +103,35 @@ pub fn read_swf(reader: impl BufRead) -> Result<ParsedTrace, SwfError> {
             header.push(comment.trim().to_string());
             continue;
         }
-        match parse_record(trimmed) {
-            RecordOutcome::Job(job) => jobs.push(job),
-            RecordOutcome::Degenerate => skipped_degenerate += 1,
-            RecordOutcome::Malformed => skipped_malformed += 1,
+        let reason = match parse_record(trimmed) {
+            RecordOutcome::Job(job) => {
+                jobs.push(job);
+                continue;
+            }
+            RecordOutcome::Degenerate(reason) => {
+                skipped_degenerate += 1;
+                reason
+            }
+            RecordOutcome::Malformed(reason) => {
+                skipped_malformed += 1;
+                reason
+            }
+        };
+        if strict {
+            return Err(SwfError::Parse {
+                line_no: idx + 1,
+                reason: reason.to_string(),
+            });
         }
     }
 
     jobs.sort_by_key(|j| (j.submit, j.id));
-    Ok(ParsedTrace { jobs, skipped_degenerate, skipped_malformed, header })
+    Ok(ParsedTrace {
+        jobs,
+        skipped_degenerate,
+        skipped_malformed,
+        header,
+    })
 }
 
 /// Reads an SWF trace from a string (convenience for tests and examples).
@@ -92,10 +139,15 @@ pub fn read_swf_str(text: &str) -> Result<ParsedTrace, SwfError> {
     read_swf(io::BufReader::new(text.as_bytes()))
 }
 
+/// Strict-mode variant of [`read_swf_str`].
+pub fn read_swf_str_strict(text: &str) -> Result<ParsedTrace, SwfError> {
+    read_swf_strict(io::BufReader::new(text.as_bytes()))
+}
+
 enum RecordOutcome {
     Job(Job),
-    Degenerate,
-    Malformed,
+    Degenerate(&'static str),
+    Malformed(&'static str),
 }
 
 fn parse_record(line: &str) -> RecordOutcome {
@@ -105,13 +157,13 @@ fn parse_record(line: &str) -> RecordOutcome {
         match token.parse::<f64>() {
             // SWF permits fractional seconds in some archives; we truncate.
             Ok(v) => *slot = v as i64,
-            Err(_) => return RecordOutcome::Malformed,
+            Err(_) => return RecordOutcome::Malformed("non-numeric field"),
         }
         count += 1;
     }
     if count < 12 {
-        // Need at least through the group-id field to build a job.
-        return RecordOutcome::Malformed;
+        // Need at least through the user-id field to build a job.
+        return RecordOutcome::Malformed("fewer than 12 fields");
     }
 
     let id = fields[0];
@@ -125,15 +177,21 @@ fn parse_record(line: &str) -> RecordOutcome {
     let group = if count > 12 { fields[12] } else { -1 };
 
     // Requested processors falls back to allocated (archive convention).
-    let nodes = if req_procs > 0 { req_procs } else { alloc_procs };
+    let nodes = if req_procs > 0 {
+        req_procs
+    } else {
+        alloc_procs
+    };
     // Requested time falls back to runtime (perfect estimate) when unknown.
     let estimate = if req_time > 0 { req_time } else { runtime };
 
     if id < 0 || submit < 0 {
-        return RecordOutcome::Malformed;
+        return RecordOutcome::Malformed("negative job number or submit time");
     }
     if runtime <= 0 || nodes <= 0 || estimate <= 0 {
-        return RecordOutcome::Degenerate;
+        return RecordOutcome::Degenerate(
+            "non-positive runtime, processor count, or requested time",
+        );
     }
 
     RecordOutcome::Job(Job {
@@ -207,6 +265,13 @@ pub fn read_swf_file(path: impl AsRef<std::path::Path>) -> Result<ParsedTrace, S
     read_swf(io::BufReader::new(file))
 }
 
+/// Strict-mode variant of [`read_swf_file`]: the first malformed or
+/// degenerate record fails the read with its line number.
+pub fn read_swf_file_strict(path: impl AsRef<std::path::Path>) -> Result<ParsedTrace, SwfError> {
+    let file = std::fs::File::open(path)?;
+    read_swf_strict(io::BufReader::new(file))
+}
+
 /// Writes a trace to an SWF v2 file (buffered; creates or truncates).
 pub fn write_swf_file(
     path: impl AsRef<std::path::Path>,
@@ -274,6 +339,51 @@ not a number at all
     }
 
     #[test]
+    fn strict_mode_fails_on_the_first_bad_record_with_its_line() {
+        let text = "\
+; Version: 2
+1 0 -1 100 4 -1 -1 4 900 -1 1 3 7 -1 -1 -1 -1 -1
+2 5 -1 0 4 -1 -1 4 900 -1 1 3 7 -1 -1 -1 -1 -1
+garbage
+";
+        // Lenient: one job, two skips.
+        let lenient = read_swf_str(text).unwrap();
+        assert_eq!(lenient.jobs.len(), 1);
+        assert_eq!(lenient.skipped_degenerate + lenient.skipped_malformed, 2);
+        // Strict: error at the degenerate row (line 3), before the garbage.
+        match read_swf_str_strict(text).unwrap_err() {
+            SwfError::Parse { line_no, reason } => {
+                assert_eq!(line_no, 3);
+                assert!(reason.contains("non-positive"));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_mode_accepts_clean_traces_identically() {
+        let jobs = vec![job(1, 0, 4, 100, 900), job(2, 7, 16, 500, 3600)];
+        let text = write_swf_string(&jobs, 64, "strict round trip");
+        let strict = read_swf_str_strict(&text).unwrap();
+        assert_eq!(strict, read_swf_str(&text).unwrap());
+        assert_eq!(strict.jobs, jobs);
+        assert_eq!(strict.skipped_degenerate, 0);
+        assert_eq!(strict.skipped_malformed, 0);
+    }
+
+    #[test]
+    fn parse_errors_render_the_line_number() {
+        let err = SwfError::Parse {
+            line_no: 41,
+            reason: "non-numeric field".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "swf parse error at line 41: non-numeric field"
+        );
+    }
+
+    #[test]
     fn requested_fields_fall_back_to_actuals() {
         // req_procs = -1 falls back to allocated; req_time = -1 to runtime.
         let text = "1 0 -1 100 8 -1 -1 -1 -1 -1 1 3 7 -1 -1 -1 -1 -1";
@@ -305,8 +415,15 @@ not a number at all
 
     #[test]
     fn status_codes_survive_the_round_trip() {
-        for status in [JobStatus::Completed, JobStatus::Failed, JobStatus::Cancelled] {
-            let j = Job { status, ..job(1, 0, 2, 50, 60) };
+        for status in [
+            JobStatus::Completed,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+        ] {
+            let j = Job {
+                status,
+                ..job(1, 0, 2, 50, 60)
+            };
             let parsed = read_swf_str(&format_record(&j)).unwrap();
             assert_eq!(parsed.jobs[0].status, status);
         }

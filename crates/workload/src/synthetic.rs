@@ -24,7 +24,7 @@
 
 use crate::categories::{LengthCategory, WidthCategory, LENGTH_BUCKETS, WIDTH_BUCKETS};
 use crate::estimate::EstimateModel;
-use crate::job::{Job, JobStatus, GroupId, JobId, UserId};
+use crate::job::{GroupId, Job, JobId, JobStatus, UserId};
 use crate::tables::{table1_job_counts, table2_proc_hours};
 use crate::time::{Time, DAY, HOUR, TRACE_WEEKS, WEEK};
 use rand::{Rng, SeedableRng};
@@ -136,7 +136,12 @@ impl CplantModel {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let counts = table1_job_counts();
         let targets = table2_proc_hours();
-        let mut users = UserModel::new(self.users, self.zipf_exponent, self.width_affinity, &mut rng);
+        let mut users = UserModel::new(
+            self.users,
+            self.zipf_exponent,
+            self.width_affinity,
+            &mut rng,
+        );
 
         // 1. Sample each category cell's jobs (width + calibrated runtime).
         let mut shapes: Vec<(u32, Time)> = Vec::new();
@@ -251,10 +256,11 @@ impl CplantModel {
         let weights = &self.weekly_load;
         let wsum: f64 = weights.iter().sum();
         assert!(wsum > 0.0, "weekly load profile must have positive mass");
-        let total_ph: f64 =
-            shapes.iter().map(|&(n, r)| n as f64 * r as f64 / 3600.0).sum();
-        let mut budget: Vec<f64> =
-            weights.iter().map(|w| w / wsum * total_ph).collect();
+        let total_ph: f64 = shapes
+            .iter()
+            .map(|&(n, r)| n as f64 * r as f64 / 3600.0)
+            .sum();
+        let mut budget: Vec<f64> = weights.iter().map(|w| w / wsum * total_ph).collect();
 
         shapes
             .iter()
@@ -312,7 +318,11 @@ fn scaled_count(count: u64, scale: f64, rng: &mut ChaCha8Rng) -> u64 {
     }
     let exact = count as f64 * scale;
     let base = exact.floor();
-    let extra = if rng.gen::<f64>() < exact - base { 1 } else { 0 };
+    let extra = if rng.gen::<f64>() < exact - base {
+        1
+    } else {
+        0
+    };
     base as u64 + extra
 }
 
@@ -378,8 +388,9 @@ struct UserModel {
 
 impl UserModel {
     fn new(n: u32, exponent: f64, boost: f64, rng: &mut ChaCha8Rng) -> Self {
-        let zipf: Vec<f64> =
-            (1..=n).map(|rank| 1.0 / (rank as f64).powf(exponent)).collect();
+        let zipf: Vec<f64> = (1..=n)
+            .map(|rank| 1.0 / (rank as f64).powf(exponent))
+            .collect();
         // Home buckets follow the overall job-count mix, so popular widths
         // have proportionally many "resident" users. With the boost off, no
         // homes are drawn at all — keeping the RNG stream (and thus every
@@ -389,9 +400,15 @@ impl UserModel {
         } else {
             let bucket_weights: Vec<f64> = {
                 let counts = table1_job_counts();
-                counts.row_totals().iter().map(|&c| c as f64 + 1.0).collect()
+                counts
+                    .row_totals()
+                    .iter()
+                    .map(|&c| c as f64 + 1.0)
+                    .collect()
             };
-            (0..n).map(|_| weighted_index(&bucket_weights, rng)).collect()
+            (0..n)
+                .map(|_| weighted_index(&bucket_weights, rng))
+                .collect()
         };
         UserModel {
             zipf,
@@ -426,9 +443,9 @@ impl UserModel {
 /// attributes the lulls to users backing off from long queues).
 pub fn default_weekly_load() -> [f64; TRACE_WEEKS] {
     [
-        0.50, 0.70, 1.10, 1.60, 1.30, 0.60, 0.40, 0.90, 1.40, 1.80, 1.20, 0.70, 0.50, 1.00,
-        1.50, 1.10, 0.80, 0.60, 1.20, 1.70, 1.30, 0.90, 0.50, 0.80, 1.30, 1.60, 1.00, 0.60,
-        0.90, 1.40, 1.10, 0.70, 0.40,
+        0.50, 0.70, 1.10, 1.60, 1.30, 0.60, 0.40, 0.90, 1.40, 1.80, 1.20, 0.70, 0.50, 1.00, 1.50,
+        1.10, 0.80, 0.60, 1.20, 1.70, 1.30, 0.90, 0.50, 0.80, 1.30, 1.60, 1.00, 0.60, 0.90, 1.40,
+        1.10, 0.70, 0.40,
     ]
 }
 
@@ -650,7 +667,10 @@ mod tests {
         let concentration = |jobs: &[Job]| -> f64 {
             let mut per_user: HashMap<UserId, Vec<usize>> = HashMap::new();
             for j in jobs {
-                per_user.entry(j.user).or_default().push(WidthCategory::of(j.nodes).0);
+                per_user
+                    .entry(j.user)
+                    .or_default()
+                    .push(WidthCategory::of(j.nodes).0);
             }
             let mut fracs = Vec::new();
             for buckets in per_user.values().filter(|v| v.len() >= 10) {

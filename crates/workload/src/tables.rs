@@ -51,10 +51,16 @@ pub fn table2_proc_hours() -> CategoryMatrix<f64> {
         [32., 70., 21., 0., 53., 0., 68., 0.],
         [103., 1197., 2210., 1272., 1030., 213., 614., 1310.],
         [281., 1101., 10263., 6582., 12107., 14118., 18287., 92549.],
-        [522., 1102., 12522., 18175., 45859., 42072., 105884., 207496.],
+        [
+            522., 1102., 12522., 18175., 45859., 42072., 105884., 207496.,
+        ],
         [968., 6870., 6630., 11008., 22031., 28232., 109166., 363944.],
-        [1775., 2895., 15252., 20429., 48457., 48493., 251748., 986649.],
-        [1876., 4149., 19125., 17333., 53098., 48296., 179321., 796517.],
+        [
+            1775., 2895., 15252., 20429., 48457., 48493., 251748., 986649.,
+        ],
+        [
+            1876., 4149., 19125., 17333., 53098., 48296., 179321., 796517.,
+        ],
         [3273., 12395., 4219., 4322., 27041., 5451., 19030., 183949.],
         [3719., 4723., 5027., 6850., 3888., 0., 0., 30761.],
         [2692., 9503., 0., 3183., 0., 0., 0., 0.],
@@ -65,7 +71,10 @@ pub fn table2_proc_hours() -> CategoryMatrix<f64> {
 pub fn job_counts(jobs: &[Job]) -> CategoryMatrix<u64> {
     let mut m = CategoryMatrix::new();
     for job in jobs {
-        *m.get_mut(WidthCategory::of(job.nodes), LengthCategory::of(job.runtime)) += 1;
+        *m.get_mut(
+            WidthCategory::of(job.nodes),
+            LengthCategory::of(job.runtime),
+        ) += 1;
     }
     m
 }
@@ -74,8 +83,10 @@ pub fn job_counts(jobs: &[Job]) -> CategoryMatrix<u64> {
 pub fn proc_hours(jobs: &[Job]) -> CategoryMatrix<f64> {
     let mut m = CategoryMatrix::new();
     for job in jobs {
-        *m.get_mut(WidthCategory::of(job.nodes), LengthCategory::of(job.runtime)) +=
-            job.proc_hours();
+        *m.get_mut(
+            WidthCategory::of(job.nodes),
+            LengthCategory::of(job.runtime),
+        ) += job.proc_hours();
     }
     m
 }
@@ -133,8 +144,9 @@ mod tests {
         let long_jobs: u64 = (0..11)
             .map(|w| *counts.get(WidthCategory(w), LengthCategory(7)))
             .sum();
-        let long_hours: f64 =
-            (0..11).map(|w| *hours.get(WidthCategory(w), LengthCategory(7))).sum();
+        let long_hours: f64 = (0..11)
+            .map(|w| *hours.get(WidthCategory(w), LengthCategory(7)))
+            .sum();
         assert!((long_jobs as f64) < 0.06 * TABLE1_TOTAL_JOBS as f64);
         assert!(long_hours > 0.6 * hours.total());
     }
@@ -142,9 +154,9 @@ mod tests {
     #[test]
     fn recomputed_counts_and_hours_agree_with_hand_built_trace() {
         let jobs = vec![
-            Job::new(1, 1, 1, 0, 1, 600, 900),      // 1 node, 0-15 min
-            Job::new(2, 1, 1, 10, 16, 7200, 7200),  // 9-16 nodes, 1-4 hrs
-            Job::new(3, 2, 1, 20, 16, 7200, 14400), // same cell
+            Job::new(1, 1, 1, 0, 1, 600, 900),            // 1 node, 0-15 min
+            Job::new(2, 1, 1, 10, 16, 7200, 7200),        // 9-16 nodes, 1-4 hrs
+            Job::new(3, 2, 1, 20, 16, 7200, 14400),       // same cell
             Job::new(4, 2, 1, 30, 600, 200_000, 250_000), // 513+, 2+ days
         ];
         let c = job_counts(&jobs);

@@ -21,7 +21,10 @@ use fairsched::workload::CplantModel;
 fn main() {
     // Small scale: the Sabin metric re-simulates per sampled job.
     let nodes = 1024;
-    let trace = CplantModel::new(7).with_nodes(nodes).with_scale(0.05).generate();
+    let trace = CplantModel::new(7)
+        .with_nodes(nodes)
+        .with_scale(0.05)
+        .generate();
     let policy = PolicySpec::baseline();
     let cfg = policy.sim_config(nodes);
 
@@ -38,7 +41,10 @@ fn main() {
     // Sabin FST: one truncated re-simulation per sampled job (1 in 8).
     let sabin = sabin_report(&schedule, &sabin_fsts_sampled(&trace, &cfg, 8));
 
-    println!("{:<28} {:>9} {:>14} {:>14}", "FST metric", "unfair%", "avg miss (s)", "miss of unfair");
+    println!(
+        "{:<28} {:>9} {:>14} {:>14}",
+        "FST metric", "unfair%", "avg miss (s)", "miss of unfair"
+    );
     for (name, report) in [
         ("hybrid fairshare (§4.1)", &hybrid),
         ("CONS_P", &consp),
@@ -62,8 +68,11 @@ fn main() {
     );
 
     // The strawmen: turnaround spread punished regardless of cause.
-    let turnarounds: Vec<f64> =
-        schedule.records.iter().map(|r| r.turnaround() as f64).collect();
+    let turnarounds: Vec<f64> = schedule
+        .records
+        .iter()
+        .map(|r| r.turnaround() as f64)
+        .collect();
     println!(
         "strawmen: Jain index over turnaround {:.3}, turnaround σ {:.0}s",
         jain_index(&turnarounds),

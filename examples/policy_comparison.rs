@@ -17,8 +17,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1);
     let nodes = 1024;
-    let trace = CplantModel::new(42).with_nodes(nodes).with_scale(scale).generate();
-    println!("workload: {} jobs at scale {scale} on {nodes} nodes\n", trace.len());
+    let trace = CplantModel::new(42)
+        .with_nodes(nodes)
+        .with_scale(scale)
+        .generate();
+    println!(
+        "workload: {} jobs at scale {scale} on {nodes} nodes\n",
+        trace.len()
+    );
 
     let mut policies = PolicySpec::paper_policies();
     policies.push(PolicySpec::easy());

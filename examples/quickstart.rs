@@ -14,7 +14,10 @@ fn main() {
     // A 5% slice of the Table-1 job mix keeps this instant; crank scale up
     // to 1.0 for the full 13 236-job reproduction.
     let nodes = 1024;
-    let trace = CplantModel::new(42).with_nodes(nodes).with_scale(0.05).generate();
+    let trace = CplantModel::new(42)
+        .with_nodes(nodes)
+        .with_scale(0.05)
+        .generate();
     println!("generated {} jobs over {} weeks", trace.len(), 2);
 
     // The baseline CPlant policy: fairshare priority, no-guarantee
@@ -26,7 +29,10 @@ fn main() {
     println!("policy:            {}", outcome.policy);
     println!("utilization:       {:.1}%", 100.0 * m.utilization);
     println!("loss of capacity:  {:.1}%", 100.0 * m.loss_of_capacity);
-    println!("avg turnaround:    {}", format_duration(m.average_turnaround as u64));
+    println!(
+        "avg turnaround:    {}",
+        format_duration(m.average_turnaround as u64)
+    );
     println!("unfair jobs:       {:.2}%", 100.0 * m.percent_unfair);
     println!(
         "avg FST miss:      {}",
@@ -38,7 +44,8 @@ fn main() {
     let fixed_outcome = run_policy(&trace, &fixed, nodes);
     let fm = fixed_outcome.metrics();
     println!();
-    println!("with {}: avg miss {} (was {})",
+    println!(
+        "with {}: avg miss {} (was {})",
         fixed_outcome.policy,
         format_duration(fm.average_miss_time as u64),
         format_duration(m.average_miss_time as u64),

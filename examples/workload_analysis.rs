@@ -18,7 +18,11 @@ fn main() {
     let nodes = 1024;
     let model = CplantModel::new(42).with_nodes(nodes);
     let trace = model.generate();
-    println!("generated {} jobs ({:.0} total proc-hours)\n", trace.len(), proc_hours(&trace).total());
+    println!(
+        "generated {} jobs ({:.0} total proc-hours)\n",
+        trace.len(),
+        proc_hours(&trace).total()
+    );
 
     // Round-trip through SWF v2 — the format the paper converted the raw
     // PBS/yod logs into.

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_benches-5a4026b5b4bd9d25.d: crates/bench/benches/ablation_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_benches-5a4026b5b4bd9d25.rmeta: crates/bench/benches/ablation_benches.rs Cargo.toml
+
+crates/bench/benches/ablation_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

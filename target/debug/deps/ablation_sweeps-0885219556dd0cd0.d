@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sweeps-0885219556dd0cd0.d: crates/experiments/src/bin/ablation_sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sweeps-0885219556dd0cd0.rmeta: crates/experiments/src/bin/ablation_sweeps.rs Cargo.toml
+
+crates/experiments/src/bin/ablation_sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sweeps-1cb8ece74f9e0967.d: crates/experiments/src/bin/ablation_sweeps.rs
+
+/root/repo/target/debug/deps/ablation_sweeps-1cb8ece74f9e0967: crates/experiments/src/bin/ablation_sweeps.rs
+
+crates/experiments/src/bin/ablation_sweeps.rs:

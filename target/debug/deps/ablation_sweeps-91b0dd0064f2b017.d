@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sweeps-91b0dd0064f2b017.d: crates/experiments/src/bin/ablation_sweeps.rs
+
+/root/repo/target/debug/deps/ablation_sweeps-91b0dd0064f2b017: crates/experiments/src/bin/ablation_sweeps.rs
+
+crates/experiments/src/bin/ablation_sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sweeps-c502d3f920adc8e5.d: crates/experiments/src/bin/ablation_sweeps.rs
+
+/root/repo/target/debug/deps/ablation_sweeps-c502d3f920adc8e5: crates/experiments/src/bin/ablation_sweeps.rs
+
+crates/experiments/src/bin/ablation_sweeps.rs:

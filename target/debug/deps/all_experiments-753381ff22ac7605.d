@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-753381ff22ac7605.d: crates/experiments/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-753381ff22ac7605.rmeta: crates/experiments/src/bin/all_experiments.rs Cargo.toml
+
+crates/experiments/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-b189ee4439ba0f52.d: crates/experiments/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-b189ee4439ba0f52: crates/experiments/src/bin/all_experiments.rs
+
+crates/experiments/src/bin/all_experiments.rs:

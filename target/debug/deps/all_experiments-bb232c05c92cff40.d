@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-bb232c05c92cff40.d: crates/experiments/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-bb232c05c92cff40: crates/experiments/src/bin/all_experiments.rs
+
+crates/experiments/src/bin/all_experiments.rs:

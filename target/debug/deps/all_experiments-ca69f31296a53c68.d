@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-ca69f31296a53c68.d: crates/experiments/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-ca69f31296a53c68: crates/experiments/src/bin/all_experiments.rs
+
+crates/experiments/src/bin/all_experiments.rs:

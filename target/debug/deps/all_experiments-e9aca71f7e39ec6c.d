@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-e9aca71f7e39ec6c.d: crates/experiments/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-e9aca71f7e39ec6c.rmeta: crates/experiments/src/bin/all_experiments.rs Cargo.toml
+
+crates/experiments/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

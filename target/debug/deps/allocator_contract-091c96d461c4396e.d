@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocator_contract-091c96d461c4396e.d: crates/cpa/tests/allocator_contract.rs
+
+/root/repo/target/debug/deps/allocator_contract-091c96d461c4396e: crates/cpa/tests/allocator_contract.rs
+
+crates/cpa/tests/allocator_contract.rs:

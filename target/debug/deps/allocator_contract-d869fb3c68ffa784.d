@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/allocator_contract-d869fb3c68ffa784.d: crates/cpa/tests/allocator_contract.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocator_contract-d869fb3c68ffa784.rmeta: crates/cpa/tests/allocator_contract.rs Cargo.toml
+
+crates/cpa/tests/allocator_contract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conservative_benches-93df75bf7336f4ba.d: crates/bench/benches/conservative_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconservative_benches-93df75bf7336f4ba.rmeta: crates/bench/benches/conservative_benches.rs Cargo.toml
+
+crates/bench/benches/conservative_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

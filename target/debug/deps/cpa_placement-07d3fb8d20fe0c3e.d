@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpa_placement-07d3fb8d20fe0c3e.d: crates/experiments/src/bin/cpa_placement.rs
+
+/root/repo/target/debug/deps/cpa_placement-07d3fb8d20fe0c3e: crates/experiments/src/bin/cpa_placement.rs
+
+crates/experiments/src/bin/cpa_placement.rs:

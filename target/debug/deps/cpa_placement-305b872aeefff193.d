@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpa_placement-305b872aeefff193.d: crates/experiments/src/bin/cpa_placement.rs
+
+/root/repo/target/debug/deps/cpa_placement-305b872aeefff193: crates/experiments/src/bin/cpa_placement.rs
+
+crates/experiments/src/bin/cpa_placement.rs:

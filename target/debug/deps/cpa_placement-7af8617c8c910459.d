@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpa_placement-7af8617c8c910459.d: crates/experiments/src/bin/cpa_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpa_placement-7af8617c8c910459.rmeta: crates/experiments/src/bin/cpa_placement.rs Cargo.toml
+
+crates/experiments/src/bin/cpa_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpa_placement-b816dc7eb6b35811.d: crates/experiments/src/bin/cpa_placement.rs
+
+/root/repo/target/debug/deps/cpa_placement-b816dc7eb6b35811: crates/experiments/src/bin/cpa_placement.rs
+
+crates/experiments/src/bin/cpa_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9e4399a0d24bf71c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-9e4399a0d24bf71c: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-c1083eb0ea6523ca.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c1083eb0ea6523ca.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c1083eb0ea6523ca.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

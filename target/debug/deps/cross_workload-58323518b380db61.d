@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_workload-58323518b380db61.d: tests/cross_workload.rs
+
+/root/repo/target/debug/deps/cross_workload-58323518b380db61: tests/cross_workload.rs
+
+tests/cross_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_workload-6a5d6c3c5b0e1cbf.d: tests/cross_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_workload-6a5d6c3c5b0e1cbf.rmeta: tests/cross_workload.rs Cargo.toml
+
+tests/cross_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_workload-b7245713c310d62b.d: tests/cross_workload.rs
+
+/root/repo/target/debug/deps/cross_workload-b7245713c310d62b: tests/cross_workload.rs
+
+tests/cross_workload.rs:

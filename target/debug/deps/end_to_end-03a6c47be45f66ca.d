@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-03a6c47be45f66ca.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-03a6c47be45f66ca: tests/end_to_end.rs
+
+tests/end_to_end.rs:

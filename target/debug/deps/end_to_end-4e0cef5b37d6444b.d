@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4e0cef5b37d6444b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4e0cef5b37d6444b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

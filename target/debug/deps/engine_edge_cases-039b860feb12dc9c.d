@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_edge_cases-039b860feb12dc9c.d: crates/sim/tests/engine_edge_cases.rs
+
+/root/repo/target/debug/deps/engine_edge_cases-039b860feb12dc9c: crates/sim/tests/engine_edge_cases.rs
+
+crates/sim/tests/engine_edge_cases.rs:

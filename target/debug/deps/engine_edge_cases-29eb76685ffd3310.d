@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_edge_cases-29eb76685ffd3310.d: crates/sim/tests/engine_edge_cases.rs
+
+/root/repo/target/debug/deps/engine_edge_cases-29eb76685ffd3310: crates/sim/tests/engine_edge_cases.rs
+
+crates/sim/tests/engine_edge_cases.rs:

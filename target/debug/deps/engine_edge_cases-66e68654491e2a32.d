@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_edge_cases-66e68654491e2a32.d: crates/sim/tests/engine_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_edge_cases-66e68654491e2a32.rmeta: crates/sim/tests/engine_edge_cases.rs Cargo.toml
+
+crates/sim/tests/engine_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_cross-432e48880f6d2cbe.d: tests/fairness_cross.rs
+
+/root/repo/target/debug/deps/fairness_cross-432e48880f6d2cbe: tests/fairness_cross.rs
+
+tests/fairness_cross.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness_cross-9f1fe8f9640260e7.d: tests/fairness_cross.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness_cross-9f1fe8f9640260e7.rmeta: tests/fairness_cross.rs Cargo.toml
+
+tests/fairness_cross.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_cross-be3fbbe532070998.d: tests/fairness_cross.rs
+
+/root/repo/target/debug/deps/fairness_cross-be3fbbe532070998: tests/fairness_cross.rs
+
+tests/fairness_cross.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fairsched-3bc60ccc632169a3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched-3bc60ccc632169a3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched-3bc60ccc632169a3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairsched-454de5e409133423.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched-454de5e409133423.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairsched-8f191050ae23aaad.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/fairsched-8f191050ae23aaad: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairsched-a149f84dbef20071.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/fairsched-a149f84dbef20071: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

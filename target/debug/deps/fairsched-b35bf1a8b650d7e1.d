@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fairsched-b35bf1a8b650d7e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched-b35bf1a8b650d7e1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched-b35bf1a8b650d7e1.rmeta: src/lib.rs
+
+src/lib.rs:

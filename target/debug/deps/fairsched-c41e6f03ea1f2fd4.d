@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairsched-c41e6f03ea1f2fd4.d: src/lib.rs
+
+/root/repo/target/debug/deps/fairsched-c41e6f03ea1f2fd4: src/lib.rs
+
+src/lib.rs:

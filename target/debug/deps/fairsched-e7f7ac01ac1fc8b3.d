@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairsched-e7f7ac01ac1fc8b3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched-e7f7ac01ac1fc8b3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairsched-f041ef2be7e8bedb.d: src/lib.rs
+
+/root/repo/target/debug/deps/fairsched-f041ef2be7e8bedb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairsched_bench-3459e004e0edea38.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fairsched_bench-3459e004e0edea38: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairsched_bench-5422d634564d6a25.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched_bench-5422d634564d6a25.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

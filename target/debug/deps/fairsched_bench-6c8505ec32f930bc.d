@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fairsched_bench-6c8505ec32f930bc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched_bench-6c8505ec32f930bc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched_bench-6c8505ec32f930bc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

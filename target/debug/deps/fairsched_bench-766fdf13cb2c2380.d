@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairsched_bench-766fdf13cb2c2380.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fairsched_bench-766fdf13cb2c2380: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fairsched_bench-7a9e69f71b1d7383.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched_bench-7a9e69f71b1d7383.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched_bench-7a9e69f71b1d7383.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairsched_cli-04028cb3c4585bfe.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/fairsched_cli-04028cb3c4585bfe: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairsched_cli-39fadeb8349ffda8.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched_cli-39fadeb8349ffda8.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fairsched_cli-7628689ea57f1991.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched_cli-7628689ea57f1991.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched_cli-7628689ea57f1991.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

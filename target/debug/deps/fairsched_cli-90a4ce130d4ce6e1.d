@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fairsched_cli-90a4ce130d4ce6e1.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched_cli-90a4ce130d4ce6e1.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libfairsched_cli-90a4ce130d4ce6e1.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairsched_cli-c6a8ce0cc1e2459f.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/fairsched_cli-c6a8ce0cc1e2459f: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairsched_core-353f85122b789e4e.d: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libfairsched_core-353f85122b789e4e.rlib: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libfairsched_core-353f85122b789e4e.rmeta: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/gantt.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fairsched_core-58b36bbe346cfc18.d: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/fairsched_core-58b36bbe346cfc18: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/gantt.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fairsched_core-dd5f63334bb68c23.d: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched_core-dd5f63334bb68c23.rmeta: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/gantt.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

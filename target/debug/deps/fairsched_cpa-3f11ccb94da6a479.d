@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fairsched_cpa-3f11ccb94da6a479.d: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs
+
+/root/repo/target/debug/deps/libfairsched_cpa-3f11ccb94da6a479.rlib: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs
+
+/root/repo/target/debug/deps/libfairsched_cpa-3f11ccb94da6a479.rmeta: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs
+
+crates/cpa/src/lib.rs:
+crates/cpa/src/alloc.rs:
+crates/cpa/src/frag.rs:
+crates/cpa/src/linear.rs:

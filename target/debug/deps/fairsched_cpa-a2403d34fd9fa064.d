@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fairsched_cpa-a2403d34fd9fa064.d: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs
+
+/root/repo/target/debug/deps/fairsched_cpa-a2403d34fd9fa064: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs
+
+crates/cpa/src/lib.rs:
+crates/cpa/src/alloc.rs:
+crates/cpa/src/frag.rs:
+crates/cpa/src/linear.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairsched_cpa-da150e287e9954c9.d: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched_cpa-da150e287e9954c9.rmeta: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs Cargo.toml
+
+crates/cpa/src/lib.rs:
+crates/cpa/src/alloc.rs:
+crates/cpa/src/frag.rs:
+crates/cpa/src/linear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

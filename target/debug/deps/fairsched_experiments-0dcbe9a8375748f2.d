@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fairsched_experiments-0dcbe9a8375748f2.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/debug/deps/fairsched_experiments-0dcbe9a8375748f2: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/characterization.rs:
+crates/experiments/src/figures.rs:

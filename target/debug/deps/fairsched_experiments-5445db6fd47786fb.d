@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fairsched_experiments-5445db6fd47786fb.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/debug/deps/libfairsched_experiments-5445db6fd47786fb.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/debug/deps/libfairsched_experiments-5445db6fd47786fb.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/characterization.rs:
+crates/experiments/src/figures.rs:

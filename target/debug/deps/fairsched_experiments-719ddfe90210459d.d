@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairsched_experiments-719ddfe90210459d.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched_experiments-719ddfe90210459d.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/characterization.rs:
+crates/experiments/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fairsched_experiments-e7a935e7f6aad344.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/debug/deps/libfairsched_experiments-e7a935e7f6aad344.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/debug/deps/libfairsched_experiments-e7a935e7f6aad344.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/characterization.rs:
+crates/experiments/src/figures.rs:

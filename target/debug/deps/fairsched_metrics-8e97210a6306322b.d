@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fairsched_metrics-8e97210a6306322b.d: crates/metrics/src/lib.rs crates/metrics/src/fairness/mod.rs crates/metrics/src/fairness/consp.rs crates/metrics/src/fairness/equality.rs crates/metrics/src/fairness/fst.rs crates/metrics/src/fairness/hybrid.rs crates/metrics/src/fairness/jain.rs crates/metrics/src/fairness/peruser.rs crates/metrics/src/fairness/resilience.rs crates/metrics/src/fairness/sabin.rs crates/metrics/src/system.rs crates/metrics/src/user.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched_metrics-8e97210a6306322b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/fairness/mod.rs crates/metrics/src/fairness/consp.rs crates/metrics/src/fairness/equality.rs crates/metrics/src/fairness/fst.rs crates/metrics/src/fairness/hybrid.rs crates/metrics/src/fairness/jain.rs crates/metrics/src/fairness/peruser.rs crates/metrics/src/fairness/resilience.rs crates/metrics/src/fairness/sabin.rs crates/metrics/src/system.rs crates/metrics/src/user.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/fairness/mod.rs:
+crates/metrics/src/fairness/consp.rs:
+crates/metrics/src/fairness/equality.rs:
+crates/metrics/src/fairness/fst.rs:
+crates/metrics/src/fairness/hybrid.rs:
+crates/metrics/src/fairness/jain.rs:
+crates/metrics/src/fairness/peruser.rs:
+crates/metrics/src/fairness/resilience.rs:
+crates/metrics/src/fairness/sabin.rs:
+crates/metrics/src/system.rs:
+crates/metrics/src/user.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

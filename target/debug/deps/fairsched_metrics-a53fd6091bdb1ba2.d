@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fairsched_metrics-a53fd6091bdb1ba2.d: crates/metrics/src/lib.rs crates/metrics/src/fairness/mod.rs crates/metrics/src/fairness/consp.rs crates/metrics/src/fairness/equality.rs crates/metrics/src/fairness/fst.rs crates/metrics/src/fairness/hybrid.rs crates/metrics/src/fairness/jain.rs crates/metrics/src/fairness/peruser.rs crates/metrics/src/fairness/sabin.rs crates/metrics/src/system.rs crates/metrics/src/user.rs
+
+/root/repo/target/debug/deps/fairsched_metrics-a53fd6091bdb1ba2: crates/metrics/src/lib.rs crates/metrics/src/fairness/mod.rs crates/metrics/src/fairness/consp.rs crates/metrics/src/fairness/equality.rs crates/metrics/src/fairness/fst.rs crates/metrics/src/fairness/hybrid.rs crates/metrics/src/fairness/jain.rs crates/metrics/src/fairness/peruser.rs crates/metrics/src/fairness/sabin.rs crates/metrics/src/system.rs crates/metrics/src/user.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/fairness/mod.rs:
+crates/metrics/src/fairness/consp.rs:
+crates/metrics/src/fairness/equality.rs:
+crates/metrics/src/fairness/fst.rs:
+crates/metrics/src/fairness/hybrid.rs:
+crates/metrics/src/fairness/jain.rs:
+crates/metrics/src/fairness/peruser.rs:
+crates/metrics/src/fairness/sabin.rs:
+crates/metrics/src/system.rs:
+crates/metrics/src/user.rs:

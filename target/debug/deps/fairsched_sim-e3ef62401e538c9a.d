@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fairsched_sim-e3ef62401e538c9a.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fairshare.rs crates/sim/src/faults.rs crates/sim/src/listsched.rs crates/sim/src/profile.rs crates/sim/src/simulator.rs crates/sim/src/starvation.rs crates/sim/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched_sim-e3ef62401e538c9a.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fairshare.rs crates/sim/src/faults.rs crates/sim/src/listsched.rs crates/sim/src/profile.rs crates/sim/src/simulator.rs crates/sim/src/starvation.rs crates/sim/src/state.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fairshare.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/listsched.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/starvation.rs:
+crates/sim/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fairsched_sim-f5d835c45186d77c.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fairshare.rs crates/sim/src/faults.rs crates/sim/src/listsched.rs crates/sim/src/profile.rs crates/sim/src/simulator.rs crates/sim/src/starvation.rs crates/sim/src/state.rs
+
+/root/repo/target/debug/deps/libfairsched_sim-f5d835c45186d77c.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fairshare.rs crates/sim/src/faults.rs crates/sim/src/listsched.rs crates/sim/src/profile.rs crates/sim/src/simulator.rs crates/sim/src/starvation.rs crates/sim/src/state.rs
+
+/root/repo/target/debug/deps/libfairsched_sim-f5d835c45186d77c.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fairshare.rs crates/sim/src/faults.rs crates/sim/src/listsched.rs crates/sim/src/profile.rs crates/sim/src/simulator.rs crates/sim/src/starvation.rs crates/sim/src/state.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fairshare.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/listsched.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/starvation.rs:
+crates/sim/src/state.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fairsched_workload-61468d8ed7d40ffe.d: crates/workload/src/lib.rs crates/workload/src/categories.rs crates/workload/src/estimate.rs crates/workload/src/job.rs crates/workload/src/models.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/synthetic.rs crates/workload/src/tables.rs crates/workload/src/time.rs
+
+/root/repo/target/debug/deps/fairsched_workload-61468d8ed7d40ffe: crates/workload/src/lib.rs crates/workload/src/categories.rs crates/workload/src/estimate.rs crates/workload/src/job.rs crates/workload/src/models.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/synthetic.rs crates/workload/src/tables.rs crates/workload/src/time.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/categories.rs:
+crates/workload/src/estimate.rs:
+crates/workload/src/job.rs:
+crates/workload/src/models.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/tables.rs:
+crates/workload/src/time.rs:

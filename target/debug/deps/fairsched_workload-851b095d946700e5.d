@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fairsched_workload-851b095d946700e5.d: crates/workload/src/lib.rs crates/workload/src/categories.rs crates/workload/src/estimate.rs crates/workload/src/job.rs crates/workload/src/models.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/synthetic.rs crates/workload/src/tables.rs crates/workload/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairsched_workload-851b095d946700e5.rmeta: crates/workload/src/lib.rs crates/workload/src/categories.rs crates/workload/src/estimate.rs crates/workload/src/job.rs crates/workload/src/models.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/synthetic.rs crates/workload/src/tables.rs crates/workload/src/time.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/categories.rs:
+crates/workload/src/estimate.rs:
+crates/workload/src/job.rs:
+crates/workload/src/models.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/tables.rs:
+crates/workload/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

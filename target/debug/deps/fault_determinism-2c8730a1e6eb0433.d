@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-2c8730a1e6eb0433.d: tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/fault_determinism-2c8730a1e6eb0433: tests/fault_determinism.rs
+
+tests/fault_determinism.rs:

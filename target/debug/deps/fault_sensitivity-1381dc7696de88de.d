@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sensitivity-1381dc7696de88de.d: crates/experiments/src/bin/fault_sensitivity.rs
+
+/root/repo/target/debug/deps/fault_sensitivity-1381dc7696de88de: crates/experiments/src/bin/fault_sensitivity.rs
+
+crates/experiments/src/bin/fault_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sensitivity-5a3e6eb326214a62.d: crates/experiments/src/bin/fault_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sensitivity-5a3e6eb326214a62.rmeta: crates/experiments/src/bin/fault_sensitivity.rs Cargo.toml
+
+crates/experiments/src/bin/fault_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

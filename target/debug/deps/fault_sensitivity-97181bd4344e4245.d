@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sensitivity-97181bd4344e4245.d: crates/experiments/src/bin/fault_sensitivity.rs
+
+/root/repo/target/debug/deps/fault_sensitivity-97181bd4344e4245: crates/experiments/src/bin/fault_sensitivity.rs
+
+crates/experiments/src/bin/fault_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sensitivity-d0434707cccaa9af.d: crates/experiments/src/bin/fault_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sensitivity-d0434707cccaa9af.rmeta: crates/experiments/src/bin/fault_sensitivity.rs Cargo.toml
+
+crates/experiments/src/bin/fault_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

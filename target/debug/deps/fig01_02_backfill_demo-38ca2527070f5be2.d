@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_backfill_demo-38ca2527070f5be2.d: crates/experiments/src/bin/fig01_02_backfill_demo.rs
+
+/root/repo/target/debug/deps/fig01_02_backfill_demo-38ca2527070f5be2: crates/experiments/src/bin/fig01_02_backfill_demo.rs
+
+crates/experiments/src/bin/fig01_02_backfill_demo.rs:

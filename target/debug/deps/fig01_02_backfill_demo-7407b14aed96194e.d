@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_02_backfill_demo-7407b14aed96194e.d: crates/experiments/src/bin/fig01_02_backfill_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_02_backfill_demo-7407b14aed96194e.rmeta: crates/experiments/src/bin/fig01_02_backfill_demo.rs Cargo.toml
+
+crates/experiments/src/bin/fig01_02_backfill_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

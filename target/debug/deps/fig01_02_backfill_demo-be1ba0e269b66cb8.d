@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_backfill_demo-be1ba0e269b66cb8.d: crates/experiments/src/bin/fig01_02_backfill_demo.rs
+
+/root/repo/target/debug/deps/fig01_02_backfill_demo-be1ba0e269b66cb8: crates/experiments/src/bin/fig01_02_backfill_demo.rs
+
+crates/experiments/src/bin/fig01_02_backfill_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_backfill_demo-f19522fe88d04c41.d: crates/experiments/src/bin/fig01_02_backfill_demo.rs
+
+/root/repo/target/debug/deps/fig01_02_backfill_demo-f19522fe88d04c41: crates/experiments/src/bin/fig01_02_backfill_demo.rs
+
+crates/experiments/src/bin/fig01_02_backfill_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_offered_load-49901dfd11877837.d: crates/experiments/src/bin/fig03_offered_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_offered_load-49901dfd11877837.rmeta: crates/experiments/src/bin/fig03_offered_load.rs Cargo.toml
+
+crates/experiments/src/bin/fig03_offered_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

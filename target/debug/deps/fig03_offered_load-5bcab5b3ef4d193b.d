@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_offered_load-5bcab5b3ef4d193b.d: crates/experiments/src/bin/fig03_offered_load.rs
+
+/root/repo/target/debug/deps/fig03_offered_load-5bcab5b3ef4d193b: crates/experiments/src/bin/fig03_offered_load.rs
+
+crates/experiments/src/bin/fig03_offered_load.rs:

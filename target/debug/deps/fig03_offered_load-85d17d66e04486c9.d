@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_offered_load-85d17d66e04486c9.d: crates/experiments/src/bin/fig03_offered_load.rs
+
+/root/repo/target/debug/deps/fig03_offered_load-85d17d66e04486c9: crates/experiments/src/bin/fig03_offered_load.rs
+
+crates/experiments/src/bin/fig03_offered_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_offered_load-d0bfc6cb9ce99c83.d: crates/experiments/src/bin/fig03_offered_load.rs
+
+/root/repo/target/debug/deps/fig03_offered_load-d0bfc6cb9ce99c83: crates/experiments/src/bin/fig03_offered_load.rs
+
+crates/experiments/src/bin/fig03_offered_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_runtime_nodes-cb87ef2890669aa9.d: crates/experiments/src/bin/fig04_runtime_nodes.rs
+
+/root/repo/target/debug/deps/fig04_runtime_nodes-cb87ef2890669aa9: crates/experiments/src/bin/fig04_runtime_nodes.rs
+
+crates/experiments/src/bin/fig04_runtime_nodes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_runtime_nodes-d07212cf04cd45ff.d: crates/experiments/src/bin/fig04_runtime_nodes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_runtime_nodes-d07212cf04cd45ff.rmeta: crates/experiments/src/bin/fig04_runtime_nodes.rs Cargo.toml
+
+crates/experiments/src/bin/fig04_runtime_nodes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

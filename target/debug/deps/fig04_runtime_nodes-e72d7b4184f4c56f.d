@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_runtime_nodes-e72d7b4184f4c56f.d: crates/experiments/src/bin/fig04_runtime_nodes.rs
+
+/root/repo/target/debug/deps/fig04_runtime_nodes-e72d7b4184f4c56f: crates/experiments/src/bin/fig04_runtime_nodes.rs
+
+crates/experiments/src/bin/fig04_runtime_nodes.rs:

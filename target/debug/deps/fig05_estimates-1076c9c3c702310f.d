@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_estimates-1076c9c3c702310f.d: crates/experiments/src/bin/fig05_estimates.rs
+
+/root/repo/target/debug/deps/fig05_estimates-1076c9c3c702310f: crates/experiments/src/bin/fig05_estimates.rs
+
+crates/experiments/src/bin/fig05_estimates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_estimates-3d629ba36f2b069c.d: crates/experiments/src/bin/fig05_estimates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_estimates-3d629ba36f2b069c.rmeta: crates/experiments/src/bin/fig05_estimates.rs Cargo.toml
+
+crates/experiments/src/bin/fig05_estimates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

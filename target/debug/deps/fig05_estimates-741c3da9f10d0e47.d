@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_estimates-741c3da9f10d0e47.d: crates/experiments/src/bin/fig05_estimates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_estimates-741c3da9f10d0e47.rmeta: crates/experiments/src/bin/fig05_estimates.rs Cargo.toml
+
+crates/experiments/src/bin/fig05_estimates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_estimates-ab37ed2847f99623.d: crates/experiments/src/bin/fig05_estimates.rs
+
+/root/repo/target/debug/deps/fig05_estimates-ab37ed2847f99623: crates/experiments/src/bin/fig05_estimates.rs
+
+crates/experiments/src/bin/fig05_estimates.rs:

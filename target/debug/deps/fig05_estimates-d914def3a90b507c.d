@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_estimates-d914def3a90b507c.d: crates/experiments/src/bin/fig05_estimates.rs
+
+/root/repo/target/debug/deps/fig05_estimates-d914def3a90b507c: crates/experiments/src/bin/fig05_estimates.rs
+
+crates/experiments/src/bin/fig05_estimates.rs:

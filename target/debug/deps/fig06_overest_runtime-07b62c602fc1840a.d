@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_overest_runtime-07b62c602fc1840a.d: crates/experiments/src/bin/fig06_overest_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_overest_runtime-07b62c602fc1840a.rmeta: crates/experiments/src/bin/fig06_overest_runtime.rs Cargo.toml
+
+crates/experiments/src/bin/fig06_overest_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

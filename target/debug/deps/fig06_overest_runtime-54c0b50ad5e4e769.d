@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_overest_runtime-54c0b50ad5e4e769.d: crates/experiments/src/bin/fig06_overest_runtime.rs
+
+/root/repo/target/debug/deps/fig06_overest_runtime-54c0b50ad5e4e769: crates/experiments/src/bin/fig06_overest_runtime.rs
+
+crates/experiments/src/bin/fig06_overest_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_overest_runtime-5aa76e362a95682b.d: crates/experiments/src/bin/fig06_overest_runtime.rs
+
+/root/repo/target/debug/deps/fig06_overest_runtime-5aa76e362a95682b: crates/experiments/src/bin/fig06_overest_runtime.rs
+
+crates/experiments/src/bin/fig06_overest_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_overest_runtime-e5263b65cea041bd.d: crates/experiments/src/bin/fig06_overest_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_overest_runtime-e5263b65cea041bd.rmeta: crates/experiments/src/bin/fig06_overest_runtime.rs Cargo.toml
+
+crates/experiments/src/bin/fig06_overest_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

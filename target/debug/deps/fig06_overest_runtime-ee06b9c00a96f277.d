@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_overest_runtime-ee06b9c00a96f277.d: crates/experiments/src/bin/fig06_overest_runtime.rs
+
+/root/repo/target/debug/deps/fig06_overest_runtime-ee06b9c00a96f277: crates/experiments/src/bin/fig06_overest_runtime.rs
+
+crates/experiments/src/bin/fig06_overest_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_overest_nodes-6b5ecd131ca695bf.d: crates/experiments/src/bin/fig07_overest_nodes.rs
+
+/root/repo/target/debug/deps/fig07_overest_nodes-6b5ecd131ca695bf: crates/experiments/src/bin/fig07_overest_nodes.rs
+
+crates/experiments/src/bin/fig07_overest_nodes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_overest_nodes-8ff6724d96b0e08e.d: crates/experiments/src/bin/fig07_overest_nodes.rs
+
+/root/repo/target/debug/deps/fig07_overest_nodes-8ff6724d96b0e08e: crates/experiments/src/bin/fig07_overest_nodes.rs
+
+crates/experiments/src/bin/fig07_overest_nodes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_overest_nodes-accfd0f2366a349a.d: crates/experiments/src/bin/fig07_overest_nodes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_overest_nodes-accfd0f2366a349a.rmeta: crates/experiments/src/bin/fig07_overest_nodes.rs Cargo.toml
+
+crates/experiments/src/bin/fig07_overest_nodes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

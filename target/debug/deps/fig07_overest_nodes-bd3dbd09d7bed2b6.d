@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_overest_nodes-bd3dbd09d7bed2b6.d: crates/experiments/src/bin/fig07_overest_nodes.rs
+
+/root/repo/target/debug/deps/fig07_overest_nodes-bd3dbd09d7bed2b6: crates/experiments/src/bin/fig07_overest_nodes.rs
+
+crates/experiments/src/bin/fig07_overest_nodes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_percent_unfair_minor-4e7386578d6c0944.d: crates/experiments/src/bin/fig08_percent_unfair_minor.rs
+
+/root/repo/target/debug/deps/fig08_percent_unfair_minor-4e7386578d6c0944: crates/experiments/src/bin/fig08_percent_unfair_minor.rs
+
+crates/experiments/src/bin/fig08_percent_unfair_minor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_percent_unfair_minor-6e17a88ad34c1df4.d: crates/experiments/src/bin/fig08_percent_unfair_minor.rs
+
+/root/repo/target/debug/deps/fig08_percent_unfair_minor-6e17a88ad34c1df4: crates/experiments/src/bin/fig08_percent_unfair_minor.rs
+
+crates/experiments/src/bin/fig08_percent_unfair_minor.rs:

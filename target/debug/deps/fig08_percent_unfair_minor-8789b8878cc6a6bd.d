@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_percent_unfair_minor-8789b8878cc6a6bd.d: crates/experiments/src/bin/fig08_percent_unfair_minor.rs
+
+/root/repo/target/debug/deps/fig08_percent_unfair_minor-8789b8878cc6a6bd: crates/experiments/src/bin/fig08_percent_unfair_minor.rs
+
+crates/experiments/src/bin/fig08_percent_unfair_minor.rs:

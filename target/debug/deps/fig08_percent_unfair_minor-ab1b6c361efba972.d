@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_percent_unfair_minor-ab1b6c361efba972.d: crates/experiments/src/bin/fig08_percent_unfair_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_percent_unfair_minor-ab1b6c361efba972.rmeta: crates/experiments/src/bin/fig08_percent_unfair_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig08_percent_unfair_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_miss_time_minor-68f3a1147e0504d6.d: crates/experiments/src/bin/fig09_miss_time_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_miss_time_minor-68f3a1147e0504d6.rmeta: crates/experiments/src/bin/fig09_miss_time_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig09_miss_time_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

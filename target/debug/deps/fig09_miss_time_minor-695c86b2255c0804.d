@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_miss_time_minor-695c86b2255c0804.d: crates/experiments/src/bin/fig09_miss_time_minor.rs
+
+/root/repo/target/debug/deps/fig09_miss_time_minor-695c86b2255c0804: crates/experiments/src/bin/fig09_miss_time_minor.rs
+
+crates/experiments/src/bin/fig09_miss_time_minor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_miss_time_minor-86b4a7afc697070a.d: crates/experiments/src/bin/fig09_miss_time_minor.rs
+
+/root/repo/target/debug/deps/fig09_miss_time_minor-86b4a7afc697070a: crates/experiments/src/bin/fig09_miss_time_minor.rs
+
+crates/experiments/src/bin/fig09_miss_time_minor.rs:

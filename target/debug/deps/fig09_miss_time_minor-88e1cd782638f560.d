@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_miss_time_minor-88e1cd782638f560.d: crates/experiments/src/bin/fig09_miss_time_minor.rs
+
+/root/repo/target/debug/deps/fig09_miss_time_minor-88e1cd782638f560: crates/experiments/src/bin/fig09_miss_time_minor.rs
+
+crates/experiments/src/bin/fig09_miss_time_minor.rs:

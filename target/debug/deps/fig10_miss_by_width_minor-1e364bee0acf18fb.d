@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_miss_by_width_minor-1e364bee0acf18fb.d: crates/experiments/src/bin/fig10_miss_by_width_minor.rs
+
+/root/repo/target/debug/deps/fig10_miss_by_width_minor-1e364bee0acf18fb: crates/experiments/src/bin/fig10_miss_by_width_minor.rs
+
+crates/experiments/src/bin/fig10_miss_by_width_minor.rs:

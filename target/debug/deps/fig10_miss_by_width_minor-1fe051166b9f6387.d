@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_miss_by_width_minor-1fe051166b9f6387.d: crates/experiments/src/bin/fig10_miss_by_width_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_miss_by_width_minor-1fe051166b9f6387.rmeta: crates/experiments/src/bin/fig10_miss_by_width_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig10_miss_by_width_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

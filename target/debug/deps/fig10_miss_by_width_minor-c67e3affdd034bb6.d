@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_miss_by_width_minor-c67e3affdd034bb6.d: crates/experiments/src/bin/fig10_miss_by_width_minor.rs
+
+/root/repo/target/debug/deps/fig10_miss_by_width_minor-c67e3affdd034bb6: crates/experiments/src/bin/fig10_miss_by_width_minor.rs
+
+crates/experiments/src/bin/fig10_miss_by_width_minor.rs:

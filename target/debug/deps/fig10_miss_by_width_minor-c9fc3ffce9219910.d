@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_miss_by_width_minor-c9fc3ffce9219910.d: crates/experiments/src/bin/fig10_miss_by_width_minor.rs
+
+/root/repo/target/debug/deps/fig10_miss_by_width_minor-c9fc3ffce9219910: crates/experiments/src/bin/fig10_miss_by_width_minor.rs
+
+crates/experiments/src/bin/fig10_miss_by_width_minor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_miss_by_width_minor-f048a94383592e57.d: crates/experiments/src/bin/fig10_miss_by_width_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_miss_by_width_minor-f048a94383592e57.rmeta: crates/experiments/src/bin/fig10_miss_by_width_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig10_miss_by_width_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_turnaround_minor-42f885c42273adfe.d: crates/experiments/src/bin/fig11_turnaround_minor.rs
+
+/root/repo/target/debug/deps/fig11_turnaround_minor-42f885c42273adfe: crates/experiments/src/bin/fig11_turnaround_minor.rs
+
+crates/experiments/src/bin/fig11_turnaround_minor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_turnaround_minor-6b14bd02f65684cb.d: crates/experiments/src/bin/fig11_turnaround_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_turnaround_minor-6b14bd02f65684cb.rmeta: crates/experiments/src/bin/fig11_turnaround_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig11_turnaround_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

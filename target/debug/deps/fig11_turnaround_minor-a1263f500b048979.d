@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_turnaround_minor-a1263f500b048979.d: crates/experiments/src/bin/fig11_turnaround_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_turnaround_minor-a1263f500b048979.rmeta: crates/experiments/src/bin/fig11_turnaround_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig11_turnaround_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

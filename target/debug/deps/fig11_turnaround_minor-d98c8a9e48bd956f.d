@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_turnaround_minor-d98c8a9e48bd956f.d: crates/experiments/src/bin/fig11_turnaround_minor.rs
+
+/root/repo/target/debug/deps/fig11_turnaround_minor-d98c8a9e48bd956f: crates/experiments/src/bin/fig11_turnaround_minor.rs
+
+crates/experiments/src/bin/fig11_turnaround_minor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_turnaround_minor-fa6b64242276c34b.d: crates/experiments/src/bin/fig11_turnaround_minor.rs
+
+/root/repo/target/debug/deps/fig11_turnaround_minor-fa6b64242276c34b: crates/experiments/src/bin/fig11_turnaround_minor.rs
+
+crates/experiments/src/bin/fig11_turnaround_minor.rs:

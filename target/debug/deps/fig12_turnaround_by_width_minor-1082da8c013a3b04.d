@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_turnaround_by_width_minor-1082da8c013a3b04.d: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs
+
+/root/repo/target/debug/deps/fig12_turnaround_by_width_minor-1082da8c013a3b04: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs
+
+crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_turnaround_by_width_minor-285f3eeffbafa1c5.d: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs
+
+/root/repo/target/debug/deps/fig12_turnaround_by_width_minor-285f3eeffbafa1c5: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs
+
+crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_turnaround_by_width_minor-7961bf0d44700d57.d: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_turnaround_by_width_minor-7961bf0d44700d57.rmeta: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

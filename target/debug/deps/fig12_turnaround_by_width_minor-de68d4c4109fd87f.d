@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_turnaround_by_width_minor-de68d4c4109fd87f.d: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_turnaround_by_width_minor-de68d4c4109fd87f.rmeta: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_loc_minor-01c8f47f1d130189.d: crates/experiments/src/bin/fig13_loc_minor.rs
+
+/root/repo/target/debug/deps/fig13_loc_minor-01c8f47f1d130189: crates/experiments/src/bin/fig13_loc_minor.rs
+
+crates/experiments/src/bin/fig13_loc_minor.rs:

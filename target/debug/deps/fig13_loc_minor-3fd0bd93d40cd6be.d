@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_loc_minor-3fd0bd93d40cd6be.d: crates/experiments/src/bin/fig13_loc_minor.rs
+
+/root/repo/target/debug/deps/fig13_loc_minor-3fd0bd93d40cd6be: crates/experiments/src/bin/fig13_loc_minor.rs
+
+crates/experiments/src/bin/fig13_loc_minor.rs:

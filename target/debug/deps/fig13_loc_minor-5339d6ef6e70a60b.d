@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_loc_minor-5339d6ef6e70a60b.d: crates/experiments/src/bin/fig13_loc_minor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_loc_minor-5339d6ef6e70a60b.rmeta: crates/experiments/src/bin/fig13_loc_minor.rs Cargo.toml
+
+crates/experiments/src/bin/fig13_loc_minor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

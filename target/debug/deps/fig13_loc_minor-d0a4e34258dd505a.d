@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_loc_minor-d0a4e34258dd505a.d: crates/experiments/src/bin/fig13_loc_minor.rs
+
+/root/repo/target/debug/deps/fig13_loc_minor-d0a4e34258dd505a: crates/experiments/src/bin/fig13_loc_minor.rs
+
+crates/experiments/src/bin/fig13_loc_minor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_percent_unfair_all-3bcce71f167ed55e.d: crates/experiments/src/bin/fig14_percent_unfair_all.rs
+
+/root/repo/target/debug/deps/fig14_percent_unfair_all-3bcce71f167ed55e: crates/experiments/src/bin/fig14_percent_unfair_all.rs
+
+crates/experiments/src/bin/fig14_percent_unfair_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_percent_unfair_all-6068b4329bc351c3.d: crates/experiments/src/bin/fig14_percent_unfair_all.rs
+
+/root/repo/target/debug/deps/fig14_percent_unfair_all-6068b4329bc351c3: crates/experiments/src/bin/fig14_percent_unfair_all.rs
+
+crates/experiments/src/bin/fig14_percent_unfair_all.rs:

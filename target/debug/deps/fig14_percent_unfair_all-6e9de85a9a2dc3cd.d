@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_percent_unfair_all-6e9de85a9a2dc3cd.d: crates/experiments/src/bin/fig14_percent_unfair_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_percent_unfair_all-6e9de85a9a2dc3cd.rmeta: crates/experiments/src/bin/fig14_percent_unfair_all.rs Cargo.toml
+
+crates/experiments/src/bin/fig14_percent_unfair_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

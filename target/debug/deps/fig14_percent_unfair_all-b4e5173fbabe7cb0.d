@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_percent_unfair_all-b4e5173fbabe7cb0.d: crates/experiments/src/bin/fig14_percent_unfair_all.rs
+
+/root/repo/target/debug/deps/fig14_percent_unfair_all-b4e5173fbabe7cb0: crates/experiments/src/bin/fig14_percent_unfair_all.rs
+
+crates/experiments/src/bin/fig14_percent_unfair_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_percent_unfair_all-becb9c52f2cfb375.d: crates/experiments/src/bin/fig14_percent_unfair_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_percent_unfair_all-becb9c52f2cfb375.rmeta: crates/experiments/src/bin/fig14_percent_unfair_all.rs Cargo.toml
+
+crates/experiments/src/bin/fig14_percent_unfair_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

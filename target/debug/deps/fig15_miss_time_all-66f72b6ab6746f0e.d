@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_miss_time_all-66f72b6ab6746f0e.d: crates/experiments/src/bin/fig15_miss_time_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_miss_time_all-66f72b6ab6746f0e.rmeta: crates/experiments/src/bin/fig15_miss_time_all.rs Cargo.toml
+
+crates/experiments/src/bin/fig15_miss_time_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_miss_time_all-88d9376e234eb440.d: crates/experiments/src/bin/fig15_miss_time_all.rs
+
+/root/repo/target/debug/deps/fig15_miss_time_all-88d9376e234eb440: crates/experiments/src/bin/fig15_miss_time_all.rs
+
+crates/experiments/src/bin/fig15_miss_time_all.rs:

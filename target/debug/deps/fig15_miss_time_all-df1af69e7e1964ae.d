@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_miss_time_all-df1af69e7e1964ae.d: crates/experiments/src/bin/fig15_miss_time_all.rs
+
+/root/repo/target/debug/deps/fig15_miss_time_all-df1af69e7e1964ae: crates/experiments/src/bin/fig15_miss_time_all.rs
+
+crates/experiments/src/bin/fig15_miss_time_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_miss_by_width_cons-34714345cdb3c585.d: crates/experiments/src/bin/fig16_miss_by_width_cons.rs
+
+/root/repo/target/debug/deps/fig16_miss_by_width_cons-34714345cdb3c585: crates/experiments/src/bin/fig16_miss_by_width_cons.rs
+
+crates/experiments/src/bin/fig16_miss_by_width_cons.rs:

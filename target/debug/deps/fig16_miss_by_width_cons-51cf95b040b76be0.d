@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_miss_by_width_cons-51cf95b040b76be0.d: crates/experiments/src/bin/fig16_miss_by_width_cons.rs
+
+/root/repo/target/debug/deps/fig16_miss_by_width_cons-51cf95b040b76be0: crates/experiments/src/bin/fig16_miss_by_width_cons.rs
+
+crates/experiments/src/bin/fig16_miss_by_width_cons.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_miss_by_width_cons-cf58ae9f9e8d9d2e.d: crates/experiments/src/bin/fig16_miss_by_width_cons.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_miss_by_width_cons-cf58ae9f9e8d9d2e.rmeta: crates/experiments/src/bin/fig16_miss_by_width_cons.rs Cargo.toml
+
+crates/experiments/src/bin/fig16_miss_by_width_cons.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

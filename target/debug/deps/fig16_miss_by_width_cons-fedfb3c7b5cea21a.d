@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_miss_by_width_cons-fedfb3c7b5cea21a.d: crates/experiments/src/bin/fig16_miss_by_width_cons.rs
+
+/root/repo/target/debug/deps/fig16_miss_by_width_cons-fedfb3c7b5cea21a: crates/experiments/src/bin/fig16_miss_by_width_cons.rs
+
+crates/experiments/src/bin/fig16_miss_by_width_cons.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_turnaround_all-0cdcfdd724482329.d: crates/experiments/src/bin/fig17_turnaround_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_turnaround_all-0cdcfdd724482329.rmeta: crates/experiments/src/bin/fig17_turnaround_all.rs Cargo.toml
+
+crates/experiments/src/bin/fig17_turnaround_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

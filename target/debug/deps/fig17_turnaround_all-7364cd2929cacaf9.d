@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_turnaround_all-7364cd2929cacaf9.d: crates/experiments/src/bin/fig17_turnaround_all.rs
+
+/root/repo/target/debug/deps/fig17_turnaround_all-7364cd2929cacaf9: crates/experiments/src/bin/fig17_turnaround_all.rs
+
+crates/experiments/src/bin/fig17_turnaround_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_turnaround_all-d4a0642f7ac3b21a.d: crates/experiments/src/bin/fig17_turnaround_all.rs
+
+/root/repo/target/debug/deps/fig17_turnaround_all-d4a0642f7ac3b21a: crates/experiments/src/bin/fig17_turnaround_all.rs
+
+crates/experiments/src/bin/fig17_turnaround_all.rs:

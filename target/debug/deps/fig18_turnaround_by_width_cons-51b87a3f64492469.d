@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_turnaround_by_width_cons-51b87a3f64492469.d: crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs
+
+/root/repo/target/debug/deps/fig18_turnaround_by_width_cons-51b87a3f64492469: crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs
+
+crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_turnaround_by_width_cons-9034d72241569790.d: crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_turnaround_by_width_cons-9034d72241569790.rmeta: crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs Cargo.toml
+
+crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

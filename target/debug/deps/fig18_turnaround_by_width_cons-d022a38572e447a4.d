@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_turnaround_by_width_cons-d022a38572e447a4.d: crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs
+
+/root/repo/target/debug/deps/fig18_turnaround_by_width_cons-d022a38572e447a4: crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs
+
+crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_loc_all-8cf9696b876afadf.d: crates/experiments/src/bin/fig19_loc_all.rs
+
+/root/repo/target/debug/deps/fig19_loc_all-8cf9696b876afadf: crates/experiments/src/bin/fig19_loc_all.rs
+
+crates/experiments/src/bin/fig19_loc_all.rs:

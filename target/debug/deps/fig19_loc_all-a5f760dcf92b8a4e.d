@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_loc_all-a5f760dcf92b8a4e.d: crates/experiments/src/bin/fig19_loc_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_loc_all-a5f760dcf92b8a4e.rmeta: crates/experiments/src/bin/fig19_loc_all.rs Cargo.toml
+
+crates/experiments/src/bin/fig19_loc_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_loc_all-bb6e079fb22c76aa.d: crates/experiments/src/bin/fig19_loc_all.rs
+
+/root/repo/target/debug/deps/fig19_loc_all-bb6e079fb22c76aa: crates/experiments/src/bin/fig19_loc_all.rs
+
+crates/experiments/src/bin/fig19_loc_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_loc_all-bcc62b872c2b04c6.d: crates/experiments/src/bin/fig19_loc_all.rs
+
+/root/repo/target/debug/deps/fig19_loc_all-bcc62b872c2b04c6: crates/experiments/src/bin/fig19_loc_all.rs
+
+crates/experiments/src/bin/fig19_loc_all.rs:

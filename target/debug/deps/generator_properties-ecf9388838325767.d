@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_properties-ecf9388838325767.d: crates/workload/tests/generator_properties.rs
+
+/root/repo/target/debug/deps/generator_properties-ecf9388838325767: crates/workload/tests/generator_properties.rs
+
+crates/workload/tests/generator_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator_properties-ed1b03a03058d929.d: crates/workload/tests/generator_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator_properties-ed1b03a03058d929.rmeta: crates/workload/tests/generator_properties.rs Cargo.toml
+
+crates/workload/tests/generator_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

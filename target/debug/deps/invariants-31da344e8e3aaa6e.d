@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-31da344e8e3aaa6e.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-31da344e8e3aaa6e: tests/invariants.rs
+
+tests/invariants.rs:

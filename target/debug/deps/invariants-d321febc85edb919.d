@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-d321febc85edb919.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-d321febc85edb919: tests/invariants.rs
+
+tests/invariants.rs:

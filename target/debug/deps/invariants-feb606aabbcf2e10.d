@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-feb606aabbcf2e10.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-feb606aabbcf2e10.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metamorphic-0bd7ae70a2ea0c8d.d: tests/metamorphic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetamorphic-0bd7ae70a2ea0c8d.rmeta: tests/metamorphic.rs Cargo.toml
+
+tests/metamorphic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

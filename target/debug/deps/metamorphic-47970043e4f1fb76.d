@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metamorphic-47970043e4f1fb76.d: tests/metamorphic.rs
+
+/root/repo/target/debug/deps/metamorphic-47970043e4f1fb76: tests/metamorphic.rs
+
+tests/metamorphic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metamorphic-ff7b88e2e30b38b7.d: tests/metamorphic.rs
+
+/root/repo/target/debug/deps/metamorphic-ff7b88e2e30b38b7: tests/metamorphic.rs
+
+tests/metamorphic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metric_benches-b1659ded5948773e.d: crates/bench/benches/metric_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetric_benches-b1659ded5948773e.rmeta: crates/bench/benches/metric_benches.rs Cargo.toml
+
+crates/bench/benches/metric_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

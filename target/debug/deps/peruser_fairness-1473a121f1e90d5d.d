@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peruser_fairness-1473a121f1e90d5d.d: crates/experiments/src/bin/peruser_fairness.rs
+
+/root/repo/target/debug/deps/peruser_fairness-1473a121f1e90d5d: crates/experiments/src/bin/peruser_fairness.rs
+
+crates/experiments/src/bin/peruser_fairness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/peruser_fairness-4a854e32fd57b712.d: crates/experiments/src/bin/peruser_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperuser_fairness-4a854e32fd57b712.rmeta: crates/experiments/src/bin/peruser_fairness.rs Cargo.toml
+
+crates/experiments/src/bin/peruser_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

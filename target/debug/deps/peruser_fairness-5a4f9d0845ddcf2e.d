@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/peruser_fairness-5a4f9d0845ddcf2e.d: crates/experiments/src/bin/peruser_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperuser_fairness-5a4f9d0845ddcf2e.rmeta: crates/experiments/src/bin/peruser_fairness.rs Cargo.toml
+
+crates/experiments/src/bin/peruser_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

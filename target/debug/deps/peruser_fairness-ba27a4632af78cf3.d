@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peruser_fairness-ba27a4632af78cf3.d: crates/experiments/src/bin/peruser_fairness.rs
+
+/root/repo/target/debug/deps/peruser_fairness-ba27a4632af78cf3: crates/experiments/src/bin/peruser_fairness.rs
+
+crates/experiments/src/bin/peruser_fairness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peruser_fairness-ee3a119921e05089.d: crates/experiments/src/bin/peruser_fairness.rs
+
+/root/repo/target/debug/deps/peruser_fairness-ee3a119921e05089: crates/experiments/src/bin/peruser_fairness.rs
+
+crates/experiments/src/bin/peruser_fairness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_benches-6d971a482d805b65.d: crates/bench/benches/policy_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_benches-6d971a482d805b65.rmeta: crates/bench/benches/policy_benches.rs Cargo.toml
+
+crates/bench/benches/policy_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

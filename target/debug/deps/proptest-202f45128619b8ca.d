@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-202f45128619b8ca.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-202f45128619b8ca: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

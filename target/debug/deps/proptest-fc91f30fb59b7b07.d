@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-fc91f30fb59b7b07.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fc91f30fb59b7b07.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fc91f30fb59b7b07.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-0274c693f85c0985.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-0274c693f85c0985.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-0274c693f85c0985.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

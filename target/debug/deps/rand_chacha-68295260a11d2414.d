@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-68295260a11d2414.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-68295260a11d2414: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

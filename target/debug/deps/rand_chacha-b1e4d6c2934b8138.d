@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-b1e4d6c2934b8138.d: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-b1e4d6c2934b8138.rmeta: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+vendor/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reference_models-0c1f9392dbffb210.d: crates/sim/tests/reference_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreference_models-0c1f9392dbffb210.rmeta: crates/sim/tests/reference_models.rs Cargo.toml
+
+crates/sim/tests/reference_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reference_models-41ab9628d05e9938.d: crates/sim/tests/reference_models.rs
+
+/root/repo/target/debug/deps/reference_models-41ab9628d05e9938: crates/sim/tests/reference_models.rs
+
+crates/sim/tests/reference_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reference_models-89dbf2ef42b39a55.d: crates/sim/tests/reference_models.rs
+
+/root/repo/target/debug/deps/reference_models-89dbf2ef42b39a55: crates/sim/tests/reference_models.rs
+
+crates/sim/tests/reference_models.rs:

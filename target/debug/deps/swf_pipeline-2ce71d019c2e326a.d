@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swf_pipeline-2ce71d019c2e326a.d: tests/swf_pipeline.rs
+
+/root/repo/target/debug/deps/swf_pipeline-2ce71d019c2e326a: tests/swf_pipeline.rs
+
+tests/swf_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swf_pipeline-8e0b4acc2c8f9323.d: tests/swf_pipeline.rs
+
+/root/repo/target/debug/deps/swf_pipeline-8e0b4acc2c8f9323: tests/swf_pipeline.rs
+
+tests/swf_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swf_pipeline-d47cb0ca334e1482.d: tests/swf_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswf_pipeline-d47cb0ca334e1482.rmeta: tests/swf_pipeline.rs Cargo.toml
+
+tests/swf_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_job_counts-5f3b472777300385.d: crates/experiments/src/bin/table1_job_counts.rs
+
+/root/repo/target/debug/deps/table1_job_counts-5f3b472777300385: crates/experiments/src/bin/table1_job_counts.rs
+
+crates/experiments/src/bin/table1_job_counts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_job_counts-7c1ab51a58262aa6.d: crates/experiments/src/bin/table1_job_counts.rs
+
+/root/repo/target/debug/deps/table1_job_counts-7c1ab51a58262aa6: crates/experiments/src/bin/table1_job_counts.rs
+
+crates/experiments/src/bin/table1_job_counts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_job_counts-ae0e09de6182a65e.d: crates/experiments/src/bin/table1_job_counts.rs
+
+/root/repo/target/debug/deps/table1_job_counts-ae0e09de6182a65e: crates/experiments/src/bin/table1_job_counts.rs
+
+crates/experiments/src/bin/table1_job_counts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_job_counts-fb1db34a0da517f9.d: crates/experiments/src/bin/table1_job_counts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_job_counts-fb1db34a0da517f9.rmeta: crates/experiments/src/bin/table1_job_counts.rs Cargo.toml
+
+crates/experiments/src/bin/table1_job_counts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

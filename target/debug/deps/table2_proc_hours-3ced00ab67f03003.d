@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_proc_hours-3ced00ab67f03003.d: crates/experiments/src/bin/table2_proc_hours.rs
+
+/root/repo/target/debug/deps/table2_proc_hours-3ced00ab67f03003: crates/experiments/src/bin/table2_proc_hours.rs
+
+crates/experiments/src/bin/table2_proc_hours.rs:

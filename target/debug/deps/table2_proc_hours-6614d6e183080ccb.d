@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_proc_hours-6614d6e183080ccb.d: crates/experiments/src/bin/table2_proc_hours.rs
+
+/root/repo/target/debug/deps/table2_proc_hours-6614d6e183080ccb: crates/experiments/src/bin/table2_proc_hours.rs
+
+crates/experiments/src/bin/table2_proc_hours.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_proc_hours-89a93a845010f1ae.d: crates/experiments/src/bin/table2_proc_hours.rs
+
+/root/repo/target/debug/deps/table2_proc_hours-89a93a845010f1ae: crates/experiments/src/bin/table2_proc_hours.rs
+
+crates/experiments/src/bin/table2_proc_hours.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_proc_hours-eb716d96c7649a98.d: crates/experiments/src/bin/table2_proc_hours.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_proc_hours-eb716d96c7649a98.rmeta: crates/experiments/src/bin/table2_proc_hours.rs Cargo.toml
+
+crates/experiments/src/bin/table2_proc_hours.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_benches-57376b9a713c09c6.d: crates/bench/benches/workload_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_benches-57376b9a713c09c6.rmeta: crates/bench/benches/workload_benches.rs Cargo.toml
+
+crates/bench/benches/workload_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_audit-b5e87a4f9c126996.d: examples/fairness_audit.rs
+
+/root/repo/target/debug/examples/fairness_audit-b5e87a4f9c126996: examples/fairness_audit.rs
+
+examples/fairness_audit.rs:

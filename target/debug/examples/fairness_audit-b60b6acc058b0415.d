@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fairness_audit-b60b6acc058b0415.d: examples/fairness_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfairness_audit-b60b6acc058b0415.rmeta: examples/fairness_audit.rs Cargo.toml
+
+examples/fairness_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

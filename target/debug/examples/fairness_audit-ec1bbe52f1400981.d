@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_audit-ec1bbe52f1400981.d: examples/fairness_audit.rs
+
+/root/repo/target/debug/examples/fairness_audit-ec1bbe52f1400981: examples/fairness_audit.rs
+
+examples/fairness_audit.rs:

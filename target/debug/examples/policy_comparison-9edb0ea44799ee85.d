@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_comparison-9edb0ea44799ee85.d: examples/policy_comparison.rs
+
+/root/repo/target/debug/examples/policy_comparison-9edb0ea44799ee85: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_comparison-cc72325d26a4c5e5.d: examples/policy_comparison.rs
+
+/root/repo/target/debug/examples/policy_comparison-cc72325d26a4c5e5: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5c037ee29305175a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5c037ee29305175a: examples/quickstart.rs
+
+examples/quickstart.rs:

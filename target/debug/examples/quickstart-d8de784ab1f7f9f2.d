@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d8de784ab1f7f9f2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d8de784ab1f7f9f2: examples/quickstart.rs
+
+examples/quickstart.rs:

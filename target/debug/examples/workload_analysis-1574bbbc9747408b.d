@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_analysis-1574bbbc9747408b.d: examples/workload_analysis.rs
+
+/root/repo/target/debug/examples/workload_analysis-1574bbbc9747408b: examples/workload_analysis.rs
+
+examples/workload_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_analysis-97b2f2564ff6d7d3.d: examples/workload_analysis.rs
+
+/root/repo/target/debug/examples/workload_analysis-97b2f2564ff6d7d3: examples/workload_analysis.rs
+
+examples/workload_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_analysis-c4a9b8535d5de536.d: examples/workload_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_analysis-c4a9b8535d5de536.rmeta: examples/workload_analysis.rs Cargo.toml
+
+examples/workload_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libfairsched_cpa.rlib: /root/repo/crates/cpa/src/alloc.rs /root/repo/crates/cpa/src/frag.rs /root/repo/crates/cpa/src/lib.rs /root/repo/crates/cpa/src/linear.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sweeps-b0dd8cbd30f00b64.d: crates/experiments/src/bin/ablation_sweeps.rs
+
+/root/repo/target/release/deps/ablation_sweeps-b0dd8cbd30f00b64: crates/experiments/src/bin/ablation_sweeps.rs
+
+crates/experiments/src/bin/ablation_sweeps.rs:

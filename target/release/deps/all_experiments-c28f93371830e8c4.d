@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-c28f93371830e8c4.d: crates/experiments/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-c28f93371830e8c4: crates/experiments/src/bin/all_experiments.rs
+
+crates/experiments/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cpa_placement-826bef9f78c2e748.d: crates/experiments/src/bin/cpa_placement.rs
+
+/root/repo/target/release/deps/cpa_placement-826bef9f78c2e748: crates/experiments/src/bin/cpa_placement.rs
+
+crates/experiments/src/bin/cpa_placement.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fairsched-8f143849cbca7e8c.d: src/lib.rs
+
+/root/repo/target/release/deps/libfairsched-8f143849cbca7e8c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfairsched-8f143849cbca7e8c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fairsched-8fb245451fd1180d.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/fairsched-8fb245451fd1180d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

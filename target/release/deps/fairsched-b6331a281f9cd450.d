@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fairsched-b6331a281f9cd450.d: src/lib.rs
+
+/root/repo/target/release/deps/libfairsched-b6331a281f9cd450.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfairsched-b6331a281f9cd450.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fairsched_cli-2aade4fa0f761dda.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libfairsched_cli-2aade4fa0f761dda.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libfairsched_cli-2aade4fa0f761dda.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

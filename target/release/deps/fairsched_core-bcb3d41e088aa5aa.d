@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fairsched_core-bcb3d41e088aa5aa.d: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libfairsched_core-bcb3d41e088aa5aa.rlib: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libfairsched_core-bcb3d41e088aa5aa.rmeta: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/gantt.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:

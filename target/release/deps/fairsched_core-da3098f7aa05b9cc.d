@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fairsched_core-da3098f7aa05b9cc.d: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libfairsched_core-da3098f7aa05b9cc.rlib: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libfairsched_core-da3098f7aa05b9cc.rmeta: crates/core/src/lib.rs crates/core/src/gantt.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/gantt.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fairsched_cpa-ad7c2799517bf0da.d: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs
+
+/root/repo/target/release/deps/libfairsched_cpa-ad7c2799517bf0da.rlib: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs
+
+/root/repo/target/release/deps/libfairsched_cpa-ad7c2799517bf0da.rmeta: crates/cpa/src/lib.rs crates/cpa/src/alloc.rs crates/cpa/src/frag.rs crates/cpa/src/linear.rs
+
+crates/cpa/src/lib.rs:
+crates/cpa/src/alloc.rs:
+crates/cpa/src/frag.rs:
+crates/cpa/src/linear.rs:

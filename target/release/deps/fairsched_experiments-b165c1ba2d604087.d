@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fairsched_experiments-b165c1ba2d604087.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/release/deps/libfairsched_experiments-b165c1ba2d604087.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/release/deps/libfairsched_experiments-b165c1ba2d604087.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/characterization.rs:
+crates/experiments/src/figures.rs:

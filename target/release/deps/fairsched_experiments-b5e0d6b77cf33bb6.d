@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fairsched_experiments-b5e0d6b77cf33bb6.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/release/deps/libfairsched_experiments-b5e0d6b77cf33bb6.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+/root/repo/target/release/deps/libfairsched_experiments-b5e0d6b77cf33bb6.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/characterization.rs crates/experiments/src/figures.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/characterization.rs:
+crates/experiments/src/figures.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/fairsched_metrics-2be4b71ec50b4f47.d: crates/metrics/src/lib.rs crates/metrics/src/fairness/mod.rs crates/metrics/src/fairness/consp.rs crates/metrics/src/fairness/equality.rs crates/metrics/src/fairness/fst.rs crates/metrics/src/fairness/hybrid.rs crates/metrics/src/fairness/jain.rs crates/metrics/src/fairness/peruser.rs crates/metrics/src/fairness/resilience.rs crates/metrics/src/fairness/sabin.rs crates/metrics/src/system.rs crates/metrics/src/user.rs
+
+/root/repo/target/release/deps/libfairsched_metrics-2be4b71ec50b4f47.rlib: crates/metrics/src/lib.rs crates/metrics/src/fairness/mod.rs crates/metrics/src/fairness/consp.rs crates/metrics/src/fairness/equality.rs crates/metrics/src/fairness/fst.rs crates/metrics/src/fairness/hybrid.rs crates/metrics/src/fairness/jain.rs crates/metrics/src/fairness/peruser.rs crates/metrics/src/fairness/resilience.rs crates/metrics/src/fairness/sabin.rs crates/metrics/src/system.rs crates/metrics/src/user.rs
+
+/root/repo/target/release/deps/libfairsched_metrics-2be4b71ec50b4f47.rmeta: crates/metrics/src/lib.rs crates/metrics/src/fairness/mod.rs crates/metrics/src/fairness/consp.rs crates/metrics/src/fairness/equality.rs crates/metrics/src/fairness/fst.rs crates/metrics/src/fairness/hybrid.rs crates/metrics/src/fairness/jain.rs crates/metrics/src/fairness/peruser.rs crates/metrics/src/fairness/resilience.rs crates/metrics/src/fairness/sabin.rs crates/metrics/src/system.rs crates/metrics/src/user.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/fairness/mod.rs:
+crates/metrics/src/fairness/consp.rs:
+crates/metrics/src/fairness/equality.rs:
+crates/metrics/src/fairness/fst.rs:
+crates/metrics/src/fairness/hybrid.rs:
+crates/metrics/src/fairness/jain.rs:
+crates/metrics/src/fairness/peruser.rs:
+crates/metrics/src/fairness/resilience.rs:
+crates/metrics/src/fairness/sabin.rs:
+crates/metrics/src/system.rs:
+crates/metrics/src/user.rs:

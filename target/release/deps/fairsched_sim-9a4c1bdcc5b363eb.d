@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fairsched_sim-9a4c1bdcc5b363eb.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fairshare.rs crates/sim/src/listsched.rs crates/sim/src/profile.rs crates/sim/src/simulator.rs crates/sim/src/starvation.rs crates/sim/src/state.rs
+
+/root/repo/target/release/deps/libfairsched_sim-9a4c1bdcc5b363eb.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fairshare.rs crates/sim/src/listsched.rs crates/sim/src/profile.rs crates/sim/src/simulator.rs crates/sim/src/starvation.rs crates/sim/src/state.rs
+
+/root/repo/target/release/deps/libfairsched_sim-9a4c1bdcc5b363eb.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fairshare.rs crates/sim/src/listsched.rs crates/sim/src/profile.rs crates/sim/src/simulator.rs crates/sim/src/starvation.rs crates/sim/src/state.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fairshare.rs:
+crates/sim/src/listsched.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/starvation.rs:
+crates/sim/src/state.rs:

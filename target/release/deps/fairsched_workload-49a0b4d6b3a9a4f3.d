@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fairsched_workload-49a0b4d6b3a9a4f3.d: crates/workload/src/lib.rs crates/workload/src/categories.rs crates/workload/src/estimate.rs crates/workload/src/job.rs crates/workload/src/models.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/synthetic.rs crates/workload/src/tables.rs crates/workload/src/time.rs
+
+/root/repo/target/release/deps/libfairsched_workload-49a0b4d6b3a9a4f3.rlib: crates/workload/src/lib.rs crates/workload/src/categories.rs crates/workload/src/estimate.rs crates/workload/src/job.rs crates/workload/src/models.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/synthetic.rs crates/workload/src/tables.rs crates/workload/src/time.rs
+
+/root/repo/target/release/deps/libfairsched_workload-49a0b4d6b3a9a4f3.rmeta: crates/workload/src/lib.rs crates/workload/src/categories.rs crates/workload/src/estimate.rs crates/workload/src/job.rs crates/workload/src/models.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/synthetic.rs crates/workload/src/tables.rs crates/workload/src/time.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/categories.rs:
+crates/workload/src/estimate.rs:
+crates/workload/src/job.rs:
+crates/workload/src/models.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/tables.rs:
+crates/workload/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sensitivity-59cef72a7745dc63.d: crates/experiments/src/bin/fault_sensitivity.rs
+
+/root/repo/target/release/deps/fault_sensitivity-59cef72a7745dc63: crates/experiments/src/bin/fault_sensitivity.rs
+
+crates/experiments/src/bin/fault_sensitivity.rs:

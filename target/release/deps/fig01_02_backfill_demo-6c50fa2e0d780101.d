@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_02_backfill_demo-6c50fa2e0d780101.d: crates/experiments/src/bin/fig01_02_backfill_demo.rs
+
+/root/repo/target/release/deps/fig01_02_backfill_demo-6c50fa2e0d780101: crates/experiments/src/bin/fig01_02_backfill_demo.rs
+
+crates/experiments/src/bin/fig01_02_backfill_demo.rs:

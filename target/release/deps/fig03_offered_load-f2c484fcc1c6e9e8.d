@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_offered_load-f2c484fcc1c6e9e8.d: crates/experiments/src/bin/fig03_offered_load.rs
+
+/root/repo/target/release/deps/fig03_offered_load-f2c484fcc1c6e9e8: crates/experiments/src/bin/fig03_offered_load.rs
+
+crates/experiments/src/bin/fig03_offered_load.rs:

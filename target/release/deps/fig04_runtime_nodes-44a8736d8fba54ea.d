@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_runtime_nodes-44a8736d8fba54ea.d: crates/experiments/src/bin/fig04_runtime_nodes.rs
+
+/root/repo/target/release/deps/fig04_runtime_nodes-44a8736d8fba54ea: crates/experiments/src/bin/fig04_runtime_nodes.rs
+
+crates/experiments/src/bin/fig04_runtime_nodes.rs:

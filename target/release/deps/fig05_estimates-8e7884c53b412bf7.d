@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_estimates-8e7884c53b412bf7.d: crates/experiments/src/bin/fig05_estimates.rs
+
+/root/repo/target/release/deps/fig05_estimates-8e7884c53b412bf7: crates/experiments/src/bin/fig05_estimates.rs
+
+crates/experiments/src/bin/fig05_estimates.rs:

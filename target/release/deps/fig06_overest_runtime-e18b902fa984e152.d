@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_overest_runtime-e18b902fa984e152.d: crates/experiments/src/bin/fig06_overest_runtime.rs
+
+/root/repo/target/release/deps/fig06_overest_runtime-e18b902fa984e152: crates/experiments/src/bin/fig06_overest_runtime.rs
+
+crates/experiments/src/bin/fig06_overest_runtime.rs:

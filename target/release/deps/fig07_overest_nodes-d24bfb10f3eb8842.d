@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_overest_nodes-d24bfb10f3eb8842.d: crates/experiments/src/bin/fig07_overest_nodes.rs
+
+/root/repo/target/release/deps/fig07_overest_nodes-d24bfb10f3eb8842: crates/experiments/src/bin/fig07_overest_nodes.rs
+
+crates/experiments/src/bin/fig07_overest_nodes.rs:

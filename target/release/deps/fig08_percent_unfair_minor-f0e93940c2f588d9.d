@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_percent_unfair_minor-f0e93940c2f588d9.d: crates/experiments/src/bin/fig08_percent_unfair_minor.rs
+
+/root/repo/target/release/deps/fig08_percent_unfair_minor-f0e93940c2f588d9: crates/experiments/src/bin/fig08_percent_unfair_minor.rs
+
+crates/experiments/src/bin/fig08_percent_unfair_minor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_miss_time_minor-6876ea7a36e19035.d: crates/experiments/src/bin/fig09_miss_time_minor.rs
+
+/root/repo/target/release/deps/fig09_miss_time_minor-6876ea7a36e19035: crates/experiments/src/bin/fig09_miss_time_minor.rs
+
+crates/experiments/src/bin/fig09_miss_time_minor.rs:

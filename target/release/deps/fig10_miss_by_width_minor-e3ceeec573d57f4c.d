@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_miss_by_width_minor-e3ceeec573d57f4c.d: crates/experiments/src/bin/fig10_miss_by_width_minor.rs
+
+/root/repo/target/release/deps/fig10_miss_by_width_minor-e3ceeec573d57f4c: crates/experiments/src/bin/fig10_miss_by_width_minor.rs
+
+crates/experiments/src/bin/fig10_miss_by_width_minor.rs:

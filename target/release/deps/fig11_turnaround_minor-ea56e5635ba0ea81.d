@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_turnaround_minor-ea56e5635ba0ea81.d: crates/experiments/src/bin/fig11_turnaround_minor.rs
+
+/root/repo/target/release/deps/fig11_turnaround_minor-ea56e5635ba0ea81: crates/experiments/src/bin/fig11_turnaround_minor.rs
+
+crates/experiments/src/bin/fig11_turnaround_minor.rs:

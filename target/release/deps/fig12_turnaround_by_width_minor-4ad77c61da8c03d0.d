@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_turnaround_by_width_minor-4ad77c61da8c03d0.d: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs
+
+/root/repo/target/release/deps/fig12_turnaround_by_width_minor-4ad77c61da8c03d0: crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs
+
+crates/experiments/src/bin/fig12_turnaround_by_width_minor.rs:

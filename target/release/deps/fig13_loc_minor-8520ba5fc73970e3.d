@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_loc_minor-8520ba5fc73970e3.d: crates/experiments/src/bin/fig13_loc_minor.rs
+
+/root/repo/target/release/deps/fig13_loc_minor-8520ba5fc73970e3: crates/experiments/src/bin/fig13_loc_minor.rs
+
+crates/experiments/src/bin/fig13_loc_minor.rs:

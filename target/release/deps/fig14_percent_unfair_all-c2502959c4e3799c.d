@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_percent_unfair_all-c2502959c4e3799c.d: crates/experiments/src/bin/fig14_percent_unfair_all.rs
+
+/root/repo/target/release/deps/fig14_percent_unfair_all-c2502959c4e3799c: crates/experiments/src/bin/fig14_percent_unfair_all.rs
+
+crates/experiments/src/bin/fig14_percent_unfair_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_miss_time_all-18ef908ba341f0d0.d: crates/experiments/src/bin/fig15_miss_time_all.rs
+
+/root/repo/target/release/deps/fig15_miss_time_all-18ef908ba341f0d0: crates/experiments/src/bin/fig15_miss_time_all.rs
+
+crates/experiments/src/bin/fig15_miss_time_all.rs:

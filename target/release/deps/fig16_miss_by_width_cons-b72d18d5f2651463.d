@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_miss_by_width_cons-b72d18d5f2651463.d: crates/experiments/src/bin/fig16_miss_by_width_cons.rs
+
+/root/repo/target/release/deps/fig16_miss_by_width_cons-b72d18d5f2651463: crates/experiments/src/bin/fig16_miss_by_width_cons.rs
+
+crates/experiments/src/bin/fig16_miss_by_width_cons.rs:

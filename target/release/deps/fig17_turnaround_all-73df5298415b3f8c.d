@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_turnaround_all-73df5298415b3f8c.d: crates/experiments/src/bin/fig17_turnaround_all.rs
+
+/root/repo/target/release/deps/fig17_turnaround_all-73df5298415b3f8c: crates/experiments/src/bin/fig17_turnaround_all.rs
+
+crates/experiments/src/bin/fig17_turnaround_all.rs:

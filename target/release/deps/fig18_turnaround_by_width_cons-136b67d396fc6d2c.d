@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_turnaround_by_width_cons-136b67d396fc6d2c.d: crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs
+
+/root/repo/target/release/deps/fig18_turnaround_by_width_cons-136b67d396fc6d2c: crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs
+
+crates/experiments/src/bin/fig18_turnaround_by_width_cons.rs:

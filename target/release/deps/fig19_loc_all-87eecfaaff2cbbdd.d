@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_loc_all-87eecfaaff2cbbdd.d: crates/experiments/src/bin/fig19_loc_all.rs
+
+/root/repo/target/release/deps/fig19_loc_all-87eecfaaff2cbbdd: crates/experiments/src/bin/fig19_loc_all.rs
+
+crates/experiments/src/bin/fig19_loc_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/peruser_fairness-475859f09452fbb0.d: crates/experiments/src/bin/peruser_fairness.rs
+
+/root/repo/target/release/deps/peruser_fairness-475859f09452fbb0: crates/experiments/src/bin/peruser_fairness.rs
+
+crates/experiments/src/bin/peruser_fairness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-731d3389450a19e0.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-731d3389450a19e0.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-731d3389450a19e0.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-8d01167e62d8fd66.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-8d01167e62d8fd66.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-8d01167e62d8fd66.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-3d5290ba52b1558b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-3d5290ba52b1558b.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-3d5290ba52b1558b.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_job_counts-ff5e181ddd11b3c7.d: crates/experiments/src/bin/table1_job_counts.rs
+
+/root/repo/target/release/deps/table1_job_counts-ff5e181ddd11b3c7: crates/experiments/src/bin/table1_job_counts.rs
+
+crates/experiments/src/bin/table1_job_counts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_proc_hours-0d700fc30b6d1f62.d: crates/experiments/src/bin/table2_proc_hours.rs
+
+/root/repo/target/release/deps/table2_proc_hours-0d700fc30b6d1f62: crates/experiments/src/bin/table2_proc_hours.rs
+
+crates/experiments/src/bin/table2_proc_hours.rs:

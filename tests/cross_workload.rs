@@ -38,7 +38,11 @@ fn metrics() -> &'static Vec<(String, OutcomeMetrics)> {
 }
 
 fn of(id: &str) -> &'static OutcomeMetrics {
-    &metrics().iter().find(|(n, _)| n == id).expect("policy present").1
+    &metrics()
+        .iter()
+        .find(|(n, _)| n == id)
+        .expect("policy present")
+        .1
 }
 
 #[test]
@@ -97,6 +101,9 @@ fn all_nine_policies_complete_sanely_on_the_foreign_workload() {
     for (name, m) in all {
         assert!((0.0..=1.0).contains(&m.percent_unfair), "{name}");
         assert!((0.0..=1.0).contains(&m.loss_of_capacity), "{name}");
-        assert!(m.average_turnaround > 0.0 && m.average_turnaround.is_finite(), "{name}");
+        assert!(
+            m.average_turnaround > 0.0 && m.average_turnaround.is_finite(),
+            "{name}"
+        );
     }
 }

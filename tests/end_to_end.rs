@@ -12,13 +12,19 @@ use fairsched::workload::CplantModel;
 const NODES: u32 = 1024;
 
 fn evaluate_all() -> Vec<PolicyOutcome> {
-    let trace = CplantModel::new(42).with_nodes(NODES).with_scale(0.1).generate();
+    let trace = CplantModel::new(42)
+        .with_nodes(NODES)
+        .with_scale(0.1)
+        .generate();
     validate_trace(&trace).expect("generator produces valid traces");
     run_policies(&trace, &PolicySpec::paper_policies(), NODES)
 }
 
 fn metric_of<'a>(outcomes: &'a [PolicyOutcome], id: &str) -> &'a PolicyOutcome {
-    outcomes.iter().find(|o| o.policy == id).expect("policy present")
+    outcomes
+        .iter()
+        .find(|o| o.policy == id)
+        .expect("policy present")
 }
 
 #[test]
@@ -63,7 +69,9 @@ fn conservative_helps_wide_jobs() {
     // aggregate miss over the four widest populated buckets.
     let outcomes = evaluate_all();
     let wide_miss = |id: &str| -> f64 {
-        metric_of(&outcomes, id).metrics().miss_by_width[7..].iter().sum()
+        metric_of(&outcomes, id).metrics().miss_by_width[7..]
+            .iter()
+            .sum()
     };
     let base = wide_miss("cplant24.nomax.all");
     let cons = wide_miss("cons.nomax");
@@ -80,7 +88,10 @@ fn chunked_policies_conserve_work() {
     // trace's demand. (Kills of *unchunked* under-estimated jobs do lose
     // work, identically across policies — so compare chunked vs unchunked
     // totals only over jobs that were never killed.)
-    let trace = CplantModel::new(9).with_nodes(NODES).with_scale(0.05).generate();
+    let trace = CplantModel::new(9)
+        .with_nodes(NODES)
+        .with_scale(0.05)
+        .generate();
     let plain = run_policy(&trace, &PolicySpec::baseline(), NODES);
     let chunked = run_policy(
         &trace,
@@ -107,8 +118,7 @@ fn chunked_policies_conserve_work() {
 
     // And every never-killed original in the chunked run executed exactly
     // its trace runtime.
-    let by_id: std::collections::HashMap<_, _> =
-        trace.iter().map(|j| (j.id, j.runtime)).collect();
+    let by_id: std::collections::HashMap<_, _> = trace.iter().map(|j| (j.id, j.runtime)).collect();
     for o in chunked.originals() {
         if !o.killed {
             assert_eq!(o.executed, by_id[&o.origin], "origin {:?}", o.origin);
@@ -131,7 +141,10 @@ fn fairness_report_covers_all_submissions_for_every_policy() {
 
 #[test]
 fn easy_engine_runs_the_same_pipeline() {
-    let trace = CplantModel::new(3).with_nodes(NODES).with_scale(0.05).generate();
+    let trace = CplantModel::new(3)
+        .with_nodes(NODES)
+        .with_scale(0.05)
+        .generate();
     let outcome = run_policy(&trace, &PolicySpec::easy(), NODES);
     assert_eq!(outcome.schedule.records.len(), trace.len());
     let m = outcome.metrics();

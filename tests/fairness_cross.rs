@@ -6,9 +6,7 @@ use fairsched::metrics::fairness::equality::equality_report;
 use fairsched::metrics::fairness::hybrid::HybridFstObserver;
 use fairsched::metrics::fairness::jain::jain_index;
 use fairsched::metrics::fairness::sabin::{sabin_fsts, sabin_report};
-use fairsched::sim::{
-    simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, SimConfig,
-};
+use fairsched::sim::{simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, SimConfig};
 use fairsched::workload::job::Job;
 use fairsched::workload::synthetic::random_trace;
 use proptest::prelude::*;
@@ -16,7 +14,13 @@ use proptest::prelude::*;
 const NODES: u32 = 32;
 
 fn perfect(trace: &[Job]) -> Vec<Job> {
-    trace.iter().map(|j| Job { estimate: j.runtime, ..j.clone() }).collect()
+    trace
+        .iter()
+        .map(|j| Job {
+            estimate: j.runtime,
+            ..j.clone()
+        })
+        .collect()
 }
 
 fn cfg(engine: EngineKind, order: QueueOrder) -> SimConfig {
@@ -42,7 +46,12 @@ fn consp_schedule_is_fair_under_consp_and_hybrid_fcfs() {
     let mut obs = HybridFstObserver::new();
     let schedule = simulate(&trace, &c, &mut obs);
     let hybrid = obs.into_report();
-    assert_eq!(hybrid.percent_unfair(), 0.0, "hybrid misses: {}", hybrid.total_miss());
+    assert_eq!(
+        hybrid.percent_unfair(),
+        0.0,
+        "hybrid misses: {}",
+        hybrid.total_miss()
+    );
 
     let consp = consp_report(&schedule, &consp_fsts(&trace, NODES));
     assert_eq!(consp.percent_unfair(), 0.0);
@@ -68,7 +77,10 @@ fn metrics_disagree_on_real_schedules_but_agree_on_direction() {
     // point) — but all FST metrics must report non-negative misses and
     // score the same job set.
     let trace = random_trace(11, 300, NODES, 8000);
-    let c = SimConfig { nodes: NODES, ..Default::default() };
+    let c = SimConfig {
+        nodes: NODES,
+        ..Default::default()
+    };
     let mut obs = HybridFstObserver::new();
     let schedule = simulate(&trace, &c, &mut obs);
     let hybrid = obs.into_report();

@@ -3,8 +3,8 @@
 //! travel), accounting identities, and determinism.
 
 use fairsched::sim::{
-    simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, RuntimeLimit, Schedule,
-    SimConfig, StarvationConfig,
+    simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, RuntimeLimit, Schedule, SimConfig,
+    StarvationConfig,
 };
 use fairsched::workload::job::Job;
 use fairsched::workload::time::HOUR;
@@ -17,11 +17,11 @@ const NODES: u32 = 64;
 fn arb_trace(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
         (
-            1u64..5000,      // arrival gap
-            1u32..=NODES,    // width
-            1u64..50_000,    // runtime
-            0.3f64..8.0,     // estimate factor (some under-estimates)
-            1u32..=6,        // user
+            1u64..5000,   // arrival gap
+            1u32..=NODES, // width
+            1u64..50_000, // runtime
+            0.3f64..8.0,  // estimate factor (some under-estimates)
+            1u32..=6,     // user
         ),
         1..max_jobs,
     )
@@ -51,9 +51,13 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
             EngineKind::FcfsNoBackfill,
         ]),
         prop::sample::select(vec![QueueOrder::Fcfs, QueueOrder::Fairshare]),
-        prop::sample::select(vec![KillPolicy::AtWcl, KillPolicy::WhenNeeded, KillPolicy::Never]),
-        prop::option::of(1u64..100),  // starvation entry delay (hours)
-        prop::option::of(2u64..40),   // runtime limit (hours)
+        prop::sample::select(vec![
+            KillPolicy::AtWcl,
+            KillPolicy::WhenNeeded,
+            KillPolicy::Never,
+        ]),
+        prop::option::of(1u64..100), // starvation entry delay (hours)
+        prop::option::of(2u64..40),  // runtime limit (hours)
     )
         .prop_map(|(engine, order, kill, starve_h, limit_h)| SimConfig {
             nodes: NODES,

@@ -3,9 +3,7 @@
 //! (absolute-time leaks, capacity bookkeeping errors) that example-based
 //! tests miss.
 
-use fairsched::sim::{
-    simulate, EngineKind, KillPolicy, NullObserver, SimConfig, StarvationConfig,
-};
+use fairsched::sim::{simulate, EngineKind, KillPolicy, NullObserver, SimConfig, StarvationConfig};
 use fairsched::workload::job::Job;
 use fairsched::workload::time::DAY;
 use proptest::prelude::*;
@@ -14,7 +12,13 @@ const NODES: u32 = 32;
 
 fn arb_trace() -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
-        (1u64..3000, 1u32..=NODES, 1u64..20_000, 1.0f64..4.0, 1u32..=5),
+        (
+            1u64..3000,
+            1u32..=NODES,
+            1u64..20_000,
+            1.0f64..4.0,
+            1u32..=5,
+        ),
         1..50,
     )
     .prop_map(|rows| {

@@ -24,7 +24,10 @@ fn replaying_a_parsed_trace_gives_the_identical_schedule() {
     let text = write_swf_string(&trace, 1024, "replay test");
     let parsed = read_swf_str(&text).expect("parses").jobs;
 
-    let cfg = SimConfig { nodes: 1024, ..Default::default() };
+    let cfg = SimConfig {
+        nodes: 1024,
+        ..Default::default()
+    };
     let original = simulate(&trace, &cfg, &mut NullObserver);
     let replayed = simulate(&parsed, &cfg, &mut NullObserver);
     assert_eq!(original, replayed);

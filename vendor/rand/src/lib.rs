@@ -1,0 +1,375 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the narrow slice of `rand` it actually uses: the [`RngCore`],
+//! [`Rng`], and [`SeedableRng`] traits plus uniform range sampling for the
+//! integer and float types the workload generator needs.
+//!
+//! The sampling algorithms deliberately mirror upstream `rand` 0.8
+//! bit-for-bit for the call patterns in this workspace — Lemire
+//! widening-multiply rejection for `gen_range` over integers (with the
+//! same per-type draw widths: 32-bit types consume one `next_u32`, 64-bit
+//! types one `next_u64`), the `[1, 2)` 52-bit-mantissa method for float
+//! ranges, and the 53-bit multiply method for `gen::<f64>()`. Combined
+//! with the vendored ChaCha generator this keeps seeded synthetic traces
+//! identical to ones produced with the real crates, so figure regressions
+//! stay comparable across environments.
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via a PCG32 stream — the exact
+    /// expansion `rand_core` 0.6 ships, so `seed_from_u64` produces the
+    /// same seed bytes as upstream.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly over their "standard" domain (`gen`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Multiply-based method, 53 bits of precision, `[0, 1)` — as upstream.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    /// Most-significant bit of a `u32`, as upstream.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`]. Generic over the output type so
+/// the target type can be inferred from the call site (matching upstream:
+/// `let n: u32 = rng.gen_range(1..=8)` works with an untyped literal).
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Upstream `UniformInt` sampling: unbiased Lemire widening-multiply with
+/// the conservative `leading_zeros` rejection zone for ≥32-bit types and
+/// the exact modulus zone for sub-32-bit types. `$draw` picks the same
+/// word width upstream uses for its `$u_large`, which is what keeps the
+/// consumed stream identical.
+macro_rules! int_range {
+    ($($t:ty => $unsigned:ty, $u_large:ty, $wide:ty, $draw:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample_from(rng)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high as $unsigned)
+                    .wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as $u_large;
+                if range == 0 {
+                    // The range spans the full type domain.
+                    return rng.$draw() as $t;
+                }
+                let zone = if (<$unsigned>::MAX as u128) <= u16::MAX as u128 {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = rng.$draw() as $u_large;
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> <$u_large>::BITS) as $u_large;
+                    let lo = wide as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_range! {
+    u8 => u8, u32, u64, next_u32;
+    u16 => u16, u32, u64, next_u32;
+    u32 => u32, u32, u64, next_u32;
+    u64 => u64, u64, u128, next_u64;
+    usize => usize, u64, u128, next_u64;
+    i8 => u8, u32, u64, next_u32;
+    i16 => u16, u32, u64, next_u32;
+    i32 => u32, u32, u64, next_u32;
+    i64 => u64, u64, u128, next_u64;
+    isize => usize, u64, u128, next_u64;
+}
+
+/// Upstream `UniformFloat` building block: a value in `[1, 2)` with 52
+/// random mantissa bits, shifted to `[0, 1)`.
+fn value0_1_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+    value1_2 - 1.0
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    /// Upstream `sample_single`: redraw on the (rare) rounding hit of the
+    /// open upper bound.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "cannot sample empty range");
+        let scale = high - low;
+        loop {
+            let res = value0_1_f64(rng) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    /// Upstream `new_inclusive` + `sample`: scale chosen so the maximum
+    /// mantissa value maps at or below `high`, stepped down by ulps if
+    /// rounding overshoots.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "cannot sample empty range");
+        let max_rand = f64::from_bits((1023u64 << 52) | (u64::MAX >> 12)) - 1.0;
+        let mut scale = (high - low) / max_rand;
+        while scale * max_rand + low > high {
+            // One ulp toward zero.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+        value0_1_f64(rng) * scale + low
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "cannot sample empty range");
+        let scale = high - low;
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range.
+    fn gen_range<T, Range: SampleRange<T>>(&mut self, range: Range) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` (upstream's fixed-point compare
+    /// against one `u64` draw).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..2000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let x: u32 = rng.gen_range(1..=8);
+            assert!((1..=8).contains(&x));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(g > 0.0 && g < 1.0);
+            let h = rng.gen_range(-2.0f64..=3.0);
+            assert!((-2.0..=3.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn all_values_of_a_small_range_are_reachable() {
+        let mut rng = Counter(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(1..=8);
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn unit_samples_are_in_the_half_open_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_float_range_returns_the_point() {
+        let mut rng = Counter(9);
+        assert_eq!(rng.gen_range(2.5f64..=2.5), 2.5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = Counter(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seed_from_u64_expansion_matches_rand_core() {
+        struct Capture([u8; 32]);
+        impl SeedableRng for Capture {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Capture(seed)
+            }
+        }
+        let a = Capture::seed_from_u64(0).0;
+        assert_eq!(a, Capture::seed_from_u64(0).0);
+        assert_ne!(a, Capture::seed_from_u64(1).0);
+        // First word sanity: one PCG step of the documented constants.
+        let state = 0u64
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(11634580027462260723);
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let expected = xorshifted.rotate_right((state >> 59) as u32).to_le_bytes();
+        assert_eq!(&a[..4], &expected);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes through serde at runtime (output
+//! formats are hand-rolled SWF/CSV writers); the dependency exists only so
+//! `#[derive(Serialize, Deserialize)]` annotations compile. The traits are
+//! empty markers and the derives (from the sibling `serde_derive` stub)
+//! expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Blanket impls so the marker traits never constrain anything.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! The real trait impls come from blanket impls in the `serde` stub, so
+//! these derives only need to swallow the annotation (and any `#[serde]`
+//! attributes) without emitting code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
