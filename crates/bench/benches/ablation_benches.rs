@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairsched_bench::bench_trace;
 use fairsched_sim::{
-    simulate, FairshareConfig, NullObserver, RuntimeLimit, SimConfig, StarvationConfig,
+    try_simulate, FairshareConfig, NullObserver, RuntimeLimit, SimConfig, StarvationConfig,
 };
 use fairsched_workload::time::HOUR;
 use fairsched_workload::CplantModel;
@@ -26,7 +26,7 @@ fn decay_factor(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(factor), &cfg, |b, cfg| {
-            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
         });
     }
     g.finish();
@@ -45,7 +45,7 @@ fn starvation_delay(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(hours), &cfg, |b, cfg| {
-            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
         });
     }
     g.finish();
@@ -63,7 +63,7 @@ fn runtime_limit(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(hours), &cfg, |b, cfg| {
-            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
         });
     }
     g.finish();
@@ -80,7 +80,7 @@ fn reservation_depth(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(depth), &cfg, |b, cfg| {
-            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
         });
     }
     g.finish();
@@ -100,7 +100,7 @@ fn machine_size(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &cfg, |b, cfg| {
-            b.iter(|| simulate(black_box(&trace), cfg, &mut NullObserver))
+            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
         });
     }
     g.finish();

@@ -10,7 +10,7 @@ use fairsched_metrics::fairness::equality::equality_report;
 use fairsched_metrics::fairness::hybrid::HybridFstObserver;
 use fairsched_metrics::fairness::jain::jain_index;
 use fairsched_sim::profile::Profile;
-use fairsched_sim::{simulate, NodeTimeline, NullObserver, SimConfig};
+use fairsched_sim::{try_simulate, NodeTimeline, NullObserver, SimConfig};
 use std::hint::black_box;
 
 fn hybrid_observer(c: &mut Criterion) {
@@ -22,12 +22,12 @@ fn hybrid_observer(c: &mut Criterion) {
     let mut g = c.benchmark_group("metrics/hybrid_fst");
     g.sample_size(10);
     g.bench_function("simulate_without_observer", |b| {
-        b.iter(|| simulate(black_box(&trace), &cfg, &mut NullObserver))
+        b.iter(|| try_simulate(black_box(&trace), &cfg, &mut NullObserver).unwrap())
     });
     g.bench_function("simulate_with_observer", |b| {
         b.iter(|| {
             let mut obs = HybridFstObserver::new();
-            simulate(black_box(&trace), &cfg, &mut obs);
+            try_simulate(black_box(&trace), &cfg, &mut obs).unwrap();
             obs.into_report()
         })
     });
@@ -40,7 +40,7 @@ fn baselines(c: &mut Criterion) {
         nodes: BENCH_NODES,
         ..Default::default()
     };
-    let schedule = simulate(&trace, &cfg, &mut NullObserver);
+    let schedule = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
     let fsts = consp_fsts(&trace, BENCH_NODES);
     let mut g = c.benchmark_group("metrics/baselines");
     g.sample_size(10);
@@ -82,7 +82,9 @@ fn kernels(c: &mut Criterion) {
             let mut p = Profile::new(BENCH_NODES);
             let mut t = 0u64;
             for i in 0..500u64 {
-                let start = p.earliest_start(t, ((i % 128) + 1) as u32, 5000);
+                let start = p
+                    .earliest_start(t, ((i % 128) + 1) as u32, 5000)
+                    .expect("request fits the machine");
                 p.add(start, 5000, ((i % 128) + 1) as u32);
                 t += 10;
             }

@@ -6,7 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairsched_bench::{bench_trace, BENCH_NODES};
 use fairsched_core::policy::PolicySpec;
 use fairsched_core::runner::run_policy;
-use fairsched_core::sweep::run_policies;
+use fairsched_core::sweep::try_run_policies;
+use fairsched_sim::FaultConfig;
 use std::hint::black_box;
 
 fn minor_policies(c: &mut Criterion) {
@@ -28,7 +29,14 @@ fn minor_sweep(c: &mut Criterion) {
     g.sample_size(10);
     // The whole minor-changes figure set in one parallel sweep.
     g.bench_function("all_five_parallel", |b| {
-        b.iter(|| run_policies(black_box(&trace), &policies, BENCH_NODES))
+        b.iter(|| {
+            try_run_policies(
+                black_box(&trace),
+                &policies,
+                BENCH_NODES,
+                &FaultConfig::default(),
+            )
+        })
     });
     g.finish();
 }

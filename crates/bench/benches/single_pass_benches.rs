@@ -1,0 +1,132 @@
+//! Benchmarks for the single-pass metric-collection engine: the parallel
+//! warm-start Sabin FST against the serial from-scratch computation, the
+//! fenced nine-policy sweep, and one-run `ObserverSet` collection against
+//! the legacy one-simulation-per-metric protocol — each at 10% and 25% of
+//! the Table-1 job mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairsched_bench::{scaled_trace, BENCH_NODES};
+use fairsched_core::policy::PolicySpec;
+use fairsched_core::runner::{try_run_policy, RunOptions};
+use fairsched_core::sweep::try_run_policies;
+use fairsched_metrics::fairness::peruser::per_user;
+use fairsched_metrics::fairness::sabin::{sabin_fsts_parallel_sampled, sabin_fsts_sampled};
+use fairsched_metrics::{EqualityObserver, HybridFstObserver, ResilienceReport};
+use fairsched_sim::{try_simulate, FaultConfig, NullObserver, ObserverSet};
+use std::hint::black_box;
+
+/// Score 1 in 16 jobs: the Sabin prefix cost is what is being compared, and
+/// the stride keeps the serial from-scratch side tractable at scale 0.25.
+const SABIN_STRIDE: usize = 16;
+
+const SCALES: [f64; 2] = [0.1, 0.25];
+
+fn sabin_prefix_engines(c: &mut Criterion) {
+    for scale in SCALES {
+        let trace = scaled_trace(scale);
+        let cfg = PolicySpec::baseline().sim_config(BENCH_NODES);
+        let mut g = c.benchmark_group(format!("single_pass/sabin_scale_{scale}"));
+        g.sample_size(5);
+        g.bench_function("serial_from_scratch", |b| {
+            b.iter(|| sabin_fsts_sampled(black_box(&trace), &cfg, SABIN_STRIDE))
+        });
+        g.bench_function("parallel_warm_start", |b| {
+            b.iter(|| sabin_fsts_parallel_sampled(black_box(&trace), &cfg, SABIN_STRIDE, None))
+        });
+        g.finish();
+    }
+}
+
+fn nine_policy_sweep(c: &mut Criterion) {
+    let policies = PolicySpec::paper_policies();
+    for scale in SCALES {
+        let trace = scaled_trace(scale);
+        let mut g = c.benchmark_group(format!("single_pass/sweep_scale_{scale}"));
+        g.sample_size(5);
+        g.bench_function("nine_policies_fenced", |b| {
+            b.iter(|| {
+                try_run_policies(
+                    black_box(&trace),
+                    &policies,
+                    BENCH_NODES,
+                    &FaultConfig::default(),
+                )
+            })
+        });
+        g.finish();
+    }
+}
+
+fn metric_collection(c: &mut Criterion) {
+    let policy = PolicySpec::baseline();
+    for scale in SCALES {
+        let trace = scaled_trace(scale);
+        let cfg = policy.sim_config(BENCH_NODES);
+        let mut g = c.benchmark_group(format!("single_pass/collection_scale_{scale}"));
+        g.sample_size(5);
+        // The redesigned path: one simulation, every report.
+        g.bench_function("one_run_all_reports", |b| {
+            b.iter(|| {
+                try_run_policy(
+                    black_box(&trace),
+                    &policy,
+                    BENCH_NODES,
+                    &RunOptions::everything(),
+                )
+                .unwrap()
+            })
+        });
+        // The legacy protocol: one simulation per metric family (hybrid,
+        // equality, per-user, resilience — the latter two each re-driving
+        // their own hybrid observer).
+        g.bench_function("four_separate_runs", |b| {
+            b.iter(|| {
+                let mut hybrid = HybridFstObserver::new();
+                let schedule = try_simulate(black_box(&trace), &cfg, &mut hybrid).unwrap();
+                let fairness = hybrid.into_report();
+
+                let mut equality = EqualityObserver::new();
+                try_simulate(black_box(&trace), &cfg, &mut equality).unwrap();
+
+                let mut hybrid2 = HybridFstObserver::new();
+                let s2 = try_simulate(black_box(&trace), &cfg, &mut hybrid2).unwrap();
+                let users = per_user(&s2, &hybrid2.into_report());
+
+                let s3 = try_simulate(black_box(&trace), &cfg, &mut NullObserver).unwrap();
+                let resilience = ResilienceReport::split(&fairness, &s3);
+
+                (
+                    schedule,
+                    fairness,
+                    equality.into_report(),
+                    users,
+                    resilience,
+                )
+            })
+        });
+        // Reference point: the bare simulation with no observers.
+        g.bench_function("bare_simulation", |b| {
+            b.iter(|| try_simulate(black_box(&trace), &cfg, &mut NullObserver).unwrap())
+        });
+        // And the fan-out layer itself, isolated from report folding.
+        g.bench_function("observer_set_two_members", |b| {
+            b.iter(|| {
+                let mut hybrid = HybridFstObserver::new();
+                let mut equality = EqualityObserver::new();
+                let mut set = ObserverSet::new();
+                set.push(&mut hybrid);
+                set.push(&mut equality);
+                try_simulate(black_box(&trace), &cfg, &mut set).unwrap()
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    sabin_prefix_engines,
+    nine_policy_sweep,
+    metric_collection
+);
+criterion_main!(benches);

@@ -31,6 +31,12 @@ pub fn small_trace() -> Vec<Job> {
     CplantModel::new(42).with_scale(0.02).generate()
 }
 
+/// A trace at an arbitrary fraction of the Table-1 mix (same seed as
+/// [`bench_trace`]); used by the single-pass benches to compare scales.
+pub fn scaled_trace(scale: f64) -> Vec<Job> {
+    CplantModel::new(42).with_scale(scale).generate()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

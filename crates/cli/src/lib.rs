@@ -14,9 +14,9 @@
 //! four flags per command do not justify a dependency.
 
 use fairsched_core::policy::PolicySpec;
-use fairsched_core::runner::run_policy;
+use fairsched_core::runner::{try_run_policy, RunOptions};
 use fairsched_core::sweep::try_run_policies;
-use fairsched_metrics::fairness::peruser::{heavy_vs_light_miss, per_user};
+use fairsched_metrics::fairness::peruser::heavy_vs_light_miss;
 use fairsched_sim::{FaultConfig, ResiliencePolicy};
 use fairsched_workload::swf::{read_swf_file, write_swf_file};
 use fairsched_workload::synthetic::DEFAULT_NODES;
@@ -361,12 +361,16 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
         } => {
             let (jobs, mut out) = load_trace(&trace, nodes)?;
             let spec = lookup(&policy)?;
-            let outcome = run_policy(&jobs, &spec, nodes);
-            let users = per_user(&outcome.schedule, &outcome.fairness);
+            let opts = RunOptions {
+                per_user: true,
+                ..Default::default()
+            };
+            let run = try_run_policy(&jobs, &spec, nodes, &opts)?;
+            let users = run.per_user.expect("requested in RunOptions");
             writeln!(
                 out,
                 "per-user fairness under {} ({} users):",
-                outcome.policy,
+                run.outcome.policy,
                 users.len()
             )?;
             writeln!(

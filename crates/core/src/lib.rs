@@ -43,5 +43,10 @@ pub mod runner;
 pub mod sweep;
 
 pub use policy::PolicySpec;
-pub use runner::{run_policy, run_policy_faulted, OutcomeMetrics, PolicyOutcome};
-pub use sweep::{run_policies, try_run_policies, SweepError};
+pub use runner::{
+    run_policy, run_policy_faulted, try_run_policy, OutcomeMetrics, PolicyOutcome, PolicyRun,
+    RunOptions,
+};
+#[allow(deprecated)]
+pub use sweep::run_policies;
+pub use sweep::{try_run_policies, try_run_policies_with, SweepError};

@@ -1,11 +1,21 @@
 //! Run one (trace, policy) pair and collect everything the paper reports.
+//!
+//! [`try_run_policy`] is the single entry point: a [`RunOptions`] selects
+//! the fault model and which optional reports to collect, and **one**
+//! simulation feeds every requested metric (the hybrid-FST and equality
+//! observers share the run through an `ObserverSet`; the per-user and
+//! resilience reports are pure folds over its results). The historical
+//! [`run_policy`] / [`run_policy_faulted`] conveniences are thin panicking
+//! wrappers over it.
 
 use crate::policy::PolicySpec;
+use fairsched_metrics::fairness::equality::{EqualityObserver, EqualityReport};
 use fairsched_metrics::fairness::fst::FstReport;
 use fairsched_metrics::fairness::hybrid::HybridFstObserver;
+use fairsched_metrics::fairness::peruser::{per_user, UserFairness};
 use fairsched_metrics::fairness::resilience::ResilienceReport;
 use fairsched_metrics::user;
-use fairsched_sim::{simulate, FaultConfig, OriginalOutcome, Schedule};
+use fairsched_sim::{try_simulate, FaultConfig, ObserverSet, OriginalOutcome, Schedule, SimError};
 use fairsched_workload::categories::WIDTH_BUCKETS;
 use fairsched_workload::job::Job;
 
@@ -67,8 +77,104 @@ impl PolicyOutcome {
     }
 }
 
+/// What [`try_run_policy`] should collect from its single simulation, and
+/// under which fault model.
+///
+/// The hybrid fairness report and schedule are always collected; each flag
+/// adds one more report to the returned [`PolicyRun`] without adding a
+/// second simulation.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Fault model for the run (default: all fault sources off).
+    pub faults: FaultConfig,
+    /// Collect the per-user fairness audit.
+    pub per_user: bool,
+    /// Collect the resource-equality report.
+    pub equality: bool,
+    /// Collect the interrupted-vs-clean resilience split.
+    pub resilience: bool,
+}
+
+impl RunOptions {
+    /// Options with a fault model and no optional reports — the historical
+    /// [`run_policy_faulted`] behaviour.
+    pub fn with_faults(faults: FaultConfig) -> Self {
+        RunOptions {
+            faults,
+            ..Default::default()
+        }
+    }
+
+    /// Options collecting every report the workspace defines.
+    pub fn everything() -> Self {
+        RunOptions {
+            faults: FaultConfig::default(),
+            per_user: true,
+            equality: true,
+            resilience: true,
+        }
+    }
+}
+
+/// Everything one [`try_run_policy`] simulation produced: the always-on
+/// [`PolicyOutcome`] plus whichever optional reports the [`RunOptions`]
+/// requested (absent flags stay `None`).
+#[derive(Debug, Clone)]
+pub struct PolicyRun {
+    /// Schedule plus hybrid fairness report (always collected).
+    pub outcome: PolicyOutcome,
+    /// Per-user audit rows, heaviest users first (`RunOptions::per_user`).
+    pub per_user: Option<Vec<UserFairness>>,
+    /// Resource-equality report (`RunOptions::equality`).
+    pub equality: Option<EqualityReport>,
+    /// Interrupted-vs-clean split (`RunOptions::resilience`).
+    pub resilience: Option<ResilienceReport>,
+}
+
+/// Evaluates one policy on a trace with **one** simulation feeding every
+/// report `opts` requests. Trace or configuration problems come back as a
+/// typed [`SimError`] instead of a panic, so one failing policy never
+/// aborts a multi-policy figure. Deterministic: equal inputs give equal
+/// outcomes.
+pub fn try_run_policy(
+    trace: &[Job],
+    policy: &PolicySpec,
+    nodes: u32,
+    opts: &RunOptions,
+) -> Result<PolicyRun, SimError> {
+    let mut cfg = policy.sim_config(nodes);
+    cfg.faults = opts.faults.clone();
+    let mut hybrid = HybridFstObserver::new();
+    let mut equality = EqualityObserver::new();
+    let schedule = {
+        let mut observers = ObserverSet::new();
+        observers.push(&mut hybrid);
+        if opts.equality {
+            observers.push(&mut equality);
+        }
+        try_simulate(trace, &cfg, &mut observers)?
+    };
+    let fairness = hybrid.into_report();
+    let per_user = opts.per_user.then(|| per_user(&schedule, &fairness));
+    let resilience = opts
+        .resilience
+        .then(|| ResilienceReport::split(&fairness, &schedule));
+    Ok(PolicyRun {
+        outcome: PolicyOutcome {
+            policy: policy.id.to_string(),
+            schedule,
+            fairness,
+        },
+        per_user,
+        equality: opts.equality.then(|| equality.into_report()),
+        resilience,
+    })
+}
+
 /// Evaluates one policy on a trace with the hybrid fairness observer
-/// attached. Deterministic: equal inputs give equal outcomes.
+/// attached. Deterministic: equal inputs give equal outcomes. Panics on
+/// invalid traces/configs; prefer [`try_run_policy`] where a failure must
+/// not abort the caller.
 pub fn run_policy(trace: &[Job], policy: &PolicySpec, nodes: u32) -> PolicyOutcome {
     run_policy_faulted(trace, policy, nodes, &FaultConfig::default())
 }
@@ -77,22 +183,22 @@ pub fn run_policy(trace: &[Job], policy: &PolicySpec, nodes: u32) -> PolicyOutco
 /// simulator additionally injects the configured node failures and job
 /// crashes. With `FaultConfig::default()` (all fault sources off) this is
 /// byte-identical to the fault-free path. Still deterministic: the fault
-/// timeline is a pure function of the config's seed.
+/// timeline is a pure function of the config's seed. Panics on invalid
+/// traces/configs; prefer [`try_run_policy`].
 pub fn run_policy_faulted(
     trace: &[Job],
     policy: &PolicySpec,
     nodes: u32,
     faults: &FaultConfig,
 ) -> PolicyOutcome {
-    let mut cfg = policy.sim_config(nodes);
-    cfg.faults = faults.clone();
-    let mut observer = HybridFstObserver::new();
-    let schedule = simulate(trace, &cfg, &mut observer);
-    PolicyOutcome {
-        policy: policy.id.to_string(),
-        schedule,
-        fairness: observer.into_report(),
-    }
+    try_run_policy(
+        trace,
+        policy,
+        nodes,
+        &RunOptions::with_faults(faults.clone()),
+    )
+    .map(|run| run.outcome)
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -175,6 +281,64 @@ mod tests {
             out.fairness.entries.len()
         );
         assert!(split.goodput > 0.0 && split.goodput <= out.schedule.utilization());
+    }
+
+    #[test]
+    fn single_pass_collection_matches_separate_runs() {
+        use fairsched_metrics::fairness::equality::equality_report;
+        let trace = small_trace();
+        let p = PolicySpec::baseline();
+        let faults = FaultConfig {
+            job_crash_rate: 0.2,
+            seed: 5,
+            ..FaultConfig::default()
+        };
+        let opts = RunOptions {
+            faults: faults.clone(),
+            per_user: true,
+            equality: true,
+            resilience: true,
+        };
+        let run = try_run_policy(&trace, &p, 1024, &opts).unwrap();
+        // The historical path: one run for the schedule + hybrid report,
+        // then one scoring pass per additional metric.
+        let outcome = run_policy_faulted(&trace, &p, 1024, &faults);
+        assert_eq!(run.outcome.schedule, outcome.schedule);
+        assert_eq!(run.outcome.fairness, outcome.fairness);
+        assert_eq!(
+            run.per_user.as_deref().unwrap(),
+            per_user(&outcome.schedule, &outcome.fairness)
+        );
+        assert_eq!(
+            run.equality.as_ref().unwrap(),
+            &equality_report(&outcome.schedule)
+        );
+        assert_eq!(run.resilience.as_ref().unwrap(), &outcome.resilience());
+    }
+
+    #[test]
+    fn unrequested_reports_stay_absent() {
+        let trace = small_trace();
+        let run = try_run_policy(
+            &trace,
+            &PolicySpec::baseline(),
+            1024,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(run.per_user.is_none());
+        assert!(run.equality.is_none());
+        assert!(run.resilience.is_none());
+    }
+
+    #[test]
+    fn try_run_policy_reports_errors_instead_of_panicking() {
+        // An 8-node machine rejects the CPlant trace's wide jobs: a typed
+        // error, not a panic.
+        let trace = small_trace();
+        let err =
+            try_run_policy(&trace, &PolicySpec::baseline(), 8, &RunOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("nodes on a"));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::policy::PolicySpec;
-use crate::runner::{run_policy_faulted, PolicyOutcome};
+use crate::runner::{try_run_policy, PolicyOutcome, PolicyRun, RunOptions};
 use fairsched_sim::FaultConfig;
 use fairsched_workload::job::Job;
 
@@ -50,28 +50,38 @@ fn fenced_run(
     trace: &[Job],
     policy: &PolicySpec,
     nodes: u32,
-    faults: &FaultConfig,
-) -> Result<PolicyOutcome, SweepError> {
+    opts: &RunOptions,
+) -> Result<PolicyRun, SweepError> {
     // The closure only reads shared data and builds a fresh outcome, so a
-    // panic cannot leave broken state visible to the other policies.
-    catch_unwind(AssertUnwindSafe(|| {
-        run_policy_faulted(trace, policy, nodes, faults)
-    }))
-    .map_err(|payload| SweepError {
-        policy: policy.id.to_string(),
-        reason: panic_message(payload),
-    })
+    // panic cannot leave broken state visible to the other policies. Most
+    // failures arrive as a typed `SimError` from the fallible runner; the
+    // catch_unwind remains as a second fence against genuine bugs.
+    match catch_unwind(AssertUnwindSafe(|| {
+        try_run_policy(trace, policy, nodes, opts)
+    })) {
+        Ok(Ok(run)) => Ok(run),
+        Ok(Err(e)) => Err(SweepError {
+            policy: policy.id.to_string(),
+            reason: e.to_string(),
+        }),
+        Err(payload) => Err(SweepError {
+            policy: policy.id.to_string(),
+            reason: panic_message(payload),
+        }),
+    }
 }
 
-/// Runs each policy on the trace, in parallel, preserving input order.
-/// A policy whose simulation panics yields an `Err` carrying the panic
-/// message; the remaining policies are unaffected.
-pub fn try_run_policies(
+/// Runs each policy on the trace with the full [`RunOptions`] machinery —
+/// one simulation per policy feeds every requested report — in parallel,
+/// preserving input order. A policy that fails (typed simulator error or
+/// panic) yields an `Err` carrying the reason; the remaining policies are
+/// unaffected.
+pub fn try_run_policies_with(
     trace: &[Job],
     policies: &[PolicySpec],
     nodes: u32,
-    faults: &FaultConfig,
-) -> Vec<Result<PolicyOutcome, SweepError>> {
+    opts: &RunOptions,
+) -> Vec<Result<PolicyRun, SweepError>> {
     // Worker panics are caught and surfaced as `SweepError`s, so the global
     // hook's backtrace would only be stderr noise; silence it for the
     // duration. (Concurrent panics elsewhere in the process would also be
@@ -81,13 +91,13 @@ pub fn try_run_policies(
     let results = if policies.len() <= 1 {
         policies
             .iter()
-            .map(|p| fenced_run(trace, p, nodes, faults))
+            .map(|p| fenced_run(trace, p, nodes, opts))
             .collect()
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = policies
                 .iter()
-                .map(|p| scope.spawn(move || fenced_run(trace, p, nodes, faults)))
+                .map(|p| scope.spawn(move || fenced_run(trace, p, nodes, opts)))
                 .collect();
             handles
                 .into_iter()
@@ -100,8 +110,34 @@ pub fn try_run_policies(
 }
 
 /// Runs each policy on the trace, in parallel, preserving input order.
+/// A policy that fails yields an `Err` carrying the reason; the remaining
+/// policies are unaffected. Convenience form of [`try_run_policies_with`]
+/// that collects only the always-on [`PolicyOutcome`].
+pub fn try_run_policies(
+    trace: &[Job],
+    policies: &[PolicySpec],
+    nodes: u32,
+    faults: &FaultConfig,
+) -> Vec<Result<PolicyOutcome, SweepError>> {
+    try_run_policies_with(
+        trace,
+        policies,
+        nodes,
+        &RunOptions::with_faults(faults.clone()),
+    )
+    .into_iter()
+    .map(|r| r.map(|run| run.outcome))
+    .collect()
+}
+
+/// Runs each policy on the trace, in parallel, preserving input order.
 /// Panics if any policy fails; use [`try_run_policies`] to keep the
 /// survivors.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `try_run_policies` (or `try_run_policies_with` + `RunOptions`), which \
+            reports per-policy failures instead of panicking the whole sweep"
+)]
 pub fn run_policies(trace: &[Job], policies: &[PolicySpec], nodes: u32) -> Vec<PolicyOutcome> {
     try_run_policies(trace, policies, nodes, &FaultConfig::default())
         .into_iter()
@@ -126,7 +162,10 @@ mod tests {
             PolicySpec::by_id("cons.nomax").unwrap(),
             PolicySpec::by_id("consdyn.72max").unwrap(),
         ];
-        let parallel = run_policies(&trace, &policies, 1024);
+        let parallel: Vec<_> = try_run_policies(&trace, &policies, 1024, &FaultConfig::default())
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         for (policy, outcome) in policies.iter().zip(&parallel) {
             let serial = run_policy(&trace, policy, 1024);
             assert_eq!(outcome.policy, serial.policy);
@@ -139,8 +178,11 @@ mod tests {
     fn results_preserve_input_order() {
         let trace = CplantModel::new(29).with_scale(0.01).generate();
         let policies = PolicySpec::paper_policies();
-        let outcomes = run_policies(&trace, &policies, 1024);
-        let names: Vec<&str> = outcomes.iter().map(|o| o.policy.as_str()).collect();
+        let outcomes = try_run_policies(&trace, &policies, 1024, &FaultConfig::default());
+        let names: Vec<String> = outcomes
+            .iter()
+            .map(|o| o.as_ref().unwrap().policy.clone())
+            .collect();
         let expected: Vec<&str> = policies.iter().map(|p| p.id).collect();
         assert_eq!(names, expected);
     }
@@ -148,16 +190,46 @@ mod tests {
     #[test]
     fn empty_policy_set_is_fine() {
         let trace = CplantModel::new(1).with_scale(0.01).generate();
-        assert!(run_policies(&trace, &[], 1024).is_empty());
+        assert!(try_run_policies(&trace, &[], 1024, &FaultConfig::default()).is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_policies_still_matches_fallible_path() {
+        let trace = CplantModel::new(29).with_scale(0.01).generate();
+        let policies = vec![PolicySpec::baseline()];
+        let legacy = run_policies(&trace, &policies, 1024);
+        let fallible = try_run_policies(&trace, &policies, 1024, &FaultConfig::default());
+        assert_eq!(legacy[0].schedule, fallible[0].as_ref().unwrap().schedule);
+    }
+
+    #[test]
+    fn sweep_with_options_collects_optional_reports_once() {
+        let trace = CplantModel::new(29).with_scale(0.01).generate();
+        let policies = vec![
+            PolicySpec::baseline(),
+            PolicySpec::by_id("easy.nomax").unwrap(),
+        ];
+        let opts = RunOptions {
+            per_user: true,
+            equality: true,
+            resilience: true,
+            ..RunOptions::default()
+        };
+        for result in try_run_policies_with(&trace, &policies, 1024, &opts) {
+            let run = result.unwrap();
+            assert!(run.per_user.is_some());
+            assert!(run.equality.is_some());
+            assert!(run.resilience.is_some());
+        }
     }
 
     #[test]
     fn a_panicking_policy_does_not_take_the_sweep_down() {
-        // A job wider than the machine makes the simulator reject the run;
-        // through the panicking `simulate` wrapper that's a worker panic.
-        // With 8 nodes the CPlant trace contains such jobs; the fenced
-        // sweep must report every policy as failed while the same sweep on
-        // a full-size machine succeeds everywhere.
+        // A job wider than the machine makes the simulator reject the run
+        // with a typed error. With 8 nodes the CPlant trace contains such
+        // jobs; the fenced sweep must report every policy as failed while
+        // the same sweep on a full-size machine succeeds everywhere.
         let trace = CplantModel::new(3).with_scale(0.01).generate();
         let policies = vec![
             PolicySpec::baseline(),
@@ -170,7 +242,7 @@ mod tests {
             assert_eq!(err.policy, policy.id);
             assert!(
                 err.reason.contains("nodes on a"),
-                "panic message survives: {err}"
+                "error message survives: {err}"
             );
         }
 

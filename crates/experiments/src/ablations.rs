@@ -10,7 +10,8 @@
 use fairsched_core::runner::PolicyOutcome;
 use fairsched_metrics::fairness::hybrid::HybridFstObserver;
 use fairsched_sim::{
-    simulate, EngineKind, FairshareConfig, HeavyUserRule, RuntimeLimit, SimConfig, StarvationConfig,
+    try_simulate, EngineKind, FairshareConfig, HeavyUserRule, RuntimeLimit, SimConfig,
+    StarvationConfig,
 };
 use fairsched_workload::job::Job;
 use fairsched_workload::time::HOUR;
@@ -34,7 +35,8 @@ pub struct AblationRow {
 
 fn run_with(trace: &[Job], setting: String, cfg: &SimConfig) -> AblationRow {
     let mut obs = HybridFstObserver::new();
-    let schedule = simulate(trace, cfg, &mut obs);
+    let schedule = try_simulate(trace, cfg, &mut obs)
+        .unwrap_or_else(|e| panic!("ablation '{setting}' failed: {e}"));
     let outcome = PolicyOutcome {
         policy: setting.clone(),
         schedule,

@@ -9,6 +9,9 @@ fn main() {
         cfg.seed, cfg.scale, cfg.nodes
     );
     let e = fairsched_experiments::evaluate(cfg);
+    for failure in e.failures() {
+        eprintln!("{failure} (its rows are skipped below)");
+    }
     println!("{}", ch::table1_report(&e.trace));
     println!("{}", ch::table2_report(&e.trace));
     println!("{}", ch::fig03_report(&e));

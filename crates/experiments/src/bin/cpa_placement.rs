@@ -4,7 +4,7 @@
 //! compactness differs.
 use fairsched_cpa::PlacementStrategy;
 use fairsched_experiments::ExperimentConfig;
-use fairsched_sim::{simulate, AllocationModel, NullObserver, SimConfig};
+use fairsched_sim::{try_simulate, AllocationModel, NullObserver, SimConfig};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
@@ -24,7 +24,13 @@ fn main() {
             allocation: AllocationModel::Linear(strategy),
             ..Default::default()
         };
-        let s = simulate(&trace, &sim_cfg, &mut NullObserver);
+        let s = match try_simulate(&trace, &sim_cfg, &mut NullObserver) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{name}: simulation failed: {e}");
+                continue;
+            }
+        };
         let p = s.placement.expect("linear model reports stats");
         println!(
             "{name:<10} {:>12.1} {:>12.3} {:>11} {:>10.3}",

@@ -2,17 +2,27 @@
 //! under the baseline policy vs the paper's recommended fix, and whether
 //! heavy users fare better than light ones.
 use fairsched_core::policy::PolicySpec;
-use fairsched_core::runner::run_policy;
+use fairsched_core::runner::{try_run_policy, RunOptions};
 use fairsched_experiments::ExperimentConfig;
-use fairsched_metrics::fairness::peruser::{heavy_vs_light_miss, per_user};
+use fairsched_metrics::fairness::peruser::heavy_vs_light_miss;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
     let trace = cfg.trace();
+    let opts = RunOptions {
+        per_user: true,
+        ..Default::default()
+    };
     for id in ["cplant24.nomax.all", "cplant24.nomax.fair", "cons.72max"] {
         let p = PolicySpec::by_id(id).unwrap();
-        let out = run_policy(&trace, &p, cfg.nodes);
-        let users = per_user(&out.schedule, &out.fairness);
+        let run = match try_run_policy(&trace, &p, cfg.nodes, &opts) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("{id}: simulation failed: {e}");
+                continue;
+            }
+        };
+        let users = run.per_user.expect("requested in RunOptions");
         println!("== {id}: top users by consumption ==");
         println!(
             "{:<8} {:>6} {:>14} {:>9} {:>12} {:>10}",

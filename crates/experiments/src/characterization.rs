@@ -80,8 +80,10 @@ pub fn fig03_report(eval: &Evaluation) -> String {
         as usize
         + 1;
     let offered = weekly_offered_load(&eval.trace, eval.cfg.nodes, weeks);
-    let baseline = &eval.outcomes[0].schedule;
-    let pairs = weekly_load_and_utilization(&offered, baseline);
+    let Some(baseline) = eval.outcome(0) else {
+        return String::from("== Figure 3: baseline policy failed; no utilization to report ==\n");
+    };
+    let pairs = weekly_load_and_utilization(&offered, &baseline.schedule);
 
     let mut out = String::from(
         "== Figure 3: Offered load and actual utilization (baseline cplant24.nomax.all) ==\n",

@@ -17,7 +17,8 @@
 use fairsched_core::policy::PolicySpec;
 use fairsched_core::report;
 use fairsched_core::runner::{OutcomeMetrics, PolicyOutcome};
-use fairsched_core::sweep::run_policies;
+use fairsched_core::sweep::{try_run_policies, SweepError};
+use fairsched_sim::FaultConfig;
 use fairsched_workload::categories::WIDTH_BUCKETS;
 use fairsched_workload::job::Job;
 use fairsched_workload::synthetic::DEFAULT_NODES;
@@ -83,34 +84,53 @@ impl ExperimentConfig {
     }
 }
 
-/// A complete evaluation: the trace plus all nine policy outcomes, computed
+/// A complete evaluation: the trace plus all nine policy results, computed
 /// once and shared by every figure.
 pub struct Evaluation {
     /// The configuration that produced this evaluation.
     pub cfg: ExperimentConfig,
     /// The generated workload.
     pub trace: Vec<Job>,
-    /// Outcomes of [`PolicySpec::paper_policies`], in the paper's order.
-    pub outcomes: Vec<PolicyOutcome>,
-    /// Scalar metrics per outcome, same order.
-    pub metrics: Vec<OutcomeMetrics>,
+    /// Per-policy results of [`PolicySpec::paper_policies`], in the paper's
+    /// order. A failed policy carries its fenced [`SweepError`] instead of
+    /// aborting the process, so the surviving rows still render.
+    pub results: Vec<Result<PolicyOutcome, SweepError>>,
+    /// Scalar metrics per policy, same order; `None` where the run failed.
+    pub metrics: Vec<Option<OutcomeMetrics>>,
 }
 
-/// Runs the full nine-policy evaluation (parallel across policies).
+/// Runs the full nine-policy evaluation (parallel across policies, each one
+/// fenced so a single failure never takes down a figure binary).
 pub fn evaluate(cfg: ExperimentConfig) -> Evaluation {
     let trace = cfg.trace();
     let policies = PolicySpec::paper_policies();
-    let outcomes = run_policies(&trace, &policies, cfg.nodes);
-    let metrics = outcomes.iter().map(|o| o.metrics()).collect();
+    let results = try_run_policies(&trace, &policies, cfg.nodes, &FaultConfig::default());
+    let metrics = results
+        .iter()
+        .map(|r| r.as_ref().ok().map(|o| o.metrics()))
+        .collect();
     Evaluation {
         cfg,
         trace,
-        outcomes,
+        results,
         metrics,
     }
 }
 
 impl Evaluation {
+    /// The outcome at paper index `i`, if that policy succeeded.
+    pub fn outcome(&self, i: usize) -> Option<&PolicyOutcome> {
+        self.results.get(i).and_then(|r| r.as_ref().ok())
+    }
+
+    /// Every policy that failed, with the fenced error explaining why.
+    pub fn failures(&self) -> Vec<&SweepError> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
+    }
+
     /// Indices of the "minor changes" subset (Figures 8–13).
     pub fn minor_indices() -> [usize; 5] {
         [0, 1, 2, 3, 4]
@@ -127,6 +147,7 @@ impl Evaluation {
     }
 
     /// `(policy, value)` rows for a scalar metric over a policy subset.
+    /// Failed policies are silently skipped — their rows would be lies.
     pub fn scalar_rows(
         &self,
         indices: &[usize],
@@ -134,11 +155,16 @@ impl Evaluation {
     ) -> Vec<(String, f64)> {
         indices
             .iter()
-            .map(|&i| (self.outcomes[i].policy.clone(), value(&self.metrics[i])))
+            .filter_map(|&i| {
+                let o = self.outcome(i)?;
+                let m = self.metrics[i].as_ref()?;
+                Some((o.policy.clone(), value(m)))
+            })
             .collect()
     }
 
-    /// `(policy, by-width)` rows for a width-bucketed metric.
+    /// `(policy, by-width)` rows for a width-bucketed metric. Failed
+    /// policies are skipped, as in [`Evaluation::scalar_rows`].
     pub fn width_rows(
         &self,
         indices: &[usize],
@@ -146,7 +172,11 @@ impl Evaluation {
     ) -> Vec<(String, [f64; WIDTH_BUCKETS])> {
         indices
             .iter()
-            .map(|&i| (self.outcomes[i].policy.clone(), value(&self.metrics[i])))
+            .filter_map(|&i| {
+                let o = self.outcome(i)?;
+                let m = self.metrics[i].as_ref()?;
+                Some((o.policy.clone(), value(m)))
+            })
             .collect()
     }
 
@@ -188,11 +218,15 @@ mod tests {
     #[test]
     fn evaluation_runs_all_nine_policies_in_order() {
         let e = tiny();
-        let names: Vec<&str> = e.outcomes.iter().map(|o| o.policy.as_str()).collect();
+        assert!(e.failures().is_empty(), "no paper policy should fail");
+        let names: Vec<&str> = (0..e.results.len())
+            .map(|i| e.outcome(i).expect("succeeded").policy.as_str())
+            .collect();
         assert_eq!(names[0], "cplant24.nomax.all");
         assert_eq!(names[8], "consdyn.72max");
-        assert_eq!(e.outcomes.len(), 9);
+        assert_eq!(e.results.len(), 9);
         assert_eq!(e.metrics.len(), 9);
+        assert!(e.metrics.iter().all(|m| m.is_some()));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::fairness::fst::{FstEntry, FstReport};
 use fairsched_sim::{
-    simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, Schedule, SimConfig,
+    try_simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, Schedule, SimConfig,
 };
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
@@ -38,7 +38,8 @@ pub fn consp_fsts(trace: &[Job], nodes: u32) -> HashMap<JobId, Time> {
         runtime_limit: None,
         ..Default::default()
     };
-    let schedule = simulate(&perfect, &cfg, &mut NullObserver);
+    let schedule = try_simulate(&perfect, &cfg, &mut NullObserver)
+        .expect("CONS_P reference simulation is valid by construction");
     schedule.records.iter().map(|r| (r.id, r.start)).collect()
 }
 
@@ -100,7 +101,7 @@ mod tests {
             runtime_limit: None,
             ..Default::default()
         };
-        let schedule = simulate(&perfect, &cfg, &mut NullObserver);
+        let schedule = try_simulate(&perfect, &cfg, &mut NullObserver).unwrap();
         let report = consp_report(&schedule, &fsts);
         assert_eq!(report.entries.len(), trace.len());
         assert_eq!(report.percent_unfair(), 0.0);
@@ -164,7 +165,7 @@ mod tests {
             nodes: 16,
             ..Default::default()
         };
-        let schedule = simulate(&trace, &cfg, &mut NullObserver);
+        let schedule = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
         let report = consp_report(&schedule, &fsts);
         assert_eq!(report.entries.len(), trace.len());
         // Not asserting a particular value — just that the pipeline scores

@@ -17,7 +17,7 @@
 //! reference schedule, so unlike FST metrics it can compare any two
 //! schedules directly.
 
-use fairsched_sim::Schedule;
+use fairsched_sim::{JobRecord, Observer, Schedule};
 use fairsched_workload::job::JobId;
 use std::collections::HashMap;
 
@@ -65,11 +65,21 @@ impl EqualityReport {
 
 /// Computes the resource-equality report for a schedule.
 ///
+/// Convenience wrapper over [`equality_of`] using the schedule's machine
+/// size and records.
+pub fn equality_report(schedule: &Schedule) -> EqualityReport {
+    equality_of(schedule.nodes, &schedule.records)
+}
+
+/// The metric's core: computes per-job discrimination from raw records on a
+/// `nodes`-wide machine.
+///
 /// Builds the live-job count `N(t)` from the records' submit/end instants
 /// and integrates each job's deserved share exactly (the step function
-/// changes only at submits and ends).
-pub fn equality_report(schedule: &Schedule) -> EqualityReport {
-    let records = &schedule.records;
+/// changes only at submits and ends). Shared by [`equality_report`] and
+/// [`EqualityObserver`], so single-pass collection is byte-identical to a
+/// dedicated scoring run.
+pub fn equality_of(nodes: u32, records: &[JobRecord]) -> EqualityReport {
     if records.is_empty() {
         return EqualityReport::default();
     }
@@ -89,7 +99,7 @@ pub fn equality_report(schedule: &Schedule) -> EqualityReport {
     let mut integral = Vec::new(); // I at each time
     let mut live: i64 = 0;
     let mut acc = 0.0f64;
-    let size = schedule.nodes as f64;
+    let size = nodes as f64;
     let mut i = 0;
     let mut last_t = deltas[0].0;
     times.push(last_t);
@@ -151,10 +161,44 @@ pub fn deserved_shares(schedule: &Schedule) -> HashMap<JobId, f64> {
         .collect()
 }
 
+/// Observer form of the metric: attach to one `try_simulate` run (alone or
+/// inside an [`fairsched_sim::ObserverSet`]) and collect the
+/// [`EqualityReport`] without a second scoring pass over the schedule.
+///
+/// The report is computed in [`Observer::on_finish`] from the finished
+/// schedule via [`equality_of`], so it is byte-identical to calling
+/// [`equality_report`] on the same schedule afterwards.
+#[derive(Debug, Default)]
+pub struct EqualityObserver {
+    report: Option<EqualityReport>,
+}
+
+impl EqualityObserver {
+    /// A fresh observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the observer into its report.
+    ///
+    /// # Panics
+    /// If the observer was never attached to a completed simulation.
+    pub fn into_report(self) -> EqualityReport {
+        self.report
+            .expect("EqualityObserver must observe a completed simulation")
+    }
+}
+
+impl Observer for EqualityObserver {
+    fn on_finish(&mut self, schedule: &Schedule) {
+        self.report = Some(equality_report(schedule));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsched_sim::{simulate, EngineKind, KillPolicy, NullObserver, SimConfig};
+    use fairsched_sim::{try_simulate, EngineKind, KillPolicy, NullObserver, SimConfig};
     use fairsched_workload::job::Job;
     use fairsched_workload::time::Time;
 
@@ -176,7 +220,7 @@ mod tests {
         // One live job: deserves SystemSize × its lifetime = 10 × 100; it
         // received 4 × 100 → discrimination -600 (it could not use its whole
         // entitlement, which is fine — the metric is about *relative* shares).
-        let s = simulate(&[job(1, 1, 0, 4, 100)], &cfg(10), &mut NullObserver);
+        let s = try_simulate(&[job(1, 1, 0, 4, 100)], &cfg(10), &mut NullObserver).unwrap();
         let r = equality_report(&s);
         assert!((r.of(JobId(1)).unwrap() - (400.0 - 1000.0)).abs() < 1e-9);
     }
@@ -185,7 +229,7 @@ mod tests {
     fn equal_concurrent_jobs_have_equal_discrimination() {
         // Two identical jobs, same submit, both fit: identical treatment.
         let trace = [job(1, 1, 0, 5, 100), job(2, 2, 0, 5, 100)];
-        let s = simulate(&trace, &cfg(10), &mut NullObserver);
+        let s = try_simulate(&trace, &cfg(10), &mut NullObserver).unwrap();
         let r = equality_report(&s);
         let d1 = r.of(JobId(1)).unwrap();
         let d2 = r.of(JobId(2)).unwrap();
@@ -201,7 +245,7 @@ mod tests {
         // deserved a share it received none of → negative discrimination;
         // job 1, running alone-then-sharing, is positive.
         let trace = [job(1, 1, 0, 10, 100), job(2, 2, 0, 10, 100)];
-        let s = simulate(&trace, &cfg(10), &mut NullObserver);
+        let s = try_simulate(&trace, &cfg(10), &mut NullObserver).unwrap();
         let r = equality_report(&s);
         let d1 = r.of(JobId(1)).unwrap();
         let d2 = r.of(JobId(2)).unwrap();
@@ -216,7 +260,7 @@ mod tests {
 
     #[test]
     fn empty_schedule_reports_nothing() {
-        let s = simulate(&[], &cfg(10), &mut NullObserver);
+        let s = try_simulate(&[], &cfg(10), &mut NullObserver).unwrap();
         let r = equality_report(&s);
         assert!(r.discrimination.is_empty());
         assert_eq!(r.total_underservice(), 0.0);
@@ -224,9 +268,17 @@ mod tests {
     }
 
     #[test]
+    fn observer_matches_post_hoc_scoring() {
+        let trace = [job(1, 1, 0, 10, 100), job(2, 2, 0, 10, 100)];
+        let mut obs = EqualityObserver::new();
+        let s = try_simulate(&trace, &cfg(10), &mut obs).unwrap();
+        assert_eq!(obs.into_report(), equality_report(&s));
+    }
+
+    #[test]
     fn deserved_shares_reconstruct_received_minus_discrimination() {
         let trace = [job(1, 1, 0, 10, 100), job(2, 2, 0, 10, 100)];
-        let s = simulate(&trace, &cfg(10), &mut NullObserver);
+        let s = try_simulate(&trace, &cfg(10), &mut NullObserver).unwrap();
         let shares = deserved_shares(&s);
         // Job 1: live [0,100) sharing with job 2 → deserved 10/2×100 = 500.
         assert!((shares[&JobId(1)] - 500.0).abs() < 1e-9);

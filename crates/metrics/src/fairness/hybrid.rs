@@ -28,18 +28,19 @@ use std::collections::HashMap;
 
 /// Observer computing hybrid fairshare FSTs during a simulation run.
 ///
-/// Attach to [`fairsched_sim::simulate`], then call
+/// Attach to [`fairsched_sim::try_simulate`] (alone or inside an
+/// [`fairsched_sim::ObserverSet`]), then call
 /// [`HybridFstObserver::into_report`].
 ///
 /// ```
 /// use fairsched_metrics::fairness::hybrid::HybridFstObserver;
-/// use fairsched_sim::{simulate, SimConfig};
+/// use fairsched_sim::{try_simulate, SimConfig};
 /// use fairsched_workload::CplantModel;
 ///
 /// let trace = CplantModel::new(1).with_scale(0.01).generate();
 /// let cfg = SimConfig::default();
 /// let mut observer = HybridFstObserver::new();
-/// let _schedule = simulate(&trace, &cfg, &mut observer);
+/// let _schedule = try_simulate(&trace, &cfg, &mut observer).unwrap();
 /// let report = observer.into_report();
 /// assert_eq!(report.entries.len(), trace.len());
 /// assert!(report.percent_unfair() <= 1.0);
@@ -112,7 +113,7 @@ impl Observer for HybridFstObserver {
 mod tests {
     use super::*;
     use fairsched_sim::{
-        simulate, EngineKind, KillPolicy, QueueOrder, SimConfig, StarvationConfig,
+        try_simulate, EngineKind, KillPolicy, QueueOrder, SimConfig, StarvationConfig,
     };
     use fairsched_workload::job::Job;
     use fairsched_workload::time::HOUR;
@@ -133,7 +134,7 @@ mod tests {
 
     fn report(trace: &[Job], cfg: &SimConfig) -> FstReport {
         let mut obs = HybridFstObserver::new();
-        simulate(trace, cfg, &mut obs);
+        try_simulate(trace, cfg, &mut obs).unwrap();
         obs.into_report()
     }
 

@@ -8,14 +8,19 @@
 //! hybrid metric trades against.
 //!
 //! Cost: one full simulation per scored job (`O(n)` simulations of `O(n)`
-//! events). Fine for scaled-down traces and targeted audits; for the full
-//! 13 k-job trace use [`sabin_fsts_sampled`] or prefer the hybrid metric.
+//! events) when computed naively. [`sabin_fsts_parallel`] collapses that two
+//! ways at once: prefix queries are striped over a scoped thread pool, and —
+//! for configurations [`fairsched_sim::warm_start_supported`] certifies —
+//! each stripe reuses a warm-started [`PrefixSimulator`] so prefix `k+1`
+//! resumes from prefix `k`'s pre-arrival state instead of replaying from
+//! scratch. Both paths produce FSTs identical to the serial [`sabin_fsts`].
 
 use crate::fairness::fst::{FstEntry, FstReport};
-use fairsched_sim::{simulate, NullObserver, Schedule, SimConfig};
+use fairsched_sim::prefix::PrefixSimulator;
+use fairsched_sim::{try_simulate, warm_start_supported, NullObserver, Schedule, SimConfig};
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Computes the scheduler-dependent FST for every job: its start when the
 /// trace is truncated right after its own arrival.
@@ -28,6 +33,39 @@ pub fn sabin_fsts(trace: &[Job], cfg: &SimConfig) -> HashMap<JobId, Time> {
 pub fn sabin_fsts_sampled(trace: &[Job], cfg: &SimConfig, stride: usize) -> HashMap<JobId, Time> {
     assert!(stride >= 1);
     sabin_fsts_for(trace, cfg, trace.iter().step_by(stride).map(|j| j.id))
+}
+
+/// [`sabin_fsts`] fanned across `threads` workers (defaulting to the
+/// machine's available parallelism), each owning a contiguous stripe of
+/// prefix targets.
+///
+/// When the configuration is [`warm_start_supported`], each worker keeps a
+/// warm [`PrefixSimulator`]: admitting one arrival advances a shared master
+/// state instead of replaying the whole prefix, so the stripe costs one
+/// incremental pass plus one early-exiting clone per target. Stateful or
+/// faulted configurations fall back to from-scratch prefix simulations —
+/// still striped, still exact. Results are identical to [`sabin_fsts`] in
+/// every case (and independent of the thread count).
+pub fn sabin_fsts_parallel(
+    trace: &[Job],
+    cfg: &SimConfig,
+    threads: Option<usize>,
+) -> HashMap<JobId, Time> {
+    let targets: HashSet<JobId> = trace.iter().map(|j| j.id).collect();
+    sabin_fsts_parallel_for(trace, cfg, &targets, threads)
+}
+
+/// [`sabin_fsts_sampled`] fanned across `threads` workers; same sample as
+/// the serial version (every `stride`-th job in trace order), same results.
+pub fn sabin_fsts_parallel_sampled(
+    trace: &[Job],
+    cfg: &SimConfig,
+    stride: usize,
+    threads: Option<usize>,
+) -> HashMap<JobId, Time> {
+    assert!(stride >= 1);
+    let targets: HashSet<JobId> = trace.iter().step_by(stride).map(|j| j.id).collect();
+    sabin_fsts_parallel_for(trace, cfg, &targets, threads)
 }
 
 fn sabin_fsts_for(
@@ -45,7 +83,8 @@ fn sabin_fsts_for(
             .filter(|j| (j.submit, j.id) <= (target.submit, target.id))
             .cloned()
             .collect();
-        let schedule = simulate(&prefix, cfg, &mut NullObserver);
+        let schedule = try_simulate(&prefix, cfg, &mut NullObserver)
+            .unwrap_or_else(|e| panic!("prefix simulation failed: {e}"));
         let start = schedule
             .records
             .iter()
@@ -55,6 +94,103 @@ fn sabin_fsts_for(
         (id, start)
     })
     .collect()
+}
+
+fn sabin_fsts_parallel_for(
+    trace: &[Job],
+    cfg: &SimConfig,
+    targets: &HashSet<JobId>,
+    threads: Option<usize>,
+) -> HashMap<JobId, Time> {
+    let mut ordered: Vec<&Job> = trace.iter().collect();
+    ordered.sort_by_key(|j| (j.submit, j.id));
+    let n = ordered.len();
+    if n == 0 || targets.is_empty() {
+        return HashMap::new();
+    }
+    let workers = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+
+    // Contiguous stripes of the (submit, id)-sorted prefix order: worker w
+    // owns ordered[lo..hi]. Stripes are independent pure functions of the
+    // shared immutable trace, so scoped borrows suffice — same fencing
+    // pattern as the policy sweep, with worker panics re-raised after every
+    // stripe has been joined (no stripe is silently dropped).
+    let stripe_results: Vec<std::thread::Result<Vec<(JobId, Time)>>> =
+        std::thread::scope(|scope| {
+            let ordered = &ordered;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * n / workers;
+                    let hi = (w + 1) * n / workers;
+                    scope.spawn(move || stripe_fsts(cfg, ordered, targets, lo, hi))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+    stripe_results
+        .into_iter()
+        .flat_map(|r| match r {
+            Ok(pairs) => pairs,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+/// FSTs of the targets within `ordered[lo..hi]`, where `ordered` is the
+/// whole trace sorted by `(submit, id)`.
+fn stripe_fsts(
+    cfg: &SimConfig,
+    ordered: &[&Job],
+    targets: &HashSet<JobId>,
+    lo: usize,
+    hi: usize,
+) -> Vec<(JobId, Time)> {
+    if !ordered[lo..hi].iter().any(|j| targets.contains(&j.id)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    if warm_start_supported(cfg) {
+        let mut prefix = PrefixSimulator::new(cfg).expect("eligibility just checked");
+        for job in &ordered[..lo] {
+            prefix.admit(job).expect("jobs admitted in sorted order");
+        }
+        for job in &ordered[lo..hi] {
+            if targets.contains(&job.id) {
+                let start = prefix
+                    .start_of(job)
+                    .unwrap_or_else(|e| panic!("prefix simulation failed: {e}"));
+                out.push((job.id, start));
+            } else {
+                prefix.admit(job).expect("jobs admitted in sorted order");
+            }
+        }
+    } else {
+        // Stateful or faulted configuration: every prefix run must replay
+        // its own history so engine-internal state matches the serial
+        // definition exactly.
+        for (i, job) in ordered.iter().enumerate().take(hi).skip(lo) {
+            if !targets.contains(&job.id) {
+                continue;
+            }
+            let prefix: Vec<Job> = ordered[..=i].iter().map(|j| (*j).clone()).collect();
+            let schedule = try_simulate(&prefix, cfg, &mut NullObserver)
+                .unwrap_or_else(|e| panic!("prefix simulation failed: {e}"));
+            let start = schedule
+                .records
+                .iter()
+                .find(|r| r.id == job.id)
+                .map(|r| r.start)
+                .expect("target job is in its own prefix");
+            out.push((job.id, start));
+        }
+    }
+    out
 }
 
 /// Scores a schedule against scheduler-dependent FSTs (jobs missing from
@@ -99,7 +235,7 @@ mod tests {
         // The final arrival's counterfactual run IS the real run.
         let trace = random_trace(7, 60, 16, 3000);
         let fsts = sabin_fsts(&trace, &cfg());
-        let schedule = simulate(&trace, &cfg(), &mut NullObserver);
+        let schedule = try_simulate(&trace, &cfg(), &mut NullObserver).unwrap();
         let last = trace.iter().max_by_key(|j| (j.submit, j.id)).unwrap();
         let actual = schedule
             .records
@@ -122,7 +258,7 @@ mod tests {
             job(3, 2, 20, 16, 1000, 1000),
         ];
         let fsts = sabin_fsts(&trace, &cfg());
-        let schedule = simulate(&trace, &cfg(), &mut NullObserver);
+        let schedule = try_simulate(&trace, &cfg(), &mut NullObserver).unwrap();
         let report = sabin_report(&schedule, &fsts);
         let e2 = report.entries.iter().find(|e| e.id == JobId(2)).unwrap();
         assert_eq!(e2.fst, 1000);
@@ -143,7 +279,7 @@ mod tests {
             job(3, 3, 10, 4, 100, 100), // fits beside job 1
         ];
         let fsts = sabin_fsts(&trace, &cfg());
-        let schedule = simulate(&trace, &cfg(), &mut NullObserver);
+        let schedule = try_simulate(&trace, &cfg(), &mut NullObserver).unwrap();
         let report = sabin_report(&schedule, &fsts);
         assert_eq!(report.percent_unfair(), 0.0);
         let e3 = report.entries.iter().find(|e| e.id == JobId(3)).unwrap();
@@ -155,8 +291,57 @@ mod tests {
         let trace = random_trace(15, 40, 16, 3000);
         let fsts = sabin_fsts_sampled(&trace, &cfg(), 4);
         assert_eq!(fsts.len(), trace.len().div_ceil(4));
-        let schedule = simulate(&trace, &cfg(), &mut NullObserver);
+        let schedule = try_simulate(&trace, &cfg(), &mut NullObserver).unwrap();
         let report = sabin_report(&schedule, &fsts);
         assert_eq!(report.entries.len(), fsts.len());
+    }
+
+    #[test]
+    fn parallel_warm_start_matches_serial_exactly() {
+        // Warm-start-eligible config: same FSTs and the same FstReport from
+        // the parallel engine as from serial from-scratch, for several
+        // thread counts (including stripes smaller than the trace).
+        let trace = random_trace(3, 90, 16, 4000);
+        let c = cfg();
+        assert!(warm_start_supported(&c));
+        let serial = sabin_fsts(&trace, &c);
+        let schedule = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+        let serial_report = sabin_report(&schedule, &serial);
+        for threads in [Some(1), Some(3), Some(7), None] {
+            let parallel = sabin_fsts_parallel(&trace, &c, threads);
+            assert_eq!(parallel, serial, "threads={threads:?}");
+            assert_eq!(sabin_report(&schedule, &parallel), serial_report);
+        }
+    }
+
+    #[test]
+    fn parallel_fallback_matches_serial_for_stateful_engines() {
+        // Conservative backfilling is not warm-start eligible; the parallel
+        // path must fall back to from-scratch prefixes and still agree.
+        let trace = random_trace(19, 50, 16, 3000);
+        let c = SimConfig {
+            nodes: 16,
+            engine: EngineKind::Conservative,
+            kill: KillPolicy::Never,
+            ..Default::default()
+        };
+        assert!(!warm_start_supported(&c));
+        let serial = sabin_fsts(&trace, &c);
+        let parallel = sabin_fsts_parallel(&trace, &c, Some(4));
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn parallel_sampled_matches_serial_sampled() {
+        let trace = random_trace(27, 70, 16, 4000);
+        let c = cfg();
+        let serial = sabin_fsts_sampled(&trace, &c, 5);
+        let parallel = sabin_fsts_parallel_sampled(&trace, &c, 5, Some(3));
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn parallel_empty_trace_is_empty() {
+        assert!(sabin_fsts_parallel(&[], &cfg(), None).is_empty());
     }
 }

@@ -16,10 +16,18 @@
 //!   [`fairness::equality`] (the resource-equality 1/N metric), and
 //!   [`fairness::jain`] (Jain's index and turnaround standard deviation,
 //!   the strawmen §4 argues against).
+//!
+//! Every fairness family ships an observer form ([`HybridFstObserver`],
+//! [`EqualityObserver`], [`PerUserObserver`], [`ResilienceObserver`]) so a
+//! single `try_simulate` run — via `fairsched_sim::ObserverSet` — can feed
+//! all of them at once instead of one simulation per metric.
 
 pub mod fairness;
 pub mod system;
 pub mod user;
 
+pub use fairness::equality::{EqualityObserver, EqualityReport};
 pub use fairness::fst::{FstEntry, FstReport};
 pub use fairness::hybrid::HybridFstObserver;
+pub use fairness::peruser::{PerUserObserver, UserFairness};
+pub use fairness::resilience::{ResilienceObserver, ResilienceReport};

@@ -25,6 +25,12 @@ use fairsched_workload::job::JobId;
 use fairsched_workload::time::Time;
 use std::collections::HashMap;
 
+/// Far-future reservation sentinel for jobs that can never be placed (wider
+/// than the machine). Such jobs are rejected upstream by trace validation;
+/// engines driven by hand degrade to "reserved at the far future" instead
+/// of panicking, matching the pre-`Option` profile behavior.
+const FAR_FUTURE: Time = Time::MAX / 4;
+
 /// Read-only view the simulator hands an engine at each scheduling event.
 pub struct EngineCtx<'a> {
     /// Current simulated time.
@@ -283,7 +289,9 @@ impl ConservativeEngine {
         let mut profile = self.running_profile(ctx);
         for &i in &ctx.priority() {
             let job = &ctx.queue[i];
-            let start = profile.earliest_start(ctx.now, job.nodes, job.estimate);
+            let start = profile
+                .earliest_start(ctx.now, job.nodes, job.estimate)
+                .unwrap_or(FAR_FUTURE);
             profile.add(start, job.estimate, job.nodes);
             self.reservations.insert(job.id, start);
         }
@@ -298,13 +306,12 @@ impl ConservativeEngine {
         // one (possible only when callers drive the engine by hand) is
         // treated as reserved at the far future, so it simply gets a fresh
         // earliest fit below.
-        let far = Time::MAX / 4;
         for job in ctx.queue {
             let start = self
                 .reservations
                 .get(&job.id)
                 .copied()
-                .unwrap_or(far)
+                .unwrap_or(FAR_FUTURE)
                 .max(ctx.now);
             profile.add(start, job.estimate, job.nodes);
         }
@@ -314,11 +321,13 @@ impl ConservativeEngine {
                 .reservations
                 .get(&job.id)
                 .copied()
-                .unwrap_or(far)
+                .unwrap_or(FAR_FUTURE)
                 .max(ctx.now);
             profile.remove(old, job.estimate, job.nodes);
-            let fresh = profile.earliest_start(ctx.now, job.nodes, job.estimate);
-            let chosen = fresh.min(old);
+            let chosen = match profile.earliest_start(ctx.now, job.nodes, job.estimate) {
+                Some(fresh) => fresh.min(old),
+                None => old,
+            };
             profile.add(chosen, job.estimate, job.nodes);
             self.reservations.insert(job.id, chosen);
         }
@@ -347,7 +356,9 @@ impl Engine for ConservativeEngine {
             }
             profile.add(start.max(ctx.now), q.estimate, q.nodes);
         }
-        let start = profile.earliest_start(ctx.now, job.nodes, job.estimate);
+        let start = profile
+            .earliest_start(ctx.now, job.nodes, job.estimate)
+            .unwrap_or(FAR_FUTURE);
         self.reservations.insert(job.id, start);
     }
 
@@ -414,7 +425,10 @@ impl Engine for DepthEngine {
         for (rank, &i) in ctx.priority().iter().enumerate() {
             let job = &ctx.queue[i];
             let reserved = (rank as u32) < self.depth;
-            let start = profile.earliest_start(ctx.now, job.nodes, job.estimate);
+            let Some(start) = profile.earliest_start(ctx.now, job.nodes, job.estimate) else {
+                // Wider than the machine: can never start and holds no slot.
+                continue;
+            };
             if start == ctx.now && job.nodes <= free {
                 starts.push(job.id);
                 free -= job.nodes;

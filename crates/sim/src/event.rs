@@ -80,7 +80,7 @@ impl PartialOrd for Event {
 /// on pop whether the event still matches the job's current state (a job
 /// killed at its WCL leaves a stale completion event behind). The queue
 /// itself only orders.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct EventQueue {
     heap: BinaryHeap<std::cmp::Reverse<Event>>,
 }

@@ -154,7 +154,7 @@ pub struct Failure {
 /// selection, and a fresh per-submission stream for crash decisions. Keeping
 /// them separate means the outage timeline never shifts when the scheduler
 /// (and hence the victim population) changes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FaultModel {
     mtbf: Option<Time>,
     repair: RepairTime,

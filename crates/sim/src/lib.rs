@@ -23,10 +23,14 @@
 //!   backfilling plans against;
 //! * [`listsched`] — the list scheduler the hybrid fair-start-time metric is
 //!   defined by (§4.1);
+//! * [`prefix`] — warm-started prefix simulation for scheduler-dependent
+//!   fair start times (one clone-and-run per scored job instead of one
+//!   full replay);
 //! * [`starvation`] — starvation-queue eligibility and the heavy-user bar;
-//! * [`state`] — queue/running views and the [`state::Observer`]
-//!   hook metrics attach to;
-//! * [`simulator`] — the driver: [`simulator::simulate`].
+//! * [`state`] — queue/running views, the [`state::Observer`] hook metrics
+//!   attach to, and the [`state::ObserverSet`] fan-out that lets one run
+//!   feed many metrics;
+//! * [`simulator`] — the driver: [`simulator::try_simulate`].
 //!
 //! Determinism is a contract: equal (trace, config) inputs produce equal
 //! schedules, event ties are totally ordered, and nothing in this crate
@@ -39,6 +43,7 @@ pub mod event;
 pub mod fairshare;
 pub mod faults;
 pub mod listsched;
+pub mod prefix;
 pub mod profile;
 pub mod simulator;
 pub mod starvation;
@@ -51,8 +56,10 @@ pub use config::{
 pub use fairshare::FairshareTracker;
 pub use faults::{FaultConfig, FaultModel, Outage, RepairTime, ResiliencePolicy};
 pub use listsched::NodeTimeline;
+pub use prefix::{warm_start_supported, PrefixSimulator};
+#[allow(deprecated)]
+pub use simulator::simulate;
 pub use simulator::{
-    simulate, try_simulate, JobRecord, OriginalOutcome, PlacementStats, QueueStats, Schedule,
-    SimError,
+    try_simulate, JobRecord, OriginalOutcome, PlacementStats, QueueStats, Schedule, SimError,
 };
-pub use state::{ArrivalView, NullObserver, Observer, QueuedJob, RunningJob};
+pub use state::{ArrivalView, NullObserver, Observer, ObserverSet, QueuedJob, RunningJob};

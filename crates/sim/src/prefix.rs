@@ -1,0 +1,292 @@
+//! Warm-start prefix simulation for scheduler-dependent fair start times.
+//!
+//! The Sabin FST (§4) asks, for each job `j`: when would `j` have started
+//! had no later job ever arrived? Answering it from scratch costs one full
+//! simulation per job — O(N²) simulator work. This module exploits how
+//! consecutive prefixes relate: the prefix for job `k+1` is the prefix for
+//! job `k` plus one arrival, and *everything that happens strictly before
+//! `k+1`'s submit time is identical in both runs*. A [`PrefixSimulator`]
+//! therefore keeps one incrementally-advanced master state, and each query
+//! clones it, injects the target, and runs the clone only until the target
+//! starts (the FST needs nothing past that instant).
+//!
+//! Correctness rests on three properties, each gated explicitly:
+//!
+//! * **Event determinism.** The event queue orders by `(time, kind, job)`,
+//!   never by insertion order, so admitting arrivals late (as the master
+//!   does) pops the exact event sequence a from-scratch run would.
+//! * **Engine statelessness.** The engines kept across prefix boundaries
+//!   must derive every decision from the visible context. The conservative
+//!   engines carry reservation state whose history differs between a
+//!   warm-started and a from-scratch run, so they are not eligible —
+//!   [`warm_start_supported`] returns `false` and callers fall back to
+//!   from-scratch prefix simulation.
+//! * **Closed id space.** Runtime-limit chains and fault resubmissions mint
+//!   fresh job ids from `max(trace id) + 1`, which depends on the whole
+//!   prefix; both features are gated out so ids never diverge.
+
+use crate::config::{EngineKind, SimConfig};
+use crate::simulator::{make_engine_for, Sim, SimError};
+use crate::state::NullObserver;
+use fairsched_workload::job::Job;
+use fairsched_workload::time::Time;
+
+/// Whether `cfg` permits warm-started prefix simulation. Requires a
+/// stateless engine (no-guarantee, EASY, strict FCFS, or reservation-depth),
+/// no fault injection, and no runtime-limit chaining; anything else must
+/// use from-scratch prefix runs to reproduce the exact serial results.
+pub fn warm_start_supported(cfg: &SimConfig) -> bool {
+    let stateless = matches!(
+        cfg.engine,
+        EngineKind::NoGuarantee
+            | EngineKind::Easy
+            | EngineKind::FcfsNoBackfill
+            | EngineKind::ReservationDepth(_)
+    );
+    stateless && !cfg.faults.enabled() && cfg.runtime_limit.is_none()
+}
+
+/// Incremental prefix simulator: admit jobs in nondecreasing
+/// `(submit, id)` order, and query each scored job's prefix start time
+/// without replaying history.
+///
+/// ```
+/// use fairsched_sim::prefix::PrefixSimulator;
+/// use fairsched_sim::SimConfig;
+/// use fairsched_workload::job::Job;
+///
+/// let cfg = SimConfig { nodes: 10, ..Default::default() };
+/// let a = Job::new(1, 1, 1, 0, 10, 100, 100);
+/// let b = Job::new(2, 2, 1, 5, 10, 50, 50);
+/// let mut prefix = PrefixSimulator::new(&cfg).unwrap();
+/// assert_eq!(prefix.start_of(&a).unwrap(), 0);
+/// // In b's prefix run, b queues behind a.
+/// assert_eq!(prefix.start_of(&b).unwrap(), 100);
+/// ```
+pub struct PrefixSimulator<'a> {
+    cfg: &'a SimConfig,
+    master: Sim<'a>,
+    engine: Box<dyn crate::engine::Engine>,
+    last_key: Option<(Time, u32)>,
+}
+
+impl<'a> PrefixSimulator<'a> {
+    /// A simulator with an empty prefix. Fails when `cfg` is not
+    /// [`warm_start_supported`] or is self-contradictory.
+    pub fn new(cfg: &'a SimConfig) -> Result<Self, SimError> {
+        if !warm_start_supported(cfg) {
+            return Err(SimError::InvalidConfig {
+                reason: "config not eligible for warm-started prefix simulation \
+                         (stateful engine, fault injection, or runtime limit)"
+                    .into(),
+            });
+        }
+        if let Some(cap) = cfg.user_concurrency {
+            if cap < 1 {
+                return Err(SimError::InvalidConfig {
+                    reason: "user_concurrency must be at least 1".into(),
+                });
+            }
+        }
+        Ok(PrefixSimulator {
+            cfg,
+            master: Sim::new(cfg, &[]),
+            engine: make_engine_for(cfg),
+            last_key: None,
+        })
+    }
+
+    /// Validates `job` and folds it into the master state, first replaying
+    /// every event that fires strictly before its submit time. Events *at*
+    /// the submit instant stay pending: they belong to the same batch as
+    /// the arrival and must be processed together, exactly as a
+    /// from-scratch run would.
+    fn advance_and_admit(&mut self, job: &Job) -> Result<(), SimError> {
+        if job.nodes > self.cfg.nodes {
+            return Err(SimError::TooWide {
+                job: job.id,
+                nodes: job.nodes,
+                machine: self.cfg.nodes,
+            });
+        }
+        job.validate().map_err(|e| SimError::InvalidTrace {
+            job: job.id,
+            reason: e.to_string(),
+        })?;
+        let key = (job.submit, job.id.0);
+        if self.last_key.is_some_and(|last| last > key) {
+            return Err(SimError::InvalidTrace {
+                job: job.id,
+                reason: "prefix jobs must be admitted in (submit, id) order".into(),
+            });
+        }
+        self.last_key = Some(key);
+        while self
+            .master
+            .next_event_time()
+            .is_some_and(|t| t < job.submit)
+        {
+            self.master.step(self.engine.as_mut(), &mut NullObserver)?;
+        }
+        self.master.admit(job);
+        Ok(())
+    }
+
+    /// Admits `job` into the shared prefix without scoring it (used to seed
+    /// a stripe's starting state when prefix queries are striped across
+    /// workers or sampled).
+    pub fn admit(&mut self, job: &Job) -> Result<(), SimError> {
+        self.advance_and_admit(job)
+    }
+
+    /// Admits `job` and returns its start time in a simulation of exactly
+    /// the jobs admitted so far — the Sabin prefix run. The scratch clone
+    /// stops as soon as the target starts; the master is left untouched
+    /// past `job.submit`.
+    pub fn start_of(&mut self, job: &Job) -> Result<Time, SimError> {
+        self.advance_and_admit(job)?;
+        let mut scratch = self.master.clone();
+        let mut engine = make_engine_for(self.cfg);
+        loop {
+            if let Some(start) = scratch.start_time_of(job.id) {
+                return Ok(start);
+            }
+            if !scratch.step(engine.as_mut(), &mut NullObserver)? {
+                // Every admitted job starts in a drained simulation; not
+                // starting means the state machine is broken.
+                return Err(SimError::InvariantViolation {
+                    at: job.submit,
+                    detail: format!("{} never started in its prefix simulation", job.id),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KillPolicy;
+    use crate::simulator::try_simulate;
+    use fairsched_workload::job::JobId;
+    use fairsched_workload::synthetic::random_trace;
+
+    fn sorted(mut trace: Vec<Job>) -> Vec<Job> {
+        trace.sort_by_key(|j| (j.submit, j.id));
+        trace
+    }
+
+    /// From-scratch prefix start of `target` within `trace`.
+    fn scratch_start(trace: &[Job], cfg: &SimConfig, target: &Job) -> Time {
+        let prefix: Vec<Job> = trace
+            .iter()
+            .filter(|j| (j.submit, j.id) <= (target.submit, target.id))
+            .cloned()
+            .collect();
+        let schedule = try_simulate(&prefix, cfg, &mut NullObserver).unwrap();
+        schedule
+            .records
+            .iter()
+            .find(|r| r.id == target.id)
+            .map(|r| r.start)
+            .expect("target is in its own prefix")
+    }
+
+    fn check_matches_scratch(cfg: &SimConfig, trace: &[Job]) {
+        let trace = sorted(trace.to_vec());
+        let mut prefix = PrefixSimulator::new(cfg).unwrap();
+        for job in &trace {
+            assert_eq!(
+                prefix.start_of(job).unwrap(),
+                scratch_start(&trace, cfg, job),
+                "warm-start disagrees with from-scratch for {}",
+                job.id
+            );
+        }
+    }
+
+    #[test]
+    fn matches_from_scratch_for_every_stateless_engine() {
+        let trace = random_trace(42, 80, 16, 4000);
+        for engine in [
+            EngineKind::NoGuarantee,
+            EngineKind::Easy,
+            EngineKind::FcfsNoBackfill,
+            EngineKind::ReservationDepth(2),
+        ] {
+            let cfg = SimConfig {
+                nodes: 16,
+                engine,
+                kill: KillPolicy::Never,
+                ..Default::default()
+            };
+            check_matches_scratch(&cfg, &trace);
+        }
+    }
+
+    #[test]
+    fn matches_from_scratch_with_kills_and_concurrency_caps() {
+        let trace = random_trace(7, 60, 16, 3000);
+        let cfg = SimConfig {
+            nodes: 16,
+            engine: EngineKind::NoGuarantee,
+            kill: KillPolicy::WhenNeeded,
+            user_concurrency: Some(2),
+            ..Default::default()
+        };
+        check_matches_scratch(&cfg, &trace);
+    }
+
+    #[test]
+    fn admit_without_scoring_seeds_later_queries() {
+        let trace = sorted(random_trace(11, 50, 16, 3000));
+        let cfg = SimConfig {
+            nodes: 16,
+            ..Default::default()
+        };
+        // Score only the second half, admitting the first half silently.
+        let mut prefix = PrefixSimulator::new(&cfg).unwrap();
+        for job in &trace[..25] {
+            prefix.admit(job).unwrap();
+        }
+        for job in &trace[25..] {
+            assert_eq!(
+                prefix.start_of(job).unwrap(),
+                scratch_start(&trace, &cfg, job)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_stateful_and_faulted_configs() {
+        let conservative = SimConfig {
+            engine: EngineKind::Conservative,
+            ..Default::default()
+        };
+        assert!(!warm_start_supported(&conservative));
+        assert!(PrefixSimulator::new(&conservative).is_err());
+
+        let faulted = SimConfig {
+            faults: crate::faults::FaultConfig {
+                job_crash_rate: 0.1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(!warm_start_supported(&faulted));
+    }
+
+    #[test]
+    fn rejects_out_of_order_admission() {
+        let cfg = SimConfig {
+            nodes: 16,
+            ..Default::default()
+        };
+        let mut prefix = PrefixSimulator::new(&cfg).unwrap();
+        let late = Job::new(1, 1, 1, 100, 1, 10, 10);
+        let early = Job::new(2, 1, 1, 50, 1, 10, 10);
+        prefix.admit(&late).unwrap();
+        let err = prefix.start_of(&early).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTrace { job, .. } if job == JobId(2)));
+    }
+}

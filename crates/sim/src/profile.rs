@@ -23,9 +23,11 @@ use fairsched_workload::time::Time;
 /// let mut p = Profile::new(10);
 /// p.add(0, 100, 8); // 8 nodes reserved over [0, 100)
 /// // A 4-node job cannot fit until the reservation ends...
-/// assert_eq!(p.earliest_start(0, 4, 50), 100);
+/// assert_eq!(p.earliest_start(0, 4, 50), Some(100));
 /// // ...but a 2-node job slots into the hole immediately.
-/// assert_eq!(p.earliest_start(0, 2, 50), 0);
+/// assert_eq!(p.earliest_start(0, 2, 50), Some(0));
+/// // A job wider than the machine never fits.
+/// assert_eq!(p.earliest_start(0, 11, 50), None);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Profile {
@@ -100,16 +102,14 @@ impl Profile {
     }
 
     /// Earliest `start ≥ from` at which a `nodes`-wide, `duration`-long job
-    /// fits under capacity for its whole extent. Scans the breakpoints once;
-    /// O(breakpoints).
-    pub fn earliest_start(&self, from: Time, nodes: u32, duration: Time) -> Time {
+    /// fits under capacity for its whole extent, or `None` for a job wider
+    /// than the machine (which can never fit, at any time). Scans the
+    /// breakpoints once; O(breakpoints).
+    pub fn earliest_start(&self, from: Time, nodes: u32, duration: Time) -> Option<Time> {
         debug_assert!(duration > 0);
         let budget = self.capacity as i64 - nodes as i64;
         if budget < 0 {
-            // Wider than the machine: never fits. Callers validate widths;
-            // return a far-future sentinel rather than panic in release.
-            debug_assert!(false, "job wider than machine");
-            return Time::MAX / 4;
+            return None;
         }
 
         let mut candidate = from;
@@ -127,7 +127,7 @@ impl Profile {
         while i < self.deltas.len() {
             let (t, delta) = self.deltas[i];
             if candidate != Time::MAX && t >= candidate.saturating_add(duration) {
-                return candidate;
+                return Some(candidate);
             }
             used += delta;
             if used > budget {
@@ -142,13 +142,15 @@ impl Profile {
         if candidate == Time::MAX {
             // Overfull through the last breakpoint — cannot happen when all
             // rectangles are finite, but be safe.
-            self.deltas
-                .last()
-                .map(|&(t, _)| t)
-                .unwrap_or(from)
-                .max(from)
+            Some(
+                self.deltas
+                    .last()
+                    .map(|&(t, _)| t)
+                    .unwrap_or(from)
+                    .max(from),
+            )
         } else {
-            candidate.max(from)
+            Some(candidate.max(from))
         }
     }
 }
@@ -160,7 +162,7 @@ mod tests {
     #[test]
     fn empty_profile_fits_immediately() {
         let p = Profile::new(100);
-        assert_eq!(p.earliest_start(50, 100, 1000), 50);
+        assert_eq!(p.earliest_start(50, 100, 1000), Some(50));
     }
 
     #[test]
@@ -189,9 +191,9 @@ mod tests {
         let mut p = Profile::new(10);
         p.add(0, 100, 8); // 2 free until t=100
                           // A 4-node job must wait until 100.
-        assert_eq!(p.earliest_start(0, 4, 50), 100);
+        assert_eq!(p.earliest_start(0, 4, 50), Some(100));
         // A 2-node job fits immediately.
-        assert_eq!(p.earliest_start(0, 2, 50), 0);
+        assert_eq!(p.earliest_start(0, 2, 50), Some(0));
     }
 
     #[test]
@@ -200,25 +202,25 @@ mod tests {
         p.add(0, 100, 8); // hole of 2 until 100
         p.add(200, 100, 8); // hole of 2 again during [200,300), full hole [100,200)
                             // 4-node 50-second job: the gap [100, 200) has 10 free.
-        assert_eq!(p.earliest_start(0, 4, 50), 100);
+        assert_eq!(p.earliest_start(0, 4, 50), Some(100));
         // 4-node 150-second job cannot finish before the [200,300) squeeze.
-        assert_eq!(p.earliest_start(0, 4, 150), 300);
+        assert_eq!(p.earliest_start(0, 4, 150), Some(300));
         // 2-node 1000-second job fits at 0 (2 free always suffices).
-        assert_eq!(p.earliest_start(0, 2, 1000), 0);
+        assert_eq!(p.earliest_start(0, 2, 1000), Some(0));
     }
 
     #[test]
     fn from_inside_a_busy_region_defers() {
         let mut p = Profile::new(10);
         p.add(0, 100, 10);
-        assert_eq!(p.earliest_start(50, 1, 10), 100);
+        assert_eq!(p.earliest_start(50, 1, 10), Some(100));
     }
 
     #[test]
     fn from_after_all_breakpoints() {
         let mut p = Profile::new(10);
         p.add(0, 100, 10);
-        assert_eq!(p.earliest_start(500, 10, 10), 500);
+        assert_eq!(p.earliest_start(500, 10, 10), Some(500));
     }
 
     #[test]
@@ -226,9 +228,9 @@ mod tests {
         let mut p = Profile::new(10);
         p.add(0, 100, 6);
         // Exactly 4 free: a 4-node job fits now.
-        assert_eq!(p.earliest_start(0, 4, 100), 0);
+        assert_eq!(p.earliest_start(0, 4, 100), Some(0));
         // A 5-node job waits.
-        assert_eq!(p.earliest_start(0, 5, 10), 100);
+        assert_eq!(p.earliest_start(0, 5, 10), Some(100));
     }
 
     #[test]
@@ -236,7 +238,7 @@ mod tests {
         let mut p = Profile::new(10);
         p.add(0, 50, 8);
         // 2 free in [0,50), 10 free after. A 2-node 500-second job starts at 0.
-        assert_eq!(p.earliest_start(0, 2, 500), 0);
+        assert_eq!(p.earliest_start(0, 2, 500), Some(0));
     }
 
     #[test]
@@ -245,7 +247,7 @@ mod tests {
         // Deliberate oversubscription (old reservation kept on paper).
         p.add(0, 100, 12);
         assert_eq!(p.used_at(50), 12);
-        assert_eq!(p.earliest_start(0, 1, 10), 100);
+        assert_eq!(p.earliest_start(0, 1, 10), Some(100));
     }
 
     #[test]
@@ -255,7 +257,7 @@ mod tests {
         p.add(10, 10, 3); // continues seamlessly
                           // The +3/-3 at t=10 cancel: one contiguous usage region.
         assert_eq!(p.used_at(10), 3);
-        assert_eq!(p.earliest_start(0, 8, 5), 20);
+        assert_eq!(p.earliest_start(0, 8, 5), Some(20));
         // Internally the zero-delta breakpoint is dropped.
         assert_eq!(p.deltas.len(), 2);
     }

@@ -381,6 +381,7 @@ struct OpenRecord {
 /// The node-assignment backend: either pure counting or a real CPA line.
 /// Both honour the same contract (allocate on start, release on end); only
 /// the linear variant tracks concrete nodes and placement quality.
+#[derive(Clone)]
 struct NodeBackend {
     kind: BackendKind,
     ids: HashMap<JobId, AllocId>,
@@ -392,6 +393,7 @@ struct NodeBackend {
     frag_sum: f64,
 }
 
+#[derive(Clone)]
 enum BackendKind {
     Counting(CountingAllocator),
     Linear(LinearAllocator),
@@ -468,7 +470,8 @@ impl NodeBackend {
     }
 }
 
-struct Sim<'a> {
+#[derive(Clone)]
+pub(crate) struct Sim<'a> {
     cfg: &'a SimConfig,
     events: EventQueue,
     now: Time,
@@ -526,9 +529,25 @@ const MAX_SUBMISSIONS_PER_ORIGIN: u32 = 10_000;
 
 /// Runs the simulation. Panics if any job is wider than the machine (traces
 /// must be generated for, or filtered to, the configured size).
+#[deprecated(
+    since = "0.3.0",
+    note = "use `try_simulate`, which reports trace/config problems and \
+            invariant violations as a typed `SimError` instead of panicking"
+)]
+pub fn simulate(trace: &[Job], cfg: &SimConfig, observer: &mut dyn Observer) -> Schedule {
+    match try_simulate(trace, cfg, observer) {
+        Ok(schedule) => schedule,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The fallible simulation entry point: trace/config problems and mid-run
+/// invariant violations come back as a typed [`SimError`] instead of a
+/// panic. Use this from batch drivers (policy sweeps, CLI) where one bad
+/// input should not abort the whole run.
 ///
 /// ```
-/// use fairsched_sim::{simulate, NullObserver, SimConfig};
+/// use fairsched_sim::{try_simulate, NullObserver, SimConfig};
 /// use fairsched_workload::job::Job;
 ///
 /// // Two jobs on a 10-node machine: the second must queue behind the first.
@@ -537,22 +556,11 @@ const MAX_SUBMISSIONS_PER_ORIGIN: u32 = 10_000;
 ///     Job::new(2, 2, 1, 5, 10, 50, 50),
 /// ];
 /// let cfg = SimConfig { nodes: 10, ..Default::default() };
-/// let schedule = simulate(&trace, &cfg, &mut NullObserver);
+/// let schedule = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
 /// assert_eq!(schedule.records[0].start, 0);
 /// assert_eq!(schedule.records[1].start, 100);
 /// assert_eq!(schedule.makespan(), 150);
 /// ```
-pub fn simulate(trace: &[Job], cfg: &SimConfig, observer: &mut dyn Observer) -> Schedule {
-    match try_simulate(trace, cfg, observer) {
-        Ok(schedule) => schedule,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Fallible entry point: like [`simulate`], but trace/config problems and
-/// mid-run invariant violations come back as a typed [`SimError`] instead
-/// of a panic. Use this from batch drivers (policy sweeps, CLI) where one
-/// bad input should not abort the whole run.
 pub fn try_simulate(
     trace: &[Job],
     cfg: &SimConfig,
@@ -584,15 +592,17 @@ pub fn try_simulate(
     let mut engine = make_engine_for(cfg);
     let mut sim = Sim::new(cfg, trace);
     sim.run(engine.as_mut(), observer)?;
-    Ok(sim.finish())
+    let schedule = sim.finish();
+    observer.on_finish(&schedule);
+    Ok(schedule)
 }
 
-fn make_engine_for(cfg: &SimConfig) -> Box<dyn Engine> {
+pub(crate) fn make_engine_for(cfg: &SimConfig) -> Box<dyn Engine> {
     make_engine(cfg.engine)
 }
 
 impl<'a> Sim<'a> {
-    fn new(cfg: &'a SimConfig, trace: &[Job]) -> Self {
+    pub(crate) fn new(cfg: &'a SimConfig, trace: &[Job]) -> Self {
         let mut sim = Sim {
             cfg,
             events: EventQueue::new(),
@@ -656,7 +666,7 @@ impl<'a> Sim<'a> {
 
     /// Registers an original trace job: either a standalone submission or
     /// the head of a runtime-limited chain.
-    fn admit(&mut self, job: &Job) {
+    pub(crate) fn admit(&mut self, job: &Job) {
         let chained = self
             .cfg
             .runtime_limit
@@ -753,16 +763,7 @@ impl<'a> Sim<'a> {
         engine: &mut dyn Engine,
         observer: &mut dyn Observer,
     ) -> Result<(), SimError> {
-        while let Some(first) = self.events.pop() {
-            self.advance_to(first.time);
-            self.process(first, engine, observer);
-            while self.events.peek().is_some_and(|e| e.time == self.now) {
-                let ev = self.events.pop().expect("peeked");
-                self.process(ev, engine, observer);
-            }
-            self.schedule_pass(engine, observer);
-            self.check_invariants()?;
-        }
+        while self.step(engine, observer)? {}
         debug_assert!(
             self.queue.is_empty(),
             "jobs left queued after the last event"
@@ -772,6 +773,48 @@ impl<'a> Sim<'a> {
             "jobs left running after the last event"
         );
         self.check_conservation()
+    }
+
+    /// Processes the next event batch — every event at the earliest pending
+    /// instant — followed by the scheduling fixpoint and the invariant
+    /// check. Returns `Ok(false)` when no events remain. The prefix engine
+    /// drives partial simulations through this instead of [`Sim::run`].
+    pub(crate) fn step(
+        &mut self,
+        engine: &mut dyn Engine,
+        observer: &mut dyn Observer,
+    ) -> Result<bool, SimError> {
+        let Some(first) = self.events.pop() else {
+            return Ok(false);
+        };
+        self.advance_to(first.time);
+        self.process(first, engine, observer);
+        while self.events.peek().is_some_and(|e| e.time == self.now) {
+            let ev = self.events.pop().expect("peeked");
+            self.process(ev, engine, observer);
+        }
+        self.schedule_pass(engine, observer);
+        self.check_invariants()?;
+        Ok(true)
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<Time> {
+        self.events.peek().map(|e| e.time)
+    }
+
+    /// The recorded start of submission `id`, once it has started. Stays
+    /// available through the open record while running and through the
+    /// finalized record afterwards.
+    pub(crate) fn start_time_of(&self, id: JobId) -> Option<Time> {
+        if let Some(open) = self.open.get(&id) {
+            return open.start;
+        }
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.id == id)
+            .map(|r| r.start)
     }
 
     /// Always-on invariant observer: no node is ever double-booked, and the
@@ -1097,7 +1140,7 @@ impl<'a> Sim<'a> {
         self.max_completion = self.max_completion.max(self.now);
 
         let open = self.open.remove(&id).expect("record open for running job");
-        self.records.push(JobRecord {
+        let record = JobRecord {
             id,
             origin: open.pending.origin,
             chunk_index: open.pending.chunk_index,
@@ -1111,7 +1154,8 @@ impl<'a> Sim<'a> {
             estimate: open.pending.estimate,
             killed: cause == Cause::Killed,
             interrupted: cause == Cause::Crashed,
-        });
+        };
+        self.records.push(record);
 
         let executed = self.now - open.start.expect("started");
         match cause {
@@ -1146,6 +1190,7 @@ impl<'a> Sim<'a> {
         // Observers see any premature end (kill or crash) as not having run
         // to completion.
         observer.on_complete(id, self.now, cause != Cause::Finished);
+        observer.on_record(&record);
         engine.on_complete(id);
     }
 
@@ -1356,7 +1401,99 @@ mod tests {
     }
 
     fn run(trace: &[Job], cfg: &SimConfig) -> Schedule {
-        simulate(trace, cfg, &mut NullObserver)
+        try_simulate(trace, cfg, &mut NullObserver).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_simulate_wrapper_still_matches_try_simulate() {
+        let trace = [job(1, 1, 0, 4, 100, 100)];
+        let c = cfg(10, EngineKind::NoGuarantee);
+        assert_eq!(simulate(&trace, &c, &mut NullObserver), run(&trace, &c));
+    }
+
+    /// Counts every observer hook and remembers what it saw.
+    #[derive(Default)]
+    struct CountingObserver {
+        arrivals: usize,
+        starts: usize,
+        completes: usize,
+        records: Vec<JobRecord>,
+        finished_nodes: Option<u32>,
+    }
+
+    impl crate::state::Observer for CountingObserver {
+        fn on_arrival(&mut self, _view: &ArrivalView<'_>) {
+            self.arrivals += 1;
+        }
+        fn on_start(&mut self, _id: JobId, _now: Time) {
+            self.starts += 1;
+        }
+        fn on_complete(&mut self, _id: JobId, _now: Time, _killed: bool) {
+            self.completes += 1;
+        }
+        fn on_record(&mut self, record: &JobRecord) {
+            self.records.push(*record);
+        }
+        fn on_finish(&mut self, schedule: &Schedule) {
+            self.finished_nodes = Some(schedule.nodes);
+        }
+    }
+
+    #[test]
+    fn record_and_finish_hooks_fire_with_final_values() {
+        let trace = [job(1, 1, 0, 4, 100, 100), job(2, 2, 5, 8, 50, 50)];
+        let c = cfg(10, EngineKind::NoGuarantee);
+        let mut obs = CountingObserver::default();
+        let s = try_simulate(&trace, &c, &mut obs).unwrap();
+        assert_eq!(obs.arrivals, 2);
+        assert_eq!(obs.starts, 2);
+        assert_eq!(obs.completes, 2);
+        assert_eq!(obs.finished_nodes, Some(10));
+        // on_record delivers the same records the schedule reports (the
+        // schedule sorts by id; the hook fires in completion order).
+        let mut seen = obs.records.clone();
+        seen.sort_by_key(|r| r.id);
+        assert_eq!(seen, s.records);
+    }
+
+    #[test]
+    fn observer_set_fans_out_to_every_member() {
+        use crate::state::ObserverSet;
+        let trace = [job(1, 1, 0, 4, 100, 100), job(2, 2, 5, 8, 50, 50)];
+        let c = cfg(10, EngineKind::NoGuarantee);
+        let mut solo = CountingObserver::default();
+        let baseline = try_simulate(&trace, &c, &mut solo).unwrap();
+
+        let mut a = CountingObserver::default();
+        let mut b = CountingObserver::default();
+        let mut set = ObserverSet::new();
+        set.push(&mut a);
+        set.push(&mut b);
+        let fanned = try_simulate(&trace, &c, &mut set).unwrap();
+        assert_eq!(baseline, fanned);
+        for obs in [&a, &b] {
+            assert_eq!(obs.arrivals, solo.arrivals);
+            assert_eq!(obs.starts, solo.starts);
+            assert_eq!(obs.completes, solo.completes);
+            assert_eq!(obs.records, solo.records);
+            assert_eq!(obs.finished_nodes, solo.finished_nodes);
+        }
+    }
+
+    #[test]
+    fn tuple_observers_forward_every_hook() {
+        let trace = [job(1, 1, 0, 4, 100, 100)];
+        let c = cfg(10, EngineKind::NoGuarantee);
+        let mut solo = CountingObserver::default();
+        try_simulate(&trace, &c, &mut solo).unwrap();
+
+        let mut x = CountingObserver::default();
+        let mut y = CountingObserver::default();
+        try_simulate(&trace, &c, &mut (&mut x, &mut y)).unwrap();
+        assert_eq!(x.records, solo.records);
+        assert_eq!(y.records, solo.records);
+        assert_eq!(x.finished_nodes, solo.finished_nodes);
     }
 
     fn record(s: &Schedule, id: u32) -> JobRecord {

@@ -97,7 +97,7 @@ proptest! {
         }
         let got = profile.earliest_start(from, nodes, duration);
         let want = brute_earliest(&feasible, from, nodes, duration);
-        prop_assert_eq!(got, want, "rects: {:?}", feasible);
+        prop_assert_eq!(got, Some(want), "rects: {:?}", feasible);
     }
 
     #[test]

@@ -9,14 +9,10 @@
 //! cargo run --release --example fairness_audit
 //! ```
 
-use fairsched::core::policy::PolicySpec;
 use fairsched::metrics::fairness::consp::{consp_fsts, consp_report};
-use fairsched::metrics::fairness::equality::equality_report;
-use fairsched::metrics::fairness::hybrid::HybridFstObserver;
 use fairsched::metrics::fairness::jain::{jain_index, stddev};
-use fairsched::metrics::fairness::sabin::{sabin_fsts_sampled, sabin_report};
-use fairsched::sim::simulate;
-use fairsched::workload::CplantModel;
+use fairsched::metrics::fairness::sabin::sabin_fsts_parallel_sampled;
+use fairsched::prelude::*;
 
 fn main() {
     // Small scale: the Sabin metric re-simulates per sampled job.
@@ -30,16 +26,26 @@ fn main() {
 
     println!("auditing {} on {} jobs\n", policy.id, trace.len());
 
-    // One simulation with the hybrid observer attached.
+    // One simulation feeds both run-attached metrics via an ObserverSet.
     let mut hybrid_obs = HybridFstObserver::new();
-    let schedule = simulate(&trace, &cfg, &mut hybrid_obs);
+    let mut equality_obs = EqualityObserver::new();
+    let schedule = {
+        let mut observers = ObserverSet::new();
+        observers.push(&mut hybrid_obs);
+        observers.push(&mut equality_obs);
+        try_simulate(&trace, &cfg, &mut observers).expect("baseline config is valid")
+    };
     let hybrid = hybrid_obs.into_report();
 
     // CONS_P: one extra FCFS-conservative-perfect run.
     let consp = consp_report(&schedule, &consp_fsts(&trace, nodes));
 
-    // Sabin FST: one truncated re-simulation per sampled job (1 in 8).
-    let sabin = sabin_report(&schedule, &sabin_fsts_sampled(&trace, &cfg, 8));
+    // Sabin FST: one truncated re-simulation per sampled job (1 in 8),
+    // fanned across the warm-start prefix engine's thread pool.
+    let sabin = sabin_report(
+        &schedule,
+        &sabin_fsts_parallel_sampled(&trace, &cfg, 8, None),
+    );
 
     println!(
         "{:<28} {:>9} {:>14} {:>14}",
@@ -59,8 +65,9 @@ fn main() {
         );
     }
 
-    // Resource equality: schedule-relative, no FST.
-    let equality = equality_report(&schedule);
+    // Resource equality: schedule-relative, no FST; collected in the same
+    // run as the hybrid report above.
+    let equality = equality_obs.into_report();
     println!(
         "\nresource equality: total under-service {:.0} node-hours, discrimination σ {:.0} node-s",
         equality.total_underservice() / 3600.0,

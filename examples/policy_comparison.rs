@@ -7,9 +7,7 @@
 //! FAIRSCHED_SCALE=1.0 cargo run --release --example policy_comparison
 //! ```
 
-use fairsched::core::policy::PolicySpec;
-use fairsched::core::sweep::run_policies;
-use fairsched::workload::CplantModel;
+use fairsched::prelude::*;
 
 fn main() {
     let scale: f64 = std::env::var("FAIRSCHED_SCALE")
@@ -29,30 +27,40 @@ fn main() {
     let mut policies = PolicySpec::paper_policies();
     policies.push(PolicySpec::easy());
 
-    let outcomes = run_policies(&trace, &policies, nodes);
+    // The fenced sweep: a policy that fails prints one FAILED row instead
+    // of aborting the comparison.
+    let results = try_run_policies(&trace, &policies, nodes, &FaultConfig::default());
 
     println!(
         "{:<22} {:>9} {:>12} {:>14} {:>8} {:>7}",
         "policy", "unfair%", "avg miss(s)", "turnaround(s)", "LOC%", "util%"
     );
-    for outcome in &outcomes {
-        let m = outcome.metrics();
-        println!(
-            "{:<22} {:>8.2}% {:>12.0} {:>14.0} {:>7.2}% {:>6.1}%",
-            outcome.policy,
-            100.0 * m.percent_unfair,
-            m.average_miss_time,
-            m.average_turnaround,
-            100.0 * m.loss_of_capacity,
-            100.0 * m.utilization,
-        );
+    for result in &results {
+        match result {
+            Ok(outcome) => {
+                let m = outcome.metrics();
+                println!(
+                    "{:<22} {:>8.2}% {:>12.0} {:>14.0} {:>7.2}% {:>6.1}%",
+                    outcome.policy,
+                    100.0 * m.percent_unfair,
+                    m.average_miss_time,
+                    m.average_turnaround,
+                    100.0 * m.loss_of_capacity,
+                    100.0 * m.utilization,
+                );
+            }
+            Err(e) => println!("{:<22} FAILED: {}", e.policy, e.reason),
+        }
     }
 
     // The paper's conclusion, checked live: which policy improves both
     // fairness dimensions at once?
-    let baseline = outcomes[0].metrics();
-    println!("\nvs baseline ({}):", outcomes[0].policy);
-    for outcome in &outcomes[1..] {
+    let Some(Ok(first)) = results.first() else {
+        return;
+    };
+    let baseline = first.metrics();
+    println!("\nvs baseline ({}):", first.policy);
+    for outcome in results[1..].iter().flatten() {
         let m = outcome.metrics();
         let miss = m.average_miss_time - baseline.average_miss_time;
         let turn = m.average_turnaround - baseline.average_turnaround;

@@ -5,10 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fairsched::core::policy::PolicySpec;
-use fairsched::core::runner::run_policy;
+use fairsched::prelude::*;
 use fairsched::workload::time::format_duration;
-use fairsched::workload::CplantModel;
 
 fn main() {
     // A 5% slice of the Table-1 job mix keeps this instant; crank scale up

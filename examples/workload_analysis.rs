@@ -8,11 +8,11 @@
 //! ```
 
 use fairsched::experiments::characterization;
+use fairsched::prelude::*;
 use fairsched::workload::stats::{weekly_offered_load, Summary};
 use fairsched::workload::swf::{read_swf_str, write_swf_string};
 use fairsched::workload::tables::{job_counts, proc_hours};
 use fairsched::workload::time::TRACE_WEEKS;
-use fairsched::workload::CplantModel;
 
 fn main() {
     let nodes = 1024;

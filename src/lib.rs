@@ -8,14 +8,22 @@
 //! system, and fairness metrics), [`cpa`] (the compute process allocator),
 //! and [`experiments`] (per-figure regeneration harness).
 //!
-//! Most applications only need the [`prelude`]:
+//! Most applications only need the [`prelude`]. One `try_run_policy` call
+//! simulates once and collects every requested report from that single run:
 //!
 //! ```
 //! use fairsched::prelude::*;
 //!
 //! let trace = CplantModel::new(1).with_scale(0.02).generate();
-//! let outcome = run_policy(&trace, &PolicySpec::baseline(), 1024);
-//! assert!(outcome.metrics().utilization > 0.0);
+//! let run = try_run_policy(
+//!     &trace,
+//!     &PolicySpec::baseline(),
+//!     1024,
+//!     &RunOptions::everything(),
+//! )
+//! .unwrap();
+//! assert!(run.outcome.metrics().utilization > 0.0);
+//! assert!(run.per_user.is_some() && run.equality.is_some() && run.resilience.is_some());
 //! ```
 
 pub use fairsched_core as core;
@@ -26,14 +34,30 @@ pub use fairsched_sim as sim;
 pub use fairsched_workload as workload;
 
 /// The types most users need, in one import.
+///
+/// Centred on the fallible single-pass API: [`try_simulate`] +
+/// [`ObserverSet`] for raw simulations, [`try_run_policy`] + [`RunOptions`]
+/// for one policy with any subset of reports, [`try_run_policies`] /
+/// [`try_run_policies_with`] for fenced parallel sweeps. The deprecated
+/// panicking entry points (`simulate`, `run_policies`) are deliberately not
+/// re-exported here — reach into [`crate::sim`] / [`crate::core`] if you
+/// really need them.
 pub mod prelude {
     pub use fairsched_core::policy::PolicySpec;
-    pub use fairsched_core::runner::{run_policy, OutcomeMetrics, PolicyOutcome};
-    pub use fairsched_core::sweep::run_policies;
+    pub use fairsched_core::runner::{
+        run_policy, try_run_policy, OutcomeMetrics, PolicyOutcome, PolicyRun, RunOptions,
+    };
+    pub use fairsched_core::sweep::{try_run_policies, try_run_policies_with, SweepError};
     pub use fairsched_metrics::fairness::fst::FstReport;
-    pub use fairsched_metrics::fairness::hybrid::HybridFstObserver;
+    pub use fairsched_metrics::fairness::sabin::{sabin_fsts, sabin_fsts_parallel, sabin_report};
+    pub use fairsched_metrics::{
+        EqualityObserver, EqualityReport, HybridFstObserver, PerUserObserver, ResilienceObserver,
+        ResilienceReport, UserFairness,
+    };
     pub use fairsched_sim::{
-        simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, Schedule, SimConfig,
+        try_simulate, warm_start_supported, EngineKind, FaultConfig, KillPolicy, NullObserver,
+        Observer, ObserverSet, PrefixSimulator, QueueOrder, ResiliencePolicy, Schedule, SimConfig,
+        SimError,
     };
     pub use fairsched_workload::job::{Job, JobId, UserId};
     pub use fairsched_workload::time::{Time, DAY, HOUR, MINUTE, WEEK};

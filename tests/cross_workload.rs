@@ -11,9 +11,7 @@
 //! multi-day jobs, the 72 h limit has nothing to bite on and the deltas
 //! dissolve — which the probe runs behind this file demonstrated.
 
-use fairsched::core::policy::PolicySpec;
-use fairsched::core::runner::OutcomeMetrics;
-use fairsched::core::sweep::run_policies;
+use fairsched::prelude::*;
 use fairsched::workload::job::validate_trace;
 use fairsched::workload::LublinModel;
 use std::sync::OnceLock;
@@ -30,8 +28,9 @@ fn metrics() -> &'static Vec<(String, OutcomeMetrics)> {
         let trace = model.generate();
         validate_trace(&trace).expect("valid trace");
         let policies = PolicySpec::paper_policies();
-        run_policies(&trace, &policies, NODES)
+        try_run_policies(&trace, &policies, NODES, &FaultConfig::default())
             .into_iter()
+            .map(|r| r.expect("paper policies succeed"))
             .map(|o| (o.policy.clone(), o.metrics()))
             .collect()
     })

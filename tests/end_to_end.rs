@@ -3,11 +3,8 @@
 //! results the paper reports (who wins, in which direction) at a reduced
 //! scale that keeps CI fast.
 
-use fairsched::core::policy::PolicySpec;
-use fairsched::core::runner::{run_policy, PolicyOutcome};
-use fairsched::core::sweep::run_policies;
+use fairsched::prelude::*;
 use fairsched::workload::job::validate_trace;
-use fairsched::workload::CplantModel;
 
 const NODES: u32 = 1024;
 
@@ -17,7 +14,15 @@ fn evaluate_all() -> Vec<PolicyOutcome> {
         .with_scale(0.1)
         .generate();
     validate_trace(&trace).expect("generator produces valid traces");
-    run_policies(&trace, &PolicySpec::paper_policies(), NODES)
+    try_run_policies(
+        &trace,
+        &PolicySpec::paper_policies(),
+        NODES,
+        &FaultConfig::default(),
+    )
+    .into_iter()
+    .map(|r| r.expect("paper policies succeed"))
+    .collect()
 }
 
 fn metric_of<'a>(outcomes: &'a [PolicyOutcome], id: &str) -> &'a PolicyOutcome {

@@ -3,11 +3,8 @@
 
 use fairsched::metrics::fairness::consp::{consp_fsts, consp_report};
 use fairsched::metrics::fairness::equality::equality_report;
-use fairsched::metrics::fairness::hybrid::HybridFstObserver;
 use fairsched::metrics::fairness::jain::jain_index;
-use fairsched::metrics::fairness::sabin::{sabin_fsts, sabin_report};
-use fairsched::sim::{simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, SimConfig};
-use fairsched::workload::job::Job;
+use fairsched::prelude::*;
 use fairsched::workload::synthetic::random_trace;
 use proptest::prelude::*;
 
@@ -44,7 +41,7 @@ fn consp_schedule_is_fair_under_consp_and_hybrid_fcfs() {
     let c = cfg(EngineKind::Conservative, QueueOrder::Fcfs);
 
     let mut obs = HybridFstObserver::new();
-    let schedule = simulate(&trace, &c, &mut obs);
+    let schedule = try_simulate(&trace, &c, &mut obs).unwrap();
     let hybrid = obs.into_report();
     assert_eq!(
         hybrid.percent_unfair(),
@@ -64,7 +61,7 @@ fn sabin_fst_of_a_no_later_arrival_schedule_matches_actual_starts() {
     let trace = perfect(&random_trace(7, 60, NODES, 5000));
     let c = cfg(EngineKind::Conservative, QueueOrder::Fcfs);
     let fsts = sabin_fsts(&trace, &c);
-    let schedule = simulate(&trace, &c, &mut NullObserver);
+    let schedule = try_simulate(&trace, &c, &mut NullObserver).unwrap();
     let report = sabin_report(&schedule, &fsts);
     assert_eq!(report.percent_unfair(), 0.0);
     assert_eq!(report.total_miss(), 0);
@@ -82,7 +79,7 @@ fn metrics_disagree_on_real_schedules_but_agree_on_direction() {
         ..Default::default()
     };
     let mut obs = HybridFstObserver::new();
-    let schedule = simulate(&trace, &c, &mut obs);
+    let schedule = try_simulate(&trace, &c, &mut obs).unwrap();
     let hybrid = obs.into_report();
     let consp = consp_report(&schedule, &consp_fsts(&trace, NODES));
     assert_eq!(hybrid.entries.len(), consp.entries.len());
@@ -102,7 +99,7 @@ proptest! {
         // Σ received = Σ (deserved + discrimination).
         let trace = random_trace(seed, 80, NODES, 4000);
         let c = SimConfig { nodes: NODES, kill: KillPolicy::Never, ..Default::default() };
-        let s = simulate(&trace, &c, &mut NullObserver);
+        let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
         let report = equality_report(&s);
         let received: f64 = s
             .records
@@ -123,7 +120,7 @@ proptest! {
     fn jain_index_bounds_hold_on_real_turnarounds(seed in 0u64..500) {
         let trace = random_trace(seed, 60, NODES, 4000);
         let c = SimConfig { nodes: NODES, ..Default::default() };
-        let s = simulate(&trace, &c, &mut NullObserver);
+        let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
         let turnarounds: Vec<f64> =
             s.records.iter().map(|r| r.turnaround() as f64).collect();
         let idx = jain_index(&turnarounds);
@@ -137,7 +134,7 @@ proptest! {
         let trace = random_trace(seed, 80, NODES, 4000);
         let c = SimConfig { nodes: NODES, ..Default::default() };
         let mut obs = HybridFstObserver::new();
-        let s = simulate(&trace, &c, &mut obs);
+        let s = try_simulate(&trace, &c, &mut obs).unwrap();
         let report = obs.into_report();
         let waits: std::collections::HashMap<_, _> =
             s.records.iter().map(|r| (r.id, r.wait())).collect();

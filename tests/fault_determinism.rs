@@ -7,9 +7,8 @@
 //! and pin the other half of the contract — a default (disabled) fault
 //! config is byte-identical to the historical fault-free simulator.
 
-use fairsched::core::policy::PolicySpec;
-use fairsched::core::runner::{run_policy, run_policy_faulted};
-use fairsched::sim::{FaultConfig, RepairTime, ResiliencePolicy};
+use fairsched::prelude::*;
+use fairsched::sim::RepairTime;
 use fairsched::workload::synthetic::random_trace;
 use proptest::prelude::*;
 
@@ -45,8 +44,12 @@ proptest! {
         let trace = random_trace(trace_seed, 40, NODES / 2, 20_000);
         let policy = &PolicySpec::paper_policies()[policy_idx];
         let faults = fault_cfg(Some(50_000), 0.2, resume == 1, fault_seed);
-        let a = run_policy_faulted(&trace, policy, NODES, &faults);
-        let b = run_policy_faulted(&trace, policy, NODES, &faults);
+        let a = try_run_policy(&trace, policy, NODES, &RunOptions::with_faults(faults.clone()))
+            .unwrap()
+            .outcome;
+        let b = try_run_policy(&trace, policy, NODES, &RunOptions::with_faults(faults.clone()))
+            .unwrap()
+            .outcome;
         prop_assert_eq!(a.schedule, b.schedule);
         prop_assert_eq!(a.fairness, b.fairness);
     }
@@ -63,7 +66,9 @@ proptest! {
         let policy = &PolicySpec::paper_policies()[policy_idx];
         let clean = run_policy(&trace, policy, NODES);
         let faults = FaultConfig { seed: fault_seed, ..FaultConfig::default() };
-        let seeded = run_policy_faulted(&trace, policy, NODES, &faults);
+        let seeded = try_run_policy(&trace, policy, NODES, &RunOptions::with_faults(faults.clone()))
+            .unwrap()
+            .outcome;
         prop_assert_eq!(clean.schedule, seeded.schedule);
         prop_assert_eq!(clean.fairness, seeded.fairness);
     }
@@ -77,7 +82,14 @@ fn default_fault_config_is_a_zero_diff() {
     assert!(!FaultConfig::default().enabled());
     for policy in PolicySpec::paper_policies() {
         let clean = run_policy(&trace, &policy, NODES);
-        let faulted = run_policy_faulted(&trace, &policy, NODES, &FaultConfig::default());
+        let faulted = try_run_policy(
+            &trace,
+            &policy,
+            NODES,
+            &RunOptions::with_faults(FaultConfig::default()),
+        )
+        .unwrap()
+        .outcome;
         assert_eq!(clean.schedule, faulted.schedule, "{} diverged", policy.id);
         assert_eq!(clean.fairness, faulted.fairness, "{} diverged", policy.id);
     }
@@ -91,8 +103,22 @@ fn node_failure_runs_are_reproducible_across_policies() {
     let trace = random_trace(7, 60, NODES / 2, 20_000);
     let faults = fault_cfg(Some(200_000), 0.1, true, 13);
     for policy in PolicySpec::paper_policies() {
-        let a = run_policy_faulted(&trace, &policy, NODES, &faults);
-        let b = run_policy_faulted(&trace, &policy, NODES, &faults);
+        let a = try_run_policy(
+            &trace,
+            &policy,
+            NODES,
+            &RunOptions::with_faults(faults.clone()),
+        )
+        .unwrap()
+        .outcome;
+        let b = try_run_policy(
+            &trace,
+            &policy,
+            NODES,
+            &RunOptions::with_faults(faults.clone()),
+        )
+        .unwrap()
+        .outcome;
         assert_eq!(a.schedule, b.schedule, "{} diverged", policy.id);
         assert!(
             a.schedule.originals().len() == trace.len(),

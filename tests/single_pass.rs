@@ -1,0 +1,123 @@
+//! Properties of the single-pass metric-collection engine: fanning every
+//! observer out over one simulation must be byte-identical to the legacy
+//! one-observer-per-run protocol, and the warm-start parallel Sabin prefix
+//! engine must reproduce the serial from-scratch FSTs exactly.
+
+use fairsched::prelude::*;
+use fairsched::workload::synthetic::random_trace;
+use proptest::prelude::*;
+
+const NODES: u32 = 32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// An `ObserverSet` carrying all four metric observers sees exactly
+    /// what each observer sees when it gets a dedicated simulation —
+    /// with and without fault injection.
+    #[test]
+    fn observer_set_matches_one_observer_per_run(seed in 0u64..500, crash in 0u8..2) {
+        let trace = random_trace(seed, 50, NODES, 8000);
+        let cfg = SimConfig {
+            nodes: NODES,
+            faults: FaultConfig {
+                job_crash_rate: if crash == 1 { 0.2 } else { 0.0 },
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+
+        // One simulation, every observer attached.
+        let mut hybrid = HybridFstObserver::new();
+        let mut equality = EqualityObserver::new();
+        let mut per_user = PerUserObserver::new();
+        let mut resilience = ResilienceObserver::new();
+        let combined = {
+            let mut set = ObserverSet::new();
+            set.push(&mut hybrid);
+            set.push(&mut equality);
+            set.push(&mut per_user);
+            set.push(&mut resilience);
+            try_simulate(&trace, &cfg, &mut set).unwrap()
+        };
+
+        // The legacy protocol: one simulation per observer.
+        let mut solo_hybrid = HybridFstObserver::new();
+        let solo_schedule = try_simulate(&trace, &cfg, &mut solo_hybrid).unwrap();
+        let mut solo_equality = EqualityObserver::new();
+        try_simulate(&trace, &cfg, &mut solo_equality).unwrap();
+        let mut solo_per_user = PerUserObserver::new();
+        try_simulate(&trace, &cfg, &mut solo_per_user).unwrap();
+        let mut solo_resilience = ResilienceObserver::new();
+        try_simulate(&trace, &cfg, &mut solo_resilience).unwrap();
+
+        prop_assert_eq!(combined, solo_schedule);
+        prop_assert_eq!(hybrid.into_report(), solo_hybrid.into_report());
+        prop_assert_eq!(equality.into_report(), solo_equality.into_report());
+        prop_assert_eq!(per_user.into_users(), solo_per_user.into_users());
+        prop_assert_eq!(resilience.into_report(), solo_resilience.into_report());
+    }
+
+    /// The warm-start parallel Sabin engine returns exactly the serial
+    /// from-scratch FSTs, whatever the thread count.
+    #[test]
+    fn parallel_sabin_matches_serial_from_scratch(
+        seed in 0u64..300,
+        threads in 1usize..5,
+        engine_idx in 0usize..3,
+    ) {
+        let trace = random_trace(seed, 40, NODES, 6000);
+        // NoGuarantee and Easy take the warm-start path; Conservative is
+        // stateful and exercises the from-scratch fallback.
+        let engine = [
+            EngineKind::NoGuarantee,
+            EngineKind::Easy,
+            EngineKind::Conservative,
+        ][engine_idx];
+        let cfg = SimConfig {
+            nodes: NODES,
+            engine,
+            ..Default::default()
+        };
+        let serial = sabin_fsts(&trace, &cfg);
+        let parallel = sabin_fsts_parallel(&trace, &cfg, Some(threads));
+        prop_assert_eq!(&serial, &parallel);
+
+        // And the derived reports agree entry for entry.
+        let schedule = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        prop_assert_eq!(
+            sabin_report(&schedule, &serial),
+            sabin_report(&schedule, &parallel)
+        );
+    }
+
+    /// `try_run_policy` + `RunOptions::everything()` returns the same four
+    /// reports the dedicated observers produce on their own runs.
+    #[test]
+    fn run_options_everything_matches_dedicated_runs(seed in 0u64..300) {
+        let trace = random_trace(seed, 40, NODES, 6000);
+        let policy = PolicySpec::baseline();
+        let run = try_run_policy(&trace, &policy, NODES, &RunOptions::everything()).unwrap();
+
+        let cfg = policy.sim_config(NODES);
+        let mut hybrid = HybridFstObserver::new();
+        let mut equality = EqualityObserver::new();
+        let mut per_user = PerUserObserver::new();
+        let mut resilience = ResilienceObserver::new();
+        let schedule = {
+            let mut set = ObserverSet::new();
+            set.push(&mut hybrid);
+            set.push(&mut equality);
+            set.push(&mut per_user);
+            set.push(&mut resilience);
+            try_simulate(&trace, &cfg, &mut set).unwrap()
+        };
+
+        prop_assert_eq!(run.outcome.schedule, schedule);
+        prop_assert_eq!(run.outcome.fairness, hybrid.into_report());
+        prop_assert_eq!(run.equality.unwrap(), equality.into_report());
+        prop_assert_eq!(run.per_user.unwrap(), per_user.into_users());
+        prop_assert_eq!(run.resilience.unwrap(), resilience.into_report());
+    }
+}

@@ -2,10 +2,9 @@
 //! schedules when replayed from the parsed form — the property that makes
 //! the generated workload archivable.
 
-use fairsched::sim::{simulate, NullObserver, SimConfig};
+use fairsched::prelude::*;
 use fairsched::workload::swf::{read_swf_str, write_swf_string};
 use fairsched::workload::synthetic::random_trace;
-use fairsched::workload::CplantModel;
 use proptest::prelude::*;
 
 #[test]
@@ -28,8 +27,8 @@ fn replaying_a_parsed_trace_gives_the_identical_schedule() {
         nodes: 1024,
         ..Default::default()
     };
-    let original = simulate(&trace, &cfg, &mut NullObserver);
-    let replayed = simulate(&parsed, &cfg, &mut NullObserver);
+    let original = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+    let replayed = try_simulate(&parsed, &cfg, &mut NullObserver).unwrap();
     assert_eq!(original, replayed);
 }
 

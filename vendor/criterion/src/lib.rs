@@ -1,13 +1,27 @@
 //! Offline stand-in for `criterion`.
 //!
 //! The build environment has no crates.io access, so bench targets link
-//! against this API-compatible shell instead. It deliberately does **not**
-//! execute benchmark closures: `cargo test` builds and runs `harness =
-//! false` bench binaries, and running real policy sweeps there would make
-//! the test suite minutes slower for zero signal. `cargo bench` therefore
-//! currently verifies that benches compile, not timings.
+//! against this API-compatible shell instead. Unlike a pure no-op stub it
+//! understands the three ways cargo invokes a `harness = false` bench
+//! binary and picks a [`Mode`] from the arguments:
+//!
+//! * no flag (plain `cargo test` building/running the target) — **Skip**:
+//!   closures are registered but never executed, so the test suite stays
+//!   fast;
+//! * `--test` (CI smoke, `cargo bench -- --test`) — **Test**: every
+//!   closure runs exactly once, proving the benches still work;
+//! * `--bench` (`cargo bench`) — **Measure**: closures are timed with
+//!   `std::time::Instant`, bounded by the configured sample size and
+//!   measurement budget.
+//!
+//! Measured results accumulate in a process-wide registry; when the
+//! `CRITERION_JSON` environment variable names a path, the
+//! [`criterion_main!`] entry point writes them there as JSON via
+//! [`finalize`].
 
 use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer value passthrough.
 #[inline]
@@ -15,69 +29,227 @@ pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
 }
 
-/// No-op stand-in for `criterion::Criterion`.
-#[derive(Default)]
-pub struct Criterion {}
+/// What a bench invocation should do with its closures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Register only; never execute (plain `cargo test`).
+    Skip,
+    /// Execute each routine once, unmeasured (`--test`).
+    Test,
+    /// Time the routines (`--bench`).
+    Measure,
+}
+
+fn mode_from_args() -> Mode {
+    let mut mode = Mode::Skip;
+    for arg in std::env::args().skip(1) {
+        if arg == "--test" {
+            return Mode::Test;
+        }
+        if arg == "--bench" {
+            mode = Mode::Measure;
+        }
+    }
+    mode
+}
+
+/// One measured benchmark: its id and the per-iteration wall times.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    samples_ns: Vec<f64>,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record(id: String, samples_ns: Vec<f64>) {
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    eprintln!(
+        "bench {id}: mean {:.3} ms over {} sample(s)",
+        mean / 1e6,
+        samples_ns.len()
+    );
+    RESULTS
+        .lock()
+        .expect("results registry poisoned")
+        .push(BenchRecord { id, samples_ns });
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes every measured result to the path in `CRITERION_JSON`, if set.
+/// Called automatically by [`criterion_main!`]; a no-op in Skip/Test modes
+/// (nothing was measured) or when the variable is absent.
+pub fn finalize() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results registry poisoned");
+    let mut out = String::from("{\n  \"generated_by\": \"vendored criterion stub (Instant-based)\",\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let n = r.samples_ns.len() as f64;
+        let mean = r.samples_ns.iter().sum::<f64>() / n;
+        let min = r.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = r.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+            json_escape(&r.id),
+            mean,
+            min,
+            max,
+            r.samples_ns.len(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion stub: cannot write {path}: {e}");
+    }
+}
+
+/// Stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::manual(mode_from_args())
+    }
+}
 
 impl Criterion {
-    /// Accepted and ignored.
-    pub fn sample_size(self, _n: usize) -> Self {
+    /// A criterion pinned to an explicit mode, ignoring process arguments.
+    pub fn manual(mode: Mode) -> Self {
+        Criterion {
+            mode,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Upper bound on timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
         self
     }
 
-    /// Accepted and ignored.
-    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+    /// Soft wall-time budget per benchmark: sampling stops at the first
+    /// sample that crosses it, so one expensive closure costs one run.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
         self
     }
 
-    /// Opens a (no-op) benchmark group.
-    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self }
+    /// Opens a benchmark group; its benches are prefixed `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            criterion: self,
+        }
     }
 
-    /// Registers a (never-run) benchmark.
-    pub fn bench_function<F>(&mut self, _id: impl Display, _f: F) -> &mut Self
+    /// Registers a benchmark (and runs/measures it per the mode).
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        run_one(
+            self.mode,
+            self.sample_size,
+            self.measurement_time,
+            id.to_string(),
+            &mut f,
+        );
         self
     }
 }
 
-/// No-op stand-in for `criterion::BenchmarkGroup`.
+fn run_one<F>(mode: Mode, sample_size: usize, budget: Duration, id: String, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if mode == Mode::Skip {
+        return;
+    }
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        budget,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if mode == Mode::Measure && !bencher.samples_ns.is_empty() {
+        record(id, bencher.samples_ns);
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Accepted and ignored.
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Upper bound on timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
         self
     }
 
-    /// Accepted and ignored.
-    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+    /// Soft wall-time budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
         self
     }
 
-    /// Registers a (never-run) benchmark.
-    pub fn bench_function<F>(&mut self, _id: impl Display, _f: F) -> &mut Self
+    /// Registers a benchmark under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        run_one(
+            self.criterion.mode,
+            self.sample_size,
+            self.measurement_time,
+            format!("{}/{id}", self.name),
+            &mut f,
+        );
         self
     }
 
-    /// Registers a (never-run) parameterized benchmark.
+    /// Registers a parameterized benchmark under `group/id`.
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
-        _id: BenchmarkId,
-        _input: &I,
-        _f: F,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
     ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
+        run_one(
+            self.criterion.mode,
+            self.sample_size,
+            self.measurement_time,
+            format!("{}/{id}", self.name),
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -85,25 +257,64 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-/// No-op stand-in for `criterion::Bencher`.
+/// Stand-in for `criterion::Bencher`.
 pub struct Bencher {
-    _private: (),
+    mode: Mode,
+    sample_size: usize,
+    budget: Duration,
+    samples_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Accepted and ignored — the routine is never executed.
-    pub fn iter<O, R: FnMut() -> O>(&mut self, _routine: R) {}
+    /// Runs (Test) or times (Measure) the routine; no-op in Skip mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Skip => {}
+            Mode::Test => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                let started = Instant::now();
+                while self.samples_ns.len() < self.sample_size {
+                    let t = Instant::now();
+                    black_box(routine());
+                    self.samples_ns.push(t.elapsed().as_secs_f64() * 1e9);
+                    if started.elapsed() >= self.budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
 
-    /// Accepted and ignored — setup and routine are never executed.
-    pub fn iter_batched<I, O, S, R>(&mut self, _setup: S, _routine: R, _size: BatchSize)
+    /// Like [`Bencher::iter`] with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        match self.mode {
+            Mode::Skip => {}
+            Mode::Test => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure => {
+                let started = Instant::now();
+                while self.samples_ns.len() < self.sample_size {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    self.samples_ns.push(t.elapsed().as_secs_f64() * 1e9);
+                    if started.elapsed() >= self.budget {
+                        break;
+                    }
+                }
+            }
+        }
     }
 }
 
-/// Batch sizing hints (ignored).
+/// Batch sizing hints (ignored; setup is always per-iteration).
 #[derive(Clone, Copy, Debug)]
 pub enum BatchSize {
     /// Small per-iteration inputs.
@@ -142,9 +353,8 @@ impl Display for BenchmarkId {
 }
 
 /// Declares a benchmark group: both the positional and `name =`/`config =`
-/// forms of the upstream macro are accepted; registered functions are
-/// invoked once with a no-op `Criterion` so their setup code type-checks,
-/// but their measured closures never run.
+/// forms of the upstream macro are accepted. What the registered closures
+/// do is mode-dependent — see the crate docs.
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
@@ -162,12 +372,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench entry point.
+/// Declares the bench entry point; flushes measured results to
+/// `CRITERION_JSON` (if set) after every group has run.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -177,8 +389,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn surface_compiles_and_closures_never_run() {
-        let mut c = Criterion::default().sample_size(20);
+    fn skip_mode_compiles_the_surface_and_never_runs_closures() {
+        let mut c = Criterion::manual(Mode::Skip).sample_size(20);
         let mut ran = false;
         {
             let mut g = c.benchmark_group("g");
@@ -192,7 +404,41 @@ mod tests {
         c.bench_function(BenchmarkId::new("f", "p"), |b| {
             b.iter_batched(|| 1u32, |x| x + 1, BatchSize::LargeInput)
         });
-        assert!(!ran, "criterion stub must not execute bench closures");
+        assert!(!ran, "skip mode must not execute bench closures");
         assert_eq!(black_box(3) + 1, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_each_closure_exactly_once() {
+        let mut c = Criterion::manual(Mode::Test);
+        let mut runs = 0u32;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut batched = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 2u32, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 2);
+    }
+
+    #[test]
+    fn measure_mode_collects_bounded_samples() {
+        let mut c = Criterion::manual(Mode::Measure).sample_size(4);
+        let mut runs = 0u32;
+        c.bench_function("counted", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4, "sample_size bounds the iterations");
+        let results = RESULTS.lock().unwrap();
+        let rec = results
+            .iter()
+            .find(|r| r.id == "counted")
+            .expect("measured result registered");
+        assert_eq!(rec.samples_ns.len(), 4);
+        assert!(rec.samples_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }
