@@ -10,6 +10,8 @@
 //! | `conservative_benches` | Figures 14–19 | the conservative/dynamic engines and the full nine-policy sweep |
 //! | `metric_benches` | §4 metrics | hybrid FST observation, CONS_P, resource equality, list-scheduler and profile kernels |
 //! | `ablation_benches` | DESIGN.md ablations | fairshare decay factor, starvation entry delay, runtime-limit value, machine size |
+//! | `single_pass_benches` | DESIGN.md metric engine | warm-start vs from-scratch Sabin FST, fenced sweep, one-run report collection |
+//! | `obs_benches` | DESIGN.md observability | trace-off vs traced simulation, profiled policy runs, counter fast path, explain/JSONL replay |
 //!
 //! Benchmarks run on a **scaled** trace (default 10% of Table 1's counts) so
 //! `cargo bench` finishes in minutes; the experiment binaries regenerate the

@@ -1,23 +1,32 @@
 //! # fairsched-cli
 //!
-//! The command-line face of the workspace. Four subcommands:
+//! The command-line face of the workspace. Six subcommands:
 //!
 //! ```text
 //! fairsched generate --seed 42 --scale 0.1 --nodes 1024 --out trace.swf
-//! fairsched simulate --trace trace.swf --policy cplant24.nomax.all
+//! fairsched simulate --trace trace.swf --policy cplant24.nomax.all [--trace-out d.jsonl]
 //! fairsched compare  --trace trace.swf [--policy A --policy B …]
 //! fairsched audit    --trace trace.swf --policy cons.72max
+//! fairsched profile  --trace trace.swf --policy cons.nomax
+//! fairsched explain  --trace trace.swf --policy cons.nomax [--job 17]
 //! ```
 //!
 //! All logic lives in this library (parsing, dispatch, rendering) so it is
 //! unit-testable; `main.rs` is a two-liner. Argument parsing is hand-rolled:
-//! four flags per command do not justify a dependency.
+//! a few flags per command do not justify a dependency. Each subcommand
+//! rejects flags it does not understand — `audit --mtbf 60` is a usage
+//! error, not a silently fault-free run. Diagnostics (skipped SWF records)
+//! go through the `fairsched_obs::log` facade, silenced by the global
+//! `--quiet` flag (see [`strip_quiet`]) or `FAIRSCHED_QUIET=1`.
 
 use fairsched_core::policy::PolicySpec;
-use fairsched_core::runner::{try_run_policy, RunOptions};
+use fairsched_core::runner::{try_run_policy, try_run_policy_traced, RunOptions};
 use fairsched_core::sweep::try_run_policies;
+use fairsched_metrics::explain::{explain_wait, worst_miss};
 use fairsched_metrics::fairness::peruser::heavy_vs_light_miss;
+use fairsched_obs::{log, DecisionTracer};
 use fairsched_sim::{FaultConfig, ResiliencePolicy};
+use fairsched_workload::job::JobId;
 use fairsched_workload::swf::{read_swf_file, write_swf_file};
 use fairsched_workload::synthetic::DEFAULT_NODES;
 use fairsched_workload::time::format_duration;
@@ -48,6 +57,8 @@ pub enum Command {
         nodes: u32,
         /// Fault injection (disabled unless --mtbf/--crash-rate given).
         faults: FaultConfig,
+        /// Write the run's decision trace as JSONL to this path.
+        trace_out: Option<String>,
     },
     /// Run several policies (default: the paper's nine) side by side.
     Compare {
@@ -68,6 +79,30 @@ pub enum Command {
         policy: String,
         /// Machine size.
         nodes: u32,
+    },
+    /// Profile one policy run: runtime counters and pass timings.
+    Profile {
+        /// SWF trace path.
+        trace: String,
+        /// Policy id.
+        policy: String,
+        /// Machine size.
+        nodes: u32,
+        /// Fault injection (disabled unless --mtbf/--crash-rate given).
+        faults: FaultConfig,
+    },
+    /// Explain one job's wait from a traced run of the policy.
+    Explain {
+        /// SWF trace path.
+        trace: String,
+        /// Policy id.
+        policy: String,
+        /// Machine size.
+        nodes: u32,
+        /// Fault injection (disabled unless --mtbf/--crash-rate given).
+        faults: FaultConfig,
+        /// Job to explain; defaults to the worst fair-start miss.
+        job: Option<u32>,
     },
     /// Print usage.
     Help,
@@ -91,10 +126,17 @@ fairsched — parallel job scheduling fairness toolkit
 
 USAGE:
   fairsched generate [--seed N] [--scale F] [--nodes N] --out FILE.swf
-  fairsched simulate --trace FILE.swf --policy ID [--nodes N] [FAULTS]
+  fairsched simulate --trace FILE.swf --policy ID [--nodes N]
+                     [--trace-out FILE.jsonl] [FAULTS]
   fairsched compare  --trace FILE.swf [--policy ID]... [--nodes N] [FAULTS]
   fairsched audit    --trace FILE.swf --policy ID [--nodes N]
+  fairsched profile  --trace FILE.swf --policy ID [--nodes N] [FAULTS]
+  fairsched explain  --trace FILE.swf --policy ID [--job N] [--nodes N] [FAULTS]
   fairsched help
+
+Fault flags apply to simulate, compare, profile, and explain; other
+subcommands reject them. `--quiet` anywhere (or FAIRSCHED_QUIET=1)
+silences diagnostics.
 
 FAULTS (deterministic fault injection; off by default):
   --mtbf SECONDS          per-node mean time between failures
@@ -107,6 +149,16 @@ POLICY IDS:
   cplant24.72max.all   cplant72.72max.fair  cons.nomax  cons.72max
   consdyn.nomax        consdyn.72max        easy.nomax  fcfs.nobackfill
 ";
+
+/// Removes every `--quiet` from `args`, enabling quiet logging when at
+/// least one was present. The flag is global, so it is handled before
+/// subcommand parsing; [`parse`] itself never sees it.
+pub fn strip_quiet(args: &mut Vec<String>) {
+    if args.iter().any(|a| a == "--quiet") {
+        log::set_quiet(true);
+        args.retain(|a| a != "--quiet");
+    }
+}
 
 /// Parses argv (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
@@ -167,6 +219,30 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             .map(str::to_string)
             .ok_or_else(|| UsageError(format!("missing required {name}")))
     };
+    // Every subcommand whitelists its flags: a flag aimed at a different
+    // subcommand (e.g. `audit --mtbf 60`) is a usage error, never silently
+    // ignored — ignoring it would run a different simulation than asked.
+    let check_flags = |allowed: &[&str]| -> Result<(), UsageError> {
+        let mut i = 0;
+        while i < rest.len() {
+            let a = rest[i].as_str();
+            if a.starts_with("--") {
+                if !allowed.contains(&a) {
+                    return Err(UsageError(format!(
+                        "{sub} does not take {a}; try `fairsched help`"
+                    )));
+                }
+                i += 2; // skip the flag's value
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    };
+    const FAULT_FLAGS: [&str; 4] = ["--mtbf", "--crash-rate", "--resilience", "--fault-seed"];
+    fn with_faults(flags: &[&'static str]) -> Vec<&'static str> {
+        flags.iter().chain(FAULT_FLAGS.iter()).copied().collect()
+    }
     let parse_faults = || -> Result<FaultConfig, UsageError> {
         let node_mtbf = match flag("--mtbf")? {
             None => None,
@@ -196,35 +272,77 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     };
 
     match sub {
-        "generate" => Ok(Command::Generate {
-            seed: parse_u64("--seed", 42)?,
-            scale: {
-                let s = parse_f64("--scale", 1.0)?;
-                if !(s > 0.0 && s <= 1.0) {
-                    return Err(UsageError(format!("--scale must be in (0, 1], got {s}")));
-                }
-                s
-            },
-            nodes: parse_u32("--nodes", DEFAULT_NODES)?,
-            out: required("--out")?,
-        }),
-        "simulate" => Ok(Command::Simulate {
-            trace: required("--trace")?,
-            policy: required("--policy")?,
-            nodes: parse_u32("--nodes", DEFAULT_NODES)?,
-            faults: parse_faults()?,
-        }),
-        "compare" => Ok(Command::Compare {
-            trace: required("--trace")?,
-            policies: flags_all("--policy")?,
-            nodes: parse_u32("--nodes", DEFAULT_NODES)?,
-            faults: parse_faults()?,
-        }),
-        "audit" => Ok(Command::Audit {
-            trace: required("--trace")?,
-            policy: required("--policy")?,
-            nodes: parse_u32("--nodes", DEFAULT_NODES)?,
-        }),
+        "generate" => {
+            check_flags(&["--seed", "--scale", "--nodes", "--out"])?;
+            Ok(Command::Generate {
+                seed: parse_u64("--seed", 42)?,
+                scale: {
+                    let s = parse_f64("--scale", 1.0)?;
+                    if !(s > 0.0 && s <= 1.0) {
+                        return Err(UsageError(format!("--scale must be in (0, 1], got {s}")));
+                    }
+                    s
+                },
+                nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+                out: required("--out")?,
+            })
+        }
+        "simulate" => {
+            check_flags(&with_faults(&[
+                "--trace",
+                "--policy",
+                "--nodes",
+                "--trace-out",
+            ]))?;
+            Ok(Command::Simulate {
+                trace: required("--trace")?,
+                policy: required("--policy")?,
+                nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+                faults: parse_faults()?,
+                trace_out: flag("--trace-out")?.map(str::to_string),
+            })
+        }
+        "compare" => {
+            check_flags(&with_faults(&["--trace", "--policy", "--nodes"]))?;
+            Ok(Command::Compare {
+                trace: required("--trace")?,
+                policies: flags_all("--policy")?,
+                nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+                faults: parse_faults()?,
+            })
+        }
+        "audit" => {
+            check_flags(&["--trace", "--policy", "--nodes"])?;
+            Ok(Command::Audit {
+                trace: required("--trace")?,
+                policy: required("--policy")?,
+                nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+            })
+        }
+        "profile" => {
+            check_flags(&with_faults(&["--trace", "--policy", "--nodes"]))?;
+            Ok(Command::Profile {
+                trace: required("--trace")?,
+                policy: required("--policy")?,
+                nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+                faults: parse_faults()?,
+            })
+        }
+        "explain" => {
+            check_flags(&with_faults(&["--trace", "--policy", "--nodes", "--job"]))?;
+            Ok(Command::Explain {
+                trace: required("--trace")?,
+                policy: required("--policy")?,
+                nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+                faults: parse_faults()?,
+                job: match flag("--job")? {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        UsageError(format!("--job needs an integer id, got {v:?}"))
+                    })?),
+                },
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(UsageError(format!(
             "unknown subcommand {other:?}; try `fairsched help`"
@@ -259,15 +377,32 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
             policy,
             nodes,
             faults,
+            trace_out,
         } => {
             let (jobs, mut out) = load_trace(&trace, nodes)?;
             let spec = lookup(&policy)?;
-            // The panic fence turns simulator aborts (e.g. a diverging
-            // fault configuration) into a clean error line, not a backtrace.
-            let outcome = try_run_policies(&jobs, std::slice::from_ref(&spec), nodes, &faults)
-                .pop()
-                .expect("one spec in, one result out")
-                .map_err(Box::new)?;
+            let outcome = match &trace_out {
+                None => {
+                    // The panic fence turns simulator aborts (e.g. a
+                    // diverging fault configuration) into a clean error
+                    // line, not a backtrace.
+                    try_run_policies(&jobs, std::slice::from_ref(&spec), nodes, &faults)
+                        .pop()
+                        .expect("one spec in, one result out")
+                        .map_err(Box::new)?
+                }
+                Some(path) => {
+                    let mut tracer = DecisionTracer::unbounded();
+                    let opts = RunOptions::with_faults(faults.clone());
+                    let run = try_run_policy_traced(&jobs, &spec, nodes, &opts, Some(&mut tracer))?;
+                    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+                    tracer.write_jsonl(&mut file)?;
+                    use std::io::Write as _;
+                    file.flush()?;
+                    writeln!(out, "wrote {} trace records to {path}", tracer.len())?;
+                    run.outcome
+                }
+            };
             let m = outcome.metrics();
             writeln!(out, "policy:            {}", outcome.policy)?;
             writeln!(out, "jobs:              {}", jobs.len())?;
@@ -396,6 +531,78 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
             )?;
             Ok(out)
         }
+        Command::Profile {
+            trace,
+            policy,
+            nodes,
+            faults,
+        } => {
+            let (jobs, mut out) = load_trace(&trace, nodes)?;
+            let spec = lookup(&policy)?;
+            let opts = RunOptions {
+                faults,
+                profile: true,
+                ..Default::default()
+            };
+            let run = try_run_policy(&jobs, &spec, nodes, &opts)?;
+            let profile = run.profile.expect("requested in RunOptions");
+            writeln!(
+                out,
+                "profile of {} over {} jobs on {nodes} nodes:",
+                run.outcome.policy,
+                jobs.len()
+            )?;
+            writeln!(out, "{profile}")?;
+            Ok(out)
+        }
+        Command::Explain {
+            trace,
+            policy,
+            nodes,
+            faults,
+            job,
+        } => {
+            let (jobs, mut out) = load_trace(&trace, nodes)?;
+            let spec = lookup(&policy)?;
+            let mut tracer = DecisionTracer::unbounded();
+            let opts = RunOptions::with_faults(faults);
+            let run = try_run_policy_traced(&jobs, &spec, nodes, &opts, Some(&mut tracer))?;
+            let records = tracer.into_records();
+            let fairness = &run.outcome.fairness;
+            let target = match job {
+                Some(id) => JobId(id),
+                None => worst_miss(fairness).ok_or_else(|| {
+                    UsageError("the trace produced no scored submissions to explain".into())
+                })?,
+            };
+            let breakdown =
+                explain_wait(&records, &run.outcome.schedule, target).ok_or_else(|| {
+                    UsageError(format!(
+                        "{target} is not in the schedule; pass a submission id from the trace"
+                    ))
+                })?;
+            writeln!(out, "under {}:", run.outcome.policy)?;
+            if let Some(e) = fairness.entries.iter().find(|e| e.id == target) {
+                if e.unfair() {
+                    writeln!(
+                        out,
+                        "{} was treated unfairly: fair start t={}, actual t={} — missed by {}s",
+                        target,
+                        e.fst,
+                        e.start,
+                        e.miss()
+                    )?;
+                } else {
+                    writeln!(
+                        out,
+                        "{} met its fair start (fair t={}, actual t={})",
+                        target, e.fst, e.start
+                    )?;
+                }
+            }
+            write!(out, "{breakdown}")?;
+            Ok(out)
+        }
     }
 }
 
@@ -404,9 +611,11 @@ fn lookup(id: &str) -> Result<PolicySpec, UsageError> {
         .ok_or_else(|| UsageError(format!("unknown policy {id:?}; try `fairsched help`")))
 }
 
-/// Loads a trace and returns it with the start of the command's output: a
-/// one-line warning when the lenient SWF reader dropped records, so silent
-/// cleaning never looks like a complete trace.
+/// Loads a trace and returns it with the (empty) start of the command's
+/// output. When the lenient SWF reader dropped records it warns through
+/// the `fairsched_obs::log` facade — visible on stderr unless `--quiet`,
+/// capturable in tests — so silent cleaning never looks like a complete
+/// trace.
 fn load_trace(
     path: &str,
     nodes: u32,
@@ -421,15 +630,13 @@ fn load_trace(
             too_wide.id, too_wide.nodes
         ))));
     }
-    let mut out = String::new();
     if parsed.skipped_malformed + parsed.skipped_degenerate > 0 {
-        writeln!(
-            out,
-            "warning: {path} skipped {} malformed and {} degenerate record(s)",
+        log::warn(format!(
+            "{path} skipped {} malformed and {} degenerate record(s)",
             parsed.skipped_malformed, parsed.skipped_degenerate
-        )?;
+        ));
     }
-    Ok((parsed.jobs, out))
+    Ok((parsed.jobs, String::new()))
 }
 
 #[cfg(test)]
@@ -595,6 +802,7 @@ mod tests {
             policy: "cplant24.nomax.all".into(),
             nodes: 1024,
             faults: FaultConfig::default(),
+            trace_out: None,
         })
         .unwrap();
         assert!(sim.contains("utilization"));
@@ -623,6 +831,7 @@ mod tests {
                 seed: 3,
                 ..FaultConfig::default()
             },
+            trace_out: None,
         })
         .unwrap();
         assert!(faulted.contains("goodput"));
@@ -645,6 +854,7 @@ mod tests {
             policy: "cplant24.nomax.all".into(),
             nodes: 1024,
             faults: FaultConfig::default(),
+            trace_out: None,
         })
         .unwrap_err();
         assert!(
@@ -666,6 +876,7 @@ mod tests {
             policy: "cons.nomax".into(),
             nodes: 64,
             faults: FaultConfig::default(),
+            trace_out: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("--nodes"));
@@ -673,7 +884,7 @@ mod tests {
     }
 
     #[test]
-    fn skipped_swf_records_produce_a_warning_line() {
+    fn skipped_swf_records_warn_through_the_log_facade() {
         let dir = std::env::temp_dir().join("fairsched-cli-test3");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("dirty.swf");
@@ -685,15 +896,170 @@ mod tests {
              garbage line\n",
         )
         .unwrap();
-        let out = execute(Command::Simulate {
+        let mut result = None;
+        let logs = fairsched_obs::log::capture(|| {
+            result = Some(execute(Command::Simulate {
+                trace: path.to_str().unwrap().into(),
+                policy: "cons.nomax".into(),
+                nodes: 64,
+                faults: FaultConfig::default(),
+                trace_out: None,
+            }));
+        });
+        let out = result.unwrap().unwrap();
+        // The diagnostic rides the facade (so --quiet can drop it), not
+        // the command's stdout.
+        assert!(!out.contains("warning"));
+        assert!(logs.iter().any(|(level, msg)| {
+            *level == fairsched_obs::log::Level::Warn
+                && msg.contains("1 malformed and 1 degenerate")
+        }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compare_accepts_fault_flags_but_audit_and_generate_reject_them() {
+        // Satellite contract: compare runs under a fault model...
+        match parse(&args(
+            "compare --trace t.swf --mtbf 86400 --crash-rate 0.05 --fault-seed 2",
+        ))
+        .unwrap()
+        {
+            Command::Compare { faults, .. } => {
+                assert_eq!(faults.node_mtbf, Some(86_400));
+                assert!((faults.job_crash_rate - 0.05).abs() < 1e-12);
+                assert_eq!(faults.seed, 2);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // ...while subcommands that cannot honor fault flags refuse them
+        // instead of silently running fault-free.
+        for (cmd, flag) in [
+            (
+                "audit --trace t.swf --policy cons.nomax --mtbf 60",
+                "--mtbf",
+            ),
+            (
+                "audit --trace t.swf --policy cons.nomax --crash-rate 0.1",
+                "--crash-rate",
+            ),
+            ("generate --out x.swf --fault-seed 1", "--fault-seed"),
+            ("generate --out x.swf --resilience resume", "--resilience"),
+        ] {
+            let err = parse(&args(cmd)).unwrap_err();
+            assert!(err.0.contains(flag), "{cmd}: {}", err.0);
+            assert!(err.0.contains("does not take"), "{cmd}: {}", err.0);
+        }
+        // Typos are rejected everywhere, not just fault flags.
+        assert!(parse(&args("simulate --trace t.swf --policy x --nods 4"))
+            .unwrap_err()
+            .0
+            .contains("--nods"));
+    }
+
+    #[test]
+    fn parses_profile_and_explain() {
+        match parse(&args(
+            "profile --trace t.swf --policy cons.nomax --mtbf 3600",
+        ))
+        .unwrap()
+        {
+            Command::Profile { policy, faults, .. } => {
+                assert_eq!(policy, "cons.nomax");
+                assert_eq!(faults.node_mtbf, Some(3600));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("explain --trace t.swf --policy easy.nomax --job 17")).unwrap() {
+            Command::Explain { job, .. } => assert_eq!(job, Some(17)),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("explain --trace t.swf --policy easy.nomax")).unwrap() {
+            Command::Explain { job, .. } => assert_eq!(job, None),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("explain --trace t.swf --policy x --job soon"))
+            .unwrap_err()
+            .0
+            .contains("--job"));
+    }
+
+    #[test]
+    fn simulate_parses_trace_out() {
+        match parse(&args(
+            "simulate --trace t.swf --policy cons.nomax --trace-out d.jsonl",
+        ))
+        .unwrap()
+        {
+            Command::Simulate { trace_out, .. } => {
+                assert_eq!(trace_out.as_deref(), Some("d.jsonl"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strip_quiet_enables_quiet_anywhere_in_argv() {
+        let was = fairsched_obs::log::is_quiet();
+        let mut argv = args("simulate --quiet --trace t.swf --policy cons.nomax");
+        strip_quiet(&mut argv);
+        assert!(fairsched_obs::log::is_quiet());
+        assert!(!argv.iter().any(|a| a == "--quiet"));
+        // The remaining argv parses normally.
+        assert!(matches!(parse(&argv), Ok(Command::Simulate { .. })));
+        fairsched_obs::log::set_quiet(was);
+    }
+
+    #[test]
+    fn end_to_end_profile_explain_and_trace_out() {
+        let dir = std::env::temp_dir().join("fairsched-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.swf");
+        execute(Command::Generate {
+            seed: 3,
+            scale: 0.02,
+            nodes: 1024,
+            out: path.to_str().unwrap().into(),
+        })
+        .unwrap();
+
+        let profiled = execute(Command::Profile {
             trace: path.to_str().unwrap().into(),
             policy: "cons.nomax".into(),
-            nodes: 64,
+            nodes: 1024,
             faults: FaultConfig::default(),
         })
         .unwrap();
-        assert!(out.contains("warning:"));
-        assert!(out.contains("1 malformed and 1 degenerate"));
+        assert!(profiled.contains("scheduler passes"));
+        assert!(profiled.contains("earliest_start calls"));
+
+        let explained = execute(Command::Explain {
+            trace: path.to_str().unwrap().into(),
+            policy: "cplant24.nomax.all".into(),
+            nodes: 1024,
+            faults: FaultConfig::default(),
+            job: None,
+        })
+        .unwrap();
+        assert!(explained.contains("capacity wait"));
+        assert!(explained.contains("policy wait"));
+
+        let jsonl = dir.join("d.jsonl");
+        let sim = execute(Command::Simulate {
+            trace: path.to_str().unwrap().into(),
+            policy: "easy.nomax".into(),
+            nodes: 1024,
+            faults: FaultConfig::default(),
+            trace_out: Some(jsonl.to_str().unwrap().into()),
+        })
+        .unwrap();
+        assert!(sim.contains("trace records"));
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(text.lines().count() > 0);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(text.contains("\"type\":\"job_started\""));
+
+        std::fs::remove_file(&jsonl).unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 }

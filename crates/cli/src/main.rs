@@ -1,7 +1,9 @@
 //! `fairsched` binary entry point: parse, execute, print.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    fairsched_obs::log::quiet_from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    fairsched_cli::strip_quiet(&mut args);
     let command = match fairsched_cli::parse(&args) {
         Ok(c) => c,
         Err(e) => {

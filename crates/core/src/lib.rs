@@ -44,8 +44,8 @@ pub mod sweep;
 
 pub use policy::PolicySpec;
 pub use runner::{
-    run_policy, run_policy_faulted, try_run_policy, OutcomeMetrics, PolicyOutcome, PolicyRun,
-    RunOptions,
+    run_policy, run_policy_faulted, try_run_policy, try_run_policy_traced, OutcomeMetrics,
+    PolicyOutcome, PolicyRun, RunOptions,
 };
 #[allow(deprecated)]
 pub use sweep::run_policies;

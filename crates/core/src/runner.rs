@@ -15,7 +15,11 @@ use fairsched_metrics::fairness::hybrid::HybridFstObserver;
 use fairsched_metrics::fairness::peruser::{per_user, UserFairness};
 use fairsched_metrics::fairness::resilience::ResilienceReport;
 use fairsched_metrics::user;
-use fairsched_sim::{try_simulate, FaultConfig, ObserverSet, OriginalOutcome, Schedule, SimError};
+use fairsched_obs::counters::{CounterSnapshot, ProfileReport, ProfileScope};
+use fairsched_obs::TraceSink;
+use fairsched_sim::{
+    try_simulate_traced, FaultConfig, ObserverSet, OriginalOutcome, Schedule, SimError,
+};
 use fairsched_workload::categories::WIDTH_BUCKETS;
 use fairsched_workload::job::Job;
 
@@ -93,6 +97,11 @@ pub struct RunOptions {
     pub equality: bool,
     /// Collect the interrupted-vs-clean resilience split.
     pub resilience: bool,
+    /// Collect a [`ProfileReport`] of where the run's time went. Counters
+    /// are process-wide, so a profiled run in a parallel sweep also
+    /// absorbs the other workers' activity — profile one run at a time
+    /// when per-policy numbers matter.
+    pub profile: bool,
 }
 
 impl RunOptions {
@@ -112,6 +121,7 @@ impl RunOptions {
             per_user: true,
             equality: true,
             resilience: true,
+            profile: true,
         }
     }
 }
@@ -129,6 +139,8 @@ pub struct PolicyRun {
     pub equality: Option<EqualityReport>,
     /// Interrupted-vs-clean split (`RunOptions::resilience`).
     pub resilience: Option<ResilienceReport>,
+    /// Where the run's time went (`RunOptions::profile`).
+    pub profile: Option<ProfileReport>,
 }
 
 /// Evaluates one policy on a trace with **one** simulation feeding every
@@ -142,8 +154,27 @@ pub fn try_run_policy(
     nodes: u32,
     opts: &RunOptions,
 ) -> Result<PolicyRun, SimError> {
+    try_run_policy_traced(trace, policy, nodes, opts, None)
+}
+
+/// [`try_run_policy`] with an optional decision-trace sink. When `sink` is
+/// `Some`, every scheduling decision of the single underlying simulation is
+/// recorded into it; the returned run is byte-identical to the untraced one
+/// (emission never feeds back into the schedule — pinned by proptest).
+pub fn try_run_policy_traced(
+    trace: &[Job],
+    policy: &PolicySpec,
+    nodes: u32,
+    opts: &RunOptions,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<PolicyRun, SimError> {
     let mut cfg = policy.sim_config(nodes);
     cfg.faults = opts.faults.clone();
+    // The scope must outlive the fairness scoring below: the hybrid-FST
+    // prefix simulations are where the warm-start counters move.
+    let _scope = opts.profile.then(ProfileScope::enter);
+    let baseline = opts.profile.then(CounterSnapshot::capture);
+    let started = std::time::Instant::now();
     let mut hybrid = HybridFstObserver::new();
     let mut equality = EqualityObserver::new();
     let schedule = {
@@ -152,9 +183,13 @@ pub fn try_run_policy(
         if opts.equality {
             observers.push(&mut equality);
         }
-        try_simulate(trace, &cfg, &mut observers)?
+        try_simulate_traced(trace, &cfg, &mut observers, sink)?
     };
     let fairness = hybrid.into_report();
+    let profile = baseline.map(|before| ProfileReport {
+        counters: CounterSnapshot::capture().since(&before),
+        wall_ns: started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+    });
     let per_user = opts.per_user.then(|| per_user(&schedule, &fairness));
     let resilience = opts
         .resilience
@@ -168,6 +203,7 @@ pub fn try_run_policy(
         per_user,
         equality: opts.equality.then(|| equality.into_report()),
         resilience,
+        profile,
     })
 }
 
@@ -298,6 +334,7 @@ mod tests {
             per_user: true,
             equality: true,
             resilience: true,
+            ..RunOptions::default()
         };
         let run = try_run_policy(&trace, &p, 1024, &opts).unwrap();
         // The historical path: one run for the schedule + hybrid report,
@@ -329,6 +366,43 @@ mod tests {
         assert!(run.per_user.is_none());
         assert!(run.equality.is_none());
         assert!(run.resilience.is_none());
+    }
+
+    #[test]
+    fn profiled_runs_report_where_time_went() {
+        let trace = small_trace();
+        let opts = RunOptions {
+            profile: true,
+            ..RunOptions::default()
+        };
+        let run = try_run_policy(&trace, &PolicySpec::baseline(), 1024, &opts).unwrap();
+        let profile = run.profile.expect("requested in RunOptions");
+        assert!(profile.wall_ns > 0);
+        assert!(profile.counters.sched_passes > 0);
+        assert!(profile.counters.backfill_attempts >= profile.counters.backfill_successes);
+        // The hybrid FST scores against the list scheduler, not prefix
+        // simulation, so warm-start counters stay parked here; they move
+        // under the scheduler-dependent Sabin metric instead.
+        assert_eq!(profile.counters.warm_start_misses, 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let trace = small_trace();
+        let p = PolicySpec::by_id("easy.nomax").unwrap();
+        let mut records: Vec<fairsched_obs::TraceRecord> = Vec::new();
+        let traced =
+            try_run_policy_traced(&trace, &p, 1024, &RunOptions::default(), Some(&mut records))
+                .unwrap();
+        let untraced = try_run_policy(&trace, &p, 1024, &RunOptions::default()).unwrap();
+        assert_eq!(traced.outcome.schedule, untraced.outcome.schedule);
+        assert_eq!(traced.outcome.fairness, untraced.outcome.fairness);
+        // Every submission start shows up as a decision record.
+        let starts = records
+            .iter()
+            .filter(|r| matches!(r, fairsched_obs::TraceRecord::JobStarted { .. }))
+            .count();
+        assert_eq!(starts, traced.outcome.schedule.records.len());
     }
 
     #[test]

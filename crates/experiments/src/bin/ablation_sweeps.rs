@@ -3,11 +3,12 @@
 use fairsched_experiments::{ablations as ab, ExperimentConfig};
 
 fn main() {
+    fairsched_obs::log::quiet_from_env();
     let cfg = ExperimentConfig::from_env();
-    eprintln!(
+    fairsched_obs::log::info(format!(
         "workload: seed={} scale={} nodes={}",
         cfg.seed, cfg.scale, cfg.nodes
-    );
+    ));
     let trace = cfg.trace();
     println!(
         "{}",

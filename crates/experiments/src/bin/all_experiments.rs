@@ -3,14 +3,15 @@
 use fairsched_experiments::{characterization as ch, figures as f};
 
 fn main() {
+    fairsched_obs::log::quiet_from_env();
     let cfg = fairsched_experiments::ExperimentConfig::from_env();
-    eprintln!(
+    fairsched_obs::log::info(format!(
         "workload: seed={} scale={} nodes={}",
         cfg.seed, cfg.scale, cfg.nodes
-    );
+    ));
     let e = fairsched_experiments::evaluate(cfg);
     for failure in e.failures() {
-        eprintln!("{failure} (its rows are skipped below)");
+        fairsched_obs::log::warn(format!("{failure} (its rows are skipped below)"));
     }
     println!("{}", ch::table1_report(&e.trace));
     println!("{}", ch::table2_report(&e.trace));

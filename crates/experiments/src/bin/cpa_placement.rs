@@ -7,6 +7,7 @@ use fairsched_experiments::ExperimentConfig;
 use fairsched_sim::{try_simulate, AllocationModel, NullObserver, SimConfig};
 
 fn main() {
+    fairsched_obs::log::quiet_from_env();
     let cfg = ExperimentConfig::from_env();
     let trace = cfg.trace();
     println!("== CPA placement strategies under the baseline policy ==");
@@ -27,7 +28,7 @@ fn main() {
         let s = match try_simulate(&trace, &sim_cfg, &mut NullObserver) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("{name}: simulation failed: {e}");
+                fairsched_obs::log::warn(format!("{name}: simulation failed: {e}"));
                 continue;
             }
         };

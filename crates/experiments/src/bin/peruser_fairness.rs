@@ -7,6 +7,7 @@ use fairsched_experiments::ExperimentConfig;
 use fairsched_metrics::fairness::peruser::heavy_vs_light_miss;
 
 fn main() {
+    fairsched_obs::log::quiet_from_env();
     let cfg = ExperimentConfig::from_env();
     let trace = cfg.trace();
     let opts = RunOptions {
@@ -18,7 +19,7 @@ fn main() {
         let run = match try_run_policy(&trace, &p, cfg.nodes, &opts) {
             Ok(run) => run,
             Err(e) => {
-                eprintln!("{id}: simulation failed: {e}");
+                fairsched_obs::log::warn(format!("{id}: simulation failed: {e}"));
                 continue;
             }
         };

@@ -1,0 +1,480 @@
+//! Explaining one job's wait from a decision trace.
+//!
+//! A [`fairsched_obs::TraceRecord`] stream plus the resulting `Schedule`
+//! is enough to answer the question the unfairness figures raise: *why*
+//! did this job start late? [`explain_wait`] replays the trace and splits
+//! the job's wait `[submit, start)` into three named components that sum
+//! exactly to the actual wait:
+//!
+//! * **capacity wait** — intervals where the machine had fewer free nodes
+//!   than the job needs; no scheduler could have started it.
+//! * **reservation wait** — intervals where the job would have fit but
+//!   held a conservative-backfilling reservation for a later time
+//!   (including slippage after the reservation was shifted).
+//! * **policy wait** — intervals where the job would have fit and held no
+//!   reservation; it waited purely on queue order, user-concurrency
+//!   caps, or jobs backfilled past it.
+//!
+//! The exactness of the split rests on the simulator's sampling contract:
+//! a `QueueSample` is emitted after every event batch's scheduling
+//! fixpoint, and machine state is constant between batches, so the free
+//! node level over `[submit, start)` is a step function the samples
+//! describe completely.
+//!
+//! Alongside the time split, the breakdown lists the discrete decisions
+//! that touched the job: which backfilled jobs bypassed it, how its
+//! reservation moved, when the starvation queue promoted it, and — for
+//! crash retries — which fault put it in the queue in the first place.
+
+use crate::fairness::fst::FstReport;
+use fairsched_obs::{StartCause, TraceRecord};
+use fairsched_sim::Schedule;
+use fairsched_workload::job::JobId;
+use fairsched_workload::time::Time;
+use std::fmt;
+
+/// One backfilled job jumping past the explained job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BypassEvent {
+    /// When the bypassing job started.
+    pub at: Time,
+    /// The job that jumped ahead.
+    pub by: JobId,
+}
+
+/// One movement of the explained job's conservative reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReservationEvent {
+    /// When the reservation was (re)placed.
+    pub at: Time,
+    /// The previously promised start, if this replaces one.
+    pub from: Option<Time>,
+    /// The promised start after this event.
+    pub to: Time,
+}
+
+/// Why a crash retry exists at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDelay {
+    /// The original trace job heading the chain.
+    pub origin: JobId,
+    /// The submission whose crash produced this retry.
+    pub crashed: JobId,
+    /// When the retry entered the queue (the crash instant).
+    pub requeued_at: Time,
+    /// Executed seconds the crash threw away.
+    pub lost: Time,
+    /// How long after the original submission this retry was queued.
+    pub chain_delay: Time,
+}
+
+/// One job's wait, decomposed. Produced by [`explain_wait`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitBreakdown {
+    /// The explained submission.
+    pub job: JobId,
+    /// Width in nodes.
+    pub nodes: u32,
+    /// When it entered the queue.
+    pub submit: Time,
+    /// When it started.
+    pub start: Time,
+    /// Wait spent with too few free nodes for this width.
+    pub capacity_wait: Time,
+    /// Wait spent fitting but promised to a reservation.
+    pub reservation_wait: Time,
+    /// Wait spent fitting with no reservation: pure queue-order/backfill
+    /// holding.
+    pub policy_wait: Time,
+    /// How the job ultimately started, if the trace recorded it.
+    pub cause: Option<StartCause>,
+    /// Backfilled jobs that jumped past it, in start order.
+    pub bypassed_by: Vec<BypassEvent>,
+    /// Its reservation timeline, in placement order.
+    pub reservations: Vec<ReservationEvent>,
+    /// When the starvation queue promoted it, if it did.
+    pub promoted_at: Option<Time>,
+    /// The fault that created it, when it is a crash retry.
+    pub fault: Option<FaultDelay>,
+}
+
+impl WaitBreakdown {
+    /// The actual wait; always equals
+    /// `capacity_wait + reservation_wait + policy_wait`.
+    pub fn wait(&self) -> Time {
+        self.start - self.submit
+    }
+}
+
+/// Decomposes `job`'s wait from a decision trace and the schedule it
+/// produced. Returns `None` when the schedule has no record of `job`.
+/// `records` must come from the same traced run as `schedule`.
+pub fn explain_wait(
+    records: &[TraceRecord],
+    schedule: &Schedule,
+    job: JobId,
+) -> Option<WaitBreakdown> {
+    let rec = schedule.records.iter().find(|r| r.id == job)?;
+    let (submit, start) = (rec.submit, rec.start);
+
+    let mut cause = None;
+    let mut bypassed_by = Vec::new();
+    let mut reservations: Vec<ReservationEvent> = Vec::new();
+    let mut promoted_at = None;
+    let mut fault = None;
+    // The free-node step function over time, described completely by the
+    // per-batch samples.
+    let mut samples: Vec<(Time, u32)> = Vec::new();
+    for r in records {
+        match r {
+            TraceRecord::JobStarted {
+                at,
+                job: started,
+                cause: c,
+                ..
+            } => {
+                if *started == job {
+                    cause = Some(c.clone());
+                } else if let StartCause::Backfilled { bypassed } = c {
+                    if bypassed.contains(&job) {
+                        bypassed_by.push(BypassEvent {
+                            at: *at,
+                            by: *started,
+                        });
+                    }
+                }
+            }
+            TraceRecord::ReservationMade {
+                at,
+                job: j,
+                start: to,
+            } if *j == job => reservations.push(ReservationEvent {
+                at: *at,
+                from: None,
+                to: *to,
+            }),
+            TraceRecord::ReservationShifted {
+                at,
+                job: j,
+                from,
+                to,
+            } if *j == job => {
+                reservations.push(ReservationEvent {
+                    at: *at,
+                    from: Some(*from),
+                    to: *to,
+                });
+            }
+            TraceRecord::StarvationPromoted { at, job: j, .. } if *j == job => {
+                promoted_at.get_or_insert(*at);
+            }
+            TraceRecord::FaultRequeued {
+                at,
+                origin,
+                job: crashed,
+                retry,
+                lost,
+            } if *retry == job => {
+                fault = Some(FaultDelay {
+                    origin: *origin,
+                    crashed: *crashed,
+                    requeued_at: *at,
+                    lost: *lost,
+                    chain_delay: submit.saturating_sub(rec.origin_submit),
+                });
+            }
+            TraceRecord::QueueSample { at, free_nodes, .. } => samples.push((*at, *free_nodes)),
+            _ => {}
+        }
+    }
+
+    // Tile [submit, start) with the sample step function. Every boundary
+    // is a sample time (arrivals and starts are events, and each event
+    // batch samples once), so the segments sum to the wait exactly.
+    let free_at = |t: Time| -> u32 {
+        samples
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .last()
+            .map(|&(_, free)| free)
+            .unwrap_or(0)
+    };
+    let reserved_at = |t: Time| -> bool {
+        reservations
+            .iter()
+            .any(|r| r.at <= t && r.to < fairsched_sim::FAR_FUTURE)
+    };
+    let mut boundaries = vec![submit];
+    boundaries.extend(
+        samples
+            .iter()
+            .map(|&(at, _)| at)
+            .filter(|&at| at > submit && at < start),
+    );
+    boundaries.push(start);
+    let (mut capacity, mut reservation, mut policy) = (0, 0, 0);
+    for pair in boundaries.windows(2) {
+        let (b, e) = (pair[0], pair[1]);
+        if e <= b {
+            continue;
+        }
+        let seg = e - b;
+        if free_at(b) < rec.nodes {
+            capacity += seg;
+        } else if reserved_at(b) {
+            reservation += seg;
+        } else {
+            policy += seg;
+        }
+    }
+
+    Some(WaitBreakdown {
+        job,
+        nodes: rec.nodes,
+        submit,
+        start,
+        capacity_wait: capacity,
+        reservation_wait: reservation,
+        policy_wait: policy,
+        cause,
+        bypassed_by,
+        reservations,
+        promoted_at,
+        fault,
+    })
+}
+
+/// The job with the largest fair-start miss in `report` (smallest id on
+/// ties), or `None` for an empty report — the natural candidate to
+/// explain.
+pub fn worst_miss(report: &FstReport) -> Option<JobId> {
+    report
+        .entries
+        .iter()
+        .max_by_key(|e| (e.miss(), std::cmp::Reverse(e.id)))
+        .map(|e| e.id)
+}
+
+impl fmt::Display for WaitBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} nodes): submitted t={}, started t={} — waited {}s",
+            self.job,
+            self.nodes,
+            self.submit,
+            self.start,
+            self.wait()
+        )?;
+        writeln!(
+            f,
+            "  capacity wait     {:>8}s  (machine too full for {} nodes)",
+            self.capacity_wait, self.nodes
+        )?;
+        writeln!(
+            f,
+            "  reservation wait  {:>8}s  (fit free, held for its reservation)",
+            self.reservation_wait
+        )?;
+        writeln!(
+            f,
+            "  policy wait       {:>8}s  (fit free, held by queue order/backfill)",
+            self.policy_wait
+        )?;
+        match &self.cause {
+            Some(StartCause::Fcfs) => writeln!(f, "  started: in queue order")?,
+            Some(StartCause::Backfilled { bypassed }) => writeln!(
+                f,
+                "  started: backfilled past {} waiting job(s)",
+                bypassed.len()
+            )?,
+            Some(StartCause::Reservation) => writeln!(f, "  started: at its reservation")?,
+            Some(StartCause::StarvationGuard) => {
+                writeln!(f, "  started: via the starvation guard")?
+            }
+            None => writeln!(f, "  started: (no start record in trace)")?,
+        }
+        if !self.bypassed_by.is_empty() {
+            let shown: Vec<String> = self
+                .bypassed_by
+                .iter()
+                .take(8)
+                .map(|b| format!("{}@t={}", b.by, b.at))
+                .collect();
+            let more = self.bypassed_by.len().saturating_sub(8);
+            write!(
+                f,
+                "  bypassed {} time(s): {}",
+                self.bypassed_by.len(),
+                shown.join(", ")
+            )?;
+            if more > 0 {
+                write!(f, " (+{more} more)")?;
+            }
+            writeln!(f)?;
+        }
+        for r in &self.reservations {
+            match r.from {
+                None => writeln!(f, "  reservation made at t={} for t={}", r.at, r.to)?,
+                Some(from) => writeln!(
+                    f,
+                    "  reservation shifted at t={}: t={} -> t={}",
+                    r.at, from, r.to
+                )?,
+            }
+        }
+        if let Some(at) = self.promoted_at {
+            writeln!(f, "  promoted by the starvation queue at t={at}")?;
+        }
+        if let Some(fd) = &self.fault {
+            writeln!(
+                f,
+                "  crash retry of {} (chain {}): requeued at t={}, {}s of work lost, {}s after the original submission",
+                fd.crashed, fd.origin, fd.requeued_at, fd.lost, fd.chain_delay
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_sim::{try_simulate_traced, EngineKind, NullObserver, SimConfig};
+    use fairsched_workload::job::Job;
+
+    fn traced_run(trace: &[Job], cfg: &SimConfig) -> (Vec<TraceRecord>, Schedule) {
+        let mut records: Vec<TraceRecord> = Vec::new();
+        let schedule =
+            try_simulate_traced(trace, cfg, &mut NullObserver, Some(&mut records)).unwrap();
+        (records, schedule)
+    }
+
+    #[test]
+    fn components_sum_to_the_actual_wait() {
+        // 10 nodes; a long 8-wide job, then an 8-wide job that must wait
+        // for capacity, with a narrow backfill slipping past it.
+        let trace = vec![
+            Job::new(1, 1, 1, 0, 8, 100, 100),
+            Job::new(2, 2, 1, 5, 8, 100, 100),
+            Job::new(3, 3, 1, 6, 2, 10, 10),
+        ];
+        let cfg = SimConfig {
+            nodes: 10,
+            engine: EngineKind::Easy,
+            ..Default::default()
+        };
+        let (records, schedule) = traced_run(&trace, &cfg);
+        for job in [JobId(1), JobId(2), JobId(3)] {
+            let b = explain_wait(&records, &schedule, job).unwrap();
+            assert_eq!(
+                b.capacity_wait + b.reservation_wait + b.policy_wait,
+                b.wait(),
+                "components must sum to the wait for {job}"
+            );
+        }
+        // Job 2 waits for job 1's 8 nodes: pure capacity wait.
+        let b2 = explain_wait(&records, &schedule, JobId(2)).unwrap();
+        assert_eq!(b2.wait(), 95);
+        assert_eq!(b2.capacity_wait, 95);
+        // Job 3 backfills past job 2.
+        assert_eq!(
+            b2.bypassed_by,
+            vec![BypassEvent {
+                at: 6,
+                by: JobId(3)
+            }]
+        );
+        let b3 = explain_wait(&records, &schedule, JobId(3)).unwrap();
+        assert!(matches!(b3.cause, Some(StartCause::Backfilled { .. })));
+    }
+
+    #[test]
+    fn conservative_wait_shows_reservation_holding() {
+        let trace = vec![
+            Job::new(1, 1, 1, 0, 8, 100, 100),
+            Job::new(2, 2, 1, 5, 8, 100, 100),
+        ];
+        let cfg = SimConfig {
+            nodes: 10,
+            engine: EngineKind::Conservative,
+            ..Default::default()
+        };
+        let (records, schedule) = traced_run(&trace, &cfg);
+        let b2 = explain_wait(&records, &schedule, JobId(2)).unwrap();
+        assert!(!b2.reservations.is_empty(), "conservative reserves job 2");
+        assert_eq!(b2.cause, Some(StartCause::Reservation));
+        assert_eq!(
+            b2.capacity_wait + b2.reservation_wait + b2.policy_wait,
+            b2.wait()
+        );
+    }
+
+    #[test]
+    fn unknown_jobs_explain_to_none() {
+        let trace = vec![Job::new(1, 1, 1, 0, 1, 10, 10)];
+        let cfg = SimConfig {
+            nodes: 10,
+            ..Default::default()
+        };
+        let (records, schedule) = traced_run(&trace, &cfg);
+        assert!(explain_wait(&records, &schedule, JobId(99)).is_none());
+    }
+
+    #[test]
+    fn worst_miss_picks_the_largest_offender() {
+        use crate::fairness::fst::FstEntry;
+        let report = FstReport::new(vec![
+            FstEntry {
+                id: JobId(1),
+                nodes: 1,
+                fst: 10,
+                start: 15,
+            },
+            FstEntry {
+                id: JobId(2),
+                nodes: 1,
+                fst: 10,
+                start: 40,
+            },
+            FstEntry {
+                id: JobId(3),
+                nodes: 1,
+                fst: 10,
+                start: 5,
+            },
+        ]);
+        assert_eq!(worst_miss(&report), Some(JobId(2)));
+        assert_eq!(worst_miss(&FstReport::default()), None);
+    }
+
+    #[test]
+    fn display_renders_the_decomposition() {
+        let b = WaitBreakdown {
+            job: JobId(7),
+            nodes: 4,
+            submit: 100,
+            start: 400,
+            capacity_wait: 200,
+            reservation_wait: 60,
+            policy_wait: 40,
+            cause: Some(StartCause::Reservation),
+            bypassed_by: vec![BypassEvent {
+                at: 150,
+                by: JobId(9),
+            }],
+            reservations: vec![ReservationEvent {
+                at: 100,
+                from: None,
+                to: 380,
+            }],
+            promoted_at: None,
+            fault: None,
+        };
+        let text = b.to_string();
+        assert!(text.contains("waited 300s"));
+        assert!(text.contains("capacity wait"));
+        assert!(text.contains("at its reservation"));
+        assert!(text.contains("job#9@t=150") || text.contains("9@t=150"));
+    }
+}

@@ -178,6 +178,7 @@ fn stripe_fsts(
             if !targets.contains(&job.id) {
                 continue;
             }
+            fairsched_obs::counters::record_warm_start(false);
             let prefix: Vec<Job> = ordered[..=i].iter().map(|j| (*j).clone()).collect();
             let schedule = try_simulate(&prefix, cfg, &mut NullObserver)
                 .unwrap_or_else(|e| panic!("prefix simulation failed: {e}"));

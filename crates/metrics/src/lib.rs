@@ -16,16 +16,21 @@
 //!   [`fairness::equality`] (the resource-equality 1/N metric), and
 //!   [`fairness::jain`] (Jain's index and turnaround standard deviation,
 //!   the strawmen §4 argues against).
+//! * [`explain`] — joins a `fairsched-obs` decision trace with a schedule
+//!   (and an [`FstReport`]) to decompose one job's wait into capacity,
+//!   reservation, and policy components that sum to the actual wait.
 //!
 //! Every fairness family ships an observer form ([`HybridFstObserver`],
 //! [`EqualityObserver`], [`PerUserObserver`], [`ResilienceObserver`]) so a
 //! single `try_simulate` run — via `fairsched_sim::ObserverSet` — can feed
 //! all of them at once instead of one simulation per metric.
 
+pub mod explain;
 pub mod fairness;
 pub mod system;
 pub mod user;
 
+pub use explain::{explain_wait, worst_miss, WaitBreakdown};
 pub use fairness::equality::{EqualityObserver, EqualityReport};
 pub use fairness::fst::{FstEntry, FstReport};
 pub use fairness::hybrid::HybridFstObserver;

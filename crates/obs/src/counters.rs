@@ -1,0 +1,456 @@
+//! Runtime counters and profiling.
+//!
+//! The simulator's hot paths carry a handful of instrumentation points
+//! (scheduler passes, `earliest_start` probes, backfill attempts,
+//! warm-start prefix reuse). Each point costs one relaxed atomic load
+//! while profiling is off; inside a [`ProfileScope`] it additionally pays
+//! a relaxed increment (and, for pass timing, two monotonic clock reads).
+//!
+//! Counters are **process-wide**: profiling a parallel sweep attributes
+//! every worker's activity to one report. Profile one run at a time when
+//! per-policy numbers matter — `fairsched profile` and
+//! `RunOptions { profile: true, .. }` both do.
+//!
+//! Timing never feeds back into the simulation: schedules stay a pure
+//! function of (trace, config, seed) whether or not a scope is active.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+const BUCKETS: usize = 64;
+
+/// A mergeable histogram over `u64` samples with log2-scaled buckets.
+///
+/// Bucket `0` holds zeros; bucket `i >= 1` holds samples in
+/// `[2^(i-1), 2^i)`. Sixty-four buckets cover the whole `u64` range, so
+/// recording never saturates. The exact sum is tracked alongside, so the
+/// mean is exact even though quantiles are bucket-resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (BUCKETS as u32 - value.leading_zeros()).min(BUCKETS as u32 - 1) as usize
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`). Bucket resolution: the true value is within 2x.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    fn saturating_sub(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (a, b)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            out.buckets[i] = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+}
+
+// Process-wide instrumentation state. `ENABLED_DEPTH` counts live
+// `ProfileScope`s so nested/overlapping scopes compose.
+static ENABLED_DEPTH: AtomicU64 = AtomicU64::new(0);
+static SCHED_PASSES: AtomicU64 = AtomicU64::new(0);
+static EARLIEST_START_CALLS: AtomicU64 = AtomicU64::new(0);
+static BACKFILL_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+static BACKFILL_SUCCESSES: AtomicU64 = AtomicU64::new(0);
+static WARM_START_HITS: AtomicU64 = AtomicU64::new(0);
+static WARM_START_MISSES: AtomicU64 = AtomicU64::new(0);
+static PASS_NS_SUM: AtomicU64 = AtomicU64::new(0);
+static PASS_NS_BUCKETS: [AtomicU64; BUCKETS] = [const { AtomicU64::new(0) }; BUCKETS];
+
+/// True while at least one [`ProfileScope`] is alive. Instrumented call
+/// sites check this first so profiling-off costs a single relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED_DEPTH.load(Relaxed) > 0
+}
+
+/// RAII switch for the process-wide counters.
+///
+/// Counters accumulate only while a scope is alive; snapshot deltas
+/// ([`CounterSnapshot::since`]) isolate one region of interest.
+#[derive(Debug)]
+pub struct ProfileScope(());
+
+impl ProfileScope {
+    /// Enables instrumentation until the returned guard drops.
+    pub fn enter() -> ProfileScope {
+        ENABLED_DEPTH.fetch_add(1, Relaxed);
+        ProfileScope(())
+    }
+}
+
+impl Drop for ProfileScope {
+    fn drop(&mut self) {
+        ENABLED_DEPTH.fetch_sub(1, Relaxed);
+    }
+}
+
+/// Counts one `earliest_start` probe (the conservative-family hot call).
+#[inline]
+pub fn record_earliest_start() {
+    if enabled() {
+        EARLIEST_START_CALLS.fetch_add(1, Relaxed);
+    }
+}
+
+/// Counts one backfill walk: `attempts` queued candidates were examined,
+/// `successes` of them started.
+#[inline]
+pub fn record_backfill(attempts: u64, successes: u64) {
+    if enabled() {
+        BACKFILL_ATTEMPTS.fetch_add(attempts, Relaxed);
+        BACKFILL_SUCCESSES.fetch_add(successes, Relaxed);
+    }
+}
+
+/// Counts one warm-start prefix lookup: `hit` when the master simulator
+/// could be reused, false when it fell back to a cold replay.
+#[inline]
+pub fn record_warm_start(hit: bool) {
+    if enabled() {
+        if hit {
+            WARM_START_HITS.fetch_add(1, Relaxed);
+        } else {
+            WARM_START_MISSES.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+/// Times one scheduler pass. Obtain before the pass ([`pass_timer`]),
+/// call [`PassTimer::finish`] after; both are no-ops while profiling is
+/// off.
+#[derive(Debug)]
+#[must_use = "call finish() after the pass to record its duration"]
+pub struct PassTimer(Option<Instant>);
+
+/// Starts timing a scheduler pass (no-op unless profiling is enabled).
+#[inline]
+pub fn pass_timer() -> PassTimer {
+    PassTimer(if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    })
+}
+
+impl PassTimer {
+    /// Records the elapsed pass duration into the global histogram.
+    #[inline]
+    pub fn finish(self) {
+        if let Some(t0) = self.0 {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            SCHED_PASSES.fetch_add(1, Relaxed);
+            PASS_NS_SUM.fetch_add(ns, Relaxed);
+            PASS_NS_BUCKETS[bucket_of(ns)].fetch_add(1, Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of every process-wide counter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CounterSnapshot {
+    /// Scheduler passes timed (fixpoint iterations across all runs).
+    pub sched_passes: u64,
+    /// `earliest_start` probes.
+    pub earliest_start_calls: u64,
+    /// Queued candidates examined by backfill walks.
+    pub backfill_attempts: u64,
+    /// Candidates those walks actually started.
+    pub backfill_successes: u64,
+    /// Prefix simulations served from the warm master.
+    pub warm_start_hits: u64,
+    /// Prefix simulations that fell back to a cold replay.
+    pub warm_start_misses: u64,
+    /// Per-pass wall time in nanoseconds.
+    pub pass_ns: Histogram,
+}
+
+impl CounterSnapshot {
+    /// Reads the current process-wide counter values.
+    pub fn capture() -> CounterSnapshot {
+        let mut pass_ns = Histogram::new();
+        for (i, b) in PASS_NS_BUCKETS.iter().enumerate() {
+            let n = b.load(Relaxed);
+            pass_ns.buckets[i] = n;
+            pass_ns.count += n;
+        }
+        pass_ns.sum = PASS_NS_SUM.load(Relaxed);
+        CounterSnapshot {
+            sched_passes: SCHED_PASSES.load(Relaxed),
+            earliest_start_calls: EARLIEST_START_CALLS.load(Relaxed),
+            backfill_attempts: BACKFILL_ATTEMPTS.load(Relaxed),
+            backfill_successes: BACKFILL_SUCCESSES.load(Relaxed),
+            warm_start_hits: WARM_START_HITS.load(Relaxed),
+            warm_start_misses: WARM_START_MISSES.load(Relaxed),
+            pass_ns,
+        }
+    }
+
+    /// Counter movement between `earlier` and this snapshot.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            sched_passes: self.sched_passes.saturating_sub(earlier.sched_passes),
+            earliest_start_calls: self
+                .earliest_start_calls
+                .saturating_sub(earlier.earliest_start_calls),
+            backfill_attempts: self
+                .backfill_attempts
+                .saturating_sub(earlier.backfill_attempts),
+            backfill_successes: self
+                .backfill_successes
+                .saturating_sub(earlier.backfill_successes),
+            warm_start_hits: self.warm_start_hits.saturating_sub(earlier.warm_start_hits),
+            warm_start_misses: self
+                .warm_start_misses
+                .saturating_sub(earlier.warm_start_misses),
+            pass_ns: self.pass_ns.saturating_sub(&earlier.pass_ns),
+        }
+    }
+}
+
+/// Where one run's simulation time went, as surfaced by
+/// `try_run_policy` (with `RunOptions::profile`) and `fairsched profile`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileReport {
+    /// Counter movement attributable to the profiled region.
+    pub counters: CounterSnapshot,
+    /// Wall time of the profiled region, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl ProfileReport {
+    /// Folds another report into this one (summing wall time).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        let z = CounterSnapshot::default();
+        let mut merged = self.counters.since(&z);
+        merged.sched_passes += other.counters.sched_passes;
+        merged.earliest_start_calls += other.counters.earliest_start_calls;
+        merged.backfill_attempts += other.counters.backfill_attempts;
+        merged.backfill_successes += other.counters.backfill_successes;
+        merged.warm_start_hits += other.counters.warm_start_hits;
+        merged.warm_start_misses += other.counters.warm_start_misses;
+        merged.pass_ns.merge(&other.counters.pass_ns);
+        self.counters = merged;
+        self.wall_ns += other.wall_ns;
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counters;
+        writeln!(f, "wall time            {}", fmt_ns(self.wall_ns))?;
+        writeln!(
+            f,
+            "scheduler passes     {}  (total {}, mean {}, p50 ~{}, p99 ~{})",
+            c.sched_passes,
+            fmt_ns(c.pass_ns.sum()),
+            fmt_ns(c.pass_ns.mean() as u64),
+            fmt_ns(c.pass_ns.quantile(0.50)),
+            fmt_ns(c.pass_ns.quantile(0.99)),
+        )?;
+        writeln!(f, "earliest_start calls {}", c.earliest_start_calls)?;
+        let rate = if c.backfill_attempts == 0 {
+            0.0
+        } else {
+            100.0 * c.backfill_successes as f64 / c.backfill_attempts as f64
+        };
+        writeln!(
+            f,
+            "backfill walk        {} candidates examined, {} started ({rate:.1}% hit rate)",
+            c.backfill_attempts, c.backfill_successes,
+        )?;
+        write!(
+            f,
+            "warm-start prefix    {} hits / {} cold replays",
+            c.warm_start_hits, c.warm_start_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact_and_merge_adds() {
+        let mut a = Histogram::new();
+        for v in [1, 2, 3, 4] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 10);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 110);
+    }
+
+    #[test]
+    fn histogram_quantile_brackets_the_samples() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1000);
+        // p50 lands in 10's bucket [8,16); p100 in 1000's bucket [512,1024).
+        assert_eq!(h.quantile(0.5), 8);
+        assert_eq!(h.quantile(1.0), 512);
+    }
+
+    #[test]
+    fn counters_only_move_inside_a_scope() {
+        // Outside any scope the call sites must not record: delta of the
+        // earliest_start counter across un-scoped calls stays attributable
+        // to concurrently-profiled tests at most (those never call this
+        // private helper combination with the magic amounts below).
+        let before = CounterSnapshot::capture();
+        if !enabled() {
+            record_backfill(1_000_003, 0);
+            let after = CounterSnapshot::capture();
+            assert_eq!(
+                after.since(&before).backfill_attempts % 1_000_003,
+                after.since(&before).backfill_attempts,
+                "un-scoped record_backfill must be a no-op"
+            );
+        }
+
+        let _scope = ProfileScope::enter();
+        let before = CounterSnapshot::capture();
+        record_earliest_start();
+        record_backfill(5, 2);
+        record_warm_start(true);
+        record_warm_start(false);
+        let timer = pass_timer();
+        timer.finish();
+        let d = CounterSnapshot::capture().since(&before);
+        assert!(d.earliest_start_calls >= 1);
+        assert!(d.backfill_attempts >= 5);
+        assert!(d.backfill_successes >= 2);
+        assert!(d.warm_start_hits >= 1);
+        assert!(d.warm_start_misses >= 1);
+        assert!(d.sched_passes >= 1);
+        assert!(d.pass_ns.count() >= 1);
+    }
+
+    #[test]
+    fn report_renders_every_counter() {
+        let mut c = CounterSnapshot {
+            sched_passes: 10,
+            earliest_start_calls: 20,
+            backfill_attempts: 30,
+            backfill_successes: 15,
+            warm_start_hits: 4,
+            warm_start_misses: 1,
+            pass_ns: Histogram::new(),
+        };
+        c.pass_ns.record(1_500);
+        let report = ProfileReport {
+            counters: c,
+            wall_ns: 2_000_000,
+        };
+        let text = report.to_string();
+        assert!(text.contains("2.00 ms"));
+        assert!(text.contains("50.0% hit rate"));
+        assert!(text.contains("4 hits / 1 cold replays"));
+    }
+}

@@ -21,6 +21,7 @@ use crate::faults::Outage;
 use crate::profile::Profile;
 use crate::starvation::starving_jobs;
 use crate::state::{priority_order, QueuedJob, RunningJob};
+use fairsched_obs::{counters, StartCause, TraceHandle, TraceRecord};
 use fairsched_workload::job::JobId;
 use fairsched_workload::time::Time;
 use std::collections::HashMap;
@@ -28,8 +29,10 @@ use std::collections::HashMap;
 /// Far-future reservation sentinel for jobs that can never be placed (wider
 /// than the machine). Such jobs are rejected upstream by trace validation;
 /// engines driven by hand degrade to "reserved at the far future" instead
-/// of panicking, matching the pre-`Option` profile behavior.
-const FAR_FUTURE: Time = Time::MAX / 4;
+/// of panicking, matching the pre-`Option` profile behavior. Public so
+/// trace consumers can tell "reserved at `t`" from "no feasible slot yet"
+/// in `ReservationMade`/`ReservationShifted` records.
+pub const FAR_FUTURE: Time = Time::MAX / 4;
 
 /// Read-only view the simulator hands an engine at each scheduling event.
 pub struct EngineCtx<'a> {
@@ -54,6 +57,11 @@ pub struct EngineCtx<'a> {
     /// treat each as a 1-node occupant until its repair time, or their
     /// reservations would assume capacity that does not exist yet.
     pub outages: &'a [Outage],
+    /// Decision-trace sink for this pass, when the run is traced. Engines
+    /// emit `JobStarted`/`ReservationMade`/`ReservationShifted` records
+    /// through it; emission must never influence decisions (a traced run's
+    /// schedule is byte-identical to an untraced one — proptest-pinned).
+    pub trace: Option<&'a dyn TraceHandle>,
 }
 
 impl EngineCtx<'_> {
@@ -106,6 +114,14 @@ impl Engine for NoBackfillEngine {
             if job.nodes <= free {
                 starts.push(job.id);
                 free -= job.nodes;
+                if let Some(t) = ctx.trace {
+                    t.emit(TraceRecord::JobStarted {
+                        at: ctx.now,
+                        job: job.id,
+                        nodes: job.nodes,
+                        cause: StartCause::Fcfs,
+                    });
+                }
             } else {
                 break;
             }
@@ -171,7 +187,14 @@ fn respects(job: &QueuedJob, now: Time, res: Option<&mut Reservation>) -> bool {
 /// Greedy backfilling pass shared by the no-guarantee and EASY engines:
 /// walk `order` (indices into `ctx.queue`), starting everything that fits
 /// and respects the reservation guarding `guard_idx` (if any).
-fn greedy_pass(ctx: &EngineCtx<'_>, order: &[usize], guard_idx: Option<usize>) -> Vec<JobId> {
+/// `guard_cause` is the [`StartCause`] reported if the guarded job itself
+/// starts (it differs between an EASY head and a starvation promotion).
+fn greedy_pass(
+    ctx: &EngineCtx<'_>,
+    order: &[usize],
+    guard_idx: Option<usize>,
+    guard_cause: StartCause,
+) -> Vec<JobId> {
     let mut free = ctx.free_nodes;
     let mut starts = Vec::new();
 
@@ -193,22 +216,69 @@ fn greedy_pass(ctx: &EngineCtx<'_>, order: &[usize], guard_idx: Option<usize>) -
             starts.push(head.id);
             free -= head.nodes;
             ends.push((ctx.now + head.estimate, head.nodes));
+            if let Some(t) = ctx.trace {
+                t.emit(TraceRecord::JobStarted {
+                    at: ctx.now,
+                    job: head.id,
+                    nodes: head.nodes,
+                    cause: guard_cause,
+                });
+            }
         } else {
             reservation = Some(aggressive_reservation(head.nodes, free, ctx.now, &mut ends));
             guarded_job = Some(head.id);
         }
     }
 
+    // `waiting` (ids, trace-only) and `waiting_ahead` (count, always) track
+    // the higher-priority jobs left behind so far: a start with anything
+    // ahead of it is a backfill, and the trace names exactly who it jumped.
+    let mut waiting: Vec<JobId> = Vec::new();
+    let mut waiting_ahead = 0u64;
+    let mut examined = 0u64;
+    let mut started = 0u64;
     for &i in order {
         let job = &ctx.queue[i];
-        if Some(job.id) == guarded_job || starts.contains(&job.id) {
+        if starts.contains(&job.id) {
             continue;
         }
+        if Some(job.id) == guarded_job {
+            // The guard holds a reservation it could not cash yet: anything
+            // that starts past this point in the order bypasses it.
+            if ctx.trace.is_some() {
+                waiting.push(job.id);
+            }
+            waiting_ahead += 1;
+            continue;
+        }
+        examined += 1;
         if job.nodes <= free && respects(job, ctx.now, reservation.as_mut()) {
             starts.push(job.id);
             free -= job.nodes;
+            started += 1;
+            if let Some(t) = ctx.trace {
+                let cause = if waiting_ahead == 0 {
+                    StartCause::Fcfs
+                } else {
+                    StartCause::Backfilled {
+                        bypassed: waiting.clone(),
+                    }
+                };
+                t.emit(TraceRecord::JobStarted {
+                    at: ctx.now,
+                    job: job.id,
+                    nodes: job.nodes,
+                    cause,
+                });
+            }
+        } else {
+            if ctx.trace.is_some() {
+                waiting.push(job.id);
+            }
+            waiting_ahead += 1;
         }
     }
+    counters::record_backfill(examined, started);
     starts
 }
 
@@ -224,7 +294,7 @@ impl Engine for NoGuaranteeEngine {
                 .first()
                 .copied()
         });
-        greedy_pass(ctx, &ctx.priority(), guard)
+        greedy_pass(ctx, &ctx.priority(), guard, StartCause::StarvationGuard)
     }
 }
 
@@ -237,7 +307,9 @@ impl Engine for EasyEngine {
     fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId> {
         let order = ctx.priority();
         let guard = order.first().copied();
-        greedy_pass(ctx, &order, guard)
+        // A fitting EASY head is just FCFS dispatch; only a *blocked* head
+        // turns into a reservation (and then it never appears in `starts`).
+        greedy_pass(ctx, &order, guard, StartCause::Fcfs)
     }
 }
 
@@ -285,6 +357,9 @@ impl ConservativeEngine {
 
     /// §5.4: discard everything, rebuild reservations in priority order.
     fn rebuild(&mut self, ctx: &EngineCtx<'_>) {
+        // Tracing compares against the pre-rebuild reservations to report
+        // shifts; the extra map only exists on traced runs.
+        let old = ctx.trace.map(|_| std::mem::take(&mut self.reservations));
         self.reservations.clear();
         let mut profile = self.running_profile(ctx);
         for &i in &ctx.priority() {
@@ -293,6 +368,29 @@ impl ConservativeEngine {
                 .earliest_start(ctx.now, job.nodes, job.estimate)
                 .unwrap_or(FAR_FUTURE);
             profile.add(start, job.estimate, job.nodes);
+            if let (Some(t), Some(old)) = (ctx.trace, old.as_ref()) {
+                match old.get(&job.id).copied() {
+                    // The on_arrival placeholder (or a fresh job) gets its
+                    // first real slot now.
+                    Some(prev) if prev >= FAR_FUTURE => t.emit(TraceRecord::ReservationMade {
+                        at: ctx.now,
+                        job: job.id,
+                        start,
+                    }),
+                    Some(prev) if prev != start => t.emit(TraceRecord::ReservationShifted {
+                        at: ctx.now,
+                        job: job.id,
+                        from: prev,
+                        to: start,
+                    }),
+                    Some(_) => {}
+                    None => t.emit(TraceRecord::ReservationMade {
+                        at: ctx.now,
+                        job: job.id,
+                        start,
+                    }),
+                }
+            }
             self.reservations.insert(job.id, start);
         }
     }
@@ -329,6 +427,24 @@ impl ConservativeEngine {
                 None => old,
             };
             profile.add(chosen, job.estimate, job.nodes);
+            if let Some(t) = ctx.trace {
+                if old >= FAR_FUTURE && chosen < FAR_FUTURE {
+                    t.emit(TraceRecord::ReservationMade {
+                        at: ctx.now,
+                        job: job.id,
+                        start: chosen,
+                    });
+                } else if old < FAR_FUTURE && chosen != old {
+                    // §5.3 improvement only ever moves a reservation
+                    // backward; forward slippage comes from §5.4 rebuilds.
+                    t.emit(TraceRecord::ReservationShifted {
+                        at: ctx.now,
+                        job: job.id,
+                        from: old,
+                        to: chosen,
+                    });
+                }
+            }
             self.reservations.insert(job.id, chosen);
         }
     }
@@ -359,6 +475,15 @@ impl Engine for ConservativeEngine {
         let start = profile
             .earliest_start(ctx.now, job.nodes, job.estimate)
             .unwrap_or(FAR_FUTURE);
+        if let Some(t) = ctx.trace {
+            if start < FAR_FUTURE {
+                t.emit(TraceRecord::ReservationMade {
+                    at: ctx.now,
+                    job: job.id,
+                    start,
+                });
+            }
+        }
         self.reservations.insert(job.id, start);
     }
 
@@ -378,11 +503,36 @@ impl Engine for ConservativeEngine {
         }
         let mut free = ctx.free_nodes;
         let mut starts = Vec::new();
+        let mut waiting: Vec<JobId> = Vec::new();
+        let mut waiting_ahead = 0u64;
         for &i in &ctx.priority() {
             let job = &ctx.queue[i];
             if self.reservations[&job.id] <= ctx.now && job.nodes <= free {
                 starts.push(job.id);
                 free -= job.nodes;
+                if let Some(t) = ctx.trace {
+                    // A conservative start is its reservation coming due;
+                    // with higher-priority work still waiting it is also
+                    // the backfill the paper blames for unfairness.
+                    let cause = if waiting_ahead == 0 {
+                        StartCause::Reservation
+                    } else {
+                        StartCause::Backfilled {
+                            bypassed: waiting.clone(),
+                        }
+                    };
+                    t.emit(TraceRecord::JobStarted {
+                        at: ctx.now,
+                        job: job.id,
+                        nodes: job.nodes,
+                        cause,
+                    });
+                }
+            } else {
+                if ctx.trace.is_some() {
+                    waiting.push(job.id);
+                }
+                waiting_ahead += 1;
             }
         }
         starts
@@ -422,9 +572,14 @@ impl Engine for DepthEngine {
         }
         let mut free = ctx.free_nodes;
         let mut starts = Vec::new();
+        let mut waiting: Vec<JobId> = Vec::new();
+        let mut waiting_ahead = 0u64;
+        let mut examined = 0u64;
+        let mut started = 0u64;
         for (rank, &i) in ctx.priority().iter().enumerate() {
             let job = &ctx.queue[i];
             let reserved = (rank as u32) < self.depth;
+            examined += 1;
             let Some(start) = profile.earliest_start(ctx.now, job.nodes, job.estimate) else {
                 // Wider than the machine: can never start and holds no slot.
                 continue;
@@ -432,14 +587,37 @@ impl Engine for DepthEngine {
             if start == ctx.now && job.nodes <= free {
                 starts.push(job.id);
                 free -= job.nodes;
+                started += 1;
                 profile.add(ctx.now, job.estimate, job.nodes);
-            } else if reserved {
-                // Hold the slot: deeper jobs must schedule around it.
-                profile.add(start, job.estimate, job.nodes);
+                if let Some(t) = ctx.trace {
+                    let cause = if waiting_ahead == 0 {
+                        StartCause::Fcfs
+                    } else {
+                        StartCause::Backfilled {
+                            bypassed: waiting.clone(),
+                        }
+                    };
+                    t.emit(TraceRecord::JobStarted {
+                        at: ctx.now,
+                        job: job.id,
+                        nodes: job.nodes,
+                        cause,
+                    });
+                }
+            } else {
+                if reserved {
+                    // Hold the slot: deeper jobs must schedule around it.
+                    profile.add(start, job.estimate, job.nodes);
+                }
+                // Unreserved jobs that don't fit now simply wait; they
+                // claim nothing in the profile.
+                if ctx.trace.is_some() {
+                    waiting.push(job.id);
+                }
+                waiting_ahead += 1;
             }
-            // Unreserved jobs that don't fit now simply wait; they claim
-            // nothing in the profile.
         }
+        counters::record_backfill(examined, started);
         starts
     }
 }
@@ -491,6 +669,7 @@ mod tests {
             order: QueueOrder::Fairshare,
             starvation,
             outages: &[],
+            trace: None,
         }
     }
 
@@ -837,6 +1016,7 @@ mod tests {
             order: QueueOrder::Fairshare,
             starvation: None,
             outages: &outages,
+            trace: None,
         };
         let mut engine = ConservativeEngine::new(false);
         engine.on_arrival(&queue[0], &c);
@@ -876,6 +1056,7 @@ mod tests {
             order: QueueOrder::Fairshare,
             starvation: Some(&cfg),
             outages: &outages,
+            trace: None,
         };
         let mut engine = NoGuaranteeEngine;
         // Head needs 8: free 4 + 2 at now+1000 = 6, + repairs at now+50000

@@ -49,6 +49,8 @@ pub mod simulator;
 pub mod starvation;
 pub mod state;
 
+pub use engine::FAR_FUTURE;
+
 pub use config::{
     AllocationModel, EngineKind, FairshareConfig, HeavyUserRule, KillPolicy, QueueOrder,
     RuntimeLimit, SimConfig, StarvationConfig,
@@ -60,6 +62,7 @@ pub use prefix::{warm_start_supported, PrefixSimulator};
 #[allow(deprecated)]
 pub use simulator::simulate;
 pub use simulator::{
-    try_simulate, JobRecord, OriginalOutcome, PlacementStats, QueueStats, Schedule, SimError,
+    try_simulate, try_simulate_traced, JobRecord, OriginalOutcome, PlacementStats, QueueStats,
+    Schedule, SimError,
 };
 pub use state::{ArrivalView, NullObserver, Observer, ObserverSet, QueuedJob, RunningJob};

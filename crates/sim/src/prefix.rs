@@ -144,6 +144,7 @@ impl<'a> PrefixSimulator<'a> {
     /// stops as soon as the target starts; the master is left untouched
     /// past `job.submit`.
     pub fn start_of(&mut self, job: &Job) -> Result<Time, SimError> {
+        fairsched_obs::counters::record_warm_start(true);
         self.advance_and_admit(job)?;
         let mut scratch = self.master.clone();
         let mut engine = make_engine_for(self.cfg);

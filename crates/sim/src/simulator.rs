@@ -22,12 +22,14 @@ use crate::engine::{make_engine, Engine, EngineCtx};
 use crate::event::{EventKind, EventQueue};
 use crate::fairshare::FairshareTracker;
 use crate::faults::{FaultModel, Outage, ResiliencePolicy};
+use crate::starvation::starving_jobs;
 use crate::state::{ArrivalView, Observer, QueuedJob, RunningJob};
 use fairsched_cpa::alloc::AllocId;
 use fairsched_cpa::{frag, Allocator, CountingAllocator, LinearAllocator};
+use fairsched_obs::{counters, SharedSink, TraceHandle, TraceRecord, TraceSink};
 use fairsched_workload::job::{GroupId, Job, JobId, UserId};
 use fairsched_workload::time::{Time, WEEK};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// One submission's fate. With runtime limits active, a long job appears as
@@ -518,6 +520,11 @@ pub(crate) struct Sim<'a> {
     // Set when a job crosses [`MAX_SUBMISSIONS_PER_ORIGIN`]; surfaced as a
     // typed error by the next invariant check instead of looping forever.
     diverged: Option<SimError>,
+    // Decision tracing (None on untraced runs — the default). Emission
+    // never feeds back into scheduling; `promoted` only dedupes
+    // StarvationPromoted records and is touched only while tracing.
+    trace: Option<&'a dyn TraceHandle>,
+    promoted: HashSet<JobId>,
 }
 
 /// Resubmission cap per original job. Legitimate chunk chains stay far
@@ -566,6 +573,23 @@ pub fn try_simulate(
     cfg: &SimConfig,
     observer: &mut dyn Observer,
 ) -> Result<Schedule, SimError> {
+    try_simulate_traced(trace, cfg, observer, None)
+}
+
+/// [`try_simulate`] with an optional decision-trace sink attached.
+///
+/// When `sink` is `Some`, every scheduling decision (starts with their
+/// cause, reservation moves, starvation promotions, fault requeues) and a
+/// per-event-batch queue sample are emitted as
+/// [`TraceRecord`](fairsched_obs::TraceRecord)s. Tracing is strictly
+/// write-only: the returned `Schedule` is byte-identical to the untraced
+/// run (pinned by the workspace `obs_interference` proptests).
+pub fn try_simulate_traced(
+    trace: &[Job],
+    cfg: &SimConfig,
+    observer: &mut dyn Observer,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<Schedule, SimError> {
     for job in trace {
         if job.nodes > cfg.nodes {
             return Err(SimError::TooWide {
@@ -590,7 +614,9 @@ pub fn try_simulate(
         .validate()
         .map_err(|reason| SimError::InvalidConfig { reason })?;
     let mut engine = make_engine_for(cfg);
+    let shared = sink.map(SharedSink::new);
     let mut sim = Sim::new(cfg, trace);
+    sim.trace = shared.as_ref().map(|s| s as &dyn TraceHandle);
     sim.run(engine.as_mut(), observer)?;
     let schedule = sim.finish();
     observer.on_finish(&schedule);
@@ -644,6 +670,8 @@ impl<'a> Sim<'a> {
             max_queued_jobs: 0,
             max_queued_demand: 0,
             diverged: None,
+            trace: None,
+            promoted: HashSet::new(),
         };
         for job in trace {
             sim.admit(job);
@@ -711,7 +739,12 @@ impl<'a> Sim<'a> {
     /// [`ResiliencePolicy::ChunkResume`] promotes crashed standalone jobs
     /// into chains too — without a limit the chunk simply asks for all the
     /// remaining work.
-    fn submit_next_chunk(&mut self, chain_idx: usize, at: Time, reuse_id: Option<JobId>) {
+    fn submit_next_chunk(
+        &mut self,
+        chain_idx: usize,
+        at: Time,
+        reuse_id: Option<JobId>,
+    ) -> Option<JobId> {
         let limit = self.cfg.runtime_limit.map_or(Time::MAX, |rl| rl.limit);
         let chain = &mut self.chain_states[chain_idx];
         debug_assert!(chain.remaining_actual > 0);
@@ -732,7 +765,7 @@ impl<'a> Sim<'a> {
                 job: chain.origin,
                 attempts: chunk_index,
             });
-            return;
+            return None;
         }
         chain.next_chunk += 1;
         let id = reuse_id.unwrap_or_else(|| {
@@ -756,6 +789,7 @@ impl<'a> Sim<'a> {
             },
         );
         self.events.push(at, EventKind::Arrival, id);
+        Some(id)
     }
 
     fn run(
@@ -793,9 +827,50 @@ impl<'a> Sim<'a> {
             let ev = self.events.pop().expect("peeked");
             self.process(ev, engine, observer);
         }
+        self.trace_promotions();
         self.schedule_pass(engine, observer);
+        self.trace_queue_sample();
         self.check_invariants()?;
         Ok(true)
+    }
+
+    /// Emits a `StarvationPromoted` record the first time each job crosses
+    /// the starvation threshold. Traced runs only; promotion is a pure
+    /// function of (queue, now), so recomputing it here cannot disturb the
+    /// engine's own starvation query during the pass.
+    fn trace_promotions(&mut self) {
+        let (Some(t), Some(cfg)) = (self.trace, self.cfg.starvation.as_ref()) else {
+            return;
+        };
+        for idx in starving_jobs(&self.queue, self.now, cfg, &self.fairshare, &self.running) {
+            let q = &self.queue[idx];
+            if self.promoted.insert(q.id) {
+                t.emit(TraceRecord::StarvationPromoted {
+                    at: self.now,
+                    job: q.id,
+                    waited: self.now - q.arrival,
+                });
+            }
+        }
+    }
+
+    /// Emits one `QueueSample` per event batch, after the scheduling
+    /// fixpoint settles (traced runs only). The sampled state holds until
+    /// the next event, which is what trace replays rely on.
+    fn trace_queue_sample(&mut self) {
+        let Some(t) = self.trace else {
+            return;
+        };
+        let queued_nodes: u64 = self.queue.iter().map(|q| q.nodes as u64).sum();
+        let busy = self.cfg.nodes - self.free - self.down;
+        t.emit(TraceRecord::QueueSample {
+            at: self.now,
+            depth: self.queue.len(),
+            queued_nodes,
+            free_nodes: self.free,
+            running: self.running.len(),
+            util: busy as f64 / self.cfg.nodes.max(1) as f64,
+        });
     }
 
     /// Time of the earliest pending event, if any.
@@ -1048,6 +1123,15 @@ impl<'a> Sim<'a> {
             seq,
             until: self.now + repair,
         });
+        if let Some(t) = self.trace {
+            // `node` is the outage sequence number: stable across backends
+            // (the counting backend has no physical node identities).
+            t.emit(TraceRecord::NodeFailed {
+                at: self.now,
+                node: seq as u64,
+                until: self.now + repair,
+            });
+        }
         self.events
             .push(self.now + repair, EventKind::NodeUp, JobId(seq));
     }
@@ -1196,7 +1280,7 @@ impl<'a> Sim<'a> {
 
     /// Applies the configured resilience policy to a crashed submission.
     fn recover_crashed(&mut self, id: JobId, open: &OpenRecord, executed: Time) {
-        match self.cfg.faults.resilience {
+        let retry = match self.cfg.faults.resilience {
             ResiliencePolicy::RequeueFromScratch => {
                 // Executed work is lost; the submission re-enters intact,
                 // as a fresh attempt with the next per-origin chunk index.
@@ -1206,7 +1290,7 @@ impl<'a> Sim<'a> {
                 if let Some(&chain_idx) = self.chains.get(&id) {
                     // The chain is not advanced: the crashed chunk's work
                     // does not count, so the same remainder re-enters.
-                    self.submit_next_chunk(chain_idx, self.now, None);
+                    self.submit_next_chunk(chain_idx, self.now, None)
                 } else {
                     let mut resubmission = open.pending;
                     resubmission.chunk_index += 1;
@@ -1221,6 +1305,7 @@ impl<'a> Sim<'a> {
                     self.next_id += 1;
                     self.pending.insert(new_id, resubmission);
                     self.events.push(self.now, EventKind::Arrival, new_id);
+                    Some(new_id)
                 }
             }
             ResiliencePolicy::ChunkResume => {
@@ -1251,9 +1336,25 @@ impl<'a> Sim<'a> {
                 // the user re-requests the rest for the resumed chunk.
                 chain.remaining_estimate = chain.remaining_estimate.saturating_sub(executed);
                 if chain.remaining_actual > 0 {
-                    self.submit_next_chunk(chain_idx, self.now, None);
+                    self.submit_next_chunk(chain_idx, self.now, None)
+                } else {
+                    None
                 }
             }
+        };
+        if let (Some(t), Some(retry)) = (self.trace, retry) {
+            t.emit(TraceRecord::FaultRequeued {
+                at: self.now,
+                origin: open.pending.origin,
+                job: id,
+                retry,
+                // ChunkResume banks the executed work as a checkpoint, so
+                // nothing is lost; requeue-from-scratch loses it all.
+                lost: match self.cfg.faults.resilience {
+                    ResiliencePolicy::RequeueFromScratch => executed,
+                    ResiliencePolicy::ChunkResume => 0,
+                },
+            });
         }
     }
 
@@ -1302,6 +1403,7 @@ impl<'a> Sim<'a> {
 
     /// Runs the engine (and the when-needed kill rule) to a fixpoint.
     fn schedule_pass(&mut self, engine: &mut dyn Engine, observer: &mut dyn Observer) {
+        let timer = counters::pass_timer();
         loop {
             let starts = {
                 let ctx = engine_ctx(self);
@@ -1329,6 +1431,7 @@ impl<'a> Sim<'a> {
             }
             break;
         }
+        timer.finish();
     }
 
     fn finish(mut self) -> Schedule {
@@ -1378,6 +1481,7 @@ fn engine_ctx<'s>(sim: &'s Sim<'_>) -> EngineCtx<'s> {
         order: sim.cfg.order,
         starvation: sim.cfg.starvation.as_ref(),
         outages: &sim.outages,
+        trace: sim.trace,
     }
 }
 

@@ -5,7 +5,8 @@
 //!
 //! See [`core`] (policies + experiment runner), [`workload`] (trace model and
 //! synthesis), [`sim`] (the event-driven simulator), [`metrics`] (user,
-//! system, and fairness metrics), [`cpa`] (the compute process allocator),
+//! system, and fairness metrics), [`obs`] (decision traces, runtime
+//! counters, logging facade), [`cpa`] (the compute process allocator),
 //! and [`experiments`] (per-figure regeneration harness).
 //!
 //! Most applications only need the [`prelude`]. One `try_run_policy` call
@@ -30,6 +31,7 @@ pub use fairsched_core as core;
 pub use fairsched_cpa as cpa;
 pub use fairsched_experiments as experiments;
 pub use fairsched_metrics as metrics;
+pub use fairsched_obs as obs;
 pub use fairsched_sim as sim;
 pub use fairsched_workload as workload;
 
@@ -45,19 +47,25 @@ pub use fairsched_workload as workload;
 pub mod prelude {
     pub use fairsched_core::policy::PolicySpec;
     pub use fairsched_core::runner::{
-        run_policy, try_run_policy, OutcomeMetrics, PolicyOutcome, PolicyRun, RunOptions,
+        run_policy, try_run_policy, try_run_policy_traced, OutcomeMetrics, PolicyOutcome,
+        PolicyRun, RunOptions,
     };
     pub use fairsched_core::sweep::{try_run_policies, try_run_policies_with, SweepError};
+    pub use fairsched_metrics::explain::{explain_wait, worst_miss, WaitBreakdown};
     pub use fairsched_metrics::fairness::fst::FstReport;
     pub use fairsched_metrics::fairness::sabin::{sabin_fsts, sabin_fsts_parallel, sabin_report};
     pub use fairsched_metrics::{
         EqualityObserver, EqualityReport, HybridFstObserver, PerUserObserver, ResilienceObserver,
         ResilienceReport, UserFairness,
     };
+    pub use fairsched_obs::{
+        CounterSnapshot, DecisionTracer, ProfileReport, ProfileScope, StartCause, TraceRecord,
+        TraceSink,
+    };
     pub use fairsched_sim::{
-        try_simulate, warm_start_supported, EngineKind, FaultConfig, KillPolicy, NullObserver,
-        Observer, ObserverSet, PrefixSimulator, QueueOrder, ResiliencePolicy, Schedule, SimConfig,
-        SimError,
+        try_simulate, try_simulate_traced, warm_start_supported, EngineKind, FaultConfig,
+        KillPolicy, NullObserver, Observer, ObserverSet, PrefixSimulator, QueueOrder,
+        ResiliencePolicy, Schedule, SimConfig, SimError,
     };
     pub use fairsched_workload::job::{Job, JobId, UserId};
     pub use fairsched_workload::time::{Time, DAY, HOUR, MINUTE, WEEK};
