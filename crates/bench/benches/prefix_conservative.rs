@@ -1,0 +1,56 @@
+//! Warm-start vs from-scratch prefix simulation for the conservative
+//! policy (the strategy-decomposition refactor's new capability).
+//!
+//! Before the reservation ledger grew `snapshot`/`fork` support, the
+//! static conservative engine was excluded from warm-started prefix
+//! simulation and every Sabin FST query paid a full from-scratch prefix
+//! replay. These benches price both sides on the same 1-in-16 sample the
+//! single-pass suite uses, so the BENCH record shows what forking the
+//! ledger buys:
+//!
+//! * `from_scratch_serial` — the old cost model: one full prefix
+//!   simulation per scored job;
+//! * `warm_start_1thread` — the forked-master path pinned to one worker,
+//!   isolating the algorithmic win from thread-level parallelism;
+//! * `warm_start_parallel` — the production configuration (stripe per
+//!   available core).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairsched_bench::{scaled_trace, BENCH_NODES};
+use fairsched_core::policy::PolicySpec;
+use fairsched_metrics::fairness::sabin::{sabin_fsts_parallel_sampled, sabin_fsts_sampled};
+use fairsched_sim::warm_start_supported;
+use std::hint::black_box;
+
+/// Same sample as `single_pass_benches`: the prefix cost is what is being
+/// compared, and the stride keeps the from-scratch side tractable.
+const SABIN_STRIDE: usize = 16;
+
+const SCALES: [f64; 2] = [0.1, 0.25];
+
+fn conservative_prefix_fsts(c: &mut Criterion) {
+    let policy = PolicySpec::by_id("cons.nomax").unwrap();
+    for scale in SCALES {
+        let trace = scaled_trace(scale);
+        let cfg = policy.sim_config(BENCH_NODES);
+        assert!(
+            warm_start_supported(&cfg),
+            "static conservative must be warm-startable"
+        );
+        let mut g = c.benchmark_group(format!("prefix_conservative/sabin_scale_{scale}"));
+        g.sample_size(5);
+        g.bench_function("from_scratch_serial", |b| {
+            b.iter(|| sabin_fsts_sampled(black_box(&trace), &cfg, SABIN_STRIDE))
+        });
+        g.bench_function("warm_start_1thread", |b| {
+            b.iter(|| sabin_fsts_parallel_sampled(black_box(&trace), &cfg, SABIN_STRIDE, Some(1)))
+        });
+        g.bench_function("warm_start_parallel", |b| {
+            b.iter(|| sabin_fsts_parallel_sampled(black_box(&trace), &cfg, SABIN_STRIDE, None))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, conservative_prefix_fsts);
+criterion_main!(benches);

@@ -47,6 +47,4 @@ pub use runner::{
     run_policy, run_policy_faulted, try_run_policy, try_run_policy_traced, OutcomeMetrics,
     PolicyOutcome, PolicyRun, RunOptions,
 };
-#[allow(deprecated)]
-pub use sweep::run_policies;
 pub use sweep::{try_run_policies, try_run_policies_with, SweepError};

@@ -5,6 +5,7 @@
 //! and whether a maximum-runtime limit applies. [`PolicySpec::sim_config`]
 //! lowers it onto the simulator.
 
+use fairsched_sim::engine::{composition_of, Composition};
 use fairsched_sim::{EngineKind, HeavyUserRule, RuntimeLimit, SimConfig, StarvationConfig};
 use fairsched_workload::time::HOUR;
 
@@ -53,11 +54,7 @@ impl PolicySpec {
     const fn conservative(id: &'static str, dynamic: bool, limited: bool) -> PolicySpec {
         PolicySpec {
             id,
-            engine: if dynamic {
-                EngineKind::ConservativeDynamic
-            } else {
-                EngineKind::Conservative
-            },
+            engine: EngineKind::Conservative { dynamic },
             starvation: None,
             runtime_limit: if limited {
                 Some(RUNTIME_LIMIT_72H)
@@ -139,6 +136,15 @@ impl PolicySpec {
         }
     }
 
+    /// The declarative strategy composition this policy's engine resolves
+    /// to: which queue-order strategy, reservation ledger, and backfill
+    /// rule make it up. Every policy — the paper's nine included — is a row
+    /// of this table; the starvation queue and runtime limit are simulator
+    /// configuration layered on top, not part of the engine composition.
+    pub fn composition(&self) -> Composition {
+        composition_of(self.engine)
+    }
+
     /// Lowers this policy onto a simulator configuration for a
     /// `nodes`-wide machine. Everything not policy-specific (fairshare
     /// decay, queue order, kill rule) keeps the CPlant defaults.
@@ -187,12 +193,12 @@ mod tests {
         assert_eq!(p.engine, EngineKind::NoGuarantee);
 
         let c = PolicySpec::by_id("consdyn.nomax").unwrap();
-        assert_eq!(c.engine, EngineKind::ConservativeDynamic);
+        assert_eq!(c.engine, EngineKind::Conservative { dynamic: true });
         assert!(c.starvation.is_none());
         assert!(c.runtime_limit.is_none());
 
         let c72 = PolicySpec::by_id("cons.72max").unwrap();
-        assert_eq!(c72.engine, EngineKind::Conservative);
+        assert_eq!(c72.engine, EngineKind::Conservative { dynamic: false });
         assert_eq!(c72.runtime_limit, Some(RUNTIME_LIMIT_72H));
     }
 
@@ -229,5 +235,61 @@ mod tests {
     #[test]
     fn unknown_ids_return_none() {
         assert!(PolicySpec::by_id("cplant48.nomax.all").is_none());
+    }
+
+    #[test]
+    fn nine_policies_decompose_into_the_documented_strategy_table() {
+        use fairsched_sim::engine::{LedgerKind, OrderKind, RuleKind};
+        // The nine paper policies collapse onto three engine compositions:
+        // the five CPlant rows share the starvation-promotion greedy walk
+        // (their knobs live in SimConfig, not the engine), and the four
+        // conservative rows split only on the static/dynamic ledger.
+        let expect = |id: &str| PolicySpec::by_id(id).unwrap().composition();
+        for id in [
+            "cplant24.nomax.all",
+            "cplant72.nomax.all",
+            "cplant24.nomax.fair",
+            "cplant24.72max.all",
+            "cplant72.72max.fair",
+        ] {
+            assert_eq!(
+                expect(id),
+                Composition {
+                    order: OrderKind::PromoteStarving,
+                    ledger: LedgerKind::HeadOfQueue,
+                    rule: RuleKind::Greedy,
+                },
+                "{id}"
+            );
+        }
+        for (id, dynamic) in [
+            ("cons.nomax", false),
+            ("cons.72max", false),
+            ("consdyn.nomax", true),
+            ("consdyn.72max", true),
+        ] {
+            assert_eq!(
+                expect(id),
+                Composition {
+                    order: OrderKind::Priority,
+                    ledger: LedgerKind::Conservative { dynamic },
+                    rule: RuleKind::ReservationDue,
+                },
+                "{id}"
+            );
+        }
+        // The reference points outside the nine.
+        assert_eq!(
+            PolicySpec::easy().composition(),
+            Composition {
+                order: OrderKind::PromoteHead,
+                ledger: LedgerKind::HeadOfQueue,
+                rule: RuleKind::Greedy,
+            }
+        );
+        assert_eq!(
+            PolicySpec::fcfs_no_backfill().composition().rule,
+            RuleKind::NoBackfill
+        );
     }
 }

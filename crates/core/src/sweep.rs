@@ -10,7 +10,7 @@
 //! surfaced as a panic, a pathological configuration) must not take the
 //! other eight columns of a comparison down with it. [`try_run_policies`]
 //! fences each worker with `catch_unwind` and returns per-policy
-//! `Result`s; [`run_policies`] is the historical all-or-nothing wrapper.
+//! `Result`s.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -130,24 +130,6 @@ pub fn try_run_policies(
     .collect()
 }
 
-/// Runs each policy on the trace, in parallel, preserving input order.
-/// Panics if any policy fails; use [`try_run_policies`] to keep the
-/// survivors.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `try_run_policies` (or `try_run_policies_with` + `RunOptions`), which \
-            reports per-policy failures instead of panicking the whole sweep"
-)]
-pub fn run_policies(trace: &[Job], policies: &[PolicySpec], nodes: u32) -> Vec<PolicyOutcome> {
-    try_run_policies(trace, policies, nodes, &FaultConfig::default())
-        .into_iter()
-        .map(|r| match r {
-            Ok(outcome) => outcome,
-            Err(e) => panic!("{e}"),
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,16 +173,6 @@ mod tests {
     fn empty_policy_set_is_fine() {
         let trace = CplantModel::new(1).with_scale(0.01).generate();
         assert!(try_run_policies(&trace, &[], 1024, &FaultConfig::default()).is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_policies_still_matches_fallible_path() {
-        let trace = CplantModel::new(29).with_scale(0.01).generate();
-        let policies = vec![PolicySpec::baseline()];
-        let legacy = run_policies(&trace, &policies, 1024);
-        let fallible = try_run_policies(&trace, &policies, 1024, &FaultConfig::default());
-        assert_eq!(legacy[0].schedule, fallible[0].as_ref().unwrap().schedule);
     }
 
     #[test]

@@ -397,7 +397,7 @@ mod tests {
         ];
         let cfg = SimConfig {
             nodes: 10,
-            engine: EngineKind::Conservative,
+            engine: EngineKind::Conservative { dynamic: false },
             ..Default::default()
         };
         let (records, schedule) = traced_run(&trace, &cfg);

@@ -31,7 +31,7 @@ pub fn consp_fsts(trace: &[Job], nodes: u32) -> HashMap<JobId, Time> {
         .collect();
     let cfg = SimConfig {
         nodes,
-        engine: EngineKind::Conservative,
+        engine: EngineKind::Conservative { dynamic: false },
         order: QueueOrder::Fcfs,
         kill: KillPolicy::Never,
         starvation: None,
@@ -94,7 +94,7 @@ mod tests {
             .collect();
         let cfg = SimConfig {
             nodes: 16,
-            engine: EngineKind::Conservative,
+            engine: EngineKind::Conservative { dynamic: false },
             order: QueueOrder::Fcfs,
             kill: KillPolicy::Never,
             starvation: None,

@@ -215,7 +215,10 @@ mod tests {
     #[test]
     fn report_covers_every_submission() {
         let trace = fairsched_workload::synthetic::random_trace(11, 120, 10, 2000);
-        let r = report(&trace, &cfg(10, EngineKind::Conservative));
+        let r = report(
+            &trace,
+            &cfg(10, EngineKind::Conservative { dynamic: false }),
+        );
         assert_eq!(r.entries.len(), trace.len());
     }
 
@@ -227,7 +230,7 @@ mod tests {
         for j in &mut trace {
             j.estimate = j.runtime;
         }
-        let mut c = cfg(10, EngineKind::Conservative);
+        let mut c = cfg(10, EngineKind::Conservative { dynamic: false });
         c.order = QueueOrder::Fcfs;
         let r = report(&trace, &c);
         // The list-scheduler FST is *more* conservative than backfilling, so

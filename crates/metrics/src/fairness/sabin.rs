@@ -42,10 +42,12 @@ pub fn sabin_fsts_sampled(trace: &[Job], cfg: &SimConfig, stride: usize) -> Hash
 /// When the configuration is [`warm_start_supported`], each worker keeps a
 /// warm [`PrefixSimulator`]: admitting one arrival advances a shared master
 /// state instead of replaying the whole prefix, so the stripe costs one
-/// incremental pass plus one early-exiting clone per target. Stateful or
-/// faulted configurations fall back to from-scratch prefix simulations —
-/// still striped, still exact. Results are identical to [`sabin_fsts`] in
-/// every case (and independent of the thread count).
+/// incremental pass plus one early-exiting clone per target; stateful
+/// ledgers (static conservative) ride along by forking the master engine.
+/// Ineligible configurations (dynamic conservative, faults, runtime limits)
+/// fall back to from-scratch prefix simulations — still striped, still
+/// exact. Results are identical to [`sabin_fsts`] in every case (and
+/// independent of the thread count).
 pub fn sabin_fsts_parallel(
     trace: &[Job],
     cfg: &SimConfig,
@@ -316,13 +318,13 @@ mod tests {
     }
 
     #[test]
-    fn parallel_fallback_matches_serial_for_stateful_engines() {
-        // Conservative backfilling is not warm-start eligible; the parallel
+    fn parallel_fallback_matches_serial_for_dynamic_conservative() {
+        // Dynamic conservative is not warm-start eligible; the parallel
         // path must fall back to from-scratch prefixes and still agree.
         let trace = random_trace(19, 50, 16, 3000);
         let c = SimConfig {
             nodes: 16,
-            engine: EngineKind::Conservative,
+            engine: EngineKind::Conservative { dynamic: true },
             kill: KillPolicy::Never,
             ..Default::default()
         };
@@ -330,6 +332,26 @@ mod tests {
         let serial = sabin_fsts(&trace, &c);
         let parallel = sabin_fsts_parallel(&trace, &c, Some(4));
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn parallel_warm_start_matches_serial_for_static_conservative() {
+        // Static conservative is warm-start eligible since the ledger forks:
+        // the parallel engine takes the warm path and must still reproduce
+        // the serial from-scratch FSTs exactly.
+        let trace = random_trace(31, 50, 16, 3000);
+        let c = SimConfig {
+            nodes: 16,
+            engine: EngineKind::Conservative { dynamic: false },
+            kill: KillPolicy::Never,
+            ..Default::default()
+        };
+        assert!(warm_start_supported(&c));
+        let serial = sabin_fsts(&trace, &c);
+        for threads in [Some(1), Some(4)] {
+            let parallel = sabin_fsts_parallel(&trace, &c, threads);
+            assert_eq!(parallel, serial, "threads={threads:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Run-level accounting: the utilization, loss-of-capacity, and
+//! queue-pressure integrals a simulation reports.
+//!
+//! The event loop in [`simulator`](crate::simulator) owns *what happened*;
+//! this module owns *what it added up to*. All integrals advance in
+//! [`Accounting::observe`], once per inter-event gap, against the state
+//! that held over that gap — nothing here feeds back into scheduling.
+//! Extraction note: the additions happen in exactly the pre-extraction
+//! order, so every float accumulator is bit-identical to the old inline
+//! accounting (the root golden suite pins this).
+
+use crate::simulator::QueueStats;
+use fairsched_workload::time::{Time, WEEK};
+
+/// Accumulators for one simulation run.
+#[derive(Debug, Clone)]
+pub(crate) struct Accounting {
+    /// ∫ min(queued demand, idle nodes) dt — Equation 4's numerator.
+    pub waste: f64,
+    /// ∫ busy nodes dt.
+    pub busy: f64,
+    /// ∫ idle nodes dt (conservation check only).
+    pub idle: f64,
+    /// ∫ down nodes dt.
+    pub down: f64,
+    /// Node-seconds of executed work a crash later discarded.
+    pub lost: f64,
+    /// Busy node-seconds binned by simulated week (Figure 3).
+    pub weekly_busy: Vec<f64>,
+    /// Earliest observed start (Equation 3's `MinStartTime`).
+    pub min_start: Time,
+    /// Latest observed completion (`MaxCompletionTime`).
+    pub max_completion: Time,
+    // Queue-pressure accumulators (time-weighted sums plus peaks).
+    queued_jobs_integral: f64,
+    queued_demand_integral: f64,
+    observed_span: f64,
+    max_queued_jobs: usize,
+    max_queued_demand: u64,
+}
+
+/// The machine and queue state that held over one inter-event gap —
+/// everything [`Accounting::observe`] integrates against.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GapState {
+    /// Queued submissions.
+    pub queued_jobs: usize,
+    /// Nodes those submissions ask for, summed.
+    pub queued_demand: u64,
+    /// Idle (up, unoccupied) nodes.
+    pub free: u32,
+    /// Broken nodes.
+    pub down: u32,
+    /// Machine size.
+    pub total: u32,
+}
+
+impl Accounting {
+    pub(crate) fn new() -> Self {
+        Accounting {
+            waste: 0.0,
+            busy: 0.0,
+            idle: 0.0,
+            down: 0.0,
+            lost: 0.0,
+            weekly_busy: Vec::new(),
+            min_start: Time::MAX,
+            max_completion: 0,
+            queued_jobs_integral: 0.0,
+            queued_demand_integral: 0.0,
+            observed_span: 0.0,
+            max_queued_jobs: 0,
+            max_queued_demand: 0,
+        }
+    }
+
+    /// Integrates one inter-event gap `[from, to)` against the
+    /// [`GapState`] that held over it. No-op on a zero-length gap.
+    pub(crate) fn observe(&mut self, from: Time, to: Time, gap: GapState) {
+        debug_assert!(to >= from);
+        let dt = (to - from) as f64;
+        if dt <= 0.0 {
+            return;
+        }
+        let wasted = gap.queued_demand.min(gap.free as u64) as f64;
+        self.waste += wasted * dt;
+        self.queued_jobs_integral += gap.queued_jobs as f64 * dt;
+        self.queued_demand_integral += gap.queued_demand as f64 * dt;
+        self.observed_span += dt;
+        self.max_queued_jobs = self.max_queued_jobs.max(gap.queued_jobs);
+        self.max_queued_demand = self.max_queued_demand.max(gap.queued_demand);
+        let busy_rate = (gap.total - gap.free - gap.down) as f64;
+        self.busy += busy_rate * dt;
+        self.idle += gap.free as f64 * dt;
+        self.down += gap.down as f64 * dt;
+        self.accumulate_weekly(from, to, busy_rate);
+    }
+
+    /// Splits `rate × [from, to)` across week-sized bins.
+    fn accumulate_weekly(&mut self, from: Time, to: Time, rate: f64) {
+        if rate == 0.0 {
+            return;
+        }
+        let mut t = from;
+        while t < to {
+            let week = (t / WEEK) as usize;
+            if week >= self.weekly_busy.len() {
+                self.weekly_busy.resize(week + 1, 0.0);
+            }
+            let boundary = ((t / WEEK) + 1) * WEEK;
+            let seg_end = boundary.min(to);
+            self.weekly_busy[week] += rate * (seg_end - t) as f64;
+            t = seg_end;
+        }
+    }
+
+    /// A job started at `now`.
+    pub(crate) fn note_start(&mut self, now: Time) {
+        self.min_start = self.min_start.min(now);
+    }
+
+    /// A job ended at `now`.
+    pub(crate) fn note_completion(&mut self, now: Time) {
+        self.max_completion = self.max_completion.max(now);
+    }
+
+    /// A crash threw away `executed × nodes` node-seconds of work.
+    pub(crate) fn note_lost(&mut self, executed: Time, nodes: u32) {
+        self.lost += executed as f64 * nodes as f64;
+    }
+
+    /// `MinStartTime`, with the empty-schedule convention (no starts → 0).
+    pub(crate) fn min_start_or_zero(&self) -> Time {
+        if self.min_start == Time::MAX {
+            0
+        } else {
+            self.min_start
+        }
+    }
+
+    /// End-of-run conservation residual: `used + idle + down` versus
+    /// `capacity × elapsed`. Zero up to float accumulation.
+    pub(crate) fn conservation_residual(&self, total: u32, elapsed: Time) -> (f64, f64) {
+        let capacity = total as f64 * elapsed as f64;
+        (self.busy + self.idle + self.down, capacity)
+    }
+
+    /// The queue-pressure summary for the finished run.
+    pub(crate) fn queue_stats(&self) -> QueueStats {
+        QueueStats {
+            max_queued_jobs: self.max_queued_jobs,
+            max_queued_demand: self.max_queued_demand,
+            mean_queued_jobs: if self.observed_span > 0.0 {
+                self.queued_jobs_integral / self.observed_span
+            } else {
+                0.0
+            },
+            mean_queued_demand: if self.observed_span > 0.0 {
+                self.queued_demand_integral / self.observed_span
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_accumulates_the_documented_integrals() {
+        let mut a = Accounting::new();
+        // 10 s with 3 of 8 nodes free, 1 down: busy rate 4.
+        a.observe(
+            0,
+            10,
+            GapState {
+                queued_jobs: 2,
+                queued_demand: 5,
+                free: 3,
+                down: 1,
+                total: 8,
+            },
+        );
+        assert_eq!(a.busy, 40.0);
+        assert_eq!(a.idle, 30.0);
+        assert_eq!(a.down, 10.0);
+        // Waste is min(demand 5, free 3) × 10.
+        assert_eq!(a.waste, 30.0);
+        let qs = a.queue_stats();
+        assert_eq!(qs.max_queued_jobs, 2);
+        assert_eq!(qs.max_queued_demand, 5);
+        assert_eq!(qs.mean_queued_jobs, 2.0);
+        assert_eq!(qs.mean_queued_demand, 5.0);
+        let (integrated, capacity) = a.conservation_residual(8, 10);
+        assert_eq!(integrated, capacity);
+    }
+
+    #[test]
+    fn zero_length_gaps_change_nothing() {
+        let mut a = Accounting::new();
+        a.observe(
+            5,
+            5,
+            GapState {
+                queued_jobs: 9,
+                queued_demand: 99,
+                free: 1,
+                down: 0,
+                total: 4,
+            },
+        );
+        assert_eq!(a.busy, 0.0);
+        assert_eq!(a.queue_stats().max_queued_jobs, 0);
+    }
+
+    #[test]
+    fn weekly_bins_split_on_boundaries() {
+        let mut a = Accounting::new();
+        // 2 busy nodes across one week boundary: half a week each side.
+        a.observe(
+            WEEK / 2,
+            WEEK + WEEK / 2,
+            GapState {
+                queued_jobs: 0,
+                queued_demand: 0,
+                free: 0,
+                down: 0,
+                total: 2,
+            },
+        );
+        assert_eq!(a.weekly_busy.len(), 2);
+        assert_eq!(a.weekly_busy[0], 2.0 * (WEEK / 2) as f64);
+        assert_eq!(a.weekly_busy[1], 2.0 * (WEEK / 2) as f64);
+    }
+
+    #[test]
+    fn start_and_completion_marks_track_extremes() {
+        let mut a = Accounting::new();
+        assert_eq!(a.min_start_or_zero(), 0);
+        a.note_start(50);
+        a.note_start(20);
+        a.note_completion(70);
+        a.note_completion(60);
+        assert_eq!(a.min_start_or_zero(), 20);
+        assert_eq!(a.max_completion, 70);
+    }
+}

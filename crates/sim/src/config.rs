@@ -17,12 +17,13 @@ pub enum EngineKind {
     /// a comparison point.
     Easy,
     /// Conservative backfilling (§5.3): every job gets a reservation on
-    /// arrival and may only ever improve it.
-    Conservative,
-    /// Conservative backfilling with dynamic reservations (§5.4): all
-    /// reservations are discarded and rebuilt in priority order at every
-    /// scheduling event.
-    ConservativeDynamic,
+    /// arrival and may only ever improve it. With `dynamic: true` (§5.4),
+    /// all reservations are instead discarded and rebuilt in priority order
+    /// at every scheduling event.
+    Conservative {
+        /// Dynamic (§5.4) reservations when `true`.
+        dynamic: bool,
+    },
     /// Reservation-depth backfilling: the first `n` jobs in priority order
     /// hold reservations (rebuilt each event); everything else may only
     /// start if it provably delays none of them. §1 notes that "many

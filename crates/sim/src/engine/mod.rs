@@ -1,0 +1,814 @@
+//! Scheduling engines: who starts, and when.
+//!
+//! An [`Engine`] decides which queued jobs start at each scheduling event
+//! (arrival or completion, §3.1). Engines are no longer monoliths: every
+//! policy is a [`ComposedEngine`] assembled from three orthogonal strategy
+//! layers, declaratively described by a [`Composition`]:
+//!
+//! * a [`QueueOrderStrategy`] (`order`) — the walk order over the queue,
+//!   plus which job (if any) is *promoted* to hold the pass's aggressive
+//!   guard: none, the priority head (EASY), or the starvation-queue head
+//!   (CPlant §2.1);
+//! * a [`ReservationLedger`] (`ledger`) — what future promises constrain
+//!   backfilling: none, a single head-of-queue aggressive reservation, the
+//!   conservative per-job profile (§5.3, with the §5.4 dynamic rebuild), or
+//!   a depth-limited profile;
+//! * a [`BackfillRule`] (`rule`) — how the walk turns admissions into
+//!   starts: strict no-backfill (Figure 1), the greedy aggressive walk,
+//!   conservative due-reservation dispatch, or the profile-greedy walk.
+//!
+//! The paper's nine policies are recovered exactly by [`composition_of`];
+//! `core::policy` builds on the same table. The decomposition preserves
+//! byte-identical schedules with the pre-refactor monolithic engines
+//! (pinned by the root `engine_equivalence` golden suite).
+
+use crate::config::{EngineKind, QueueOrder, StarvationConfig};
+use crate::fairshare::FairshareTracker;
+use crate::faults::Outage;
+use crate::state::{priority_order, QueuedJob, RunningJob};
+use fairsched_obs::TraceHandle;
+use fairsched_workload::job::JobId;
+use fairsched_workload::time::Time;
+
+pub mod backfill;
+pub mod ledger;
+pub mod order;
+
+pub use backfill::{
+    BackfillRule, GreedyRule, NoBackfillRule, ProfileGreedyRule, ReservationDueRule,
+};
+pub use ledger::{
+    Admission, ConservativeLedger, ConservativeSnapshot, DepthLedger, HeadOfQueue, NoReservations,
+    ReservationLedger,
+};
+pub use order::{HeadPromotion, PriorityOrder, QueueOrderStrategy, StarvationPromotion};
+
+/// Far-future reservation sentinel for jobs that can never be placed (wider
+/// than the machine). Such jobs are rejected upstream by trace validation;
+/// engines driven by hand degrade to "reserved at the far future" instead
+/// of panicking, matching the pre-`Option` profile behavior. Public so
+/// trace consumers can tell "reserved at `t`" from "no feasible slot yet"
+/// in `ReservationMade`/`ReservationShifted` records.
+pub const FAR_FUTURE: Time = Time::MAX / 4;
+
+/// Read-only view the simulator hands an engine at each scheduling event.
+pub struct EngineCtx<'a> {
+    /// Current simulated time.
+    pub now: Time,
+    /// Nodes currently idle.
+    pub free_nodes: u32,
+    /// Machine size.
+    pub total_nodes: u32,
+    /// Running jobs.
+    pub running: &'a [RunningJob],
+    /// Queued jobs in arrival order.
+    pub queue: &'a [QueuedJob],
+    /// Fairshare usage (drives priority order and heavy-user rules).
+    pub fairshare: &'a FairshareTracker,
+    /// Queue priority order in force.
+    pub order: QueueOrder,
+    /// Starvation-queue configuration, if the policy has one.
+    pub starvation: Option<&'a StarvationConfig>,
+    /// Nodes currently down for repair. Already excluded from
+    /// `free_nodes`; engines that plan into the future must additionally
+    /// treat each as a 1-node occupant until its repair time, or their
+    /// reservations would assume capacity that does not exist yet.
+    pub outages: &'a [Outage],
+    /// Decision-trace sink for this pass, when the run is traced. Engines
+    /// emit `JobStarted`/`ReservationMade`/`ReservationShifted` records
+    /// through it; emission must never influence decisions (a traced run's
+    /// schedule is byte-identical to an untraced one — proptest-pinned).
+    pub trace: Option<&'a dyn TraceHandle>,
+}
+
+impl EngineCtx<'_> {
+    /// Queue indices in priority order.
+    pub fn priority(&self) -> Vec<usize> {
+        priority_order(self.queue, self.order, self.fairshare)
+    }
+}
+
+/// A scheduling engine. All callbacks default to no-ops so stateless engines
+/// implement only [`Engine::select_starts`] and [`Engine::fork`].
+pub trait Engine {
+    /// A job entered the queue (already present in `ctx.queue`).
+    fn on_arrival(&mut self, _job: &QueuedJob, _ctx: &EngineCtx<'_>) {}
+    /// A previously queued job started (already removed from the queue).
+    fn on_start(&mut self, _id: JobId) {}
+    /// A running job completed or was killed.
+    fn on_complete(&mut self, _id: JobId) {}
+    /// Chooses jobs to start *now*. Every returned job must currently fit
+    /// (the simulator asserts this) and be returned at most once.
+    fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId>;
+    /// An exact replica of this engine, internal state included. Warm-start
+    /// prefix simulation forks the master engine per query so stateful
+    /// ledgers (conservative reservations) continue from the master's
+    /// exact bookkeeping instead of being rebuilt from scratch.
+    fn fork(&self) -> Box<dyn Engine>;
+}
+
+/// Which [`QueueOrderStrategy`] a composition uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderKind {
+    /// Walk the priority order; promote nothing.
+    Priority,
+    /// Promote the priority head to the aggressive guard (EASY).
+    PromoteHead,
+    /// Promote the starvation-queue head to the aggressive guard (CPlant).
+    PromoteStarving,
+}
+
+/// Which [`ReservationLedger`] a composition uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LedgerKind {
+    /// No future promises: a job is admitted iff it fits right now.
+    Unreserved,
+    /// One aggressive reservation guarding the pass's blocked promoted job.
+    HeadOfQueue,
+    /// Per-job conservative reservations (§5.3); `dynamic` rebuilds the
+    /// whole ledger at every event (§5.4).
+    Conservative {
+        /// §5.4 dynamic reservations when `true`.
+        dynamic: bool,
+    },
+    /// Profile reservations for the first `n` jobs in priority order.
+    Depth(u32),
+}
+
+/// Which [`BackfillRule`] a composition uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// Strict FCFS: stop at the first job that cannot start (Figure 1).
+    NoBackfill,
+    /// The greedy aggressive walk (no-guarantee / EASY).
+    Greedy,
+    /// Start jobs whose conservative reservations have come due.
+    ReservationDue,
+    /// The profile-greedy walk of the reservation-depth engines.
+    ProfileGreedy,
+}
+
+/// A declarative engine composition: one strategy per layer. The nine paper
+/// policies are rows of this table (see [`composition_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Composition {
+    /// Queue-walk order and guard promotion.
+    pub order: OrderKind,
+    /// Reservation bookkeeping.
+    pub ledger: LedgerKind,
+    /// Walk-to-starts rule.
+    pub rule: RuleKind,
+}
+
+impl Composition {
+    /// Instantiates the strategies this composition names.
+    pub fn build(self) -> ComposedEngine {
+        let order: Box<dyn QueueOrderStrategy> = match self.order {
+            OrderKind::Priority => Box::new(PriorityOrder),
+            OrderKind::PromoteHead => Box::new(HeadPromotion),
+            OrderKind::PromoteStarving => Box::new(StarvationPromotion),
+        };
+        let ledger: Box<dyn ReservationLedger> = match self.ledger {
+            LedgerKind::Unreserved => Box::new(NoReservations),
+            LedgerKind::HeadOfQueue => Box::new(HeadOfQueue::default()),
+            LedgerKind::Conservative { dynamic } => Box::new(ConservativeLedger::new(dynamic)),
+            LedgerKind::Depth(depth) => Box::new(DepthLedger::new(depth)),
+        };
+        let rule: Box<dyn BackfillRule> = match self.rule {
+            RuleKind::NoBackfill => Box::new(NoBackfillRule),
+            RuleKind::Greedy => Box::new(GreedyRule),
+            RuleKind::ReservationDue => Box::new(ReservationDueRule),
+            RuleKind::ProfileGreedy => Box::new(ProfileGreedyRule),
+        };
+        ComposedEngine {
+            spec: self,
+            order,
+            ledger,
+            rule,
+        }
+    }
+}
+
+/// The strategy table: which composition realizes each [`EngineKind`].
+pub fn composition_of(kind: EngineKind) -> Composition {
+    match kind {
+        EngineKind::NoGuarantee => Composition {
+            order: OrderKind::PromoteStarving,
+            ledger: LedgerKind::HeadOfQueue,
+            rule: RuleKind::Greedy,
+        },
+        EngineKind::Easy => Composition {
+            order: OrderKind::PromoteHead,
+            ledger: LedgerKind::HeadOfQueue,
+            rule: RuleKind::Greedy,
+        },
+        EngineKind::Conservative { dynamic } => Composition {
+            order: OrderKind::Priority,
+            ledger: LedgerKind::Conservative { dynamic },
+            rule: RuleKind::ReservationDue,
+        },
+        EngineKind::ReservationDepth(depth) => Composition {
+            order: OrderKind::Priority,
+            ledger: LedgerKind::Depth(depth),
+            rule: RuleKind::ProfileGreedy,
+        },
+        EngineKind::FcfsNoBackfill => Composition {
+            order: OrderKind::Priority,
+            ledger: LedgerKind::Unreserved,
+            rule: RuleKind::NoBackfill,
+        },
+    }
+}
+
+/// An engine assembled from the three strategy layers.
+pub struct ComposedEngine {
+    spec: Composition,
+    order: Box<dyn QueueOrderStrategy>,
+    ledger: Box<dyn ReservationLedger>,
+    rule: Box<dyn BackfillRule>,
+}
+
+impl ComposedEngine {
+    /// The declarative composition this engine was built from.
+    pub fn spec(&self) -> Composition {
+        self.spec
+    }
+
+    /// Reserved start of a queued job, when the ledger plans one
+    /// (testing/inspection).
+    pub fn reservation_of(&self, id: JobId) -> Option<Time> {
+        self.ledger.reservation_of(id)
+    }
+
+    /// Direct access to the reservation ledger (testing/inspection).
+    pub fn ledger(&self) -> &dyn ReservationLedger {
+        self.ledger.as_ref()
+    }
+}
+
+impl Engine for ComposedEngine {
+    fn on_arrival(&mut self, job: &QueuedJob, ctx: &EngineCtx<'_>) {
+        self.ledger.on_arrival(job, ctx);
+    }
+
+    fn on_start(&mut self, id: JobId) {
+        self.ledger.on_start(id);
+    }
+
+    fn on_complete(&mut self, id: JobId) {
+        self.ledger.on_complete(id);
+    }
+
+    fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId> {
+        self.rule
+            .select(ctx, self.order.as_ref(), self.ledger.as_mut())
+    }
+
+    fn fork(&self) -> Box<dyn Engine> {
+        Box::new(ComposedEngine {
+            spec: self.spec,
+            order: self.order.clone_box(),
+            ledger: self.ledger.clone_box(),
+            rule: self.rule.clone_box(),
+        })
+    }
+}
+
+/// Builds the composed engine for a policy.
+pub fn compose(kind: EngineKind) -> ComposedEngine {
+    composition_of(kind).build()
+}
+
+/// Builds the engine for a policy (boxed, for the simulator driver).
+pub fn make_engine(kind: EngineKind) -> Box<dyn Engine> {
+    Box::new(compose(kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FairshareConfig;
+    use fairsched_workload::job::UserId;
+    use fairsched_workload::time::HOUR;
+
+    fn queued(id: u32, user: u32, nodes: u32, estimate: Time, arrival: Time) -> QueuedJob {
+        QueuedJob {
+            id: JobId(id),
+            user: UserId(user),
+            nodes,
+            estimate,
+            arrival,
+        }
+    }
+
+    fn running(id: u32, nodes: u32, start: Time, estimate: Time) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            user: UserId(99),
+            nodes,
+            start,
+            estimate,
+            scheduled_end: start + estimate,
+        }
+    }
+
+    fn ctx<'a>(
+        now: Time,
+        total: u32,
+        running: &'a [RunningJob],
+        queue: &'a [QueuedJob],
+        fairshare: &'a FairshareTracker,
+        starvation: Option<&'a StarvationConfig>,
+    ) -> EngineCtx<'a> {
+        let used: u32 = running.iter().map(|r| r.nodes).sum();
+        EngineCtx {
+            now,
+            free_nodes: total - used,
+            total_nodes: total,
+            running,
+            queue,
+            fairshare,
+            order: QueueOrder::Fairshare,
+            starvation,
+            outages: &[],
+            trace: None,
+        }
+    }
+
+    fn fs() -> FairshareTracker {
+        FairshareTracker::new(FairshareConfig::default())
+    }
+
+    fn no_guarantee() -> ComposedEngine {
+        compose(EngineKind::NoGuarantee)
+    }
+
+    fn easy() -> ComposedEngine {
+        compose(EngineKind::Easy)
+    }
+
+    fn conservative(dynamic: bool) -> ComposedEngine {
+        compose(EngineKind::Conservative { dynamic })
+    }
+
+    fn depth(n: u32) -> ComposedEngine {
+        compose(EngineKind::ReservationDepth(n))
+    }
+
+    fn no_backfill() -> ComposedEngine {
+        compose(EngineKind::FcfsNoBackfill)
+    }
+
+    #[test]
+    fn composition_table_is_the_documented_one() {
+        assert_eq!(
+            composition_of(EngineKind::NoGuarantee),
+            Composition {
+                order: OrderKind::PromoteStarving,
+                ledger: LedgerKind::HeadOfQueue,
+                rule: RuleKind::Greedy,
+            }
+        );
+        assert_eq!(
+            composition_of(EngineKind::Easy),
+            Composition {
+                order: OrderKind::PromoteHead,
+                ledger: LedgerKind::HeadOfQueue,
+                rule: RuleKind::Greedy,
+            }
+        );
+        for dynamic in [false, true] {
+            assert_eq!(
+                composition_of(EngineKind::Conservative { dynamic }),
+                Composition {
+                    order: OrderKind::Priority,
+                    ledger: LedgerKind::Conservative { dynamic },
+                    rule: RuleKind::ReservationDue,
+                }
+            );
+        }
+        assert_eq!(
+            composition_of(EngineKind::ReservationDepth(3)),
+            Composition {
+                order: OrderKind::Priority,
+                ledger: LedgerKind::Depth(3),
+                rule: RuleKind::ProfileGreedy,
+            }
+        );
+        assert_eq!(
+            composition_of(EngineKind::FcfsNoBackfill),
+            Composition {
+                order: OrderKind::Priority,
+                ledger: LedgerKind::Unreserved,
+                rule: RuleKind::NoBackfill,
+            }
+        );
+        // The built engine remembers its spec.
+        assert_eq!(
+            no_guarantee().spec(),
+            composition_of(EngineKind::NoGuarantee)
+        );
+    }
+
+    #[test]
+    fn fork_replicates_ledger_state() {
+        let fs = fs();
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 4, 100, 10)];
+        let mut engine = conservative(false);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1000));
+        // The fork carries the reservation; mutating it leaves the original
+        // untouched.
+        let mut forked = engine.fork();
+        forked.on_start(JobId(1));
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1000));
+    }
+
+    #[test]
+    fn no_guarantee_starts_everything_that_fits_in_priority_order() {
+        let fs = fs();
+        let queue = vec![
+            queued(1, 1, 6, 100, 0),
+            queued(2, 2, 3, 100, 1),
+            queued(3, 3, 4, 100, 2),
+        ];
+        let mut engine = no_guarantee();
+        let c = ctx(10, 10, &[], &queue, &fs, None);
+        // 10 free: job1 (6) + job2 (3) fit; job3 (4) does not after them.
+        assert_eq!(engine.select_starts(&c), vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn no_guarantee_lets_narrow_jobs_leapfrog_wide_ones() {
+        // The unfairness the paper describes: a wide high-priority job waits
+        // while narrow lower-priority jobs start.
+        let fs = fs();
+        let running = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0), // wide, needs 8, only 4 free
+            queued(2, 2, 2, 100, 1), // narrow
+        ];
+        let mut engine = no_guarantee();
+        let c = ctx(10, 10, &running, &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn starvation_head_reservation_blocks_delaying_backfills() {
+        let fs = fs();
+        // 6 of 10 nodes busy until t = 1000 (estimate).
+        let runners = vec![running(90, 6, 0, 1000)];
+        // Wide job has starved (arrived at 0, now 24h later).
+        let now = 24 * HOUR;
+        let cfg = StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        };
+        let long_estimate = 2000 * HOUR; // would delay the shadow
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),             // starving, wide
+            queued(2, 2, 4, long_estimate, now), // fits free nodes but delays head
+            queued(3, 3, 2, long_estimate, now), // fits in extra (10-8=2)
+        ];
+        let mut engine = no_guarantee();
+        let c = ctx(now, 10, &runners, &queue, &fs, Some(&cfg));
+        // Shadow = runner's estimated end; extra = (4 free + 6 freed) - 8 = 2.
+        // Job2 (4 nodes, long) violates; job3 (2 nodes) fits in extra.
+        assert_eq!(engine.select_starts(&c), vec![JobId(3)]);
+    }
+
+    #[test]
+    fn without_starvation_queue_the_same_backfill_is_allowed() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        let now = 24 * HOUR;
+        let queue = vec![queued(1, 1, 8, 100, 0), queued(2, 2, 4, 2000 * HOUR, now)];
+        let mut engine = no_guarantee();
+        let c = ctx(now, 10, &runners, &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn short_backfills_under_the_shadow_are_allowed() {
+        let fs = fs();
+        let now = 24 * HOUR;
+        let cfg = StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        };
+        // A fresh runner, so its estimated end (now + 1000) is the shadow.
+        let runners = vec![running(90, 6, now, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),   // starving head
+            queued(2, 2, 4, 500, now), // ends before shadow (now+1000)
+        ];
+        let mut engine = no_guarantee();
+        let c = ctx(now, 10, &runners, &queue, &fs, Some(&cfg));
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn starving_head_starts_when_it_fits() {
+        let fs = fs();
+        let now = 24 * HOUR;
+        let cfg = StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        };
+        let queue = vec![queued(1, 1, 8, 100, 0), queued(2, 2, 2, 100, now)];
+        let mut engine = no_guarantee();
+        let c = ctx(now, 10, &[], &queue, &fs, Some(&cfg));
+        assert_eq!(engine.select_starts(&c), vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn easy_guards_the_priority_head() {
+        let mut fs = fs();
+        // User 1 heavy → its wide job is LOW priority; user 2's job heads
+        // the queue.
+        fs.charge(UserId(1), 1e9);
+        let runners = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 2, 50, 0),  // low priority, fits
+            queued(2, 2, 8, 100, 5), // priority head, needs 8 (4 free)
+        ];
+        let mut engine = easy();
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // Head (job2) can't start; job1 (2 nodes ≤ extra = 10-8=2) backfills.
+        assert_eq!(engine.select_starts(&c), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn conservative_reserves_on_arrival_and_starts_when_due() {
+        let fs = fs();
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 4, 100, 10)];
+        let mut engine = conservative(false);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        // Machine full until 1000: reserved at 1000.
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1000));
+        assert!(engine.select_starts(&c).is_empty());
+    }
+
+    #[test]
+    fn conservative_backfills_into_profile_holes() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        // Wide job reserved at 1000 leaves 4 nodes free until then.
+        let queue1 = vec![queued(1, 1, 8, 500, 10)];
+        let mut engine = conservative(false);
+        let c1 = ctx(10, 10, &runners, &queue1, &fs, None);
+        engine.on_arrival(&queue1[0], &c1);
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1000));
+
+        // A 4-node job ending before 1000 slots in front.
+        let queue2 = vec![queued(1, 1, 8, 500, 10), queued(2, 2, 4, 500, 20)];
+        let c2 = ctx(20, 10, &runners, &queue2, &fs, None);
+        engine.on_arrival(&queue2[1], &c2);
+        assert_eq!(engine.reservation_of(JobId(2)), Some(20));
+        // And a 4-node job too LONG to finish by 1000 cannot jump the wide
+        // job: 4 free now, but at 1000 the wide job needs 8 of 10.
+        let queue3 = vec![
+            queued(1, 1, 8, 500, 10),
+            queued(2, 2, 4, 500, 20),
+            queued(3, 3, 4, 5000, 30),
+        ];
+        let c3 = ctx(30, 10, &runners, &queue3, &fs, None);
+        engine.on_arrival(&queue3[2], &c3);
+        // Job3 must wait until the wide job's reserved block ends (1500).
+        assert_eq!(engine.reservation_of(JobId(3)), Some(1500));
+    }
+
+    #[test]
+    fn conservative_select_starts_due_reservations() {
+        let fs = fs();
+        let queue = vec![queued(1, 1, 4, 100, 0)];
+        let mut engine = conservative(false);
+        let c = ctx(0, 10, &[], &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        assert_eq!(engine.reservation_of(JobId(1)), Some(0));
+        assert_eq!(engine.select_starts(&c), vec![JobId(1)]);
+        engine.on_start(JobId(1));
+        assert_eq!(engine.reservation_of(JobId(1)), None);
+    }
+
+    #[test]
+    fn conservative_compression_improves_after_completion() {
+        let fs = fs();
+        // Runner holds 10 nodes with estimate to 1000.
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 4, 100, 10)];
+        let mut engine = conservative(false);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1000));
+        // The runner finishes early at t=200: improvement finds t=200.
+        let c2 = ctx(200, 10, &[], &queue, &fs, None);
+        let starts = engine.select_starts(&c2);
+        assert_eq!(starts, vec![JobId(1)]);
+        assert_eq!(engine.reservation_of(JobId(1)), Some(200));
+    }
+
+    #[test]
+    fn dynamic_rebuild_reorders_by_current_priority() {
+        let mut fs = fs();
+        // job1's user becomes heavy AFTER its arrival.
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 10, 100, 10), queued(2, 2, 10, 100, 20)];
+        let mut engine = conservative(true);
+        let c = ctx(20, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        engine.on_arrival(&queue[1], &c);
+        engine.select_starts(&c);
+        // Equal usage: FCFS tie-break → job1 first (1000), job2 second (1100).
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1000));
+        assert_eq!(engine.reservation_of(JobId(2)), Some(1100));
+        // Now user 1 becomes heavy: dynamic rebuild flips the order.
+        fs.charge(UserId(1), 1e9);
+        let c2 = ctx(30, 10, &runners, &queue, &fs, None);
+        engine.select_starts(&c2);
+        assert_eq!(engine.reservation_of(JobId(2)), Some(1000));
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1100));
+    }
+
+    #[test]
+    fn non_dynamic_keeps_reservations_against_priority_flips() {
+        let mut fs = fs();
+        let runners = vec![running(90, 10, 0, 1000)];
+        let queue = vec![queued(1, 1, 10, 100, 10), queued(2, 2, 10, 100, 20)];
+        let mut engine = conservative(false);
+        let c = ctx(20, 10, &runners, &queue, &fs, None);
+        engine.on_arrival(&queue[0], &c);
+        engine.on_arrival(&queue[1], &c);
+        // job1 reserved at 1000, job2 at 1100.
+        fs.charge(UserId(1), 1e9);
+        let c2 = ctx(30, 10, &runners, &queue, &fs, None);
+        engine.select_starts(&c2);
+        // §5.3: job1 keeps its (better) reservation despite its user's
+        // priority collapse; job2 cannot improve past it.
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1000));
+        assert_eq!(engine.reservation_of(JobId(2)), Some(1100));
+    }
+
+    #[test]
+    fn no_backfill_blocks_everything_behind_a_stuck_head() {
+        // Figure 1's exact scenario: jobB fits beside the running work but
+        // must wait because jobA heads the queue.
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0), // jobA: needs 8, only 4 free
+            queued(2, 2, 4, 30, 1),  // jobB: fits, but is not the head
+        ];
+        let mut engine = no_backfill();
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), Vec::<JobId>::new());
+    }
+
+    #[test]
+    fn no_backfill_starts_consecutive_fitting_heads() {
+        let fs = fs();
+        let queue = vec![
+            queued(1, 1, 4, 100, 0),
+            queued(2, 2, 4, 100, 1),
+            queued(3, 3, 8, 100, 2), // does not fit after 1 and 2
+            queued(4, 4, 1, 100, 3), // fits but is behind the stuck job 3
+        ];
+        let mut engine = no_backfill();
+        let c = ctx(0, 10, &[], &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn depth_zero_is_pure_greedy_backfilling() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),          // priority head, doesn't fit
+            queued(2, 2, 4, 2000 * HOUR, 10), // would delay the head's slot
+        ];
+        let mut engine = depth(0);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // No reservations: the long narrow job starts anyway.
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn depth_one_protects_the_priority_head_like_easy() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 10, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),          // reserved at the runner's end
+            queued(2, 2, 4, 2000 * HOUR, 10), // would overlap the reservation
+            queued(3, 3, 4, 500, 10),         // fits before the reservation
+        ];
+        let mut engine = depth(1);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // Job 1 reserved at 1010 (8 of 10 nodes). Job 2 (4 nodes ending far
+        // past 1010) collides with it; job 3 ends at 510 < 1010 and fits.
+        assert_eq!(engine.select_starts(&c), vec![JobId(3)]);
+    }
+
+    #[test]
+    fn deep_reservations_protect_multiple_jobs() {
+        let fs = fs();
+        let runners = vec![running(90, 10, 10, 990)]; // machine full till 1000
+        let queue = vec![
+            queued(1, 1, 10, 100, 0), // reserved [1000, 1100)
+            queued(2, 2, 10, 100, 1), // reserved [1100, 1200) at depth 2
+            queued(3, 3, 1, 2000, 2), // would delay job 2 but not job 1
+        ];
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // Depth 2: job 3 (ends at 2010, overlapping both reservations on a
+        // full profile) cannot start.
+        let mut deep = depth(2);
+        assert_eq!(deep.select_starts(&c), Vec::<JobId>::new());
+        // Depth 1: only job 1 is protected; job 3 still cannot start — the
+        // profile during [1000,1100) is full with job 1's 10 nodes.
+        let mut shallow = depth(1);
+        assert_eq!(shallow.select_starts(&c), Vec::<JobId>::new());
+        // Depth 0: nothing is protected; job 3 starts immediately? No — the
+        // machine is FULL now (free = 0), so nothing starts either way.
+        let mut none = depth(0);
+        assert_eq!(none.select_starts(&c), Vec::<JobId>::new());
+    }
+
+    #[test]
+    fn depth_engine_starts_everything_on_an_empty_machine() {
+        let fs = fs();
+        let queue = vec![queued(1, 1, 4, 100, 0), queued(2, 2, 6, 100, 1)];
+        let mut engine = depth(3);
+        let c = ctx(0, 10, &[], &queue, &fs, None);
+        assert_eq!(engine.select_starts(&c), vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn conservative_reservations_respect_node_outages() {
+        let fs = fs();
+        // 10-node machine, empty, but 4 nodes are down until t = 1000: an
+        // 8-node job cannot be promised anything before the repairs land.
+        let outages: Vec<Outage> = (0..4).map(|seq| Outage { seq, until: 1000 }).collect();
+        let queue = vec![queued(1, 1, 8, 100, 10)];
+        let c = EngineCtx {
+            now: 10,
+            free_nodes: 6,
+            total_nodes: 10,
+            running: &[],
+            queue: &queue,
+            fairshare: &fs,
+            order: QueueOrder::Fairshare,
+            starvation: None,
+            outages: &outages,
+            trace: None,
+        };
+        let mut engine = conservative(false);
+        engine.on_arrival(&queue[0], &c);
+        assert_eq!(engine.reservation_of(JobId(1)), Some(1000));
+        assert!(engine.select_starts(&c).is_empty());
+    }
+
+    #[test]
+    fn greedy_guard_shadow_accounts_for_outages() {
+        let fs = fs();
+        // Starving 8-node head; 4 nodes down until t well past any backfill
+        // window plus 2 running until 1000. free = 4.
+        let now = 24 * HOUR;
+        let cfg = StarvationConfig {
+            entry_delay: 24 * HOUR,
+            heavy_rule: None,
+        };
+        let runners = vec![running(90, 2, now, 1000)];
+        let outages: Vec<Outage> = (0..4)
+            .map(|seq| Outage {
+                seq,
+                until: now + 50_000,
+            })
+            .collect();
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),      // starving head: 8 > 4 free
+            queued(2, 2, 4, 40_000, now), // would end before the repairs
+            queued(3, 3, 4, 60_000, now), // would delay the head
+        ];
+        let c = EngineCtx {
+            now,
+            free_nodes: 4,
+            total_nodes: 10,
+            running: &runners,
+            queue: &queue,
+            fairshare: &fs,
+            order: QueueOrder::Fairshare,
+            starvation: Some(&cfg),
+            outages: &outages,
+            trace: None,
+        };
+        let mut engine = no_guarantee();
+        // Head needs 8: free 4 + 2 at now+1000 = 6, + repairs at now+50000
+        // reach 10 → shadow = now+50000, extra = 2. Job 2 (ends now+40000
+        // ≤ shadow) backfills; job 3 (ends past the shadow, 4 > extra)
+        // must not.
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Queue-order strategies: the walk order over the queue, plus which job
+//! (if any) is *promoted* to hold the pass's aggressive guard.
+//!
+//! Promotion is what distinguishes CPlant's no-guarantee policy from EASY:
+//! both walk the priority order greedily, but CPlant guards the head of the
+//! *starvation* queue (§2.1) while EASY guards the head of the *priority*
+//! queue. Policies with per-job reservations promote nothing — their
+//! guarantees live in the [`ReservationLedger`](super::ReservationLedger).
+
+use super::EngineCtx;
+use crate::starvation::starving_jobs;
+use fairsched_obs::StartCause;
+
+/// The queue-walk order and guard promotion of a scheduling pass.
+pub trait QueueOrderStrategy {
+    /// Queue indices in the order the backfill rule walks them.
+    fn walk_order(&self, ctx: &EngineCtx<'_>) -> Vec<usize>;
+
+    /// The queue index promoted to hold this pass's aggressive guard, with
+    /// the [`StartCause`] reported if the promoted job starts immediately.
+    fn promoted(&self, _ctx: &EngineCtx<'_>, _order: &[usize]) -> Option<(usize, StartCause)> {
+        None
+    }
+
+    /// A boxed replica (strategies are stateless; this is plain cloning).
+    fn clone_box(&self) -> Box<dyn QueueOrderStrategy>;
+}
+
+/// Walk the priority order; promote nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityOrder;
+
+impl QueueOrderStrategy for PriorityOrder {
+    fn walk_order(&self, ctx: &EngineCtx<'_>) -> Vec<usize> {
+        ctx.priority()
+    }
+
+    fn clone_box(&self) -> Box<dyn QueueOrderStrategy> {
+        Box::new(*self)
+    }
+}
+
+/// EASY promotion: the priority head holds the guard. A fitting head is
+/// plain FCFS dispatch, so its start cause is [`StartCause::Fcfs`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeadPromotion;
+
+impl QueueOrderStrategy for HeadPromotion {
+    fn walk_order(&self, ctx: &EngineCtx<'_>) -> Vec<usize> {
+        ctx.priority()
+    }
+
+    fn promoted(&self, _ctx: &EngineCtx<'_>, order: &[usize]) -> Option<(usize, StartCause)> {
+        order.first().map(|&i| (i, StartCause::Fcfs))
+    }
+
+    fn clone_box(&self) -> Box<dyn QueueOrderStrategy> {
+        Box::new(*self)
+    }
+}
+
+/// CPlant promotion (§2.1): the head of the starvation queue — FCFS among
+/// jobs that have waited past the entry delay, minus heavy users when §5.2's
+/// bar is active — holds the guard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StarvationPromotion;
+
+impl QueueOrderStrategy for StarvationPromotion {
+    fn walk_order(&self, ctx: &EngineCtx<'_>) -> Vec<usize> {
+        ctx.priority()
+    }
+
+    fn promoted(&self, ctx: &EngineCtx<'_>, _order: &[usize]) -> Option<(usize, StartCause)> {
+        ctx.starvation
+            .and_then(|cfg| {
+                starving_jobs(ctx.queue, ctx.now, cfg, ctx.fairshare, ctx.running)
+                    .first()
+                    .copied()
+            })
+            .map(|i| (i, StartCause::StarvationGuard))
+    }
+
+    fn clone_box(&self) -> Box<dyn QueueOrderStrategy> {
+        Box::new(*self)
+    }
+}

@@ -16,9 +16,15 @@
 //!   the resilience policies that decide what crashed work costs;
 //! * [`fairshare`] — the decaying per-user processor-second accumulator that
 //!   drives Sandia's queue priority;
-//! * [`engine`] — the scheduling engines: the original CPlant no-guarantee
-//!   backfiller with its starvation queue, textbook EASY, and conservative
-//!   backfilling with or without dynamic reservations;
+//! * [`engine`] — the scheduling strategies: every policy is a composition
+//!   of a queue-order strategy, a reservation ledger, and a backfill rule
+//!   (the original CPlant no-guarantee backfiller with its starvation
+//!   queue, textbook EASY, and conservative backfilling with or without
+//!   dynamic reservations are all rows of one table);
+//! * `lifecycle` (internal) — submission lifecycle: pending arrivals,
+//!   runtime-limit chunk chains (§5.1), and crash recovery;
+//! * `accounting` (internal) — the utilization, loss-of-capacity, and
+//!   queue-pressure integrals a run reports;
 //! * [`profile`] — the future-capacity step function conservative
 //!   backfilling plans against;
 //! * [`listsched`] — the list scheduler the hybrid fair-start-time metric is
@@ -37,11 +43,13 @@
 //! consults a clock. The only randomness is the seeded fault model, which
 //! is itself a pure function of the configured fault seed.
 
+mod accounting;
 pub mod config;
 pub mod engine;
 pub mod event;
 pub mod fairshare;
 pub mod faults;
+mod lifecycle;
 pub mod listsched;
 pub mod prefix;
 pub mod profile;
@@ -59,8 +67,6 @@ pub use fairshare::FairshareTracker;
 pub use faults::{FaultConfig, FaultModel, Outage, RepairTime, ResiliencePolicy};
 pub use listsched::NodeTimeline;
 pub use prefix::{warm_start_supported, PrefixSimulator};
-#[allow(deprecated)]
-pub use simulator::simulate;
 pub use simulator::{
     try_simulate, try_simulate_traced, JobRecord, OriginalOutcome, PlacementStats, QueueStats,
     Schedule, SimError,

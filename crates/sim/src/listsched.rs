@@ -42,7 +42,9 @@ impl NodeTimeline {
         if total > 0 {
             free_at.insert(at, total);
         }
-        NodeTimeline { free_at, total }
+        let tl = NodeTimeline { free_at, total };
+        tl.debug_check();
+        tl
     }
 
     /// A machine where `running` jobs (as `(end_time, nodes)`) occupy nodes
@@ -61,7 +63,9 @@ impl NodeTimeline {
                 *free_at.entry(end.max(now)).or_insert(0) += nodes;
             }
         }
-        NodeTimeline { free_at, total }
+        let tl = NodeTimeline { free_at, total };
+        tl.debug_check();
+        tl
     }
 
     /// Machine size.
@@ -96,6 +100,7 @@ impl NodeTimeline {
             start = start.max(t);
         }
         *self.free_at.entry(start + runtime).or_insert(0) += nodes;
+        self.debug_check();
         start
     }
 
@@ -120,6 +125,39 @@ impl NodeTimeline {
         self.free_at.len()
     }
 
+    /// The compression invariant: entries at equal free times are merged
+    /// (the multiset never holds two entries for one time), every entry
+    /// holds at least one node, and the entries partition the machine.
+    /// Together these bound `entry_count` by `total` no matter how long the
+    /// placement sequence runs. Debug builds check after every mutation;
+    /// release builds skip the O(entries) scan.
+    fn debug_check(&self) {
+        if cfg!(debug_assertions) {
+            self.check_invariants();
+        }
+    }
+
+    /// Asserts the compression invariant unconditionally (see
+    /// [`NodeTimeline::debug_check`]). Exposed for tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert!(
+            self.free_at.values().all(|&c| c >= 1),
+            "a claimed-out entry must be removed, not left at zero"
+        );
+        assert_eq!(
+            self.free_at.values().sum::<u32>(),
+            self.total,
+            "free-time entries must partition the machine"
+        );
+        assert!(
+            self.free_at.len() <= self.total.max(1) as usize,
+            "equal free times must coalesce: {} entries on {} nodes",
+            self.free_at.len(),
+            self.total
+        );
+    }
+
     #[cfg(test)]
     fn node_count(&self) -> u32 {
         self.free_at.values().sum()
@@ -139,6 +177,7 @@ mod tests {
         // 6 nodes free at 50, so a 5-node job starts at 50.
         assert_eq!(tl.place(0, 5, 10), 50);
         assert_eq!(tl.node_count(), 10);
+        tl.check_invariants();
     }
 
     #[test]
@@ -149,6 +188,7 @@ mod tests {
                             // 8-node job needs nodes freed at 30 (6 of them) and at 100 (2):
                             // starts at 100.
         assert_eq!(tl.place(0, 8, 10), 100);
+        tl.check_invariants();
     }
 
     #[test]
@@ -173,6 +213,7 @@ mod tests {
         // anyway, but crucially the list scheduler schedules it at 200 —
         // after BOTH previous jobs — because all node free-times are 200.
         assert_eq!(tl.place(0, 1, 10), 200);
+        tl.check_invariants();
     }
 
     #[test]
@@ -197,6 +238,7 @@ mod tests {
         let mut t3 = tl.clone();
         // 10-node job: needs everything; last free time is 100.
         assert_eq!(t3.place(20, 10, 10), 100);
+        t3.check_invariants();
     }
 
     #[test]
@@ -227,6 +269,52 @@ mod tests {
         }
         assert_eq!(tl.entry_count(), 1); // all 100 nodes free at 100
         assert_eq!(tl.node_count(), 100);
+        tl.check_invariants();
+    }
+
+    #[test]
+    fn entry_count_stays_bounded_on_long_varied_traces() {
+        // The historical failure mode this pins down: free-time entries
+        // accumulating one per placement instead of merging equal
+        // neighbors, so a long trace grows the timeline without bound.
+        // With merging, each entry holds ≥ 1 node and the entries
+        // partition the machine, so entry_count ≤ total forever.
+        let total = 64;
+        let mut tl = NodeTimeline::all_free(total, 0);
+        let mut floor = 0;
+        for i in 0u64..10_000 {
+            // Varied widths and runtimes, deliberately colliding end
+            // times now and then; a slowly advancing floor mimics the
+            // hybrid metric re-placing the queue as time moves on.
+            let nodes = (i % u64::from(total)) as u32 + 1;
+            let runtime = 1 + (i * 37) % 401;
+            tl.place(floor, nodes, runtime);
+            if i % 7 == 0 {
+                floor += 11;
+            }
+            assert!(
+                tl.entry_count() <= total as usize,
+                "timeline grew past the node count after {} placements: {}",
+                i + 1,
+                tl.entry_count()
+            );
+        }
+        tl.check_invariants();
+        assert_eq!(tl.node_count(), total);
+    }
+
+    #[test]
+    fn equal_free_times_merge_into_one_entry() {
+        // Two placements engineered to end at the same instant must land
+        // in one merged entry, not two adjacent entries of equal time.
+        let mut tl = NodeTimeline::all_free(8, 0);
+        tl.place(0, 3, 100); // 3 nodes free at 100
+        tl.place(0, 2, 100); // 2 more free at 100 — merges with the above
+        assert_eq!(tl.entry_count(), 2); // {0: 3 idle, 100: 5}
+        tl.place(40, 3, 60); // remaining idle nodes also end at 100
+        assert_eq!(tl.entry_count(), 1);
+        assert_eq!(tl.node_count(), 8);
+        tl.check_invariants();
     }
 
     #[test]

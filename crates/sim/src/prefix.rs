@@ -15,10 +15,16 @@
 //! * **Event determinism.** The event queue orders by `(time, kind, job)`,
 //!   never by insertion order, so admitting arrivals late (as the master
 //!   does) pops the exact event sequence a from-scratch run would.
-//! * **Engine statelessness.** The engines kept across prefix boundaries
-//!   must derive every decision from the visible context. The conservative
-//!   engines carry reservation state whose history differs between a
-//!   warm-started and a from-scratch run, so they are not eligible —
+//! * **Engine determinism.** The engine kept across prefix boundaries is
+//!   advanced in lockstep with the master state, and each query continues
+//!   from an exact [`fork`](crate::engine::Engine::fork) of it. Because
+//!   every engine mutation flows through [`Sim::step`] (admission alone
+//!   touches no engine callback), the forked engine's state — including the
+//!   static conservative ledger's reservations — is precisely what a
+//!   from-scratch run of the same prefix would have built. The *dynamic*
+//!   conservative engine (§5.4) remains ineligible: it discards and
+//!   rebuilds every reservation at every event, so forking its ledger
+//!   buys nothing over the from-scratch fallback it already equals —
 //!   [`warm_start_supported`] returns `false` and callers fall back to
 //!   from-scratch prefix simulation.
 //! * **Closed id space.** Runtime-limit chains and fault resubmissions mint
@@ -31,19 +37,22 @@ use crate::state::NullObserver;
 use fairsched_workload::job::Job;
 use fairsched_workload::time::Time;
 
-/// Whether `cfg` permits warm-started prefix simulation. Requires a
-/// stateless engine (no-guarantee, EASY, strict FCFS, or reservation-depth),
-/// no fault injection, and no runtime-limit chaining; anything else must
-/// use from-scratch prefix runs to reproduce the exact serial results.
+/// Whether `cfg` permits warm-started prefix simulation. Requires an engine
+/// whose forked state reproduces a from-scratch run (every engine except
+/// dynamic conservative, whose per-event rebuild makes warm starts
+/// pointless), no fault injection, and no runtime-limit chaining; anything
+/// else must use from-scratch prefix runs to reproduce the exact serial
+/// results.
 pub fn warm_start_supported(cfg: &SimConfig) -> bool {
-    let stateless = matches!(
+    let forkable = matches!(
         cfg.engine,
         EngineKind::NoGuarantee
             | EngineKind::Easy
             | EngineKind::FcfsNoBackfill
             | EngineKind::ReservationDepth(_)
+            | EngineKind::Conservative { dynamic: false }
     );
-    stateless && !cfg.faults.enabled() && cfg.runtime_limit.is_none()
+    forkable && !cfg.faults.enabled() && cfg.runtime_limit.is_none()
 }
 
 /// Incremental prefix simulator: admit jobs in nondecreasing
@@ -147,7 +156,10 @@ impl<'a> PrefixSimulator<'a> {
         fairsched_obs::counters::record_warm_start(true);
         self.advance_and_admit(job)?;
         let mut scratch = self.master.clone();
-        let mut engine = make_engine_for(self.cfg);
+        // Fork, don't rebuild: a stateful ledger (static conservative)
+        // continues from the master's exact bookkeeping, which equals what
+        // a from-scratch run of this prefix would hold at this instant.
+        let mut engine = self.engine.fork();
         loop {
             if let Some(start) = scratch.start_time_of(job.id) {
                 return Ok(start);
@@ -207,13 +219,14 @@ mod tests {
     }
 
     #[test]
-    fn matches_from_scratch_for_every_stateless_engine() {
+    fn matches_from_scratch_for_every_supported_engine() {
         let trace = random_trace(42, 80, 16, 4000);
         for engine in [
             EngineKind::NoGuarantee,
             EngineKind::Easy,
             EngineKind::FcfsNoBackfill,
             EngineKind::ReservationDepth(2),
+            EngineKind::Conservative { dynamic: false },
         ] {
             let cfg = SimConfig {
                 nodes: 16,
@@ -231,6 +244,22 @@ mod tests {
         let cfg = SimConfig {
             nodes: 16,
             engine: EngineKind::NoGuarantee,
+            kill: KillPolicy::WhenNeeded,
+            user_concurrency: Some(2),
+            ..Default::default()
+        };
+        check_matches_scratch(&cfg, &trace);
+    }
+
+    #[test]
+    fn conservative_warm_start_survives_kills_and_concurrency_caps() {
+        // The stateful ledger under the adversarial knobs: WCL kills mutate
+        // the running set mid-reservation, and the concurrency cap defers
+        // arrivals — both must leave fork-continuation exact.
+        let trace = random_trace(23, 60, 16, 3000);
+        let cfg = SimConfig {
+            nodes: 16,
+            engine: EngineKind::Conservative { dynamic: false },
             kill: KillPolicy::WhenNeeded,
             user_concurrency: Some(2),
             ..Default::default()
@@ -259,13 +288,21 @@ mod tests {
     }
 
     #[test]
-    fn rejects_stateful_and_faulted_configs() {
-        let conservative = SimConfig {
-            engine: EngineKind::Conservative,
+    fn rejects_dynamic_conservative_and_faulted_configs() {
+        let dynamic = SimConfig {
+            engine: EngineKind::Conservative { dynamic: true },
             ..Default::default()
         };
-        assert!(!warm_start_supported(&conservative));
-        assert!(PrefixSimulator::new(&conservative).is_err());
+        assert!(!warm_start_supported(&dynamic));
+        assert!(PrefixSimulator::new(&dynamic).is_err());
+
+        // The static variant forks its ledger and is eligible.
+        let conservative = SimConfig {
+            engine: EngineKind::Conservative { dynamic: false },
+            ..Default::default()
+        };
+        assert!(warm_start_supported(&conservative));
+        assert!(PrefixSimulator::new(&conservative).is_ok());
 
         let faulted = SimConfig {
             faults: crate::faults::FaultConfig {

@@ -1,12 +1,17 @@
 //! The event-driven simulator: the paper's "locally developed event based
 //! simulator" (§3.1), rebuilt.
 //!
-//! [`simulate`] replays a trace under a [`SimConfig`] and produces a
+//! [`try_simulate`] replays a trace under a [`SimConfig`] and produces a
 //! [`Schedule`]: one record per submission (chunk, when runtime limits are
 //! on), plus the exact loss-of-capacity and utilization integrals.
-//! [`try_simulate`] is the fallible entry point: trace/config validation
-//! and invariant violations come back as a typed [`SimError`] instead of a
-//! panic.
+//! Trace/config validation and invariant violations come back as a typed
+//! [`SimError`] instead of a panic.
+//!
+//! The event loop here is dispatch plus invariants; its collaborators own
+//! the policy and bookkeeping: the [`engine`](crate::engine) strategies
+//! decide who starts, the internal `lifecycle` module owns how submissions
+//! come to exist (pending arrivals, chunk chains, crash recovery), and the
+//! internal `accounting` module integrates what it all added up to.
 //!
 //! Semantics, in event order at each instant: completions free capacity,
 //! wall-clock-limit expiries are considered, fault events (node repairs,
@@ -17,11 +22,13 @@
 //! (`running + free + down == machine`), and at the end of the run the
 //! node-hour integrals conserve (`used + idle + down == capacity × time`).
 
+use crate::accounting::{Accounting, GapState};
 use crate::config::{AllocationModel, KillPolicy, SimConfig};
 use crate::engine::{make_engine, Engine, EngineCtx};
 use crate::event::{EventKind, EventQueue};
 use crate::fairshare::FairshareTracker;
 use crate::faults::{FaultModel, Outage, ResiliencePolicy};
+use crate::lifecycle::{Lifecycle, PendingSubmission};
 use crate::starvation::starving_jobs;
 use crate::state::{ArrivalView, Observer, QueuedJob, RunningJob};
 use fairsched_cpa::alloc::AllocId;
@@ -335,32 +342,6 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// A submission known to the simulator but not yet arrived.
-#[derive(Debug, Clone, Copy)]
-struct PendingSubmission {
-    origin: JobId,
-    chunk_index: u32,
-    user: UserId,
-    group: GroupId,
-    nodes: u32,
-    runtime: Time,
-    estimate: Time,
-    origin_submit: Time,
-}
-
-/// Progress of a runtime-limited chain.
-#[derive(Debug, Clone, Copy)]
-struct ChainState {
-    origin: JobId,
-    user: UserId,
-    group: GroupId,
-    nodes: u32,
-    origin_submit: Time,
-    remaining_actual: Time,
-    remaining_estimate: Time,
-    next_chunk: u32,
-}
-
 /// Why a running job ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Cause {
@@ -484,16 +465,14 @@ pub(crate) struct Sim<'a> {
     running: Vec<RunningJob>,
     overdue: Vec<JobId>,
     fairshare: FairshareTracker,
-    pending: HashMap<JobId, PendingSubmission>,
-    chains: HashMap<JobId, usize>, // chunk id → chain index
-    chain_states: Vec<ChainState>,
+    // Submission lifecycle: pending arrivals, chunk chains, crash recovery.
+    lifecycle: Lifecycle,
     open: HashMap<JobId, OpenRecord>,
     records: Vec<JobRecord>,
     // Closed-loop user feedback (user_concurrency): live job counts and
     // per-user FIFOs of deferred submissions.
     in_system: HashMap<UserId, u32>,
     parked: HashMap<UserId, std::collections::VecDeque<JobId>>,
-    next_id: u32,
     // Fault injection: the seeded model, the count of nodes down, live
     // outages (what the engines plan around), per-seq bookkeeping for
     // scheduled failures and concrete down nodes (linear backend only).
@@ -502,50 +481,13 @@ pub(crate) struct Sim<'a> {
     outages: Vec<Outage>,
     repairs: HashMap<u32, Time>,
     outage_nodes: HashMap<u32, u32>,
-    // Accounting integrals.
-    waste: f64,
-    busy: f64,
-    idle_integral: f64,
-    down_integral: f64,
-    lost: f64,
-    weekly_busy: Vec<f64>,
-    min_start: Time,
-    max_completion: Time,
-    // Queue-pressure accumulators (time-weighted sums plus peaks).
-    queued_jobs_integral: f64,
-    queued_demand_integral: f64,
-    observed_span: f64,
-    max_queued_jobs: usize,
-    max_queued_demand: u64,
-    // Set when a job crosses [`MAX_SUBMISSIONS_PER_ORIGIN`]; surfaced as a
-    // typed error by the next invariant check instead of looping forever.
-    diverged: Option<SimError>,
+    // Utilization / LOC / queue-pressure integrals.
+    acct: Accounting,
     // Decision tracing (None on untraced runs — the default). Emission
     // never feeds back into scheduling; `promoted` only dedupes
     // StarvationPromoted records and is touched only while tracing.
     trace: Option<&'a dyn TraceHandle>,
     promoted: HashSet<JobId>,
-}
-
-/// Resubmission cap per original job. Legitimate chunk chains stay far
-/// below this (an 82-year job at the 72 h limit would be the first to
-/// reach it); only a fault configuration under which a job cannot finish
-/// between interruptions can cross it, and such a simulation would
-/// otherwise run — and allocate — forever.
-const MAX_SUBMISSIONS_PER_ORIGIN: u32 = 10_000;
-
-/// Runs the simulation. Panics if any job is wider than the machine (traces
-/// must be generated for, or filtered to, the configured size).
-#[deprecated(
-    since = "0.3.0",
-    note = "use `try_simulate`, which reports trace/config problems and \
-            invariant violations as a typed `SimError` instead of panicking"
-)]
-pub fn simulate(trace: &[Job], cfg: &SimConfig, observer: &mut dyn Observer) -> Schedule {
-    match try_simulate(trace, cfg, observer) {
-        Ok(schedule) => schedule,
-        Err(e) => panic!("{e}"),
-    }
 }
 
 /// The fallible simulation entry point: trace/config problems and mid-run
@@ -640,14 +582,11 @@ impl<'a> Sim<'a> {
             running: Vec::new(),
             overdue: Vec::new(),
             fairshare: FairshareTracker::new(cfg.fairshare),
-            pending: HashMap::new(),
-            chains: HashMap::new(),
-            chain_states: Vec::new(),
+            lifecycle: Lifecycle::new(trace),
             open: HashMap::new(),
             records: Vec::new(),
             in_system: HashMap::new(),
             parked: HashMap::new(),
-            next_id: trace.iter().map(|j| j.id.0).max().unwrap_or(0) + 1,
             faults: cfg
                 .faults
                 .enabled()
@@ -656,20 +595,7 @@ impl<'a> Sim<'a> {
             outages: Vec::new(),
             repairs: HashMap::new(),
             outage_nodes: HashMap::new(),
-            waste: 0.0,
-            busy: 0.0,
-            idle_integral: 0.0,
-            down_integral: 0.0,
-            lost: 0.0,
-            weekly_busy: Vec::new(),
-            min_start: Time::MAX,
-            max_completion: 0,
-            queued_jobs_integral: 0.0,
-            queued_demand_integral: 0.0,
-            observed_span: 0.0,
-            max_queued_jobs: 0,
-            max_queued_demand: 0,
-            diverged: None,
+            acct: Accounting::new(),
             trace: None,
             promoted: HashSet::new(),
         };
@@ -695,101 +621,7 @@ impl<'a> Sim<'a> {
     /// Registers an original trace job: either a standalone submission or
     /// the head of a runtime-limited chain.
     pub(crate) fn admit(&mut self, job: &Job) {
-        let chained = self
-            .cfg
-            .runtime_limit
-            .map(|rl| job.estimate > rl.limit)
-            .unwrap_or(false);
-        if chained {
-            let chain = ChainState {
-                origin: job.id,
-                user: job.user,
-                group: job.group,
-                nodes: job.nodes,
-                origin_submit: job.submit,
-                remaining_actual: job.runtime,
-                remaining_estimate: job.estimate,
-                next_chunk: 1,
-            };
-            self.chain_states.push(chain);
-            let chain_idx = self.chain_states.len() - 1;
-            self.submit_next_chunk(chain_idx, job.submit, Some(job.id));
-        } else {
-            self.pending.insert(
-                job.id,
-                PendingSubmission {
-                    origin: job.id,
-                    chunk_index: 0,
-                    user: job.user,
-                    group: job.group,
-                    nodes: job.nodes,
-                    runtime: job.runtime,
-                    estimate: job.estimate,
-                    origin_submit: job.submit,
-                },
-            );
-            self.events.push(job.submit, EventKind::Arrival, job.id);
-        }
-    }
-
-    /// Creates and schedules the next chunk of a chain. The first chunk may
-    /// reuse the original job id; later chunks get fresh ids.
-    ///
-    /// Chains normally exist only under a runtime limit, but
-    /// [`ResiliencePolicy::ChunkResume`] promotes crashed standalone jobs
-    /// into chains too — without a limit the chunk simply asks for all the
-    /// remaining work.
-    fn submit_next_chunk(
-        &mut self,
-        chain_idx: usize,
-        at: Time,
-        reuse_id: Option<JobId>,
-    ) -> Option<JobId> {
-        let limit = self.cfg.runtime_limit.map_or(Time::MAX, |rl| rl.limit);
-        let chain = &mut self.chain_states[chain_idx];
-        debug_assert!(chain.remaining_actual > 0);
-        // The user requests what they believe remains (capped at the limit);
-        // once the original estimate is exhausted they request a full slice
-        // — or, with no limit to fall back on, exactly what is left.
-        let estimate = if chain.remaining_estimate > 0 {
-            limit.min(chain.remaining_estimate)
-        } else if limit < Time::MAX {
-            limit
-        } else {
-            chain.remaining_actual
-        };
-        let runtime = chain.remaining_actual.min(estimate);
-        let chunk_index = chain.next_chunk;
-        if chunk_index >= MAX_SUBMISSIONS_PER_ORIGIN {
-            self.diverged = Some(SimError::Diverged {
-                job: chain.origin,
-                attempts: chunk_index,
-            });
-            return None;
-        }
-        chain.next_chunk += 1;
-        let id = reuse_id.unwrap_or_else(|| {
-            let id = JobId(self.next_id);
-            self.next_id += 1;
-            id
-        });
-        let chain = self.chain_states[chain_idx];
-        self.chains.insert(id, chain_idx);
-        self.pending.insert(
-            id,
-            PendingSubmission {
-                origin: chain.origin,
-                chunk_index,
-                user: chain.user,
-                group: chain.group,
-                nodes: chain.nodes,
-                runtime,
-                estimate,
-                origin_submit: chain.origin_submit,
-            },
-        );
-        self.events.push(at, EventKind::Arrival, id);
-        Some(id)
+        self.lifecycle.admit(self.cfg, job, &mut self.events);
     }
 
     fn run(
@@ -898,7 +730,7 @@ impl<'a> Sim<'a> {
     /// violated invariant must surface as a typed error, not a corrupt
     /// schedule.
     fn check_invariants(&self) -> Result<(), SimError> {
-        if let Some(e) = &self.diverged {
+        if let Some(e) = self.lifecycle.diverged() {
             return Err(e.clone());
         }
         let running: u64 = self.running.iter().map(|r| r.nodes as u64).sum();
@@ -939,8 +771,7 @@ impl<'a> Sim<'a> {
     /// last event was spent busy, idle, or down — nothing created, nothing
     /// leaked. Tolerance covers float accumulation only.
     fn check_conservation(&self) -> Result<(), SimError> {
-        let capacity = self.cfg.nodes as f64 * self.now as f64;
-        let integrated = self.busy + self.idle_integral + self.down_integral;
+        let (integrated, capacity) = self.acct.conservation_residual(self.cfg.nodes, self.now);
         if (integrated - capacity).abs() > 1e-6 * capacity.max(1.0) {
             return Err(SimError::InvariantViolation {
                 at: self.now,
@@ -956,21 +787,19 @@ impl<'a> Sim<'a> {
     /// Advances accounting (fairshare accrual, LOC/busy integrals) to `to`.
     fn advance_to(&mut self, to: Time) {
         debug_assert!(to >= self.now);
-        let dt = (to - self.now) as f64;
-        if dt > 0.0 {
+        if to > self.now {
             let queued_demand: u64 = self.queue.iter().map(|q| q.nodes as u64).sum();
-            let wasted = queued_demand.min(self.free as u64) as f64;
-            self.waste += wasted * dt;
-            self.queued_jobs_integral += self.queue.len() as f64 * dt;
-            self.queued_demand_integral += queued_demand as f64 * dt;
-            self.observed_span += dt;
-            self.max_queued_jobs = self.max_queued_jobs.max(self.queue.len());
-            self.max_queued_demand = self.max_queued_demand.max(queued_demand);
-            let busy_rate = (self.cfg.nodes - self.free - self.down) as f64;
-            self.busy += busy_rate * dt;
-            self.idle_integral += self.free as f64 * dt;
-            self.down_integral += self.down as f64 * dt;
-            self.accumulate_weekly(self.now, to, busy_rate);
+            self.acct.observe(
+                self.now,
+                to,
+                GapState {
+                    queued_jobs: self.queue.len(),
+                    queued_demand,
+                    free: self.free,
+                    down: self.down,
+                    total: self.cfg.nodes,
+                },
+            );
             let pairs: Vec<(UserId, u32)> =
                 self.running.iter().map(|r| (r.user, r.nodes)).collect();
             self.fairshare.advance(to, &pairs);
@@ -978,23 +807,6 @@ impl<'a> Sim<'a> {
             self.fairshare.advance(to, &[]);
         }
         self.now = to;
-    }
-
-    fn accumulate_weekly(&mut self, from: Time, to: Time, rate: f64) {
-        if rate == 0.0 {
-            return;
-        }
-        let mut t = from;
-        while t < to {
-            let week = (t / WEEK) as usize;
-            if week >= self.weekly_busy.len() {
-                self.weekly_busy.resize(week + 1, 0.0);
-            }
-            let boundary = ((t / WEEK) + 1) * WEEK;
-            let seg_end = boundary.min(to);
-            self.weekly_busy[week] += rate * (seg_end - t) as f64;
-            t = seg_end;
-        }
     }
 
     fn process(
@@ -1058,7 +870,7 @@ impl<'a> Sim<'a> {
         // a pure function of the seed: the next failure is drawn before
         // this one touches anything.)
         let work_remains =
-            !self.pending.is_empty() || !self.queue.is_empty() || !self.running.is_empty();
+            self.lifecycle.has_pending() || !self.queue.is_empty() || !self.running.is_empty();
         if !work_remains {
             return;
         }
@@ -1159,7 +971,7 @@ impl<'a> Sim<'a> {
         // Closed-loop feedback: a user at their concurrency cap defers this
         // submission until one of their jobs finishes.
         if let Some(cap) = self.cfg.user_concurrency {
-            let user = self.pending[&id].user;
+            let user = self.lifecycle.pending_user(id);
             let live = self.in_system.get(&user).copied().unwrap_or(0);
             if live >= cap {
                 self.parked.entry(user).or_default().push_back(id);
@@ -1167,10 +979,7 @@ impl<'a> Sim<'a> {
             }
             *self.in_system.entry(user).or_insert(0) += 1;
         }
-        let pending = self
-            .pending
-            .remove(&id)
-            .expect("arrival for unknown submission");
+        let pending = self.lifecycle.take_pending(id);
         let queued = QueuedJob {
             id,
             user: pending.user,
@@ -1221,7 +1030,7 @@ impl<'a> Sim<'a> {
         self.free += job.nodes;
         self.backend.release(id);
         self.overdue.retain(|&o| o != id);
-        self.max_completion = self.max_completion.max(self.now);
+        self.acct.note_completion(self.now);
 
         let open = self.open.remove(&id).expect("record open for running job");
         let record = JobRecord {
@@ -1243,19 +1052,15 @@ impl<'a> Sim<'a> {
 
         let executed = self.now - open.start.expect("started");
         match cause {
-            Cause::Finished | Cause::Killed => {
-                // Chains: bank the executed work and submit the next chunk.
-                if let Some(&chain_idx) = self.chains.get(&id) {
-                    let estimate_used = open.pending.estimate;
-                    let chain = &mut self.chain_states[chain_idx];
-                    chain.remaining_actual = chain.remaining_actual.saturating_sub(executed);
-                    chain.remaining_estimate =
-                        chain.remaining_estimate.saturating_sub(estimate_used);
-                    if chain.remaining_actual > 0 {
-                        self.submit_next_chunk(chain_idx, self.now, None);
-                    }
-                }
-            }
+            // Chains: bank the executed work and submit the next chunk.
+            Cause::Finished | Cause::Killed => self.lifecycle.bank_chunk(
+                self.cfg,
+                id,
+                open.pending.estimate,
+                executed,
+                self.now,
+                &mut self.events,
+            ),
             Cause::Crashed => self.recover_crashed(id, &open, executed),
         }
 
@@ -1278,70 +1083,24 @@ impl<'a> Sim<'a> {
         engine.on_complete(id);
     }
 
-    /// Applies the configured resilience policy to a crashed submission.
+    /// Applies the configured resilience policy to a crashed submission:
+    /// the lifecycle decides how (and whether) the work re-enters; this
+    /// wrapper accounts the discarded node-seconds and traces the requeue.
     fn recover_crashed(&mut self, id: JobId, open: &OpenRecord, executed: Time) {
-        let retry = match self.cfg.faults.resilience {
-            ResiliencePolicy::RequeueFromScratch => {
-                // Executed work is lost; the submission re-enters intact,
-                // as a fresh attempt with the next per-origin chunk index.
-                // Fairshare usage already charged for the lost run stays
-                // charged — users pay for their bad luck, as Cplant did.
-                self.lost += executed as f64 * open.pending.nodes as f64;
-                if let Some(&chain_idx) = self.chains.get(&id) {
-                    // The chain is not advanced: the crashed chunk's work
-                    // does not count, so the same remainder re-enters.
-                    self.submit_next_chunk(chain_idx, self.now, None)
-                } else {
-                    let mut resubmission = open.pending;
-                    resubmission.chunk_index += 1;
-                    if resubmission.chunk_index >= MAX_SUBMISSIONS_PER_ORIGIN {
-                        self.diverged = Some(SimError::Diverged {
-                            job: resubmission.origin,
-                            attempts: resubmission.chunk_index,
-                        });
-                        return;
-                    }
-                    let new_id = JobId(self.next_id);
-                    self.next_id += 1;
-                    self.pending.insert(new_id, resubmission);
-                    self.events.push(self.now, EventKind::Arrival, new_id);
-                    Some(new_id)
-                }
-            }
-            ResiliencePolicy::ChunkResume => {
-                // The interrupted run is an implicit checkpoint: bank the
-                // executed seconds and continue from there, reusing the
-                // runtime-limit chain machinery. A standalone submission is
-                // promoted into a chain on its first crash.
-                let chain_idx = match self.chains.get(&id).copied() {
-                    Some(ci) => ci,
-                    None => {
-                        let p = open.pending;
-                        self.chain_states.push(ChainState {
-                            origin: p.origin,
-                            user: p.user,
-                            group: p.group,
-                            nodes: p.nodes,
-                            origin_submit: p.origin_submit,
-                            remaining_actual: p.runtime,
-                            remaining_estimate: p.estimate,
-                            next_chunk: p.chunk_index + 1,
-                        });
-                        self.chain_states.len() - 1
-                    }
-                };
-                let chain = &mut self.chain_states[chain_idx];
-                chain.remaining_actual = chain.remaining_actual.saturating_sub(executed);
-                // The estimate budget shrinks only by what actually ran:
-                // the user re-requests the rest for the resumed chunk.
-                chain.remaining_estimate = chain.remaining_estimate.saturating_sub(executed);
-                if chain.remaining_actual > 0 {
-                    self.submit_next_chunk(chain_idx, self.now, None)
-                } else {
-                    None
-                }
-            }
-        };
+        if self.cfg.faults.resilience == ResiliencePolicy::RequeueFromScratch {
+            // Executed work is lost. Fairshare usage already charged for
+            // the lost run stays charged — users pay for their bad luck,
+            // as CPlant did.
+            self.acct.note_lost(executed, open.pending.nodes);
+        }
+        let retry = self.lifecycle.recover_crashed(
+            self.cfg,
+            id,
+            &open.pending,
+            executed,
+            self.now,
+            &mut self.events,
+        );
         if let (Some(t), Some(retry)) = (self.trace, retry) {
             t.emit(TraceRecord::FaultRequeued {
                 at: self.now,
@@ -1396,7 +1155,7 @@ impl<'a> Sim<'a> {
             }
         }
         self.open.get_mut(&id).expect("record open").start = Some(self.now);
-        self.min_start = self.min_start.min(self.now);
+        self.acct.note_start(self.now);
         observer.on_start(id, self.now);
         engine.on_start(id);
     }
@@ -1436,36 +1195,18 @@ impl<'a> Sim<'a> {
 
     fn finish(mut self) -> Schedule {
         self.records.sort_by_key(|r| r.id);
-        let min_start = if self.min_start == Time::MAX {
-            0
-        } else {
-            self.min_start
-        };
         Schedule {
             nodes: self.cfg.nodes,
             records: self.records,
-            waste_nodeseconds: self.waste,
-            busy_nodeseconds: self.busy,
-            down_nodeseconds: self.down_integral,
-            lost_nodeseconds: self.lost,
-            weekly_busy: self.weekly_busy,
-            min_start,
-            max_completion: self.max_completion,
+            waste_nodeseconds: self.acct.waste,
+            busy_nodeseconds: self.acct.busy,
+            down_nodeseconds: self.acct.down,
+            lost_nodeseconds: self.acct.lost,
+            min_start: self.acct.min_start_or_zero(),
+            max_completion: self.acct.max_completion,
             placement: self.backend.stats(),
-            queue_stats: QueueStats {
-                max_queued_jobs: self.max_queued_jobs,
-                max_queued_demand: self.max_queued_demand,
-                mean_queued_jobs: if self.observed_span > 0.0 {
-                    self.queued_jobs_integral / self.observed_span
-                } else {
-                    0.0
-                },
-                mean_queued_demand: if self.observed_span > 0.0 {
-                    self.queued_demand_integral / self.observed_span
-                } else {
-                    0.0
-                },
-            },
+            queue_stats: self.acct.queue_stats(),
+            weekly_busy: self.acct.weekly_busy,
         }
     }
 }
@@ -1506,14 +1247,6 @@ mod tests {
 
     fn run(trace: &[Job], cfg: &SimConfig) -> Schedule {
         try_simulate(trace, cfg, &mut NullObserver).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_simulate_wrapper_still_matches_try_simulate() {
-        let trace = [job(1, 1, 0, 4, 100, 100)];
-        let c = cfg(10, EngineKind::NoGuarantee);
-        assert_eq!(simulate(&trace, &c, &mut NullObserver), run(&trace, &c));
     }
 
     /// Counts every observer hook and remembers what it saw.
@@ -1777,7 +1510,7 @@ mod tests {
             job(2, 2, 5, 6, 100, 100),
             job(3, 3, 6, 4, 1000, 1000),
         ];
-        let c = cfg(10, EngineKind::Conservative);
+        let c = cfg(10, EngineKind::Conservative { dynamic: false });
         let s1 = run(&base, &c);
         let s2 = run(&with_later, &c);
         assert_eq!(record(&s1, 2).start, record(&s2, 2).start);
@@ -1788,7 +1521,10 @@ mod tests {
         // Job 1 estimates 1000 but runs 100: job 2's reservation (at 1000)
         // compresses to 100 when job 1 completes.
         let trace = [job(1, 1, 0, 10, 100, 1000), job(2, 2, 5, 10, 50, 50)];
-        let s = run(&trace, &cfg(10, EngineKind::Conservative));
+        let s = run(
+            &trace,
+            &cfg(10, EngineKind::Conservative { dynamic: false }),
+        );
         assert_eq!(record(&s, 2).start, 100);
     }
 
@@ -1864,7 +1600,7 @@ mod tests {
     #[test]
     fn determinism_same_trace_same_schedule() {
         let trace = fairsched_workload::synthetic::random_trace(5, 200, 10, 5000);
-        let c = cfg(10, EngineKind::Conservative);
+        let c = cfg(10, EngineKind::Conservative { dynamic: false });
         let s1 = run(&trace, &c);
         let s2 = run(&trace, &c);
         assert_eq!(s1, s2);
@@ -1991,7 +1727,7 @@ mod tests {
             // Per-node MTBF of 2000 s on 10 nodes → machine failures every
             // ~200 s; jobs keep colliding with them but must all finish.
             let trace = fairsched_workload::synthetic::random_trace(3, 60, 10, 3000);
-            let mut c = cfg(10, EngineKind::Conservative);
+            let mut c = cfg(10, EngineKind::Conservative { dynamic: false });
             c.faults = FaultConfig {
                 node_mtbf: Some(2000),
                 repair: QUICK_REPAIR,
@@ -2222,7 +1958,7 @@ mod tests {
         use crate::config::AllocationModel;
         use fairsched_cpa::PlacementStrategy;
         let trace = fairsched_workload::synthetic::random_trace(21, 200, 10, 5000);
-        let base = cfg(10, EngineKind::Conservative);
+        let base = cfg(10, EngineKind::Conservative { dynamic: false });
         let mut linear = base.clone();
         linear.allocation = AllocationModel::Linear(PlacementStrategy::FirstFit);
         let s1 = run(&trace, &base);

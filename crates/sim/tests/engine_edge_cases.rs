@@ -39,7 +39,7 @@ fn conservative_survives_overdue_runners() {
         job(1, 1, 0, 10, 50_000, 100), // overdue almost immediately
         job(2, 2, 10, 10, 100, 100),
     ];
-    let mut c = cfg(10, EngineKind::Conservative);
+    let mut c = cfg(10, EngineKind::Conservative { dynamic: false });
     c.kill = KillPolicy::Never;
     let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
     // Job 2 can only start when job 1 actually ends.
@@ -49,7 +49,7 @@ fn conservative_survives_overdue_runners() {
 #[test]
 fn conservative_dynamic_survives_overdue_runners() {
     let trace = [job(1, 1, 0, 10, 50_000, 100), job(2, 2, 10, 10, 100, 100)];
-    let mut c = cfg(10, EngineKind::ConservativeDynamic);
+    let mut c = cfg(10, EngineKind::Conservative { dynamic: true });
     c.kill = KillPolicy::Never;
     let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
     assert_eq!(start_of(&s, 2), 50_000);
@@ -60,7 +60,7 @@ fn when_needed_kill_reclaims_overdue_nodes_for_conservative_reservations() {
     // Same setup with the CPlant kill rule: job 2's arrival creates demand,
     // so job 1 dies at its WCL and job 2 starts right then.
     let trace = [job(1, 1, 0, 10, 50_000, 100), job(2, 2, 10, 10, 100, 100)];
-    let c = cfg(10, EngineKind::Conservative); // default kill: WhenNeeded
+    let c = cfg(10, EngineKind::Conservative { dynamic: false }); // default kill: WhenNeeded
     let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
     let r1 = s.records.iter().find(|r| r.id == JobId(1)).unwrap();
     assert!(r1.killed);
@@ -204,7 +204,12 @@ fn fcfs_engine_honours_fairshare_order_too() {
 
 #[test]
 fn zero_jobs_is_a_valid_simulation() {
-    let s = try_simulate(&[], &cfg(10, EngineKind::Conservative), &mut NullObserver).unwrap();
+    let s = try_simulate(
+        &[],
+        &cfg(10, EngineKind::Conservative { dynamic: false }),
+        &mut NullObserver,
+    )
+    .unwrap();
     assert!(s.records.is_empty());
     assert_eq!(s.makespan(), 0);
     assert_eq!(s.utilization(), 0.0);

@@ -40,10 +40,9 @@ pub use fairsched_workload as workload;
 /// Centred on the fallible single-pass API: [`try_simulate`] +
 /// [`ObserverSet`] for raw simulations, [`try_run_policy`] + [`RunOptions`]
 /// for one policy with any subset of reports, [`try_run_policies`] /
-/// [`try_run_policies_with`] for fenced parallel sweeps. The deprecated
-/// panicking entry points (`simulate`, `run_policies`) are deliberately not
-/// re-exported here — reach into [`crate::sim`] / [`crate::core`] if you
-/// really need them.
+/// [`try_run_policies_with`] for fenced parallel sweeps. The historical
+/// panicking entry points (`simulate`, `run_policies`) are gone; every
+/// caller goes through the fallible API.
 pub mod prelude {
     pub use fairsched_core::policy::PolicySpec;
     pub use fairsched_core::runner::{

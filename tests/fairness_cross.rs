@@ -38,7 +38,10 @@ fn consp_schedule_is_fair_under_consp_and_hybrid_fcfs() {
     // is socially just. Both CONS_P (by definition) and the hybrid metric
     // instantiated with FCFS order must agree.
     let trace = perfect(&random_trace(5, 250, NODES, 8000));
-    let c = cfg(EngineKind::Conservative, QueueOrder::Fcfs);
+    let c = cfg(
+        EngineKind::Conservative { dynamic: false },
+        QueueOrder::Fcfs,
+    );
 
     let mut obs = HybridFstObserver::new();
     let schedule = try_simulate(&trace, &c, &mut obs).unwrap();
@@ -59,7 +62,10 @@ fn sabin_fst_of_a_no_later_arrival_schedule_matches_actual_starts() {
     // When later arrivals cannot affect earlier jobs (conservative, perfect
     // estimates, FCFS), every job starts exactly at its Sabin FST.
     let trace = perfect(&random_trace(7, 60, NODES, 5000));
-    let c = cfg(EngineKind::Conservative, QueueOrder::Fcfs);
+    let c = cfg(
+        EngineKind::Conservative { dynamic: false },
+        QueueOrder::Fcfs,
+    );
     let fsts = sabin_fsts(&trace, &c);
     let schedule = try_simulate(&trace, &c, &mut NullObserver).unwrap();
     let report = sabin_report(&schedule, &fsts);

@@ -39,8 +39,8 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
         prop::sample::select(vec![
             EngineKind::NoGuarantee,
             EngineKind::Easy,
-            EngineKind::Conservative,
-            EngineKind::ConservativeDynamic,
+            EngineKind::Conservative { dynamic: false },
+            EngineKind::Conservative { dynamic: true },
             EngineKind::ReservationDepth(0),
             EngineKind::ReservationDepth(3),
             EngineKind::ReservationDepth(64),

@@ -44,8 +44,8 @@ fn engines() -> impl Strategy<Value = EngineKind> {
     prop::sample::select(vec![
         EngineKind::NoGuarantee,
         EngineKind::Easy,
-        EngineKind::Conservative,
-        EngineKind::ConservativeDynamic,
+        EngineKind::Conservative { dynamic: false },
+        EngineKind::Conservative { dynamic: true },
         EngineKind::ReservationDepth(2),
         EngineKind::FcfsNoBackfill,
     ])
@@ -143,7 +143,7 @@ proptest! {
             .collect();
         let c = SimConfig {
             nodes: NODES,
-            engine: EngineKind::Conservative,
+            engine: EngineKind::Conservative { dynamic: false },
             order: fairsched::sim::QueueOrder::Fcfs,
             kill: KillPolicy::Never,
             starvation: None,

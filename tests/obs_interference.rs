@@ -112,7 +112,7 @@ fn traced_simulation_matches_untraced_and_serializes() {
     let trace = random_trace(11, 60, NODES / 2, 20_000);
     let cfg = SimConfig {
         nodes: NODES,
-        engine: EngineKind::Conservative,
+        engine: EngineKind::Conservative { dynamic: false },
         ..Default::default()
     };
     let clean = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();

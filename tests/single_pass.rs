@@ -73,7 +73,7 @@ proptest! {
         let engine = [
             EngineKind::NoGuarantee,
             EngineKind::Easy,
-            EngineKind::Conservative,
+            EngineKind::Conservative { dynamic: false },
         ][engine_idx];
         let cfg = SimConfig {
             nodes: NODES,
