@@ -12,7 +12,11 @@
 //!   simulation per scored job;
 //! * `warm_start_1thread` — the forked-master path pinned to one worker,
 //!   isolating the algorithmic win from thread-level parallelism;
-//! * `warm_start_parallel` — the production configuration (stripe per
+//! * `warm_start_4thread` — the chunked fork pipeline pinned to four
+//!   workers, pricing the BENCH_5 fix (the old striping replayed every
+//!   worker's prefix from scratch, so extra workers *added* total work —
+//!   measurable even time-sliced onto one core);
+//! * `warm_start_parallel` — the production configuration (one chunk per
 //!   available core).
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -44,6 +48,9 @@ fn conservative_prefix_fsts(c: &mut Criterion) {
         });
         g.bench_function("warm_start_1thread", |b| {
             b.iter(|| sabin_fsts_parallel_sampled(black_box(&trace), &cfg, SABIN_STRIDE, Some(1)))
+        });
+        g.bench_function("warm_start_4thread", |b| {
+            b.iter(|| sabin_fsts_parallel_sampled(black_box(&trace), &cfg, SABIN_STRIDE, Some(4)))
         });
         g.bench_function("warm_start_parallel", |b| {
             b.iter(|| sabin_fsts_parallel_sampled(black_box(&trace), &cfg, SABIN_STRIDE, None))

@@ -1,6 +1,6 @@
 //! # fairsched-cli
 //!
-//! The command-line face of the workspace. Six subcommands:
+//! The command-line face of the workspace. Seven subcommands:
 //!
 //! ```text
 //! fairsched generate --seed 42 --scale 0.1 --nodes 1024 --out trace.swf
@@ -9,6 +9,7 @@
 //! fairsched audit    --trace trace.swf --policy cons.72max
 //! fairsched profile  --trace trace.swf --policy cons.nomax
 //! fairsched explain  --trace trace.swf --policy cons.nomax [--job 17]
+//! fairsched sweep    --journal s.jsonl --seeds 1,2,3 [--grid A,B] [--resume]
 //! ```
 //!
 //! All logic lives in this library (parsing, dispatch, rendering) so it is
@@ -22,6 +23,7 @@
 use fairsched_core::policy::PolicySpec;
 use fairsched_core::runner::{try_run_policy, try_run_policy_traced, RunOptions};
 use fairsched_core::sweep::try_run_policies;
+use fairsched_core::{run_sweep, FaultPoint, SweepConfig, SweepPlan};
 use fairsched_metrics::explain::{explain_wait, worst_miss};
 use fairsched_metrics::fairness::peruser::heavy_vs_light_miss;
 use fairsched_obs::{log, DecisionTracer};
@@ -104,6 +106,32 @@ pub enum Command {
         /// Job to explain; defaults to the worst fair-start miss.
         job: Option<u32>,
     },
+    /// Crash-safe design-space sweep with a durable journal.
+    Sweep {
+        /// Journal path (created fresh, or appended to under `resume`).
+        journal: String,
+        /// Policy ids forming the grid's policy axis; empty = the paper's
+        /// nine.
+        policies: Vec<String>,
+        /// Workload-generator seeds (one shared trace per seed).
+        seeds: Vec<u64>,
+        /// Workload scale factor.
+        scale: f64,
+        /// Machine size.
+        nodes: u32,
+        /// Per-cell wall-clock budget in seconds; `None` disables the
+        /// watchdog.
+        timeout_per_cell: Option<f64>,
+        /// Extra attempts after a timeout.
+        max_retries: u32,
+        /// Replay the journal and skip completed cells.
+        resume: bool,
+        /// Worker threads (`None`: available parallelism).
+        threads: Option<usize>,
+        /// Fault point crossed with every (seed, policy) pair, besides the
+        /// implicit clean point (disabled unless fault flags given).
+        faults: FaultConfig,
+    },
     /// Print usage.
     Help,
 }
@@ -132,11 +160,20 @@ USAGE:
   fairsched audit    --trace FILE.swf --policy ID [--nodes N]
   fairsched profile  --trace FILE.swf --policy ID [--nodes N] [FAULTS]
   fairsched explain  --trace FILE.swf --policy ID [--job N] [--nodes N] [FAULTS]
+  fairsched sweep    --journal FILE.jsonl [--grid ID,ID,...] [--seeds N,N,...]
+                     [--scale F] [--nodes N] [--timeout-per-cell SECONDS]
+                     [--max-retries N] [--threads N] [--resume] [FAULTS]
   fairsched help
 
-Fault flags apply to simulate, compare, profile, and explain; other
-subcommands reject them. `--quiet` anywhere (or FAIRSCHED_QUIET=1)
+Fault flags apply to simulate, compare, profile, explain, and sweep;
+other subcommands reject them. `--quiet` anywhere (or FAIRSCHED_QUIET=1)
 silences diagnostics.
+
+SWEEP (crash-safe design-space grids):
+  Runs seeds × policies × fault points, journaling each cell as a
+  checksummed JSONL row. A killed sweep resumes with --resume: completed
+  cells are replayed from the journal, never re-simulated. With fault
+  flags the grid crosses a clean point and the configured fault point.
 
 FAULTS (deterministic fault injection; off by default):
   --mtbf SECONDS          per-node mean time between failures
@@ -222,23 +259,29 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     // Every subcommand whitelists its flags: a flag aimed at a different
     // subcommand (e.g. `audit --mtbf 60`) is a usage error, never silently
     // ignored — ignoring it would run a different simulation than asked.
-    let check_flags = |allowed: &[&str]| -> Result<(), UsageError> {
+    // Boolean flags (e.g. `sweep --resume`) take no value, so the scanner
+    // must not swallow the next token as one.
+    let check_flags_with_bools = |allowed: &[&str], bools: &[&str]| -> Result<(), UsageError> {
         let mut i = 0;
         while i < rest.len() {
             let a = rest[i].as_str();
             if a.starts_with("--") {
-                if !allowed.contains(&a) {
+                if bools.contains(&a) {
+                    i += 1;
+                } else if allowed.contains(&a) {
+                    i += 2; // skip the flag's value
+                } else {
                     return Err(UsageError(format!(
                         "{sub} does not take {a}; try `fairsched help`"
                     )));
                 }
-                i += 2; // skip the flag's value
             } else {
                 i += 1;
             }
         }
         Ok(())
     };
+    let check_flags = |allowed: &[&str]| check_flags_with_bools(allowed, &[]);
     const FAULT_FLAGS: [&str; 4] = ["--mtbf", "--crash-rate", "--resilience", "--fault-seed"];
     fn with_faults(flags: &[&'static str]) -> Vec<&'static str> {
         flags.iter().chain(FAULT_FLAGS.iter()).copied().collect()
@@ -341,6 +384,83 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                         UsageError(format!("--job needs an integer id, got {v:?}"))
                     })?),
                 },
+            })
+        }
+        "sweep" => {
+            check_flags_with_bools(
+                &with_faults(&[
+                    "--journal",
+                    "--grid",
+                    "--seeds",
+                    "--scale",
+                    "--nodes",
+                    "--timeout-per-cell",
+                    "--max-retries",
+                    "--threads",
+                ]),
+                &["--resume"],
+            )?;
+            let policies = match flag("--grid")? {
+                None | Some("paper") => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect(),
+            };
+            let seeds = match flag("--seeds")? {
+                None => vec![42],
+                Some(list) => list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse().map_err(|_| {
+                            UsageError(format!("--seeds needs comma-separated integers, got {s:?}"))
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, UsageError>>()?,
+            };
+            if seeds.is_empty() {
+                return Err(UsageError("--seeds needs at least one seed".into()));
+            }
+            let timeout_per_cell = match flag("--timeout-per-cell")? {
+                None => None,
+                Some(v) => {
+                    let secs: f64 = v.parse().map_err(|_| {
+                        UsageError(format!("--timeout-per-cell needs seconds, got {v:?}"))
+                    })?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(UsageError(format!(
+                            "--timeout-per-cell must be positive, got {secs}"
+                        )));
+                    }
+                    Some(secs)
+                }
+            };
+            let threads =
+                match flag("--threads")? {
+                    None => None,
+                    Some(v) => Some(v.parse::<usize>().map_err(|_| {
+                        UsageError(format!("--threads needs an integer, got {v:?}"))
+                    })?),
+                };
+            Ok(Command::Sweep {
+                journal: required("--journal")?,
+                policies,
+                seeds,
+                scale: {
+                    let s = parse_f64("--scale", 0.02)?;
+                    if !(s > 0.0 && s <= 1.0) {
+                        return Err(UsageError(format!("--scale must be in (0, 1], got {s}")));
+                    }
+                    s
+                },
+                nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+                timeout_per_cell,
+                max_retries: parse_u64("--max-retries", 1)? as u32,
+                resume: rest.iter().any(|a| a.as_str() == "--resume"),
+                threads,
+                faults: parse_faults()?,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -601,6 +721,84 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                 }
             }
             write!(out, "{breakdown}")?;
+            Ok(out)
+        }
+        Command::Sweep {
+            journal,
+            policies,
+            seeds,
+            scale,
+            nodes,
+            timeout_per_cell,
+            max_retries,
+            resume,
+            threads,
+            faults,
+        } => {
+            let specs: Vec<PolicySpec> = if policies.is_empty() {
+                PolicySpec::paper_policies()
+            } else {
+                policies
+                    .iter()
+                    .map(|id| lookup(id))
+                    .collect::<Result<_, _>>()?
+            };
+            // The grid always carries the clean point; fault flags add a
+            // second fault axis entry so each (seed, policy) pair is
+            // measured both ways.
+            let mut fault_points = vec![FaultPoint::clean()];
+            if faults.enabled() {
+                let mut parts = Vec::new();
+                if let Some(m) = faults.node_mtbf {
+                    parts.push(format!("mtbf{m}"));
+                }
+                if faults.job_crash_rate > 0.0 {
+                    parts.push(format!("crash{}", faults.job_crash_rate));
+                }
+                fault_points.push(FaultPoint {
+                    label: parts.join("+"),
+                    config: faults,
+                });
+            }
+            let cfg = SweepConfig {
+                plan: SweepPlan {
+                    seeds,
+                    policies: specs,
+                    faults: fault_points,
+                    scale,
+                    nodes,
+                },
+                journal: std::path::PathBuf::from(&journal),
+                timeout_per_cell: timeout_per_cell.map(std::time::Duration::from_secs_f64),
+                max_retries,
+                resume,
+                threads,
+            };
+            let summary = run_sweep(&cfg)?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{:<5} {:<22} {:>10} {:<12} {:>9} {:>8} {:>8}",
+                "cell", "policy", "seed", "fault", "status", "attempts", "unfair%"
+            )?;
+            for r in &summary.rows {
+                let unfair = match &r.metrics {
+                    Some(m) => format!("{:>7.2}%", 100.0 * m.percent_unfair),
+                    None => "       -".to_string(),
+                };
+                writeln!(
+                    out,
+                    "{:<5} {:<22} {:>10} {:<12} {:>9} {:>8} {unfair}",
+                    r.cell,
+                    r.policy,
+                    r.workload_seed,
+                    r.fault,
+                    r.status.as_str(),
+                    r.attempts,
+                )?;
+            }
+            writeln!(out, "{summary}")?;
+            writeln!(out, "journal: {journal}")?;
             Ok(out)
         }
     }
@@ -982,6 +1180,129 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--job"));
+    }
+
+    #[test]
+    fn parses_sweep_with_defaults_and_overrides() {
+        match parse(&args("sweep --journal s.jsonl")).unwrap() {
+            Command::Sweep {
+                journal,
+                policies,
+                seeds,
+                scale,
+                nodes,
+                timeout_per_cell,
+                max_retries,
+                resume,
+                threads,
+                faults,
+            } => {
+                assert_eq!(journal, "s.jsonl");
+                assert!(policies.is_empty(), "empty = the paper's nine");
+                assert_eq!(seeds, vec![42]);
+                assert!((scale - 0.02).abs() < 1e-12);
+                assert_eq!(nodes, DEFAULT_NODES);
+                assert_eq!(timeout_per_cell, None);
+                assert_eq!(max_retries, 1);
+                assert!(!resume);
+                assert_eq!(threads, None);
+                assert!(!faults.enabled());
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args(
+            "sweep --journal s.jsonl --grid cons.nomax,easy.nomax --seeds 1,2,3 \
+             --scale 0.01 --nodes 256 --timeout-per-cell 2.5 --max-retries 3 \
+             --threads 2 --resume --crash-rate 0.1 --fault-seed 7",
+        ))
+        .unwrap()
+        {
+            Command::Sweep {
+                policies,
+                seeds,
+                timeout_per_cell,
+                max_retries,
+                resume,
+                threads,
+                faults,
+                ..
+            } => {
+                assert_eq!(policies, vec!["cons.nomax", "easy.nomax"]);
+                assert_eq!(seeds, vec![1, 2, 3]);
+                assert_eq!(timeout_per_cell, Some(2.5));
+                assert_eq!(max_retries, 3);
+                assert!(resume);
+                assert_eq!(threads, Some(2));
+                assert!((faults.job_crash_rate - 0.1).abs() < 1e-12);
+                assert_eq!(faults.seed, 7);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_flags() {
+        assert!(parse(&args("sweep")).unwrap_err().0.contains("--journal"));
+        assert!(parse(&args("sweep --journal s.jsonl --seeds 1,abc"))
+            .unwrap_err()
+            .0
+            .contains("--seeds"));
+        assert!(parse(&args("sweep --journal s.jsonl --seeds ,"))
+            .unwrap_err()
+            .0
+            .contains("at least one seed"));
+        assert!(parse(&args("sweep --journal s.jsonl --timeout-per-cell 0"))
+            .unwrap_err()
+            .0
+            .contains("--timeout-per-cell"));
+        assert!(parse(&args("sweep --journal s.jsonl --scale 2.0"))
+            .unwrap_err()
+            .0
+            .contains("--scale"));
+        // `--resume` is a boolean flag: the token after it is still
+        // validated, never swallowed as a value.
+        assert!(parse(&args("sweep --journal s.jsonl --resume --bogus 1"))
+            .unwrap_err()
+            .0
+            .contains("--bogus"));
+        // Other subcommands reject sweep-only flags.
+        assert!(parse(&args("simulate --trace t.swf --policy x --resume"))
+            .unwrap_err()
+            .0
+            .contains("--resume"));
+    }
+
+    #[test]
+    fn end_to_end_sweep_writes_a_journal_and_resumes_as_noop() {
+        let dir = std::env::temp_dir().join("fairsched-cli-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("grid.jsonl");
+        let cmd = |resume: bool| Command::Sweep {
+            journal: journal.to_str().unwrap().into(),
+            policies: vec!["cons.nomax".into(), "easy.nomax".into()],
+            seeds: vec![5],
+            scale: 0.01,
+            nodes: 1024,
+            timeout_per_cell: None,
+            max_retries: 0,
+            resume,
+            threads: Some(1),
+            faults: FaultConfig::default(),
+        };
+        let out = execute(cmd(false)).unwrap();
+        assert!(out.contains("2/2 cells ok"));
+        assert!(out.contains("grid complete"));
+        assert!(out.contains("cons.nomax"));
+        let first = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(first.lines().count(), 3, "header + one row per cell");
+
+        // Resuming a complete journal re-simulates nothing and reports the
+        // same grid.
+        let again = execute(cmd(true)).unwrap();
+        assert!(again.contains("2/2 cells ok"));
+        assert!(again.contains("2 resumed"));
+        assert_eq!(std::fs::read_to_string(&journal).unwrap(), first);
+        std::fs::remove_file(&journal).unwrap();
     }
 
     #[test]

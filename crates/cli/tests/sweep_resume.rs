@@ -1,0 +1,157 @@
+//! Kill-and-resume integration test for `fairsched sweep`.
+//!
+//! The acceptance property of the crash-safe sweep harness: a sweep
+//! SIGKILLed mid-flight and resumed with `--resume` must end with a journal
+//! whose rows are byte-identical to an uninterrupted run's, and no cell
+//! completed before the kill may be simulated again.
+
+use std::path::Path;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_fairsched");
+const GRID: &str = "cons.nomax,easy.nomax,cplant24.nomax.all,fcfs.nobackfill";
+
+fn sweep_cmd(journal: &Path, resume: bool) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "sweep",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--grid",
+        GRID,
+        "--seeds",
+        "5,6",
+        "--scale",
+        "0.05",
+        "--threads",
+        "1",
+        "--quiet",
+    ]);
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd.stdout(std::process::Stdio::piped());
+    cmd.stderr(std::process::Stdio::piped());
+    cmd
+}
+
+/// Complete journal lines (the file is append-only JSONL; a torn final
+/// line has no trailing newline and does not count).
+fn complete_lines(path: &Path) -> Vec<String> {
+    match std::fs::read_to_string(path) {
+        Err(_) => Vec::new(),
+        Ok(text) => {
+            let mut lines: Vec<String> = text.split('\n').map(str::to_string).collect();
+            lines.pop(); // after a trailing newline the final split is ""
+            lines
+        }
+    }
+}
+
+/// The `"cell":N` indices of complete cell rows in the journal.
+fn cell_indices(lines: &[String]) -> Vec<u64> {
+    lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"cell\""))
+        .filter_map(|l| {
+            let rest = l.split("\"cell\":").nth(1)?;
+            rest.split(',').next()?.parse().ok()
+        })
+        .collect()
+}
+
+fn wait_success(child: Child, what: &str) -> String {
+    let out = child.wait_with_output().expect("wait on fairsched");
+    assert!(
+        out.status.success(),
+        "{what} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn a_sigkilled_sweep_resumes_to_byte_identical_results() {
+    let dir = std::env::temp_dir().join(format!("fairsched-sweep-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let uninterrupted = dir.join("uninterrupted.jsonl");
+    let interrupted = dir.join("interrupted.jsonl");
+
+    // Reference: the same grid run start to finish.
+    let reference = wait_success(
+        sweep_cmd(&uninterrupted, false).spawn().unwrap(),
+        "uninterrupted sweep",
+    );
+    assert!(reference.contains("8/8 cells ok"), "got:\n{reference}");
+    let reference_rows = {
+        let lines = complete_lines(&uninterrupted);
+        lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"cell\""))
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(reference_rows.len(), 8);
+
+    // Kill the same sweep as soon as its journal holds at least one
+    // complete cell row but before the grid finishes.
+    let mut child = sweep_cmd(&interrupted, false).spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "no journal row within 120s");
+        if !cell_indices(&complete_lines(&interrupted)).is_empty() {
+            break;
+        }
+        if child.try_wait().unwrap().is_some() {
+            panic!("sweep exited before the test could kill it");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().unwrap(); // SIGKILL: no destructors, no flush
+    let _ = child.wait();
+
+    let before = cell_indices(&complete_lines(&interrupted));
+    assert!(!before.is_empty(), "the kill landed before any row");
+    assert!(
+        before.len() < 8,
+        "the kill landed after the whole grid finished; nothing left to resume"
+    );
+
+    // Resume: completed cells are replayed, the rest are simulated.
+    let resumed = wait_success(
+        sweep_cmd(&interrupted, true).spawn().unwrap(),
+        "resumed sweep",
+    );
+    assert!(resumed.contains("8/8 cells ok"), "got:\n{resumed}");
+    assert!(
+        resumed.contains(&format!("{} resumed", before.len())),
+        "summary must report the replayed cells; got:\n{resumed}"
+    );
+
+    // No completed cell was re-simulated: each pre-kill index appears in
+    // the final journal exactly once.
+    let final_lines = complete_lines(&interrupted);
+    let final_cells = cell_indices(&final_lines);
+    for idx in &before {
+        assert_eq!(
+            final_cells.iter().filter(|c| *c == idx).count(),
+            1,
+            "cell {idx} was simulated again after resume"
+        );
+    }
+
+    // The journal rows — the durable result of the sweep — are
+    // byte-identical to the uninterrupted run's, independent of order.
+    let mut resumed_rows: Vec<String> = final_lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"cell\""))
+        .cloned()
+        .collect();
+    let mut expected = reference_rows.clone();
+    resumed_rows.sort();
+    expected.sort();
+    assert_eq!(resumed_rows, expected);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

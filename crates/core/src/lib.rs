@@ -11,7 +11,10 @@
 //! * [`sweep`] — fan a policy set out across threads (each policy's
 //!   simulation is independent; `std::thread::scope` keeps it data-race
 //!   free by construction), with per-policy panic fencing so one broken
-//!   configuration cannot sink a whole comparison;
+//!   configuration cannot sink a whole comparison — and, for full
+//!   design-space grids, a crash-safe sweep harness
+//!   ([`sweep::run::run_sweep`]) with a durable checksummed journal,
+//!   watchdog cancellation, bounded retry, and `--resume`;
 //! * [`report`] — fixed-width text rendering of the figure/table rows the
 //!   experiment binaries print;
 //! * [`gantt`] — ASCII schedule visualization (per-job Gantt bars and a
@@ -47,4 +50,7 @@ pub use runner::{
     run_policy, run_policy_faulted, try_run_policy, try_run_policy_traced, OutcomeMetrics,
     PolicyOutcome, PolicyRun, RunOptions,
 };
+pub use sweep::grid::{cell_fault_seed, FaultPoint, SweepPlan};
+pub use sweep::journal::{CellRow, CellStatus, JournalReplay, JournalWriter};
+pub use sweep::run::{run_sweep, GridState, SweepConfig, SweepSummary};
 pub use sweep::{try_run_policies, try_run_policies_with, SweepError};

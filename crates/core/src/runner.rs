@@ -18,7 +18,7 @@ use fairsched_metrics::user;
 use fairsched_obs::counters::{CounterSnapshot, ProfileReport, ProfileScope};
 use fairsched_obs::TraceSink;
 use fairsched_sim::{
-    try_simulate_traced, FaultConfig, ObserverSet, OriginalOutcome, Schedule, SimError,
+    try_simulate_with, CancelToken, FaultConfig, ObserverSet, OriginalOutcome, Schedule, SimError,
 };
 use fairsched_workload::categories::WIDTH_BUCKETS;
 use fairsched_workload::job::Job;
@@ -102,6 +102,10 @@ pub struct RunOptions {
     /// absorbs the other workers' activity — profile one run at a time
     /// when per-policy numbers matter.
     pub profile: bool,
+    /// Cooperative cancellation: when the token fires (e.g. a sweep
+    /// watchdog), the simulation stops at its next event batch with
+    /// [`SimError::TimedOut`]. `None` (the default) runs unguarded.
+    pub cancel: Option<CancelToken>,
 }
 
 impl RunOptions {
@@ -122,6 +126,7 @@ impl RunOptions {
             equality: true,
             resilience: true,
             profile: true,
+            cancel: None,
         }
     }
 }
@@ -183,7 +188,7 @@ pub fn try_run_policy_traced(
         if opts.equality {
             observers.push(&mut equality);
         }
-        try_simulate_traced(trace, &cfg, &mut observers, sink)?
+        try_simulate_with(trace, &cfg, &mut observers, sink, opts.cancel.clone())?
     };
     let fairness = hybrid.into_report();
     let profile = baseline.map(|before| ProfileReport {

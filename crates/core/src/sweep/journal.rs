@@ -1,0 +1,597 @@
+//! The durable results journal: append-only, checksummed, schema-versioned
+//! JSONL.
+//!
+//! Layout: one header line carrying the plan fingerprint and cell count,
+//! then one line per *terminal* cell outcome (ok / failed / timed_out /
+//! poisoned — in-process retries are not journaled). Every line ends with a
+//! `"crc"` field holding the FNV-1a checksum of everything before it, so a
+//! torn final line (the process was killed mid-write) or a corrupted line
+//! is detected and skipped on replay rather than trusted or panicked over.
+//! Unknown schema versions are skipped the same way: a newer writer's rows
+//! degrade to "this cell re-runs", never to a crash.
+//!
+//! The workspace's serde is a deliberate no-op stub, so both the writer and
+//! the reader are hand-rolled, following the `TraceRecord::to_jsonl`
+//! idiom. Floats are written with Rust's shortest-round-trip `Display` and
+//! read back with `str::parse::<f64>`, which makes a replayed row's metrics
+//! bit-identical to the run that produced them — the property the
+//! kill-and-resume test pins.
+
+use crate::runner::OutcomeMetrics;
+use crate::sweep::grid::fnv1a;
+use fairsched_workload::categories::WIDTH_BUCKETS;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// The journal schema version this build writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// How a cell's run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Simulation completed; metrics are present.
+    Ok,
+    /// The simulator rejected the cell with a typed error (deterministic —
+    /// never retried).
+    Failed,
+    /// The watchdog cancelled the cell and every retry.
+    TimedOut,
+    /// The cell panicked; quarantined with its payload, never retried.
+    Poisoned,
+}
+
+impl CellStatus {
+    /// The status keyword as journaled (`ok`, `failed`, `timed_out`,
+    /// `poisoned`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+            CellStatus::TimedOut => "timed_out",
+            CellStatus::Poisoned => "poisoned",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "ok" => CellStatus::Ok,
+            "failed" => CellStatus::Failed,
+            "timed_out" => CellStatus::TimedOut,
+            "poisoned" => CellStatus::Poisoned,
+            _ => return None,
+        })
+    }
+}
+
+/// One journaled cell outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRow {
+    /// Dense cell index within the plan.
+    pub cell: u64,
+    /// Policy identifier (redundant with the index; kept for grep-ability).
+    pub policy: String,
+    /// Workload generator seed of the cell's trace.
+    pub workload_seed: u64,
+    /// Fault point label.
+    pub fault: String,
+    /// The derived per-cell fault sub-seed actually injected.
+    pub fault_seed: u64,
+    /// Terminal status.
+    pub status: CellStatus,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Error / panic message for non-ok rows; empty for ok.
+    pub detail: String,
+    /// The scalar summary, present exactly when `status` is `Ok`.
+    pub metrics: Option<OutcomeMetrics>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+fn fmt_array(vals: &[f64]) -> String {
+    let inner: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// Finds `"key":` at top level of the (flat) object and returns the raw
+/// value text that follows, up to the next `,"` or closing `}`.
+fn raw_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut esc = false;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '\\' if !esc => esc = true,
+                '"' if !esc => return Some(&stripped[..i]),
+                _ => esc = false,
+            }
+        }
+        None
+    } else if let Some(stripped) = rest.strip_prefix('[') {
+        stripped.find(']').map(|end| &stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    raw_value(line, key)?.parse().ok()
+}
+
+fn json_u32(line: &str, key: &str) -> Option<u32> {
+    raw_value(line, key)?.parse().ok()
+}
+
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    raw_value(line, key)?.parse().ok()
+}
+
+fn json_str(line: &str, key: &str) -> Option<String> {
+    raw_value(line, key).map(unescape)
+}
+
+fn json_f64_array<const N: usize>(line: &str, key: &str) -> Option<[f64; N]> {
+    let raw = raw_value(line, key)?;
+    let mut out = [0.0; N];
+    let mut count = 0;
+    for (i, part) in raw.split(',').enumerate() {
+        if i >= N {
+            return None;
+        }
+        out[i] = part.trim().parse().ok()?;
+        count = i + 1;
+    }
+    (count == N).then_some(out)
+}
+
+/// Appends the checksum and newline: `line = body + ',"crc":N}' + '\n'`
+/// where `N = fnv1a(body)`.
+fn seal(body: &str) -> String {
+    format!("{body},\"crc\":{}}}\n", fnv1a(body.as_bytes()))
+}
+
+/// Splits a sealed line back into `(body, crc)`; `None` when the framing
+/// is absent (torn write).
+fn unseal(line: &str) -> Option<(&str, u64)> {
+    let line = line.strip_suffix('}')?;
+    let at = line.rfind(",\"crc\":")?;
+    let crc: u64 = line[at + 7..].parse().ok()?;
+    Some((&line[..at], crc))
+}
+
+fn header_body(fingerprint: u64, cells: u64) -> String {
+    format!(
+        "{{\"v\":{SCHEMA_VERSION},\"kind\":\"header\",\"fingerprint\":{fingerprint},\"cells\":{cells}"
+    )
+}
+
+impl CellRow {
+    fn body(&self) -> String {
+        let mut b = format!(
+            "{{\"v\":{SCHEMA_VERSION},\"kind\":\"cell\",\"cell\":{},\"policy\":\"{}\",\
+             \"workload_seed\":{},\"fault\":\"{}\",\"fault_seed\":{},\"status\":\"{}\",\
+             \"attempts\":{},\"detail\":\"{}\"",
+            self.cell,
+            escape(&self.policy),
+            self.workload_seed,
+            escape(&self.fault),
+            self.fault_seed,
+            self.status.as_str(),
+            self.attempts,
+            escape(&self.detail),
+        );
+        if let Some(m) = &self.metrics {
+            b.push_str(&format!(
+                ",\"percent_unfair\":{},\"average_miss_time\":{},\"average_turnaround\":{},\
+                 \"loss_of_capacity\":{},\"utilization\":{},\"miss_by_width\":{},\
+                 \"turnaround_by_width\":{}",
+                m.percent_unfair,
+                m.average_miss_time,
+                m.average_turnaround,
+                m.loss_of_capacity,
+                m.utilization,
+                fmt_array(&m.miss_by_width),
+                fmt_array(&m.turnaround_by_width),
+            ));
+        }
+        b
+    }
+
+    /// The sealed JSONL line (newline included).
+    pub fn to_jsonl(&self) -> String {
+        seal(&self.body())
+    }
+
+    /// Parses a *verified* body (checksum already checked by the caller).
+    fn from_body(body: &str) -> Option<CellRow> {
+        let status = CellStatus::parse(&json_str(body, "status")?)?;
+        let metrics = if status == CellStatus::Ok {
+            Some(OutcomeMetrics {
+                percent_unfair: json_f64(body, "percent_unfair")?,
+                average_miss_time: json_f64(body, "average_miss_time")?,
+                average_turnaround: json_f64(body, "average_turnaround")?,
+                loss_of_capacity: json_f64(body, "loss_of_capacity")?,
+                utilization: json_f64(body, "utilization")?,
+                miss_by_width: json_f64_array::<WIDTH_BUCKETS>(body, "miss_by_width")?,
+                turnaround_by_width: json_f64_array::<WIDTH_BUCKETS>(body, "turnaround_by_width")?,
+            })
+        } else {
+            None
+        };
+        Some(CellRow {
+            cell: json_u64(body, "cell")?,
+            policy: json_str(body, "policy")?,
+            workload_seed: json_u64(body, "workload_seed")?,
+            fault: json_str(body, "fault")?,
+            fault_seed: json_u64(body, "fault_seed")?,
+            status,
+            attempts: json_u32(body, "attempts")?,
+            detail: json_str(body, "detail")?,
+            metrics,
+        })
+    }
+}
+
+/// Streams sealed rows into the journal. Every row is flushed to the
+/// kernel as it is written (a process kill loses nothing), and the file is
+/// fsynced every `batch` rows plus on [`JournalWriter::sync`]/drop (a
+/// power cut loses at most one batch).
+pub struct JournalWriter {
+    out: BufWriter<File>,
+    pending: usize,
+    batch: usize,
+}
+
+/// Rows per fsync batch: small enough that a crash re-runs at most a
+/// handful of cells, large enough not to serialize the sweep on disk
+/// flushes.
+const SYNC_BATCH: usize = 8;
+
+impl JournalWriter {
+    /// Creates (truncates) `path` and writes the header line.
+    pub fn create(path: &Path, fingerprint: u64, cells: u64) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        let mut w = JournalWriter {
+            out: BufWriter::new(file),
+            pending: 0,
+            batch: SYNC_BATCH,
+        };
+        w.write_line(&seal(&header_body(fingerprint, cells)))?;
+        w.sync()?;
+        Ok(w)
+    }
+
+    /// Opens `path` for appending (resume: the header is already there).
+    pub fn append(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter {
+            out: BufWriter::new(file),
+            pending: 0,
+            batch: SYNC_BATCH,
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        // Hand the row to the kernel right away: a SIGKILLed process then
+        // loses nothing — only the fsync (power-cut durability) is
+        // batched, because it is the expensive half.
+        self.out.flush()?;
+        fairsched_obs::counters::record_journal_bytes(line.len() as u64);
+        self.pending += 1;
+        if self.pending >= self.batch {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one sealed row.
+    pub fn write_row(&mut self, row: &CellRow) -> std::io::Result<()> {
+        self.write_line(&row.to_jsonl())
+    }
+
+    /// Flushes buffered rows and fsyncs the file.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        self.pending = 0;
+        Ok(())
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+/// What a journal replay recovered.
+#[derive(Debug, Clone, Default)]
+pub struct JournalReplay {
+    /// The header's plan fingerprint, when a valid header was found.
+    pub fingerprint: Option<u64>,
+    /// The header's declared cell count.
+    pub cells: Option<u64>,
+    /// Valid rows in file order. Duplicates (a cell journaled twice across
+    /// a kill boundary) are kept; [`JournalReplay::latest_rows`] dedupes.
+    pub rows: Vec<CellRow>,
+    /// Malformed lines skipped (torn writes, checksum mismatches, unknown
+    /// schema versions).
+    pub skipped: usize,
+}
+
+impl JournalReplay {
+    /// The set of cell indices with a journaled terminal outcome — what
+    /// `--resume` skips.
+    pub fn done_cells(&self) -> std::collections::HashSet<u64> {
+        self.rows.iter().map(|r| r.cell).collect()
+    }
+
+    /// One row per cell (first write wins — a cell is only ever journaled
+    /// again if a torn write hid the first row, in which case the rerun's
+    /// row is the only *valid* one), sorted by cell index.
+    pub fn latest_rows(&self) -> Vec<CellRow> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out: Vec<CellRow> = self
+            .rows
+            .iter()
+            .filter(|r| seen.insert(r.cell))
+            .cloned()
+            .collect();
+        out.sort_by_key(|r| r.cell);
+        out
+    }
+}
+
+/// Replays a journal, skipping (with a warning, never a panic) every line
+/// that fails framing, checksum, or schema-version checks. A missing file
+/// replays as empty.
+pub fn replay(path: &Path) -> std::io::Result<JournalReplay> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalReplay::default()),
+        Err(e) => return Err(e),
+    }
+    let mut replay = JournalReplay::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((body, crc)) = unseal(line) else {
+            warn_skip(path, lineno, "torn or unframed line");
+            replay.skipped += 1;
+            continue;
+        };
+        if fnv1a(body.as_bytes()) != crc {
+            warn_skip(path, lineno, "checksum mismatch");
+            replay.skipped += 1;
+            continue;
+        }
+        if json_u64(body, "v") != Some(SCHEMA_VERSION) {
+            warn_skip(path, lineno, "unknown schema version");
+            replay.skipped += 1;
+            continue;
+        }
+        match json_str(body, "kind").as_deref() {
+            Some("header") => {
+                replay.fingerprint = json_u64(body, "fingerprint");
+                replay.cells = json_u64(body, "cells");
+            }
+            Some("cell") => match CellRow::from_body(body) {
+                Some(row) => replay.rows.push(row),
+                None => {
+                    warn_skip(path, lineno, "malformed cell row");
+                    replay.skipped += 1;
+                }
+            },
+            _ => {
+                warn_skip(path, lineno, "unknown record kind");
+                replay.skipped += 1;
+            }
+        }
+    }
+    Ok(replay)
+}
+
+fn warn_skip(path: &Path, lineno: usize, why: &str) {
+    fairsched_obs::log::warn(format!(
+        "journal {}: skipping line {} ({why}); the affected cell will re-run",
+        path.display(),
+        lineno + 1,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cell: u64, status: CellStatus) -> CellRow {
+        CellRow {
+            cell,
+            policy: "cplant24.nomax.all".into(),
+            workload_seed: 42,
+            fault: "clean".into(),
+            fault_seed: 7,
+            status,
+            attempts: 1,
+            detail: if status == CellStatus::Ok {
+                String::new()
+            } else {
+                "it \"broke\"\nbadly".into()
+            },
+            metrics: (status == CellStatus::Ok).then_some(OutcomeMetrics {
+                percent_unfair: 0.25,
+                average_miss_time: 123.456789,
+                average_turnaround: 1.0e6 + 0.125,
+                loss_of_capacity: 0.015625,
+                utilization: 0.87,
+                miss_by_width: [0.0, 1.5, 2.25, 0.1, 7.0, 0.5, 0.0, 3.75, 9.0, 0.25, 1.0],
+                turnaround_by_width: [
+                    10.0, 20.0, 30.5, 40.0, 50.0, 60.0, 70.5, 80.0, 90.0, 100.0, 110.0,
+                ],
+            }),
+        }
+    }
+
+    fn write_journal(path: &Path, rows: &[CellRow]) {
+        let mut w = JournalWriter::create(path, 99, rows.len() as u64).unwrap();
+        for r in rows {
+            w.write_row(r).unwrap();
+        }
+        w.sync().unwrap();
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fairsched-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn rows_round_trip_bit_exactly() {
+        let path = tmp("roundtrip.jsonl");
+        let rows = vec![row(0, CellStatus::Ok), row(1, CellStatus::Poisoned)];
+        write_journal(&path, &rows);
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.fingerprint, Some(99));
+        assert_eq!(replay.cells, Some(2));
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.rows, rows);
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_with_a_warning() {
+        let path = tmp("truncated.jsonl");
+        write_journal(&path, &[row(0, CellStatus::Ok), row(1, CellStatus::Ok)]);
+        // Tear the last line mid-write, as a SIGKILL would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.len() - 25];
+        std::fs::write(&path, torn).unwrap();
+        let mut got = None;
+        let warnings = fairsched_obs::log::capture(|| got = Some(super::replay(&path).unwrap()));
+        let replay = got.unwrap();
+        assert_eq!(replay.rows.len(), 1);
+        assert_eq!(replay.skipped, 1);
+        assert_eq!(replay.done_cells().len(), 1);
+        assert!(warnings
+            .iter()
+            .any(|(_, m)| m.contains("torn") && m.contains("re-run")));
+    }
+
+    #[test]
+    fn corrupted_checksum_is_skipped_with_a_warning() {
+        let path = tmp("corrupt.jsonl");
+        write_journal(&path, &[row(0, CellStatus::Ok), row(1, CellStatus::Ok)]);
+        // Flip a metric digit in row 0's line; its crc no longer matches.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("0.25", "0.35", 1);
+        assert_ne!(text, corrupted, "corruption must hit");
+        std::fs::write(&path, corrupted).unwrap();
+        let mut got = None;
+        let warnings = fairsched_obs::log::capture(|| got = Some(super::replay(&path).unwrap()));
+        let replay = got.unwrap();
+        assert_eq!(replay.rows.len(), 1);
+        assert_eq!(replay.rows[0].cell, 1);
+        assert_eq!(replay.skipped, 1);
+        assert!(warnings.iter().any(|(_, m)| m.contains("checksum")));
+    }
+
+    #[test]
+    fn unknown_schema_version_is_skipped_with_a_warning() {
+        let path = tmp("version.jsonl");
+        write_journal(&path, &[row(0, CellStatus::Ok)]);
+        // Append a validly-sealed row from a "future" schema.
+        let future = seal("{\"v\":999,\"kind\":\"cell\",\"cell\":5");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&future);
+        std::fs::write(&path, text).unwrap();
+        let mut got = None;
+        let warnings = fairsched_obs::log::capture(|| got = Some(super::replay(&path).unwrap()));
+        let replay = got.unwrap();
+        assert_eq!(replay.rows.len(), 1);
+        assert_eq!(replay.skipped, 1);
+        assert!(warnings.iter().any(|(_, m)| m.contains("schema version")));
+        assert!(!replay.done_cells().contains(&5));
+    }
+
+    #[test]
+    fn missing_file_replays_as_empty() {
+        let replay = super::replay(&tmp("never-written.jsonl")).unwrap();
+        assert!(replay.rows.is_empty());
+        assert_eq!(replay.fingerprint, None);
+    }
+
+    #[test]
+    fn latest_rows_dedupes_and_sorts() {
+        let path = tmp("dedupe.jsonl");
+        let mut first = row(3, CellStatus::Ok);
+        first.attempts = 1;
+        let mut dup = row(3, CellStatus::Ok);
+        dup.attempts = 2;
+        write_journal(&path, &[first.clone(), row(1, CellStatus::Failed), dup]);
+        let replay = super::replay(&path).unwrap();
+        let latest = replay.latest_rows();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[0].cell, 1);
+        assert_eq!(latest[1].cell, 3);
+        assert_eq!(latest[1].attempts, 1, "first write wins");
+    }
+
+    #[test]
+    fn detail_strings_survive_escaping() {
+        let r = row(0, CellStatus::Poisoned);
+        let line = r.to_jsonl();
+        let (body, crc) = unseal(line.trim_end()).unwrap();
+        assert_eq!(fnv1a(body.as_bytes()), crc);
+        let parsed = CellRow::from_body(body).unwrap();
+        assert_eq!(parsed.detail, "it \"broke\"\nbadly");
+        assert_eq!(parsed, r);
+    }
+}

@@ -11,6 +11,18 @@
 //! other eight columns of a comparison down with it. [`try_run_policies`]
 //! fences each worker with `catch_unwind` and returns per-policy
 //! `Result`s.
+//!
+//! The submodules scale this from "one trace, N policies" to the full
+//! design-space grid: [`grid`] enumerates seeds × policies × fault
+//! configurations with a stable cell indexing, [`journal`] streams each
+//! finished cell into a checksummed append-only JSONL journal, and [`run`]
+//! drives the grid under a per-cell robustness envelope (watchdog
+//! cancellation, bounded retry, panic quarantine) with `--resume` replaying
+//! the journal instead of re-simulating completed cells.
+
+pub mod grid;
+pub mod journal;
+pub mod run;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -36,7 +48,7 @@ impl std::fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

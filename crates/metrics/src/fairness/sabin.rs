@@ -9,11 +9,13 @@
 //!
 //! Cost: one full simulation per scored job (`O(n)` simulations of `O(n)`
 //! events) when computed naively. [`sabin_fsts_parallel`] collapses that two
-//! ways at once: prefix queries are striped over a scoped thread pool, and —
-//! for configurations [`fairsched_sim::warm_start_supported`] certifies —
-//! each stripe reuses a warm-started [`PrefixSimulator`] so prefix `k+1`
-//! resumes from prefix `k`'s pre-arrival state instead of replaying from
-//! scratch. Both paths produce FSTs identical to the serial [`sabin_fsts`].
+//! ways at once: for configurations
+//! [`fairsched_sim::warm_start_supported`] certifies, ONE master
+//! [`PrefixSimulator`] advances serially and is forked at each chunk
+//! boundary, with forks shipped to a scoped worker pool (no worker replays
+//! the prefix from scratch); ineligible configurations stripe from-scratch
+//! prefix queries over the same pool. Both paths produce FSTs identical to
+//! the serial [`sabin_fsts`].
 
 use crate::fairness::fst::{FstEntry, FstReport};
 use fairsched_sim::prefix::PrefixSimulator;
@@ -21,6 +23,7 @@ use fairsched_sim::{try_simulate, warm_start_supported, NullObserver, Schedule, 
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
 use std::collections::{HashMap, HashSet};
+use std::sync::{mpsc, Mutex, PoisonError};
 
 /// Computes the scheduler-dependent FST for every job: its start when the
 /// trace is truncated right after its own arrival.
@@ -118,6 +121,16 @@ fn sabin_fsts_parallel_for(
         })
         .clamp(1, n);
 
+    // Warm-start-eligible multi-worker runs take the fork pipeline: the
+    // naive striping below would have every worker rebuild its own prefix
+    // from scratch — O(workers · events) of pure replay, which is why
+    // BENCH_5 showed the "parallel" path losing to one thread.
+    if workers > 1 && warm_start_supported(cfg) {
+        return warm_forked_fsts(cfg, &ordered, targets, workers)
+            .into_iter()
+            .collect();
+    }
+
     // Contiguous stripes of the (submit, id)-sorted prefix order: worker w
     // owns ordered[lo..hi]. Stripes are independent pure functions of the
     // shared immutable trace, so scoped borrows suffice — same fencing
@@ -136,6 +149,71 @@ fn sabin_fsts_parallel_for(
             handles.into_iter().map(|h| h.join()).collect()
         });
     stripe_results
+        .into_iter()
+        .flat_map(|r| match r {
+            Ok(pairs) => pairs,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+/// The warm-start fan-out: ONE master [`PrefixSimulator`] advances serially
+/// on this thread; right after each target is admitted the master is forked
+/// and the fork shipped to a worker, which runs only the scratch query
+/// ([`PrefixSimulator::resolve_start`]) — the dominant cost, since every
+/// target pays one partial re-simulation but the advance happens once.
+/// Total simulator work equals the serial warm path exactly (the old
+/// striping paid a from-scratch prefix replay per stripe on top); the
+/// queries fan out across workers. FSTs are identical to the serial path: a
+/// fork taken right after admission is byte-for-byte the scratch state
+/// [`PrefixSimulator::start_of`] clones.
+fn warm_forked_fsts(
+    cfg: &SimConfig,
+    ordered: &[&Job],
+    targets: &HashSet<JobId>,
+    workers: usize,
+) -> Vec<(JobId, Time)> {
+    // Bounded queue: forks are whole simulator states, so backpressure
+    // keeps at most ~3 per worker alive (queued + in flight) when the
+    // master outpaces the query workers.
+    let (tx, rx) = mpsc::sync_channel::<(PrefixSimulator<'_>, JobId, Time)>(2 * workers);
+    let rx = Mutex::new(rx);
+    let results: Vec<std::thread::Result<Vec<(JobId, Time)>>> = std::thread::scope(|scope| {
+        let rx = &rx;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        // Hold the lock only for the recv: queries are
+                        // claimed first-come rather than pre-assigned, so
+                        // one slow query does not idle the other workers.
+                        let msg = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+                        let Ok((fork, id, submit)) = msg else {
+                            return out;
+                        };
+                        let start = fork
+                            .resolve_start(id, submit)
+                            .unwrap_or_else(|e| panic!("prefix simulation failed: {e}"));
+                        out.push((id, start));
+                    }
+                })
+            })
+            .collect();
+        let mut master = PrefixSimulator::new(cfg).expect("eligibility checked by caller");
+        for job in ordered {
+            master.admit(job).expect("jobs admitted in sorted order");
+            if targets.contains(&job.id) {
+                fairsched_obs::counters::record_warm_start(true);
+                // A send only fails if every worker is gone (panicked); the
+                // join below re-raises whatever killed them.
+                let _ = tx.send((master.fork(), job.id, job.submit));
+            }
+        }
+        drop(tx);
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    results
         .into_iter()
         .flat_map(|r| match r {
             Ok(pairs) => pairs,

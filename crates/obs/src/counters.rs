@@ -131,6 +131,15 @@ static WARM_START_HITS: AtomicU64 = AtomicU64::new(0);
 static WARM_START_MISSES: AtomicU64 = AtomicU64::new(0);
 static PASS_NS_SUM: AtomicU64 = AtomicU64::new(0);
 static PASS_NS_BUCKETS: [AtomicU64; BUCKETS] = [const { AtomicU64::new(0) }; BUCKETS];
+// Sweep-harness counters. Unlike the profiling counters above these are
+// *operational* — they move unconditionally, not only inside a
+// `ProfileScope`: a crash-safe sweep wants its progress visible whether or
+// not anyone asked for a profile.
+static SWEEP_CELLS_OK: AtomicU64 = AtomicU64::new(0);
+static SWEEP_CELLS_RETRIED: AtomicU64 = AtomicU64::new(0);
+static SWEEP_CELLS_TIMED_OUT: AtomicU64 = AtomicU64::new(0);
+static SWEEP_CELLS_POISONED: AtomicU64 = AtomicU64::new(0);
+static SWEEP_JOURNAL_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// True while at least one [`ProfileScope`] is alive. Instrumented call
 /// sites check this first so profiling-off costs a single relaxed load.
@@ -191,6 +200,38 @@ pub fn record_warm_start(hit: bool) {
     }
 }
 
+/// Counts one sweep cell reaching a terminal state. Exactly one of the
+/// first four moves per cell; `record_sweep_retry` additionally counts
+/// every extra attempt a cell needed before settling.
+#[inline]
+pub fn record_sweep_cell_ok() {
+    SWEEP_CELLS_OK.fetch_add(1, Relaxed);
+}
+
+/// Counts one retried sweep-cell attempt (attempt 2 and later).
+#[inline]
+pub fn record_sweep_retry() {
+    SWEEP_CELLS_RETRIED.fetch_add(1, Relaxed);
+}
+
+/// Counts one sweep cell whose watchdog expired (terminal state).
+#[inline]
+pub fn record_sweep_timed_out() {
+    SWEEP_CELLS_TIMED_OUT.fetch_add(1, Relaxed);
+}
+
+/// Counts one sweep cell quarantined after a panic (terminal state).
+#[inline]
+pub fn record_sweep_poisoned() {
+    SWEEP_CELLS_POISONED.fetch_add(1, Relaxed);
+}
+
+/// Counts bytes appended to a sweep results journal.
+#[inline]
+pub fn record_journal_bytes(n: u64) {
+    SWEEP_JOURNAL_BYTES.fetch_add(n, Relaxed);
+}
+
 /// Times one scheduler pass. Obtain before the pass ([`pass_timer`]),
 /// call [`PassTimer::finish`] after; both are no-ops while profiling is
 /// off.
@@ -236,6 +277,16 @@ pub struct CounterSnapshot {
     pub warm_start_hits: u64,
     /// Prefix simulations that fell back to a cold replay.
     pub warm_start_misses: u64,
+    /// Sweep cells that completed with a usable result.
+    pub sweep_cells_ok: u64,
+    /// Sweep-cell attempts beyond the first (retries).
+    pub sweep_cells_retried: u64,
+    /// Sweep cells whose watchdog expired.
+    pub sweep_cells_timed_out: u64,
+    /// Sweep cells quarantined after a panic.
+    pub sweep_cells_poisoned: u64,
+    /// Bytes appended to sweep results journals.
+    pub sweep_journal_bytes: u64,
     /// Per-pass wall time in nanoseconds.
     pub pass_ns: Histogram,
 }
@@ -257,6 +308,11 @@ impl CounterSnapshot {
             backfill_successes: BACKFILL_SUCCESSES.load(Relaxed),
             warm_start_hits: WARM_START_HITS.load(Relaxed),
             warm_start_misses: WARM_START_MISSES.load(Relaxed),
+            sweep_cells_ok: SWEEP_CELLS_OK.load(Relaxed),
+            sweep_cells_retried: SWEEP_CELLS_RETRIED.load(Relaxed),
+            sweep_cells_timed_out: SWEEP_CELLS_TIMED_OUT.load(Relaxed),
+            sweep_cells_poisoned: SWEEP_CELLS_POISONED.load(Relaxed),
+            sweep_journal_bytes: SWEEP_JOURNAL_BYTES.load(Relaxed),
             pass_ns,
         }
     }
@@ -278,6 +334,19 @@ impl CounterSnapshot {
             warm_start_misses: self
                 .warm_start_misses
                 .saturating_sub(earlier.warm_start_misses),
+            sweep_cells_ok: self.sweep_cells_ok.saturating_sub(earlier.sweep_cells_ok),
+            sweep_cells_retried: self
+                .sweep_cells_retried
+                .saturating_sub(earlier.sweep_cells_retried),
+            sweep_cells_timed_out: self
+                .sweep_cells_timed_out
+                .saturating_sub(earlier.sweep_cells_timed_out),
+            sweep_cells_poisoned: self
+                .sweep_cells_poisoned
+                .saturating_sub(earlier.sweep_cells_poisoned),
+            sweep_journal_bytes: self
+                .sweep_journal_bytes
+                .saturating_sub(earlier.sweep_journal_bytes),
             pass_ns: self.pass_ns.saturating_sub(&earlier.pass_ns),
         }
     }
@@ -304,6 +373,11 @@ impl ProfileReport {
         merged.backfill_successes += other.counters.backfill_successes;
         merged.warm_start_hits += other.counters.warm_start_hits;
         merged.warm_start_misses += other.counters.warm_start_misses;
+        merged.sweep_cells_ok += other.counters.sweep_cells_ok;
+        merged.sweep_cells_retried += other.counters.sweep_cells_retried;
+        merged.sweep_cells_timed_out += other.counters.sweep_cells_timed_out;
+        merged.sweep_cells_poisoned += other.counters.sweep_cells_poisoned;
+        merged.sweep_journal_bytes += other.counters.sweep_journal_bytes;
         merged.pass_ns.merge(&other.counters.pass_ns);
         self.counters = merged;
         self.wall_ns += other.wall_ns;
@@ -350,7 +424,28 @@ impl fmt::Display for ProfileReport {
             f,
             "warm-start prefix    {} hits / {} cold replays",
             c.warm_start_hits, c.warm_start_misses
-        )
+        )?;
+        // Sweep counters only appear when a sweep actually ran inside the
+        // profiled region; plain policy runs keep the historical report.
+        let sweep_moved = c.sweep_cells_ok
+            + c.sweep_cells_retried
+            + c.sweep_cells_timed_out
+            + c.sweep_cells_poisoned
+            + c.sweep_journal_bytes
+            > 0;
+        if sweep_moved {
+            write!(
+                f,
+                "\nsweep cells          {} ok, {} retried, {} timed out, {} poisoned; \
+                 journal {} bytes",
+                c.sweep_cells_ok,
+                c.sweep_cells_retried,
+                c.sweep_cells_timed_out,
+                c.sweep_cells_poisoned,
+                c.sweep_journal_bytes,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -441,7 +536,7 @@ mod tests {
             backfill_successes: 15,
             warm_start_hits: 4,
             warm_start_misses: 1,
-            pass_ns: Histogram::new(),
+            ..CounterSnapshot::default()
         };
         c.pass_ns.record(1_500);
         let report = ProfileReport {

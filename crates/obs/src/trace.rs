@@ -8,13 +8,15 @@
 //! records and counts what it had to drop.
 //!
 //! Emission sites inside the simulator hold shared (`&`) context, so the
-//! sink travels as a [`SharedSink`] — a `RefCell` around the caller's
+//! sink travels as a [`SharedSink`] — a `Mutex` around the caller's
 //! `&mut dyn TraceSink`. The simulator is single-threaded per run, so the
-//! borrow is uncontended by construction.
+//! lock is uncontended by construction; it exists so a simulator state
+//! (with its trace handle) is `Send` and can be handed to worker threads
+//! by the warm-start fan-out and the sweep watchdog.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 use fairsched_workload::job::JobId;
 use fairsched_workload::time::Time;
@@ -214,8 +216,10 @@ impl TraceRecord {
 ///
 /// Implementations must not observe or influence the simulation in any
 /// other way: the zero-interference proptests hold for *any* sink because
-/// the simulator never reads anything back from it.
-pub trait TraceSink {
+/// the simulator never reads anything back from it. Sinks are `Send` so a
+/// traced simulator state can cross threads (parallel fan-outs, watchdog
+/// cancellation); emission itself still happens on one thread at a time.
+pub trait TraceSink: Send {
     /// Accept one record. Called at most a few times per simulation event.
     fn record(&mut self, rec: TraceRecord);
 }
@@ -305,8 +309,9 @@ impl TraceSink for DecisionTracer {
 /// `Option<&dyn TraceHandle>`: one pointer to test per emission site, and
 /// the lifetime of the underlying `&mut` sink stays erased (trait objects
 /// are covariant in their lifetime bound, so the handle threads through
-/// borrow-stacked contexts without infecting their lifetimes).
-pub trait TraceHandle {
+/// borrow-stacked contexts without infecting their lifetimes). Handles are
+/// `Sync` so a simulator state holding one is `Send`.
+pub trait TraceHandle: Sync {
     /// Accepts one record.
     fn emit(&self, rec: TraceRecord);
 }
@@ -316,22 +321,26 @@ pub trait TraceHandle {
 /// The engine context is handed to engines by shared reference, so the
 /// sink inside it needs interior mutability. The simulation is
 /// single-threaded per run and never emits while already emitting, so the
-/// `RefCell` borrow cannot conflict.
+/// `Mutex` is uncontended; it (rather than a `RefCell`) makes the handle
+/// `Sync`, which is what lets a simulator state cross threads.
 pub struct SharedSink<'a> {
-    inner: RefCell<&'a mut dyn TraceSink>,
+    inner: Mutex<&'a mut dyn TraceSink>,
 }
 
 impl<'a> SharedSink<'a> {
     /// Wraps a caller-owned sink for the duration of one simulation.
     pub fn new(sink: &'a mut dyn TraceSink) -> Self {
         SharedSink {
-            inner: RefCell::new(sink),
+            inner: Mutex::new(sink),
         }
     }
 
     /// Forwards one record to the wrapped sink.
     pub fn record(&self, rec: TraceRecord) {
-        self.inner.borrow_mut().record(rec);
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .record(rec);
     }
 }
 

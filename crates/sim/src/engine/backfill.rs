@@ -24,7 +24,7 @@ fn emit_start(trace: Option<&dyn TraceHandle>, ctx: &EngineCtx<'_>, i: usize, ca
 }
 
 /// One scheduling pass: which queued jobs start right now.
-pub trait BackfillRule {
+pub trait BackfillRule: Send {
     /// Walks the queue and returns the ids to start, in start order.
     fn select(
         &self,

@@ -97,7 +97,7 @@ pub enum Admission {
 /// Reservation bookkeeping for one engine composition. Lifecycle callbacks
 /// mirror [`Engine`](super::Engine); per-pass hooks are driven by the
 /// [`BackfillRule`](super::BackfillRule).
-pub trait ReservationLedger {
+pub trait ReservationLedger: Send {
     /// A job entered the queue (already present in `ctx.queue`).
     fn on_arrival(&mut self, _job: &QueuedJob, _ctx: &EngineCtx<'_>) {}
     /// A previously queued job started (already removed from the queue).

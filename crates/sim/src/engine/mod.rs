@@ -90,7 +90,10 @@ impl EngineCtx<'_> {
 
 /// A scheduling engine. All callbacks default to no-ops so stateless engines
 /// implement only [`Engine::select_starts`] and [`Engine::fork`].
-pub trait Engine {
+///
+/// `Send` so a whole [`Sim`](crate::Sim) (which owns its engine) can move to a
+/// sweep worker thread; engines hold no thread-affine state.
+pub trait Engine: Send {
     /// A job entered the queue (already present in `ctx.queue`).
     fn on_arrival(&mut self, _job: &QueuedJob, _ctx: &EngineCtx<'_>) {}
     /// A previously queued job started (already removed from the queue).

@@ -12,7 +12,7 @@ use crate::starvation::starving_jobs;
 use fairsched_obs::StartCause;
 
 /// The queue-walk order and guard promotion of a scheduling pass.
-pub trait QueueOrderStrategy {
+pub trait QueueOrderStrategy: Send {
     /// Queue indices in the order the backfill rule walks them.
     fn walk_order(&self, ctx: &EngineCtx<'_>) -> Vec<usize>;
 

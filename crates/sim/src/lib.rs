@@ -68,7 +68,7 @@ pub use faults::{FaultConfig, FaultModel, Outage, RepairTime, ResiliencePolicy};
 pub use listsched::NodeTimeline;
 pub use prefix::{warm_start_supported, PrefixSimulator};
 pub use simulator::{
-    try_simulate, try_simulate_traced, JobRecord, OriginalOutcome, PlacementStats, QueueStats,
-    Schedule, SimError,
+    try_simulate, try_simulate_traced, try_simulate_with, CancelToken, JobRecord, OriginalOutcome,
+    PlacementStats, QueueStats, Schedule, SimError,
 };
 pub use state::{ArrivalView, NullObserver, Observer, ObserverSet, QueuedJob, RunningJob};

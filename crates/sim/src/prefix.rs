@@ -32,9 +32,9 @@
 //!   prefix; both features are gated out so ids never diverge.
 
 use crate::config::{EngineKind, SimConfig};
-use crate::simulator::{make_engine_for, Sim, SimError};
+use crate::simulator::{make_engine_for, CancelToken, Sim, SimError};
 use crate::state::NullObserver;
-use fairsched_workload::job::Job;
+use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
 
 /// Whether `cfg` permits warm-started prefix simulation. Requires an engine
@@ -148,28 +148,56 @@ impl<'a> PrefixSimulator<'a> {
         self.advance_and_admit(job)
     }
 
+    /// An exact replica of this simulator — master state, forked engine,
+    /// ordering cursor. Chunked parallel FST computation forks the
+    /// serially-advanced master at each chunk boundary and ships the fork
+    /// to a worker, so no worker ever replays the prefix from scratch.
+    pub fn fork(&self) -> PrefixSimulator<'a> {
+        PrefixSimulator {
+            cfg: self.cfg,
+            master: self.master.clone(),
+            engine: self.engine.fork(),
+            last_key: self.last_key,
+        }
+    }
+
+    /// Attaches a cancellation token to the master state. Forks taken after
+    /// this call inherit the token, so one watchdog firing stops the master
+    /// and every outstanding scratch query.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.master.set_cancel(cancel);
+    }
+
     /// Admits `job` and returns its start time in a simulation of exactly
-    /// the jobs admitted so far — the Sabin prefix run. The scratch clone
+    /// the jobs admitted so far — the Sabin prefix run. The scratch fork
     /// stops as soon as the target starts; the master is left untouched
     /// past `job.submit`.
     pub fn start_of(&mut self, job: &Job) -> Result<Time, SimError> {
         fairsched_obs::counters::record_warm_start(true);
         self.advance_and_admit(job)?;
-        let mut scratch = self.master.clone();
         // Fork, don't rebuild: a stateful ledger (static conservative)
         // continues from the master's exact bookkeeping, which equals what
         // a from-scratch run of this prefix would hold at this instant.
-        let mut engine = self.engine.fork();
+        self.fork().resolve_start(job.id, job.submit)
+    }
+
+    /// The scratch phase of [`PrefixSimulator::start_of`], decoupled: steps
+    /// this simulator until the already-admitted `id` starts, consuming it.
+    /// Parallel FST computation admits each target into a serially-advanced
+    /// master, then ships a [`fork`](Self::fork) here on a worker thread —
+    /// the advance happens once while the per-target queries (the dominant
+    /// cost) fan out.
+    pub fn resolve_start(mut self, id: JobId, submit: Time) -> Result<Time, SimError> {
         loop {
-            if let Some(start) = scratch.start_time_of(job.id) {
+            if let Some(start) = self.master.start_time_of(id) {
                 return Ok(start);
             }
-            if !scratch.step(engine.as_mut(), &mut NullObserver)? {
+            if !self.master.step(self.engine.as_mut(), &mut NullObserver)? {
                 // Every admitted job starts in a drained simulation; not
                 // starting means the state machine is broken.
                 return Err(SimError::InvariantViolation {
-                    at: job.submit,
-                    detail: format!("{} never started in its prefix simulation", job.id),
+                    at: submit,
+                    detail: format!("{id} never started in its prefix simulation"),
                 });
             }
         }

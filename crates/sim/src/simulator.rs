@@ -38,6 +38,39 @@ use fairsched_workload::job::{GroupId, Job, JobId, UserId};
 use fairsched_workload::time::{Time, WEEK};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation handle shared between a simulation and an
+/// external controller (e.g. a sweep watchdog). Cloning produces another
+/// handle to the *same* flag; once [`CancelToken::cancel`] fires, every
+/// simulation checking that token stops at its next event batch with
+/// [`SimError::TimedOut`].
+///
+/// Cancellation is level-triggered and one-way: there is no reset, so a
+/// token is for a single cell/run.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Safe to call from any thread, any number of
+    /// times.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// One submission's fate. With runtime limits active, a long job appears as
 /// several records chained by [`JobRecord::origin`].
@@ -305,6 +338,12 @@ pub enum SimError {
         /// Submissions accumulated before the guard tripped.
         attempts: u32,
     },
+    /// The run's [`CancelToken`] fired (watchdog timeout or external
+    /// cancellation) and the event loop stopped cooperatively.
+    TimedOut {
+        /// Simulated time at which the cancellation was observed.
+        at: Time,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -335,6 +374,9 @@ impl fmt::Display for SimError {
                      the fault configuration (MTBF / crash rate) makes it \
                      unable to complete"
                 )
+            }
+            SimError::TimedOut { at } => {
+                write!(f, "simulation cancelled at t={at} (watchdog timeout)")
             }
         }
     }
@@ -488,6 +530,10 @@ pub(crate) struct Sim<'a> {
     // StarvationPromoted records and is touched only while tracing.
     trace: Option<&'a dyn TraceHandle>,
     promoted: HashSet<JobId>,
+    // Cooperative cancellation (None on unguarded runs — the default).
+    // Checked once per event batch, so a fired token stops the run within
+    // one `step` regardless of trace length.
+    cancel: Option<CancelToken>,
 }
 
 /// The fallible simulation entry point: trace/config problems and mid-run
@@ -532,6 +578,21 @@ pub fn try_simulate_traced(
     observer: &mut dyn Observer,
     sink: Option<&mut dyn TraceSink>,
 ) -> Result<Schedule, SimError> {
+    try_simulate_with(trace, cfg, observer, sink, None)
+}
+
+/// The fully-armed entry point: [`try_simulate_traced`] plus an optional
+/// [`CancelToken`]. When a watchdog (or any other controller) fires the
+/// token, the event loop stops at its next batch with
+/// [`SimError::TimedOut`] — no partial `Schedule` escapes. Sweep cells run
+/// through this so a pathological configuration cannot wedge the grid.
+pub fn try_simulate_with(
+    trace: &[Job],
+    cfg: &SimConfig,
+    observer: &mut dyn Observer,
+    sink: Option<&mut dyn TraceSink>,
+    cancel: Option<CancelToken>,
+) -> Result<Schedule, SimError> {
     for job in trace {
         if job.nodes > cfg.nodes {
             return Err(SimError::TooWide {
@@ -559,6 +620,7 @@ pub fn try_simulate_traced(
     let shared = sink.map(SharedSink::new);
     let mut sim = Sim::new(cfg, trace);
     sim.trace = shared.as_ref().map(|s| s as &dyn TraceHandle);
+    sim.cancel = cancel;
     sim.run(engine.as_mut(), observer)?;
     let schedule = sim.finish();
     observer.on_finish(&schedule);
@@ -598,6 +660,7 @@ impl<'a> Sim<'a> {
             acct: Accounting::new(),
             trace: None,
             promoted: HashSet::new(),
+            cancel: None,
         };
         for job in trace {
             sim.admit(job);
@@ -622,6 +685,11 @@ impl<'a> Sim<'a> {
     /// the head of a runtime-limited chain.
     pub(crate) fn admit(&mut self, job: &Job) {
         self.lifecycle.admit(self.cfg, job, &mut self.events);
+    }
+
+    /// Attaches a cancellation token; clones made afterwards share it.
+    pub(crate) fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
     }
 
     fn run(
@@ -650,6 +718,9 @@ impl<'a> Sim<'a> {
         engine: &mut dyn Engine,
         observer: &mut dyn Observer,
     ) -> Result<bool, SimError> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(SimError::TimedOut { at: self.now });
+        }
         let Some(first) = self.events.pop() else {
             return Ok(false);
         };
@@ -1247,6 +1318,33 @@ mod tests {
 
     fn run(trace: &[Job], cfg: &SimConfig) -> Schedule {
         try_simulate(trace, cfg, &mut NullObserver).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn a_fired_cancel_token_stops_the_run_with_timed_out() {
+        let trace = [job(1, 1, 0, 1, 100, 100), job(2, 2, 5, 1, 100, 100)];
+        let c = cfg(10, EngineKind::NoGuarantee);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = try_simulate_with(&trace, &c, &mut NullObserver, None, Some(token))
+            .expect_err("pre-cancelled run must not produce a schedule");
+        assert!(matches!(err, SimError::TimedOut { .. }), "got {err}");
+    }
+
+    #[test]
+    fn an_unfired_cancel_token_changes_nothing() {
+        let trace = [job(1, 1, 0, 1, 100, 100), job(2, 2, 5, 4, 50, 50)];
+        let c = cfg(10, EngineKind::NoGuarantee);
+        let plain = run(&trace, &c);
+        let guarded = try_simulate_with(
+            &trace,
+            &c,
+            &mut NullObserver,
+            None,
+            Some(CancelToken::new()),
+        )
+        .unwrap();
+        assert_eq!(plain.records, guarded.records);
     }
 
     /// Counts every observer hook and remembers what it saw.

@@ -59,6 +59,7 @@ proptest! {
             equality: true,
             resilience: true,
             profile: false,
+            cancel: None,
         };
         // The traced run additionally profiles: both instrumentation
         // layers at once must still be invisible to the scheduler.

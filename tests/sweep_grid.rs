@@ -1,0 +1,135 @@
+//! Workspace-level exercises of the crash-safe sweep harness: a complete
+//! grid round-trips through the journal, a hung cell degrades to a typed
+//! `timed_out` row after bounded retries, and resume replays terminal rows
+//! instead of re-simulating them.
+
+use fairsched_core::policy::PolicySpec;
+use fairsched_core::{
+    cell_fault_seed, run_sweep, CellStatus, FaultPoint, GridState, SweepConfig, SweepPlan,
+};
+use fairsched_sim::FaultConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn journal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fairsched-ws-sweep-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+fn small_plan() -> SweepPlan {
+    SweepPlan {
+        seeds: vec![5],
+        policies: vec![
+            PolicySpec::by_id("cons.nomax").unwrap(),
+            PolicySpec::by_id("easy.nomax").unwrap(),
+        ],
+        faults: vec![
+            FaultPoint::clean(),
+            FaultPoint {
+                label: "crashy".into(),
+                config: FaultConfig {
+                    job_crash_rate: 0.2,
+                    seed: 11,
+                    ..FaultConfig::default()
+                },
+            },
+        ],
+        scale: 0.01,
+        nodes: 1024,
+    }
+}
+
+#[test]
+fn a_complete_grid_round_trips_through_the_journal() {
+    let path = journal_path("complete.jsonl");
+    let cfg = SweepConfig {
+        plan: small_plan(),
+        journal: path.clone(),
+        timeout_per_cell: None,
+        max_retries: 0,
+        resume: false,
+        threads: Some(2),
+    };
+    let summary = run_sweep(&cfg).unwrap();
+    assert_eq!(summary.grid_state(), GridState::Complete);
+    assert_eq!(summary.ok, 4);
+    assert_eq!(summary.rows.len(), 4);
+    for (i, row) in summary.rows.iter().enumerate() {
+        assert_eq!(row.cell, i as u64);
+        assert_eq!(row.status, CellStatus::Ok);
+        assert!(row.metrics.is_some(), "ok rows carry metrics");
+        // The journaled fault sub-seed is the documented pure derivation.
+        let cell = cfg.plan.cell(row.cell);
+        let base = cfg.plan.faults[cell.fault_idx].config.seed;
+        assert_eq!(row.fault_seed, cell_fault_seed(base, row.cell));
+    }
+    // The journal on disk is the summary's source of truth.
+    let replayed = fairsched_core::sweep::journal::replay(&path).unwrap();
+    assert_eq!(replayed.skipped, 0);
+    assert_eq!(replayed.latest_rows(), summary.rows);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn a_hung_cell_times_out_retries_and_degrades_to_a_typed_row() {
+    // A 1ms budget is far below any cell's runtime at this scale, so every
+    // attempt is cancelled by the watchdog; the grid survives with a
+    // typed `timed_out` row instead of hanging or aborting.
+    let path = journal_path("timeout.jsonl");
+    let cfg = SweepConfig {
+        plan: SweepPlan {
+            seeds: vec![5],
+            policies: vec![PolicySpec::by_id("cons.nomax").unwrap()],
+            faults: vec![FaultPoint::clean()],
+            scale: 0.05,
+            nodes: 1024,
+        },
+        journal: path.clone(),
+        timeout_per_cell: Some(Duration::from_millis(1)),
+        max_retries: 2,
+        resume: false,
+        threads: Some(1),
+    };
+    let summary = run_sweep(&cfg).unwrap();
+    assert_eq!(summary.grid_state(), GridState::Partial);
+    assert_eq!(summary.timed_out, 1);
+    let row = &summary.rows[0];
+    assert_eq!(row.status, CellStatus::TimedOut);
+    assert_eq!(row.attempts, 3, "initial attempt + max_retries");
+    assert!(row.detail.contains("watchdog timeout"), "{}", row.detail);
+    assert!(row.metrics.is_none());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn resume_replays_terminal_rows_without_resimulating() {
+    let path = journal_path("resume.jsonl");
+    let fresh = SweepConfig {
+        plan: small_plan(),
+        journal: path.clone(),
+        timeout_per_cell: None,
+        max_retries: 0,
+        resume: false,
+        threads: Some(1),
+    };
+    let first = run_sweep(&fresh).unwrap();
+    assert_eq!(first.grid_state(), GridState::Complete);
+    let bytes_after_first = std::fs::read(&path).unwrap();
+
+    let resumed_cfg = SweepConfig {
+        resume: true,
+        ..fresh
+    };
+    let second = run_sweep(&resumed_cfg).unwrap();
+    assert_eq!(second.resumed, 4, "every terminal row is skipped");
+    assert_eq!(second.grid_state(), GridState::Complete);
+    // Byte-identical journal and rows: nothing was appended, nothing
+    // re-simulated.
+    assert_eq!(std::fs::read(&path).unwrap(), bytes_after_first);
+    let to_lines = |rows: &[fairsched_core::CellRow]| -> Vec<String> {
+        rows.iter().map(|r| r.to_jsonl()).collect()
+    };
+    assert_eq!(to_lines(&second.rows), to_lines(&first.rows));
+    std::fs::remove_file(&path).unwrap();
+}
