@@ -15,7 +15,7 @@ fn minor_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures_8_to_13/policy");
     g.sample_size(10);
     for policy in PolicySpec::minor_policies() {
-        g.bench_with_input(BenchmarkId::from_parameter(policy.id), &policy, |b, p| {
+        g.bench_with_input(BenchmarkId::from_parameter(&policy.id), &policy, |b, p| {
             b.iter(|| run_policy(black_box(&trace), p, BENCH_NODES))
         });
     }

@@ -1,0 +1,55 @@
+//! Virtual-schedule update cost for the size-based policy family.
+//!
+//! FSP/HFSP maintain a processor-sharing virtual schedule (per-job
+//! remaining work drained every pass) and LAS a per-user attained-service
+//! account — all updated on every scheduling pass, where the stateless
+//! priority orders just sort. These benches price that per-event overhead
+//! by simulating the same trace under EASY (same head-of-queue ledger and
+//! greedy rule, stateless promote-head order — the baseline isolating the
+//! order strategy's cost) and under each size-based engine; the BENCH
+//! record is the ratio. A second group prices the warm-started Sabin FST
+//! path for FSP, since the stateful order's `clone_box` sits on the fork
+//! hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairsched_bench::{bench_trace, BENCH_NODES};
+use fairsched_core::policy::PolicySpec;
+use fairsched_metrics::fairness::sabin::sabin_fsts_parallel_sampled;
+use fairsched_sim::{try_simulate, warm_start_supported, NullObserver};
+use std::hint::black_box;
+
+/// Same 1-in-16 sample the other prefix benches use.
+const SABIN_STRIDE: usize = 16;
+
+fn size_based_simulation(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("size_based/simulate_scale_0.1");
+    g.sample_size(10);
+    for id in ["easy.nomax", "fsp.nomax", "hfsp.nomax", "las.nomax"] {
+        let cfg = PolicySpec::by_id(id).unwrap().sim_config(BENCH_NODES);
+        g.bench_function(id, |b| {
+            b.iter(|| try_simulate(black_box(&trace), &cfg, &mut NullObserver).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn size_based_warm_start(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("size_based/sabin_warm_scale_0.1");
+    g.sample_size(5);
+    for id in ["easy.nomax", "fsp.nomax"] {
+        let cfg = PolicySpec::by_id(id).unwrap().sim_config(BENCH_NODES);
+        assert!(
+            warm_start_supported(&cfg),
+            "{id} must take the forked-master path"
+        );
+        g.bench_function(id, |b| {
+            b.iter(|| sabin_fsts_parallel_sampled(black_box(&trace), &cfg, SABIN_STRIDE, None))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, size_based_simulation, size_based_warm_start);
+criterion_main!(benches);

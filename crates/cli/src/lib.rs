@@ -185,6 +185,9 @@ POLICY IDS:
   cplant24.nomax.all   cplant72.nomax.all   cplant24.nomax.fair
   cplant24.72max.all   cplant72.72max.fair  cons.nomax  cons.72max
   consdyn.nomax        consdyn.72max        easy.nomax  fcfs.nobackfill
+  fsp.nomax    las.nomax    hfsp.nomax      (size-based family; also .72max)
+  rdepth<n>.nomax rdepth<n>.72max          (conservative truncated to n
+                                            reservations, e.g. rdepth4.nomax)
 ";
 
 /// Removes every `--quiet` from `args`, enabling quiet logging when at
@@ -767,6 +770,7 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                     faults: fault_points,
                     scale,
                     nodes,
+                    exact_estimates: false,
                 },
                 journal: std::path::PathBuf::from(&journal),
                 timeout_per_cell: timeout_per_cell.map(std::time::Duration::from_secs_f64),
@@ -805,8 +809,7 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
 }
 
 fn lookup(id: &str) -> Result<PolicySpec, UsageError> {
-    PolicySpec::by_id(id)
-        .ok_or_else(|| UsageError(format!("unknown policy {id:?}; try `fairsched help`")))
+    PolicySpec::parse(id).map_err(|e| UsageError(format!("{e}; try `fairsched help`")))
 }
 
 /// Loads a trace and returns it with the (empty) start of the command's
@@ -1059,7 +1062,31 @@ mod tests {
             err.to_string().contains("nonexistent") || err.to_string().contains("No such file")
         );
 
-        assert!(lookup("not-a-policy").is_err());
+        let err = lookup("not-a-policy").unwrap_err();
+        assert!(err.to_string().contains("not-a-policy"), "{err}");
+        assert!(err.to_string().contains("rdepth<n>"), "{err}");
+    }
+
+    #[test]
+    fn parameterized_and_size_based_ids_resolve() {
+        use fairsched_sim::EngineKind;
+        assert_eq!(
+            lookup("rdepth4.nomax").unwrap().engine,
+            EngineKind::ReservationDepth(4)
+        );
+        assert_eq!(lookup("fsp.nomax").unwrap().engine, EngineKind::Fsp);
+        assert_eq!(lookup("las.72max").unwrap().engine, EngineKind::Las);
+        assert_eq!(lookup("hfsp.nomax").unwrap().engine, EngineKind::Hfsp);
+        // A sweep grid naming an unknown cell is rejected up front with the
+        // offending id, never silently dropped from the grid.
+        let err = execute(
+            parse(&args(
+                "sweep --journal /tmp/x.jsonl --grid cons.nomax,typo.id",
+            ))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("typo.id"), "{err}");
     }
 
     #[test]

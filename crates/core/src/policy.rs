@@ -8,15 +8,43 @@
 use fairsched_sim::engine::{composition_of, Composition};
 use fairsched_sim::{EngineKind, HeavyUserRule, RuntimeLimit, SimConfig, StarvationConfig};
 use fairsched_workload::time::HOUR;
+use std::borrow::Cow;
+use std::fmt;
 
 /// The 72-hour maximum runtime §5.1 proposes.
 pub const RUNTIME_LIMIT_72H: RuntimeLimit = RuntimeLimit { limit: 72 * HOUR };
 
+/// A policy id that names no known policy. Carries the offending id so
+/// callers (`fairsched sweep`/`simulate`) can report it instead of silently
+/// dropping the cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyIdError {
+    /// The id that failed to parse.
+    pub id: String,
+}
+
+impl fmt::Display for PolicyIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown policy id {:?}; known ids: the nine \u{a7}5.5 names \
+             (cplant24.nomax.all, ..., consdyn.72max), easy.nomax, \
+             fcfs.nobackfill, the size-based family \
+             (fsp|las|hfsp).(nomax|72max), and rdepth<n>.(nomax|72max)",
+            self.id
+        )
+    }
+}
+
+impl std::error::Error for PolicyIdError {}
+
 /// A named scheduling policy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicySpec {
-    /// The paper's identifier, e.g. `"cplant24.nomax.all"`.
-    pub id: &'static str,
+    /// The policy identifier, e.g. `"cplant24.nomax.all"`. Borrowed for the
+    /// fixed table (the paper's nine and the reference points); owned for
+    /// parameterized ids like `"rdepth4.nomax"`.
+    pub id: Cow<'static, str>,
     /// Backfilling engine.
     pub engine: EngineKind,
     /// Starvation queue (no-guarantee policies only).
@@ -33,7 +61,7 @@ impl PolicySpec {
         limited: bool,
     ) -> PolicySpec {
         PolicySpec {
-            id,
+            id: Cow::Borrowed(id),
             engine: EngineKind::NoGuarantee,
             starvation: Some(StarvationConfig {
                 entry_delay: entry_hours * HOUR,
@@ -53,7 +81,7 @@ impl PolicySpec {
 
     const fn conservative(id: &'static str, dynamic: bool, limited: bool) -> PolicySpec {
         PolicySpec {
-            id,
+            id: Cow::Borrowed(id),
             engine: EngineKind::Conservative { dynamic },
             starvation: None,
             runtime_limit: if limited {
@@ -105,7 +133,7 @@ impl PolicySpec {
     /// extension benches.
     pub const fn easy() -> PolicySpec {
         PolicySpec {
-            id: "easy.nomax",
+            id: Cow::Borrowed("easy.nomax"),
             engine: EngineKind::Easy,
             starvation: None,
             runtime_limit: None,
@@ -117,23 +145,98 @@ impl PolicySpec {
     /// claims the paper builds on.
     pub const fn fcfs_no_backfill() -> PolicySpec {
         PolicySpec {
-            id: "fcfs.nobackfill",
+            id: Cow::Borrowed("fcfs.nobackfill"),
             engine: EngineKind::FcfsNoBackfill,
             starvation: None,
             runtime_limit: None,
         }
     }
 
-    /// Looks a policy up by its paper identifier (the nine of §5.5 plus the
-    /// `"easy.nomax"` and `"fcfs.nobackfill"` reference points).
-    pub fn by_id(id: &str) -> Option<PolicySpec> {
-        match id {
-            "easy.nomax" => Some(PolicySpec::easy()),
-            "fcfs.nobackfill" => Some(PolicySpec::fcfs_no_backfill()),
-            _ => PolicySpec::paper_policies()
-                .into_iter()
-                .find(|p| p.id == id),
+    const fn size_based(id: &'static str, engine: EngineKind, limited: bool) -> PolicySpec {
+        PolicySpec {
+            id: Cow::Borrowed(id),
+            engine,
+            starvation: None,
+            runtime_limit: if limited {
+                Some(RUNTIME_LIMIT_72H)
+            } else {
+                None
+            },
         }
+    }
+
+    /// The size-based policy family (FSP / LAS / HFSP) this study adds as
+    /// extension rows: each pairs a size-aware queue order with the EASY
+    /// aggressive guard, with and without the 72 h runtime limit.
+    pub fn size_based_policies() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::size_based("fsp.nomax", EngineKind::Fsp, false),
+            PolicySpec::size_based("las.nomax", EngineKind::Las, false),
+            PolicySpec::size_based("hfsp.nomax", EngineKind::Hfsp, false),
+            PolicySpec::size_based("fsp.72max", EngineKind::Fsp, true),
+            PolicySpec::size_based("las.72max", EngineKind::Las, true),
+            PolicySpec::size_based("hfsp.72max", EngineKind::Hfsp, true),
+        ]
+    }
+
+    /// Conservative backfilling truncated to `depth` guaranteed
+    /// reservations — the Depth(n) tunable between EASY (`depth == 1`) and
+    /// full conservative. Its id is the parameterized `rdepth<n>.<limit>`
+    /// form, e.g. `rdepth4.nomax`.
+    pub fn reservation_depth(depth: u32, limited: bool) -> PolicySpec {
+        let suffix = if limited { "72max" } else { "nomax" };
+        PolicySpec {
+            id: Cow::Owned(format!("rdepth{depth}.{suffix}")),
+            engine: EngineKind::ReservationDepth(depth),
+            starvation: None,
+            runtime_limit: if limited {
+                Some(RUNTIME_LIMIT_72H)
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Parses a policy id: the nine of §5.5, the `easy.nomax` and
+    /// `fcfs.nobackfill` reference points, the size-based family
+    /// (`fsp|las|hfsp`)`.`(`nomax|72max`), and the parameterized
+    /// `rdepth<n>.(nomax|72max)` depth tunable. Unknown ids produce a
+    /// typed [`PolicyIdError`] carrying the offending id, so callers can
+    /// report the cell instead of silently dropping it.
+    pub fn parse(id: &str) -> Result<PolicySpec, PolicyIdError> {
+        match id {
+            "easy.nomax" => return Ok(PolicySpec::easy()),
+            "fcfs.nobackfill" => return Ok(PolicySpec::fcfs_no_backfill()),
+            _ => {}
+        }
+        if let Some(p) = PolicySpec::paper_policies()
+            .into_iter()
+            .chain(PolicySpec::size_based_policies())
+            .find(|p| p.id == id)
+        {
+            return Ok(p);
+        }
+        if let Some(rest) = id.strip_prefix("rdepth") {
+            let (depth, limited) = match rest.split_once('.') {
+                Some((d, "nomax")) => (d, false),
+                Some((d, "72max")) => (d, true),
+                _ => return Err(PolicyIdError { id: id.to_string() }),
+            };
+            // Reject non-canonical spellings like `rdepth04`: the id must
+            // round-trip, or journal fingerprints would alias.
+            if let Ok(n) = depth.parse::<u32>() {
+                if depth == n.to_string() {
+                    return Ok(PolicySpec::reservation_depth(n, limited));
+                }
+            }
+        }
+        Err(PolicyIdError { id: id.to_string() })
+    }
+
+    /// Looks a policy up by id; `None` when unknown. [`PolicySpec::parse`]
+    /// is the same lookup with a typed error instead.
+    pub fn by_id(id: &str) -> Option<PolicySpec> {
+        PolicySpec::parse(id).ok()
     }
 
     /// The declarative strategy composition this policy's engine resolves
@@ -166,7 +269,8 @@ mod tests {
 
     #[test]
     fn there_are_exactly_nine_paper_policies_with_the_published_names() {
-        let names: Vec<&str> = PolicySpec::paper_policies().iter().map(|p| p.id).collect();
+        let all = PolicySpec::paper_policies();
+        let names: Vec<&str> = all.iter().map(|p| p.id.as_ref()).collect();
         assert_eq!(
             names,
             vec![
@@ -204,14 +308,13 @@ mod tests {
 
     #[test]
     fn subsets_match_the_figures() {
-        let minor: Vec<&str> = PolicySpec::minor_policies().iter().map(|p| p.id).collect();
+        let minor_all = PolicySpec::minor_policies();
+        let minor: Vec<&str> = minor_all.iter().map(|p| p.id.as_ref()).collect();
         assert_eq!(minor.len(), 5);
         assert!(minor.iter().all(|n| n.starts_with("cplant")));
 
-        let cons: Vec<&str> = PolicySpec::conservative_set()
-            .iter()
-            .map(|p| p.id)
-            .collect();
+        let cons_all = PolicySpec::conservative_set();
+        let cons: Vec<&str> = cons_all.iter().map(|p| p.id.as_ref()).collect();
         assert_eq!(
             cons,
             vec![
@@ -235,6 +338,60 @@ mod tests {
     #[test]
     fn unknown_ids_return_none() {
         assert!(PolicySpec::by_id("cplant48.nomax.all").is_none());
+    }
+
+    #[test]
+    fn parse_reports_the_offending_id_in_a_typed_error() {
+        let err = PolicySpec::parse("cplant48.nomax.all").unwrap_err();
+        assert_eq!(err.id, "cplant48.nomax.all");
+        let msg = err.to_string();
+        assert!(msg.contains("cplant48.nomax.all"), "{msg}");
+        assert!(msg.contains("rdepth<n>"), "{msg}");
+    }
+
+    #[test]
+    fn size_based_ids_resolve_to_their_engines() {
+        for (id, engine, limited) in [
+            ("fsp.nomax", EngineKind::Fsp, false),
+            ("las.nomax", EngineKind::Las, false),
+            ("hfsp.nomax", EngineKind::Hfsp, false),
+            ("fsp.72max", EngineKind::Fsp, true),
+            ("las.72max", EngineKind::Las, true),
+            ("hfsp.72max", EngineKind::Hfsp, true),
+        ] {
+            let p = PolicySpec::by_id(id).unwrap_or_else(|| panic!("{id}"));
+            assert_eq!(p.id, id);
+            assert_eq!(p.engine, engine, "{id}");
+            assert!(p.starvation.is_none(), "{id}");
+            assert_eq!(
+                p.runtime_limit,
+                limited.then_some(RUNTIME_LIMIT_72H),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn rdepth_ids_round_trip_through_parse() {
+        let p = PolicySpec::parse("rdepth4.nomax").unwrap();
+        assert_eq!(p.engine, EngineKind::ReservationDepth(4));
+        assert_eq!(p.id, "rdepth4.nomax");
+        assert!(p.runtime_limit.is_none());
+
+        let p = PolicySpec::parse("rdepth2.72max").unwrap();
+        assert_eq!(p.engine, EngineKind::ReservationDepth(2));
+        assert_eq!(p.runtime_limit, Some(RUNTIME_LIMIT_72H));
+        assert_eq!(p, PolicySpec::reservation_depth(2, true));
+
+        // Non-canonical or malformed depth ids stay errors: they would not
+        // round-trip and would alias journal fingerprints.
+        for bad in ["rdepth04.nomax", "rdepth.nomax", "rdepth4", "rdepth4.max"] {
+            assert_eq!(
+                PolicySpec::parse(bad).unwrap_err().id,
+                bad,
+                "{bad} should not parse"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct SweepPlan {
     pub scale: f64,
     /// Machine size (nodes) for generation and simulation.
     pub nodes: u32,
+    /// When set, every generated job's runtime estimate is replaced by its
+    /// actual runtime before simulation — the "exact estimates" axis the
+    /// size-based policy study crosses against the calibrated Figure 5–7
+    /// over-estimation model (the generator's default).
+    pub exact_estimates: bool,
 }
 
 /// One cell of the grid, identified by its dense index.
@@ -107,6 +112,13 @@ impl SweepPlan {
     pub fn fingerprint(&self) -> u64 {
         let mut desc = String::new();
         desc.push_str(&format!("scale={};nodes={};seeds=", self.scale, self.nodes));
+        // Journal back-compat: plans predating the exact-estimates axis
+        // (always modeled estimates) keep their original fingerprint, so
+        // PR 6 journals still resume; only `exact_estimates: true` plans
+        // fingerprint differently.
+        if self.exact_estimates {
+            desc.push_str("exact;");
+        }
         for s in &self.seeds {
             desc.push_str(&format!("{s},"));
         }
@@ -177,6 +189,7 @@ mod tests {
             ],
             scale: 0.01,
             nodes: 1024,
+            exact_estimates: false,
         }
     }
 
@@ -238,5 +251,8 @@ mod tests {
         let mut scale = plan();
         scale.scale = 0.02;
         assert_ne!(fp, scale.fingerprint());
+        let mut exact = plan();
+        exact.exact_estimates = true;
+        assert_ne!(fp, exact.fingerprint());
     }
 }

@@ -177,7 +177,7 @@ mod tests {
             .iter()
             .map(|o| o.as_ref().unwrap().policy.clone())
             .collect();
-        let expected: Vec<&str> = policies.iter().map(|p| p.id).collect();
+        let expected: Vec<&str> = policies.iter().map(|p| p.id.as_ref()).collect();
         assert_eq!(names, expected);
     }
 

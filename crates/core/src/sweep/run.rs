@@ -324,10 +324,19 @@ pub fn run_sweep(cfg: &SweepConfig) -> std::io::Result<SweepSummary> {
         .enumerate()
         .map(|(i, &seed)| {
             needed.contains(&i).then(|| {
-                CplantModel::new(seed)
+                let mut jobs = CplantModel::new(seed)
                     .with_scale(plan.scale)
                     .with_nodes(plan.nodes)
-                    .generate()
+                    .generate();
+                if plan.exact_estimates {
+                    // The exact-estimates axis: perfect size information,
+                    // the idealized upper bound the calibrated Figure 5–7
+                    // over-estimation model is compared against.
+                    for job in &mut jobs {
+                        job.estimate = job.runtime;
+                    }
+                }
+                jobs
             })
         })
         .collect();
@@ -445,6 +454,7 @@ mod tests {
             faults: vec![FaultPoint::clean()],
             scale: 0.01,
             nodes: 1024,
+            exact_estimates: false,
         }
     }
 
@@ -625,6 +635,7 @@ mod tests {
             ],
             scale: 0.01,
             nodes: 1024,
+            exact_estimates: false,
         };
         let fresh = run_sweep(&sweep_cfg("faults-fresh.jsonl", plan.clone())).unwrap();
         assert_eq!(fresh.ok, 2);

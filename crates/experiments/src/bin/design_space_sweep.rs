@@ -62,6 +62,7 @@ fn main() {
             faults,
             scale: cfg.scale,
             nodes: cfg.nodes,
+            exact_estimates: false,
         },
         journal: std::env::var("FAIRSCHED_SWEEP_JOURNAL")
             .unwrap_or_else(|_| "sweep.jsonl".into())

@@ -1,0 +1,155 @@
+//! The size-based fairness study: FSP / LAS / HFSP against the paper's
+//! nine policies, under both runtime-estimate models.
+//!
+//! The combined grid — nine §5.5 CPlant/conservative rows plus the six
+//! size-based family rows — is crossed with two estimate-error models:
+//!
+//! * **modeled** — the calibrated Figure 5–7 over-estimation model the
+//!   generator applies by default (what schedulers actually see);
+//! * **exact** — every estimate replaced by the true runtime, the
+//!   idealized bound size-based policies are usually evaluated at.
+//!
+//! Each model runs as one crash-safe sweep through the durable journal
+//! harness (`fairsched_core::run_sweep`), so a killed study resumes with
+//! `FAIRSCHED_SWEEP_RESUME=1`; the two journals differ in fingerprint (the
+//! exact axis is part of it) and live side by side. After both grids
+//! complete, the policies are ranked by %unfair under each model — the
+//! table EXPERIMENTS.md quotes.
+//!
+//! Environment knobs beyond the usual `FAIRSCHED_*` trio:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `FAIRSCHED_SWEEP_JOURNAL` | `size_based.jsonl` | journal stem; the exact-model journal appends `.exact` before the extension |
+//! | `FAIRSCHED_SWEEP_SEEDS` | the base seed | comma-separated seed list |
+//! | `FAIRSCHED_SWEEP_TIMEOUT` | off | per-cell budget in seconds |
+//! | `FAIRSCHED_SWEEP_RETRIES` | `1` | extra attempts after a timeout |
+//! | `FAIRSCHED_SWEEP_RESUME` | `0` | `1`: resume interrupted journals |
+
+use fairsched_core::policy::PolicySpec;
+use fairsched_core::{run_sweep, CellStatus, FaultPoint, SweepConfig, SweepPlan, SweepSummary};
+use fairsched_experiments::ExperimentConfig;
+use std::time::Duration;
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The study's policy axis: the paper's nine plus the size-based family.
+fn combined_policies() -> Vec<PolicySpec> {
+    let mut policies = PolicySpec::paper_policies();
+    policies.extend(PolicySpec::size_based_policies());
+    policies
+}
+
+fn run_grid(
+    cfg: &ExperimentConfig,
+    seeds: &[u64],
+    journal: std::path::PathBuf,
+    exact_estimates: bool,
+) -> SweepSummary {
+    let sweep = SweepConfig {
+        plan: SweepPlan {
+            seeds: seeds.to_vec(),
+            policies: combined_policies(),
+            faults: vec![FaultPoint::clean()],
+            scale: cfg.scale,
+            nodes: cfg.nodes,
+            exact_estimates,
+        },
+        journal,
+        timeout_per_cell: std::env::var("FAIRSCHED_SWEEP_TIMEOUT")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Duration::from_secs_f64),
+        max_retries: env_parse("FAIRSCHED_SWEEP_RETRIES", 1u32),
+        resume: env_parse("FAIRSCHED_SWEEP_RESUME", 0u32) == 1,
+        threads: None,
+    };
+    let model = if exact_estimates { "exact" } else { "modeled" };
+    println!(
+        "size-based grid [{model}]: {} cells ({} seeds x {} policies) scale={} nodes={} -> {}",
+        sweep.plan.len(),
+        sweep.plan.seeds.len(),
+        sweep.plan.policies.len(),
+        sweep.plan.scale,
+        sweep.plan.nodes,
+        sweep.journal.display(),
+    );
+    let summary = run_sweep(&sweep).expect("sweep journal IO");
+    println!("{summary}");
+    summary
+}
+
+/// Mean %unfair and miss over a journal's ok rows, keyed by policy id.
+fn ranking(summary: &SweepSummary) -> Vec<(String, f64, f64)> {
+    let mut rows: Vec<(String, f64, f64)> = combined_policies()
+        .iter()
+        .filter_map(|p| {
+            let cells: Vec<_> = summary
+                .rows
+                .iter()
+                .filter(|r| r.policy == p.id.as_ref() && r.status == CellStatus::Ok)
+                .filter_map(|r| r.metrics.as_ref())
+                .collect();
+            if cells.is_empty() {
+                return None;
+            }
+            let n = cells.len() as f64;
+            let unfair = cells.iter().map(|m| m.percent_unfair).sum::<f64>() / n;
+            let miss = cells.iter().map(|m| m.average_miss_time).sum::<f64>() / n;
+            Some((p.id.to_string(), unfair, miss))
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let seeds: Vec<u64> = std::env::var("FAIRSCHED_SWEEP_SEEDS")
+        .map(|s| {
+            s.split(',')
+                .filter(|p| !p.is_empty())
+                .map(|p| p.parse().expect("FAIRSCHED_SWEEP_SEEDS: integer list"))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![cfg.seed]);
+
+    let stem =
+        std::env::var("FAIRSCHED_SWEEP_JOURNAL").unwrap_or_else(|_| "size_based.jsonl".into());
+    let exact_journal = match stem.rsplit_once('.') {
+        Some((base, ext)) => format!("{base}.exact.{ext}"),
+        None => format!("{stem}.exact"),
+    };
+
+    let modeled = run_grid(&cfg, &seeds, stem.clone().into(), false);
+    let exact = run_grid(&cfg, &seeds, exact_journal.clone().into(), true);
+
+    println!();
+    println!("ranking by %unfair (mean over seeds; modeled = Figure 5-7 over-estimation)");
+    println!(
+        "{:<6} {:<22} {:>14} {:>12}   {:<22} {:>14} {:>12}",
+        "rank", "modeled", "unfair%", "miss(s)", "exact", "unfair%", "miss(s)"
+    );
+    let modeled_rank = ranking(&modeled);
+    let exact_rank = ranking(&exact);
+    for (i, pair) in modeled_rank.iter().zip(exact_rank.iter()).enumerate() {
+        let ((mp, mu, mm), (ep, eu, em)) = pair;
+        println!(
+            "{:<6} {:<22} {:>13.2}% {:>12.0}   {:<22} {:>13.2}% {:>12.0}",
+            i + 1,
+            mp,
+            100.0 * mu,
+            mm,
+            ep,
+            100.0 * eu,
+            em,
+        );
+    }
+    println!();
+    println!("journals: {stem} (modeled), {exact_journal} (exact)");
+}

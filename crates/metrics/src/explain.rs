@@ -53,6 +53,17 @@ pub struct ReservationEvent {
     pub to: Time,
 }
 
+/// One virtual-schedule inversion against the explained job: a moment a
+/// size-based policy (FSP/LAS/HFSP) ranked another job ahead of it even
+/// though the explained job arrived first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InversionEvent {
+    /// When the inversion was first observed.
+    pub at: Time,
+    /// The job the virtual schedule put ahead.
+    pub by: JobId,
+}
+
 /// Why a crash retry exists at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultDelay {
@@ -90,6 +101,10 @@ pub struct WaitBreakdown {
     pub cause: Option<StartCause>,
     /// Backfilled jobs that jumped past it, in start order.
     pub bypassed_by: Vec<BypassEvent>,
+    /// Jobs a size-based virtual schedule ranked ahead of it despite its
+    /// earlier arrival, in observation order. Empty under arrival-ordered
+    /// policies.
+    pub virtual_inversions: Vec<InversionEvent>,
     /// Its reservation timeline, in placement order.
     pub reservations: Vec<ReservationEvent>,
     /// When the starvation queue promoted it, if it did.
@@ -119,6 +134,7 @@ pub fn explain_wait(
 
     let mut cause = None;
     let mut bypassed_by = Vec::new();
+    let mut virtual_inversions = Vec::new();
     let mut reservations: Vec<ReservationEvent> = Vec::new();
     let mut promoted_at = None;
     let mut fault = None;
@@ -164,6 +180,14 @@ pub fn explain_wait(
                     from: Some(*from),
                     to: *to,
                 });
+            }
+            TraceRecord::VirtualInversion {
+                at,
+                job: head,
+                displaced,
+                ..
+            } if *displaced == job => {
+                virtual_inversions.push(InversionEvent { at: *at, by: *head });
             }
             TraceRecord::StarvationPromoted { at, job: j, .. } if *j == job => {
                 promoted_at.get_or_insert(*at);
@@ -238,6 +262,7 @@ pub fn explain_wait(
         policy_wait: policy,
         cause,
         bypassed_by,
+        virtual_inversions,
         reservations,
         promoted_at,
         fault,
@@ -306,6 +331,25 @@ impl fmt::Display for WaitBreakdown {
                 f,
                 "  bypassed {} time(s): {}",
                 self.bypassed_by.len(),
+                shown.join(", ")
+            )?;
+            if more > 0 {
+                write!(f, " (+{more} more)")?;
+            }
+            writeln!(f)?;
+        }
+        if !self.virtual_inversions.is_empty() {
+            let shown: Vec<String> = self
+                .virtual_inversions
+                .iter()
+                .take(8)
+                .map(|v| format!("{}@t={}", v.by, v.at))
+                .collect();
+            let more = self.virtual_inversions.len().saturating_sub(8);
+            write!(
+                f,
+                "  virtual schedule ranked {} later arrival(s) ahead: {}",
+                self.virtual_inversions.len(),
                 shown.join(", ")
             )?;
             if more > 0 {
@@ -463,6 +507,10 @@ mod tests {
                 at: 150,
                 by: JobId(9),
             }],
+            virtual_inversions: vec![InversionEvent {
+                at: 160,
+                by: JobId(11),
+            }],
             reservations: vec![ReservationEvent {
                 at: 100,
                 from: None,
@@ -476,5 +524,41 @@ mod tests {
         assert!(text.contains("capacity wait"));
         assert!(text.contains("at its reservation"));
         assert!(text.contains("job#9@t=150") || text.contains("9@t=150"));
+        assert!(text.contains("ranked 1 later arrival(s) ahead"), "{text}");
+        assert!(text.contains("11@t=160"), "{text}");
+    }
+
+    #[test]
+    fn size_based_runs_explain_their_inversions() {
+        // Under FSP a small late arrival is ranked ahead of a big earlier
+        // one; the big job's breakdown names the inversion. Job 1 occupies
+        // the machine so both stay queued long enough to be compared.
+        let trace = vec![
+            Job::new(1, 1, 1, 0, 10, 100, 100),
+            Job::new(2, 2, 1, 5, 8, 500, 500),
+            Job::new(3, 3, 1, 10, 2, 10, 10),
+        ];
+        let cfg = SimConfig {
+            nodes: 10,
+            engine: EngineKind::Fsp,
+            ..Default::default()
+        };
+        let (records, schedule) = traced_run(&trace, &cfg);
+        let b2 = explain_wait(&records, &schedule, JobId(2)).unwrap();
+        assert_eq!(
+            b2.virtual_inversions,
+            vec![InversionEvent {
+                at: 10,
+                by: JobId(3)
+            }],
+            "job 3's smaller virtual size displaces job 2 at its arrival"
+        );
+        assert_eq!(
+            b2.capacity_wait + b2.reservation_wait + b2.policy_wait,
+            b2.wait()
+        );
+        // The displacing job itself sees no inversion against it.
+        let b3 = explain_wait(&records, &schedule, JobId(3)).unwrap();
+        assert!(b3.virtual_inversions.is_empty());
     }
 }

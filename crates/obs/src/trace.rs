@@ -89,6 +89,20 @@ pub enum TraceRecord {
     },
     /// A node went down at `at`; it comes back at `until`.
     NodeFailed { at: Time, node: u64, until: Time },
+    /// A size-based order strategy (FSP/LAS/HFSP) ranked `job` at the head
+    /// of its virtual schedule ahead of `displaced`, the job that arrived
+    /// first — a virtual-time inversion. `job_key`/`displaced_key` are the
+    /// strategy's sort keys (virtual remaining size over fair-share weight,
+    /// or per-user attained service). Emitted once per distinct
+    /// (job, displaced) pair so `explain` can attribute a job's policy wait
+    /// to the virtual schedule overtaking it.
+    VirtualInversion {
+        at: Time,
+        job: JobId,
+        displaced: JobId,
+        job_key: f64,
+        displaced_key: f64,
+    },
     /// Queue/machine state after an event batch settled: queue `depth`
     /// (jobs) demanding `queued_nodes` nodes in total, `free_nodes` idle,
     /// `running` jobs placed, instantaneous utilization `util`.
@@ -112,6 +126,7 @@ impl TraceRecord {
             | TraceRecord::StarvationPromoted { at, .. }
             | TraceRecord::FaultRequeued { at, .. }
             | TraceRecord::NodeFailed { at, .. }
+            | TraceRecord::VirtualInversion { at, .. }
             | TraceRecord::QueueSample { at, .. } => at,
         }
     }
@@ -190,6 +205,20 @@ impl TraceRecord {
                 write!(
                     s,
                     r#"{{"type":"node_failed","at":{at},"node":{node},"until":{until}}}"#
+                )
+                .unwrap();
+            }
+            TraceRecord::VirtualInversion {
+                at,
+                job,
+                displaced,
+                job_key,
+                displaced_key,
+            } => {
+                write!(
+                    s,
+                    r#"{{"type":"virtual_inversion","at":{at},"job":{},"displaced":{},"job_key":{job_key:.3},"displaced_key":{displaced_key:.3}}}"#,
+                    job.0, displaced.0
                 )
                 .unwrap();
             }

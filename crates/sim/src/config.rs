@@ -39,6 +39,40 @@ pub enum EngineKind {
     /// poor utilization and turnaround (§1); included as the reference point
     /// those claims are measured against.
     FcfsNoBackfill,
+    /// FSP (fair sojourn protocol): the queue is walked in virtual
+    /// completion order of a processor-sharing "virtual fair schedule" —
+    /// each queued job's virtual remaining size (`nodes × estimate`) drains
+    /// in proportion to its fair share — with the virtual head holding an
+    /// EASY-style aggressive guard. Not one of the paper's nine; added to
+    /// rank the size-based family on the same hybrid-FST metric.
+    Fsp,
+    /// LAS (least attained service) across users: ascending undecayed
+    /// node-seconds executed per user, the virtual head guarded as in EASY.
+    Las,
+    /// HFSP: FSP plus an arrival-age credit blended into the virtual size,
+    /// so systematic size over-estimation cannot starve old jobs.
+    Hfsp,
+}
+
+impl EngineKind {
+    /// One representative per variant, covering both payloads of
+    /// `Conservative`. The list is pinned to the enum by the exhaustive
+    /// match in [`crate::prefix::warm_start_forkable`]: adding a variant
+    /// without extending both is a compile error there and a test failure
+    /// here (`tests/single_pass.rs` checks warm ≡ cold over this list).
+    pub fn representatives() -> Vec<EngineKind> {
+        vec![
+            EngineKind::NoGuarantee,
+            EngineKind::Easy,
+            EngineKind::Conservative { dynamic: false },
+            EngineKind::Conservative { dynamic: true },
+            EngineKind::ReservationDepth(2),
+            EngineKind::FcfsNoBackfill,
+            EngineKind::Fsp,
+            EngineKind::Las,
+            EngineKind::Hfsp,
+        ]
+    }
 }
 
 /// Queue priority order.

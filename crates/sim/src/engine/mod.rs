@@ -41,7 +41,10 @@ pub use ledger::{
     Admission, ConservativeLedger, ConservativeSnapshot, DepthLedger, HeadOfQueue, NoReservations,
     ReservationLedger,
 };
-pub use order::{HeadPromotion, PriorityOrder, QueueOrderStrategy, StarvationPromotion};
+pub use order::{
+    HeadPromotion, LeastAttainedOrder, PriorityOrder, QueueOrderStrategy, StarvationPromotion,
+    VirtualFairOrder, HFSP_AGING_RATE,
+};
 
 /// Far-future reservation sentinel for jobs that can never be placed (wider
 /// than the machine). Such jobs are rejected upstream by trace validation;
@@ -119,6 +122,13 @@ pub enum OrderKind {
     PromoteHead,
     /// Promote the starvation-queue head to the aggressive guard (CPlant).
     PromoteStarving,
+    /// FSP's virtual fair schedule: walk in virtual completion order and
+    /// promote the virtual head to the aggressive guard.
+    VirtualFair,
+    /// [`OrderKind::VirtualFair`] with the HFSP aging credit blended in.
+    VirtualFairAged,
+    /// Least attained service per user, the head promoted as in EASY.
+    LeastAttained,
 }
 
 /// Which [`ReservationLedger`] a composition uses.
@@ -170,6 +180,9 @@ impl Composition {
             OrderKind::Priority => Box::new(PriorityOrder),
             OrderKind::PromoteHead => Box::new(HeadPromotion),
             OrderKind::PromoteStarving => Box::new(StarvationPromotion),
+            OrderKind::VirtualFair => Box::new(VirtualFairOrder::fsp()),
+            OrderKind::VirtualFairAged => Box::new(VirtualFairOrder::hfsp()),
+            OrderKind::LeastAttained => Box::new(LeastAttainedOrder::default()),
         };
         let ledger: Box<dyn ReservationLedger> = match self.ledger {
             LedgerKind::Unreserved => Box::new(NoReservations),
@@ -220,6 +233,24 @@ pub fn composition_of(kind: EngineKind) -> Composition {
             ledger: LedgerKind::Unreserved,
             rule: RuleKind::NoBackfill,
         },
+        // The size-based family shares EASY's guard machinery: the order
+        // strategy names its own head (virtual completion / least attained
+        // service) and the head-of-queue ledger plus greedy rule protect it.
+        EngineKind::Fsp => Composition {
+            order: OrderKind::VirtualFair,
+            ledger: LedgerKind::HeadOfQueue,
+            rule: RuleKind::Greedy,
+        },
+        EngineKind::Hfsp => Composition {
+            order: OrderKind::VirtualFairAged,
+            ledger: LedgerKind::HeadOfQueue,
+            rule: RuleKind::Greedy,
+        },
+        EngineKind::Las => Composition {
+            order: OrderKind::LeastAttained,
+            ledger: LedgerKind::HeadOfQueue,
+            rule: RuleKind::Greedy,
+        },
     }
 }
 
@@ -252,17 +283,23 @@ impl ComposedEngine {
 impl Engine for ComposedEngine {
     fn on_arrival(&mut self, job: &QueuedJob, ctx: &EngineCtx<'_>) {
         self.ledger.on_arrival(job, ctx);
+        self.order.on_arrival(job, ctx);
     }
 
     fn on_start(&mut self, id: JobId) {
         self.ledger.on_start(id);
+        self.order.on_start(id);
     }
 
     fn on_complete(&mut self, id: JobId) {
         self.ledger.on_complete(id);
+        self.order.on_complete(id);
     }
 
     fn select_starts(&mut self, ctx: &EngineCtx<'_>) -> Vec<JobId> {
+        // Stateful orders advance their virtual clocks before the walk;
+        // stateless ones no-op, keeping pre-refactor schedules byte-exact.
+        self.order.begin_pass(ctx);
         self.rule
             .select(ctx, self.order.as_ref(), self.ledger.as_mut())
     }
@@ -406,11 +443,81 @@ mod tests {
                 rule: RuleKind::NoBackfill,
             }
         );
+        // The size-based family rides EASY's guard machinery.
+        for (kind, order) in [
+            (EngineKind::Fsp, OrderKind::VirtualFair),
+            (EngineKind::Hfsp, OrderKind::VirtualFairAged),
+            (EngineKind::Las, OrderKind::LeastAttained),
+        ] {
+            assert_eq!(
+                composition_of(kind),
+                Composition {
+                    order,
+                    ledger: LedgerKind::HeadOfQueue,
+                    rule: RuleKind::Greedy,
+                }
+            );
+        }
         // The built engine remembers its spec.
         assert_eq!(
             no_guarantee().spec(),
             composition_of(EngineKind::NoGuarantee)
         );
+    }
+
+    #[test]
+    fn fsp_walks_in_virtual_completion_order() {
+        let fs = fs();
+        // 10 free nodes; the virtually-smallest job is walked (and guarded)
+        // first even though it arrived last.
+        let queue = vec![
+            queued(1, 1, 6, 10_000, 0), // virtual size 60000
+            queued(2, 2, 6, 100, 5),    // virtual size 600 → virtual head
+        ];
+        let mut engine = compose(EngineKind::Fsp);
+        let c = ctx(5, 10, &[], &queue, &fs, None);
+        // Both fit alone but not together: the virtual head starts and
+        // job 1 no longer fits later in the same walk.
+        assert_eq!(engine.select_starts(&c), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn fsp_guard_blocks_backfills_that_delay_the_virtual_head() {
+        let fs = fs();
+        let runners = vec![running(90, 6, 0, 1000)];
+        let queue = vec![
+            queued(1, 1, 8, 100, 0),          // virtual head (drained longest)
+            queued(2, 2, 4, 2000 * HOUR, 10), // would delay the head's slot
+            queued(3, 3, 2, 500, 10),         // ends under the shadow
+        ];
+        let mut engine = compose(EngineKind::Fsp);
+        let c = ctx(10, 10, &runners, &queue, &fs, None);
+        // Head (8 wide, virtual size 800 after negligible drain) cannot fit;
+        // its guard shadows the runner's end. Job 2 (long, 4 > extra 2)
+        // violates the guard; job 3 fits in the extra nodes.
+        assert_eq!(engine.select_starts(&c), vec![JobId(3)]);
+    }
+
+    #[test]
+    fn las_engine_prefers_the_unserved_user() {
+        let fs = fs();
+        let mut engine = compose(EngineKind::Las);
+        // User 1 accrues service via a running job; user 2 has none.
+        let runners = vec![RunningJob {
+            id: JobId(90),
+            user: UserId(1),
+            nodes: 6,
+            start: 0,
+            estimate: 1000,
+            scheduled_end: 1000,
+        }];
+        let c0 = ctx(0, 10, &runners, &[], &fs, None);
+        engine.select_starts(&c0); // prime the accrual clock
+        let queue = vec![queued(1, 1, 4, 100, 0), queued(2, 2, 4, 100, 50)];
+        let c1 = ctx(100, 10, &runners, &queue, &fs, None);
+        // 4 free nodes: only one of the two queued jobs fits; LAS picks
+        // user 2's despite its later arrival.
+        assert_eq!(engine.select_starts(&c1), vec![JobId(2)]);
     }
 
     #[test]

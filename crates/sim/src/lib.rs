@@ -66,7 +66,7 @@ pub use config::{
 pub use fairshare::FairshareTracker;
 pub use faults::{FaultConfig, FaultModel, Outage, RepairTime, ResiliencePolicy};
 pub use listsched::NodeTimeline;
-pub use prefix::{warm_start_supported, PrefixSimulator};
+pub use prefix::{warm_start_forkable, warm_start_supported, PrefixSimulator};
 pub use simulator::{
     try_simulate, try_simulate_traced, try_simulate_with, CancelToken, JobRecord, OriginalOutcome,
     PlacementStats, QueueStats, Schedule, SimError,

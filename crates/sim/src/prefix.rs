@@ -37,22 +37,41 @@ use crate::state::NullObserver;
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
 
-/// Whether `cfg` permits warm-started prefix simulation. Requires an engine
-/// whose forked state reproduces a from-scratch run (every engine except
-/// dynamic conservative, whose per-event rebuild makes warm starts
-/// pointless), no fault injection, and no runtime-limit chaining; anything
-/// else must use from-scratch prefix runs to reproduce the exact serial
-/// results.
-pub fn warm_start_supported(cfg: &SimConfig) -> bool {
-    let forkable = matches!(
-        cfg.engine,
+/// Explicit fork-exactness classification of every engine kind. The match
+/// is exhaustive *without* a wildcard arm on purpose: adding an
+/// [`EngineKind`] variant without deciding its warm-start class is a
+/// compile error here, not a silent from-scratch fallback (or worse, a
+/// wrong warm start). `tests/single_pass.rs` proves warm ≡ cold over
+/// [`EngineKind::representatives`] for every kind classified `true`.
+///
+/// The size-based orders (FSP/LAS/HFSP) qualify: their state is a pure
+/// function of the hook-call sequence driven by [`Sim::step`] (admission
+/// touches no engine callback), so a [`fork`](crate::engine::Engine::fork)
+/// replays the same float operations a from-scratch prefix run would.
+pub fn warm_start_forkable(kind: EngineKind) -> bool {
+    match kind {
         EngineKind::NoGuarantee
-            | EngineKind::Easy
-            | EngineKind::FcfsNoBackfill
-            | EngineKind::ReservationDepth(_)
-            | EngineKind::Conservative { dynamic: false }
-    );
-    forkable && !cfg.faults.enabled() && cfg.runtime_limit.is_none()
+        | EngineKind::Easy
+        | EngineKind::FcfsNoBackfill
+        | EngineKind::ReservationDepth(_)
+        | EngineKind::Conservative { dynamic: false }
+        | EngineKind::Fsp
+        | EngineKind::Las
+        | EngineKind::Hfsp => true,
+        // Dynamic conservative discards and rebuilds every reservation at
+        // every event, so forking its ledger buys nothing over the
+        // from-scratch fallback it already equals.
+        EngineKind::Conservative { dynamic: true } => false,
+    }
+}
+
+/// Whether `cfg` permits warm-started prefix simulation. Requires an engine
+/// whose forked state reproduces a from-scratch run (see
+/// [`warm_start_forkable`]), no fault injection, and no runtime-limit
+/// chaining; anything else must use from-scratch prefix runs to reproduce
+/// the exact serial results.
+pub fn warm_start_supported(cfg: &SimConfig) -> bool {
+    warm_start_forkable(cfg.engine) && !cfg.faults.enabled() && cfg.runtime_limit.is_none()
 }
 
 /// Incremental prefix simulator: admit jobs in nondecreasing
@@ -249,13 +268,12 @@ mod tests {
     #[test]
     fn matches_from_scratch_for_every_supported_engine() {
         let trace = random_trace(42, 80, 16, 4000);
-        for engine in [
-            EngineKind::NoGuarantee,
-            EngineKind::Easy,
-            EngineKind::FcfsNoBackfill,
-            EngineKind::ReservationDepth(2),
-            EngineKind::Conservative { dynamic: false },
-        ] {
+        let mut covered = 0;
+        for engine in EngineKind::representatives() {
+            if !warm_start_forkable(engine) {
+                continue;
+            }
+            covered += 1;
             let cfg = SimConfig {
                 nodes: 16,
                 engine,
@@ -264,6 +282,9 @@ mod tests {
             };
             check_matches_scratch(&cfg, &trace);
         }
+        // The capability covers the five pre-refactor kinds plus the three
+        // size-based orders; a silent shrink would make this test vacuous.
+        assert_eq!(covered, 8, "warm-start coverage changed");
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub mod prelude {
         TraceSink,
     };
     pub use fairsched_sim::{
-        try_simulate, try_simulate_traced, warm_start_supported, EngineKind, FaultConfig,
-        KillPolicy, NullObserver, Observer, ObserverSet, PrefixSimulator, QueueOrder,
+        try_simulate, try_simulate_traced, warm_start_forkable, warm_start_supported, EngineKind,
+        FaultConfig, KillPolicy, NullObserver, Observer, ObserverSet, PrefixSimulator, QueueOrder,
         ResiliencePolicy, Schedule, SimConfig, SimError,
     };
     pub use fairsched_workload::job::{Job, JobId, UserId};

@@ -177,6 +177,25 @@ fn scenarios() -> Vec<(String, Vec<Job>, SimConfig)> {
         cfg.faults = faults_nodes_and_crashes(resilience);
         out.push((format!("faults/{}.{tag}", policy.id), trace_b(), cfg));
     }
+    // The size-based family (FSP / LAS / HFSP): stateful virtual-fair and
+    // least-attained orders, recorded when the family landed. Appended
+    // after the original 25 so those stay byte-for-byte pinned.
+    for p in PolicySpec::size_based_policies() {
+        out.push((
+            format!("sizebased/{}", p.id),
+            trace_a(),
+            p.sim_config(NODES),
+        ));
+    }
+    for (id, resilience, tag) in [
+        ("fsp.nomax", ResiliencePolicy::RequeueFromScratch, "requeue"),
+        ("las.nomax", ResiliencePolicy::ChunkResume, "resume"),
+        ("hfsp.72max", ResiliencePolicy::ChunkResume, "resume"),
+    ] {
+        let mut cfg = PolicySpec::by_id(id).unwrap().sim_config(NODES);
+        cfg.faults = faults_nodes_and_crashes(resilience);
+        out.push((format!("faults/{id}.{tag}"), trace_b(), cfg));
+    }
     out
 }
 
@@ -208,6 +227,19 @@ const GOLDENS: &[(&str, u64)] = &[
     ("faults/cons.nomax.requeue", 0x3e9564953a9f5613),
     ("faults/consdyn.nomax.resume", 0xe2bfff51b9b840a7),
     ("faults/cplant24.72max.all.resume", 0x978a727e5dace8d2),
+    // Size-based family goldens, recorded when FSP/LAS/HFSP landed. FSP
+    // and HFSP coincide on the unlimited trace-A scenario (aging never
+    // flips a decision there) but diverge under 72 h chunking, which
+    // shrinks virtual remainders enough for the aging credit to matter.
+    ("sizebased/fsp.nomax", 0x7086e9a3aefdfdd7),
+    ("sizebased/las.nomax", 0x2908170e889648ed),
+    ("sizebased/hfsp.nomax", 0x7086e9a3aefdfdd7),
+    ("sizebased/fsp.72max", 0xa2f3a067387df1dd),
+    ("sizebased/las.72max", 0x361117a621a59116),
+    ("sizebased/hfsp.72max", 0x2be051936d752f62),
+    ("faults/fsp.nomax.requeue", 0x6c14bf498e581c8d),
+    ("faults/las.nomax.resume", 0x78cf802f534c967d),
+    ("faults/hfsp.72max.resume", 0x5608530cf8dd1df4),
 ];
 
 fn run(trace: &[Job], cfg: &SimConfig) -> Schedule {
@@ -240,7 +272,10 @@ mod properties {
     /// so dedup by id keeps each composition exercised once per case.
     fn specs_under_test() -> Vec<PolicySpec> {
         let mut specs = PolicySpec::paper_policies();
-        for p in PolicySpec::minor_policies() {
+        for p in PolicySpec::minor_policies()
+            .into_iter()
+            .chain(PolicySpec::size_based_policies())
+        {
             if !specs.iter().any(|s| s.id == p.id) {
                 specs.push(p);
             }
@@ -376,10 +411,11 @@ mod properties {
                     );
                 }
             }
-            // The capability must cover the unlimited no-guarantee rows and
-            // the static conservative row — if it silently shrank, this
-            // suite would be vacuous.
-            prop_assert!(covered >= 4, "only {covered} policies warm-startable");
+            // The capability must cover the unlimited no-guarantee rows,
+            // the static conservative row, and the three unlimited
+            // size-based rows — if it silently shrank, this suite would be
+            // vacuous.
+            prop_assert!(covered >= 7, "only {covered} policies warm-startable");
         }
     }
 }

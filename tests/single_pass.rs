@@ -92,6 +92,44 @@ proptest! {
         );
     }
 
+    /// Every engine composition row is explicitly classified by
+    /// `warm_start_forkable`, and for every row it declares forkable the
+    /// warm-started prefix FSTs equal the from-scratch ones — the guard
+    /// against a new stateful order strategy silently riding the fork path
+    /// with state the clone does not carry.
+    #[test]
+    fn every_engine_row_is_classified_and_warm_equals_cold(
+        seed in 0u64..200,
+        engine_idx in 0usize..9,
+    ) {
+        let kinds = EngineKind::representatives();
+        prop_assert_eq!(kinds.len(), 9, "representatives() must cover every variant");
+        let engine = kinds[engine_idx];
+        // Classification is total: the match in warm_start_forkable has no
+        // wildcard, so merely calling it on every representative proves
+        // each row was consciously classified.
+        let forkable = warm_start_forkable(engine);
+        if matches!(engine, EngineKind::Conservative { dynamic: true }) {
+            prop_assert!(!forkable, "dynamic conservative must stay from-scratch");
+        }
+
+        let trace = random_trace(seed, 30, NODES, 5000);
+        let cfg = SimConfig {
+            nodes: NODES,
+            engine,
+            ..Default::default()
+        };
+        prop_assert_eq!(warm_start_supported(&cfg), forkable);
+        if forkable {
+            // The parallel path forks a warm master when supported; serial
+            // replays every prefix from scratch. Equal FSTs prove the
+            // strategy's cloned state is exact.
+            let warm = sabin_fsts_parallel(&trace, &cfg, Some(2));
+            let cold = sabin_fsts(&trace, &cfg);
+            prop_assert_eq!(warm, cold, "warm-start diverged for {:?}", engine);
+        }
+    }
+
     /// `try_run_policy` + `RunOptions::everything()` returns the same four
     /// reports the dedicated observers produce on their own runs.
     #[test]

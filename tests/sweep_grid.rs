@@ -37,6 +37,7 @@ fn small_plan() -> SweepPlan {
         ],
         scale: 0.01,
         nodes: 1024,
+        exact_estimates: false,
     }
 }
 
@@ -84,6 +85,7 @@ fn a_hung_cell_times_out_retries_and_degrades_to_a_typed_row() {
             faults: vec![FaultPoint::clean()],
             scale: 0.05,
             nodes: 1024,
+            exact_estimates: false,
         },
         journal: path.clone(),
         timeout_per_cell: Some(Duration::from_millis(1)),
