@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairsched_bench::bench_trace;
 use fairsched_sim::{
-    try_simulate, FairshareConfig, NullObserver, RuntimeLimit, SimConfig, StarvationConfig,
+    simulate, FairshareConfig, NullObserver, RuntimeLimit, SimConfig, SimOptions, StarvationConfig,
 };
 use fairsched_workload::time::HOUR;
 use fairsched_workload::CplantModel;
@@ -26,7 +26,9 @@ fn decay_factor(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(factor), &cfg, |b, cfg| {
-            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
+            b.iter(|| {
+                simulate(black_box(&trace), cfg, &mut NullObserver, SimOptions::new()).unwrap()
+            })
         });
     }
     g.finish();
@@ -45,7 +47,9 @@ fn starvation_delay(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(hours), &cfg, |b, cfg| {
-            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
+            b.iter(|| {
+                simulate(black_box(&trace), cfg, &mut NullObserver, SimOptions::new()).unwrap()
+            })
         });
     }
     g.finish();
@@ -63,7 +67,9 @@ fn runtime_limit(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(hours), &cfg, |b, cfg| {
-            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
+            b.iter(|| {
+                simulate(black_box(&trace), cfg, &mut NullObserver, SimOptions::new()).unwrap()
+            })
         });
     }
     g.finish();
@@ -80,7 +86,9 @@ fn reservation_depth(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(depth), &cfg, |b, cfg| {
-            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
+            b.iter(|| {
+                simulate(black_box(&trace), cfg, &mut NullObserver, SimOptions::new()).unwrap()
+            })
         });
     }
     g.finish();
@@ -100,7 +108,9 @@ fn machine_size(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &cfg, |b, cfg| {
-            b.iter(|| try_simulate(black_box(&trace), cfg, &mut NullObserver).unwrap())
+            b.iter(|| {
+                simulate(black_box(&trace), cfg, &mut NullObserver, SimOptions::new()).unwrap()
+            })
         });
     }
     g.finish();

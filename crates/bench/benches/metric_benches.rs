@@ -10,7 +10,7 @@ use fairsched_metrics::fairness::equality::equality_report;
 use fairsched_metrics::fairness::hybrid::HybridFstObserver;
 use fairsched_metrics::fairness::jain::jain_index;
 use fairsched_sim::profile::Profile;
-use fairsched_sim::{try_simulate, NodeTimeline, NullObserver, SimConfig};
+use fairsched_sim::{simulate, NodeTimeline, NullObserver, SimConfig, SimOptions};
 use std::hint::black_box;
 
 fn hybrid_observer(c: &mut Criterion) {
@@ -22,12 +22,20 @@ fn hybrid_observer(c: &mut Criterion) {
     let mut g = c.benchmark_group("metrics/hybrid_fst");
     g.sample_size(10);
     g.bench_function("simulate_without_observer", |b| {
-        b.iter(|| try_simulate(black_box(&trace), &cfg, &mut NullObserver).unwrap())
+        b.iter(|| {
+            simulate(
+                black_box(&trace),
+                &cfg,
+                &mut NullObserver,
+                SimOptions::new(),
+            )
+            .unwrap()
+        })
     });
     g.bench_function("simulate_with_observer", |b| {
         b.iter(|| {
             let mut obs = HybridFstObserver::new();
-            try_simulate(black_box(&trace), &cfg, &mut obs).unwrap();
+            simulate(black_box(&trace), &cfg, &mut obs, SimOptions::new()).unwrap();
             obs.into_report()
         })
     });
@@ -40,7 +48,7 @@ fn baselines(c: &mut Criterion) {
         nodes: BENCH_NODES,
         ..Default::default()
     };
-    let schedule = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+    let schedule = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
     let fsts = consp_fsts(&trace, BENCH_NODES);
     let mut g = c.benchmark_group("metrics/baselines");
     g.sample_size(10);

@@ -14,7 +14,7 @@ use fairsched_core::policy::PolicySpec;
 use fairsched_core::runner::{try_run_policy, try_run_policy_traced, RunOptions};
 use fairsched_metrics::explain::{explain_wait, worst_miss};
 use fairsched_obs::{DecisionTracer, ProfileScope};
-use fairsched_sim::{try_simulate, try_simulate_traced, NullObserver};
+use fairsched_sim::{simulate, NullObserver, SimOptions};
 use std::hint::black_box;
 
 /// Trace-off vs trace-on, on the bare simulation the overhead budget is
@@ -25,16 +25,23 @@ fn trace_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs/trace_off_scale_0.25");
     g.sample_size(5);
     g.bench_function("bare_simulation", |b| {
-        b.iter(|| try_simulate(black_box(&trace), &cfg, &mut NullObserver))
+        b.iter(|| {
+            simulate(
+                black_box(&trace),
+                &cfg,
+                &mut NullObserver,
+                SimOptions::new(),
+            )
+        })
     });
     g.bench_function("bare_simulation_traced", |b| {
         b.iter(|| {
             let mut tracer = DecisionTracer::unbounded();
-            try_simulate_traced(
+            simulate(
                 black_box(&trace),
                 &cfg,
                 &mut NullObserver,
-                Some(&mut tracer),
+                SimOptions::new().trace(&mut tracer),
             )
             .map(|s| (s, tracer.len()))
         })

@@ -12,7 +12,7 @@ use fairsched_core::sweep::try_run_policies;
 use fairsched_metrics::fairness::peruser::per_user;
 use fairsched_metrics::fairness::sabin::{sabin_fsts_parallel_sampled, sabin_fsts_sampled};
 use fairsched_metrics::{EqualityObserver, HybridFstObserver, ResilienceReport};
-use fairsched_sim::{try_simulate, FaultConfig, NullObserver, ObserverSet};
+use fairsched_sim::{simulate, FaultConfig, NullObserver, ObserverSet, SimOptions};
 use std::hint::black_box;
 
 /// Score 1 in 16 jobs: the Sabin prefix cost is what is being compared, and
@@ -82,17 +82,25 @@ fn metric_collection(c: &mut Criterion) {
         g.bench_function("four_separate_runs", |b| {
             b.iter(|| {
                 let mut hybrid = HybridFstObserver::new();
-                let schedule = try_simulate(black_box(&trace), &cfg, &mut hybrid).unwrap();
+                let schedule =
+                    simulate(black_box(&trace), &cfg, &mut hybrid, SimOptions::new()).unwrap();
                 let fairness = hybrid.into_report();
 
                 let mut equality = EqualityObserver::new();
-                try_simulate(black_box(&trace), &cfg, &mut equality).unwrap();
+                simulate(black_box(&trace), &cfg, &mut equality, SimOptions::new()).unwrap();
 
                 let mut hybrid2 = HybridFstObserver::new();
-                let s2 = try_simulate(black_box(&trace), &cfg, &mut hybrid2).unwrap();
+                let s2 =
+                    simulate(black_box(&trace), &cfg, &mut hybrid2, SimOptions::new()).unwrap();
                 let users = per_user(&s2, &hybrid2.into_report());
 
-                let s3 = try_simulate(black_box(&trace), &cfg, &mut NullObserver).unwrap();
+                let s3 = simulate(
+                    black_box(&trace),
+                    &cfg,
+                    &mut NullObserver,
+                    SimOptions::new(),
+                )
+                .unwrap();
                 let resilience = ResilienceReport::split(&fairness, &s3);
 
                 (
@@ -106,7 +114,15 @@ fn metric_collection(c: &mut Criterion) {
         });
         // Reference point: the bare simulation with no observers.
         g.bench_function("bare_simulation", |b| {
-            b.iter(|| try_simulate(black_box(&trace), &cfg, &mut NullObserver).unwrap())
+            b.iter(|| {
+                simulate(
+                    black_box(&trace),
+                    &cfg,
+                    &mut NullObserver,
+                    SimOptions::new(),
+                )
+                .unwrap()
+            })
         });
         // And the fan-out layer itself, isolated from report folding.
         g.bench_function("observer_set_two_members", |b| {
@@ -116,7 +132,7 @@ fn metric_collection(c: &mut Criterion) {
                 let mut set = ObserverSet::new();
                 set.push(&mut hybrid);
                 set.push(&mut equality);
-                try_simulate(black_box(&trace), &cfg, &mut set).unwrap()
+                simulate(black_box(&trace), &cfg, &mut set, SimOptions::new()).unwrap()
             })
         });
         g.finish();

@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fairsched_bench::{bench_trace, BENCH_NODES};
 use fairsched_core::policy::PolicySpec;
 use fairsched_metrics::fairness::sabin::sabin_fsts_parallel_sampled;
-use fairsched_sim::{try_simulate, warm_start_supported, NullObserver};
+use fairsched_sim::{simulate, warm_start_supported, NullObserver, SimOptions};
 use std::hint::black_box;
 
 /// Same 1-in-16 sample the other prefix benches use.
@@ -28,7 +28,15 @@ fn size_based_simulation(c: &mut Criterion) {
     for id in ["easy.nomax", "fsp.nomax", "hfsp.nomax", "las.nomax"] {
         let cfg = PolicySpec::by_id(id).unwrap().sim_config(BENCH_NODES);
         g.bench_function(id, |b| {
-            b.iter(|| try_simulate(black_box(&trace), &cfg, &mut NullObserver).unwrap())
+            b.iter(|| {
+                simulate(
+                    black_box(&trace),
+                    &cfg,
+                    &mut NullObserver,
+                    SimOptions::new(),
+                )
+                .unwrap()
+            })
         });
     }
     g.finish();

@@ -1,6 +1,6 @@
 //! # fairsched-cli
 //!
-//! The command-line face of the workspace. Seven subcommands:
+//! The command-line face of the workspace. Ten subcommands:
 //!
 //! ```text
 //! fairsched generate --seed 42 --scale 0.1 --nodes 1024 --out trace.swf
@@ -10,6 +10,9 @@
 //! fairsched profile  --trace trace.swf --policy cons.nomax
 //! fairsched explain  --trace trace.swf --policy cons.nomax [--job 17]
 //! fairsched sweep    --journal s.jsonl --seeds 1,2,3 [--grid A,B] [--resume]
+//! fairsched serve    [--port N] [--policy ID] [--speedup X | --manual]
+//! fairsched submit   --addr HOST:PORT --id N --user N --submit T --nodes N --runtime T
+//! fairsched status   --addr HOST:PORT
 //! ```
 //!
 //! All logic lives in this library (parsing, dispatch, rendering) so it is
@@ -27,6 +30,9 @@ use fairsched_core::{run_sweep, FaultPoint, SweepConfig, SweepPlan};
 use fairsched_metrics::explain::{explain_wait, worst_miss};
 use fairsched_metrics::fairness::peruser::heavy_vs_light_miss;
 use fairsched_obs::{log, DecisionTracer};
+use fairsched_served::clock::ClockMode;
+use fairsched_served::session::SessionConfig;
+use fairsched_served::{Client, Daemon, SubmitRequest};
 use fairsched_sim::{FaultConfig, ResiliencePolicy};
 use fairsched_workload::job::JobId;
 use fairsched_workload::swf::{read_swf_file, write_swf_file};
@@ -132,6 +138,36 @@ pub enum Command {
         /// implicit clean point (disabled unless fault flags given).
         faults: FaultConfig,
     },
+    /// Run `fairschedd`: the online scheduling daemon, in the foreground
+    /// until `POST /v1/shutdown` (or `fairsched submit/status` clients
+    /// drive it).
+    Serve {
+        /// TCP port on 127.0.0.1 (0 = OS-assigned).
+        port: u16,
+        /// Write the resolved port here, for scripts using port 0.
+        port_file: Option<String>,
+        /// Policy id the daemon schedules under.
+        policy: String,
+        /// Machine size.
+        nodes: u32,
+        /// How simulated time advances.
+        clock: ClockMode,
+        /// Whether to emit trace effects (needed for `/v1/trace` and live
+        /// explain).
+        traced: bool,
+    },
+    /// Submit one job to a running daemon.
+    Submit {
+        /// Daemon address, e.g. `127.0.0.1:7070`.
+        addr: std::net::SocketAddr,
+        /// The job to submit.
+        request: SubmitRequest,
+    },
+    /// Query a running daemon's live status.
+    Status {
+        /// Daemon address.
+        addr: std::net::SocketAddr,
+    },
     /// Print usage.
     Help,
 }
@@ -163,7 +199,20 @@ USAGE:
   fairsched sweep    --journal FILE.jsonl [--grid ID,ID,...] [--seeds N,N,...]
                      [--scale F] [--nodes N] [--timeout-per-cell SECONDS]
                      [--max-retries N] [--threads N] [--resume] [FAULTS]
+  fairsched serve    [--port N] [--port-file FILE] [--policy ID] [--nodes N]
+                     [--speedup X | --manual] [--no-trace]
+  fairsched submit   --addr HOST:PORT --id N --user N --submit T --nodes N
+                     --runtime T [--estimate T] [--group N]
+  fairsched status   --addr HOST:PORT
   fairsched help
+
+SERVE (the fairschedd online scheduling daemon):
+  Accepts job submissions over HTTP on 127.0.0.1 and schedules them with
+  the same deterministic core as batch simulation. --speedup X maps one
+  wall second to X simulated seconds (default 1.0); --manual advances
+  only on POST /v1/advance. Stream decisions from GET /v1/trace (JSONL),
+  explain a queued-then-started job live via GET /v1/explain/{id}, and
+  finish the run with POST /v1/seal. Stop with POST /v1/shutdown.
 
 Fault flags apply to simulate, compare, profile, explain, and sweep;
 other subcommands reject them. `--quiet` anywhere (or FAIRSCHED_QUIET=1)
@@ -464,6 +513,82 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 resume: rest.iter().any(|a| a.as_str() == "--resume"),
                 threads,
                 faults: parse_faults()?,
+            })
+        }
+        "serve" => {
+            check_flags_with_bools(
+                &["--port", "--port-file", "--policy", "--nodes", "--speedup"],
+                &["--manual", "--no-trace"],
+            )?;
+            let manual = rest.iter().any(|a| a.as_str() == "--manual");
+            let speedup = parse_f64("--speedup", 1.0)?;
+            if !(speedup.is_finite() && speedup > 0.0) {
+                return Err(UsageError(format!(
+                    "--speedup must be positive, got {speedup}"
+                )));
+            }
+            if manual && flag("--speedup")?.is_some() {
+                return Err(UsageError(
+                    "--manual and --speedup are mutually exclusive".into(),
+                ));
+            }
+            Ok(Command::Serve {
+                port: parse_u64("--port", 0)?
+                    .try_into()
+                    .map_err(|_| UsageError("--port must fit a 16-bit port number".into()))?,
+                port_file: flag("--port-file")?.map(str::to_string),
+                policy: flag("--policy")?.unwrap_or("easy.nomax").to_string(),
+                nodes: parse_u32("--nodes", DEFAULT_NODES)?,
+                clock: if manual {
+                    ClockMode::Manual
+                } else {
+                    ClockMode::Realtime { speedup }
+                },
+                traced: !rest.iter().any(|a| a.as_str() == "--no-trace"),
+            })
+        }
+        "submit" => {
+            check_flags(&[
+                "--addr",
+                "--id",
+                "--user",
+                "--group",
+                "--submit",
+                "--nodes",
+                "--runtime",
+                "--estimate",
+            ])?;
+            let runtime = parse_u64("--runtime", 0)?;
+            if flag("--runtime")?.is_none() {
+                return Err(UsageError("missing required --runtime".into()));
+            }
+            Ok(Command::Submit {
+                addr: parse_addr(&required("--addr")?)?,
+                request: SubmitRequest {
+                    id: match flag("--id")? {
+                        Some(v) => v
+                            .parse()
+                            .map_err(|_| UsageError(format!("--id needs an integer, got {v:?}")))?,
+                        None => return Err(UsageError("missing required --id".into())),
+                    },
+                    user: parse_u32("--user", 1)?,
+                    group: parse_u32("--group", 1)?,
+                    submit: parse_u64("--submit", 0)?,
+                    nodes: match flag("--nodes")? {
+                        Some(v) => v.parse().map_err(|_| {
+                            UsageError(format!("--nodes needs an integer, got {v:?}"))
+                        })?,
+                        None => return Err(UsageError("missing required --nodes".into())),
+                    },
+                    runtime,
+                    estimate: parse_u64("--estimate", runtime)?,
+                },
+            })
+        }
+        "status" => {
+            check_flags(&["--addr"])?;
+            Ok(Command::Status {
+                addr: parse_addr(&required("--addr")?)?,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -805,7 +930,86 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
             writeln!(out, "journal: {journal}")?;
             Ok(out)
         }
+        Command::Serve {
+            port,
+            port_file,
+            policy,
+            nodes,
+            clock,
+            traced,
+        } => {
+            let mut daemon = Daemon::start(
+                &format!("127.0.0.1:{port}"),
+                SessionConfig {
+                    policy,
+                    nodes,
+                    clock,
+                    traced,
+                    id_floor: 0,
+                },
+            )?;
+            let addr = daemon.addr();
+            eprintln!("fairschedd listening on {addr}");
+            if let Some(path) = &port_file {
+                std::fs::write(path, format!("{}\n", addr.port()))?;
+            }
+            // Realtime clocks need a heartbeat: events only fire when the
+            // daemon grants time, so tick until shutdown (or seal).
+            if let ClockMode::Realtime { .. } = clock {
+                let session = std::sync::Arc::clone(daemon.session());
+                std::thread::spawn(move || loop {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    if session.tick().is_err() {
+                        break;
+                    }
+                });
+            }
+            while !daemon.stopped() {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            let status = daemon.session().status();
+            daemon.shutdown();
+            Ok(format!(
+                "fairschedd stopped: {} submissions accepted, {} completed, \
+                 final simulated time t={}\n",
+                status.accepted, status.completed, status.now
+            ))
+        }
+        Command::Submit { addr, request } => {
+            let ack = Client::new(addr).submit(&request)?;
+            Ok(format!(
+                "accepted job {} (arrives in the queue at t={})\n",
+                ack.id, ack.arrival
+            ))
+        }
+        Command::Status { addr } => {
+            let s = Client::new(addr).status()?;
+            let mut out = String::new();
+            writeln!(out, "fairschedd at {addr}:")?;
+            writeln!(out, "policy:       {}", s.policy)?;
+            writeln!(
+                out,
+                "nodes:        {} ({} free, {} down)",
+                s.nodes, s.free, s.down
+            )?;
+            writeln!(out, "simulated t:  {} (granted {})", s.now, s.granted)?;
+            writeln!(out, "queued:       {}", s.queued)?;
+            writeln!(out, "running:      {}", s.running)?;
+            writeln!(out, "accepted:     {}", s.accepted)?;
+            writeln!(out, "completed:    {}", s.completed)?;
+            match s.next_event {
+                Some(t) => writeln!(out, "next event:   t={t}")?,
+                None => writeln!(out, "next event:   none")?,
+            }
+            writeln!(out, "sealed:       {}", s.sealed)?;
+            Ok(out)
+        }
     }
+}
+
+fn parse_addr(s: &str) -> Result<std::net::SocketAddr, UsageError> {
+    s.parse()
+        .map_err(|_| UsageError(format!("--addr needs HOST:PORT, got {s:?}")))
 }
 
 fn lookup(id: &str) -> Result<PolicySpec, UsageError> {
@@ -1356,6 +1560,161 @@ mod tests {
         // The remaining argv parses normally.
         assert!(matches!(parse(&argv), Ok(Command::Simulate { .. })));
         fairsched_obs::log::set_quiet(was);
+    }
+
+    #[test]
+    fn parses_serve_submit_and_status() {
+        match parse(&args("serve")).unwrap() {
+            Command::Serve {
+                port,
+                policy,
+                clock,
+                traced,
+                ..
+            } => {
+                assert_eq!(port, 0);
+                assert_eq!(policy, "easy.nomax");
+                assert_eq!(clock, ClockMode::Realtime { speedup: 1.0 });
+                assert!(traced);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args(
+            "serve --port 7070 --policy cons.nomax --nodes 256 --manual --no-trace",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                port,
+                policy,
+                nodes,
+                clock,
+                traced,
+                ..
+            } => {
+                assert_eq!(port, 7070);
+                assert_eq!(policy, "cons.nomax");
+                assert_eq!(nodes, 256);
+                assert_eq!(clock, ClockMode::Manual);
+                assert!(!traced);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("serve --manual --speedup 100"))
+            .unwrap_err()
+            .0
+            .contains("mutually exclusive"));
+        assert!(parse(&args("serve --port 99999"))
+            .unwrap_err()
+            .0
+            .contains("--port"));
+
+        match parse(&args(
+            "submit --addr 127.0.0.1:7070 --id 5 --user 2 --submit 100 \
+             --nodes 16 --runtime 600",
+        ))
+        .unwrap()
+        {
+            Command::Submit { addr, request } => {
+                assert_eq!(addr.port(), 7070);
+                assert_eq!(request.id, 5);
+                assert_eq!(request.user, 2);
+                assert_eq!(request.submit, 100);
+                assert_eq!(request.nodes, 16);
+                assert_eq!(request.runtime, 600);
+                // --estimate defaults to the runtime.
+                assert_eq!(request.estimate, 600);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Dropping any required flag (and its value) is an error naming it.
+        for missing in ["--id", "--nodes", "--runtime", "--addr"] {
+            let full = args("submit --addr 1.2.3.4:1 --id 1 --nodes 2 --runtime 3");
+            let at = full.iter().position(|a| a == missing).unwrap();
+            let mut trimmed = full.clone();
+            trimmed.drain(at..at + 2);
+            let err = parse(&trimmed).unwrap_err();
+            assert!(err.0.contains(missing), "{missing}: {}", err.0);
+        }
+        assert!(
+            parse(&args("submit --addr nonsense --id 1 --nodes 2 --runtime 3"))
+                .unwrap_err()
+                .0
+                .contains("HOST:PORT")
+        );
+
+        match parse(&args("status --addr 127.0.0.1:7070")).unwrap() {
+            Command::Status { addr } => assert_eq!(addr.port(), 7070),
+            other => panic!("parsed {other:?}"),
+        }
+        // Flag whitelists hold for the service subcommands too.
+        assert!(parse(&args("status --addr 127.0.0.1:1 --mtbf 60"))
+            .unwrap_err()
+            .0
+            .contains("--mtbf"));
+        assert!(parse(&args("serve --trace t.swf"))
+            .unwrap_err()
+            .0
+            .contains("--trace"));
+    }
+
+    #[test]
+    fn serve_submit_status_round_trip_in_process() {
+        let dir = std::env::temp_dir().join("fairsched-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let _ = std::fs::remove_file(&port_file);
+
+        let serve = Command::Serve {
+            port: 0,
+            port_file: Some(port_file.to_str().unwrap().into()),
+            policy: "easy.nomax".into(),
+            nodes: 64,
+            clock: ClockMode::Manual,
+            traced: true,
+        };
+        let server = std::thread::spawn(move || execute(serve).unwrap());
+
+        // Wait for the daemon to publish its port.
+        let mut port = None;
+        for _ in 0..200 {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse::<u16>() {
+                    port = Some(p);
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let port = port.expect("daemon never wrote its port file");
+        let addr: std::net::SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+
+        let submitted = execute(Command::Submit {
+            addr,
+            request: SubmitRequest {
+                id: 1,
+                user: 1,
+                group: 1,
+                submit: 0,
+                nodes: 64,
+                runtime: 120,
+                estimate: 120,
+            },
+        })
+        .unwrap();
+        assert!(submitted.contains("accepted job 1"), "{submitted}");
+
+        let status = execute(Command::Status { addr }).unwrap();
+        assert!(status.contains("accepted:     1"), "{status}");
+        assert!(status.contains("policy:       easy.nomax"), "{status}");
+
+        let client = Client::new(addr);
+        client.seal().unwrap();
+        client.shutdown().unwrap();
+        let summary = server.join().unwrap();
+        assert!(summary.contains("1 submissions accepted"), "{summary}");
+        assert!(summary.contains("1 completed"), "{summary}");
+        std::fs::remove_file(&port_file).unwrap();
     }
 
     #[test]

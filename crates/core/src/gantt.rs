@@ -118,7 +118,7 @@ pub fn utilization_strip(schedule: &Schedule, cols: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsched_sim::{try_simulate, EngineKind, NullObserver, SimConfig};
+    use fairsched_sim::{simulate, EngineKind, NullObserver, SimConfig, SimOptions};
     use fairsched_workload::job::Job;
 
     fn schedule(trace: &[Job], nodes: u32, engine: EngineKind) -> Schedule {
@@ -127,7 +127,7 @@ mod tests {
             engine,
             ..Default::default()
         };
-        try_simulate(trace, &cfg, &mut NullObserver).unwrap()
+        simulate(trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap()
     }
 
     #[test]

@@ -18,7 +18,8 @@ use fairsched_metrics::user;
 use fairsched_obs::counters::{CounterSnapshot, ProfileReport, ProfileScope};
 use fairsched_obs::TraceSink;
 use fairsched_sim::{
-    try_simulate_with, CancelToken, FaultConfig, ObserverSet, OriginalOutcome, Schedule, SimError,
+    simulate, CancelToken, FaultConfig, ObserverSet, OriginalOutcome, Schedule, SimError,
+    SimOptions,
 };
 use fairsched_workload::categories::WIDTH_BUCKETS;
 use fairsched_workload::job::Job;
@@ -188,7 +189,17 @@ pub fn try_run_policy_traced(
         if opts.equality {
             observers.push(&mut equality);
         }
-        try_simulate_with(trace, &cfg, &mut observers, sink, opts.cancel.clone())?
+        // The runner keeps its own ProfileScope (above) rather than using
+        // SimOptions::profile: the scope must also cover the fairness
+        // scoring after the run.
+        let mut sim_opts = SimOptions::new();
+        if let Some(sink) = sink {
+            sim_opts = sim_opts.trace(sink);
+        }
+        if let Some(cancel) = opts.cancel.clone() {
+            sim_opts = sim_opts.cancel(cancel);
+        }
+        simulate(trace, &cfg, &mut observers, sim_opts)?
     };
     let fairness = hybrid.into_report();
     let profile = baseline.map(|before| ProfileReport {

@@ -10,7 +10,7 @@
 use fairsched_core::runner::PolicyOutcome;
 use fairsched_metrics::fairness::hybrid::HybridFstObserver;
 use fairsched_sim::{
-    try_simulate, EngineKind, FairshareConfig, HeavyUserRule, RuntimeLimit, SimConfig,
+    simulate, EngineKind, FairshareConfig, HeavyUserRule, RuntimeLimit, SimConfig, SimOptions,
     StarvationConfig,
 };
 use fairsched_workload::job::Job;
@@ -35,7 +35,7 @@ pub struct AblationRow {
 
 fn run_with(trace: &[Job], setting: String, cfg: &SimConfig) -> AblationRow {
     let mut obs = HybridFstObserver::new();
-    let schedule = try_simulate(trace, cfg, &mut obs)
+    let schedule = simulate(trace, cfg, &mut obs, SimOptions::new())
         .unwrap_or_else(|e| panic!("ablation '{setting}' failed: {e}"));
     let outcome = PolicyOutcome {
         policy: setting.clone(),

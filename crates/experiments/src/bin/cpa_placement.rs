@@ -4,7 +4,7 @@
 //! compactness differs.
 use fairsched_cpa::PlacementStrategy;
 use fairsched_experiments::ExperimentConfig;
-use fairsched_sim::{try_simulate, AllocationModel, NullObserver, SimConfig};
+use fairsched_sim::{simulate, AllocationModel, NullObserver, SimConfig, SimOptions};
 
 fn main() {
     fairsched_obs::log::quiet_from_env();
@@ -25,7 +25,7 @@ fn main() {
             allocation: AllocationModel::Linear(strategy),
             ..Default::default()
         };
-        let s = match try_simulate(&trace, &sim_cfg, &mut NullObserver) {
+        let s = match simulate(&trace, &sim_cfg, &mut NullObserver, SimOptions::new()) {
             Ok(s) => s,
             Err(e) => {
                 fairsched_obs::log::warn(format!("{name}: simulation failed: {e}"));

@@ -384,13 +384,18 @@ impl fmt::Display for WaitBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsched_sim::{try_simulate_traced, EngineKind, NullObserver, SimConfig};
+    use fairsched_sim::{simulate, EngineKind, NullObserver, SimConfig, SimOptions};
     use fairsched_workload::job::Job;
 
     fn traced_run(trace: &[Job], cfg: &SimConfig) -> (Vec<TraceRecord>, Schedule) {
         let mut records: Vec<TraceRecord> = Vec::new();
-        let schedule =
-            try_simulate_traced(trace, cfg, &mut NullObserver, Some(&mut records)).unwrap();
+        let schedule = simulate(
+            trace,
+            cfg,
+            &mut NullObserver,
+            SimOptions::new().trace(&mut records),
+        )
+        .unwrap();
         (records, schedule)
     }
 

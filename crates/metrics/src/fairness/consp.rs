@@ -12,7 +12,7 @@
 
 use crate::fairness::fst::{FstEntry, FstReport};
 use fairsched_sim::{
-    try_simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, Schedule, SimConfig,
+    simulate, EngineKind, KillPolicy, NullObserver, QueueOrder, Schedule, SimConfig, SimOptions,
 };
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
@@ -38,7 +38,7 @@ pub fn consp_fsts(trace: &[Job], nodes: u32) -> HashMap<JobId, Time> {
         runtime_limit: None,
         ..Default::default()
     };
-    let schedule = try_simulate(&perfect, &cfg, &mut NullObserver)
+    let schedule = simulate(&perfect, &cfg, &mut NullObserver, SimOptions::new())
         .expect("CONS_P reference simulation is valid by construction");
     schedule.records.iter().map(|r| (r.id, r.start)).collect()
 }
@@ -101,7 +101,7 @@ mod tests {
             runtime_limit: None,
             ..Default::default()
         };
-        let schedule = try_simulate(&perfect, &cfg, &mut NullObserver).unwrap();
+        let schedule = simulate(&perfect, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         let report = consp_report(&schedule, &fsts);
         assert_eq!(report.entries.len(), trace.len());
         assert_eq!(report.percent_unfair(), 0.0);
@@ -165,7 +165,7 @@ mod tests {
             nodes: 16,
             ..Default::default()
         };
-        let schedule = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let schedule = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         let report = consp_report(&schedule, &fsts);
         assert_eq!(report.entries.len(), trace.len());
         // Not asserting a particular value — just that the pipeline scores

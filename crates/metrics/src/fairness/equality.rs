@@ -161,7 +161,7 @@ pub fn deserved_shares(schedule: &Schedule) -> HashMap<JobId, f64> {
         .collect()
 }
 
-/// Observer form of the metric: attach to one `try_simulate` run (alone or
+/// Observer form of the metric: attach to one `simulate` run (alone or
 /// inside an [`fairsched_sim::ObserverSet`]) and collect the
 /// [`EqualityReport`] without a second scoring pass over the schedule.
 ///
@@ -198,7 +198,7 @@ impl Observer for EqualityObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsched_sim::{try_simulate, EngineKind, KillPolicy, NullObserver, SimConfig};
+    use fairsched_sim::{simulate, EngineKind, KillPolicy, NullObserver, SimConfig, SimOptions};
     use fairsched_workload::job::Job;
     use fairsched_workload::time::Time;
 
@@ -220,7 +220,13 @@ mod tests {
         // One live job: deserves SystemSize × its lifetime = 10 × 100; it
         // received 4 × 100 → discrimination -600 (it could not use its whole
         // entitlement, which is fine — the metric is about *relative* shares).
-        let s = try_simulate(&[job(1, 1, 0, 4, 100)], &cfg(10), &mut NullObserver).unwrap();
+        let s = simulate(
+            &[job(1, 1, 0, 4, 100)],
+            &cfg(10),
+            &mut NullObserver,
+            SimOptions::new(),
+        )
+        .unwrap();
         let r = equality_report(&s);
         assert!((r.of(JobId(1)).unwrap() - (400.0 - 1000.0)).abs() < 1e-9);
     }
@@ -229,7 +235,7 @@ mod tests {
     fn equal_concurrent_jobs_have_equal_discrimination() {
         // Two identical jobs, same submit, both fit: identical treatment.
         let trace = [job(1, 1, 0, 5, 100), job(2, 2, 0, 5, 100)];
-        let s = try_simulate(&trace, &cfg(10), &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg(10), &mut NullObserver, SimOptions::new()).unwrap();
         let r = equality_report(&s);
         let d1 = r.of(JobId(1)).unwrap();
         let d2 = r.of(JobId(2)).unwrap();
@@ -245,7 +251,7 @@ mod tests {
         // deserved a share it received none of → negative discrimination;
         // job 1, running alone-then-sharing, is positive.
         let trace = [job(1, 1, 0, 10, 100), job(2, 2, 0, 10, 100)];
-        let s = try_simulate(&trace, &cfg(10), &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg(10), &mut NullObserver, SimOptions::new()).unwrap();
         let r = equality_report(&s);
         let d1 = r.of(JobId(1)).unwrap();
         let d2 = r.of(JobId(2)).unwrap();
@@ -260,7 +266,7 @@ mod tests {
 
     #[test]
     fn empty_schedule_reports_nothing() {
-        let s = try_simulate(&[], &cfg(10), &mut NullObserver).unwrap();
+        let s = simulate(&[], &cfg(10), &mut NullObserver, SimOptions::new()).unwrap();
         let r = equality_report(&s);
         assert!(r.discrimination.is_empty());
         assert_eq!(r.total_underservice(), 0.0);
@@ -271,14 +277,14 @@ mod tests {
     fn observer_matches_post_hoc_scoring() {
         let trace = [job(1, 1, 0, 10, 100), job(2, 2, 0, 10, 100)];
         let mut obs = EqualityObserver::new();
-        let s = try_simulate(&trace, &cfg(10), &mut obs).unwrap();
+        let s = simulate(&trace, &cfg(10), &mut obs, SimOptions::new()).unwrap();
         assert_eq!(obs.into_report(), equality_report(&s));
     }
 
     #[test]
     fn deserved_shares_reconstruct_received_minus_discrimination() {
         let trace = [job(1, 1, 0, 10, 100), job(2, 2, 0, 10, 100)];
-        let s = try_simulate(&trace, &cfg(10), &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg(10), &mut NullObserver, SimOptions::new()).unwrap();
         let shares = deserved_shares(&s);
         // Job 1: live [0,100) sharing with job 2 → deserved 10/2×100 = 500.
         assert!((shares[&JobId(1)] - 500.0).abs() < 1e-9);

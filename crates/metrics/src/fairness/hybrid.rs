@@ -28,19 +28,19 @@ use std::collections::HashMap;
 
 /// Observer computing hybrid fairshare FSTs during a simulation run.
 ///
-/// Attach to [`fairsched_sim::try_simulate`] (alone or inside an
+/// Attach to [`fairsched_sim::simulate`] (alone or inside an
 /// [`fairsched_sim::ObserverSet`]), then call
 /// [`HybridFstObserver::into_report`].
 ///
 /// ```
 /// use fairsched_metrics::fairness::hybrid::HybridFstObserver;
-/// use fairsched_sim::{try_simulate, SimConfig};
+/// use fairsched_sim::{simulate, SimConfig, SimOptions};
 /// use fairsched_workload::CplantModel;
 ///
 /// let trace = CplantModel::new(1).with_scale(0.01).generate();
 /// let cfg = SimConfig::default();
 /// let mut observer = HybridFstObserver::new();
-/// let _schedule = try_simulate(&trace, &cfg, &mut observer).unwrap();
+/// let _schedule = simulate(&trace, &cfg, &mut observer, SimOptions::new()).unwrap();
 /// let report = observer.into_report();
 /// assert_eq!(report.entries.len(), trace.len());
 /// assert!(report.percent_unfair() <= 1.0);
@@ -113,7 +113,7 @@ impl Observer for HybridFstObserver {
 mod tests {
     use super::*;
     use fairsched_sim::{
-        try_simulate, EngineKind, KillPolicy, QueueOrder, SimConfig, StarvationConfig,
+        simulate, EngineKind, KillPolicy, QueueOrder, SimConfig, SimOptions, StarvationConfig,
     };
     use fairsched_workload::job::Job;
     use fairsched_workload::time::HOUR;
@@ -134,7 +134,7 @@ mod tests {
 
     fn report(trace: &[Job], cfg: &SimConfig) -> FstReport {
         let mut obs = HybridFstObserver::new();
-        try_simulate(trace, cfg, &mut obs).unwrap();
+        simulate(trace, cfg, &mut obs, SimOptions::new()).unwrap();
         obs.into_report()
     }
 

@@ -119,7 +119,7 @@ pub fn heavy_vs_light_miss(users: &[UserFairness], heavy_fraction: f64) -> (f64,
     (mean(&users[..heavy_n]), mean(&users[heavy_n..]))
 }
 
-/// Observer form of the per-user audit: attach to one `try_simulate` run
+/// Observer form of the per-user audit: attach to one `simulate` run
 /// (alone or inside an [`fairsched_sim::ObserverSet`]) and collect the
 /// [`UserFairness`] rows without a second simulation.
 ///
@@ -169,7 +169,7 @@ mod tests {
     use super::*;
     use crate::fairness::fst::FstEntry;
     use crate::fairness::hybrid::HybridFstObserver;
-    use fairsched_sim::{try_simulate, SimConfig};
+    use fairsched_sim::{simulate, SimConfig, SimOptions};
     use fairsched_sim::{JobRecord, Schedule};
     use fairsched_workload::job::GroupId;
     use fairsched_workload::job::JobId;
@@ -303,12 +303,12 @@ mod tests {
         let trace = CplantModel::new(5).with_scale(0.03).generate();
         let cfg = SimConfig::default();
         let mut obs = HybridFstObserver::new();
-        let s = try_simulate(&trace, &cfg, &mut obs).unwrap();
+        let s = simulate(&trace, &cfg, &mut obs, SimOptions::new()).unwrap();
         let fairness = obs.into_report();
         let users = per_user(&s, &fairness);
         // The observer form collects the identical rows in the same run.
         let mut single = PerUserObserver::new();
-        try_simulate(&trace, &cfg, &mut single).unwrap();
+        simulate(&trace, &cfg, &mut single, SimOptions::new()).unwrap();
         assert_eq!(single.into_users(), users);
         // Every trace user with jobs appears exactly once.
         let distinct: std::collections::HashSet<_> = trace.iter().map(|j| j.user).collect();

@@ -88,7 +88,7 @@ impl ResilienceReport {
     }
 }
 
-/// Observer form of the resilience audit: attach to one `try_simulate` run
+/// Observer form of the resilience audit: attach to one `simulate` run
 /// (alone or inside an [`fairsched_sim::ObserverSet`]) and collect the
 /// interrupted-vs-clean split without a second simulation.
 ///
@@ -210,7 +210,7 @@ mod tests {
 
     #[test]
     fn observer_matches_post_hoc_split_under_faults() {
-        use fairsched_sim::{try_simulate, FaultConfig, SimConfig};
+        use fairsched_sim::{simulate, FaultConfig, SimConfig, SimOptions};
         use fairsched_workload::synthetic::random_trace;
         let trace = random_trace(5, 60, 16, 3000);
         let cfg = SimConfig {
@@ -223,10 +223,10 @@ mod tests {
             ..Default::default()
         };
         let mut hybrid = HybridFstObserver::new();
-        let s = try_simulate(&trace, &cfg, &mut hybrid).unwrap();
+        let s = simulate(&trace, &cfg, &mut hybrid, SimOptions::new()).unwrap();
         let expected = ResilienceReport::split(&hybrid.into_report(), &s);
         let mut obs = ResilienceObserver::new();
-        try_simulate(&trace, &cfg, &mut obs).unwrap();
+        simulate(&trace, &cfg, &mut obs, SimOptions::new()).unwrap();
         assert_eq!(obs.into_report(), expected);
     }
 

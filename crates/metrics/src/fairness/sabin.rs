@@ -19,7 +19,9 @@
 
 use crate::fairness::fst::{FstEntry, FstReport};
 use fairsched_sim::prefix::PrefixSimulator;
-use fairsched_sim::{try_simulate, warm_start_supported, NullObserver, Schedule, SimConfig};
+use fairsched_sim::{
+    simulate, warm_start_supported, NullObserver, Schedule, SimConfig, SimOptions,
+};
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
 use std::collections::{HashMap, HashSet};
@@ -88,7 +90,7 @@ fn sabin_fsts_for(
             .filter(|j| (j.submit, j.id) <= (target.submit, target.id))
             .cloned()
             .collect();
-        let schedule = try_simulate(&prefix, cfg, &mut NullObserver)
+        let schedule = simulate(&prefix, cfg, &mut NullObserver, SimOptions::new())
             .unwrap_or_else(|e| panic!("prefix simulation failed: {e}"));
         let start = schedule
             .records
@@ -260,7 +262,7 @@ fn stripe_fsts(
             }
             fairsched_obs::counters::record_warm_start(false);
             let prefix: Vec<Job> = ordered[..=i].iter().map(|j| (*j).clone()).collect();
-            let schedule = try_simulate(&prefix, cfg, &mut NullObserver)
+            let schedule = simulate(&prefix, cfg, &mut NullObserver, SimOptions::new())
                 .unwrap_or_else(|e| panic!("prefix simulation failed: {e}"));
             let start = schedule
                 .records
@@ -316,7 +318,7 @@ mod tests {
         // The final arrival's counterfactual run IS the real run.
         let trace = random_trace(7, 60, 16, 3000);
         let fsts = sabin_fsts(&trace, &cfg());
-        let schedule = try_simulate(&trace, &cfg(), &mut NullObserver).unwrap();
+        let schedule = simulate(&trace, &cfg(), &mut NullObserver, SimOptions::new()).unwrap();
         let last = trace.iter().max_by_key(|j| (j.submit, j.id)).unwrap();
         let actual = schedule
             .records
@@ -339,7 +341,7 @@ mod tests {
             job(3, 2, 20, 16, 1000, 1000),
         ];
         let fsts = sabin_fsts(&trace, &cfg());
-        let schedule = try_simulate(&trace, &cfg(), &mut NullObserver).unwrap();
+        let schedule = simulate(&trace, &cfg(), &mut NullObserver, SimOptions::new()).unwrap();
         let report = sabin_report(&schedule, &fsts);
         let e2 = report.entries.iter().find(|e| e.id == JobId(2)).unwrap();
         assert_eq!(e2.fst, 1000);
@@ -360,7 +362,7 @@ mod tests {
             job(3, 3, 10, 4, 100, 100), // fits beside job 1
         ];
         let fsts = sabin_fsts(&trace, &cfg());
-        let schedule = try_simulate(&trace, &cfg(), &mut NullObserver).unwrap();
+        let schedule = simulate(&trace, &cfg(), &mut NullObserver, SimOptions::new()).unwrap();
         let report = sabin_report(&schedule, &fsts);
         assert_eq!(report.percent_unfair(), 0.0);
         let e3 = report.entries.iter().find(|e| e.id == JobId(3)).unwrap();
@@ -372,7 +374,7 @@ mod tests {
         let trace = random_trace(15, 40, 16, 3000);
         let fsts = sabin_fsts_sampled(&trace, &cfg(), 4);
         assert_eq!(fsts.len(), trace.len().div_ceil(4));
-        let schedule = try_simulate(&trace, &cfg(), &mut NullObserver).unwrap();
+        let schedule = simulate(&trace, &cfg(), &mut NullObserver, SimOptions::new()).unwrap();
         let report = sabin_report(&schedule, &fsts);
         assert_eq!(report.entries.len(), fsts.len());
     }
@@ -386,7 +388,7 @@ mod tests {
         let c = cfg();
         assert!(warm_start_supported(&c));
         let serial = sabin_fsts(&trace, &c);
-        let schedule = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+        let schedule = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
         let serial_report = sabin_report(&schedule, &serial);
         for threads in [Some(1), Some(3), Some(7), None] {
             let parallel = sabin_fsts_parallel(&trace, &c, threads);

@@ -22,7 +22,7 @@
 //!
 //! Every fairness family ships an observer form ([`HybridFstObserver`],
 //! [`EqualityObserver`], [`PerUserObserver`], [`ResilienceObserver`]) so a
-//! single `try_simulate` run — via `fairsched_sim::ObserverSet` — can feed
+//! single `simulate` run — via `fairsched_sim::ObserverSet` — can feed
 //! all of them at once instead of one simulation per metric.
 
 pub mod explain;

@@ -51,7 +51,7 @@ pub fn weekly_load_and_utilization(offered: &[f64], schedule: &Schedule) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsched_sim::{try_simulate, EngineKind, NullObserver, SimConfig};
+    use fairsched_sim::{simulate, EngineKind, NullObserver, SimConfig, SimOptions};
     use fairsched_workload::job::Job;
     use fairsched_workload::stats::weekly_offered_load;
     use fairsched_workload::synthetic::random_trace;
@@ -62,7 +62,7 @@ mod tests {
             engine: EngineKind::NoGuarantee,
             ..Default::default()
         };
-        try_simulate(trace, &cfg, &mut NullObserver).unwrap()
+        simulate(trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap()
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! `fairschedd` — the online scheduling daemon.
+//!
+//! ```text
+//! fairschedd [--port N] [--port-file PATH] [--policy ID] [--nodes N]
+//!            [--speedup X | --manual] [--no-trace] [--id-floor N]
+//! ```
+//!
+//! Binds `127.0.0.1:<port>` (port 0 = OS-assigned; the resolved port is
+//! printed and, with `--port-file`, written to a file for scripts to
+//! pick up). Runs until `POST /v1/shutdown`.
+
+use fairsched_served::clock::ClockMode;
+use fairsched_served::session::SessionConfig;
+use fairsched_served::Daemon;
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fairschedd [--port N] [--port-file PATH] [--policy ID] \
+         [--nodes N] [--speedup X | --manual] [--no-trace] [--id-floor N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut port: u16 = 0;
+    let mut port_file: Option<String> = None;
+    let mut cfg = SessionConfig {
+        // Interactive serving defaults to real time; scripts pass
+        // --manual or a large --speedup.
+        clock: ClockMode::Realtime { speedup: 1.0 },
+        ..SessionConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("fairschedd: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--port" => {
+                port = value("--port").parse().unwrap_or_else(|_| usage());
+            }
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--policy" => cfg.policy = value("--policy"),
+            "--nodes" => {
+                cfg.nodes = value("--nodes").parse().unwrap_or_else(|_| usage());
+            }
+            "--speedup" => {
+                let speedup: f64 = value("--speedup").parse().unwrap_or_else(|_| usage());
+                if !(speedup.is_finite() && speedup > 0.0) {
+                    eprintln!("fairschedd: --speedup must be a positive number");
+                    std::process::exit(2);
+                }
+                cfg.clock = ClockMode::Realtime { speedup };
+            }
+            "--manual" => cfg.clock = ClockMode::Manual,
+            "--no-trace" => cfg.traced = false,
+            "--id-floor" => {
+                cfg.id_floor = value("--id-floor").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("fairschedd: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let clock = cfg.clock;
+    let mut daemon = match Daemon::start(&format!("127.0.0.1:{port}"), cfg) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("fairschedd: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = daemon.addr();
+    println!("fairschedd listening on {addr}");
+    if let Some(path) = port_file {
+        let written = std::fs::File::create(&path).and_then(|mut f| writeln!(f, "{}", addr.port()));
+        if let Err(e) = written {
+            eprintln!("fairschedd: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Realtime clocks need a heartbeat: events only play out when time is
+    // granted, so tick until a shutdown request stops the accept loop.
+    let session = std::sync::Arc::clone(daemon.session());
+    if let ClockMode::Realtime { .. } = clock {
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            if session.tick().is_err() {
+                // Sealed: nothing left to drive.
+                break;
+            }
+        });
+    }
+
+    // Park until shutdown flips the stop flag and unblocks the accept
+    // loop; joining the accept thread is exactly Daemon::shutdown's job,
+    // so wait for the flag by polling the session's sealed state.
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        if daemon.stopped() {
+            break;
+        }
+    }
+    daemon.shutdown();
+    println!("fairschedd: stopped");
+}

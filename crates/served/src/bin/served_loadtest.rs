@@ -1,0 +1,302 @@
+//! Load-tests `fairschedd` over real HTTP with concurrent submitters.
+//!
+//! ```text
+//! served_loadtest [--submitters N] [--jobs N] [--policy ID] [--nodes N]
+//!                 [--epochs N] [--seed N] [--out BENCH_8.json]
+//! ```
+//!
+//! Starts an in-process daemon on a free port (the same accept loop and
+//! route table the standalone binary runs), generates a synthetic
+//! CplantModel workload, and replays it through `--submitters`
+//! concurrent HTTP clients under a manual clock with epoch barriers:
+//! every submitter posts its share of an epoch's jobs, all threads meet
+//! at a barrier, then the coordinator grants simulated time up to just
+//! below the next epoch — so no submitter can ever race the clock into a
+//! non-monotonic rejection, and the grant order keeps the session
+//! byte-equivalent to the batch simulation, which this binary asserts.
+//!
+//! Exits nonzero on any lost submission, schedule divergence from batch,
+//! empty trace stream, or unclean shutdown. Writes submit-latency
+//! percentiles and steps/sec to `--out` as JSON.
+
+use fairsched_core::policy::PolicySpec;
+use fairsched_served::clock::ClockMode;
+use fairsched_served::session::SessionConfig;
+use fairsched_served::{Client, Daemon, SubmitRequest};
+use fairsched_sim::{simulate, NullObserver, SimOptions};
+use fairsched_workload::job::Job;
+use fairsched_workload::time::Time;
+use fairsched_workload::CplantModel;
+use std::io::Write;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+struct Args {
+    submitters: usize,
+    jobs: usize,
+    policy: String,
+    nodes: u32,
+    epochs: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        submitters: 100,
+        jobs: 2000,
+        policy: "easy.nomax".into(),
+        nodes: 1024,
+        epochs: 8,
+        seed: 8,
+        out: "BENCH_8.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("served_loadtest: {arg} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--submitters" => parsed.submitters = value().parse().unwrap(),
+            "--jobs" => parsed.jobs = value().parse().unwrap(),
+            "--policy" => parsed.policy = value(),
+            "--nodes" => parsed.nodes = value().parse().unwrap(),
+            "--epochs" => parsed.epochs = value().parse().unwrap(),
+            "--seed" => parsed.seed = value().parse().unwrap(),
+            "--out" => parsed.out = value(),
+            other => {
+                eprintln!("served_loadtest: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(parsed.submitters >= 1 && parsed.epochs >= 1 && parsed.jobs >= 1);
+    parsed
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The synthetic workload, truncated to --jobs and re-timed so the
+    // epoch windows stay densely populated.
+    let mut jobs: Vec<Job> = CplantModel::new(args.seed)
+        .with_nodes(args.nodes)
+        .generate();
+    jobs.truncate(args.jobs);
+    jobs.sort_by_key(|j| (j.submit, j.id));
+    assert!(!jobs.is_empty(), "workload generation produced no jobs");
+    let max_submit = jobs.last().map(|j| j.submit).unwrap_or(0);
+
+    // The batch reference the online run must reproduce byte-for-byte.
+    let spec = PolicySpec::parse(&args.policy).unwrap_or_else(|e| {
+        eprintln!("served_loadtest: {e}");
+        std::process::exit(2);
+    });
+    let mut batch_jobs = jobs.clone();
+    batch_jobs.sort_by_key(|j| j.id);
+    let batch = simulate(
+        &batch_jobs,
+        &spec.sim_config(args.nodes),
+        &mut NullObserver,
+        SimOptions::new(),
+    )
+    .expect("batch reference simulation");
+
+    let mut daemon = Daemon::start(
+        "127.0.0.1:0",
+        SessionConfig {
+            policy: args.policy.clone(),
+            nodes: args.nodes,
+            clock: ClockMode::Manual,
+            traced: true,
+            id_floor: 0,
+        },
+    )
+    .expect("daemon start");
+    let addr = daemon.addr();
+    eprintln!(
+        "served_loadtest: daemon on {addr}, {} jobs, {} submitters, {} epochs",
+        jobs.len(),
+        args.submitters,
+        args.epochs
+    );
+
+    // Epoch boundaries over [0, max_submit]: epoch k owns submissions in
+    // [bounds[k], bounds[k+1]). After an epoch's barrier the coordinator
+    // grants bounds[k+1] - 1 — strictly below every later submission, so
+    // arrivals are always inserted before their timestamp is reachable
+    // (the property that makes the online run byte-equal to batch).
+    let epochs = args.epochs.min(jobs.len());
+    let bounds: Vec<Time> = (0..=epochs)
+        .map(|k| (max_submit + 2) * k as Time / epochs as Time)
+        .collect();
+
+    // A live trace subscriber, attached before any submission.
+    let trace_client = Client::new(addr);
+    let trace_thread = std::thread::spawn(move || trace_client.trace_lines());
+
+    // Partition jobs round-robin across submitters.
+    let shares: Vec<Vec<SubmitRequest>> = (0..args.submitters)
+        .map(|i| {
+            jobs.iter()
+                .skip(i)
+                .step_by(args.submitters)
+                .map(SubmitRequest::from_job)
+                .collect()
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(args.submitters + 1));
+    let bounds = Arc::new(bounds);
+    let started = Instant::now();
+    let workers: Vec<_> = shares
+        .into_iter()
+        .map(|share| {
+            let barrier = Arc::clone(&barrier);
+            let bounds = Arc::clone(&bounds);
+            let client = Client::new(addr);
+            std::thread::spawn(move || {
+                let mut latencies_ns: Vec<u64> = Vec::with_capacity(share.len());
+                let mut accepted = 0usize;
+                for window in bounds.windows(2) {
+                    for req in share
+                        .iter()
+                        .filter(|r| r.submit >= window[0] && r.submit < window[1])
+                    {
+                        let t0 = Instant::now();
+                        client.submit(req).unwrap_or_else(|e| {
+                            panic!("lost submission {}: {e}", req.id);
+                        });
+                        latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        accepted += 1;
+                    }
+                    // Everyone done with this epoch's submissions…
+                    barrier.wait();
+                    // …coordinator grants time…
+                    barrier.wait();
+                    // …next epoch.
+                }
+                (latencies_ns, accepted)
+            })
+        })
+        .collect();
+
+    let coordinator = Client::new(addr);
+    for window in bounds.windows(2) {
+        barrier.wait();
+        coordinator
+            .advance(window[1].saturating_sub(1))
+            .expect("advance");
+        barrier.wait();
+    }
+
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(jobs.len());
+    let mut accepted_total = 0usize;
+    for worker in workers {
+        let (lat, accepted) = worker.join().expect("submitter panicked");
+        latencies_ns.extend(lat);
+        accepted_total += accepted;
+    }
+    assert_eq!(
+        accepted_total,
+        jobs.len(),
+        "lost submissions: {} accepted of {}",
+        accepted_total,
+        jobs.len()
+    );
+
+    let status = coordinator.status().expect("status");
+    assert_eq!(
+        status.accepted,
+        jobs.len() as u64,
+        "daemon lost a submission"
+    );
+
+    let seal = coordinator.seal().expect("seal");
+    let wall = started.elapsed();
+    let steps = daemon.session().steps();
+
+    // Byte-equivalence with the batch reference.
+    let online = daemon
+        .session()
+        .schedule()
+        .expect("sealed session retains its schedule");
+    assert_eq!(
+        online, batch,
+        "online schedule diverged from the batch reference"
+    );
+    assert_eq!(seal.records, batch.records.len() as u64);
+
+    coordinator.shutdown().expect("shutdown");
+    daemon.shutdown();
+
+    let trace_lines = trace_thread
+        .join()
+        .expect("trace thread")
+        .expect("trace stream");
+    assert!(
+        !trace_lines.is_empty(),
+        "trace stream was empty across the whole run"
+    );
+    assert!(
+        trace_lines.iter().any(|l| l.contains("job_started")),
+        "trace stream carried no start records"
+    );
+
+    latencies_ns.sort_unstable();
+    let steps_per_sec = steps as f64 / wall.as_secs_f64();
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"served_loadtest\",\n",
+            "  \"policy\": \"{}\",\n",
+            "  \"nodes\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"submitters\": {},\n",
+            "  \"epochs\": {},\n",
+            "  \"wall_ms\": {:.3},\n",
+            "  \"steps\": {},\n",
+            "  \"steps_per_sec\": {:.1},\n",
+            "  \"submit_latency_us\": {{\n",
+            "    \"p50\": {:.1},\n",
+            "    \"p95\": {:.1},\n",
+            "    \"p99\": {:.1},\n",
+            "    \"max\": {:.1}\n",
+            "  }},\n",
+            "  \"trace_lines\": {},\n",
+            "  \"schedule_matches_batch\": true\n",
+            "}}\n"
+        ),
+        args.policy,
+        args.nodes,
+        jobs.len(),
+        args.submitters,
+        epochs,
+        wall.as_secs_f64() * 1e3,
+        steps,
+        steps_per_sec,
+        percentile(&latencies_ns, 0.50) as f64 / 1e3,
+        percentile(&latencies_ns, 0.95) as f64 / 1e3,
+        percentile(&latencies_ns, 0.99) as f64 / 1e3,
+        latencies_ns.last().copied().unwrap_or(0) as f64 / 1e3,
+        trace_lines.len(),
+    );
+    std::fs::File::create(&args.out)
+        .and_then(|mut f| f.write_all(report.as_bytes()))
+        .unwrap_or_else(|e| {
+            eprintln!("served_loadtest: cannot write {}: {e}", args.out);
+            std::process::exit(1);
+        });
+    eprintln!("served_loadtest: ok — {report}");
+}

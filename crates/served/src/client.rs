@@ -1,0 +1,156 @@
+//! A blocking client for `fairschedd`, used by the `fairsched submit` /
+//! `status` subcommands, the load test, and the replay-equivalence
+//! suite.
+//!
+//! One request per connection, mirroring the daemon's
+//! `Connection: close` model. Errors come back typed: a daemon-side
+//! rejection decodes into the same [`ServeError`] variant the daemon
+//! constructed (so callers can match on
+//! [`ServeError::NonMonotonicSubmit`] across the wire), and transport
+//! failures are [`ServeError::Io`].
+
+use crate::api::{
+    AdvanceResponse, SealResponse, ServeError, StatusResponse, SubmitRequest, SubmitResponse,
+};
+use crate::json::{parse, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-request socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Submits one job.
+    pub fn submit(&self, req: &SubmitRequest) -> Result<SubmitResponse, ServeError> {
+        let body = self.request("POST", "/v1/jobs", Some(&req.to_json().render()))?;
+        SubmitResponse::from_json(&body)
+    }
+
+    /// The live status view.
+    pub fn status(&self) -> Result<StatusResponse, ServeError> {
+        let body = self.request("GET", "/v1/status", None)?;
+        StatusResponse::from_json(&body)
+    }
+
+    /// Grants simulated time up to `to` (manual-clock daemons).
+    pub fn advance(&self, to: u64) -> Result<AdvanceResponse, ServeError> {
+        let payload = Json::obj([("to", Json::UInt(to))]).render();
+        let body = self.request("POST", "/v1/advance", Some(&payload))?;
+        AdvanceResponse::from_json(&body)
+    }
+
+    /// Nudges a realtime-clock daemon to its current clock target.
+    pub fn tick(&self) -> Result<AdvanceResponse, ServeError> {
+        let body = self.request("POST", "/v1/tick", None)?;
+        AdvanceResponse::from_json(&body)
+    }
+
+    /// The live wait decomposition for one job, as raw JSON.
+    pub fn explain(&self, id: u32) -> Result<Json, ServeError> {
+        self.request("GET", &format!("/v1/explain/{id}"), None)
+    }
+
+    /// The live profile report, as raw JSON.
+    pub fn profile(&self) -> Result<Json, ServeError> {
+        self.request("GET", "/v1/profile", None)
+    }
+
+    /// Seals the session: plays out all remaining events.
+    pub fn seal(&self) -> Result<SealResponse, ServeError> {
+        let body = self.request("POST", "/v1/seal", None)?;
+        SealResponse::from_json(&body)
+    }
+
+    /// Seals (if needed) and stops the daemon's accept loop.
+    pub fn shutdown(&self) -> Result<(), ServeError> {
+        self.request("POST", "/v1/shutdown", None).map(|_| ())
+    }
+
+    /// Opens the trace stream and collects every JSONL line until the
+    /// daemon seals. Blocks; run it from its own thread to stream live.
+    pub fn trace_lines(&self) -> Result<Vec<String>, ServeError> {
+        let mut stream = self.connect()?;
+        // Streams have no bounded duration; disable the read timeout so
+        // a quiet session does not sever the subscription.
+        stream.set_read_timeout(None)?;
+        write!(
+            stream,
+            "GET /v1/trace HTTP/1.1\r\nHost: fairschedd\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        // Skip the response headers.
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(ServeError::Io("trace stream closed in headers".into()));
+            }
+            if line.trim_end().is_empty() {
+                break;
+            }
+        }
+        let mut lines = Vec::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(lines);
+            }
+            let trimmed = line.trim_end();
+            if !trimmed.is_empty() {
+                lines.push(trimmed.to_string());
+            }
+        }
+    }
+
+    fn connect(&self) -> Result<TcpStream, ServeError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<Json, ServeError> {
+        let mut stream = self.connect()?;
+        let body = body.unwrap_or("");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: fairschedd\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        stream.flush()?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        let (head, payload) = response
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| ServeError::Io("malformed response".into()))?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ServeError::Io("malformed status line".into()))?;
+        let json = parse(payload)?;
+        if status >= 400 {
+            return Err(ServeError::decode(&json));
+        }
+        Ok(json)
+    }
+}

@@ -1,0 +1,118 @@
+//! The virtual clock that decides how much simulated time the daemon
+//! grants the deterministic core.
+//!
+//! The core itself never consults a clock ([`SteppedSim`] only processes
+//! events up to horizons it is explicitly granted); everything
+//! wall-clock-related lives here, so determinism is a property of the
+//! *grant sequence*, not of timing. Two modes:
+//!
+//! * [`ClockMode::Manual`] — simulated time moves only on explicit
+//!   `advance` requests. Replay harnesses and the load test use this with
+//!   epoch barriers: submit everything dated within an epoch, then grant
+//!   the epoch boundary, so concurrent submitters can never race the
+//!   clock into rejecting their timestamps.
+//! * [`ClockMode::Realtime`] — simulated time tracks wall time times a
+//!   speedup factor. `speedup = 1.0` schedules in real time; large factors
+//!   replay months of trace in seconds. Interactive `fairsched serve`
+//!   defaults to this.
+//!
+//! [`SteppedSim`]: fairsched_sim::SteppedSim
+
+use fairsched_workload::time::Time;
+use std::time::Instant;
+
+/// How simulated time advances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockMode {
+    /// Only explicit `advance` requests move simulated time.
+    Manual,
+    /// Simulated time follows wall time, scaled by `speedup` simulated
+    /// seconds per wall second.
+    Realtime {
+        /// Simulated seconds per wall-clock second.
+        speedup: f64,
+    },
+}
+
+/// The clock driver: maps wall time to the simulated-time horizon the
+/// daemon should grant next.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    mode: ClockMode,
+    anchor: Instant,
+    /// Simulated time at the anchor.
+    base: Time,
+}
+
+impl VirtualClock {
+    /// A clock starting at simulated time 0.
+    pub fn new(mode: ClockMode) -> Self {
+        VirtualClock {
+            mode,
+            anchor: Instant::now(),
+            base: 0,
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// The horizon the daemon should grant now. Manual clocks never move
+    /// on their own, so this is the last [`VirtualClock::jump_to`] value.
+    pub fn target(&self) -> Time {
+        match self.mode {
+            ClockMode::Manual => self.base,
+            ClockMode::Realtime { speedup } => {
+                let wall = self.anchor.elapsed().as_secs_f64();
+                let advanced = (wall * speedup).floor();
+                if advanced >= (Time::MAX - self.base) as f64 {
+                    Time::MAX
+                } else {
+                    self.base + advanced as Time
+                }
+            }
+        }
+    }
+
+    /// Moves the clock forward to `to` (idempotent for earlier values);
+    /// the anchor resets so a realtime clock continues from there.
+    pub fn jump_to(&mut self, to: Time) {
+        let now = self.target();
+        self.base = now.max(to);
+        self.anchor = Instant::now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clocks_only_move_on_jumps() {
+        let mut clock = VirtualClock::new(ClockMode::Manual);
+        assert_eq!(clock.target(), 0);
+        clock.jump_to(500);
+        assert_eq!(clock.target(), 500);
+        // Jumping backwards is a no-op, not a rewind.
+        clock.jump_to(100);
+        assert_eq!(clock.target(), 500);
+    }
+
+    #[test]
+    fn realtime_clocks_track_wall_time_scaled() {
+        let clock = VirtualClock::new(ClockMode::Realtime { speedup: 1e6 });
+        let first = clock.target();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let second = clock.target();
+        assert!(second > first, "speedup 1e6 must advance within 5ms");
+    }
+
+    #[test]
+    fn jumps_keep_realtime_clocks_monotonic() {
+        let mut clock = VirtualClock::new(ClockMode::Realtime { speedup: 1000.0 });
+        clock.jump_to(1_000_000);
+        assert!(clock.target() >= 1_000_000);
+    }
+}

@@ -1,0 +1,263 @@
+//! `fairschedd`'s serving loop: a TCP listener, one thread per
+//! connection, and the route table mapping HTTP requests onto
+//! [`Session`] calls.
+//!
+//! Routes (all under `/v1`):
+//!
+//! | Method | Path              | Meaning                                    |
+//! |--------|-------------------|--------------------------------------------|
+//! | POST   | `/v1/jobs`        | Submit a job                               |
+//! | GET    | `/v1/status`      | Live session status                        |
+//! | POST   | `/v1/advance`     | Grant simulated time (manual clocks)       |
+//! | POST   | `/v1/tick`        | Advance to the clock target (realtime)     |
+//! | GET    | `/v1/trace`       | Stream trace records as JSONL until sealed |
+//! | GET    | `/v1/explain/{id}`| Live wait decomposition for one job        |
+//! | GET    | `/v1/profile`     | Where scheduling time has gone so far      |
+//! | POST   | `/v1/seal`        | Play out remaining events, final summary   |
+//! | POST   | `/v1/shutdown`    | Seal (if needed) and stop the listener     |
+//!
+//! The daemon is deterministic where it matters: all scheduling state
+//! sits behind the session mutex, so any interleaving of concurrent
+//! requests linearizes into some valid grant/submit order — and the
+//! monotonic-submission rule guarantees every such order yields the
+//! same schedule as the equivalent batch run.
+
+use crate::api::ServeError;
+use crate::http::{read_request, write_response, write_stream_header, Request};
+use crate::json::{parse, Json};
+use crate::session::{Session, SessionConfig};
+use crate::{api, SubmitRequest};
+use fairsched_workload::job::JobId;
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running daemon: the session plus the accept loop's lifecycle.
+pub struct Daemon {
+    session: Arc<Session>,
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds `addr` (use port 0 for an OS-assigned free port) and starts
+    /// accepting connections on a background thread.
+    pub fn start(addr: &str, cfg: SessionConfig) -> Result<Daemon, ServeError> {
+        let session = Arc::new(Session::new(cfg)?);
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_session = Arc::clone(&session);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("fairschedd-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let session = Arc::clone(&accept_session);
+                    let stop = Arc::clone(&accept_stop);
+                    // Connection handlers are detached: they own nothing
+                    // but an Arc, and sealing closes their subscriptions.
+                    let _ = std::thread::Builder::new()
+                        .name("fairschedd-conn".into())
+                        .spawn(move || handle_connection(stream, &session, &stop));
+                }
+            })
+            .map_err(ServeError::from)?;
+        Ok(Daemon {
+            session,
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared session, for in-process use (tests, `quickserve`).
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Whether a shutdown request (or [`Daemon::shutdown`]) has flagged
+    /// the accept loop down.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections and joins the accept loop. Does not
+    /// seal the session; callers decide whether to finish the schedule.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, session: &Session, stop: &AtomicBool) {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut stream = stream;
+    let req = match read_request(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return,
+        Err(e) => {
+            let err = ServeError::BadRequest {
+                detail: e.to_string(),
+            };
+            let _ = write_response(
+                &mut stream,
+                err.status(),
+                "application/json",
+                &err.to_json().render(),
+            );
+            return;
+        }
+    };
+    if req.method == "GET" && req.path == "/v1/trace" {
+        stream_trace(stream, session);
+        return;
+    }
+    let (status, body) = match route(&req, session, stop) {
+        Ok(body) => (200, body.render()),
+        Err(e) => (e.status(), e.to_json().render()),
+    };
+    let _ = write_response(&mut stream, status, "application/json", &body);
+}
+
+fn route(req: &Request, session: &Session, stop: &AtomicBool) -> Result<Json, ServeError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/jobs") => {
+            let submit = SubmitRequest::from_json(&parse(&req.body)?)?;
+            session.submit(&submit).map(|r| r.to_json())
+        }
+        ("GET", "/v1/status") => Ok(session.status().to_json()),
+        ("POST", "/v1/advance") => {
+            let to = parse(&req.body)?
+                .get("to")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServeError::BadRequest {
+                    detail: "missing field `to`".into(),
+                })?;
+            session.advance_to(to).map(|r| r.to_json())
+        }
+        ("POST", "/v1/tick") => session.tick().map(|r| r.to_json()),
+        ("GET", path) if path.starts_with("/v1/explain/") => {
+            let id = path["/v1/explain/".len()..].parse::<u32>().map_err(|_| {
+                ServeError::BadRequest {
+                    detail: "explain id must be an integer".into(),
+                }
+            })?;
+            let breakdown = session.explain(JobId(id))?;
+            Ok(match breakdown {
+                None => Json::obj([("found", Json::Bool(false))]),
+                Some(b) => Json::obj([
+                    ("found", Json::Bool(true)),
+                    ("job", Json::UInt(b.job.0.into())),
+                    ("submit", Json::UInt(b.submit)),
+                    ("start", Json::UInt(b.start)),
+                    ("capacity_wait", Json::UInt(b.capacity_wait)),
+                    ("reservation_wait", Json::UInt(b.reservation_wait)),
+                ]),
+            })
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            let id =
+                path["/v1/jobs/".len()..]
+                    .parse::<u32>()
+                    .map_err(|_| ServeError::BadRequest {
+                        detail: "job id must be an integer".into(),
+                    })?;
+            Ok(match session.record_of(JobId(id)) {
+                None => Json::obj([("found", Json::Bool(false))]),
+                Some(r) => {
+                    let mut obj = api::record_to_json(&r);
+                    if let Json::Obj(map) = &mut obj {
+                        map.insert("found".into(), Json::Bool(true));
+                    }
+                    obj
+                }
+            })
+        }
+        ("GET", "/v1/profile") => {
+            let report = session.profile();
+            Ok(Json::obj([
+                ("wall_ns", Json::UInt(report.wall_ns)),
+                ("sched_passes", Json::UInt(report.counters.sched_passes)),
+                (
+                    "backfill_attempts",
+                    Json::UInt(report.counters.backfill_attempts),
+                ),
+                (
+                    "backfill_successes",
+                    Json::UInt(report.counters.backfill_successes),
+                ),
+                ("steps", Json::UInt(session.steps())),
+                ("text", Json::Str(report.to_string())),
+            ]))
+        }
+        ("POST", "/v1/seal") => session.seal().map(|r| r.to_json()),
+        ("POST", "/v1/shutdown") => {
+            // Seal if still live so trace subscribers see the close; then
+            // flag the accept loop down. The response goes out first
+            // because the connection already exists.
+            let sealed = match session.seal() {
+                Ok(_) => true,
+                Err(ServeError::Sealed) => false,
+                Err(e) => return Err(e),
+            };
+            stop.store(true, Ordering::SeqCst);
+            Ok(Json::obj([
+                ("stopping", Json::Bool(true)),
+                ("sealed_now", Json::Bool(sealed)),
+            ]))
+        }
+        (_, path) if path.starts_with("/v1/") => Err(ServeError::BadRequest {
+            detail: format!("no route for {} {}", req.method, path),
+        }),
+        _ => Err(ServeError::BadRequest {
+            detail: "unknown path; the API lives under /v1/".into(),
+        }),
+    }
+}
+
+/// Streams trace records as JSONL until the session seals (subscribers
+/// get a `None` terminator) or the client goes away.
+fn stream_trace(mut stream: TcpStream, session: &Session) {
+    let rx = session.subscribe();
+    if write_stream_header(&mut stream, "application/jsonl").is_err() {
+        return;
+    }
+    while let Ok(Some(line)) = rx.recv() {
+        if stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_err()
+        {
+            return;
+        }
+    }
+    let _ = stream.flush();
+}

@@ -1,0 +1,174 @@
+//! A minimal HTTP/1.1 layer over `std::net` streams.
+//!
+//! The workspace has no async runtime (vendored-stub policy: no registry
+//! access), so `fairschedd` serves blocking, thread-per-connection
+//! HTTP/1.1. This module owns the wire mechanics: parsing a request line
+//! plus headers plus a `Content-Length` body, and writing fixed or
+//! chunked-as-lines streaming responses. The daemon layers routing on
+//! top; the client layers request/response typing on top of the same
+//! primitives.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest request body the daemon will buffer (1 MiB — submissions are
+/// a few hundred bytes; this is purely an abuse guard).
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The path, e.g. `/v1/jobs` (query strings are kept verbatim).
+    pub path: String,
+    /// The body, when `Content-Length` was present.
+    pub body: String,
+}
+
+/// Reads one request from a buffered stream. Returns `Ok(None)` on a
+/// clean EOF before any bytes (client closed a keep-alive connection).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof in headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Writes a complete response with a JSON (or plain-text) body and
+/// closes out the exchange. Connections are `Connection: close` — one
+/// request per connection keeps the daemon's threading model trivial,
+/// and the load test measures it is still far faster than the sim step.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Starts a streaming response: headers only, no `Content-Length` — the
+/// caller writes lines until it drops the stream (HTTP/1.0-style
+/// close-delimited body, which every line-oriented consumer accepts).
+pub fn write_stream_header(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_a_request_with_a_body_and_writes_a_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(
+                stream,
+                "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{{\"id\": 1}}"
+            )
+            .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, "{\"id\": 1}");
+        let mut stream = stream;
+        write_response(&mut stream, 200, "application/json", "{\"ok\":true}").unwrap();
+        // Both fds (the stream and the reader's clone) must close for the
+        // client to see EOF.
+        drop(stream);
+        drop(reader);
+        let response = client.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn clean_eof_reads_as_none() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let _ = TcpStream::connect(addr).unwrap();
+            // Drop immediately: clean close, no request.
+        });
+        let (stream, _) = listener.accept().unwrap();
+        client.join().unwrap();
+        let mut reader = BufReader::new(stream);
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+}

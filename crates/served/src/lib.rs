@@ -1,0 +1,47 @@
+//! `fairsched-served`: the online scheduling service built on the
+//! deterministic stepped sim core.
+//!
+//! The batch simulator answers "what would this policy have done with
+//! this recorded month of jobs?". This crate answers the online form of
+//! the same question: jobs arrive *now*, over HTTP, and the daemon
+//! (`fairschedd`) schedules them with the same deterministic core —
+//! [`SteppedSim`](fairsched_sim::SteppedSim) — that the batch path uses,
+//! advancing simulated time with a virtual clock (wall-time-scaled or
+//! manually granted).
+//!
+//! Because the core's event queue is insertion-order independent and the
+//! service rejects submissions dated before time already granted
+//! ([`ServeError::NonMonotonicSubmit`]), an online session replaying a
+//! recorded trace produces a schedule *byte-identical* to the batch
+//! simulation of the same trace — the property
+//! `tests/replay_equivalence.rs` pins across every warm-start-forkable
+//! engine.
+//!
+//! Layering, bottom up:
+//!
+//! * [`json`] — hand-rolled JSON (the vendored `serde` is a no-op stub).
+//! * [`api`] — typed requests, responses, and [`ServeError`].
+//! * [`clock`] — [`VirtualClock`]: manual grants or scaled wall time.
+//! * [`session`] — [`Session`]: the stepped core behind a mutex, with
+//!   submission validation, trace fan-out, live explain, live profile.
+//! * [`http`] — minimal blocking HTTP/1.1 (no async runtime available).
+//! * [`daemon`] — [`Daemon`]: the accept loop and route table.
+//! * [`client`] — [`Client`]: the blocking typed client.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod clock;
+pub mod daemon;
+pub mod http;
+pub mod json;
+pub mod session;
+
+pub use api::{
+    AdvanceResponse, SealResponse, ServeError, StatusResponse, SubmitRequest, SubmitResponse,
+};
+pub use client::Client;
+pub use clock::{ClockMode, VirtualClock};
+pub use daemon::Daemon;
+pub use session::{Session, SessionConfig};

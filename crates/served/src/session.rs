@@ -1,0 +1,592 @@
+//! One online scheduling session: the deterministic stepped core behind a
+//! lock, plus the service bookkeeping the daemon exposes.
+//!
+//! A [`Session`] owns a [`SteppedSim`] and enforces the online contract on
+//! top of it:
+//!
+//! * **Monotonic submissions.** A submission dated before the clock
+//!   horizon already granted to the core is rejected with
+//!   [`ServeError::NonMonotonicSubmit`] — events at or before the granted
+//!   horizon may already have been processed, so accepting it would
+//!   silently rewrite history. Submissions dated at or past the horizon
+//!   are byte-equivalent to a batch run (the event queue is
+//!   insertion-order independent).
+//! * **Typed policy validation.** The session is built from a policy id
+//!   via [`PolicySpec::parse`]; an unknown id is
+//!   [`ServeError::UnknownPolicy`] wrapping the workspace's own
+//!   [`PolicyIdError`](fairsched_core::policy::PolicyIdError).
+//! * **Unique ids.** Reusing an accepted id is
+//!   [`ServeError::DuplicateId`] (the simulator would treat it as a
+//!   distinct pending submission and corrupt the chain bookkeeping).
+//!
+//! Everything stateful sits behind one mutex: handlers lock, mutate, and
+//! release; trace subscribers receive JSONL lines through channels so
+//! slow readers never block the scheduling path (a disconnected or
+//! saturated subscriber is dropped, not waited on).
+
+use crate::api::{
+    AdvanceResponse, SealResponse, ServeError, StatusResponse, SubmitRequest, SubmitResponse,
+};
+use crate::clock::{ClockMode, VirtualClock};
+use fairsched_core::policy::PolicySpec;
+use fairsched_metrics::explain::{explain_wait, WaitBreakdown};
+use fairsched_obs::counters::{CounterSnapshot, ProfileReport, ProfileScope};
+use fairsched_obs::TraceRecord;
+use fairsched_sim::{
+    Effect, JobRecord, NullObserver, Schedule, SimConfig, SimError, SimEvent, SteppedSim,
+};
+use fairsched_workload::job::JobId;
+use fairsched_workload::time::Time;
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How a [`Session`] is configured.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Policy id (parsed via [`PolicySpec::parse`]).
+    pub policy: String,
+    /// Machine size in nodes.
+    pub nodes: u32,
+    /// How simulated time advances.
+    pub clock: ClockMode,
+    /// Whether to emit trace effects (required for trace streaming and
+    /// live explain).
+    pub traced: bool,
+    /// Raises the floor fresh chunk/resubmission ids are minted from, so
+    /// an online replay of a recorded trace reproduces the batch path's
+    /// id numbering. 0 leaves the floor at the ids seen so far.
+    pub id_floor: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            policy: "easy.nomax".into(),
+            nodes: 1024,
+            clock: ClockMode::Manual,
+            traced: true,
+            id_floor: 0,
+        }
+    }
+}
+
+/// Subscriber channel depth. A reader further than this many lines behind
+/// is dropped rather than allowed to stall the scheduling path.
+const SUBSCRIBER_BUFFER: usize = 64 * 1024;
+
+struct Inner {
+    core: Option<SteppedSim>,
+    clock: VirtualClock,
+    accepted: HashMap<JobId, Time>,
+    completed: Vec<JobRecord>,
+    started: HashMap<JobId, Time>,
+    submissions: HashMap<JobId, SubmitRequest>,
+    trace: Vec<TraceRecord>,
+    subscribers: Vec<SyncSender<Option<String>>>,
+    schedule: Option<Schedule>,
+    steps: u64,
+}
+
+/// One online scheduling session. Thread-safe: the daemon shares it
+/// across connection handlers.
+pub struct Session {
+    cfg: SessionConfig,
+    sim_cfg: SimConfig,
+    inner: Mutex<Inner>,
+    // Live profiling: counters record for the whole session lifetime.
+    baseline: CounterSnapshot,
+    started_at: Instant,
+    _profile: ProfileScope,
+}
+
+impl Session {
+    /// Builds a session, parsing and validating the policy id up front.
+    pub fn new(cfg: SessionConfig) -> Result<Session, ServeError> {
+        let spec = PolicySpec::parse(&cfg.policy).map_err(ServeError::UnknownPolicy)?;
+        let sim_cfg = spec.sim_config(cfg.nodes);
+        let mut core = SteppedSim::with_trace_effects(&sim_cfg, cfg.traced)?;
+        if cfg.id_floor > 0 {
+            core.reserve_ids(cfg.id_floor);
+        }
+        let profile = ProfileScope::enter();
+        Ok(Session {
+            inner: Mutex::new(Inner {
+                core: Some(core),
+                clock: VirtualClock::new(cfg.clock),
+                accepted: HashMap::new(),
+                completed: Vec::new(),
+                started: HashMap::new(),
+                submissions: HashMap::new(),
+                trace: Vec::new(),
+                subscribers: Vec::new(),
+                schedule: None,
+                steps: 0,
+            }),
+            cfg,
+            sim_cfg,
+            baseline: CounterSnapshot::capture(),
+            started_at: Instant::now(),
+            _profile: profile,
+        })
+    }
+
+    /// Accepts one submission, enforcing monotonic timestamps and unique
+    /// ids at the boundary.
+    pub fn submit(&self, req: &SubmitRequest) -> Result<SubmitResponse, ServeError> {
+        let mut inner = self.lock();
+        if inner.core.is_none() {
+            return Err(ServeError::Sealed);
+        }
+        let id = JobId(req.id);
+        let granted = inner.clock.target();
+        if req.submit < granted {
+            return Err(ServeError::NonMonotonicSubmit {
+                job: id,
+                submit: req.submit,
+                granted,
+            });
+        }
+        if inner.accepted.contains_key(&id) {
+            return Err(ServeError::DuplicateId { job: id });
+        }
+        let job = req.to_job();
+        let core = inner.core.as_mut().expect("checked above");
+        let effects = match core.step(SimEvent::Submit(job), &mut NullObserver) {
+            Ok(effects) => effects,
+            // The core's own past-frontier guard, in case a manual
+            // advance outran the clock (it cannot via this session, but
+            // the mapping keeps the error typed rather than `Sim`).
+            Err(SimError::SubmittedInPast { job, submit, now }) => {
+                return Err(ServeError::NonMonotonicSubmit {
+                    job,
+                    submit,
+                    granted: now,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        inner.steps += 1;
+        inner.accepted.insert(id, req.submit);
+        inner.submissions.insert(id, req.clone());
+        let arrival = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Admitted { arrival, .. } => Some(*arrival),
+                _ => None,
+            })
+            .unwrap_or(req.submit);
+        Ok(SubmitResponse {
+            id: req.id,
+            arrival,
+        })
+    }
+
+    /// Grants simulated time up to `to` (manual clocks; realtime clocks
+    /// jump forward too — the tick loop calls [`Session::tick`] instead).
+    pub fn advance_to(&self, to: Time) -> Result<AdvanceResponse, ServeError> {
+        let mut inner = self.lock();
+        inner.clock.jump_to(to);
+        let target = inner.clock.target();
+        Self::drive(&mut inner, target)
+    }
+
+    /// Advances to the clock's current target (realtime mode's heartbeat;
+    /// a no-op for manual clocks).
+    pub fn tick(&self) -> Result<AdvanceResponse, ServeError> {
+        let mut inner = self.lock();
+        let target = inner.clock.target();
+        Self::drive(&mut inner, target)
+    }
+
+    fn drive(inner: &mut Inner, target: Time) -> Result<AdvanceResponse, ServeError> {
+        let Some(core) = inner.core.as_mut() else {
+            return Err(ServeError::Sealed);
+        };
+        let mut started = 0;
+        let mut completed = 0;
+        let mut lines: Vec<String> = Vec::new();
+        if core.next_wakeup().is_some_and(|t| t <= target) {
+            let effects = core.step(SimEvent::AdvanceTo(target), &mut NullObserver)?;
+            inner.steps += 1;
+            for effect in effects {
+                match effect {
+                    Effect::Started { job, at } => {
+                        started += 1;
+                        inner.started.insert(job, at);
+                    }
+                    Effect::Completed { record } => {
+                        completed += 1;
+                        inner.completed.push(record);
+                    }
+                    Effect::Trace { record } => {
+                        lines.push(record.to_jsonl());
+                        inner.trace.push(record);
+                    }
+                    Effect::Admitted { .. } => {}
+                }
+            }
+        }
+        let now = inner.core.as_ref().expect("checked above").now();
+        if !lines.is_empty() {
+            Self::broadcast(&mut inner.subscribers, &lines);
+        }
+        Ok(AdvanceResponse {
+            now,
+            started,
+            completed,
+        })
+    }
+
+    fn broadcast(subscribers: &mut Vec<SyncSender<Option<String>>>, lines: &[String]) {
+        subscribers.retain(|tx| {
+            for line in lines {
+                match tx.try_send(Some(line.clone())) {
+                    Ok(()) => {}
+                    // A full or disconnected reader is dropped, never
+                    // waited on: the scheduling path must not block.
+                    Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+    }
+
+    /// Subscribes to the trace stream: every `TraceRecord` emitted after
+    /// this call arrives as one JSONL line; `None` marks the end (seal).
+    pub fn subscribe(&self) -> Receiver<Option<String>> {
+        let (tx, rx) = sync_channel(SUBSCRIBER_BUFFER);
+        self.lock().subscribers.push(tx);
+        rx
+    }
+
+    /// The live status view.
+    pub fn status(&self) -> StatusResponse {
+        let inner = self.lock();
+        let (now, queued, running, free, down, next_event) = match inner.core.as_ref() {
+            Some(core) => {
+                let s = core.status();
+                (s.now, s.queued, s.running, s.free, s.down, s.next_event)
+            }
+            None => {
+                let s = inner.schedule.as_ref();
+                (
+                    s.map_or(0, Schedule::makespan),
+                    0,
+                    0,
+                    self.sim_cfg.nodes,
+                    0,
+                    None,
+                )
+            }
+        };
+        StatusResponse {
+            policy: self.cfg.policy.clone(),
+            nodes: self.sim_cfg.nodes,
+            now,
+            granted: inner.clock.target(),
+            queued,
+            running,
+            free,
+            down,
+            accepted: inner.accepted.len() as u64,
+            completed: inner.completed.len() as u64,
+            next_event,
+            sealed: inner.core.is_none(),
+        }
+    }
+
+    /// A finished submission's record, if it has completed.
+    pub fn record_of(&self, id: JobId) -> Option<JobRecord> {
+        self.lock().completed.iter().find(|r| r.id == id).copied()
+    }
+
+    /// Explains a submission's wait *live*, against the decision trace
+    /// accumulated so far. Works for completed submissions and for ones
+    /// that have started but not finished (their record is synthesized
+    /// with `end = now`). Queued submissions have no start to explain
+    /// yet; `Ok(None)`.
+    pub fn explain(&self, id: JobId) -> Result<Option<WaitBreakdown>, ServeError> {
+        let inner = self.lock();
+        if !self.cfg.traced {
+            return Err(ServeError::BadRequest {
+                detail: "session runs without trace effects; start fairschedd \
+                         with tracing to explain live"
+                    .into(),
+            });
+        }
+        let record = inner
+            .completed
+            .iter()
+            .find(|r| r.id == id)
+            .copied()
+            .or_else(|| {
+                // Started but not finished: synthesize the record shape
+                // explain needs (only submit/start are read).
+                let start = *inner.started.get(&id)?;
+                let req = inner.submissions.get(&id)?;
+                let now = inner.core.as_ref().map_or(start, SteppedSim::now);
+                Some(JobRecord {
+                    id,
+                    origin: id,
+                    chunk_index: 0,
+                    user: fairsched_workload::job::UserId(req.user),
+                    group: fairsched_workload::job::GroupId(req.group),
+                    nodes: req.nodes,
+                    submit: req.submit,
+                    origin_submit: req.submit,
+                    start,
+                    end: now.max(start),
+                    estimate: req.estimate,
+                    killed: false,
+                    interrupted: false,
+                })
+            });
+        let Some(record) = record else {
+            return Ok(None);
+        };
+        // explain_wait reads only `records` from the schedule; the
+        // integrals are irrelevant to a single job's wait decomposition.
+        let view = Schedule {
+            nodes: self.sim_cfg.nodes,
+            records: vec![record],
+            waste_nodeseconds: 0.0,
+            busy_nodeseconds: 0.0,
+            down_nodeseconds: 0.0,
+            lost_nodeseconds: 0.0,
+            weekly_busy: Vec::new(),
+            min_start: record.start,
+            max_completion: record.end,
+            placement: None,
+            queue_stats: Default::default(),
+        };
+        Ok(explain_wait(&inner.trace, &view, id))
+    }
+
+    /// Where the session's scheduling time has gone so far.
+    pub fn profile(&self) -> ProfileReport {
+        ProfileReport {
+            counters: CounterSnapshot::capture().since(&self.baseline),
+            wall_ns: self.started_at.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        }
+    }
+
+    /// Event batches granted plus submissions accepted — the denominator
+    /// for steps/second service metrics.
+    pub fn steps(&self) -> u64 {
+        self.lock().steps
+    }
+
+    /// Seals the session: plays out every remaining event, closes the
+    /// trace stream, and returns the final schedule summary. Further
+    /// submissions and grants fail with [`ServeError::Sealed`].
+    pub fn seal(&self) -> Result<SealResponse, ServeError> {
+        let mut inner = self.lock();
+        let Some(mut core) = inner.core.take() else {
+            return Err(ServeError::Sealed);
+        };
+        let mut lines = Vec::new();
+        while let Some(at) = core.next_wakeup() {
+            for effect in core.step(SimEvent::AdvanceTo(at), &mut NullObserver)? {
+                match effect {
+                    Effect::Started { job, at } => {
+                        inner.started.insert(job, at);
+                    }
+                    Effect::Completed { record } => inner.completed.push(record),
+                    Effect::Trace { record } => {
+                        lines.push(record.to_jsonl());
+                        inner.trace.push(record);
+                    }
+                    Effect::Admitted { .. } => {}
+                }
+            }
+            inner.steps += 1;
+        }
+        inner.clock.jump_to(core.now());
+        let schedule = core.finish()?;
+        if !lines.is_empty() {
+            Self::broadcast(&mut inner.subscribers, &lines);
+        }
+        for tx in inner.subscribers.drain(..) {
+            let _ = tx.try_send(None);
+        }
+        let summary = SealResponse {
+            records: schedule.records.len() as u64,
+            makespan: schedule.makespan(),
+            utilization: schedule.utilization(),
+        };
+        inner.schedule = Some(schedule);
+        Ok(summary)
+    }
+
+    /// The finished schedule, once sealed.
+    pub fn schedule(&self) -> Option<Schedule> {
+        self.lock().schedule.clone()
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_sim::{simulate, NullObserver as NO, SimOptions};
+    use fairsched_workload::job::Job;
+
+    fn req(id: u32, user: u32, submit: Time, nodes: u32, runtime: Time) -> SubmitRequest {
+        SubmitRequest {
+            id,
+            user,
+            group: 1,
+            submit,
+            nodes,
+            runtime,
+            estimate: runtime,
+        }
+    }
+
+    fn manual_session(policy: &str) -> Session {
+        Session::new(SessionConfig {
+            policy: policy.into(),
+            nodes: 32,
+            clock: ClockMode::Manual,
+            traced: true,
+            id_floor: 0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn unknown_policy_ids_are_rejected_with_the_typed_error() {
+        let err = match Session::new(SessionConfig {
+            policy: "definitely-not-a-policy".into(),
+            ..Default::default()
+        }) {
+            Ok(_) => panic!("unknown policy id accepted"),
+            Err(e) => e,
+        };
+        match err {
+            ServeError::UnknownPolicy(e) => assert_eq!(e.id, "definitely-not-a-policy"),
+            other => panic!("expected UnknownPolicy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_monotonic_submissions_are_rejected_with_the_typed_error() {
+        let session = manual_session("easy.nomax");
+        session.submit(&req(1, 1, 0, 32, 100)).unwrap();
+        session.advance_to(1000).unwrap();
+        let err = session.submit(&req(2, 2, 999, 4, 50)).unwrap_err();
+        match err {
+            ServeError::NonMonotonicSubmit {
+                job,
+                submit,
+                granted,
+            } => {
+                assert_eq!(job, JobId(2));
+                assert_eq!(submit, 999);
+                assert_eq!(granted, 1000);
+            }
+            other => panic!("expected NonMonotonicSubmit, got {other:?}"),
+        }
+        // At the horizon is fine.
+        session.submit(&req(3, 3, 1000, 4, 50)).unwrap();
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let session = manual_session("easy.nomax");
+        session.submit(&req(1, 1, 0, 4, 100)).unwrap();
+        let err = session.submit(&req(1, 2, 5, 8, 60)).unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateId { job } if job == JobId(1)));
+    }
+
+    #[test]
+    fn online_session_matches_batch_simulation() {
+        let jobs = [
+            Job::new(1, 1, 1, 0, 32, 500, 500),
+            Job::new(2, 2, 1, 10, 16, 200, 300),
+            Job::new(3, 3, 1, 400, 32, 100, 100),
+        ];
+        let spec = PolicySpec::parse("cplant24.nomax.all").unwrap();
+        let cfg = spec.sim_config(32);
+        let batch = simulate(&jobs, &cfg, &mut NO, SimOptions::new()).unwrap();
+
+        let session = manual_session("cplant24.nomax.all");
+        for job in &jobs {
+            session.submit(&SubmitRequest::from_job(job)).unwrap();
+        }
+        let summary = session.seal().unwrap();
+        assert_eq!(summary.records, batch.records.len() as u64);
+        assert_eq!(session.schedule().unwrap(), batch);
+    }
+
+    #[test]
+    fn subscribers_stream_trace_lines_and_see_the_close() {
+        let session = manual_session("easy.nomax");
+        let rx = session.subscribe();
+        session.submit(&req(1, 1, 0, 32, 100)).unwrap();
+        session.submit(&req(2, 2, 5, 32, 50)).unwrap();
+        session.seal().unwrap();
+        let mut lines = Vec::new();
+        while let Ok(Some(line)) = rx.recv() {
+            lines.push(line);
+        }
+        assert!(!lines.is_empty());
+        assert!(lines.iter().any(|l| l.contains("job_started")));
+    }
+
+    #[test]
+    fn sealed_sessions_reject_further_work() {
+        let session = manual_session("easy.nomax");
+        session.submit(&req(1, 1, 0, 4, 10)).unwrap();
+        session.seal().unwrap();
+        assert!(matches!(
+            session.submit(&req(2, 1, 20, 4, 10)),
+            Err(ServeError::Sealed)
+        ));
+        assert!(matches!(session.advance_to(99), Err(ServeError::Sealed)));
+        assert!(matches!(session.seal(), Err(ServeError::Sealed)));
+        assert!(session.status().sealed);
+    }
+
+    #[test]
+    fn live_explain_decomposes_a_completed_wait() {
+        let session = manual_session("easy.nomax");
+        // Job 2 must wait for job 1 to release the whole machine.
+        session.submit(&req(1, 1, 0, 32, 300)).unwrap();
+        session.submit(&req(2, 2, 10, 32, 100)).unwrap();
+        session.advance_to(300).unwrap();
+        let breakdown = session
+            .explain(JobId(2))
+            .unwrap()
+            .expect("started job explains");
+        assert_eq!(breakdown.submit, 10);
+        assert_eq!(breakdown.start, 300);
+        session.seal().unwrap();
+    }
+
+    #[test]
+    fn status_reports_queue_pressure_live() {
+        let session = manual_session("easy.nomax");
+        session.submit(&req(1, 1, 0, 32, 1000)).unwrap();
+        session.submit(&req(2, 2, 0, 32, 1000)).unwrap();
+        session.advance_to(0).unwrap();
+        let s = session.status();
+        assert_eq!(s.running, 1);
+        assert_eq!(s.queued, 1);
+        assert_eq!(s.accepted, 2);
+        assert!(!s.sealed);
+        session.seal().unwrap();
+    }
+}

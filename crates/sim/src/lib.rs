@@ -36,7 +36,14 @@
 //! * [`state`] — queue/running views, the [`state::Observer`] hook metrics
 //!   attach to, and the [`state::ObserverSet`] fan-out that lets one run
 //!   feed many metrics;
-//! * [`simulator`] — the driver: [`simulator::try_simulate`].
+//! * [`step`] — the pure, clock-decoupled core: feed a typed
+//!   [`step::SimEvent`] (a submission or a grant of simulated time), get
+//!   typed [`step::Effect`]s back (admissions, starts, completions, trace
+//!   records) — the substrate both the batch driver and the online
+//!   `fairschedd` service run on;
+//! * [`simulator`] — the batch driver: [`simulator::simulate`] with a
+//!   [`simulator::SimOptions`] builder for tracing, cancellation, fault
+//!   overrides, and profiling.
 //!
 //! Determinism is a contract: equal (trace, config) inputs produce equal
 //! schedules, event ties are totally ordered, and nothing in this crate
@@ -56,6 +63,7 @@ pub mod profile;
 pub mod simulator;
 pub mod starvation;
 pub mod state;
+pub mod step;
 
 pub use engine::FAR_FUTURE;
 
@@ -68,7 +76,10 @@ pub use faults::{FaultConfig, FaultModel, Outage, RepairTime, ResiliencePolicy};
 pub use listsched::NodeTimeline;
 pub use prefix::{warm_start_forkable, warm_start_supported, PrefixSimulator};
 pub use simulator::{
-    try_simulate, try_simulate_traced, try_simulate_with, CancelToken, JobRecord, OriginalOutcome,
-    PlacementStats, QueueStats, Schedule, SimError,
+    simulate, CancelToken, JobRecord, OriginalOutcome, PlacementStats, QueueStats, Schedule,
+    SimError, SimOptions,
 };
+#[allow(deprecated)]
+pub use simulator::{try_simulate, try_simulate_traced, try_simulate_with};
 pub use state::{ArrivalView, NullObserver, Observer, ObserverSet, QueuedJob, RunningJob};
+pub use step::{Effect, SimEvent, StepStatus, SteppedSim};

@@ -275,6 +275,13 @@ impl Lifecycle {
         }
     }
 
+    /// Raises the floor fresh ids are minted from; never lowers it. The
+    /// stepped core calls this per accepted submission so online id
+    /// numbering matches [`Lifecycle::new`]'s whole-trace maximum.
+    pub(crate) fn reserve_ids(&mut self, floor: u32) {
+        self.next_id = self.next_id.max(floor);
+    }
+
     /// Whether any submission is still waiting to arrive.
     pub(crate) fn has_pending(&self) -> bool {
         !self.pending.is_empty()

@@ -93,7 +93,7 @@ pub fn warm_start_supported(cfg: &SimConfig) -> bool {
 /// ```
 pub struct PrefixSimulator<'a> {
     cfg: &'a SimConfig,
-    master: Sim<'a>,
+    master: Sim,
     engine: Box<dyn crate::engine::Engine>,
     last_key: Option<(Time, u32)>,
 }
@@ -227,7 +227,7 @@ impl<'a> PrefixSimulator<'a> {
 mod tests {
     use super::*;
     use crate::config::KillPolicy;
-    use crate::simulator::try_simulate;
+    use crate::simulator::{simulate, SimOptions};
     use fairsched_workload::job::JobId;
     use fairsched_workload::synthetic::random_trace;
 
@@ -243,7 +243,7 @@ mod tests {
             .filter(|j| (j.submit, j.id) <= (target.submit, target.id))
             .cloned()
             .collect();
-        let schedule = try_simulate(&prefix, cfg, &mut NullObserver).unwrap();
+        let schedule = simulate(&prefix, cfg, &mut NullObserver, SimOptions::new()).unwrap();
         schedule
             .records
             .iter()

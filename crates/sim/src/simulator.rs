@@ -33,7 +33,7 @@ use crate::starvation::starving_jobs;
 use crate::state::{ArrivalView, Observer, QueuedJob, RunningJob};
 use fairsched_cpa::alloc::AllocId;
 use fairsched_cpa::{frag, Allocator, CountingAllocator, LinearAllocator};
-use fairsched_obs::{counters, SharedSink, TraceHandle, TraceRecord, TraceSink};
+use fairsched_obs::{counters, TraceHandle, TraceRecord, TraceSink};
 use fairsched_workload::job::{GroupId, Job, JobId, UserId};
 use fairsched_workload::time::{Time, WEEK};
 use std::collections::{HashMap, HashSet};
@@ -338,6 +338,18 @@ pub enum SimError {
         /// Submissions accumulated before the guard tripped.
         attempts: u32,
     },
+    /// An online submission is dated before the simulated-time frontier
+    /// the core has already advanced past. Accepting it would silently
+    /// rewrite history (the event queue orders by time, so a
+    /// yet-unreached timestamp is fine — a passed one is not).
+    SubmittedInPast {
+        /// The offending submission.
+        job: JobId,
+        /// Its timestamp.
+        submit: Time,
+        /// The frontier it fell behind.
+        now: Time,
+    },
     /// The run's [`CancelToken`] fired (watchdog timeout or external
     /// cancellation) and the event loop stopped cooperatively.
     TimedOut {
@@ -373,6 +385,13 @@ impl fmt::Display for SimError {
                     "{job} was resubmitted {attempts} times without finishing; \
                      the fault configuration (MTBF / crash rate) makes it \
                      unable to complete"
+                )
+            }
+            SimError::SubmittedInPast { job, submit, now } => {
+                write!(
+                    f,
+                    "{job} submitted at t={submit} but simulated time has \
+                     already advanced to t={now}"
                 )
             }
             SimError::TimedOut { at } => {
@@ -496,8 +515,8 @@ impl NodeBackend {
 }
 
 #[derive(Clone)]
-pub(crate) struct Sim<'a> {
-    cfg: &'a SimConfig,
+pub(crate) struct Sim {
+    cfg: SimConfig,
     events: EventQueue,
     now: Time,
     free: u32,
@@ -525,10 +544,13 @@ pub(crate) struct Sim<'a> {
     outage_nodes: HashMap<u32, u32>,
     // Utilization / LOC / queue-pressure integrals.
     acct: Accounting,
-    // Decision tracing (None on untraced runs — the default). Emission
-    // never feeds back into scheduling; `promoted` only dedupes
-    // StarvationPromoted records and is touched only while tracing.
-    trace: Option<&'a dyn TraceHandle>,
+    // Decision tracing (None on untraced runs — the default). Records land
+    // in an owned, shareable buffer the driver drains per step (the batch
+    // driver forwards them to the caller's sink; the stepped core returns
+    // them as effects). Emission never feeds back into scheduling;
+    // `promoted` only dedupes StarvationPromoted records and is touched
+    // only while tracing.
+    trace: Option<crate::step::TraceBuf>,
     promoted: HashSet<JobId>,
     // Cooperative cancellation (None on unguarded runs — the default).
     // Checked once per event batch, so a fired token stops the run within
@@ -536,13 +558,90 @@ pub(crate) struct Sim<'a> {
     cancel: Option<CancelToken>,
 }
 
-/// The fallible simulation entry point: trace/config problems and mid-run
-/// invariant violations come back as a typed [`SimError`] instead of a
-/// panic. Use this from batch drivers (policy sweeps, CLI) where one bad
-/// input should not abort the whole run.
+/// Everything optional about one simulation run, in one builder.
+///
+/// The historical `try_simulate` / `try_simulate_traced` /
+/// `try_simulate_with` combinatorial surface collapses onto
+/// [`simulate`]`(trace, cfg, observer, SimOptions)`: tracing, cooperative
+/// cancellation, a fault-model override, and pass profiling are all knobs
+/// on this builder instead of positional `Option` parameters.
 ///
 /// ```
-/// use fairsched_sim::{try_simulate, NullObserver, SimConfig};
+/// use fairsched_sim::{simulate, NullObserver, SimConfig, SimOptions};
+/// use fairsched_workload::job::Job;
+///
+/// let trace = [Job::new(1, 1, 1, 0, 4, 100, 100)];
+/// let cfg = SimConfig { nodes: 10, ..Default::default() };
+/// let schedule = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
+/// assert_eq!(schedule.records[0].start, 0);
+/// ```
+#[derive(Default)]
+pub struct SimOptions<'a> {
+    pub(crate) sink: Option<&'a mut dyn TraceSink>,
+    pub(crate) cancel: Option<CancelToken>,
+    pub(crate) faults: Option<crate::faults::FaultConfig>,
+    pub(crate) profile: bool,
+}
+
+impl<'a> SimOptions<'a> {
+    /// No tracing, no cancellation, the config's own fault model, no
+    /// profiling — the plain run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Streams every scheduling decision (starts with their cause,
+    /// reservation moves, starvation promotions, fault requeues) and a
+    /// per-event-batch queue sample into `sink` as
+    /// [`TraceRecord`](fairsched_obs::TraceRecord)s. Tracing is strictly
+    /// write-only: the returned `Schedule` is byte-identical to the
+    /// untraced run (pinned by the workspace `obs_interference` proptests).
+    pub fn trace(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: when a watchdog (or any
+    /// other controller) fires it, the event loop stops at its next batch
+    /// with [`SimError::TimedOut`] — no partial `Schedule` escapes.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Overrides the config's fault model for this run without cloning the
+    /// whole `SimConfig` at every call site.
+    pub fn faults(mut self, faults: crate::faults::FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Wraps the run in an [`obs
+    /// ProfileScope`](fairsched_obs::counters::ProfileScope) so pass
+    /// timers and counters record. Callers that need a delta report still
+    /// snapshot [`CounterSnapshot`](fairsched_obs::counters::CounterSnapshot)
+    /// around the call, as `core::runner` does.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+}
+
+/// The single batch entry point: replays `trace` under `cfg` with
+/// everything optional selected by [`SimOptions`]. Trace/config problems
+/// and mid-run invariant violations come back as a typed [`SimError`]
+/// instead of a panic.
+///
+/// This is a thin driver over the stepped core: it submits every trace job
+/// into a [`SteppedSim`](crate::step::SteppedSim), grants the virtual
+/// clock one event batch at a time via
+/// [`SimEvent::AdvanceTo`](crate::step::SimEvent), and forwards
+/// [`Effect::Trace`](crate::step::Effect) records to the configured sink.
+/// Byte-exactness with the pre-step-core driver is pinned by the 34 FNV
+/// goldens in `tests/engine_equivalence.rs`.
+///
+/// ```
+/// use fairsched_sim::{simulate, NullObserver, SimConfig, SimOptions};
 /// use fairsched_workload::job::Job;
 ///
 /// // Two jobs on a 10-node machine: the second must queue behind the first.
@@ -551,48 +650,19 @@ pub(crate) struct Sim<'a> {
 ///     Job::new(2, 2, 1, 5, 10, 50, 50),
 /// ];
 /// let cfg = SimConfig { nodes: 10, ..Default::default() };
-/// let schedule = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
-/// assert_eq!(schedule.records[0].start, 0);
+/// let schedule = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
 /// assert_eq!(schedule.records[1].start, 100);
 /// assert_eq!(schedule.makespan(), 150);
 /// ```
-pub fn try_simulate(
+pub fn simulate(
     trace: &[Job],
     cfg: &SimConfig,
     observer: &mut dyn Observer,
+    opts: SimOptions<'_>,
 ) -> Result<Schedule, SimError> {
-    try_simulate_traced(trace, cfg, observer, None)
-}
-
-/// [`try_simulate`] with an optional decision-trace sink attached.
-///
-/// When `sink` is `Some`, every scheduling decision (starts with their
-/// cause, reservation moves, starvation promotions, fault requeues) and a
-/// per-event-batch queue sample are emitted as
-/// [`TraceRecord`](fairsched_obs::TraceRecord)s. Tracing is strictly
-/// write-only: the returned `Schedule` is byte-identical to the untraced
-/// run (pinned by the workspace `obs_interference` proptests).
-pub fn try_simulate_traced(
-    trace: &[Job],
-    cfg: &SimConfig,
-    observer: &mut dyn Observer,
-    sink: Option<&mut dyn TraceSink>,
-) -> Result<Schedule, SimError> {
-    try_simulate_with(trace, cfg, observer, sink, None)
-}
-
-/// The fully-armed entry point: [`try_simulate_traced`] plus an optional
-/// [`CancelToken`]. When a watchdog (or any other controller) fires the
-/// token, the event loop stops at its next batch with
-/// [`SimError::TimedOut`] — no partial `Schedule` escapes. Sweep cells run
-/// through this so a pathological configuration cannot wedge the grid.
-pub fn try_simulate_with(
-    trace: &[Job],
-    cfg: &SimConfig,
-    observer: &mut dyn Observer,
-    sink: Option<&mut dyn TraceSink>,
-    cancel: Option<CancelToken>,
-) -> Result<Schedule, SimError> {
+    use crate::step::{Effect, SimEvent, SteppedSim};
+    // Validate the whole trace up front (the historical error precedence:
+    // job problems surface before config problems).
     for job in trace {
         if job.nodes > cfg.nodes {
             return Err(SimError::TooWide {
@@ -606,35 +676,104 @@ pub fn try_simulate_with(
             reason: e.to_string(),
         })?;
     }
-    if let Some(cap) = cfg.user_concurrency {
-        if cap < 1 {
-            return Err(SimError::InvalidConfig {
-                reason: "user_concurrency must be at least 1".into(),
-            });
+    let faulted_cfg;
+    let cfg = match opts.faults {
+        Some(faults) => {
+            faulted_cfg = SimConfig {
+                faults,
+                ..cfg.clone()
+            };
+            &faulted_cfg
+        }
+        None => cfg,
+    };
+    let _scope = opts
+        .profile
+        .then(fairsched_obs::counters::ProfileScope::enter);
+    let mut sink = opts.sink;
+    let mut core = SteppedSim::with_trace_effects(cfg, sink.is_some())?;
+    if let Some(cancel) = opts.cancel {
+        core.set_cancel(cancel);
+    }
+    for job in trace {
+        core.step(SimEvent::Submit(job.clone()), observer)?;
+    }
+    while let Some(at) = core.next_wakeup() {
+        for effect in core.step(SimEvent::AdvanceTo(at), observer)? {
+            if let (Effect::Trace { record }, Some(sink)) = (effect, sink.as_deref_mut()) {
+                sink.record(record);
+            }
         }
     }
-    cfg.faults
-        .validate()
-        .map_err(|reason| SimError::InvalidConfig { reason })?;
-    let mut engine = make_engine_for(cfg);
-    let shared = sink.map(SharedSink::new);
-    let mut sim = Sim::new(cfg, trace);
-    sim.trace = shared.as_ref().map(|s| s as &dyn TraceHandle);
-    sim.cancel = cancel;
-    sim.run(engine.as_mut(), observer)?;
-    let schedule = sim.finish();
+    let schedule = core.finish()?;
     observer.on_finish(&schedule);
     Ok(schedule)
+}
+
+/// The historical plain entry point; use
+/// [`simulate`]`(trace, cfg, observer, SimOptions::new())` instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate(trace, cfg, observer, SimOptions::new())"
+)]
+pub fn try_simulate(
+    trace: &[Job],
+    cfg: &SimConfig,
+    observer: &mut dyn Observer,
+) -> Result<Schedule, SimError> {
+    simulate(trace, cfg, observer, SimOptions::new())
+}
+
+/// The historical traced entry point; use
+/// [`simulate`] with [`SimOptions::trace`] instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate with SimOptions::new().trace(sink)"
+)]
+pub fn try_simulate_traced(
+    trace: &[Job],
+    cfg: &SimConfig,
+    observer: &mut dyn Observer,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<Schedule, SimError> {
+    let mut opts = SimOptions::new();
+    if let Some(sink) = sink {
+        opts = opts.trace(sink);
+    }
+    simulate(trace, cfg, observer, opts)
+}
+
+/// The historical fully-armed entry point; use
+/// [`simulate`] with [`SimOptions::trace`] + [`SimOptions::cancel`] instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate with SimOptions::new().trace(sink).cancel(token)"
+)]
+pub fn try_simulate_with(
+    trace: &[Job],
+    cfg: &SimConfig,
+    observer: &mut dyn Observer,
+    sink: Option<&mut dyn TraceSink>,
+    cancel: Option<CancelToken>,
+) -> Result<Schedule, SimError> {
+    let mut opts = SimOptions::new();
+    if let Some(sink) = sink {
+        opts = opts.trace(sink);
+    }
+    if let Some(cancel) = cancel {
+        opts = opts.cancel(cancel);
+    }
+    simulate(trace, cfg, observer, opts)
 }
 
 pub(crate) fn make_engine_for(cfg: &SimConfig) -> Box<dyn Engine> {
     make_engine(cfg.engine)
 }
 
-impl<'a> Sim<'a> {
-    pub(crate) fn new(cfg: &'a SimConfig, trace: &[Job]) -> Self {
+impl Sim {
+    pub(crate) fn new(cfg: &SimConfig, trace: &[Job]) -> Self {
         let mut sim = Sim {
-            cfg,
+            cfg: cfg.clone(),
             events: EventQueue::new(),
             now: 0,
             free: cfg.nodes,
@@ -681,10 +820,15 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// The configuration this run is under.
+    pub(crate) fn cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
     /// Registers an original trace job: either a standalone submission or
     /// the head of a runtime-limited chain.
     pub(crate) fn admit(&mut self, job: &Job) {
-        self.lifecycle.admit(self.cfg, job, &mut self.events);
+        self.lifecycle.admit(&self.cfg, job, &mut self.events);
     }
 
     /// Attaches a cancellation token; clones made afterwards share it.
@@ -692,21 +836,32 @@ impl<'a> Sim<'a> {
         self.cancel = Some(cancel);
     }
 
-    fn run(
-        &mut self,
-        engine: &mut dyn Engine,
-        observer: &mut dyn Observer,
-    ) -> Result<(), SimError> {
-        while self.step(engine, observer)? {}
-        debug_assert!(
-            self.queue.is_empty(),
-            "jobs left queued after the last event"
-        );
-        debug_assert!(
-            self.running.is_empty(),
-            "jobs left running after the last event"
-        );
-        self.check_conservation()
+    /// Whether every admitted submission has been played out: no pending
+    /// arrivals, nothing queued, nothing running.
+    pub(crate) fn is_drained(&self) -> bool {
+        !self.lifecycle.has_pending() && self.queue.is_empty() && self.running.is_empty()
+    }
+
+    /// Attaches (or detaches) the owned trace buffer records are emitted
+    /// into. Set before the first step; the stepped core drains it into
+    /// `Effect::Trace` values.
+    pub(crate) fn set_trace(&mut self, trace: Option<crate::step::TraceBuf>) {
+        self.trace = trace;
+    }
+
+    /// Raises the id floor fresh chunk/resubmission ids are minted from.
+    pub(crate) fn reserve_ids(&mut self, floor: u32) {
+        self.lifecycle.reserve_ids(floor);
+    }
+
+    /// Current simulated time (the processed event frontier).
+    pub(crate) fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Queue and running-set sizes, for live status queries.
+    pub(crate) fn pressure(&self) -> (usize, usize, u32, u32) {
+        (self.queue.len(), self.running.len(), self.free, self.down)
     }
 
     /// Processes the next event batch — every event at the earliest pending
@@ -718,12 +873,30 @@ impl<'a> Sim<'a> {
         engine: &mut dyn Engine,
         observer: &mut dyn Observer,
     ) -> Result<bool, SimError> {
+        self.step_bounded(None, engine, observer)
+    }
+
+    /// [`Sim::step`] with an optional horizon: an event batch strictly
+    /// after `horizon` is left pending and `Ok(false)` is returned, so a
+    /// virtual-clock driver can grant simulated time in bounded slices
+    /// without ever processing an event the clock has not reached.
+    pub(crate) fn step_bounded(
+        &mut self,
+        horizon: Option<Time>,
+        engine: &mut dyn Engine,
+        observer: &mut dyn Observer,
+    ) -> Result<bool, SimError> {
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Err(SimError::TimedOut { at: self.now });
         }
-        let Some(first) = self.events.pop() else {
+        if self
+            .events
+            .peek()
+            .is_none_or(|e| horizon.is_some_and(|h| e.time > h))
+        {
             return Ok(false);
-        };
+        }
+        let first = self.events.pop().expect("peeked");
         self.advance_to(first.time);
         self.process(first, engine, observer);
         while self.events.peek().is_some_and(|e| e.time == self.now) {
@@ -742,7 +915,7 @@ impl<'a> Sim<'a> {
     /// function of (queue, now), so recomputing it here cannot disturb the
     /// engine's own starvation query during the pass.
     fn trace_promotions(&mut self) {
-        let (Some(t), Some(cfg)) = (self.trace, self.cfg.starvation.as_ref()) else {
+        let (Some(t), Some(cfg)) = (self.trace.clone(), self.cfg.starvation.as_ref()) else {
             return;
         };
         for idx in starving_jobs(&self.queue, self.now, cfg, &self.fairshare, &self.running) {
@@ -761,7 +934,7 @@ impl<'a> Sim<'a> {
     /// fixpoint settles (traced runs only). The sampled state holds until
     /// the next event, which is what trace replays rely on.
     fn trace_queue_sample(&mut self) {
-        let Some(t) = self.trace else {
+        let Some(t) = self.trace.clone() else {
             return;
         };
         let queued_nodes: u64 = self.queue.iter().map(|q| q.nodes as u64).sum();
@@ -1006,7 +1179,7 @@ impl<'a> Sim<'a> {
             seq,
             until: self.now + repair,
         });
-        if let Some(t) = self.trace {
+        if let Some(t) = self.trace.clone() {
             // `node` is the outage sequence number: stable across backends
             // (the counting backend has no physical node identities).
             t.emit(TraceRecord::NodeFailed {
@@ -1125,7 +1298,7 @@ impl<'a> Sim<'a> {
         match cause {
             // Chains: bank the executed work and submit the next chunk.
             Cause::Finished | Cause::Killed => self.lifecycle.bank_chunk(
-                self.cfg,
+                &self.cfg,
                 id,
                 open.pending.estimate,
                 executed,
@@ -1165,14 +1338,14 @@ impl<'a> Sim<'a> {
             self.acct.note_lost(executed, open.pending.nodes);
         }
         let retry = self.lifecycle.recover_crashed(
-            self.cfg,
+            &self.cfg,
             id,
             &open.pending,
             executed,
             self.now,
             &mut self.events,
         );
-        if let (Some(t), Some(retry)) = (self.trace, retry) {
+        if let (Some(t), Some(retry)) = (self.trace.clone(), retry) {
             t.emit(TraceRecord::FaultRequeued {
                 at: self.now,
                 origin: open.pending.origin,
@@ -1264,7 +1437,11 @@ impl<'a> Sim<'a> {
         timer.finish();
     }
 
-    fn finish(mut self) -> Schedule {
+    pub(crate) fn check_conservation_pub(&self) -> Result<(), SimError> {
+        self.check_conservation()
+    }
+
+    pub(crate) fn finish(mut self) -> Schedule {
         self.records.sort_by_key(|r| r.id);
         Schedule {
             nodes: self.cfg.nodes,
@@ -1282,7 +1459,7 @@ impl<'a> Sim<'a> {
     }
 }
 
-fn engine_ctx<'s>(sim: &'s Sim<'_>) -> EngineCtx<'s> {
+fn engine_ctx(sim: &Sim) -> EngineCtx<'_> {
     EngineCtx {
         now: sim.now,
         free_nodes: sim.free,
@@ -1293,7 +1470,7 @@ fn engine_ctx<'s>(sim: &'s Sim<'_>) -> EngineCtx<'s> {
         order: sim.cfg.order,
         starvation: sim.cfg.starvation.as_ref(),
         outages: &sim.outages,
-        trace: sim.trace,
+        trace: sim.trace.as_ref().map(|t| t as &dyn TraceHandle),
     }
 }
 
@@ -1317,7 +1494,7 @@ mod tests {
     }
 
     fn run(trace: &[Job], cfg: &SimConfig) -> Schedule {
-        try_simulate(trace, cfg, &mut NullObserver).unwrap_or_else(|e| panic!("{e}"))
+        simulate(trace, cfg, &mut NullObserver, SimOptions::new()).unwrap_or_else(|e| panic!("{e}"))
     }
 
     #[test]
@@ -1326,8 +1503,13 @@ mod tests {
         let c = cfg(10, EngineKind::NoGuarantee);
         let token = CancelToken::new();
         token.cancel();
-        let err = try_simulate_with(&trace, &c, &mut NullObserver, None, Some(token))
-            .expect_err("pre-cancelled run must not produce a schedule");
+        let err = simulate(
+            &trace,
+            &c,
+            &mut NullObserver,
+            SimOptions::new().cancel(token),
+        )
+        .expect_err("pre-cancelled run must not produce a schedule");
         assert!(matches!(err, SimError::TimedOut { .. }), "got {err}");
     }
 
@@ -1336,15 +1518,31 @@ mod tests {
         let trace = [job(1, 1, 0, 1, 100, 100), job(2, 2, 5, 4, 50, 50)];
         let c = cfg(10, EngineKind::NoGuarantee);
         let plain = run(&trace, &c);
-        let guarded = try_simulate_with(
+        let guarded = simulate(
             &trace,
             &c,
             &mut NullObserver,
-            None,
-            Some(CancelToken::new()),
+            SimOptions::new().cancel(CancelToken::new()),
         )
         .unwrap();
         assert_eq!(plain.records, guarded.records);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_route_through_the_builder() {
+        let trace = [job(1, 1, 0, 1, 100, 100), job(2, 2, 5, 4, 50, 50)];
+        let c = cfg(10, EngineKind::NoGuarantee);
+        let plain = run(&trace, &c);
+        assert_eq!(try_simulate(&trace, &c, &mut NullObserver).unwrap(), plain);
+        assert_eq!(
+            try_simulate_traced(&trace, &c, &mut NullObserver, None).unwrap(),
+            plain
+        );
+        assert_eq!(
+            try_simulate_with(&trace, &c, &mut NullObserver, None, None).unwrap(),
+            plain
+        );
     }
 
     /// Counts every observer hook and remembers what it saw.
@@ -1380,7 +1578,7 @@ mod tests {
         let trace = [job(1, 1, 0, 4, 100, 100), job(2, 2, 5, 8, 50, 50)];
         let c = cfg(10, EngineKind::NoGuarantee);
         let mut obs = CountingObserver::default();
-        let s = try_simulate(&trace, &c, &mut obs).unwrap();
+        let s = simulate(&trace, &c, &mut obs, SimOptions::new()).unwrap();
         assert_eq!(obs.arrivals, 2);
         assert_eq!(obs.starts, 2);
         assert_eq!(obs.completes, 2);
@@ -1398,14 +1596,14 @@ mod tests {
         let trace = [job(1, 1, 0, 4, 100, 100), job(2, 2, 5, 8, 50, 50)];
         let c = cfg(10, EngineKind::NoGuarantee);
         let mut solo = CountingObserver::default();
-        let baseline = try_simulate(&trace, &c, &mut solo).unwrap();
+        let baseline = simulate(&trace, &c, &mut solo, SimOptions::new()).unwrap();
 
         let mut a = CountingObserver::default();
         let mut b = CountingObserver::default();
         let mut set = ObserverSet::new();
         set.push(&mut a);
         set.push(&mut b);
-        let fanned = try_simulate(&trace, &c, &mut set).unwrap();
+        let fanned = simulate(&trace, &c, &mut set, SimOptions::new()).unwrap();
         assert_eq!(baseline, fanned);
         for obs in [&a, &b] {
             assert_eq!(obs.arrivals, solo.arrivals);
@@ -1421,11 +1619,11 @@ mod tests {
         let trace = [job(1, 1, 0, 4, 100, 100)];
         let c = cfg(10, EngineKind::NoGuarantee);
         let mut solo = CountingObserver::default();
-        try_simulate(&trace, &c, &mut solo).unwrap();
+        simulate(&trace, &c, &mut solo, SimOptions::new()).unwrap();
 
         let mut x = CountingObserver::default();
         let mut y = CountingObserver::default();
-        try_simulate(&trace, &c, &mut (&mut x, &mut y)).unwrap();
+        simulate(&trace, &c, &mut (&mut x, &mut y), SimOptions::new()).unwrap();
         assert_eq!(x.records, solo.records);
         assert_eq!(y.records, solo.records);
         assert_eq!(x.finished_nodes, solo.finished_nodes);
@@ -1833,12 +2031,13 @@ mod tests {
                 seed: 5,
                 ..FaultConfig::default()
             };
-            let s = crate::simulator::try_simulate(&trace, &c, &mut NullObserver)
+            let s = crate::simulator::simulate(&trace, &c, &mut NullObserver, SimOptions::new())
                 .expect("invariants hold under node failures");
             assert!(s.down_nodeseconds > 0.0, "outages must cost capacity");
             assert_eq!(s.originals().len(), trace.len(), "every job completes");
             // Byte-identical on a second run.
-            let s2 = crate::simulator::try_simulate(&trace, &c, &mut NullObserver).unwrap();
+            let s2 = crate::simulator::simulate(&trace, &c, &mut NullObserver, SimOptions::new())
+                .unwrap();
             assert_eq!(s, s2);
         }
 
@@ -1881,7 +2080,7 @@ mod tests {
                 resilience: ResiliencePolicy::RequeueFromScratch,
                 seed: 2,
             };
-            let s = crate::simulator::try_simulate(&trace, &c, &mut NullObserver)
+            let s = crate::simulator::simulate(&trace, &c, &mut NullObserver, SimOptions::new())
                 .expect("invariants hold with a linear backend under faults");
             assert!(s.placement.is_some());
             assert_eq!(s.originals().len(), trace.len());
@@ -1903,10 +2102,11 @@ mod tests {
         #[test]
         fn try_simulate_reports_typed_errors() {
             let wide = [job(1, 1, 0, 20, 100, 100)];
-            let err = crate::simulator::try_simulate(
+            let err = crate::simulator::simulate(
                 &wide,
                 &cfg(10, EngineKind::NoGuarantee),
                 &mut NullObserver,
+                SimOptions::new(),
             )
             .unwrap_err();
             assert_eq!(
@@ -1924,10 +2124,11 @@ mod tests {
 
             let mut bad = cfg(10, EngineKind::NoGuarantee);
             bad.faults.job_crash_rate = 2.0;
-            let err = crate::simulator::try_simulate(
+            let err = crate::simulator::simulate(
                 &[job(1, 1, 0, 2, 100, 100)],
                 &bad,
                 &mut NullObserver,
+                SimOptions::new(),
             )
             .unwrap_err();
             assert!(matches!(err, SimError::InvalidConfig { .. }));
@@ -1947,7 +2148,8 @@ mod tests {
                 repair: RepairTime { min: 1, max: 5 },
                 ..FaultConfig::default()
             };
-            let err = crate::simulator::try_simulate(&trace, &c, &mut NullObserver).unwrap_err();
+            let err = crate::simulator::simulate(&trace, &c, &mut NullObserver, SimOptions::new())
+                .unwrap_err();
             assert!(matches!(err, SimError::Diverged { job: JobId(1), .. }));
             assert!(err.to_string().contains("unable to complete"));
         }

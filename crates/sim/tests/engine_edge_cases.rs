@@ -3,8 +3,8 @@
 //! and the heavy-user rule that the unit tests cover only in isolation.
 
 use fairsched_sim::{
-    try_simulate, EngineKind, HeavyUserRule, KillPolicy, NullObserver, QueueOrder, SimConfig,
-    StarvationConfig,
+    simulate, EngineKind, HeavyUserRule, KillPolicy, NullObserver, QueueOrder, SimConfig,
+    SimOptions, StarvationConfig,
 };
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::{Time, DAY, HOUR};
@@ -41,7 +41,7 @@ fn conservative_survives_overdue_runners() {
     ];
     let mut c = cfg(10, EngineKind::Conservative { dynamic: false });
     c.kill = KillPolicy::Never;
-    let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+    let s = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
     // Job 2 can only start when job 1 actually ends.
     assert_eq!(start_of(&s, 2), 50_000);
 }
@@ -51,7 +51,7 @@ fn conservative_dynamic_survives_overdue_runners() {
     let trace = [job(1, 1, 0, 10, 50_000, 100), job(2, 2, 10, 10, 100, 100)];
     let mut c = cfg(10, EngineKind::Conservative { dynamic: true });
     c.kill = KillPolicy::Never;
-    let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+    let s = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
     assert_eq!(start_of(&s, 2), 50_000);
 }
 
@@ -61,7 +61,7 @@ fn when_needed_kill_reclaims_overdue_nodes_for_conservative_reservations() {
     // so job 1 dies at its WCL and job 2 starts right then.
     let trace = [job(1, 1, 0, 10, 50_000, 100), job(2, 2, 10, 10, 100, 100)];
     let c = cfg(10, EngineKind::Conservative { dynamic: false }); // default kill: WhenNeeded
-    let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+    let s = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
     let r1 = s.records.iter().find(|r| r.id == JobId(1)).unwrap();
     assert!(r1.killed);
     assert_eq!(r1.end, 100);
@@ -78,7 +78,7 @@ fn multiple_overdue_jobs_are_all_reclaimed_at_once() {
         job(3, 3, 500, 10, 100, 100),
     ];
     let c = cfg(10, EngineKind::NoGuarantee);
-    let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+    let s = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
     for id in [1, 2] {
         let r = s.records.iter().find(|r| r.id == JobId(id)).unwrap();
         assert!(r.killed, "job {id} should be killed");
@@ -104,7 +104,7 @@ fn starvation_guard_does_not_fire_before_the_delay() {
         heavy_rule: None,
     });
     c.kill = KillPolicy::Never;
-    let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+    let s = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
     // The wide job must eventually run, and not absurdly late: once it
     // starves (24 h) its reservation prevents fresh narrow starts.
     let wide_start = start_of(&s, 2);
@@ -136,7 +136,7 @@ fn heavy_rule_changes_who_starves_first() {
             heavy_rule,
         });
         c.order = QueueOrder::Fcfs; // isolate the starvation-queue effect
-        try_simulate(&trace, &c, &mut NullObserver).unwrap()
+        simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap()
     };
     // Without the bar: FCFS order anyway, job 2 first.
     let s_all = build(None);
@@ -156,7 +156,13 @@ fn heavy_rule_changes_who_starves_first() {
 #[test]
 fn easy_engine_with_an_empty_queue_is_a_no_op() {
     let trace = [job(1, 1, 0, 4, 100, 100)];
-    let s = try_simulate(&trace, &cfg(10, EngineKind::Easy), &mut NullObserver).unwrap();
+    let s = simulate(
+        &trace,
+        &cfg(10, EngineKind::Easy),
+        &mut NullObserver,
+        SimOptions::new(),
+    )
+    .unwrap();
     assert_eq!(s.records.len(), 1);
     assert_eq!(start_of(&s, 1), 0);
 }
@@ -175,7 +181,7 @@ fn depth_engine_blocks_profile_violations_end_to_end() {
     let mut c = cfg(10, EngineKind::ReservationDepth(1));
     c.starvation = None;
     c.kill = KillPolicy::Never;
-    let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+    let s = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
     assert_eq!(start_of(&s, 2), 1000, "reserved head starts on schedule");
     assert_eq!(start_of(&s, 4), 15, "short narrow job backfills");
     assert!(
@@ -193,10 +199,11 @@ fn fcfs_engine_honours_fairshare_order_too() {
         job(2, 1, 100, 4, 100, 100),
         job(3, 2, 200, 4, 100, 100),
     ];
-    let s = try_simulate(
+    let s = simulate(
         &trace,
         &cfg(10, EngineKind::FcfsNoBackfill),
         &mut NullObserver,
+        SimOptions::new(),
     )
     .unwrap();
     assert!(start_of(&s, 3) <= start_of(&s, 2));
@@ -204,10 +211,11 @@ fn fcfs_engine_honours_fairshare_order_too() {
 
 #[test]
 fn zero_jobs_is_a_valid_simulation() {
-    let s = try_simulate(
+    let s = simulate(
         &[],
         &cfg(10, EngineKind::Conservative { dynamic: false }),
         &mut NullObserver,
+        SimOptions::new(),
     )
     .unwrap();
     assert!(s.records.is_empty());

@@ -33,7 +33,7 @@ fn main() {
         let mut observers = ObserverSet::new();
         observers.push(&mut hybrid_obs);
         observers.push(&mut equality_obs);
-        try_simulate(&trace, &cfg, &mut observers).expect("baseline config is valid")
+        simulate(&trace, &cfg, &mut observers, SimOptions::new()).expect("baseline config is valid")
     };
     let hybrid = hybrid_obs.into_report();
 

@@ -1,0 +1,128 @@
+//! Quickserve: the online scheduling service in one file.
+//!
+//! Starts an in-process `fairschedd` on a free port, submits a handful of
+//! jobs over real HTTP with the typed client, streams the decision trace
+//! as it happens, explains a job's wait while it is still running, and
+//! seals the session into a final schedule — demonstrating that the
+//! online path reproduces exactly what the batch simulator would have
+//! computed for the same jobs.
+//!
+//! ```sh
+//! cargo run --release --example quickserve
+//! ```
+
+use fairsched::prelude::*;
+
+fn main() {
+    // A daemon under the paper's EASY baseline, manual clock: simulated
+    // time moves only when we grant it, so the run is fully scripted.
+    let mut daemon = Daemon::start(
+        "127.0.0.1:0",
+        SessionConfig {
+            policy: "easy.nomax".into(),
+            nodes: 64,
+            clock: ClockMode::Manual,
+            traced: true,
+            id_floor: 0,
+        },
+    )
+    .expect("daemon start");
+    let addr = daemon.addr();
+    println!("fairschedd on {addr}\n");
+
+    // Subscribe to the trace stream before any submission so no record
+    // is missed; lines arrive as the scheduler decides, not at the end.
+    let streamer = {
+        let client = Client::new(addr);
+        std::thread::spawn(move || client.trace_lines())
+    };
+    // Give the subscription a moment to attach before records flow.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let client = Client::new(addr);
+    let jobs = [
+        // (id, user, submit, nodes, runtime)
+        (1, 1, 0u64, 64, 600u64), // hogs the whole machine
+        (2, 2, 10, 32, 120),      // must wait for job 1
+        (3, 3, 20, 8, 60),        // narrow — a backfill candidate
+        (4, 2, 700, 64, 300),     // arrives after the backlog clears
+    ];
+    for (id, user, submit, nodes, runtime) in jobs {
+        let ack = client
+            .submit(&SubmitRequest {
+                id,
+                user,
+                group: 1,
+                submit,
+                nodes,
+                runtime,
+                estimate: runtime,
+            })
+            .expect("submission accepted");
+        println!("submitted job {} (queue entry t={})", ack.id, ack.arrival);
+    }
+
+    // Grant enough simulated time for job 1 to finish and job 2 to start.
+    let advanced = client.advance(600).expect("advance");
+    println!(
+        "\nadvanced to t={}: {} started, {} completed",
+        advanced.now, advanced.started, advanced.completed
+    );
+
+    // Explain job 2's wait *live* — it is running right now.
+    let explain = client.explain(2).expect("explain");
+    println!(
+        "job 2 live explain: submitted t={}, started t={}",
+        explain.get("submit").and_then(|v| v.as_u64()).unwrap(),
+        explain.get("start").and_then(|v| v.as_u64()).unwrap(),
+    );
+
+    // A submission dated before granted time is rejected, typed.
+    match client.submit(&SubmitRequest {
+        id: 99,
+        user: 9,
+        group: 1,
+        submit: 500,
+        nodes: 1,
+        runtime: 10,
+        estimate: 10,
+    }) {
+        Err(ServeError::NonMonotonicSubmit {
+            submit, granted, ..
+        }) => println!("rejected a late submission: t={submit} < granted t={granted}"),
+        other => panic!("expected a monotonicity rejection, got {other:?}"),
+    }
+
+    // Seal: play out everything left and close the trace stream.
+    let seal = client.seal().expect("seal");
+    println!(
+        "\nsealed: {} records, makespan {}s, utilization {:.1}%",
+        seal.records,
+        seal.makespan,
+        100.0 * seal.utilization
+    );
+
+    let lines = streamer.join().unwrap().expect("trace stream");
+    println!("streamed {} trace records; first three:", lines.len());
+    for line in lines.iter().take(3) {
+        println!("  {line}");
+    }
+
+    // The online session computed exactly what batch simulation would.
+    let batch = {
+        let trace: Vec<Job> = jobs
+            .iter()
+            .map(|&(id, user, submit, nodes, runtime)| {
+                Job::new(id, user, 1, submit, nodes, runtime, runtime)
+            })
+            .collect();
+        let cfg = PolicySpec::parse("easy.nomax").unwrap().sim_config(64);
+        simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap()
+    };
+    let online = daemon.session().schedule().expect("sealed schedule");
+    assert_eq!(online, batch);
+    println!("\nonline schedule is byte-identical to the batch run ✓");
+
+    client.shutdown().expect("shutdown");
+    daemon.shutdown();
+}

@@ -7,7 +7,8 @@
 //! synthesis), [`sim`] (the event-driven simulator), [`metrics`] (user,
 //! system, and fairness metrics), [`obs`] (decision traces, runtime
 //! counters, logging facade), [`cpa`] (the compute process allocator),
-//! and [`experiments`] (per-figure regeneration harness).
+//! [`served`] (the `fairschedd` online scheduling service and its typed
+//! client), and [`experiments`] (per-figure regeneration harness).
 //!
 //! Most applications only need the [`prelude`]. One `try_run_policy` call
 //! simulates once and collects every requested report from that single run:
@@ -32,17 +33,21 @@ pub use fairsched_cpa as cpa;
 pub use fairsched_experiments as experiments;
 pub use fairsched_metrics as metrics;
 pub use fairsched_obs as obs;
+pub use fairsched_served as served;
 pub use fairsched_sim as sim;
 pub use fairsched_workload as workload;
 
 /// The types most users need, in one import.
 ///
-/// Centred on the fallible single-pass API: [`try_simulate`] +
-/// [`ObserverSet`] for raw simulations, [`try_run_policy`] + [`RunOptions`]
-/// for one policy with any subset of reports, [`try_run_policies`] /
-/// [`try_run_policies_with`] for fenced parallel sweeps. The historical
-/// panicking entry points (`simulate`, `run_policies`) are gone; every
-/// caller goes through the fallible API.
+/// Centred on the single-pass API: [`simulate`](fairsched_sim::simulate) +
+/// [`SimOptions`](fairsched_sim::SimOptions) + [`ObserverSet`] for raw
+/// simulations, [`try_run_policy`] + [`RunOptions`] for one policy with any
+/// subset of reports, [`try_run_policies`] / [`try_run_policies_with`] for
+/// fenced parallel sweeps. The clock-decoupled core is here too —
+/// [`SteppedSim`](fairsched_sim::SteppedSim) with its
+/// [`SimEvent`](fairsched_sim::SimEvent)/[`Effect`](fairsched_sim::Effect)
+/// contract — plus the `fairsched-served` client types for talking to a
+/// running `fairschedd`.
 pub mod prelude {
     pub use fairsched_core::policy::PolicySpec;
     pub use fairsched_core::runner::{
@@ -61,10 +66,15 @@ pub mod prelude {
         CounterSnapshot, DecisionTracer, ProfileReport, ProfileScope, StartCause, TraceRecord,
         TraceSink,
     };
+    pub use fairsched_served::{
+        AdvanceResponse, Client, ClockMode, Daemon, SealResponse, ServeError, Session,
+        SessionConfig, StatusResponse, SubmitRequest, SubmitResponse, VirtualClock,
+    };
     pub use fairsched_sim::{
-        try_simulate, try_simulate_traced, warm_start_forkable, warm_start_supported, EngineKind,
-        FaultConfig, KillPolicy, NullObserver, Observer, ObserverSet, PrefixSimulator, QueueOrder,
-        ResiliencePolicy, Schedule, SimConfig, SimError,
+        simulate, warm_start_forkable, warm_start_supported, Effect, EngineKind, FaultConfig,
+        KillPolicy, NullObserver, Observer, ObserverSet, PrefixSimulator, QueueOrder,
+        ResiliencePolicy, Schedule, SimConfig, SimError, SimEvent, SimOptions, StepStatus,
+        SteppedSim,
     };
     pub use fairsched_workload::job::{Job, JobId, UserId};
     pub use fairsched_workload::time::{Time, DAY, HOUR, MINUTE, WEEK};

@@ -17,8 +17,8 @@
 
 use fairsched_core::policy::PolicySpec;
 use fairsched_sim::{
-    try_simulate, EngineKind, FaultConfig, KillPolicy, NullObserver, QueueOrder, ResiliencePolicy,
-    Schedule, SimConfig,
+    simulate, EngineKind, FaultConfig, KillPolicy, NullObserver, QueueOrder, ResiliencePolicy,
+    Schedule, SimConfig, SimOptions,
 };
 use fairsched_workload::job::Job;
 use fairsched_workload::synthetic::random_trace;
@@ -243,7 +243,7 @@ const GOLDENS: &[(&str, u64)] = &[
 ];
 
 fn run(trace: &[Job], cfg: &SimConfig) -> Schedule {
-    try_simulate(trace, cfg, &mut NullObserver).expect("scenario simulates cleanly")
+    simulate(trace, cfg, &mut NullObserver, SimOptions::new()).expect("scenario simulates cleanly")
 }
 
 /// Re-record helper: prints the `GOLDENS` table for the current engines.
@@ -350,7 +350,7 @@ mod properties {
             .filter(|j| (j.submit, j.id) <= (target.submit, target.id))
             .cloned()
             .collect();
-        let schedule = try_simulate(&prefix, cfg, &mut NullObserver).unwrap();
+        let schedule = simulate(&prefix, cfg, &mut NullObserver, SimOptions::new()).unwrap();
         schedule
             .records
             .iter()

@@ -44,7 +44,7 @@ fn consp_schedule_is_fair_under_consp_and_hybrid_fcfs() {
     );
 
     let mut obs = HybridFstObserver::new();
-    let schedule = try_simulate(&trace, &c, &mut obs).unwrap();
+    let schedule = simulate(&trace, &c, &mut obs, SimOptions::new()).unwrap();
     let hybrid = obs.into_report();
     assert_eq!(
         hybrid.percent_unfair(),
@@ -67,7 +67,7 @@ fn sabin_fst_of_a_no_later_arrival_schedule_matches_actual_starts() {
         QueueOrder::Fcfs,
     );
     let fsts = sabin_fsts(&trace, &c);
-    let schedule = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+    let schedule = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
     let report = sabin_report(&schedule, &fsts);
     assert_eq!(report.percent_unfair(), 0.0);
     assert_eq!(report.total_miss(), 0);
@@ -85,7 +85,7 @@ fn metrics_disagree_on_real_schedules_but_agree_on_direction() {
         ..Default::default()
     };
     let mut obs = HybridFstObserver::new();
-    let schedule = try_simulate(&trace, &c, &mut obs).unwrap();
+    let schedule = simulate(&trace, &c, &mut obs, SimOptions::new()).unwrap();
     let hybrid = obs.into_report();
     let consp = consp_report(&schedule, &consp_fsts(&trace, NODES));
     assert_eq!(hybrid.entries.len(), consp.entries.len());
@@ -105,7 +105,7 @@ proptest! {
         // Σ received = Σ (deserved + discrimination).
         let trace = random_trace(seed, 80, NODES, 4000);
         let c = SimConfig { nodes: NODES, kill: KillPolicy::Never, ..Default::default() };
-        let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
         let report = equality_report(&s);
         let received: f64 = s
             .records
@@ -126,7 +126,7 @@ proptest! {
     fn jain_index_bounds_hold_on_real_turnarounds(seed in 0u64..500) {
         let trace = random_trace(seed, 60, NODES, 4000);
         let c = SimConfig { nodes: NODES, ..Default::default() };
-        let s = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
         let turnarounds: Vec<f64> =
             s.records.iter().map(|r| r.turnaround() as f64).collect();
         let idx = jain_index(&turnarounds);
@@ -140,7 +140,7 @@ proptest! {
         let trace = random_trace(seed, 80, NODES, 4000);
         let c = SimConfig { nodes: NODES, ..Default::default() };
         let mut obs = HybridFstObserver::new();
-        let s = try_simulate(&trace, &c, &mut obs).unwrap();
+        let s = simulate(&trace, &c, &mut obs, SimOptions::new()).unwrap();
         let report = obs.into_report();
         let waits: std::collections::HashMap<_, _> =
             s.records.iter().map(|r| (r.id, r.wait())).collect();

@@ -93,13 +93,13 @@ proptest! {
 
     #[test]
     fn machine_is_never_oversubscribed(trace in arb_trace(60), cfg in arb_config()) {
-        let s = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         prop_assert!(peak_usage(&s) <= NODES as i64);
     }
 
     #[test]
     fn no_time_travel_and_full_coverage(trace in arb_trace(60), cfg in arb_config()) {
-        let s = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         // Every submission starts at or after its submit and ends after it
         // starts.
         for r in &s.records {
@@ -118,7 +118,7 @@ proptest! {
 
     #[test]
     fn executed_work_matches_busy_integral(trace in arb_trace(60), cfg in arb_config()) {
-        let s = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         let from_records: f64 = s
             .records
             .iter()
@@ -132,7 +132,7 @@ proptest! {
     fn never_killed_jobs_run_their_full_runtime(trace in arb_trace(60), mut cfg in arb_config()) {
         cfg.kill = KillPolicy::Never;
         cfg.runtime_limit = None;
-        let s = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         let by_id: std::collections::HashMap<_, _> =
             trace.iter().map(|j| (j.id, j.runtime)).collect();
         for r in &s.records {
@@ -147,7 +147,7 @@ proptest! {
     ) {
         cfg.kill = KillPolicy::AtWcl;
         cfg.runtime_limit = None;
-        let s = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         for r in &s.records {
             prop_assert!(r.end - r.start <= r.estimate, "{:?}", r);
         }
@@ -155,8 +155,8 @@ proptest! {
 
     #[test]
     fn simulation_is_deterministic(trace in arb_trace(40), cfg in arb_config()) {
-        let a = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
-        let b = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let a = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
+        let b = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -164,7 +164,7 @@ proptest! {
     fn chunked_runs_conserve_unkilled_work(trace in arb_trace(40), mut cfg in arb_config()) {
         cfg.kill = KillPolicy::Never;
         cfg.runtime_limit = Some(RuntimeLimit { limit: 10 * HOUR });
-        let s = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         let by_id: std::collections::HashMap<_, _> =
             trace.iter().map(|j| (j.id, j.runtime)).collect();
         for o in s.originals() {
@@ -174,7 +174,7 @@ proptest! {
 
     #[test]
     fn loc_and_utilization_stay_in_unit_range(trace in arb_trace(60), cfg in arb_config()) {
-        let s = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let s = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         prop_assert!((0.0..=1.0 + 1e-9).contains(&s.utilization()));
         prop_assert!((0.0..=1.0 + 1e-9).contains(&s.loss_of_capacity()));
     }

@@ -75,8 +75,8 @@ proptest! {
             .map(|j| Job { submit: j.submit + delta, ..j.clone() })
             .collect();
         let c = cfg(engine);
-        let base = try_simulate(&trace, &c, &mut NullObserver).unwrap();
-        let moved = try_simulate(&shifted, &c, &mut NullObserver).unwrap();
+        let base = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
+        let moved = simulate(&shifted, &c, &mut NullObserver, SimOptions::new()).unwrap();
         prop_assert_eq!(base.records.len(), moved.records.len());
         for (a, b) in base.records.iter().zip(&moved.records) {
             prop_assert_eq!(a.id, b.id);
@@ -100,8 +100,8 @@ proptest! {
         let c1 = cfg(engine);
         let mut c2 = cfg(engine);
         c2.nodes = NODES * 2;
-        let base = try_simulate(&trace, &c1, &mut NullObserver).unwrap();
-        let scaled = try_simulate(&doubled, &c2, &mut NullObserver).unwrap();
+        let base = simulate(&trace, &c1, &mut NullObserver, SimOptions::new()).unwrap();
+        let scaled = simulate(&doubled, &c2, &mut NullObserver, SimOptions::new()).unwrap();
         for (a, b) in base.records.iter().zip(&scaled.records) {
             prop_assert_eq!(a.start, b.start, "job {:?}", a.id);
             prop_assert_eq!(a.end, b.end);
@@ -116,11 +116,11 @@ proptest! {
     #[test]
     fn late_straggler_cannot_rewrite_history(trace in arb_trace(), engine in engines()) {
         let c = cfg(engine);
-        let base = try_simulate(&trace, &c, &mut NullObserver).unwrap();
+        let base = simulate(&trace, &c, &mut NullObserver, SimOptions::new()).unwrap();
         let after = base.max_completion + DAY;
         let mut extended = trace.clone();
         extended.push(Job::new(9999, 1, 1, after, 1, 100, 100));
-        let with_straggler = try_simulate(&extended, &c, &mut NullObserver).unwrap();
+        let with_straggler = simulate(&extended, &c, &mut NullObserver, SimOptions::new()).unwrap();
         for a in &base.records {
             let b = with_straggler
                 .records
@@ -149,14 +149,14 @@ proptest! {
             starvation: None,
             ..Default::default()
         };
-        let full = try_simulate(&perfect, &c, &mut NullObserver).unwrap();
+        let full = simulate(&perfect, &c, &mut NullObserver, SimOptions::new()).unwrap();
         let last = perfect
             .iter()
             .max_by_key(|j| (j.submit, j.id))
             .expect("non-empty")
             .id;
         perfect.retain(|j| j.id != last);
-        let without = try_simulate(&perfect, &c, &mut NullObserver).unwrap();
+        let without = simulate(&perfect, &c, &mut NullObserver, SimOptions::new()).unwrap();
         for b in &without.records {
             let a = full.records.iter().find(|r| r.id == b.id).expect("same job");
             prop_assert!(

@@ -116,9 +116,15 @@ fn traced_simulation_matches_untraced_and_serializes() {
         engine: EngineKind::Conservative { dynamic: false },
         ..Default::default()
     };
-    let clean = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+    let clean = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
     let mut tracer = DecisionTracer::unbounded();
-    let traced = try_simulate_traced(&trace, &cfg, &mut NullObserver, Some(&mut tracer)).unwrap();
+    let traced = simulate(
+        &trace,
+        &cfg,
+        &mut NullObserver,
+        SimOptions::new().trace(&mut tracer),
+    )
+    .unwrap();
     assert_eq!(clean, traced);
     assert!(!tracer.is_empty());
     assert_eq!(tracer.dropped(), 0);

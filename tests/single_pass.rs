@@ -39,18 +39,18 @@ proptest! {
             set.push(&mut equality);
             set.push(&mut per_user);
             set.push(&mut resilience);
-            try_simulate(&trace, &cfg, &mut set).unwrap()
+            simulate(&trace, &cfg, &mut set, SimOptions::new()).unwrap()
         };
 
         // The legacy protocol: one simulation per observer.
         let mut solo_hybrid = HybridFstObserver::new();
-        let solo_schedule = try_simulate(&trace, &cfg, &mut solo_hybrid).unwrap();
+        let solo_schedule = simulate(&trace, &cfg, &mut solo_hybrid, SimOptions::new()).unwrap();
         let mut solo_equality = EqualityObserver::new();
-        try_simulate(&trace, &cfg, &mut solo_equality).unwrap();
+        simulate(&trace, &cfg, &mut solo_equality, SimOptions::new()).unwrap();
         let mut solo_per_user = PerUserObserver::new();
-        try_simulate(&trace, &cfg, &mut solo_per_user).unwrap();
+        simulate(&trace, &cfg, &mut solo_per_user, SimOptions::new()).unwrap();
         let mut solo_resilience = ResilienceObserver::new();
-        try_simulate(&trace, &cfg, &mut solo_resilience).unwrap();
+        simulate(&trace, &cfg, &mut solo_resilience, SimOptions::new()).unwrap();
 
         prop_assert_eq!(combined, solo_schedule);
         prop_assert_eq!(hybrid.into_report(), solo_hybrid.into_report());
@@ -85,7 +85,7 @@ proptest! {
         prop_assert_eq!(&serial, &parallel);
 
         // And the derived reports agree entry for entry.
-        let schedule = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
+        let schedule = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
         prop_assert_eq!(
             sabin_report(&schedule, &serial),
             sabin_report(&schedule, &parallel)
@@ -149,7 +149,7 @@ proptest! {
             set.push(&mut equality);
             set.push(&mut per_user);
             set.push(&mut resilience);
-            try_simulate(&trace, &cfg, &mut set).unwrap()
+            simulate(&trace, &cfg, &mut set, SimOptions::new()).unwrap()
         };
 
         prop_assert_eq!(run.outcome.schedule, schedule);

@@ -27,8 +27,8 @@ fn replaying_a_parsed_trace_gives_the_identical_schedule() {
         nodes: 1024,
         ..Default::default()
     };
-    let original = try_simulate(&trace, &cfg, &mut NullObserver).unwrap();
-    let replayed = try_simulate(&parsed, &cfg, &mut NullObserver).unwrap();
+    let original = simulate(&trace, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
+    let replayed = simulate(&parsed, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
     assert_eq!(original, replayed);
 }
 
