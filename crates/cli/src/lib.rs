@@ -1,6 +1,6 @@
 //! # fairsched-cli
 //!
-//! The command-line face of the workspace. Ten subcommands:
+//! The command-line face of the workspace. Eleven subcommands:
 //!
 //! ```text
 //! fairsched generate --seed 42 --scale 0.1 --nodes 1024 --out trace.swf
@@ -13,6 +13,7 @@
 //! fairsched serve    [--port N] [--policy ID] [--speedup X | --manual]
 //! fairsched submit   --addr HOST:PORT --id N --user N --submit T --nodes N --runtime T
 //! fairsched status   --addr HOST:PORT
+//! fairsched watch    --addr HOST:PORT [--interval-ms N] [--count N]
 //! ```
 //!
 //! All logic lives in this library (parsing, dispatch, rendering) so it is
@@ -29,6 +30,7 @@ use fairsched_core::sweep::try_run_policies;
 use fairsched_core::{run_sweep, FaultPoint, SweepConfig, SweepPlan};
 use fairsched_metrics::explain::{explain_wait, worst_miss};
 use fairsched_metrics::fairness::peruser::heavy_vs_light_miss;
+use fairsched_obs::registry::{parse_exposition, quantile_from_buckets};
 use fairsched_obs::{log, DecisionTracer};
 use fairsched_served::clock::ClockMode;
 use fairsched_served::session::SessionConfig;
@@ -168,6 +170,16 @@ pub enum Command {
         /// Daemon address.
         addr: std::net::SocketAddr,
     },
+    /// Poll a running daemon's live fairness gauges and request
+    /// latencies, rendering one frame per poll until the session seals.
+    Watch {
+        /// Daemon address.
+        addr: std::net::SocketAddr,
+        /// Milliseconds between polls.
+        interval_ms: u64,
+        /// Stop after this many frames (0 = watch until sealed).
+        count: u64,
+    },
     /// Print usage.
     Help,
 }
@@ -204,6 +216,7 @@ USAGE:
   fairsched submit   --addr HOST:PORT --id N --user N --submit T --nodes N
                      --runtime T [--estimate T] [--group N]
   fairsched status   --addr HOST:PORT
+  fairsched watch    --addr HOST:PORT [--interval-ms N] [--count N]
   fairsched help
 
 SERVE (the fairschedd online scheduling daemon):
@@ -213,6 +226,10 @@ SERVE (the fairschedd online scheduling daemon):
   only on POST /v1/advance. Stream decisions from GET /v1/trace (JSONL),
   explain a queued-then-started job live via GET /v1/explain/{id}, and
   finish the run with POST /v1/seal. Stop with POST /v1/shutdown.
+  GET /metrics exposes Prometheus text; GET /v1/fairness a live JSON
+  fairness snapshot. `fairsched watch` polls both and renders a frame
+  every --interval-ms (default 1000), stopping after --count frames
+  (default 0: watch until the session seals).
 
 Fault flags apply to simulate, compare, profile, explain, and sweep;
 other subcommands reject them. `--quiet` anywhere (or FAIRSCHED_QUIET=1)
@@ -591,6 +608,18 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 addr: parse_addr(&required("--addr")?)?,
             })
         }
+        "watch" => {
+            check_flags(&["--addr", "--interval-ms", "--count"])?;
+            let interval_ms = parse_u64("--interval-ms", 1000)?;
+            if interval_ms == 0 {
+                return Err(UsageError("--interval-ms must be positive".into()));
+            }
+            Ok(Command::Watch {
+                addr: parse_addr(&required("--addr")?)?,
+                interval_ms,
+                count: parse_u64("--count", 0)?,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(UsageError(format!(
             "unknown subcommand {other:?}; try `fairsched help`"
@@ -946,6 +975,7 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                     clock,
                     traced,
                     id_floor: 0,
+                    ..SessionConfig::default()
                 },
             )?;
             let addr = daemon.addr();
@@ -1004,7 +1034,118 @@ pub fn execute(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
             writeln!(out, "sealed:       {}", s.sealed)?;
             Ok(out)
         }
+        Command::Watch {
+            addr,
+            interval_ms,
+            count,
+        } => {
+            let client = Client::new(addr);
+            let mut frames = 0u64;
+            let sealed = loop {
+                let status = client.status()?;
+                let fairness = client.fairness()?;
+                let metrics = client.metrics_text()?;
+                let frame = render_watch_frame(&status, &fairness, &metrics);
+                {
+                    use std::io::Write as _;
+                    let mut out = std::io::stdout().lock();
+                    out.write_all(frame.as_bytes())?;
+                    out.flush()?;
+                }
+                frames += 1;
+                if status.sealed || (count > 0 && frames >= count) {
+                    break status.sealed;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            };
+            Ok(format!("watched {frames} frame(s); sealed: {sealed}\n"))
+        }
     }
+}
+
+/// Renders one `fairsched watch` frame from the three live views a poll
+/// collects: `/v1/status`, `/v1/fairness`, and the `/metrics` exposition
+/// (the source of server-side submit latency quantiles).
+fn render_watch_frame(
+    s: &fairsched_served::StatusResponse,
+    fairness: &fairsched_served::json::Json,
+    metrics_text: &str,
+) -> String {
+    use fairsched_served::json::Json;
+    let f_u64 = |key: &str| fairness.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let f_f64 = |key: &str| fairness.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+
+    // Server-side request accounting, straight from the exposition. A
+    // scrape that fails to parse renders as zeros rather than killing
+    // the watch loop — the daemon's own tests pin parseability.
+    let samples = parse_exposition(metrics_text).unwrap_or_default();
+    // fold, not sum: an empty f64 Sum starts at -0.0 and would render
+    // a zero-traffic daemon as "-0 requests".
+    let total = |name: &str| -> f64 {
+        samples
+            .iter()
+            .filter(|smp| smp.name == name)
+            .fold(0.0, |acc, smp| acc + smp.value)
+    };
+    let requests = total("fairschedd_http_requests_total");
+    let errors = total("fairschedd_http_errors_total");
+    let mut submit_buckets: Vec<(f64, u64)> = samples
+        .iter()
+        .filter(|smp| {
+            smp.name == "fairschedd_http_request_duration_ns_bucket"
+                && smp.label("route") == Some("/v1/jobs")
+        })
+        .filter_map(|smp| {
+            let le = smp.label("le")?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((bound, smp.value as u64))
+        })
+        .collect();
+    submit_buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let q = |p: f64| quantile_from_buckets(&submit_buckets, p) / 1e3;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- t={} (granted {}){} --",
+        s.now,
+        s.granted,
+        if s.sealed { " SEALED" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "jobs:     {} queued, {} running, {} accepted, {} completed ({} nodes free)",
+        s.queued, s.running, s.accepted, s.completed, s.free
+    );
+    let _ = writeln!(
+        out,
+        "fairness: {:.1}% unfair of {} scored, total miss {}s, mean wait {:.1}s, mean slowdown {:.2}",
+        f_f64("percent_unfair") * 100.0,
+        f_u64("scored"),
+        f_u64("total_miss"),
+        f_f64("mean_wait"),
+        f_f64("mean_slowdown"),
+    );
+    let _ = writeln!(
+        out,
+        "live:     {} past FST (worst {}s), oldest queued {}s, utilization {:.2}",
+        f_u64("live_fst_misses"),
+        f_u64("worst_live_miss"),
+        f_u64("starvation_age"),
+        f_f64("utilization"),
+    );
+    let _ = writeln!(
+        out,
+        "http:     {requests:.0} requests ({errors:.0} errors), submit p50/p95/p99 = {:.0}/{:.0}/{:.0} us",
+        q(0.50),
+        q(0.95),
+        q(0.99),
+    );
+    out
 }
 
 fn parse_addr(s: &str) -> Result<std::net::SocketAddr, UsageError> {
@@ -1647,6 +1788,41 @@ mod tests {
             Command::Status { addr } => assert_eq!(addr.port(), 7070),
             other => panic!("parsed {other:?}"),
         }
+
+        match parse(&args(
+            "watch --addr 127.0.0.1:7070 --interval-ms 250 --count 3",
+        ))
+        .unwrap()
+        {
+            Command::Watch {
+                addr,
+                interval_ms,
+                count,
+            } => {
+                assert_eq!(addr.port(), 7070);
+                assert_eq!(interval_ms, 250);
+                assert_eq!(count, 3);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Defaults: poll every second until the session seals.
+        match parse(&args("watch --addr 127.0.0.1:7070")).unwrap() {
+            Command::Watch {
+                interval_ms, count, ..
+            } => {
+                assert_eq!(interval_ms, 1000);
+                assert_eq!(count, 0);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("watch --interval-ms 5"))
+            .unwrap_err()
+            .0
+            .contains("--addr"));
+        assert!(parse(&args("watch --addr 127.0.0.1:1 --interval-ms 0"))
+            .unwrap_err()
+            .0
+            .contains("--interval-ms"));
         // Flag whitelists hold for the service subcommands too.
         assert!(parse(&args("status --addr 127.0.0.1:1 --mtbf 60"))
             .unwrap_err()
@@ -1656,6 +1832,56 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--trace"));
+    }
+
+    #[test]
+    fn watch_frames_render_all_three_views() {
+        let status = fairsched_served::StatusResponse {
+            policy: "easy.nomax".into(),
+            nodes: 64,
+            now: 500,
+            granted: 600,
+            queued: 3,
+            running: 2,
+            free: 16,
+            down: 0,
+            accepted: 7,
+            completed: 2,
+            next_event: Some(650),
+            sealed: false,
+        };
+        let fairness = fairsched_served::json::parse(
+            r#"{"percent_unfair": 0.25, "scored": 4, "total_miss": 120,
+                "mean_wait": 30.5, "mean_slowdown": 1.75, "live_fst_misses": 2,
+                "worst_live_miss": 90, "starvation_age": 200, "utilization": 0.8}"#,
+        )
+        .unwrap();
+        let metrics = "\
+# TYPE fairschedd_http_requests_total counter
+fairschedd_http_requests_total{route=\"/v1/jobs\"} 7
+fairschedd_http_requests_total{route=\"/v1/status\"} 3
+# TYPE fairschedd_http_errors_total counter
+fairschedd_http_errors_total{route=\"/v1/jobs\"} 1
+# TYPE fairschedd_http_request_duration_ns_bucket counter
+fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"65535\"} 6
+fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"131071\"} 7
+fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"+Inf\"} 7
+";
+        let frame = render_watch_frame(&status, &fairness, metrics);
+        assert!(frame.contains("t=500 (granted 600)"), "{frame}");
+        assert!(
+            frame.contains("3 queued, 2 running, 7 accepted, 2 completed"),
+            "{frame}"
+        );
+        assert!(frame.contains("25.0% unfair of 4 scored"), "{frame}");
+        assert!(frame.contains("2 past FST (worst 90s)"), "{frame}");
+        assert!(frame.contains("10 requests (1 errors)"), "{frame}");
+        // p50 falls in the [0, 65535]ns bucket, p99 in (65535, 131071].
+        assert!(frame.contains("submit p50/p95/p99 ="), "{frame}");
+        assert!(!frame.contains("SEALED"), "{frame}");
+        // Garbage exposition degrades to zeros instead of failing.
+        let degraded = render_watch_frame(&status, &fairness, "not an exposition");
+        assert!(degraded.contains("0 requests (0 errors)"), "{degraded}");
     }
 
     #[test]
@@ -1707,6 +1933,14 @@ mod tests {
         let status = execute(Command::Status { addr }).unwrap();
         assert!(status.contains("accepted:     1"), "{status}");
         assert!(status.contains("policy:       easy.nomax"), "{status}");
+
+        let watched = execute(Command::Watch {
+            addr,
+            interval_ms: 10,
+            count: 1,
+        })
+        .unwrap();
+        assert!(watched.contains("watched 1 frame(s)"), "{watched}");
 
         let client = Client::new(addr);
         client.seal().unwrap();

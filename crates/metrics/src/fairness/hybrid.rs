@@ -60,10 +60,18 @@ impl HybridFstObserver {
     /// Consumes the observer into a per-job report. Jobs that never started
     /// (impossible in a drained simulation) are dropped.
     pub fn into_report(self) -> FstReport {
+        self.report()
+    }
+
+    /// A non-consuming snapshot of the report so far: entries for every
+    /// job that has both an FST and a start. Mid-run this is the live
+    /// verdict over started jobs; after a drained run it is identical to
+    /// [`HybridFstObserver::into_report`].
+    pub fn report(&self) -> FstReport {
         let entries = self
             .fsts
-            .into_iter()
-            .filter_map(|(id, (fst, nodes))| {
+            .iter()
+            .filter_map(|(&id, &(fst, nodes))| {
                 self.starts.get(&id).map(|&start| FstEntry {
                     id,
                     nodes,
@@ -73,6 +81,18 @@ impl HybridFstObserver {
             })
             .collect();
         FstReport::new(entries)
+    }
+
+    /// The fair start time computed for `id` at its arrival, if any.
+    pub fn fst_of(&self, id: JobId) -> Option<Time> {
+        self.fsts.get(&id).map(|&(fst, _)| fst)
+    }
+
+    /// Injects a precomputed FST — test support for gauge arithmetic that
+    /// wants a frozen mid-run state without driving a simulation.
+    #[cfg(test)]
+    pub(crate) fn insert_fst(&mut self, id: JobId, fst: Time, nodes: u32) {
+        self.fsts.insert(id, (fst, nodes));
     }
 }
 

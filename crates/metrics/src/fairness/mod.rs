@@ -15,6 +15,9 @@
 //! by width (Figures 9–10, 15–16). [`resilience`] goes beyond the paper:
 //! when the fault layer is enabled it splits any FST report into
 //! interrupted-vs-clean halves to expose failure-induced unfairness.
+//! [`stream`] keeps the hybrid verdict, per-user aggregates, and live
+//! starvation gauges current event-by-event, for schedulers that run
+//! online and cannot wait for the schedule to finish.
 
 pub mod consp;
 pub mod equality;
@@ -24,3 +27,4 @@ pub mod jain;
 pub mod peruser;
 pub mod resilience;
 pub mod sabin;
+pub mod stream;

@@ -92,6 +92,29 @@ impl Histogram {
         }
     }
 
+    /// The count in bucket `i` (0 for out-of-range indices).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// The highest occupied bucket index (0 when empty).
+    pub fn highest_bucket(&self) -> usize {
+        self.buckets.iter().rposition(|&n| n > 0).unwrap_or(0)
+    }
+
+    /// Adds `n` samples directly into bucket `i`, bumping the count but
+    /// not the sum (callers reconstructing a histogram from bucketized
+    /// data set the sum separately via [`Histogram::set_sum`]).
+    pub fn add_bucket(&mut self, i: usize, n: u64) {
+        self.buckets[i.min(BUCKETS - 1)] += n;
+        self.count += n;
+    }
+
+    /// Overwrites the exact sum (pairs with [`Histogram::add_bucket`]).
+    pub fn set_sum(&mut self, sum: u64) {
+        self.sum = sum;
+    }
+
     /// Lower bound of the bucket containing the `q`-quantile sample
     /// (`q` in `[0, 1]`). Bucket resolution: the true value is within 2x.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -107,6 +130,35 @@ impl Histogram {
             }
         }
         1u64 << (BUCKETS - 1)
+    }
+
+    /// The `q`-quantile with linear interpolation inside the log2 bucket
+    /// containing the rank. Smoother than [`Histogram::quantile`] for
+    /// rendering p50/p95/p99 — still bucket-resolution underneath, but
+    /// monotone in `q` and free of the power-of-two staircase.
+    pub fn quantile_interpolated(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if below + n >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lower = (1u64 << (i - 1)) as f64;
+                let upper = if i == BUCKETS - 1 {
+                    lower * 2.0
+                } else {
+                    (1u64 << i) as f64
+                };
+                let into = (rank - below) as f64;
+                return lower + (upper - lower) * (into / (n.max(1)) as f64);
+            }
+            below += n;
+        }
+        (1u64 << (BUCKETS - 1)) as f64
     }
 
     fn saturating_sub(&self, earlier: &Histogram) -> Histogram {
@@ -490,6 +542,47 @@ mod tests {
         // p50 lands in 10's bucket [8,16); p100 in 1000's bucket [512,1024).
         assert_eq!(h.quantile(0.5), 8);
         assert_eq!(h.quantile(1.0), 512);
+    }
+
+    #[test]
+    fn interpolated_quantiles_stay_inside_their_bucket_and_are_monotone() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1000);
+        let p50 = h.quantile_interpolated(0.50);
+        assert!((8.0..16.0).contains(&p50), "p50 = {p50}");
+        let p100 = h.quantile_interpolated(1.0);
+        assert!((512.0..=1024.0).contains(&p100), "p100 = {p100}");
+        let mut prev = 0.0;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = h.quantile_interpolated(q);
+            assert!(v >= prev, "quantile must be monotone in q");
+            prev = v;
+        }
+        assert_eq!(Histogram::new().quantile_interpolated(0.5), 0.0);
+    }
+
+    #[test]
+    fn bucket_accessors_round_trip() {
+        let mut h = Histogram::new();
+        h.record(5); // bucket 3
+        h.record(0); // bucket 0
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.bucket(99), 0);
+        assert_eq!(h.highest_bucket(), 3);
+
+        let mut rebuilt = Histogram::new();
+        for i in 0..=h.highest_bucket() {
+            if h.bucket(i) > 0 {
+                rebuilt.add_bucket(i, h.bucket(i));
+            }
+        }
+        rebuilt.set_sum(h.sum());
+        assert_eq!(rebuilt, h);
     }
 
     #[test]

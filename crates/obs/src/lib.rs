@@ -26,7 +26,9 @@
 
 pub mod counters;
 pub mod log;
+pub mod registry;
 pub mod trace;
 
 pub use counters::{CounterSnapshot, Histogram, ProfileReport, ProfileScope};
+pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use trace::{DecisionTracer, SharedSink, StartCause, TraceHandle, TraceRecord, TraceSink};

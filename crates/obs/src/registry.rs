@@ -1,0 +1,759 @@
+//! A typed, process-shareable metrics registry with a hand-rolled
+//! Prometheus text-exposition encoder.
+//!
+//! The service tier (`fairschedd`) needs an always-on observer: request
+//! and error counters per route, latency histograms, and live gauges for
+//! queue pressure and fairness. The workspace's vendored-stub dependency
+//! policy rules out the `prometheus` crate, so this module implements the
+//! subset the text exposition format actually requires — counters,
+//! gauges, and the workspace's existing log2 [`Histogram`] rendered as
+//! cumulative `_bucket{le="..."}` series — over `std` atomics only.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`HistogramHandle`]) are cheap
+//! `Arc`-backed clones: register once, stash the handle on the hot path,
+//! and never touch the registry again until scrape time. Recording is a
+//! relaxed atomic add; a scrape walks the registry under a short lock and
+//! loads each atom once, so scraping never blocks recording.
+//!
+//! Quantiles are bucket-resolution: [`Histogram::quantile_interpolated`]
+//! linearly interpolates inside the log2 bucket containing the rank, so
+//! p50/p95/p99 read smoothly even though samples collapse into powers of
+//! two. [`parse_exposition`] is the matching decoder — enough of the text
+//! format for the load test, `fairsched watch`, and CI smoke checks to
+//! scrape `/metrics` without an external client library.
+
+use crate::counters::Histogram;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+const BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter detached from any registry (useful in tests).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Stored as `f64` bits so both
+/// integral gauges (queue depth) and fractional ones (utilization) fit.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A gauge detached from any registry (useful in tests).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Relaxed);
+    }
+
+    /// Sets the gauge from an integer without precision surprises below
+    /// 2^53 (gauge consumers treat larger values as approximate).
+    #[inline]
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+}
+
+/// A lock-free histogram over `u64` samples with the workspace's log2
+/// bucket layout (bucket 0 holds zeros; bucket `i >= 1` holds
+/// `[2^(i-1), 2^i)`). Recording is three relaxed adds; snapshotting loads
+/// each bucket once into a plain [`Histogram`].
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A cheaply clonable handle onto a registered histogram.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Arc<HistogramCore>);
+
+impl HistogramHandle {
+    /// A histogram detached from any registry (useful in tests).
+    pub fn new() -> HistogramHandle {
+        HistogramHandle::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            (BUCKETS as u32 - value.leading_zeros()).min(BUCKETS as u32 - 1) as usize
+        };
+        self.0.buckets[bucket].fetch_add(1, Relaxed);
+        self.0.count.fetch_add(1, Relaxed);
+        self.0.sum.fetch_add(value, Relaxed);
+    }
+
+    /// A point-in-time copy as a mergeable [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                out.add_bucket(i, n);
+            }
+        }
+        // `sum` is loaded after the buckets: a racing `record` can make the
+        // sum run slightly ahead of the copied counts, never behind by more
+        // than a concurrent writer's in-flight sample — fine for gauges.
+        out.set_sum(self.0.sum.load(Relaxed));
+        out
+    }
+}
+
+/// One registered metric family: a name, help text, a type, and one or
+/// more label-set instances.
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    value: Value,
+}
+
+enum Value {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramHandle),
+}
+
+/// A typed metrics registry rendering the Prometheus text exposition
+/// format.
+///
+/// ```
+/// use fairsched_obs::registry::Registry;
+///
+/// let registry = Registry::new();
+/// let hits = registry.counter("cache_hits_total", "Cache hits.", &[("tier", "l1")]);
+/// hits.add(3);
+/// let text = registry.render();
+/// assert!(text.contains("cache_hits_total{tier=\"l1\"} 3"));
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or extends) a counter family and returns the handle for
+    /// the given label set. Re-registering the same (name, labels) returns
+    /// the existing handle, so callers need no coordination.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, Kind::Counter, labels, || {
+            Value::Counter(Counter::new())
+        }) {
+            Value::Counter(c) => c,
+            _ => unreachable!("counter family holds counters"),
+        }
+    }
+
+    /// Registers (or extends) a gauge family; see [`Registry::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, Kind::Gauge, labels, || {
+            Value::Gauge(Gauge::new())
+        }) {
+            Value::Gauge(g) => g,
+            _ => unreachable!("gauge family holds gauges"),
+        }
+    }
+
+    /// Registers (or extends) a histogram family; see [`Registry::counter`].
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        match self.register(name, help, Kind::Histogram, labels, || {
+            Value::Histogram(HistogramHandle::new())
+        }) {
+            Value::Histogram(h) => h,
+            _ => unreachable!("histogram family holds histograms"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Value,
+    ) -> Value {
+        let name = sanitize_name(name);
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (sanitize_name(k), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name: name.clone(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(existing) = family.series.iter().find(|s| s.labels == labels) {
+            return clone_value(&existing.value);
+        }
+        let value = make();
+        let handle = clone_value(&value);
+        family.series.push(Series { labels, value });
+        handle
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (families in registration order, series in registration order;
+    /// deterministic given deterministic registration).
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for family in families.iter() {
+            let type_name = match family.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {} {type_name}", family.name);
+            for series in &family.series {
+                match &series.value {
+                    Value::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            label_block(&series.labels, None),
+                            c.value()
+                        );
+                    }
+                    Value::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            label_block(&series.labels, None),
+                            format_f64(g.value())
+                        );
+                    }
+                    Value::Histogram(h) => {
+                        render_histogram(&mut out, &family.name, &series.labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clone_value(v: &Value) -> Value {
+    match v {
+        Value::Counter(c) => Value::Counter(c.clone()),
+        Value::Gauge(g) => Value::Gauge(g.clone()),
+        Value::Histogram(h) => Value::Histogram(h.clone()),
+    }
+}
+
+/// Renders one histogram series: cumulative `_bucket{le="..."}` lines over
+/// the log2 layout (upper bounds are powers of two), then `_sum` and
+/// `_count`. Empty buckets above the highest occupied one are elided —
+/// except the mandatory `+Inf` bucket, which always closes the series.
+fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
+    let mut cumulative = 0u64;
+    let highest = h.highest_bucket();
+    for i in 0..=highest {
+        let n = h.bucket(i);
+        cumulative += n;
+        if n == 0 && i != 0 {
+            continue;
+        }
+        // Bucket i covers [2^(i-1), 2^i); integer samples in it are all
+        // <= 2^i - 1, so `le = 2^i - 1` is the tight inclusive bound.
+        // Bucket 0 holds only zeros.
+        let le = if i == 0 {
+            "0".to_string()
+        } else {
+            ((1u64 << i) - 1).to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            label_block(labels, Some(&le))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        label_block(labels, Some("+Inf")),
+        h.count()
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", label_block(labels, None), h.sum());
+    let _ = writeln!(
+        out,
+        "{name}_count{} {}",
+        label_block(labels, None),
+        h.count()
+    );
+}
+
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Maps an arbitrary string onto a valid Prometheus metric/label name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, invalid characters replaced by `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len().max(1));
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text per the exposition format: backslash and newline.
+pub fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn format_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One decoded sample from [`parse_exposition`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name as written (histogram series keep their `_bucket` /
+    /// `_sum` / `_count` suffixes).
+    pub name: String,
+    /// Label pairs in written order (`le` included for bucket lines).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition into samples, skipping comments and
+/// blank lines. Malformed lines yield `Err` with the offending line — a
+/// scrape that half-parses is worse than one that fails loudly.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("no value separator in {line:?}"))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse()
+                .map_err(|_| format!("bad sample value in {line:?}"))?,
+        };
+        let (name, labels) = match series.split_once('{') {
+            None => (series.trim().to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated label block in {line:?}"))?;
+                (name.trim().to_string(), parse_labels(rest, line)?)
+            }
+        };
+        if name.is_empty() {
+            return Err(format!("empty metric name in {line:?}"));
+        }
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+fn parse_labels(block: &str, line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = block.chars().peekable();
+    loop {
+        // Key.
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("malformed label in {line:?}"));
+        }
+        // Quoted, escaped value.
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err(format!("bad escape in {line:?}")),
+                },
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value in {line:?}")),
+            }
+        }
+        labels.push((key.trim().to_string(), value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(_) => return Err(format!("malformed label block in {line:?}")),
+        }
+    }
+    Ok(labels)
+}
+
+/// Reconstructs a quantile from parsed `_bucket` samples of one histogram
+/// series: `buckets` is `(le_upper_bound, cumulative_count)` in ascending
+/// `le` order (the `+Inf` bucket closes it). Linear interpolation within
+/// the containing bucket, like [`Histogram::quantile_interpolated`].
+pub fn quantile_from_buckets(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total = match buckets.last() {
+        Some(&(_, n)) if n > 0 => n,
+        _ => return 0.0,
+    };
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut lower_edge = 0.0f64;
+    let mut below = 0u64;
+    for &(le, cumulative) in buckets {
+        if cumulative >= rank {
+            let in_bucket = (cumulative - below) as f64;
+            let into = (rank - below) as f64;
+            let upper = if le.is_finite() { le } else { lower_edge * 2.0 };
+            return lower_edge + (upper - lower_edge) * (into / in_bucket.max(1.0));
+        }
+        below = cumulative;
+        lower_edge = if le.is_finite() { le } else { lower_edge };
+    }
+    lower_edge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_render_and_accumulate() {
+        let registry = Registry::new();
+        let c = registry.counter(
+            "requests_total",
+            "Requests served.",
+            &[("route", "/v1/jobs")],
+        );
+        c.add(41);
+        c.inc();
+        let g = registry.gauge("queue_depth", "Jobs queued.", &[]);
+        g.set_u64(7);
+        let h = registry.histogram("latency_ns", "Latency.", &[("route", "/v1/jobs")]);
+        h.record(1000);
+        h.record(3000);
+
+        let text = registry.render();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{route=\"/v1/jobs\"} 42"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 7"));
+        assert!(text.contains("# TYPE latency_ns histogram"));
+        assert!(text.contains("latency_ns_sum{route=\"/v1/jobs\"} 4000"));
+        assert!(text.contains("latency_ns_count{route=\"/v1/jobs\"} 2"));
+        assert!(text.contains("le=\"+Inf\"")); // mandatory closing bucket
+    }
+
+    #[test]
+    fn re_registering_returns_the_same_handle() {
+        let registry = Registry::new();
+        let a = registry.counter("hits", "", &[("k", "v")]);
+        let b = registry.counter("hits", "", &[("k", "v")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2);
+        assert_eq!(b.value(), 2);
+        // A different label set is a different series.
+        let c = registry.counter("hits", "", &[("k", "w")]);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn metric_names_and_labels_are_escaped() {
+        let registry = Registry::new();
+        registry.counter(
+            "bad name-1",
+            "help with \\ and\nnewline",
+            &[("la bel", "x\"y\\z\nw")],
+        );
+        let text = registry.render();
+        assert!(text.contains("# HELP bad_name_1 help with \\\\ and\\nnewline"));
+        assert!(text.contains("bad_name_1{la_bel=\"x\\\"y\\\\z\\nw\"} 0"));
+        // Sanitized names must satisfy the exposition grammar.
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let registry = Registry::new();
+        let h = registry.histogram("h", "", &[]);
+        for v in [0, 1, 3, 3, 900, 70_000] {
+            h.record(v);
+        }
+        let text = registry.render();
+        let samples = parse_exposition(&text).unwrap();
+        let buckets: Vec<(f64, u64)> = samples
+            .iter()
+            .filter(|s| s.name == "h_bucket")
+            .map(|s| {
+                let le = s.label("le").unwrap();
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap()
+                };
+                (le, s.value as u64)
+            })
+            .collect();
+        assert!(buckets.len() >= 2);
+        // `le` ascending, cumulative counts non-decreasing, +Inf == count.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "le must ascend: {buckets:?}");
+            assert!(pair[0].1 <= pair[1].1, "cumulative: {buckets:?}");
+        }
+        assert_eq!(buckets.last().unwrap(), &(f64::INFINITY, 6));
+        let count = samples.iter().find(|s| s.name == "h_count").unwrap();
+        assert_eq!(count.value as u64, 6);
+    }
+
+    #[test]
+    fn golden_exposition_snapshot() {
+        let registry = Registry::new();
+        let c = registry.counter(
+            "fairschedd_http_requests_total",
+            "HTTP requests received, by route.",
+            &[("route", "/v1/jobs"), ("method", "POST")],
+        );
+        c.add(3);
+        let g = registry.gauge("fairschedd_jobs_queued", "Jobs waiting in the queue.", &[]);
+        g.set_u64(2);
+        let h = registry.histogram(
+            "fairschedd_http_request_duration_ns",
+            "Request latency in nanoseconds.",
+            &[("route", "/v1/jobs")],
+        );
+        h.record(0);
+        h.record(1);
+        h.record(5);
+
+        let expected = "\
+# HELP fairschedd_http_requests_total HTTP requests received, by route.
+# TYPE fairschedd_http_requests_total counter
+fairschedd_http_requests_total{route=\"/v1/jobs\",method=\"POST\"} 3
+# HELP fairschedd_jobs_queued Jobs waiting in the queue.
+# TYPE fairschedd_jobs_queued gauge
+fairschedd_jobs_queued 2
+# HELP fairschedd_http_request_duration_ns Request latency in nanoseconds.
+# TYPE fairschedd_http_request_duration_ns histogram
+fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"0\"} 1
+fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"1\"} 2
+fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"7\"} 3
+fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"+Inf\"} 3
+fairschedd_http_request_duration_ns_sum{route=\"/v1/jobs\"} 6
+fairschedd_http_request_duration_ns_count{route=\"/v1/jobs\"} 3
+";
+        assert_eq!(registry.render(), expected);
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let registry = Registry::new();
+        registry
+            .counter("a_total", "x", &[("k", "weird \"v\\al\nue")])
+            .add(9);
+        registry.gauge("b", "y", &[]).set(0.25);
+        let samples = parse_exposition(&registry.render()).unwrap();
+        let a = samples.iter().find(|s| s.name == "a_total").unwrap();
+        assert_eq!(a.value, 9.0);
+        assert_eq!(a.label("k"), Some("weird \"v\\al\nue"));
+        let b = samples.iter().find(|s| s.name == "b").unwrap();
+        assert_eq!(b.value, 0.25);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("no_value").is_err());
+        assert!(parse_exposition("name{unterminated=\"x} 1").is_err());
+        assert!(parse_exposition("name{k=\"v\"} not_a_number").is_err());
+    }
+
+    #[test]
+    fn quantiles_from_buckets_interpolate() {
+        // 99 samples <= 8, 1 sample in (512, 1024].
+        let buckets = [(8.0, 99u64), (1024.0, 100), (f64::INFINITY, 100)];
+        let p50 = quantile_from_buckets(&buckets, 0.50);
+        assert!(p50 > 0.0 && p50 <= 8.0, "p50 = {p50}");
+        let p100 = quantile_from_buckets(&buckets, 1.0);
+        assert!(p100 > 8.0 && p100 <= 1024.0, "p100 = {p100}");
+        assert_eq!(quantile_from_buckets(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let registry = std::sync::Arc::new(Registry::new());
+        let c = registry.counter("n", "", &[]);
+        let h = registry.histogram("h", "", &[]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 40_000);
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

@@ -10,6 +10,8 @@
 
 use crate::json::{Json, JsonError};
 use fairsched_core::policy::PolicyIdError;
+use fairsched_metrics::fairness::peruser::UserFairness;
+use fairsched_metrics::fairness::stream::FairnessSnapshot;
 use fairsched_sim::{JobRecord, SimError};
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
@@ -299,6 +301,48 @@ pub fn record_to_json(r: &JobRecord) -> Json {
         ("end", Json::UInt(r.end)),
         ("killed", Json::Bool(r.killed)),
         ("interrupted", Json::Bool(r.interrupted)),
+    ])
+}
+
+/// Encodes the live fairness view for `GET /v1/fairness`: every gauge of
+/// the [`FairnessSnapshot`], plus the heaviest users' rows (capped at 20
+/// — the full table belongs in a sealed report, not a live poll).
+pub fn fairness_to_json(snap: &FairnessSnapshot, users: &[UserFairness]) -> Json {
+    let rows = users
+        .iter()
+        .take(20)
+        .map(|u| {
+            Json::obj([
+                ("user", Json::UInt(u.user.0.into())),
+                ("jobs", Json::UInt(u.jobs as u64)),
+                ("proc_seconds", Json::Float(u.proc_seconds)),
+                ("total_miss", Json::Float(u.total_miss)),
+                ("unfair_jobs", Json::UInt(u.unfair_jobs as u64)),
+                ("mean_wait", Json::Float(u.mean_wait)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("now", Json::UInt(snap.now)),
+        ("arrivals", Json::UInt(snap.arrivals)),
+        ("started", Json::UInt(snap.started)),
+        ("completed", Json::UInt(snap.completed)),
+        ("killed", Json::UInt(snap.killed)),
+        ("queue_depth", Json::UInt(snap.queue_depth)),
+        ("running_jobs", Json::UInt(snap.running_jobs)),
+        ("busy_nodes", Json::UInt(snap.busy_nodes)),
+        ("utilization", Json::Float(snap.utilization)),
+        ("scored", Json::UInt(snap.scored)),
+        ("unfair_jobs", Json::UInt(snap.unfair_jobs)),
+        ("percent_unfair", Json::Float(snap.percent_unfair)),
+        ("total_miss", Json::UInt(snap.total_miss)),
+        ("average_miss", Json::Float(snap.average_miss)),
+        ("mean_wait", Json::Float(snap.mean_wait)),
+        ("mean_slowdown", Json::Float(snap.mean_slowdown)),
+        ("live_fst_misses", Json::UInt(snap.live_fst_misses)),
+        ("worst_live_miss", Json::UInt(snap.worst_live_miss)),
+        ("starvation_age", Json::UInt(snap.starvation_age)),
+        ("users", Json::Arr(rows)),
     ])
 }
 

@@ -1,35 +1,51 @@
-//! Load-tests `fairschedd` over real HTTP with concurrent submitters.
+//! Load-tests `fairschedd` over real HTTP with concurrent submitters,
+//! and measures what observing the daemon costs.
 //!
 //! ```text
 //! served_loadtest [--submitters N] [--jobs N] [--policy ID] [--nodes N]
-//!                 [--epochs N] [--seed N] [--out BENCH_8.json]
+//!                 [--epochs N] [--seed N] [--scrape-ms N]
+//!                 [--port-file PATH] [--out BENCH_9.json]
 //! ```
 //!
-//! Starts an in-process daemon on a free port (the same accept loop and
-//! route table the standalone binary runs), generates a synthetic
-//! CplantModel workload, and replays it through `--submitters`
-//! concurrent HTTP clients under a manual clock with epoch barriers:
-//! every submitter posts its share of an epoch's jobs, all threads meet
-//! at a barrier, then the coordinator grants simulated time up to just
-//! below the next epoch — so no submitter can ever race the clock into a
+//! Runs the same epoch-barriered replay **twice** against fresh daemons:
+//! once bare (no scraper — the throughput baseline), then once with a
+//! scraper thread polling `GET /metrics` every `--scrape-ms` for the
+//! whole run, the way a Prometheus agent would. Both phases must
+//! reproduce the batch schedule byte-for-byte; the report records
+//! steps/sec for each phase and the scrape overhead as a percentage.
+//!
+//! Submit latency percentiles come from the daemon's own exposition —
+//! the `/v1/jobs` route histogram scraped at the end of the scrape-on
+//! phase — not from client-side stopwatches, so the numbers are the ones
+//! a dashboard would show.
+//!
+//! Each phase replays the workload through `--submitters` concurrent
+//! HTTP clients under a manual clock with epoch barriers: every
+//! submitter posts its share of an epoch's jobs, all threads meet at a
+//! barrier, then the coordinator grants simulated time up to just below
+//! the next epoch — so no submitter can ever race the clock into a
 //! non-monotonic rejection, and the grant order keeps the session
 //! byte-equivalent to the batch simulation, which this binary asserts.
 //!
+//! `--port-file` (scrape-on phase only) publishes the daemon's port so
+//! an external probe — the CI smoke check — can curl `/metrics` mid-run.
+//!
 //! Exits nonzero on any lost submission, schedule divergence from batch,
-//! empty trace stream, or unclean shutdown. Writes submit-latency
-//! percentiles and steps/sec to `--out` as JSON.
+//! empty trace stream, dropped trace lines, or unclean shutdown.
 
 use fairsched_core::policy::PolicySpec;
+use fairsched_obs::registry::{parse_exposition, quantile_from_buckets, Sample};
 use fairsched_served::clock::ClockMode;
 use fairsched_served::session::SessionConfig;
 use fairsched_served::{Client, Daemon, SubmitRequest};
-use fairsched_sim::{simulate, NullObserver, SimOptions};
+use fairsched_sim::{simulate, NullObserver, Schedule, SimOptions};
 use fairsched_workload::job::Job;
 use fairsched_workload::time::Time;
 use fairsched_workload::CplantModel;
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     submitters: usize,
@@ -38,6 +54,8 @@ struct Args {
     nodes: u32,
     epochs: usize,
     seed: u64,
+    scrape_ms: u64,
+    port_file: Option<String>,
     out: String,
 }
 
@@ -49,7 +67,9 @@ fn parse_args() -> Args {
         nodes: 1024,
         epochs: 8,
         seed: 8,
-        out: "BENCH_8.json".into(),
+        scrape_ms: 25,
+        port_file: None,
+        out: "BENCH_9.json".into(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +86,8 @@ fn parse_args() -> Args {
             "--nodes" => parsed.nodes = value().parse().unwrap(),
             "--epochs" => parsed.epochs = value().parse().unwrap(),
             "--seed" => parsed.seed = value().parse().unwrap(),
+            "--scrape-ms" => parsed.scrape_ms = value().parse().unwrap(),
+            "--port-file" => parsed.port_file = Some(value()),
             "--out" => parsed.out = value(),
             other => {
                 eprintln!("served_loadtest: unknown flag {other}");
@@ -74,45 +96,48 @@ fn parse_args() -> Args {
         }
     }
     assert!(parsed.submitters >= 1 && parsed.epochs >= 1 && parsed.jobs >= 1);
+    assert!(parsed.scrape_ms >= 1, "--scrape-ms must be positive");
     parsed
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[rank]
+/// One phase's outcome: how fast the daemon stepped, and (scrape-on
+/// phase) the final exposition text the quantiles are read from.
+struct PhaseOutcome {
+    wall: Duration,
+    steps: u64,
+    scrapes: u64,
+    trace_lines: usize,
+    final_metrics: Option<String>,
 }
 
-fn main() {
-    let args = parse_args();
+impl PhaseOutcome {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.wall.as_secs_f64()
+    }
+}
 
-    // The synthetic workload, truncated to --jobs and re-timed so the
-    // epoch windows stay densely populated.
-    let mut jobs: Vec<Job> = CplantModel::new(args.seed)
-        .with_nodes(args.nodes)
-        .generate();
-    jobs.truncate(args.jobs);
-    jobs.sort_by_key(|j| (j.submit, j.id));
-    assert!(!jobs.is_empty(), "workload generation produced no jobs");
-    let max_submit = jobs.last().map(|j| j.submit).unwrap_or(0);
+/// The cumulative `(le, count)` pairs of one route's latency histogram,
+/// ready for [`quantile_from_buckets`].
+fn latency_buckets(samples: &[Sample], route: &str) -> Vec<(f64, u64)> {
+    let mut buckets: Vec<(f64, u64)> = samples
+        .iter()
+        .filter(|s| s.name == "fairschedd_http_request_duration_ns_bucket")
+        .filter(|s| s.label("route") == Some(route))
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((bound, s.value as u64))
+        })
+        .collect();
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    buckets
+}
 
-    // The batch reference the online run must reproduce byte-for-byte.
-    let spec = PolicySpec::parse(&args.policy).unwrap_or_else(|e| {
-        eprintln!("served_loadtest: {e}");
-        std::process::exit(2);
-    });
-    let mut batch_jobs = jobs.clone();
-    batch_jobs.sort_by_key(|j| j.id);
-    let batch = simulate(
-        &batch_jobs,
-        &spec.sim_config(args.nodes),
-        &mut NullObserver,
-        SimOptions::new(),
-    )
-    .expect("batch reference simulation");
-
+fn run_phase(args: &Args, jobs: &[Job], batch: &Schedule, scrape: bool) -> PhaseOutcome {
     let mut daemon = Daemon::start(
         "127.0.0.1:0",
         SessionConfig {
@@ -121,22 +146,30 @@ fn main() {
             clock: ClockMode::Manual,
             traced: true,
             id_floor: 0,
+            ..SessionConfig::default()
         },
     )
     .expect("daemon start");
     let addr = daemon.addr();
+    let phase = if scrape { "scrape-on" } else { "baseline" };
     eprintln!(
-        "served_loadtest: daemon on {addr}, {} jobs, {} submitters, {} epochs",
+        "served_loadtest[{phase}]: daemon on {addr}, {} jobs, {} submitters, {} epochs",
         jobs.len(),
         args.submitters,
         args.epochs
     );
+    if scrape {
+        if let Some(path) = &args.port_file {
+            std::fs::write(path, format!("{}\n", addr.port())).expect("write port file");
+        }
+    }
 
     // Epoch boundaries over [0, max_submit]: epoch k owns submissions in
     // [bounds[k], bounds[k+1]). After an epoch's barrier the coordinator
     // grants bounds[k+1] - 1 — strictly below every later submission, so
     // arrivals are always inserted before their timestamp is reachable
     // (the property that makes the online run byte-equal to batch).
+    let max_submit = jobs.last().map(|j| j.submit).unwrap_or(0);
     let epochs = args.epochs.min(jobs.len());
     let bounds: Vec<Time> = (0..=epochs)
         .map(|k| (max_submit + 2) * k as Time / epochs as Time)
@@ -144,7 +177,31 @@ fn main() {
 
     // A live trace subscriber, attached before any submission.
     let trace_client = Client::new(addr);
-    let trace_thread = std::thread::spawn(move || trace_client.trace_lines());
+    let trace_thread = std::thread::spawn(move || trace_client.trace_capture());
+
+    // The scraper: a Prometheus-shaped poller hammering /metrics for the
+    // whole run. Its last successful scrape is the quantile source.
+    let scraping = Arc::new(AtomicBool::new(scrape));
+    let scraper = scrape.then(|| {
+        let scraping = Arc::clone(&scraping);
+        let client = Client::new(addr);
+        let interval = Duration::from_millis(args.scrape_ms);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            let mut last = String::new();
+            while scraping.load(Ordering::Relaxed) {
+                match client.metrics_text() {
+                    Ok(text) => {
+                        scrapes += 1;
+                        last = text;
+                    }
+                    Err(e) => panic!("mid-run scrape failed: {e}"),
+                }
+                std::thread::sleep(interval);
+            }
+            (scrapes, last)
+        })
+    });
 
     // Partition jobs round-robin across submitters.
     let shares: Vec<Vec<SubmitRequest>> = (0..args.submitters)
@@ -167,18 +224,15 @@ fn main() {
             let bounds = Arc::clone(&bounds);
             let client = Client::new(addr);
             std::thread::spawn(move || {
-                let mut latencies_ns: Vec<u64> = Vec::with_capacity(share.len());
                 let mut accepted = 0usize;
                 for window in bounds.windows(2) {
                     for req in share
                         .iter()
                         .filter(|r| r.submit >= window[0] && r.submit < window[1])
                     {
-                        let t0 = Instant::now();
                         client.submit(req).unwrap_or_else(|e| {
                             panic!("lost submission {}: {e}", req.id);
                         });
-                        latencies_ns.push(t0.elapsed().as_nanos() as u64);
                         accepted += 1;
                     }
                     // Everyone done with this epoch's submissions…
@@ -187,7 +241,7 @@ fn main() {
                     barrier.wait();
                     // …next epoch.
                 }
-                (latencies_ns, accepted)
+                accepted
             })
         })
         .collect();
@@ -201,12 +255,9 @@ fn main() {
         barrier.wait();
     }
 
-    let mut latencies_ns: Vec<u64> = Vec::with_capacity(jobs.len());
     let mut accepted_total = 0usize;
     for worker in workers {
-        let (lat, accepted) = worker.join().expect("submitter panicked");
-        latencies_ns.extend(lat);
-        accepted_total += accepted;
+        accepted_total += worker.join().expect("submitter panicked");
     }
     assert_eq!(
         accepted_total,
@@ -233,15 +284,27 @@ fn main() {
         .schedule()
         .expect("sealed session retains its schedule");
     assert_eq!(
-        online, batch,
+        &online, batch,
         "online schedule diverged from the batch reference"
     );
     assert_eq!(seal.records, batch.records.len() as u64);
 
+    // Stop the scraper *after* seal so its final scrape sees the full
+    // request history, then take one authoritative post-seal scrape.
+    let (scrapes, final_metrics) = match scraper {
+        Some(handle) => {
+            scraping.store(false, Ordering::Relaxed);
+            let (scrapes, _) = handle.join().expect("scraper panicked");
+            let text = coordinator.metrics_text().expect("final scrape");
+            (scrapes, Some(text))
+        }
+        None => (0, None),
+    };
+
     coordinator.shutdown().expect("shutdown");
     daemon.shutdown();
 
-    let trace_lines = trace_thread
+    let (trace_lines, trace_dropped) = trace_thread
         .join()
         .expect("trace thread")
         .expect("trace stream");
@@ -253,9 +316,67 @@ fn main() {
         trace_lines.iter().any(|l| l.contains("job_started")),
         "trace stream carried no start records"
     );
+    assert_eq!(
+        trace_dropped, 0,
+        "daemon dropped trace lines on a healthy reader"
+    );
 
-    latencies_ns.sort_unstable();
-    let steps_per_sec = steps as f64 / wall.as_secs_f64();
+    PhaseOutcome {
+        wall,
+        steps,
+        scrapes,
+        trace_lines: trace_lines.len(),
+        final_metrics,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The synthetic workload, truncated to --jobs and re-timed so the
+    // epoch windows stay densely populated.
+    let mut jobs: Vec<Job> = CplantModel::new(args.seed)
+        .with_nodes(args.nodes)
+        .generate();
+    jobs.truncate(args.jobs);
+    jobs.sort_by_key(|j| (j.submit, j.id));
+    assert!(!jobs.is_empty(), "workload generation produced no jobs");
+
+    // The batch reference both phases must reproduce byte-for-byte.
+    let spec = PolicySpec::parse(&args.policy).unwrap_or_else(|e| {
+        eprintln!("served_loadtest: {e}");
+        std::process::exit(2);
+    });
+    let mut batch_jobs = jobs.clone();
+    batch_jobs.sort_by_key(|j| j.id);
+    let batch = simulate(
+        &batch_jobs,
+        &spec.sim_config(args.nodes),
+        &mut NullObserver,
+        SimOptions::new(),
+    )
+    .expect("batch reference simulation");
+
+    let baseline = run_phase(&args, &jobs, &batch, false);
+    let scraped = run_phase(&args, &jobs, &batch, true);
+    assert!(scraped.scrapes > 0, "scrape phase never scraped");
+
+    let exposition = scraped
+        .final_metrics
+        .as_deref()
+        .expect("scrape phase kept its final exposition");
+    let samples = parse_exposition(exposition).expect("daemon exposition must parse");
+    let submit_buckets = latency_buckets(&samples, "/v1/jobs");
+    assert!(
+        submit_buckets.iter().any(|&(_, n)| n > 0),
+        "/v1/jobs latency histogram is empty after {} submissions",
+        jobs.len()
+    );
+    let q = |p: f64| quantile_from_buckets(&submit_buckets, p) / 1e3;
+    let scrape_buckets = latency_buckets(&samples, "/metrics");
+    let scrape_p50_us = quantile_from_buckets(&scrape_buckets, 0.50) / 1e3;
+
+    let overhead_percent = (1.0 - scraped.steps_per_sec() / baseline.steps_per_sec()) * 100.0;
     let report = format!(
         concat!(
             "{{\n",
@@ -265,14 +386,24 @@ fn main() {
             "  \"jobs\": {},\n",
             "  \"submitters\": {},\n",
             "  \"epochs\": {},\n",
-            "  \"wall_ms\": {:.3},\n",
             "  \"steps\": {},\n",
-            "  \"steps_per_sec\": {:.1},\n",
+            "  \"baseline\": {{\n",
+            "    \"wall_ms\": {:.3},\n",
+            "    \"steps_per_sec\": {:.1}\n",
+            "  }},\n",
+            "  \"scrape_on\": {{\n",
+            "    \"wall_ms\": {:.3},\n",
+            "    \"steps_per_sec\": {:.1},\n",
+            "    \"scrape_interval_ms\": {},\n",
+            "    \"scrapes\": {},\n",
+            "    \"scrape_p50_us\": {:.1}\n",
+            "  }},\n",
+            "  \"scrape_overhead_percent\": {:.2},\n",
             "  \"submit_latency_us\": {{\n",
+            "    \"source\": \"/metrics histogram, route /v1/jobs\",\n",
             "    \"p50\": {:.1},\n",
             "    \"p95\": {:.1},\n",
-            "    \"p99\": {:.1},\n",
-            "    \"max\": {:.1}\n",
+            "    \"p99\": {:.1}\n",
             "  }},\n",
             "  \"trace_lines\": {},\n",
             "  \"schedule_matches_batch\": true\n",
@@ -282,15 +413,20 @@ fn main() {
         args.nodes,
         jobs.len(),
         args.submitters,
-        epochs,
-        wall.as_secs_f64() * 1e3,
-        steps,
-        steps_per_sec,
-        percentile(&latencies_ns, 0.50) as f64 / 1e3,
-        percentile(&latencies_ns, 0.95) as f64 / 1e3,
-        percentile(&latencies_ns, 0.99) as f64 / 1e3,
-        latencies_ns.last().copied().unwrap_or(0) as f64 / 1e3,
-        trace_lines.len(),
+        args.epochs.min(jobs.len()),
+        scraped.steps,
+        baseline.wall.as_secs_f64() * 1e3,
+        baseline.steps_per_sec(),
+        scraped.wall.as_secs_f64() * 1e3,
+        scraped.steps_per_sec(),
+        args.scrape_ms,
+        scraped.scrapes,
+        scrape_p50_us,
+        overhead_percent,
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        scraped.trace_lines,
     );
     std::fs::File::create(&args.out)
         .and_then(|mut f| f.write_all(report.as_bytes()))

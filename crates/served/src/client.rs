@@ -85,9 +85,34 @@ impl Client {
         self.request("POST", "/v1/shutdown", None).map(|_| ())
     }
 
-    /// Opens the trace stream and collects every JSONL line until the
+    /// The raw Prometheus exposition text from `GET /metrics`.
+    pub fn metrics_text(&self) -> Result<String, ServeError> {
+        let (status, payload) = self.request_raw("GET", "/metrics", None)?;
+        if status >= 400 {
+            return Err(ServeError::Io(format!("/metrics returned {status}")));
+        }
+        Ok(payload)
+    }
+
+    /// The live fairness snapshot from `GET /v1/fairness`, as raw JSON.
+    pub fn fairness(&self) -> Result<Json, ServeError> {
+        self.request("GET", "/v1/fairness", None)
+    }
+
+    /// Opens the trace stream and collects every JSONL record until the
     /// daemon seals. Blocks; run it from its own thread to stream live.
+    /// The trailing `trace_end` line the daemon appends is stripped; use
+    /// [`Client::trace_capture`] to also learn how many lines the daemon
+    /// dropped on this subscription.
     pub fn trace_lines(&self) -> Result<Vec<String>, ServeError> {
+        self.trace_capture().map(|(lines, _)| lines)
+    }
+
+    /// Like [`Client::trace_lines`], but also returns the drop count
+    /// from the stream's closing `trace_end` line: the number of trace
+    /// records the daemon discarded because this subscriber fell behind
+    /// (0 for a complete stream).
+    pub fn trace_capture(&self) -> Result<(Vec<String>, u64), ServeError> {
         let mut stream = self.connect()?;
         // Streams have no bounded duration; disable the read timeout so
         // a quiet session does not sever the subscription.
@@ -109,15 +134,23 @@ impl Client {
             }
         }
         let mut lines = Vec::new();
+        let mut dropped = 0u64;
         loop {
             line.clear();
             if reader.read_line(&mut line)? == 0 {
-                return Ok(lines);
+                return Ok((lines, dropped));
             }
             let trimmed = line.trim_end();
-            if !trimmed.is_empty() {
-                lines.push(trimmed.to_string());
+            if trimmed.is_empty() {
+                continue;
             }
+            if let Ok(json) = parse(trimmed) {
+                if json.get("trace_end").is_some() {
+                    dropped = json.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+                    continue;
+                }
+            }
+            lines.push(trimmed.to_string());
         }
     }
 
@@ -129,6 +162,20 @@ impl Client {
     }
 
     fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<Json, ServeError> {
+        let (status, payload) = self.request_raw(method, path, body)?;
+        let json = parse(&payload)?;
+        if status >= 400 {
+            return Err(ServeError::decode(&json));
+        }
+        Ok(json)
+    }
+
+    fn request_raw(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ServeError> {
         let mut stream = self.connect()?;
         let body = body.unwrap_or("");
         write!(
@@ -147,10 +194,6 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| ServeError::Io("malformed status line".into()))?;
-        let json = parse(payload)?;
-        if status >= 400 {
-            return Err(ServeError::decode(&json));
-        }
-        Ok(json)
+        Ok((status, payload.to_string()))
     }
 }

@@ -15,6 +15,12 @@
 //! | GET    | `/v1/profile`     | Where scheduling time has gone so far      |
 //! | POST   | `/v1/seal`        | Play out remaining events, final summary   |
 //! | POST   | `/v1/shutdown`    | Seal (if needed) and stop the listener     |
+//! | GET    | `/v1/fairness`    | Live fairness snapshot (JSON)              |
+//! | GET    | `/metrics`        | Prometheus text exposition                 |
+//!
+//! Every request is counted and timed per route
+//! ([`crate::metrics::ServiceMetrics`]); `/metrics` renders the whole
+//! registry with the session gauges refreshed at scrape time.
 //!
 //! The daemon is deterministic where it matters: all scheduling state
 //! sits behind the session mutex, so any interleaving of concurrent
@@ -25,6 +31,7 @@
 use crate::api::ServeError;
 use crate::http::{read_request, write_response, write_stream_header, Request};
 use crate::json::{parse, Json};
+use crate::metrics::route_label;
 use crate::session::{Session, SessionConfig};
 use crate::{api, SubmitRequest};
 use fairsched_workload::job::JobId;
@@ -33,6 +40,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A running daemon: the session plus the accept loop's lifecycle.
 pub struct Daemon {
@@ -136,15 +144,36 @@ fn handle_connection(stream: TcpStream, session: &Session, stop: &AtomicBool) {
             return;
         }
     };
+    let started = Instant::now();
+    let label = route_label(&req.path);
     if req.method == "GET" && req.path == "/v1/trace" {
+        // The stream lives as long as the session; time only the setup.
+        session
+            .metrics()
+            .observe_request(label, 200, elapsed_ns(started));
         stream_trace(stream, session);
         return;
     }
-    let (status, body) = match route(&req, session, stop) {
-        Ok(body) => (200, body.render()),
-        Err(e) => (e.status(), e.to_json().render()),
+    let (status, content_type, body) = if req.method == "GET" && req.path == "/metrics" {
+        (
+            200,
+            "text/plain; version=0.0.4",
+            session.metrics().render(session),
+        )
+    } else {
+        match route(&req, session, stop) {
+            Ok(body) => (200, "application/json", body.render()),
+            Err(e) => (e.status(), "application/json", e.to_json().render()),
+        }
     };
-    let _ = write_response(&mut stream, status, "application/json", &body);
+    let _ = write_response(&mut stream, status, content_type, &body);
+    session
+        .metrics()
+        .observe_request(label, status, elapsed_ns(started));
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 fn route(req: &Request, session: &Session, stop: &AtomicBool) -> Result<Json, ServeError> {
@@ -201,6 +230,10 @@ fn route(req: &Request, session: &Session, stop: &AtomicBool) -> Result<Json, Se
                 }
             })
         }
+        ("GET", "/v1/fairness") => {
+            let (snap, users) = session.fairness();
+            Ok(api::fairness_to_json(&snap, &users))
+        }
         ("GET", "/v1/profile") => {
             let report = session.profile();
             Ok(Json::obj([
@@ -244,20 +277,38 @@ fn route(req: &Request, session: &Session, stop: &AtomicBool) -> Result<Json, Se
 }
 
 /// Streams trace records as JSONL until the session seals (subscribers
-/// get a `None` terminator) or the client goes away.
+/// get a `None` terminator), the session drops this reader for falling
+/// behind, or the client goes away. The final line reports how many
+/// lines the session had to drop on this subscriber — 0 for a reader
+/// that kept up, nonzero when the stream is incomplete.
 fn stream_trace(mut stream: TcpStream, session: &Session) {
-    let rx = session.subscribe();
+    let sub = session.subscribe();
     if write_stream_header(&mut stream, "application/jsonl").is_err() {
         return;
     }
-    while let Ok(Some(line)) = rx.recv() {
-        if stream
-            .write_all(line.as_bytes())
-            .and_then(|()| stream.write_all(b"\n"))
-            .is_err()
-        {
-            return;
+    let severed = loop {
+        match sub.recv() {
+            Ok(Some(line)) => {
+                if stream
+                    .write_all(line.as_bytes())
+                    .and_then(|()| stream.write_all(b"\n"))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(None) => break false,
+            Err(_) => break true,
         }
-    }
+    };
+    let close = Json::obj([
+        ("trace_end", Json::Bool(true)),
+        ("severed", Json::Bool(severed)),
+        ("dropped", Json::UInt(sub.dropped())),
+    ])
+    .render();
+    let _ = stream
+        .write_all(close.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"));
     let _ = stream.flush();
 }

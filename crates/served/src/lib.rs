@@ -25,6 +25,7 @@
 //! * [`session`] — [`Session`]: the stepped core behind a mutex, with
 //!   submission validation, trace fan-out, live explain, live profile.
 //! * [`http`] — minimal blocking HTTP/1.1 (no async runtime available).
+//! * [`metrics`] — [`ServiceMetrics`]: the daemon's `/metrics` surface.
 //! * [`daemon`] — [`Daemon`]: the accept loop and route table.
 //! * [`client`] — [`Client`]: the blocking typed client.
 
@@ -36,6 +37,7 @@ pub mod clock;
 pub mod daemon;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod session;
 
 pub use api::{
@@ -44,4 +46,5 @@ pub use api::{
 pub use client::Client;
 pub use clock::{ClockMode, VirtualClock};
 pub use daemon::Daemon;
-pub use session::{Session, SessionConfig};
+pub use metrics::ServiceMetrics;
+pub use session::{Session, SessionConfig, TraceSubscription};

@@ -28,18 +28,22 @@ use crate::api::{
     AdvanceResponse, SealResponse, ServeError, StatusResponse, SubmitRequest, SubmitResponse,
 };
 use crate::clock::{ClockMode, VirtualClock};
+use crate::metrics::ServiceMetrics;
 use fairsched_core::policy::PolicySpec;
 use fairsched_metrics::explain::{explain_wait, WaitBreakdown};
+use fairsched_metrics::fairness::peruser::UserFairness;
+use fairsched_metrics::fairness::stream::{FairnessSnapshot, StreamingFairness};
 use fairsched_obs::counters::{CounterSnapshot, ProfileReport, ProfileScope};
 use fairsched_obs::TraceRecord;
 use fairsched_sim::{
-    Effect, JobRecord, NullObserver, Schedule, SimConfig, SimError, SimEvent, SteppedSim,
+    Effect, JobRecord, Observer, Schedule, SimConfig, SimError, SimEvent, SteppedSim,
 };
 use fairsched_workload::job::JobId;
 use fairsched_workload::time::Time;
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{sync_channel, Receiver, RecvError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How a [`Session`] is configured.
@@ -58,6 +62,10 @@ pub struct SessionConfig {
     /// an online replay of a recorded trace reproduces the batch path's
     /// id numbering. 0 leaves the floor at the ids seen so far.
     pub id_floor: u32,
+    /// Trace-subscriber channel depth in lines. A reader further behind
+    /// than this is dropped rather than allowed to stall the scheduling
+    /// path; the drop is counted (see [`TraceSubscription::dropped`]).
+    pub trace_buffer: usize,
 }
 
 impl Default for SessionConfig {
@@ -68,13 +76,41 @@ impl Default for SessionConfig {
             clock: ClockMode::Manual,
             traced: true,
             id_floor: 0,
+            trace_buffer: SUBSCRIBER_BUFFER,
         }
     }
 }
 
-/// Subscriber channel depth. A reader further than this many lines behind
-/// is dropped rather than allowed to stall the scheduling path.
+/// Default subscriber channel depth (lines).
 const SUBSCRIBER_BUFFER: usize = 64 * 1024;
+
+/// One attached trace reader: its channel, plus the count of lines the
+/// session had to drop on it. The counter outlives eviction from the
+/// subscriber list, so the stream handler can report the loss on close.
+struct Subscriber {
+    tx: SyncSender<Option<String>>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// The receiving half of a trace subscription.
+pub struct TraceSubscription {
+    rx: Receiver<Option<String>>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl TraceSubscription {
+    /// The next line; `Ok(None)` marks the end (seal). `Err` means the
+    /// session dropped this subscriber for falling behind.
+    pub fn recv(&self) -> Result<Option<String>, RecvError> {
+        self.rx.recv()
+    }
+
+    /// Lines the session dropped on this subscriber because its buffer
+    /// was full. Nonzero only for readers that fell behind.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+}
 
 struct Inner {
     core: Option<SteppedSim>,
@@ -84,9 +120,10 @@ struct Inner {
     started: HashMap<JobId, Time>,
     submissions: HashMap<JobId, SubmitRequest>,
     trace: Vec<TraceRecord>,
-    subscribers: Vec<SyncSender<Option<String>>>,
+    subscribers: Vec<Subscriber>,
     schedule: Option<Schedule>,
     steps: u64,
+    stream: StreamingFairness,
 }
 
 /// One online scheduling session. Thread-safe: the daemon shares it
@@ -95,6 +132,7 @@ pub struct Session {
     cfg: SessionConfig,
     sim_cfg: SimConfig,
     inner: Mutex<Inner>,
+    metrics: ServiceMetrics,
     // Live profiling: counters record for the whole session lifetime.
     baseline: CounterSnapshot,
     started_at: Instant,
@@ -123,13 +161,36 @@ impl Session {
                 subscribers: Vec::new(),
                 schedule: None,
                 steps: 0,
+                stream: StreamingFairness::new(sim_cfg.nodes),
             }),
             cfg,
             sim_cfg,
+            metrics: ServiceMetrics::new(),
             baseline: CounterSnapshot::capture(),
             started_at: Instant::now(),
             _profile: profile,
         })
+    }
+
+    /// The session's metric handles (request accounting and the
+    /// `/metrics` renderer live here).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The live fairness verdict: every gauge, plus per-user rows
+    /// (heaviest consumers first). At seal this equals the batch
+    /// `ObserverSet` verdict for the same trace — the stream observer
+    /// saw exactly the hooks a batch run fires.
+    pub fn fairness(&self) -> (FairnessSnapshot, Vec<UserFairness>) {
+        let inner = self.lock();
+        (inner.stream.snapshot(), inner.stream.users())
+    }
+
+    /// The live fair-start report over jobs started so far (convergence
+    /// pinning reads this after seal).
+    pub fn fst_report(&self) -> fairsched_metrics::fairness::fst::FstReport {
+        self.lock().stream.report()
     }
 
     /// Accepts one submission, enforcing monotonic timestamps and unique
@@ -152,8 +213,9 @@ impl Session {
             return Err(ServeError::DuplicateId { job: id });
         }
         let job = req.to_job();
-        let core = inner.core.as_mut().expect("checked above");
-        let effects = match core.step(SimEvent::Submit(job), &mut NullObserver) {
+        let Inner { core, stream, .. } = &mut *inner;
+        let core = core.as_mut().expect("checked above");
+        let effects = match core.step(SimEvent::Submit(job), stream) {
             Ok(effects) => effects,
             // The core's own past-frontier guard, in case a manual
             // advance outran the clock (it cannot via this session, but
@@ -189,7 +251,7 @@ impl Session {
         let mut inner = self.lock();
         inner.clock.jump_to(to);
         let target = inner.clock.target();
-        Self::drive(&mut inner, target)
+        Self::drive(&mut inner, target, &self.metrics)
     }
 
     /// Advances to the clock's current target (realtime mode's heartbeat;
@@ -197,18 +259,23 @@ impl Session {
     pub fn tick(&self) -> Result<AdvanceResponse, ServeError> {
         let mut inner = self.lock();
         let target = inner.clock.target();
-        Self::drive(&mut inner, target)
+        Self::drive(&mut inner, target, &self.metrics)
     }
 
-    fn drive(inner: &mut Inner, target: Time) -> Result<AdvanceResponse, ServeError> {
-        let Some(core) = inner.core.as_mut() else {
+    fn drive(
+        inner: &mut Inner,
+        target: Time,
+        metrics: &ServiceMetrics,
+    ) -> Result<AdvanceResponse, ServeError> {
+        let Inner { core, stream, .. } = &mut *inner;
+        let Some(core) = core.as_mut() else {
             return Err(ServeError::Sealed);
         };
         let mut started = 0;
         let mut completed = 0;
         let mut lines: Vec<String> = Vec::new();
         if core.next_wakeup().is_some_and(|t| t <= target) {
-            let effects = core.step(SimEvent::AdvanceTo(target), &mut NullObserver)?;
+            let effects = core.step(SimEvent::AdvanceTo(target), stream)?;
             inner.steps += 1;
             for effect in effects {
                 match effect {
@@ -230,7 +297,7 @@ impl Session {
         }
         let now = inner.core.as_ref().expect("checked above").now();
         if !lines.is_empty() {
-            Self::broadcast(&mut inner.subscribers, &lines);
+            Self::broadcast(&mut inner.subscribers, &lines, metrics);
         }
         Ok(AdvanceResponse {
             now,
@@ -239,16 +306,25 @@ impl Session {
         })
     }
 
-    fn broadcast(subscribers: &mut Vec<SyncSender<Option<String>>>, lines: &[String]) {
-        subscribers.retain(|tx| {
-            for line in lines {
-                match tx.try_send(Some(line.clone())) {
+    fn broadcast(subscribers: &mut Vec<Subscriber>, lines: &[String], metrics: &ServiceMetrics) {
+        subscribers.retain(|sub| {
+            for (i, line) in lines.iter().enumerate() {
+                match sub.tx.try_send(Some(line.clone())) {
                     Ok(()) => {}
-                    // A full or disconnected reader is dropped, never
-                    // waited on: the scheduling path must not block.
-                    Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                    // A full reader is dropped, never waited on: the
+                    // scheduling path must not block. The loss is counted
+                    // on the subscriber (its stream handler reports it at
+                    // close) and in the registry.
+                    Err(TrySendError::Full(_)) => {
+                        let lost = (lines.len() - i) as u64;
+                        sub.dropped.fetch_add(lost, Relaxed);
+                        metrics.trace_lines_dropped.add(lost);
+                        metrics.trace_subscribers_dropped.inc();
                         return false;
                     }
+                    // A disconnected reader already went away by itself;
+                    // nothing was lost on it.
+                    Err(TrySendError::Disconnected(_)) => return false,
                 }
             }
             true
@@ -257,10 +333,15 @@ impl Session {
 
     /// Subscribes to the trace stream: every `TraceRecord` emitted after
     /// this call arrives as one JSONL line; `None` marks the end (seal).
-    pub fn subscribe(&self) -> Receiver<Option<String>> {
-        let (tx, rx) = sync_channel(SUBSCRIBER_BUFFER);
-        self.lock().subscribers.push(tx);
-        rx
+    /// The subscription also carries this reader's drop counter.
+    pub fn subscribe(&self) -> TraceSubscription {
+        let (tx, rx) = sync_channel(self.cfg.trace_buffer.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        self.lock().subscribers.push(Subscriber {
+            tx,
+            dropped: Arc::clone(&dropped),
+        });
+        TraceSubscription { rx, dropped }
     }
 
     /// The live status view.
@@ -390,7 +471,7 @@ impl Session {
         };
         let mut lines = Vec::new();
         while let Some(at) = core.next_wakeup() {
-            for effect in core.step(SimEvent::AdvanceTo(at), &mut NullObserver)? {
+            for effect in core.step(SimEvent::AdvanceTo(at), &mut inner.stream)? {
                 match effect {
                     Effect::Started { job, at } => {
                         inner.started.insert(job, at);
@@ -407,11 +488,14 @@ impl Session {
         }
         inner.clock.jump_to(core.now());
         let schedule = core.finish()?;
+        // Fire the whole-run hook the batch API would: the stream
+        // observer's verdict is now final and equal to the batch one.
+        inner.stream.on_finish(&schedule);
         if !lines.is_empty() {
-            Self::broadcast(&mut inner.subscribers, &lines);
+            Self::broadcast(&mut inner.subscribers, &lines, &self.metrics);
         }
-        for tx in inner.subscribers.drain(..) {
-            let _ = tx.try_send(None);
+        for sub in inner.subscribers.drain(..) {
+            let _ = sub.tx.try_send(None);
         }
         let summary = SealResponse {
             records: schedule.records.len() as u64,
@@ -460,8 +544,7 @@ mod tests {
             policy: policy.into(),
             nodes: 32,
             clock: ClockMode::Manual,
-            traced: true,
-            id_floor: 0,
+            ..Default::default()
         })
         .unwrap()
     }
@@ -544,6 +627,93 @@ mod tests {
         }
         assert!(!lines.is_empty());
         assert!(lines.iter().any(|l| l.contains("job_started")));
+    }
+
+    #[test]
+    fn slow_subscribers_are_dropped_with_a_counted_loss() {
+        let session = Session::new(SessionConfig {
+            policy: "easy.nomax".into(),
+            nodes: 32,
+            clock: ClockMode::Manual,
+            trace_buffer: 2, // deliberately tiny: the reader must fall behind
+            ..Default::default()
+        })
+        .unwrap();
+        let sub = session.subscribe();
+        // Never read while 16 jobs' worth of trace lines broadcast at seal.
+        for i in 0..16u32 {
+            session
+                .submit(&req(i + 1, i + 1, u64::from(i) * 5, 4, 50))
+                .unwrap();
+        }
+        session.seal().unwrap();
+        let mut delivered = 0;
+        let saw_terminator = loop {
+            match sub.recv() {
+                Ok(Some(_)) => delivered += 1,
+                Ok(None) => break true,
+                Err(_) => break false,
+            }
+        };
+        assert!(
+            !saw_terminator,
+            "a dropped subscriber must not see a clean close"
+        );
+        assert!(delivered <= 2, "buffer held {delivered} lines");
+        assert!(sub.dropped() > 0);
+        assert_eq!(
+            session.metrics().trace_lines_dropped.value(),
+            sub.dropped(),
+            "registry counter must agree with the per-subscriber count"
+        );
+        assert_eq!(session.metrics().trace_subscribers_dropped.value(), 1);
+    }
+
+    #[test]
+    fn healthy_subscribers_report_zero_drops() {
+        let session = manual_session("easy.nomax");
+        let sub = session.subscribe();
+        session.submit(&req(1, 1, 0, 32, 100)).unwrap();
+        session.seal().unwrap();
+        while let Ok(Some(_)) = sub.recv() {}
+        assert_eq!(sub.dropped(), 0);
+        assert_eq!(session.metrics().trace_lines_dropped.value(), 0);
+    }
+
+    #[test]
+    fn sealed_fairness_matches_the_batch_observers() {
+        use fairsched_metrics::fairness::hybrid::HybridFstObserver;
+        use fairsched_metrics::fairness::peruser::per_user_of;
+
+        let jobs = [
+            Job::new(1, 1, 1, 0, 32, 500, 500),
+            Job::new(2, 2, 1, 10, 16, 200, 300),
+            Job::new(3, 1, 1, 20, 16, 300, 300),
+            Job::new(4, 3, 1, 400, 32, 100, 100),
+        ];
+        let spec = PolicySpec::parse("easy.nomax").unwrap();
+        let cfg = spec.sim_config(32);
+        let mut batch = HybridFstObserver::new();
+        let schedule = simulate(&jobs, &cfg, &mut batch, SimOptions::new()).unwrap();
+        let batch_report = batch.into_report();
+
+        let session = manual_session("easy.nomax");
+        for job in &jobs {
+            session.submit(&SubmitRequest::from_job(job)).unwrap();
+        }
+        session.seal().unwrap();
+
+        assert_eq!(session.fst_report(), batch_report);
+        let (snap, users) = session.fairness();
+        assert_eq!(users, per_user_of(&schedule.records, &batch_report));
+        assert!(
+            (snap.utilization - schedule.utilization()).abs() < 1e-9,
+            "live {} vs batch {}",
+            snap.utilization,
+            schedule.utilization()
+        );
+        assert_eq!(snap.completed as usize, schedule.records.len());
+        assert_eq!(snap.queue_depth, 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn manual_daemon(policy: &str, nodes: u32) -> Daemon {
             clock: ClockMode::Manual,
             traced: true,
             id_floor: 0,
+            ..SessionConfig::default()
         },
     )
     .expect("daemon start")

@@ -24,6 +24,7 @@ fn main() {
             clock: ClockMode::Manual,
             traced: true,
             id_floor: 0,
+            ..SessionConfig::default()
         },
     )
     .expect("daemon start");

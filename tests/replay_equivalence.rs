@@ -196,6 +196,7 @@ fn cplant_arrivals_replay_through_the_service_at_high_speedup() {
             clock: ClockMode::Realtime { speedup: 10_000.0 },
             traced: false,
             id_floor: 0,
+            ..SessionConfig::default()
         })
         .expect("session");
         for job in &shifted {
