@@ -1145,6 +1145,14 @@ fn render_watch_frame(
         q(0.95),
         q(0.99),
     );
+    let _ = writeln!(
+        out,
+        "service:  {:.0} workers busy, accept queue {:.0}, journal {:.0} B in {:.0} batches",
+        total("served_pool_workers_busy"),
+        total("served_accept_queue_depth"),
+        total("served_journal_bytes"),
+        total("served_journal_batches"),
+    );
     out
 }
 
@@ -1866,6 +1874,14 @@ fairschedd_http_errors_total{route=\"/v1/jobs\"} 1
 fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"65535\"} 6
 fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"131071\"} 7
 fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"+Inf\"} 7
+# TYPE served_pool_workers_busy gauge
+served_pool_workers_busy 3
+# TYPE served_accept_queue_depth gauge
+served_accept_queue_depth 12
+# TYPE served_journal_bytes counter
+served_journal_bytes 2048
+# TYPE served_journal_batches counter
+served_journal_batches 9
 ";
         let frame = render_watch_frame(&status, &fairness, metrics);
         assert!(frame.contains("t=500 (granted 600)"), "{frame}");
@@ -1878,6 +1894,10 @@ fairschedd_http_request_duration_ns_bucket{route=\"/v1/jobs\",le=\"+Inf\"} 7
         assert!(frame.contains("10 requests (1 errors)"), "{frame}");
         // p50 falls in the [0, 65535]ns bucket, p99 in (65535, 131071].
         assert!(frame.contains("submit p50/p95/p99 ="), "{frame}");
+        assert!(
+            frame.contains("3 workers busy, accept queue 12, journal 2048 B in 9 batches"),
+            "{frame}"
+        );
         assert!(!frame.contains("SEALED"), "{frame}");
         // Garbage exposition degrades to zeros instead of failing.
         let degraded = render_watch_frame(&status, &fairness, "not an exposition");

@@ -1,0 +1,334 @@
+//! Shared framing for durable, checksummed JSONL journals.
+//!
+//! Two subsystems persist append-only journals: the sweep harness (one
+//! row per finished grid cell, `sweep::journal`) and the online service
+//! (one row per accepted submission or clock grant,
+//! `fairsched_served::journal`). Both need the same wire discipline, so
+//! the machinery lives here once:
+//!
+//! * **Sealed lines.** Every line is a flat JSON object whose final field
+//!   is `"crc"`, the FNV-1a checksum of everything before it. A torn
+//!   final line (the process was SIGKILLed mid-write) or a corrupted line
+//!   fails [`unseal_line`] or the checksum comparison and is *skipped* on
+//!   replay — never trusted, never panicked over.
+//! * **Schema versions.** Every body carries `"v":N`; a line from an
+//!   unknown (newer) schema degrades to a skip with a warning, not a
+//!   crash.
+//! * **Hand-rolled JSON.** The workspace's serde is a deliberate no-op
+//!   stub, so writers format fields by hand and readers pull them back
+//!   out with the [`json_u64`]-family helpers. Floats round-trip through
+//!   Rust's shortest-representation `Display`, which keeps replayed rows
+//!   bit-identical to the run that wrote them.
+//!
+//! [`LineWriter`] owns the file half: append-only writes of sealed
+//! lines with explicit [`LineWriter::flush`] (kernel handoff — a SIGKILL
+//! then loses nothing) and [`LineWriter::sync`] (fsync — a power cut
+//! then loses nothing) so each consumer picks its own durability batch
+//! size. [`replay_lines`] owns the read half: framing, checksum, and
+//! version checks per line, with every skip warned and counted.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// FNV-1a (64-bit): the journal checksum and the sweep-plan fingerprint.
+/// Not cryptographic — it guards against truncation and bit rot, not
+/// tampering.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Escapes a string for embedding in a journal line's JSON body.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Finds `"key":` at top level of the (flat) object and returns the raw
+/// value text that follows, up to the next `,"` or closing `}`.
+pub fn raw_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut esc = false;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '\\' if !esc => esc = true,
+                '"' if !esc => return Some(&stripped[..i]),
+                _ => esc = false,
+            }
+        }
+        None
+    } else if let Some(stripped) = rest.strip_prefix('[') {
+        stripped.find(']').map(|end| &stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// A `u64` field of a journal body.
+pub fn json_u64(line: &str, key: &str) -> Option<u64> {
+    raw_value(line, key)?.parse().ok()
+}
+
+/// A `u32` field of a journal body.
+pub fn json_u32(line: &str, key: &str) -> Option<u32> {
+    raw_value(line, key)?.parse().ok()
+}
+
+/// An `f64` field of a journal body (shortest-round-trip exact).
+pub fn json_f64(line: &str, key: &str) -> Option<f64> {
+    raw_value(line, key)?.parse().ok()
+}
+
+/// A string field of a journal body, unescaped.
+pub fn json_str(line: &str, key: &str) -> Option<String> {
+    raw_value(line, key).map(unescape)
+}
+
+/// A fixed-width `f64` array field of a journal body.
+pub fn json_f64_array<const N: usize>(line: &str, key: &str) -> Option<[f64; N]> {
+    let raw = raw_value(line, key)?;
+    let mut out = [0.0; N];
+    let mut count = 0;
+    for (i, part) in raw.split(',').enumerate() {
+        if i >= N {
+            return None;
+        }
+        out[i] = part.trim().parse().ok()?;
+        count = i + 1;
+    }
+    (count == N).then_some(out)
+}
+
+/// Appends the checksum and newline: `line = body + ',"crc":N}' + '\n'`
+/// where `N = fnv1a(body)`. `body` is an *unclosed* flat JSON object —
+/// `{"v":1,...` with no trailing `}`.
+pub fn seal_line(body: &str) -> String {
+    format!("{body},\"crc\":{}}}\n", fnv1a(body.as_bytes()))
+}
+
+/// Splits a sealed line back into `(body, crc)`; `None` when the framing
+/// is absent (torn write).
+pub fn unseal_line(line: &str) -> Option<(&str, u64)> {
+    let line = line.strip_suffix('}')?;
+    let at = line.rfind(",\"crc\":")?;
+    let crc: u64 = line[at + 7..].parse().ok()?;
+    Some((&line[..at], crc))
+}
+
+/// The append side of a journal file: sealed lines into a buffered
+/// writer, with flush (SIGKILL durability) and fsync (power-cut
+/// durability) under the caller's control so each consumer chooses its
+/// own batching policy.
+pub struct LineWriter {
+    out: BufWriter<File>,
+}
+
+impl LineWriter {
+    /// Creates (truncating) `path`.
+    pub fn create(path: &Path) -> std::io::Result<LineWriter> {
+        Ok(LineWriter {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Opens `path` for appending (resume / recovery: the header is
+    /// already there).
+    pub fn append(path: &Path) -> std::io::Result<LineWriter> {
+        Ok(LineWriter {
+            out: BufWriter::new(OpenOptions::new().append(true).open(path)?),
+        })
+    }
+
+    /// Seals `body` and writes the line into the buffer (no flush).
+    /// Returns the number of bytes written.
+    pub fn write_sealed(&mut self, body: &str) -> std::io::Result<u64> {
+        let line = seal_line(body);
+        self.out.write_all(line.as_bytes())?;
+        Ok(line.len() as u64)
+    }
+
+    /// Hands buffered lines to the kernel: a SIGKILLed process then loses
+    /// nothing already written.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Flushes and fsyncs: a power cut then loses nothing already
+    /// written.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()
+    }
+}
+
+impl Drop for LineWriter {
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+/// Replays `path` line by line, verifying framing, checksum, and schema
+/// version, and hands each *verified body* to `on_line`. Every failed
+/// line — torn, corrupt, unknown version, or rejected by `on_line` with
+/// a reason — is skipped with a warning carrying `skip_consequence`
+/// (e.g. `"the affected cell will re-run"`), never panicked over.
+/// Returns the number of skipped lines. A missing file replays as empty.
+pub fn replay_lines(
+    path: &Path,
+    version: u64,
+    skip_consequence: &str,
+    mut on_line: impl FnMut(&str) -> Result<(), String>,
+) -> std::io::Result<usize> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    }
+    let mut skipped = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let why = match unseal_line(line) {
+            None => "torn or unframed line".to_string(),
+            Some((body, crc)) if fnv1a(body.as_bytes()) != crc => "checksum mismatch".to_string(),
+            Some((body, _)) if json_u64(body, "v") != Some(version) => {
+                "unknown schema version".to_string()
+            }
+            Some((body, _)) => match on_line(body) {
+                Ok(()) => continue,
+                Err(why) => why,
+            },
+        };
+        fairsched_obs::log::warn(format!(
+            "journal {}: skipping line {} ({why}); {skip_consequence}",
+            path.display(),
+            lineno + 1,
+        ));
+        skipped += 1;
+    }
+    Ok(skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fairsched-core-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn sealed_lines_round_trip_and_verify() {
+        let body = "{\"v\":1,\"kind\":\"x\",\"s\":\"a\\\"b\"";
+        let line = seal_line(body);
+        let (back, crc) = unseal_line(line.trim_end()).unwrap();
+        assert_eq!(back, body);
+        assert_eq!(crc, fnv1a(body.as_bytes()));
+    }
+
+    #[test]
+    fn torn_corrupt_and_future_lines_are_skipped_with_warnings() {
+        let path = tmp("mixed.jsonl");
+        let mut w = LineWriter::create(&path).unwrap();
+        w.write_sealed("{\"v\":1,\"n\":1").unwrap();
+        w.write_sealed("{\"v\":1,\"n\":2").unwrap();
+        w.write_sealed("{\"v\":99,\"n\":3").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Tear the tail and corrupt line 2.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("\"n\":2", "\"n\":5", 1) + "{\"v\":1,\"n\":4,\"crc";
+        std::fs::write(&path, corrupted).unwrap();
+        let mut seen = Vec::new();
+        let mut skipped = 0;
+        let warnings = fairsched_obs::log::capture(|| {
+            skipped = replay_lines(&path, 1, "row ignored", |body| {
+                seen.push(json_u64(body, "n").unwrap());
+                Ok(())
+            })
+            .unwrap();
+        });
+        assert_eq!(seen, vec![1]);
+        assert_eq!(skipped, 3);
+        assert!(warnings.iter().any(|(_, m)| m.contains("checksum")));
+        assert!(warnings.iter().any(|(_, m)| m.contains("schema version")));
+        assert!(warnings.iter().any(|(_, m)| m.contains("torn")));
+    }
+
+    #[test]
+    fn missing_files_replay_as_empty() {
+        let skipped = replay_lines(&tmp("never-written.jsonl"), 1, "ignored", |_| {
+            panic!("no lines expected")
+        })
+        .unwrap();
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn consumer_rejections_count_as_skips() {
+        let path = tmp("rejected.jsonl");
+        let mut w = LineWriter::create(&path).unwrap();
+        w.write_sealed("{\"v\":1,\"n\":1").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut skipped = 0;
+        let warnings = fairsched_obs::log::capture(|| {
+            skipped = replay_lines(&path, 1, "ignored", |_| Err("not my kind".into())).unwrap();
+        });
+        assert_eq!(skipped, 1);
+        assert!(warnings.iter().any(|(_, m)| m.contains("not my kind")));
+    }
+}

@@ -15,6 +15,9 @@
 //!   design-space grids, a crash-safe sweep harness
 //!   ([`sweep::run::run_sweep`]) with a durable checksummed journal,
 //!   watchdog cancellation, bounded retry, and `--resume`;
+//! * [`journal`] — the shared checksummed-JSONL framing (sealed lines,
+//!   torn-write-tolerant replay) behind both the sweep journal and the
+//!   online service's submission journal;
 //! * [`report`] — fixed-width text rendering of the figure/table rows the
 //!   experiment binaries print;
 //! * [`gantt`] — ASCII schedule visualization (per-job Gantt bars and a
@@ -40,6 +43,7 @@
 //! ```
 
 pub mod gantt;
+pub mod journal;
 pub mod policy;
 pub mod report;
 pub mod runner;

@@ -154,16 +154,10 @@ pub fn cell_fault_seed(base: u64, index: u64) -> u64 {
     splitmix64(base ^ splitmix64(index))
 }
 
-/// FNV-1a (64-bit): the journal's checksum and the plan fingerprint. Not
-/// cryptographic — it guards against truncation and bit rot, not tampering.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+// The plan-fingerprint hash is the shared journal checksum; re-exported
+// here because callers of this module reach for it alongside
+// `cell_fault_seed`.
+pub use crate::journal::fnv1a;
 
 #[cfg(test)]
 mod tests {

@@ -3,25 +3,25 @@
 //!
 //! Layout: one header line carrying the plan fingerprint and cell count,
 //! then one line per *terminal* cell outcome (ok / failed / timed_out /
-//! poisoned — in-process retries are not journaled). Every line ends with a
-//! `"crc"` field holding the FNV-1a checksum of everything before it, so a
-//! torn final line (the process was killed mid-write) or a corrupted line
-//! is detected and skipped on replay rather than trusted or panicked over.
-//! Unknown schema versions are skipped the same way: a newer writer's rows
-//! degrade to "this cell re-runs", never to a crash.
+//! poisoned — in-process retries are not journaled). The wire discipline —
+//! sealed `"crc"` lines, torn-write tolerance, schema-version skipping,
+//! hand-rolled JSON (the workspace's serde is a deliberate no-op stub) —
+//! lives in the shared [`crate::journal`] module, which the online
+//! service's submission journal uses too. This module owns only the sweep
+//! schema: what a cell row says and how a replay folds rows into resume
+//! state.
 //!
-//! The workspace's serde is a deliberate no-op stub, so both the writer and
-//! the reader are hand-rolled, following the `TraceRecord::to_jsonl`
-//! idiom. Floats are written with Rust's shortest-round-trip `Display` and
-//! read back with `str::parse::<f64>`, which makes a replayed row's metrics
+//! Floats are written with Rust's shortest-round-trip `Display` and read
+//! back with `str::parse::<f64>`, which makes a replayed row's metrics
 //! bit-identical to the run that produced them — the property the
 //! kill-and-resume test pins.
 
+use crate::journal::{
+    escape, json_f64, json_f64_array, json_str, json_u32, json_u64, replay_lines, seal_line,
+    LineWriter,
+};
 use crate::runner::OutcomeMetrics;
-use crate::sweep::grid::fnv1a;
 use fairsched_workload::categories::WIDTH_BUCKETS;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 /// The journal schema version this build writes.
@@ -87,120 +87,9 @@ pub struct CellRow {
     pub metrics: Option<OutcomeMetrics>,
 }
 
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn unescape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next() {
-            Some('n') => out.push('\n'),
-            Some('r') => out.push('\r'),
-            Some('t') => out.push('\t'),
-            Some('u') => {
-                let hex: String = chars.by_ref().take(4).collect();
-                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
-                    out.push(c);
-                }
-            }
-            Some(c) => out.push(c),
-            None => {}
-        }
-    }
-    out
-}
-
 fn fmt_array(vals: &[f64]) -> String {
     let inner: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
     format!("[{}]", inner.join(","))
-}
-
-/// Finds `"key":` at top level of the (flat) object and returns the raw
-/// value text that follows, up to the next `,"` or closing `}`.
-fn raw_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":");
-    let at = line.find(&pat)? + pat.len();
-    let rest = &line[at..];
-    if let Some(stripped) = rest.strip_prefix('"') {
-        // String value: scan to the closing unescaped quote.
-        let mut esc = false;
-        for (i, c) in stripped.char_indices() {
-            match c {
-                '\\' if !esc => esc = true,
-                '"' if !esc => return Some(&stripped[..i]),
-                _ => esc = false,
-            }
-        }
-        None
-    } else if let Some(stripped) = rest.strip_prefix('[') {
-        stripped.find(']').map(|end| &stripped[..end])
-    } else {
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim())
-    }
-}
-
-fn json_u64(line: &str, key: &str) -> Option<u64> {
-    raw_value(line, key)?.parse().ok()
-}
-
-fn json_u32(line: &str, key: &str) -> Option<u32> {
-    raw_value(line, key)?.parse().ok()
-}
-
-fn json_f64(line: &str, key: &str) -> Option<f64> {
-    raw_value(line, key)?.parse().ok()
-}
-
-fn json_str(line: &str, key: &str) -> Option<String> {
-    raw_value(line, key).map(unescape)
-}
-
-fn json_f64_array<const N: usize>(line: &str, key: &str) -> Option<[f64; N]> {
-    let raw = raw_value(line, key)?;
-    let mut out = [0.0; N];
-    let mut count = 0;
-    for (i, part) in raw.split(',').enumerate() {
-        if i >= N {
-            return None;
-        }
-        out[i] = part.trim().parse().ok()?;
-        count = i + 1;
-    }
-    (count == N).then_some(out)
-}
-
-/// Appends the checksum and newline: `line = body + ',"crc":N}' + '\n'`
-/// where `N = fnv1a(body)`.
-fn seal(body: &str) -> String {
-    format!("{body},\"crc\":{}}}\n", fnv1a(body.as_bytes()))
-}
-
-/// Splits a sealed line back into `(body, crc)`; `None` when the framing
-/// is absent (torn write).
-fn unseal(line: &str) -> Option<(&str, u64)> {
-    let line = line.strip_suffix('}')?;
-    let at = line.rfind(",\"crc\":")?;
-    let crc: u64 = line[at + 7..].parse().ok()?;
-    Some((&line[..at], crc))
 }
 
 fn header_body(fingerprint: u64, cells: u64) -> String {
@@ -243,7 +132,7 @@ impl CellRow {
 
     /// The sealed JSONL line (newline included).
     pub fn to_jsonl(&self) -> String {
-        seal(&self.body())
+        seal_line(&self.body())
     }
 
     /// Parses a *verified* body (checksum already checked by the caller).
@@ -281,7 +170,7 @@ impl CellRow {
 /// fsynced every `batch` rows plus on [`JournalWriter::sync`]/drop (a
 /// power cut loses at most one batch).
 pub struct JournalWriter {
-    out: BufWriter<File>,
+    out: LineWriter,
     pending: usize,
     batch: usize,
 }
@@ -294,34 +183,32 @@ const SYNC_BATCH: usize = 8;
 impl JournalWriter {
     /// Creates (truncates) `path` and writes the header line.
     pub fn create(path: &Path, fingerprint: u64, cells: u64) -> std::io::Result<Self> {
-        let file = File::create(path)?;
         let mut w = JournalWriter {
-            out: BufWriter::new(file),
+            out: LineWriter::create(path)?,
             pending: 0,
             batch: SYNC_BATCH,
         };
-        w.write_line(&seal(&header_body(fingerprint, cells)))?;
+        w.write_body(&header_body(fingerprint, cells))?;
         w.sync()?;
         Ok(w)
     }
 
     /// Opens `path` for appending (resume: the header is already there).
     pub fn append(path: &Path) -> std::io::Result<Self> {
-        let file = OpenOptions::new().append(true).open(path)?;
         Ok(JournalWriter {
-            out: BufWriter::new(file),
+            out: LineWriter::append(path)?,
             pending: 0,
             batch: SYNC_BATCH,
         })
     }
 
-    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
-        self.out.write_all(line.as_bytes())?;
+    fn write_body(&mut self, body: &str) -> std::io::Result<()> {
+        let bytes = self.out.write_sealed(body)?;
         // Hand the row to the kernel right away: a SIGKILLed process then
         // loses nothing — only the fsync (power-cut durability) is
         // batched, because it is the expensive half.
         self.out.flush()?;
-        fairsched_obs::counters::record_journal_bytes(line.len() as u64);
+        fairsched_obs::counters::record_journal_bytes(bytes);
         self.pending += 1;
         if self.pending >= self.batch {
             self.sync()?;
@@ -331,21 +218,14 @@ impl JournalWriter {
 
     /// Appends one sealed row.
     pub fn write_row(&mut self, row: &CellRow) -> std::io::Result<()> {
-        self.write_line(&row.to_jsonl())
+        self.write_body(&row.body())
     }
 
     /// Flushes buffered rows and fsyncs the file.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.out.flush()?;
-        self.out.get_ref().sync_data()?;
+        self.out.sync()?;
         self.pending = 0;
         Ok(())
-    }
-}
-
-impl Drop for JournalWriter {
-    fn drop(&mut self) {
-        let _ = self.sync();
     }
 }
 
@@ -391,66 +271,35 @@ impl JournalReplay {
 /// that fails framing, checksum, or schema-version checks. A missing file
 /// replays as empty.
 pub fn replay(path: &Path) -> std::io::Result<JournalReplay> {
-    let mut text = String::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_string(&mut text)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalReplay::default()),
-        Err(e) => return Err(e),
-    }
     let mut replay = JournalReplay::default();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.is_empty() {
-            continue;
-        }
-        let Some((body, crc)) = unseal(line) else {
-            warn_skip(path, lineno, "torn or unframed line");
-            replay.skipped += 1;
-            continue;
-        };
-        if fnv1a(body.as_bytes()) != crc {
-            warn_skip(path, lineno, "checksum mismatch");
-            replay.skipped += 1;
-            continue;
-        }
-        if json_u64(body, "v") != Some(SCHEMA_VERSION) {
-            warn_skip(path, lineno, "unknown schema version");
-            replay.skipped += 1;
-            continue;
-        }
-        match json_str(body, "kind").as_deref() {
+    let skipped = replay_lines(
+        path,
+        SCHEMA_VERSION,
+        "the affected cell will re-run",
+        |body| match json_str(body, "kind").as_deref() {
             Some("header") => {
                 replay.fingerprint = json_u64(body, "fingerprint");
                 replay.cells = json_u64(body, "cells");
+                Ok(())
             }
             Some("cell") => match CellRow::from_body(body) {
-                Some(row) => replay.rows.push(row),
-                None => {
-                    warn_skip(path, lineno, "malformed cell row");
-                    replay.skipped += 1;
+                Some(row) => {
+                    replay.rows.push(row);
+                    Ok(())
                 }
+                None => Err("malformed cell row".into()),
             },
-            _ => {
-                warn_skip(path, lineno, "unknown record kind");
-                replay.skipped += 1;
-            }
-        }
-    }
+            _ => Err("unknown record kind".into()),
+        },
+    )?;
+    replay.skipped = skipped;
     Ok(replay)
-}
-
-fn warn_skip(path: &Path, lineno: usize, why: &str) {
-    fairsched_obs::log::warn(format!(
-        "journal {}: skipping line {} ({why}); the affected cell will re-run",
-        path.display(),
-        lineno + 1,
-    ));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::{fnv1a, unseal_line};
 
     fn row(cell: u64, status: CellStatus) -> CellRow {
         CellRow {
@@ -548,7 +397,7 @@ mod tests {
         let path = tmp("version.jsonl");
         write_journal(&path, &[row(0, CellStatus::Ok)]);
         // Append a validly-sealed row from a "future" schema.
-        let future = seal("{\"v\":999,\"kind\":\"cell\",\"cell\":5");
+        let future = seal_line("{\"v\":999,\"kind\":\"cell\",\"cell\":5");
         let mut text = std::fs::read_to_string(&path).unwrap();
         text.push_str(&future);
         std::fs::write(&path, text).unwrap();
@@ -588,7 +437,7 @@ mod tests {
     fn detail_strings_survive_escaping() {
         let r = row(0, CellStatus::Poisoned);
         let line = r.to_jsonl();
-        let (body, crc) = unseal(line.trim_end()).unwrap();
+        let (body, crc) = unseal_line(line.trim_end()).unwrap();
         assert_eq!(fnv1a(body.as_bytes()), crc);
         let parsed = CellRow::from_body(body).unwrap();
         assert_eq!(parsed.detail, "it \"broke\"\nbadly");

@@ -12,10 +12,11 @@ use crate::json::{Json, JsonError};
 use fairsched_core::policy::PolicyIdError;
 use fairsched_metrics::fairness::peruser::UserFairness;
 use fairsched_metrics::fairness::stream::FairnessSnapshot;
-use fairsched_sim::{JobRecord, SimError};
+use fairsched_sim::{JobRecord, Schedule, SimError};
 use fairsched_workload::job::{Job, JobId};
 use fairsched_workload::time::Time;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A job submission, as posted to `POST /v1/jobs`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -262,6 +263,10 @@ pub struct SealResponse {
     pub makespan: Time,
     /// Utilization of the finished schedule.
     pub utilization: f64,
+    /// [`schedule_fingerprint`] of the finished schedule: equal iff the
+    /// per-record placements are byte-identical. The recovery tests
+    /// compare this across process boundaries.
+    pub schedule_fnv: u64,
 }
 
 impl SealResponse {
@@ -271,6 +276,7 @@ impl SealResponse {
             ("records", Json::UInt(self.records)),
             ("makespan", Json::UInt(self.makespan)),
             ("utilization", Json::Float(self.utilization)),
+            ("schedule_fnv", Json::UInt(self.schedule_fnv)),
         ])
     }
 
@@ -284,6 +290,110 @@ impl SealResponse {
             })?,
             makespan: v.get("makespan").and_then(Json::as_u64).unwrap_or(0),
             utilization: v.get("utilization").and_then(Json::as_f64).unwrap_or(0.0),
+            schedule_fnv: v.get("schedule_fnv").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// A canonical fingerprint of a finished schedule: FNV-1a over every
+/// record's placement-relevant fields in record order, plus the machine
+/// size. Two schedules fingerprint equal exactly when their `records`
+/// vectors are field-for-field identical — the byte-identity check the
+/// kill-and-recover test asserts across the daemon restart without
+/// shipping the whole schedule over the wire.
+pub fn schedule_fingerprint(schedule: &Schedule) -> u64 {
+    let mut canon = format!("nodes={};", schedule.nodes);
+    for r in &schedule.records {
+        let _ = write!(
+            canon,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{};",
+            r.id.0,
+            r.origin.0,
+            r.chunk_index,
+            r.user.0,
+            r.group.0,
+            r.nodes,
+            r.submit,
+            r.origin_submit,
+            r.start,
+            r.end,
+            r.estimate,
+            u8::from(r.killed),
+            u8::from(r.interrupted),
+        );
+    }
+    fairsched_core::journal::fnv1a(canon.as_bytes())
+}
+
+/// A request to create a named session (`POST /v1/sessions`). Omitted
+/// fields fall back to the daemon's defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// The session name (path-safe: `[A-Za-z0-9_-]`, at most 64 chars).
+    pub name: String,
+    /// Policy id; defaults to the daemon's default-session policy.
+    pub policy: Option<String>,
+    /// Machine size in nodes; defaults like `policy`.
+    pub nodes: Option<u32>,
+    /// Fresh-id floor; defaults to 0.
+    pub id_floor: Option<u32>,
+}
+
+impl SessionSpec {
+    /// A spec carrying only a name, inheriting every default.
+    pub fn named(name: &str) -> SessionSpec {
+        SessionSpec {
+            name: name.to_string(),
+            policy: None,
+            nodes: None,
+            id_floor: None,
+        }
+    }
+
+    /// Wire encoding.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("name", Json::Str(self.name.clone()))];
+        if let Some(policy) = &self.policy {
+            pairs.push(("policy", Json::Str(policy.clone())));
+        }
+        if let Some(nodes) = self.nodes {
+            pairs.push(("nodes", Json::UInt(nodes.into())));
+        }
+        if let Some(floor) = self.id_floor {
+            pairs.push(("id_floor", Json::UInt(floor.into())));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Wire decoding.
+    pub fn from_json(v: &Json) -> Result<SessionSpec, ServeError> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::BadRequest {
+                detail: "missing field `name`".into(),
+            })?
+            .to_string();
+        let u32_field = |key: &str| -> Result<Option<u32>, ServeError> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .map(Some)
+                    .ok_or_else(|| ServeError::BadRequest {
+                        detail: format!("field `{key}` must be a u32"),
+                    }),
+            }
+        };
+        Ok(SessionSpec {
+            name,
+            policy: v
+                .get("policy")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
+            nodes: u32_field("nodes")?,
+            id_floor: u32_field("id_floor")?,
         })
     }
 }
@@ -370,6 +480,21 @@ pub enum ServeError {
     },
     /// The session was sealed; no further submissions or grants.
     Sealed,
+    /// The named session does not exist in the registry.
+    UnknownSession {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A session with this name already exists.
+    DuplicateSession {
+        /// The contested name.
+        name: String,
+    },
+    /// The session name is not path-safe (`[A-Za-z0-9_-]`, ≤ 64 chars).
+    InvalidSessionName {
+        /// The rejected name.
+        name: String,
+    },
     /// The request was malformed (bad JSON, missing fields, unknown
     /// route).
     BadRequest {
@@ -391,6 +516,9 @@ impl ServeError {
             ServeError::UnknownPolicy(_) => "unknown_policy",
             ServeError::DuplicateId { .. } => "duplicate_id",
             ServeError::Sealed => "sealed",
+            ServeError::UnknownSession { .. } => "unknown_session",
+            ServeError::DuplicateSession { .. } => "duplicate_session",
+            ServeError::InvalidSessionName { .. } => "invalid_session_name",
             ServeError::BadRequest { .. } => "bad_request",
             ServeError::Sim(_) => "sim_error",
             ServeError::Io(_) => "io_error",
@@ -403,8 +531,10 @@ impl ServeError {
             ServeError::NonMonotonicSubmit { .. }
             | ServeError::UnknownPolicy(_)
             | ServeError::DuplicateId { .. }
+            | ServeError::InvalidSessionName { .. }
             | ServeError::BadRequest { .. } => 400,
-            ServeError::Sealed => 409,
+            ServeError::UnknownSession { .. } => 404,
+            ServeError::Sealed | ServeError::DuplicateSession { .. } => 409,
             ServeError::Sim(_) => 422,
             ServeError::Io(_) => 502,
         }
@@ -432,6 +562,11 @@ impl ServeError {
             ServeError::DuplicateId { job } => {
                 pairs.push(("job", Json::UInt(job.0.into())));
             }
+            ServeError::UnknownSession { name }
+            | ServeError::DuplicateSession { name }
+            | ServeError::InvalidSessionName { name } => {
+                pairs.push(("session", Json::Str(name.clone())));
+            }
             _ => {}
         }
         Json::obj(pairs)
@@ -439,6 +574,12 @@ impl ServeError {
 
     /// Reconstructs the typed error from a wire body (client side).
     pub fn decode(v: &Json) -> ServeError {
+        fn session_field(v: &Json) -> String {
+            v.get("session")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        }
         let detail = v
             .get("detail")
             .and_then(Json::as_str)
@@ -461,6 +602,15 @@ impl ServeError {
                 job: JobId(v.get("job").and_then(Json::as_u64).unwrap_or(0) as u32),
             },
             Some("sealed") => ServeError::Sealed,
+            Some("unknown_session") => ServeError::UnknownSession {
+                name: session_field(v),
+            },
+            Some("duplicate_session") => ServeError::DuplicateSession {
+                name: session_field(v),
+            },
+            Some("invalid_session_name") => ServeError::InvalidSessionName {
+                name: session_field(v),
+            },
             Some("sim_error") => ServeError::Sim(detail),
             Some("io_error") => ServeError::Io(detail),
             _ => ServeError::BadRequest { detail },
@@ -485,6 +635,16 @@ impl fmt::Display for ServeError {
                 write!(f, "{job} was already accepted by this session")
             }
             ServeError::Sealed => write!(f, "the session is sealed"),
+            ServeError::UnknownSession { name } => {
+                write!(f, "no session named `{name}`")
+            }
+            ServeError::DuplicateSession { name } => {
+                write!(f, "a session named `{name}` already exists")
+            }
+            ServeError::InvalidSessionName { name } => write!(
+                f,
+                "invalid session name `{name}`: use 1-64 characters from [A-Za-z0-9_-]"
+            ),
             ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
             ServeError::Sim(detail) => write!(f, "simulation error: {detail}"),
             ServeError::Io(detail) => write!(f, "transport error: {detail}"),
@@ -554,6 +714,15 @@ mod tests {
             }),
             ServeError::DuplicateId { job: JobId(4) },
             ServeError::Sealed,
+            ServeError::UnknownSession {
+                name: "ghost".into(),
+            },
+            ServeError::DuplicateSession {
+                name: "taken".into(),
+            },
+            ServeError::InvalidSessionName {
+                name: "../etc".into(),
+            },
             ServeError::Sim("boom".into()),
         ];
         for e in cases {
@@ -566,6 +735,37 @@ mod tests {
             }
             assert!(e.status() >= 400);
         }
+    }
+
+    #[test]
+    fn session_specs_round_trip_with_and_without_overrides() {
+        let bare = SessionSpec::named("alpha");
+        assert_eq!(SessionSpec::from_json(&bare.to_json()).unwrap(), bare);
+        let full = SessionSpec {
+            name: "beta".into(),
+            policy: Some("cplant24.nomax.all".into()),
+            nodes: Some(64),
+            id_floor: Some(1000),
+        };
+        assert_eq!(SessionSpec::from_json(&full.to_json()).unwrap(), full);
+    }
+
+    #[test]
+    fn schedule_fingerprints_differ_on_any_placement_change() {
+        use fairsched_core::policy::PolicySpec;
+        use fairsched_sim::{simulate, NullObserver, SimOptions};
+
+        let jobs = [
+            Job::new(1, 1, 1, 0, 16, 300, 300),
+            Job::new(2, 2, 1, 5, 32, 100, 200),
+        ];
+        let cfg = PolicySpec::parse("easy.nomax").unwrap().sim_config(32);
+        let a = simulate(&jobs, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
+        let b = simulate(&jobs, &cfg, &mut NullObserver, SimOptions::new()).unwrap();
+        assert_eq!(schedule_fingerprint(&a), schedule_fingerprint(&b));
+        let mut shifted = a.clone();
+        shifted.records[0].start += 1;
+        assert_ne!(schedule_fingerprint(&a), schedule_fingerprint(&shifted));
     }
 
     #[test]

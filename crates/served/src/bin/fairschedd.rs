@@ -3,13 +3,23 @@
 //! ```text
 //! fairschedd [--port N] [--port-file PATH] [--policy ID] [--nodes N]
 //!            [--speedup X | --manual] [--no-trace] [--id-floor N]
+//!            [--workers N] [--queue-capacity N]
+//!            [--journal-dir DIR] [--recover]
 //! ```
 //!
 //! Binds `127.0.0.1:<port>` (port 0 = OS-assigned; the resolved port is
 //! printed and, with `--port-file`, written to a file for scripts to
 //! pick up). Runs until `POST /v1/shutdown`.
+//!
+//! `--journal-dir DIR` turns on durability: every accepted submission
+//! and clock grant appends to a checksummed per-session journal under
+//! `DIR`. After a crash (even SIGKILL), `--recover` with the same
+//! `--journal-dir` replays the journals and continues every session
+//! exactly where its acknowledged history ends — the recovered schedule
+//! is byte-identical to an uninterrupted run.
 
 use fairsched_served::clock::ClockMode;
+use fairsched_served::daemon::DaemonConfig;
 use fairsched_served::session::SessionConfig;
 use fairsched_served::Daemon;
 use std::io::Write;
@@ -17,7 +27,8 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: fairschedd [--port N] [--port-file PATH] [--policy ID] \
-         [--nodes N] [--speedup X | --manual] [--no-trace] [--id-floor N]"
+         [--nodes N] [--speedup X | --manual] [--no-trace] [--id-floor N] \
+         [--workers N] [--queue-capacity N] [--journal-dir DIR] [--recover]"
     );
     std::process::exit(2);
 }
@@ -25,12 +36,12 @@ fn usage() -> ! {
 fn main() {
     let mut port: u16 = 0;
     let mut port_file: Option<String> = None;
-    let mut cfg = SessionConfig {
+    let mut cfg = DaemonConfig::new(SessionConfig {
         // Interactive serving defaults to real time; scripts pass
         // --manual or a large --speedup.
         clock: ClockMode::Realtime { speedup: 1.0 },
         ..SessionConfig::default()
-    };
+    });
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,9 +56,9 @@ fn main() {
                 port = value("--port").parse().unwrap_or_else(|_| usage());
             }
             "--port-file" => port_file = Some(value("--port-file")),
-            "--policy" => cfg.policy = value("--policy"),
+            "--policy" => cfg.session.policy = value("--policy"),
             "--nodes" => {
-                cfg.nodes = value("--nodes").parse().unwrap_or_else(|_| usage());
+                cfg.session.nodes = value("--nodes").parse().unwrap_or_else(|_| usage());
             }
             "--speedup" => {
                 let speedup: f64 = value("--speedup").parse().unwrap_or_else(|_| usage());
@@ -55,13 +66,29 @@ fn main() {
                     eprintln!("fairschedd: --speedup must be a positive number");
                     std::process::exit(2);
                 }
-                cfg.clock = ClockMode::Realtime { speedup };
+                cfg.session.clock = ClockMode::Realtime { speedup };
             }
-            "--manual" => cfg.clock = ClockMode::Manual,
-            "--no-trace" => cfg.traced = false,
+            "--manual" => cfg.session.clock = ClockMode::Manual,
+            "--no-trace" => cfg.session.traced = false,
             "--id-floor" => {
-                cfg.id_floor = value("--id-floor").parse().unwrap_or_else(|_| usage());
+                cfg.session.id_floor = value("--id-floor").parse().unwrap_or_else(|_| usage());
             }
+            "--workers" => {
+                cfg.workers = value("--workers").parse().unwrap_or_else(|_| usage());
+                if cfg.workers == 0 {
+                    eprintln!("fairschedd: --workers must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--queue-capacity" => {
+                cfg.queue_capacity = value("--queue-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--journal-dir" => {
+                cfg.journal_dir = Some(std::path::PathBuf::from(value("--journal-dir")));
+            }
+            "--recover" => cfg.recover = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fairschedd: unknown flag {other}");
@@ -69,9 +96,13 @@ fn main() {
             }
         }
     }
+    if cfg.recover && cfg.journal_dir.is_none() {
+        eprintln!("fairschedd: --recover needs --journal-dir");
+        std::process::exit(2);
+    }
 
-    let clock = cfg.clock;
-    let mut daemon = match Daemon::start(&format!("127.0.0.1:{port}"), cfg) {
+    let clock = cfg.session.clock;
+    let mut daemon = match Daemon::start_with(&format!("127.0.0.1:{port}"), cfg) {
         Ok(daemon) => daemon,
         Err(e) => {
             eprintln!("fairschedd: {e}");
@@ -89,21 +120,28 @@ fn main() {
     }
 
     // Realtime clocks need a heartbeat: events only play out when time is
-    // granted, so tick until a shutdown request stops the accept loop.
-    let session = std::sync::Arc::clone(daemon.session());
+    // granted, so tick every live session until shutdown. Sessions
+    // created over the API after this point are picked up on the next
+    // beat because the registry is re-read each cycle.
+    let registry = std::sync::Arc::clone(daemon.registry());
     if let ClockMode::Realtime { .. } = clock {
         std::thread::spawn(move || loop {
             std::thread::sleep(std::time::Duration::from_millis(20));
-            if session.tick().is_err() {
-                // Sealed: nothing left to drive.
+            let mut any_live = false;
+            for session in registry.sessions() {
+                if session.tick().is_ok() {
+                    any_live = true;
+                }
+            }
+            if !any_live {
+                // Every session sealed: nothing left to drive.
                 break;
             }
         });
     }
 
     // Park until shutdown flips the stop flag and unblocks the accept
-    // loop; joining the accept thread is exactly Daemon::shutdown's job,
-    // so wait for the flag by polling the session's sealed state.
+    // loop; joining the threads is exactly Daemon::shutdown's job.
     loop {
         std::thread::sleep(std::time::Duration::from_millis(50));
         if daemon.stopped() {

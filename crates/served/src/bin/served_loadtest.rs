@@ -2,9 +2,9 @@
 //! and measures what observing the daemon costs.
 //!
 //! ```text
-//! served_loadtest [--submitters N] [--jobs N] [--policy ID] [--nodes N]
-//!                 [--epochs N] [--seed N] [--scrape-ms N]
-//!                 [--port-file PATH] [--out BENCH_9.json]
+//! served_loadtest [--submitters N] [--jobs N] [--sessions N]
+//!                 [--policy ID] [--nodes N] [--epochs N] [--seed N]
+//!                 [--scrape-ms N] [--port-file PATH] [--out BENCH_9.json]
 //! ```
 //!
 //! Runs the same epoch-barriered replay **twice** against fresh daemons:
@@ -14,18 +14,25 @@
 //! reproduce the batch schedule byte-for-byte; the report records
 //! steps/sec for each phase and the scrape overhead as a percentage.
 //!
+//! With `--sessions N` the workload splits round-robin across N named
+//! sessions hosted by the same daemon — every session runs its share
+//! concurrently and must independently reproduce the batch simulation of
+//! that share, which is the multi-tenant isolation property.
+//!
 //! Submit latency percentiles come from the daemon's own exposition —
 //! the `/v1/jobs` route histogram scraped at the end of the scrape-on
 //! phase — not from client-side stopwatches, so the numbers are the ones
-//! a dashboard would show.
+//! a dashboard would show (session-scoped submits collapse onto the same
+//! route label).
 //!
 //! Each phase replays the workload through `--submitters` concurrent
-//! HTTP clients under a manual clock with epoch barriers: every
-//! submitter posts its share of an epoch's jobs, all threads meet at a
-//! barrier, then the coordinator grants simulated time up to just below
-//! the next epoch — so no submitter can ever race the clock into a
-//! non-monotonic rejection, and the grant order keeps the session
-//! byte-equivalent to the batch simulation, which this binary asserts.
+//! keep-alive HTTP clients under manual clocks with epoch barriers:
+//! every submitter posts its share of an epoch's jobs, all threads meet
+//! at a barrier, then the coordinator grants every session simulated
+//! time up to just below the next epoch — so no submitter can ever race
+//! a clock into a non-monotonic rejection, and the grant order keeps
+//! each session byte-equivalent to the batch simulation of its share,
+//! which this binary asserts.
 //!
 //! `--port-file` (scrape-on phase only) publishes the daemon's port so
 //! an external probe — the CI smoke check — can curl `/metrics` mid-run.
@@ -35,6 +42,7 @@
 
 use fairsched_core::policy::PolicySpec;
 use fairsched_obs::registry::{parse_exposition, quantile_from_buckets, Sample};
+use fairsched_served::api::SessionSpec;
 use fairsched_served::clock::ClockMode;
 use fairsched_served::session::SessionConfig;
 use fairsched_served::{Client, Daemon, SubmitRequest};
@@ -50,6 +58,7 @@ use std::time::{Duration, Instant};
 struct Args {
     submitters: usize,
     jobs: usize,
+    sessions: usize,
     policy: String,
     nodes: u32,
     epochs: usize,
@@ -63,6 +72,7 @@ fn parse_args() -> Args {
     let mut parsed = Args {
         submitters: 100,
         jobs: 2000,
+        sessions: 1,
         policy: "easy.nomax".into(),
         nodes: 1024,
         epochs: 8,
@@ -82,6 +92,7 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--submitters" => parsed.submitters = value().parse().unwrap(),
             "--jobs" => parsed.jobs = value().parse().unwrap(),
+            "--sessions" => parsed.sessions = value().parse().unwrap(),
             "--policy" => parsed.policy = value(),
             "--nodes" => parsed.nodes = value().parse().unwrap(),
             "--epochs" => parsed.epochs = value().parse().unwrap(),
@@ -96,6 +107,10 @@ fn parse_args() -> Args {
         }
     }
     assert!(parsed.submitters >= 1 && parsed.epochs >= 1 && parsed.jobs >= 1);
+    assert!(
+        parsed.sessions >= 1 && parsed.sessions <= parsed.submitters,
+        "--sessions must be between 1 and --submitters"
+    );
     assert!(parsed.scrape_ms >= 1, "--scrape-ms must be positive");
     parsed
 }
@@ -137,7 +152,18 @@ fn latency_buckets(samples: &[Sample], route: &str) -> Vec<(f64, u64)> {
     buckets
 }
 
-fn run_phase(args: &Args, jobs: &[Job], batch: &Schedule, scrape: bool) -> PhaseOutcome {
+/// Session `s`'s client: the default session for index 0, a named one
+/// otherwise.
+fn session_client(base: &Client, s: usize) -> Client {
+    if s == 0 {
+        base.clone()
+    } else {
+        base.for_session(&format!("load{s}"))
+    }
+}
+
+fn run_phase(args: &Args, shares: &[Vec<Job>], batches: &[Schedule], scrape: bool) -> PhaseOutcome {
+    let total_jobs: usize = shares.iter().map(Vec::len).sum();
     let mut daemon = Daemon::start(
         "127.0.0.1:0",
         SessionConfig {
@@ -153,10 +179,8 @@ fn run_phase(args: &Args, jobs: &[Job], batch: &Schedule, scrape: bool) -> Phase
     let addr = daemon.addr();
     let phase = if scrape { "scrape-on" } else { "baseline" };
     eprintln!(
-        "served_loadtest[{phase}]: daemon on {addr}, {} jobs, {} submitters, {} epochs",
-        jobs.len(),
-        args.submitters,
-        args.epochs
+        "served_loadtest[{phase}]: daemon on {addr}, {} jobs, {} submitters, {} sessions, {} epochs",
+        total_jobs, args.submitters, args.sessions, args.epochs
     );
     if scrape {
         if let Some(path) = &args.port_file {
@@ -164,18 +188,31 @@ fn run_phase(args: &Args, jobs: &[Job], batch: &Schedule, scrape: bool) -> Phase
         }
     }
 
-    // Epoch boundaries over [0, max_submit]: epoch k owns submissions in
-    // [bounds[k], bounds[k+1]). After an epoch's barrier the coordinator
-    // grants bounds[k+1] - 1 — strictly below every later submission, so
-    // arrivals are always inserted before their timestamp is reachable
-    // (the property that makes the online run byte-equal to batch).
-    let max_submit = jobs.last().map(|j| j.submit).unwrap_or(0);
-    let epochs = args.epochs.min(jobs.len());
+    let coordinator = Client::new(addr);
+    for s in 1..args.sessions {
+        coordinator
+            .create_session(&SessionSpec::named(&format!("load{s}")))
+            .expect("create session");
+    }
+
+    // Epoch boundaries over [0, max_submit] across ALL sessions: epoch k
+    // owns submissions in [bounds[k], bounds[k+1]). After an epoch's
+    // barrier the coordinator grants every session bounds[k+1] - 1 —
+    // strictly below every later submission, so arrivals are always
+    // inserted before their timestamp is reachable (the property that
+    // makes each online session byte-equal to its batch reference).
+    let max_submit = shares
+        .iter()
+        .filter_map(|jobs| jobs.last().map(|j| j.submit))
+        .max()
+        .unwrap_or(0);
+    let epochs = args.epochs.min(total_jobs);
     let bounds: Vec<Time> = (0..=epochs)
         .map(|k| (max_submit + 2) * k as Time / epochs as Time)
         .collect();
 
-    // A live trace subscriber, attached before any submission.
+    // A live trace subscriber on the default session, attached before
+    // any submission.
     let trace_client = Client::new(addr);
     let trace_thread = std::thread::spawn(move || trace_client.trace_capture());
 
@@ -203,26 +240,34 @@ fn run_phase(args: &Args, jobs: &[Job], batch: &Schedule, scrape: bool) -> Phase
         })
     });
 
-    // Partition jobs round-robin across submitters.
-    let shares: Vec<Vec<SubmitRequest>> = (0..args.submitters)
+    // Submitter i serves session i % sessions; within a session's
+    // submitter group the share splits round-robin by rank.
+    let submitters_for = |s: usize| {
+        (args.submitters + args.sessions - 1 - s) / args.sessions // count of i in 0..submitters with i % sessions == s
+    };
+    let worker_shares: Vec<(usize, Vec<SubmitRequest>)> = (0..args.submitters)
         .map(|i| {
-            jobs.iter()
-                .skip(i)
-                .step_by(args.submitters)
+            let s = i % args.sessions;
+            let rank = i / args.sessions;
+            let share = shares[s]
+                .iter()
+                .skip(rank)
+                .step_by(submitters_for(s).max(1))
                 .map(SubmitRequest::from_job)
-                .collect()
+                .collect();
+            (s, share)
         })
         .collect();
 
     let barrier = Arc::new(Barrier::new(args.submitters + 1));
     let bounds = Arc::new(bounds);
     let started = Instant::now();
-    let workers: Vec<_> = shares
+    let workers: Vec<_> = worker_shares
         .into_iter()
-        .map(|share| {
+        .map(|(s, share)| {
             let barrier = Arc::clone(&barrier);
             let bounds = Arc::clone(&bounds);
-            let client = Client::new(addr);
+            let client = session_client(&coordinator, s);
             std::thread::spawn(move || {
                 let mut accepted = 0usize;
                 for window in bounds.windows(2) {
@@ -246,12 +291,16 @@ fn run_phase(args: &Args, jobs: &[Job], batch: &Schedule, scrape: bool) -> Phase
         })
         .collect();
 
-    let coordinator = Client::new(addr);
+    let session_clients: Vec<Client> = (0..args.sessions)
+        .map(|s| session_client(&coordinator, s))
+        .collect();
     for window in bounds.windows(2) {
         barrier.wait();
-        coordinator
-            .advance(window[1].saturating_sub(1))
-            .expect("advance");
+        for client in &session_clients {
+            client
+                .advance(window[1].saturating_sub(1))
+                .expect("advance");
+        }
         barrier.wait();
     }
 
@@ -260,34 +309,38 @@ fn run_phase(args: &Args, jobs: &[Job], batch: &Schedule, scrape: bool) -> Phase
         accepted_total += worker.join().expect("submitter panicked");
     }
     assert_eq!(
-        accepted_total,
-        jobs.len(),
-        "lost submissions: {} accepted of {}",
-        accepted_total,
-        jobs.len()
+        accepted_total, total_jobs,
+        "lost submissions: {accepted_total} accepted of {total_jobs}"
     );
 
-    let status = coordinator.status().expect("status");
-    assert_eq!(
-        status.accepted,
-        jobs.len() as u64,
-        "daemon lost a submission"
-    );
-
-    let seal = coordinator.seal().expect("seal");
+    // Per-session: accepted counts, seal, and byte-equivalence with the
+    // batch reference for that session's share.
+    let mut steps = 0u64;
+    for (s, client) in session_clients.iter().enumerate() {
+        let status = client.status().expect("status");
+        assert_eq!(
+            status.accepted,
+            shares[s].len() as u64,
+            "session {s} lost a submission"
+        );
+        let seal = client.seal().expect("seal");
+        assert_eq!(seal.records, batches[s].records.len() as u64);
+        let name = if s == 0 {
+            "default".to_string()
+        } else {
+            format!("load{s}")
+        };
+        let session = daemon.registry().get(&name).expect("session exists");
+        steps += session.steps();
+        let online = session
+            .schedule()
+            .expect("sealed session retains its schedule");
+        assert_eq!(
+            &online, &batches[s],
+            "session {s}: online schedule diverged from the batch reference"
+        );
+    }
     let wall = started.elapsed();
-    let steps = daemon.session().steps();
-
-    // Byte-equivalence with the batch reference.
-    let online = daemon
-        .session()
-        .schedule()
-        .expect("sealed session retains its schedule");
-    assert_eq!(
-        &online, batch,
-        "online schedule diverged from the batch reference"
-    );
-    assert_eq!(seal.records, batch.records.len() as u64);
 
     // Stop the scraper *after* seal so its final scrape sees the full
     // request history, then take one authoritative post-seal scrape.
@@ -333,8 +386,8 @@ fn run_phase(args: &Args, jobs: &[Job], batch: &Schedule, scrape: bool) -> Phase
 fn main() {
     let args = parse_args();
 
-    // The synthetic workload, truncated to --jobs and re-timed so the
-    // epoch windows stay densely populated.
+    // The synthetic workload, truncated to --jobs and split round-robin
+    // across sessions.
     let mut jobs: Vec<Job> = CplantModel::new(args.seed)
         .with_nodes(args.nodes)
         .generate();
@@ -342,23 +395,39 @@ fn main() {
     jobs.sort_by_key(|j| (j.submit, j.id));
     assert!(!jobs.is_empty(), "workload generation produced no jobs");
 
-    // The batch reference both phases must reproduce byte-for-byte.
     let spec = PolicySpec::parse(&args.policy).unwrap_or_else(|e| {
         eprintln!("served_loadtest: {e}");
         std::process::exit(2);
     });
-    let mut batch_jobs = jobs.clone();
-    batch_jobs.sort_by_key(|j| j.id);
-    let batch = simulate(
-        &batch_jobs,
-        &spec.sim_config(args.nodes),
-        &mut NullObserver,
-        SimOptions::new(),
-    )
-    .expect("batch reference simulation");
 
-    let baseline = run_phase(&args, &jobs, &batch, false);
-    let scraped = run_phase(&args, &jobs, &batch, true);
+    // Per-session shares and the batch references each session must
+    // reproduce byte-for-byte.
+    let shares: Vec<Vec<Job>> = (0..args.sessions)
+        .map(|s| {
+            jobs.iter()
+                .enumerate()
+                .filter(|(i, _)| i % args.sessions == s)
+                .map(|(_, j)| j.clone())
+                .collect()
+        })
+        .collect();
+    let batches: Vec<Schedule> = shares
+        .iter()
+        .map(|share| {
+            let mut batch_jobs = share.clone();
+            batch_jobs.sort_by_key(|j| j.id);
+            simulate(
+                &batch_jobs,
+                &spec.sim_config(args.nodes),
+                &mut NullObserver,
+                SimOptions::new(),
+            )
+            .expect("batch reference simulation")
+        })
+        .collect();
+
+    let baseline = run_phase(&args, &shares, &batches, false);
+    let scraped = run_phase(&args, &shares, &batches, true);
     assert!(scraped.scrapes > 0, "scrape phase never scraped");
 
     let exposition = scraped
@@ -385,6 +454,7 @@ fn main() {
             "  \"nodes\": {},\n",
             "  \"jobs\": {},\n",
             "  \"submitters\": {},\n",
+            "  \"sessions\": {},\n",
             "  \"epochs\": {},\n",
             "  \"steps\": {},\n",
             "  \"baseline\": {{\n",
@@ -413,6 +483,7 @@ fn main() {
         args.nodes,
         jobs.len(),
         args.submitters,
+        args.sessions,
         args.epochs.min(jobs.len()),
         scraped.steps,
         baseline.wall.as_secs_f64() * 1e3,

@@ -2,34 +2,78 @@
 //! `status` subcommands, the load test, and the replay-equivalence
 //! suite.
 //!
-//! One request per connection, mirroring the daemon's
-//! `Connection: close` model. Errors come back typed: a daemon-side
-//! rejection decodes into the same [`ServeError`] variant the daemon
-//! constructed (so callers can match on
+//! Each client holds **one reused keep-alive connection**: sequential
+//! requests share the socket, so a submitter pays the TCP handshake once
+//! rather than per request. A stale connection (daemon restarted, idle
+//! drop) is detected on failure and retried once on a fresh socket.
+//! Cloning a client clones the address, not the connection — clones are
+//! how the load test gives every submitter thread its own socket.
+//!
+//! Errors come back typed: a daemon-side rejection decodes into the same
+//! [`ServeError`] variant the daemon constructed (so callers can match on
 //! [`ServeError::NonMonotonicSubmit`] across the wire), and transport
 //! failures are [`ServeError::Io`].
 
 use crate::api::{
-    AdvanceResponse, SealResponse, ServeError, StatusResponse, SubmitRequest, SubmitResponse,
+    AdvanceResponse, SealResponse, ServeError, SessionSpec, StatusResponse, SubmitRequest,
+    SubmitResponse,
 };
 use crate::json::{parse, Json};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
 use std::time::Duration;
 
-/// A client bound to one daemon address.
-#[derive(Debug, Clone)]
+/// The reused connection: write half plus its buffered reader (same
+/// socket, two fds).
+struct ClientConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A client bound to one daemon address (and optionally one named
+/// session — see [`Client::for_session`]).
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    /// Session path prefix: empty for the default session, otherwise
+    /// `/v1/sessions/{name}` — `/v1/<rest>` requests are rewritten to
+    /// `{prefix}/<rest>`.
+    prefix: String,
+    conn: Mutex<Option<ClientConn>>,
+}
+
+impl Clone for Client {
+    /// Clones the address and session binding, **not** the connection:
+    /// each clone opens its own socket on first use.
+    fn clone(&self) -> Client {
+        Client {
+            addr: self.addr,
+            timeout: self.timeout,
+            prefix: self.prefix.clone(),
+            conn: Mutex::new(None),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("timeout", &self.timeout)
+            .field("prefix", &self.prefix)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Client {
-    /// A client for the daemon at `addr`.
+    /// A client for the daemon at `addr`, addressing the default session.
     pub fn new(addr: SocketAddr) -> Client {
         Client {
             addr,
             timeout: Duration::from_secs(30),
+            prefix: String::new(),
+            conn: Mutex::new(None),
         }
     }
 
@@ -37,6 +81,18 @@ impl Client {
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
         self
+    }
+
+    /// A client addressing the named session: every `/v1/*` request is
+    /// routed to `/v1/sessions/{name}/*` (except the session-management
+    /// and `/metrics` endpoints, which are daemon-wide).
+    pub fn for_session(&self, name: &str) -> Client {
+        Client {
+            addr: self.addr,
+            timeout: self.timeout,
+            prefix: format!("/v1/sessions/{name}"),
+            conn: Mutex::new(None),
+        }
     }
 
     /// Submits one job.
@@ -80,9 +136,35 @@ impl Client {
         SealResponse::from_json(&body)
     }
 
-    /// Seals (if needed) and stops the daemon's accept loop.
+    /// Seals every session and stops the daemon's accept loop.
     pub fn shutdown(&self) -> Result<(), ServeError> {
         self.request("POST", "/v1/shutdown", None).map(|_| ())
+    }
+
+    /// Creates a named session on the daemon; unset spec fields inherit
+    /// the daemon's template configuration.
+    pub fn create_session(&self, spec: &SessionSpec) -> Result<(), ServeError> {
+        self.request_unscoped("POST", "/v1/sessions", Some(&spec.to_json().render()))
+            .map(|_| ())
+    }
+
+    /// Session names live on the daemon, sorted.
+    pub fn list_sessions(&self) -> Result<Vec<String>, ServeError> {
+        let body = self.request_unscoped("GET", "/v1/sessions", None)?;
+        let Some(Json::Arr(rows)) = body.get("sessions") else {
+            return Err(ServeError::Io("malformed session list".into()));
+        };
+        Ok(rows
+            .iter()
+            .filter_map(|row| row.get("name").and_then(Json::as_str))
+            .map(str::to_string)
+            .collect())
+    }
+
+    /// Deletes a named session (and its journal) on the daemon.
+    pub fn delete_session(&self, name: &str) -> Result<(), ServeError> {
+        self.request_unscoped("DELETE", &format!("/v1/sessions/{name}"), None)
+            .map(|_| ())
     }
 
     /// The raw Prometheus exposition text from `GET /metrics`.
@@ -111,15 +193,17 @@ impl Client {
     /// Like [`Client::trace_lines`], but also returns the drop count
     /// from the stream's closing `trace_end` line: the number of trace
     /// records the daemon discarded because this subscriber fell behind
-    /// (0 for a complete stream).
+    /// (0 for a complete stream). Trace streams always use their own
+    /// dedicated connection — they outlive any request/response cycle.
     pub fn trace_capture(&self) -> Result<(Vec<String>, u64), ServeError> {
         let mut stream = self.connect()?;
         // Streams have no bounded duration; disable the read timeout so
         // a quiet session does not sever the subscription.
         stream.set_read_timeout(None)?;
+        let path = self.scoped("/v1/trace");
         write!(
             stream,
-            "GET /v1/trace HTTP/1.1\r\nHost: fairschedd\r\nConnection: close\r\n\r\n"
+            "GET {path} HTTP/1.1\r\nHost: fairschedd\r\nConnection: close\r\n\r\n"
         )?;
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
@@ -154,6 +238,14 @@ impl Client {
         }
     }
 
+    /// Rewrites a default-session route onto this client's session.
+    fn scoped(&self, path: &str) -> String {
+        match path.strip_prefix("/v1/") {
+            Some(rest) if !self.prefix.is_empty() => format!("{}/{rest}", self.prefix),
+            _ => path.to_string(),
+        }
+    }
+
     fn connect(&self) -> Result<TcpStream, ServeError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout))?;
@@ -162,38 +254,216 @@ impl Client {
     }
 
     fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<Json, ServeError> {
+        let (status, payload) = self.request_raw(method, &self.scoped(path), body)?;
+        Self::decode_body(status, &payload)
+    }
+
+    /// A request that ignores the session binding (session management and
+    /// daemon-wide endpoints).
+    fn request_unscoped(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Json, ServeError> {
         let (status, payload) = self.request_raw(method, path, body)?;
-        let json = parse(&payload)?;
+        Self::decode_body(status, &payload)
+    }
+
+    fn decode_body(status: u16, payload: &str) -> Result<Json, ServeError> {
+        let json = parse(payload)?;
         if status >= 400 {
             return Err(ServeError::decode(&json));
         }
         Ok(json)
     }
 
+    /// One request/response exchange over the reused connection. On a
+    /// transport failure with a cached (possibly stale) connection, the
+    /// request is retried exactly once on a fresh socket; failures on a
+    /// fresh socket surface immediately.
     fn request_raw(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), ServeError> {
-        let mut stream = self.connect()?;
-        let body = body.unwrap_or("");
+        let mut guard = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let mut reused = guard.is_some();
+        loop {
+            if guard.is_none() {
+                let stream = self.connect()?;
+                let reader_stream = stream.try_clone().map_err(ServeError::from)?;
+                *guard = Some(ClientConn {
+                    stream,
+                    reader: BufReader::new(reader_stream),
+                });
+            }
+            let conn = guard.as_mut().expect("just ensured");
+            match Self::exchange(conn, method, path, body.unwrap_or("")) {
+                Ok((status, payload, close)) => {
+                    if close {
+                        *guard = None;
+                    }
+                    return Ok((status, payload));
+                }
+                Err(e) => {
+                    *guard = None;
+                    if reused {
+                        // The cached connection may simply have gone
+                        // stale (daemon restart, idle drop); one retry
+                        // on a fresh socket.
+                        reused = false;
+                        continue;
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    /// Writes one request and reads its `Content-Length`-framed
+    /// response. Returns the status, body, and whether the daemon asked
+    /// to close the connection.
+    fn exchange(
+        conn: &mut ClientConn,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String, bool)> {
         write!(
-            stream,
-            "{method} {path} HTTP/1.1\r\nHost: fairschedd\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            conn.stream,
+            "{method} {path} HTTP/1.1\r\nHost: fairschedd\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )?;
-        stream.flush()?;
-        let mut response = String::new();
-        stream.read_to_string(&mut response)?;
-        let (head, payload) = response
-            .split_once("\r\n\r\n")
-            .ok_or_else(|| ServeError::Io("malformed response".into()))?;
-        let status: u16 = head
+        conn.stream.flush()?;
+        let mut line = String::new();
+        if conn.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
+        let status: u16 = line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| ServeError::Io("malformed status line".into()))?;
-        Ok((status, payload.to_string()))
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+            })?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            line.clear();
+            if conn.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof in response headers",
+                ));
+            }
+            let header = line.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+                {
+                    close = true;
+                }
+            }
+        }
+        let mut payload = vec![0u8; content_length];
+        conn.reader.read_exact(&mut payload)?;
+        let payload = String::from_utf8(payload).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 response body")
+        })?;
+        Ok((status, payload, close))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_request, write_response};
+    use std::net::TcpListener;
+
+    /// The keep-alive contract: N sequential requests from one client
+    /// travel over ONE socket. The test server accepts exactly one
+    /// connection and serves every request on it — if the client opened
+    /// a second socket, its request would hang on the never-accepting
+    /// listener and the test would time out.
+    #[test]
+    fn sequential_requests_reuse_one_socket() {
+        const N: usize = 16;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            let mut served = 0usize;
+            while let Ok(Some(req)) = read_request(&mut reader) {
+                assert_eq!(req.path, "/v1/status");
+                let body = format!(
+                    "{{\"policy\":\"easy.nomax\",\"nodes\":32,\"now\":{served},\
+                     \"granted\":0,\"queued\":0,\"running\":0,\"free\":32,\"down\":0,\
+                     \"accepted\":0,\"completed\":0,\"sealed\":false}}"
+                );
+                write_response(&mut stream, 200, "application/json", &body, req.close).unwrap();
+                served += 1;
+                if req.close || served == N {
+                    break;
+                }
+            }
+            served
+        });
+        let client = Client::new(addr).with_timeout(Duration::from_secs(5));
+        for i in 0..N {
+            let status = client.status().unwrap();
+            assert_eq!(status.now, i as u64, "responses must arrive in order");
+        }
+        drop(client);
+        assert_eq!(server.join().unwrap(), N);
+    }
+
+    /// A clone shares nothing with its parent: it opens its own socket.
+    #[test]
+    fn clones_do_not_share_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut conns = 0;
+            for stream in listener.incoming().take(2) {
+                let stream = stream.unwrap();
+                conns += 1;
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                if let Ok(Some(req)) = read_request(&mut reader) {
+                    write_response(&mut stream, 200, "application/json", "{}", req.close).unwrap();
+                }
+            }
+            conns
+        });
+        let a = Client::new(addr).with_timeout(Duration::from_secs(5));
+        let b = a.clone();
+        a.profile().unwrap();
+        b.profile().unwrap();
+        drop((a, b));
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn session_scoping_rewrites_paths() {
+        let base = Client::new("127.0.0.1:1".parse().unwrap());
+        assert_eq!(base.scoped("/v1/jobs"), "/v1/jobs");
+        let scoped = base.for_session("team-a");
+        assert_eq!(scoped.scoped("/v1/jobs"), "/v1/sessions/team-a/jobs");
+        assert_eq!(scoped.scoped("/v1/trace"), "/v1/sessions/team-a/trace");
+        assert_eq!(scoped.scoped("/metrics"), "/metrics");
     }
 }

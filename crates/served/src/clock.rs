@@ -54,6 +54,17 @@ impl VirtualClock {
         }
     }
 
+    /// A clock continuing from `base` — recovery adopts the configured
+    /// mode after replaying a journal's grant sequence, without rewinding
+    /// the horizon already granted.
+    pub fn resume_at(mode: ClockMode, base: Time) -> Self {
+        VirtualClock {
+            mode,
+            anchor: Instant::now(),
+            base,
+        }
+    }
+
     /// The configured mode.
     pub fn mode(&self) -> ClockMode {
         self.mode

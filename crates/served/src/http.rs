@@ -1,12 +1,12 @@
 //! A minimal HTTP/1.1 layer over `std::net` streams.
 //!
 //! The workspace has no async runtime (vendored-stub policy: no registry
-//! access), so `fairschedd` serves blocking, thread-per-connection
-//! HTTP/1.1. This module owns the wire mechanics: parsing a request line
-//! plus headers plus a `Content-Length` body, and writing fixed or
-//! chunked-as-lines streaming responses. The daemon layers routing on
-//! top; the client layers request/response typing on top of the same
-//! primitives.
+//! access), so `fairschedd` serves blocking HTTP/1.1 from a fixed worker
+//! pool. This module owns the wire mechanics: parsing a request line plus
+//! headers plus a `Content-Length` body, and writing fixed (keep-alive by
+//! default) or close-delimited streaming responses. The daemon layers
+//! routing on top; the client layers request/response typing on top of
+//! the same primitives.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -24,6 +24,9 @@ pub struct Request {
     pub path: String,
     /// The body, when `Content-Length` was present.
     pub body: String,
+    /// Whether the client asked for the connection to close after this
+    /// exchange (`Connection: close`). HTTP/1.1 default is keep-alive.
+    pub close: bool,
 }
 
 /// Reads one request from a buffered stream. Returns `Ok(None)` on a
@@ -44,6 +47,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
         }
     };
     let mut content_length = 0usize;
+    let mut close = false;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -61,6 +65,10 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
                 content_length = value.trim().parse().map_err(|_| {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                 })?;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
             }
         }
     }
@@ -74,23 +82,30 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
-    Ok(Some(Request { method, path, body }))
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        close,
+    }))
 }
 
-/// Writes a complete response with a JSON (or plain-text) body and
-/// closes out the exchange. Connections are `Connection: close` — one
-/// request per connection keeps the daemon's threading model trivial,
-/// and the load test measures it is still far faster than the sim step.
+/// Writes a complete response with a JSON (or plain-text) body. The
+/// connection stays open for the next request unless `close` is set —
+/// keep-alive is what lets a thousand submitters share a fixed worker
+/// pool without a handshake per request.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     body: &str,
+    close: bool,
 ) -> std::io::Result<()> {
     let reason = reason_phrase(status);
+    let connection = if close { "close" } else { "keep-alive" };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()
@@ -117,6 +132,7 @@ fn reason_phrase(status: u16) -> &'static str {
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -147,8 +163,9 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/jobs");
         assert_eq!(req.body, "{\"id\": 1}");
+        assert!(!req.close, "HTTP/1.1 without Connection: close keeps alive");
         let mut stream = stream;
-        write_response(&mut stream, 200, "application/json", "{\"ok\":true}").unwrap();
+        write_response(&mut stream, 200, "application/json", "{\"ok\":true}", true).unwrap();
         // Both fds (the stream and the reader's clone) must close for the
         // client to see EOF.
         drop(stream);
@@ -156,6 +173,36 @@ mod tests {
         let response = client.join().unwrap();
         assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(response.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            for i in 0..3 {
+                let close = if i == 2 { "Connection: close\r\n" } else { "" };
+                write!(stream, "GET /v1/status HTTP/1.1\r\nHost: x\r\n{close}\r\n").unwrap();
+            }
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response.matches("HTTP/1.1 200 OK").count()
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut stream = stream;
+        let mut served = 0;
+        while let Ok(Some(req)) = read_request(&mut reader) {
+            write_response(&mut stream, 200, "application/json", "{}", req.close).unwrap();
+            served += 1;
+            if req.close {
+                break;
+            }
+        }
+        drop((stream, reader));
+        assert_eq!(served, 3);
+        assert_eq!(client.join().unwrap(), 3);
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! The per-session submission journal: the durability layer behind
+//! `fairschedd --recover`.
+//!
+//! Every accepted submission, every clock grant, and the seal are
+//! appended — in the exact order the session mutex serialized them — to
+//! `DIR/<name>.journal.jsonl`, using the shared checksummed framing in
+//! [`fairsched_core::journal`] (the same machinery behind the sweep's
+//! crash-safe results journal). Rows are flushed to the kernel before
+//! the request is acknowledged, so *acked implies journaled*: a SIGKILL
+//! can only lose submissions the client never saw accepted, and those
+//! the client simply resubmits ([`ServeError::DuplicateId`] on a
+//! resubmission means it survived after all). The fsync is batched — the
+//! session commits one `sync` per coalesced submission batch — so a
+//! power cut loses at most one batch, never a torn prefix.
+//!
+//! Because the journal is an ordered prefix of the session's accepted
+//! history and the stepped core is deterministic, replaying the rows
+//! through a fresh [`Session`](crate::session::Session) reconstructs a
+//! state from which the sealed schedule comes out *byte-identical* to
+//! the uninterrupted run — the crate's replay-equivalence property
+//! extended across a process boundary.
+
+use crate::api::{ServeError, SubmitRequest};
+use crate::clock::ClockMode;
+use crate::session::SessionConfig;
+use fairsched_core::journal::{
+    escape, json_f64, json_str, json_u32, json_u64, replay_lines, LineWriter,
+};
+use fairsched_workload::time::Time;
+use std::path::{Path, PathBuf};
+
+/// The journal schema version this build writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Whether `name` is safe as a session name (and thus a journal file
+/// stem): non-empty, at most 64 chars, `[A-Za-z0-9_-]` only. This is the
+/// registry's validation rule too — route parsing and path construction
+/// share it.
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// The journal file for session `name` under `dir`.
+pub fn journal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.journal.jsonl"))
+}
+
+/// Session journals found under `dir`, as `(name, path)` pairs sorted by
+/// name. Files that do not follow the `<name>.journal.jsonl` naming (or
+/// whose stem is not a valid session name) are ignored.
+pub fn scan_dir(dir: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(file) = path.file_name().and_then(|f| f.to_str()) else {
+            continue;
+        };
+        let Some(name) = file.strip_suffix(".journal.jsonl") else {
+            continue;
+        };
+        if valid_session_name(name) {
+            found.push((name.to_string(), path));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// One replayed journal row, in file order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// An accepted submission.
+    Submit(SubmitRequest),
+    /// A clock grant up to the given horizon.
+    Grant(Time),
+    /// The session sealed.
+    Seal,
+}
+
+/// What a journal replay recovered: the session's configuration from the
+/// header plus its accepted history in order.
+#[derive(Debug, Clone)]
+pub struct RecoveredSession {
+    /// The session name the header recorded.
+    pub name: String,
+    /// The configuration to rebuild the session with.
+    pub config: SessionConfig,
+    /// Accepted history in the order the live session serialized it.
+    pub events: Vec<JournalEvent>,
+    /// Lines skipped (torn writes, corruption, unknown versions/kinds).
+    pub skipped: usize,
+}
+
+fn clock_body(mode: ClockMode) -> String {
+    match mode {
+        ClockMode::Manual => "\"clock\":\"manual\",\"speedup\":0".into(),
+        ClockMode::Realtime { speedup } => {
+            format!("\"clock\":\"realtime\",\"speedup\":{speedup}")
+        }
+    }
+}
+
+fn header_body(name: &str, cfg: &SessionConfig) -> String {
+    format!(
+        "{{\"v\":{SCHEMA_VERSION},\"kind\":\"header\",\"session\":\"{}\",\"policy\":\"{}\",\
+         \"nodes\":{},\"id_floor\":{},\"traced\":{},{}",
+        escape(name),
+        escape(&cfg.policy),
+        cfg.nodes,
+        cfg.id_floor,
+        u8::from(cfg.traced),
+        clock_body(cfg.clock),
+    )
+}
+
+fn submit_body(req: &SubmitRequest) -> String {
+    format!(
+        "{{\"v\":{SCHEMA_VERSION},\"kind\":\"submit\",\"id\":{},\"user\":{},\"group\":{},\
+         \"submit\":{},\"nodes\":{},\"runtime\":{},\"estimate\":{}",
+        req.id, req.user, req.group, req.submit, req.nodes, req.runtime, req.estimate,
+    )
+}
+
+/// The write half: owned by one [`Session`](crate::session::Session),
+/// called only under the session mutex, so row order in the file is
+/// exactly the order the session applied events to the core.
+pub struct SessionJournal {
+    out: LineWriter,
+    uncommitted: bool,
+}
+
+impl SessionJournal {
+    /// Creates (truncating) the journal for session `name` under `dir`
+    /// and durably writes the header.
+    pub fn create(dir: &Path, name: &str, cfg: &SessionConfig) -> std::io::Result<SessionJournal> {
+        std::fs::create_dir_all(dir)?;
+        let mut out = LineWriter::create(&journal_path(dir, name))?;
+        out.write_sealed(&header_body(name, cfg))?;
+        out.sync()?;
+        Ok(SessionJournal {
+            out,
+            uncommitted: false,
+        })
+    }
+
+    /// Reopens an existing journal for appending (recovery: the replayed
+    /// history stays, new rows extend it).
+    pub fn append(path: &Path) -> std::io::Result<SessionJournal> {
+        Ok(SessionJournal {
+            out: LineWriter::append(path)?,
+            uncommitted: false,
+        })
+    }
+
+    /// Buffers one accepted submission. Returns bytes written.
+    pub fn append_submit(&mut self, req: &SubmitRequest) -> std::io::Result<u64> {
+        self.uncommitted = true;
+        self.out.write_sealed(&submit_body(req))
+    }
+
+    /// Buffers one clock grant. Returns bytes written.
+    pub fn append_grant(&mut self, to: Time) -> std::io::Result<u64> {
+        self.uncommitted = true;
+        self.out.write_sealed(&format!(
+            "{{\"v\":{SCHEMA_VERSION},\"kind\":\"grant\",\"to\":{to}"
+        ))
+    }
+
+    /// Buffers the seal marker. Returns bytes written.
+    pub fn append_seal(&mut self) -> std::io::Result<u64> {
+        self.uncommitted = true;
+        self.out
+            .write_sealed(&format!("{{\"v\":{SCHEMA_VERSION},\"kind\":\"seal\""))
+    }
+
+    /// Commits everything buffered since the last commit: one flush (the
+    /// SIGKILL guarantee) plus one fsync (the power-cut guarantee) for
+    /// the whole batch. Returns whether anything was pending — the
+    /// caller's `served_journal_batches` counter only ticks for real
+    /// batches.
+    pub fn commit(&mut self) -> std::io::Result<bool> {
+        if !self.uncommitted {
+            return Ok(false);
+        }
+        self.out.sync()?;
+        self.uncommitted = false;
+        Ok(true)
+    }
+}
+
+/// Replays one session journal: header into a [`SessionConfig`], rows
+/// into ordered [`JournalEvent`]s. Torn, corrupt, and unknown lines are
+/// skipped with a warning (counted in
+/// [`RecoveredSession::skipped`]). `Ok(None)` when the file carries no
+/// valid header — nothing to recover.
+pub fn replay(path: &Path) -> Result<Option<RecoveredSession>, ServeError> {
+    let mut recovered: Option<RecoveredSession> = None;
+    let mut events = Vec::new();
+    let skipped = replay_lines(
+        path,
+        SCHEMA_VERSION,
+        "the row is lost to recovery",
+        |body| match json_str(body, "kind").as_deref() {
+            Some("header") => {
+                let parse = || -> Option<RecoveredSession> {
+                    let name = json_str(body, "session")?;
+                    if !valid_session_name(&name) {
+                        return None;
+                    }
+                    let clock = match json_str(body, "clock")?.as_str() {
+                        "manual" => ClockMode::Manual,
+                        "realtime" => ClockMode::Realtime {
+                            speedup: json_f64(body, "speedup")?,
+                        },
+                        _ => return None,
+                    };
+                    Some(RecoveredSession {
+                        name,
+                        config: SessionConfig {
+                            policy: json_str(body, "policy")?,
+                            nodes: json_u32(body, "nodes")?,
+                            clock,
+                            traced: json_u64(body, "traced")? != 0,
+                            id_floor: json_u32(body, "id_floor")?,
+                            ..SessionConfig::default()
+                        },
+                        events: Vec::new(),
+                        skipped: 0,
+                    })
+                };
+                match parse() {
+                    Some(r) if recovered.is_none() => {
+                        recovered = Some(r);
+                        Ok(())
+                    }
+                    Some(_) => Err("duplicate header".into()),
+                    None => Err("malformed header".into()),
+                }
+            }
+            Some("submit") => {
+                let parse = || -> Option<SubmitRequest> {
+                    Some(SubmitRequest {
+                        id: json_u32(body, "id")?,
+                        user: json_u32(body, "user")?,
+                        group: json_u32(body, "group")?,
+                        submit: json_u64(body, "submit")?,
+                        nodes: json_u32(body, "nodes")?,
+                        runtime: json_u64(body, "runtime")?,
+                        estimate: json_u64(body, "estimate")?,
+                    })
+                };
+                match parse() {
+                    Some(req) => {
+                        events.push(JournalEvent::Submit(req));
+                        Ok(())
+                    }
+                    None => Err("malformed submit row".into()),
+                }
+            }
+            Some("grant") => match json_u64(body, "to") {
+                Some(to) => {
+                    events.push(JournalEvent::Grant(to));
+                    Ok(())
+                }
+                None => Err("malformed grant row".into()),
+            },
+            Some("seal") => {
+                events.push(JournalEvent::Seal);
+                Ok(())
+            }
+            _ => Err("unknown record kind".into()),
+        },
+    )?;
+    Ok(recovered.map(|mut r| {
+        r.events = events;
+        r.skipped = skipped;
+        r
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("fairsched-served-journal-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn req(id: u32, submit: Time) -> SubmitRequest {
+        SubmitRequest {
+            id,
+            user: 1,
+            group: 1,
+            submit,
+            nodes: 4,
+            runtime: 100,
+            estimate: 120,
+        }
+    }
+
+    #[test]
+    fn session_names_are_validated_for_path_safety() {
+        assert!(valid_session_name("default"));
+        assert!(valid_session_name("team-a_2"));
+        assert!(!valid_session_name(""));
+        assert!(!valid_session_name("../escape"));
+        assert!(!valid_session_name("a/b"));
+        assert!(!valid_session_name("dot.dot"));
+        assert!(!valid_session_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn history_round_trips_in_order() {
+        let dir = tmp_dir("roundtrip");
+        let cfg = SessionConfig {
+            policy: "cplant24.nomax.all".into(),
+            nodes: 64,
+            id_floor: 100,
+            ..Default::default()
+        };
+        let mut j = SessionJournal::create(&dir, "alpha", &cfg).unwrap();
+        j.append_submit(&req(1, 0)).unwrap();
+        j.append_grant(50).unwrap();
+        j.append_submit(&req(2, 50)).unwrap();
+        j.append_seal().unwrap();
+        assert!(j.commit().unwrap());
+        assert!(!j.commit().unwrap(), "nothing pending after a commit");
+        drop(j);
+
+        let r = replay(&journal_path(&dir, "alpha")).unwrap().unwrap();
+        assert_eq!(r.name, "alpha");
+        assert_eq!(r.config.policy, "cplant24.nomax.all");
+        assert_eq!(r.config.nodes, 64);
+        assert_eq!(r.config.id_floor, 100);
+        assert_eq!(r.skipped, 0);
+        assert_eq!(
+            r.events,
+            vec![
+                JournalEvent::Submit(req(1, 0)),
+                JournalEvent::Grant(50),
+                JournalEvent::Submit(req(2, 50)),
+                JournalEvent::Seal,
+            ]
+        );
+    }
+
+    #[test]
+    fn realtime_clock_mode_survives_the_header() {
+        let dir = tmp_dir("clock");
+        let cfg = SessionConfig {
+            clock: ClockMode::Realtime { speedup: 250.5 },
+            ..Default::default()
+        };
+        SessionJournal::create(&dir, "rt", &cfg).unwrap();
+        let r = replay(&journal_path(&dir, "rt")).unwrap().unwrap();
+        assert_eq!(r.config.clock, ClockMode::Realtime { speedup: 250.5 });
+    }
+
+    #[test]
+    fn a_torn_tail_loses_only_the_unacked_row() {
+        let dir = tmp_dir("torn");
+        let mut j = SessionJournal::create(&dir, "t", &SessionConfig::default()).unwrap();
+        j.append_submit(&req(1, 0)).unwrap();
+        j.append_submit(&req(2, 10)).unwrap();
+        j.commit().unwrap();
+        drop(j);
+        let path = journal_path(&dir, "t");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 20]).unwrap();
+        let mut got = None;
+        fairsched_obs::log::capture(|| got = Some(replay(&path).unwrap().unwrap()));
+        let r = got.unwrap();
+        assert_eq!(r.events, vec![JournalEvent::Submit(req(1, 0))]);
+        assert_eq!(r.skipped, 1);
+    }
+
+    #[test]
+    fn headerless_files_recover_nothing() {
+        let dir = tmp_dir("headerless");
+        let path = dir.join("x.journal.jsonl");
+        std::fs::write(&path, "not a journal\n").unwrap();
+        let mut got = None;
+        fairsched_obs::log::capture(|| got = Some(replay(&path)));
+        assert!(got.unwrap().unwrap().is_none());
+        assert!(replay(&dir.join("missing.journal.jsonl"))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn scan_finds_only_well_named_journals() {
+        let dir = tmp_dir("scan");
+        SessionJournal::create(&dir, "beta", &SessionConfig::default()).unwrap();
+        SessionJournal::create(&dir, "alpha", &SessionConfig::default()).unwrap();
+        std::fs::write(dir.join("notes.txt"), "x").unwrap();
+        std::fs::write(dir.join(".journal.jsonl"), "x").unwrap();
+        let found = scan_dir(&dir).unwrap();
+        let names: Vec<&str> = found.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+    }
+}

@@ -22,12 +22,21 @@
 //! * [`json`] — hand-rolled JSON (the vendored `serde` is a no-op stub).
 //! * [`api`] — typed requests, responses, and [`ServeError`].
 //! * [`clock`] — [`VirtualClock`]: manual grants or scaled wall time.
+//! * [`journal`] — [`SessionJournal`]: the checksummed durability log
+//!   every accepted submission and clock grant appends to, and the replay
+//!   path `fairschedd --recover` rebuilds sessions from.
 //! * [`session`] — [`Session`]: the stepped core behind a mutex, with
-//!   submission validation, trace fan-out, live explain, live profile.
-//! * [`http`] — minimal blocking HTTP/1.1 (no async runtime available).
+//!   submission validation, batched submits, trace fan-out, live explain,
+//!   live profile.
+//! * [`registry`] — [`SessionRegistry`]: many named sessions behind one
+//!   daemon, each with its own policy, machine, and journal.
+//! * [`http`] — minimal blocking HTTP/1.1 with keep-alive (no async
+//!   runtime available).
 //! * [`metrics`] — [`ServiceMetrics`]: the daemon's `/metrics` surface.
-//! * [`daemon`] — [`Daemon`]: the accept loop and route table.
-//! * [`client`] — [`Client`]: the blocking typed client.
+//! * [`daemon`] — [`Daemon`]: the accept queue, worker pool, and route
+//!   table.
+//! * [`client`] — [`Client`]: the blocking typed client (one reused
+//!   connection per clone).
 
 #![warn(missing_docs)]
 
@@ -36,15 +45,20 @@ pub mod client;
 pub mod clock;
 pub mod daemon;
 pub mod http;
+pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod session;
 
 pub use api::{
-    AdvanceResponse, SealResponse, ServeError, StatusResponse, SubmitRequest, SubmitResponse,
+    AdvanceResponse, SealResponse, ServeError, SessionSpec, StatusResponse, SubmitRequest,
+    SubmitResponse,
 };
 pub use client::Client;
 pub use clock::{ClockMode, VirtualClock};
 pub use daemon::Daemon;
+pub use journal::SessionJournal;
 pub use metrics::ServiceMetrics;
+pub use registry::SessionRegistry;
 pub use session::{Session, SessionConfig, TraceSubscription};

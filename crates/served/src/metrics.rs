@@ -30,6 +30,8 @@ pub const ROUTES: &[&str] = &[
     "/v1/jobs/{id}",
     "/v1/profile",
     "/v1/seal",
+    "/v1/sessions",
+    "/v1/sessions/{name}",
     "/v1/shutdown",
     "/v1/status",
     "/v1/tick",
@@ -37,7 +39,10 @@ pub const ROUTES: &[&str] = &[
     "other",
 ];
 
-/// Collapses a request path onto its route label.
+/// Collapses a request path onto its route label. Session-prefixed paths
+/// (`/v1/sessions/{name}/jobs`, ...) collapse onto the label of the route
+/// inside the session, so the label set stays bounded no matter how many
+/// sessions exist.
 pub fn route_label(path: &str) -> &'static str {
     if let Some(rest) = path.strip_prefix("/v1/explain/") {
         if !rest.is_empty() {
@@ -47,6 +52,16 @@ pub fn route_label(path: &str) -> &'static str {
     if let Some(rest) = path.strip_prefix("/v1/jobs/") {
         if !rest.is_empty() {
             return "/v1/jobs/{id}";
+        }
+    }
+    if let Some(rest) = path.strip_prefix("/v1/sessions/") {
+        match rest.find('/') {
+            // `/v1/sessions/{name}/<route>` carries the inner route.
+            Some(slash) if slash + 1 < rest.len() => {
+                return route_label(&format!("/v1/{}", &rest[slash + 1..]))
+            }
+            _ if !rest.is_empty() => return "/v1/sessions/{name}",
+            _ => {}
         }
     }
     ROUTES
@@ -71,6 +86,16 @@ pub struct ServiceMetrics {
     pub trace_lines_dropped: Counter,
     /// Subscribers severed for falling behind.
     pub trace_subscribers_dropped: Counter,
+    /// Bytes appended to session durability journals.
+    pub journal_bytes: Counter,
+    /// Journal commit batches fsynced (one per submission batch, grant,
+    /// or seal that had rows to flush).
+    pub journal_batches: Counter,
+    /// Pool workers currently serving a request (not parked on the
+    /// accept queue).
+    pub pool_workers_busy: Gauge,
+    /// Connections waiting on the accept queue for a free worker.
+    pub accept_queue_depth: Gauge,
     // Session gauges, refreshed at scrape time.
     jobs_queued: Gauge,
     jobs_running: Gauge,
@@ -137,6 +162,26 @@ impl ServiceMetrics {
             trace_subscribers_dropped: registry.counter(
                 "fairschedd_trace_subscribers_dropped_total",
                 "Trace subscribers severed for falling behind.",
+                &[],
+            ),
+            journal_bytes: registry.counter(
+                "served_journal_bytes",
+                "Bytes appended to session durability journals.",
+                &[],
+            ),
+            journal_batches: registry.counter(
+                "served_journal_batches",
+                "Journal commit batches fsynced.",
+                &[],
+            ),
+            pool_workers_busy: registry.gauge(
+                "served_pool_workers_busy",
+                "Pool workers currently serving a request.",
+                &[],
+            ),
+            accept_queue_depth: registry.gauge(
+                "served_accept_queue_depth",
+                "Connections queued for a free pool worker.",
                 &[],
             ),
             jobs_queued: gauge("fairschedd_jobs_queued", "Jobs waiting in the queue."),

@@ -25,9 +25,11 @@
 //! saturated subscriber is dropped, not waited on).
 
 use crate::api::{
-    AdvanceResponse, SealResponse, ServeError, StatusResponse, SubmitRequest, SubmitResponse,
+    schedule_fingerprint, AdvanceResponse, SealResponse, ServeError, StatusResponse, SubmitRequest,
+    SubmitResponse,
 };
 use crate::clock::{ClockMode, VirtualClock};
+use crate::journal::SessionJournal;
 use crate::metrics::ServiceMetrics;
 use fairsched_core::policy::PolicySpec;
 use fairsched_metrics::explain::{explain_wait, WaitBreakdown};
@@ -40,11 +42,13 @@ use fairsched_sim::{
 };
 use fairsched_workload::job::JobId;
 use fairsched_workload::time::Time;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::mpsc::{sync_channel, Receiver, RecvError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::mpsc::{
+    sync_channel, Receiver, RecvError, RecvTimeoutError, SyncSender, TryRecvError, TrySendError,
+};
+use std::sync::{Arc, Mutex, TryLockError};
+use std::time::{Duration, Instant};
 
 /// How a [`Session`] is configured.
 #[derive(Debug, Clone)]
@@ -124,7 +128,21 @@ struct Inner {
     schedule: Option<Schedule>,
     steps: u64,
     stream: StreamingFairness,
+    /// The durability journal, when attached. Appends happen under this
+    /// mutex, in apply order, so the file is always an ordered prefix of
+    /// the session's accepted history.
+    journal: Option<SessionJournal>,
+    /// The highest clock horizon already journaled (grants are only
+    /// journaled when they move this forward).
+    journaled_granted: Time,
 }
+
+/// A submission waiting in the batching queue, with the channel its
+/// submitter blocks on.
+type PendingSubmit = (
+    SubmitRequest,
+    SyncSender<Result<SubmitResponse, ServeError>>,
+);
 
 /// One online scheduling session. Thread-safe: the daemon shares it
 /// across connection handlers.
@@ -132,7 +150,12 @@ pub struct Session {
     cfg: SessionConfig,
     sim_cfg: SimConfig,
     inner: Mutex<Inner>,
-    metrics: ServiceMetrics,
+    /// Submissions queued for the next batch. Whoever wins the `inner`
+    /// lock drains and processes everyone's queued submissions (flat
+    /// combining), so the mutex and the journal fsync are paid once per
+    /// batch rather than once per request.
+    pending: Mutex<VecDeque<PendingSubmit>>,
+    metrics: Arc<ServiceMetrics>,
     // Live profiling: counters record for the whole session lifetime.
     baseline: CounterSnapshot,
     started_at: Instant,
@@ -140,8 +163,19 @@ pub struct Session {
 }
 
 impl Session {
-    /// Builds a session, parsing and validating the policy id up front.
+    /// Builds a session with its own metrics registry, parsing and
+    /// validating the policy id up front.
     pub fn new(cfg: SessionConfig) -> Result<Session, ServeError> {
+        Session::with_metrics(cfg, Arc::new(ServiceMetrics::new()))
+    }
+
+    /// Builds a session sharing a daemon-wide metrics registry (the
+    /// registry hosts many sessions; request accounting and journal
+    /// counters aggregate across them).
+    pub fn with_metrics(
+        cfg: SessionConfig,
+        metrics: Arc<ServiceMetrics>,
+    ) -> Result<Session, ServeError> {
         let spec = PolicySpec::parse(&cfg.policy).map_err(ServeError::UnknownPolicy)?;
         let sim_cfg = spec.sim_config(cfg.nodes);
         let mut core = SteppedSim::with_trace_effects(&sim_cfg, cfg.traced)?;
@@ -162,14 +196,36 @@ impl Session {
                 schedule: None,
                 steps: 0,
                 stream: StreamingFairness::new(sim_cfg.nodes),
+                journal: None,
+                journaled_granted: 0,
             }),
             cfg,
             sim_cfg,
-            metrics: ServiceMetrics::new(),
+            pending: Mutex::new(VecDeque::new()),
+            metrics,
             baseline: CounterSnapshot::capture(),
             started_at: Instant::now(),
             _profile: profile,
         })
+    }
+
+    /// Attaches the durability journal: every accepted submission, grant,
+    /// and the seal append to it from now on. Used at session creation
+    /// (fresh journal) and after recovery (reopened for append).
+    pub fn attach_journal(&self, journal: SessionJournal) {
+        let mut inner = self.lock();
+        inner.journaled_granted = inner.clock.target();
+        inner.journal = Some(journal);
+    }
+
+    /// Swaps the clock mode in place, continuing from the horizon granted
+    /// so far. Recovery replays a journal under a manual clock (realtime
+    /// clocks track the wall and would tear the replayed grant sequence),
+    /// then adopts the session's configured mode with this.
+    pub fn adopt_clock(&self, mode: ClockMode) {
+        let mut inner = self.lock();
+        let granted = inner.clock.target();
+        inner.clock = VirtualClock::resume_at(mode, granted);
     }
 
     /// The session's metric handles (request accounting and the
@@ -194,9 +250,84 @@ impl Session {
     }
 
     /// Accepts one submission, enforcing monotonic timestamps and unique
-    /// ids at the boundary.
+    /// ids at the boundary. Journals and fsyncs before returning; the
+    /// batching entry point is [`Session::submit_batched`].
     pub fn submit(&self, req: &SubmitRequest) -> Result<SubmitResponse, ServeError> {
         let mut inner = self.lock();
+        let result = Self::apply_submit(&mut inner, req, &self.metrics);
+        self.commit_journal(&mut inner);
+        result
+    }
+
+    /// Accepts one submission through the batching layer: the request
+    /// joins the pending queue and whichever submitter holds the session
+    /// mutex processes the whole queue — one lock acquisition and one
+    /// journal fsync for the entire batch. Under contention this is the
+    /// path that keeps 1000 concurrent submitters off the lock; without
+    /// contention it degenerates to [`Session::submit`] plus one queue
+    /// push.
+    pub fn submit_batched(&self, req: &SubmitRequest) -> Result<SubmitResponse, ServeError> {
+        let (tx, rx) = sync_channel(1);
+        self.pending_lock().push_back((req.clone(), tx));
+        loop {
+            // The batch we joined may already have been processed by the
+            // current combiner; check before competing for the lock.
+            match rx.try_recv() {
+                Ok(result) => return result,
+                Err(TryRecvError::Disconnected) => {
+                    return Err(ServeError::Io("submission batch dropped".into()))
+                }
+                Err(TryRecvError::Empty) => {}
+            }
+            match self.inner.try_lock() {
+                Ok(mut inner) => self.drain_pending(&mut inner),
+                Err(TryLockError::Poisoned(p)) => self.drain_pending(&mut p.into_inner()),
+                // Someone else is combining; they will (probably) take
+                // our request with them. Wait briefly, then re-check in
+                // case our push raced past their final drain.
+                Err(TryLockError::WouldBlock) => {}
+            }
+            match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(result) => return result,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ServeError::Io("submission batch dropped".into()))
+                }
+            }
+        }
+    }
+
+    /// Processes every queued submission while holding the session lock
+    /// (the flat-combining step), then commits the journal once and
+    /// answers every submitter. Loops until the queue stays empty so
+    /// requests pushed mid-batch are not stranded behind a lock no one
+    /// holds.
+    fn drain_pending(&self, inner: &mut Inner) {
+        loop {
+            let batch: Vec<PendingSubmit> = self.pending_lock().drain(..).collect();
+            if batch.is_empty() {
+                return;
+            }
+            let mut replies = Vec::with_capacity(batch.len());
+            for (req, tx) in batch {
+                replies.push((tx, Self::apply_submit(inner, &req, &self.metrics)));
+            }
+            // One fsync for the whole batch — and only after it, the
+            // acks: acknowledged implies journaled.
+            self.commit_journal(inner);
+            for (tx, result) in replies {
+                let _ = tx.send(result);
+            }
+        }
+    }
+
+    /// Validates and applies one submission to the core, appending it to
+    /// the journal buffer (not yet committed) when accepted.
+    fn apply_submit(
+        inner: &mut Inner,
+        req: &SubmitRequest,
+        metrics: &ServiceMetrics,
+    ) -> Result<SubmitResponse, ServeError> {
         if inner.core.is_none() {
             return Err(ServeError::Sealed);
         }
@@ -232,6 +363,19 @@ impl Session {
         inner.steps += 1;
         inner.accepted.insert(id, req.submit);
         inner.submissions.insert(id, req.clone());
+        if let Some(journal) = inner.journal.as_mut() {
+            match journal.append_submit(req) {
+                Ok(bytes) => metrics.journal_bytes.add(bytes),
+                // The core already accepted; a failed append means the
+                // journal is now missing an accepted row. Surface the
+                // fault loudly — recovery from this journal would lose
+                // the submission.
+                Err(e) => fairsched_obs::log::warn(format!(
+                    "journal append failed for job {}: {e}; recovery would lose it",
+                    req.id
+                )),
+            }
+        }
         let arrival = effects
             .iter()
             .find_map(|e| match e {
@@ -245,13 +389,54 @@ impl Session {
         })
     }
 
+    /// Journals a grant row if the horizon moved past what is already on
+    /// disk. Called after the clock jumps, under the session lock.
+    fn journal_grant(inner: &mut Inner, metrics: &ServiceMetrics) {
+        let target = inner.clock.target();
+        if target <= inner.journaled_granted {
+            return;
+        }
+        inner.journaled_granted = target;
+        if let Some(journal) = inner.journal.as_mut() {
+            match journal.append_grant(target) {
+                Ok(bytes) => metrics.journal_bytes.add(bytes),
+                Err(e) => {
+                    fairsched_obs::log::warn(format!("journal grant append failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Commits buffered journal rows: one flush + one fsync for whatever
+    /// accumulated since the last commit.
+    fn commit_journal(&self, inner: &mut Inner) {
+        if let Some(journal) = inner.journal.as_mut() {
+            match journal.commit() {
+                Ok(true) => self.metrics.journal_batches.inc(),
+                Ok(false) => {}
+                Err(e) => fairsched_obs::log::warn(format!("journal commit failed: {e}")),
+            }
+        }
+    }
+
+    fn pending_lock(&self) -> std::sync::MutexGuard<'_, VecDeque<PendingSubmit>> {
+        self.pending.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Grants simulated time up to `to` (manual clocks; realtime clocks
     /// jump forward too — the tick loop calls [`Session::tick`] instead).
     pub fn advance_to(&self, to: Time) -> Result<AdvanceResponse, ServeError> {
         let mut inner = self.lock();
         inner.clock.jump_to(to);
         let target = inner.clock.target();
-        Self::drive(&mut inner, target, &self.metrics)
+        let result = Self::drive(&mut inner, target, &self.metrics);
+        // The grant is journaled only after the core accepted it; a grant
+        // that never reached the core must not steer recovery.
+        if result.is_ok() {
+            Self::journal_grant(&mut inner, &self.metrics);
+            self.commit_journal(&mut inner);
+        }
+        result
     }
 
     /// Advances to the clock's current target (realtime mode's heartbeat;
@@ -259,7 +444,12 @@ impl Session {
     pub fn tick(&self) -> Result<AdvanceResponse, ServeError> {
         let mut inner = self.lock();
         let target = inner.clock.target();
-        Self::drive(&mut inner, target, &self.metrics)
+        let result = Self::drive(&mut inner, target, &self.metrics);
+        if result.is_ok() {
+            Self::journal_grant(&mut inner, &self.metrics);
+            self.commit_journal(&mut inner);
+        }
+        result
     }
 
     fn drive(
@@ -497,10 +687,18 @@ impl Session {
         for sub in inner.subscribers.drain(..) {
             let _ = sub.tx.try_send(None);
         }
+        if let Some(journal) = inner.journal.as_mut() {
+            match journal.append_seal() {
+                Ok(bytes) => self.metrics.journal_bytes.add(bytes),
+                Err(e) => fairsched_obs::log::warn(format!("journal seal append failed: {e}")),
+            }
+        }
+        self.commit_journal(&mut inner);
         let summary = SealResponse {
             records: schedule.records.len() as u64,
             makespan: schedule.makespan(),
             utilization: schedule.utilization(),
+            schedule_fnv: schedule_fingerprint(&schedule),
         };
         inner.schedule = Some(schedule);
         Ok(summary)
@@ -611,6 +809,47 @@ mod tests {
         }
         let summary = session.seal().unwrap();
         assert_eq!(summary.records, batch.records.len() as u64);
+        assert_eq!(session.schedule().unwrap(), batch);
+    }
+
+    #[test]
+    fn batched_submissions_match_the_batch_simulation() {
+        // 64 submitters race through the flat-combining path; the sealed
+        // schedule must equal the batch simulation of the same jobs (the
+        // core's event queue is insertion-order independent, and every
+        // submission is dated inside the never-granted epoch 0).
+        let jobs: Vec<Job> = (0..64u32)
+            .map(|i| {
+                Job::new(
+                    i + 1,
+                    i % 7 + 1,
+                    1,
+                    u64::from(i),
+                    (i % 16) + 1,
+                    100 + u64::from(i) * 3,
+                    200 + u64::from(i) * 3,
+                )
+            })
+            .collect();
+        let spec = PolicySpec::parse("easy.nomax").unwrap();
+        let cfg = spec.sim_config(32);
+        let batch = simulate(&jobs, &cfg, &mut NO, SimOptions::new()).unwrap();
+
+        let session = Arc::new(manual_session("easy.nomax"));
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                let session = Arc::clone(&session);
+                let req = SubmitRequest::from_job(job);
+                std::thread::spawn(move || session.submit_batched(&req).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let summary = session.seal().unwrap();
+        assert_eq!(summary.records, batch.records.len() as u64);
+        assert_eq!(summary.schedule_fnv, schedule_fingerprint(&batch));
         assert_eq!(session.schedule().unwrap(), batch);
     }
 

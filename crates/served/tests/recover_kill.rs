@@ -1,0 +1,225 @@
+//! Kill-and-recover integration test for `fairschedd --journal-dir`.
+//!
+//! The acceptance property of the durability layer: a daemon SIGKILLed
+//! mid-load (no destructors, no flush beyond the per-line discipline)
+//! and restarted with `--recover` must continue every session exactly
+//! where the acknowledged history ends, and the schedule it finally
+//! seals must be byte-identical (same `schedule_fnv`) to an
+//! uninterrupted run over the same submissions.
+//!
+//! The client contract under a crash: an **acknowledged** submission is
+//! journaled and survives; an unacknowledged one (error or no response)
+//! may or may not have reached the journal — the client resubmits, and
+//! `DuplicateId` on resubmission means it survived. This test exercises
+//! exactly that protocol.
+
+use fairsched_core::policy::PolicySpec;
+use fairsched_served::api::schedule_fingerprint;
+use fairsched_served::{Client, ServeError, SubmitRequest};
+use fairsched_sim::{simulate, NullObserver, SimOptions};
+use fairsched_workload::job::Job;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_fairschedd");
+const POLICY: &str = "easy.nomax";
+const NODES: u32 = 64;
+const JOBS: usize = 240;
+/// Simulated time granted (and journaled) before any submission; every
+/// job is dated at or past `HORIZON`, so resubmissions after recovery
+/// can never be rejected as non-monotonic.
+const GRANT: u64 = 500;
+const HORIZON: u64 = 1000;
+
+fn daemon_cmd(dir: &Path, port_file: &Path, recover: bool) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "--port",
+        "0",
+        "--manual",
+        "--policy",
+        POLICY,
+        "--nodes",
+        &NODES.to_string(),
+    ]);
+    cmd.arg("--port-file").arg(port_file);
+    cmd.arg("--journal-dir").arg(dir);
+    if recover {
+        cmd.arg("--recover");
+    }
+    cmd.stdout(Stdio::null());
+    cmd.stderr(Stdio::piped());
+    cmd
+}
+
+fn wait_for_client(port_file: &Path, child: &mut Child) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let port: u16 = loop {
+        assert!(Instant::now() < deadline, "daemon never wrote its port");
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("daemon exited early: {status}");
+        }
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(port) = text.trim().parse() {
+                break port;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    Client::new(format!("127.0.0.1:{port}").parse().unwrap()).with_timeout(Duration::from_secs(10))
+}
+
+fn workload() -> Vec<Job> {
+    (0..JOBS as u32)
+        .map(|i| {
+            Job::new(
+                i + 1,
+                i % 9 + 1,
+                1,
+                HORIZON + u64::from(i) * 7,
+                (i % 24) + 1,
+                150 + u64::from(i % 40) * 11,
+                400 + u64::from(i % 40) * 11,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn a_sigkilled_daemon_recovers_to_a_byte_identical_schedule() {
+    let dir = std::env::temp_dir().join(format!("fairschedd-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal_dir = dir.join("journals");
+    let jobs = workload();
+
+    // ---- First life: journal on, killed mid-load. -------------------
+    let port_file: PathBuf = dir.join("port1");
+    let mut child = daemon_cmd(&journal_dir, &port_file, false).spawn().unwrap();
+    let client = wait_for_client(&port_file, &mut child);
+    client.advance(GRANT).expect("pre-load grant");
+
+    let acked: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+    let dead = Arc::new(AtomicBool::new(false));
+    let submitters: Vec<_> = (0..8)
+        .map(|t| {
+            let client = client.clone();
+            let acked = Arc::clone(&acked);
+            let dead = Arc::clone(&dead);
+            let share: Vec<SubmitRequest> = jobs
+                .iter()
+                .skip(t)
+                .step_by(8)
+                .map(SubmitRequest::from_job)
+                .collect();
+            std::thread::spawn(move || {
+                for req in share {
+                    if dead.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match client.submit(&req) {
+                        Ok(_) => acked.lock().unwrap().push(req.id),
+                        // The daemon died under us; everything from here
+                        // on is unacknowledged.
+                        Err(_) => break,
+                    }
+                    // Slow the flood slightly so the kill lands mid-run.
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            })
+        })
+        .collect();
+
+    // Kill — SIGKILL, no destructors — once a third of the jobs are in.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "load never reached the kill point"
+        );
+        let in_flight = acked.lock().unwrap().len();
+        if in_flight >= JOBS / 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    child.kill().unwrap();
+    let _ = child.wait();
+    dead.store(true, Ordering::SeqCst);
+    for t in submitters {
+        t.join().unwrap();
+    }
+
+    let acked: Vec<u32> = acked.lock().unwrap().clone();
+    assert!(
+        acked.len() >= JOBS / 3 && acked.len() < JOBS,
+        "kill landed outside the useful window: {} of {JOBS} acked",
+        acked.len()
+    );
+
+    // ---- Second life: --recover replays the journals. ---------------
+    let port_file = dir.join("port2");
+    let mut child = daemon_cmd(&journal_dir, &port_file, true).spawn().unwrap();
+    let client = wait_for_client(&port_file, &mut child);
+
+    let status = client.status().expect("post-recovery status");
+    assert_eq!(
+        status.granted, GRANT,
+        "the journaled grant horizon must survive the crash"
+    );
+    assert!(
+        status.accepted >= acked.len() as u64,
+        "recovery lost acknowledged submissions: {} < {}",
+        status.accepted,
+        acked.len()
+    );
+
+    // The resubmission protocol: every job not acknowledged before the
+    // kill is submitted again. DuplicateId means it was journaled (the
+    // ack was lost, not the row) — both outcomes count as present.
+    let acked_set: std::collections::HashSet<u32> = acked.iter().copied().collect();
+    let mut resubmitted = 0usize;
+    let mut already_there = 0usize;
+    for job in jobs.iter().filter(|j| !acked_set.contains(&j.id.0)) {
+        match client.submit(&SubmitRequest::from_job(job)) {
+            Ok(_) => resubmitted += 1,
+            Err(ServeError::DuplicateId { .. }) => already_there += 1,
+            Err(e) => panic!("resubmission of {} failed: {e}", job.id.0),
+        }
+    }
+    assert_eq!(
+        acked.len() + resubmitted + already_there,
+        JOBS,
+        "every job must end up accepted exactly once"
+    );
+    let status = client.status().expect("status after resubmission");
+    assert_eq!(status.accepted, JOBS as u64);
+
+    // Seal and compare against the uninterrupted reference: the batch
+    // simulation of the same jobs (replay equivalence pins online ==
+    // batch, so this is what an unkilled daemon would have produced).
+    let seal = client.seal().expect("seal");
+    let spec = PolicySpec::parse(POLICY).unwrap();
+    let mut reference_jobs = jobs.clone();
+    reference_jobs.sort_by_key(|j| j.id);
+    let reference = simulate(
+        &reference_jobs,
+        &spec.sim_config(NODES),
+        &mut NullObserver,
+        SimOptions::new(),
+    )
+    .unwrap();
+    assert_eq!(seal.records, reference.records.len() as u64);
+    assert_eq!(
+        seal.schedule_fnv,
+        schedule_fingerprint(&reference),
+        "recovered schedule diverged from the uninterrupted reference"
+    );
+
+    client.shutdown().expect("shutdown");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
